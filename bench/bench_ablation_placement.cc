@@ -1,0 +1,121 @@
+// Ablation: block placement under worker churn — modulo hashing vs a
+// consistent-hash ring (extension; the paper's testbed has static
+// membership).
+//
+// A 10-worker unmanaged LRU cluster replays a Zipf trace while workers
+// fail and recover on a rota. Failures lose cached blocks either way; the
+// metric where placement matters here is remapping: the ring keeps block
+// ownership stable across membership views, so re-population after
+// recovery touches only the recovered worker's share (measured directly
+// via the standalone ring below), while modulo-style schemes reshuffle
+// nearly everything when the worker set changes size.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "cache/placement.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+#include "workload/preference_gen.h"
+#include "workload/tpch.h"
+#include "workload/trace.h"
+
+namespace opus::bench {
+namespace {
+
+using cache::kMiB;
+
+constexpr std::size_t kUsers = 6;
+constexpr std::size_t kDatasets = 40;
+constexpr std::size_t kAccesses = 8000;
+
+double RunChurnTrace(const std::string& placement, std::uint64_t* disk) {
+  Rng rng(5150);
+  workload::TpchConfig tpch;
+  tpch.num_datasets = kDatasets;
+  tpch.dataset_bytes = 100ull * kMiB;
+  tpch.size_jitter_sigma = 0.0;
+  const auto datasets = GenerateTpchDatasets(tpch, rng);
+  const auto catalog = BuildDatasetCatalog(datasets, 4 * kMiB);
+
+  workload::ZipfPreferenceConfig pcfg;
+  pcfg.num_users = kUsers;
+  pcfg.num_files = kDatasets;
+  pcfg.alpha = 1.1;
+  const Matrix prefs = workload::GenerateZipfPreferences(pcfg, rng);
+  Rng trng(5151);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(prefs), kAccesses, trng);
+
+  cache::ClusterConfig cluster_cfg;
+  cluster_cfg.num_workers = 10;
+  cluster_cfg.num_users = kUsers;
+  cluster_cfg.cache_capacity_bytes = 2ull * 1024 * kMiB;
+  cluster_cfg.eviction_policy = "lru";
+  cluster_cfg.placement = placement;
+  cache::CacheCluster cluster(cluster_cfg, catalog);
+
+  double hits = 0.0;
+  std::size_t k = 0;
+  for (const auto& e : trace.events) {
+    // Rolling churn: every 1000 accesses one worker dies, recovering 500
+    // accesses later.
+    if (k % 1000 == 0) {
+      cluster.FailWorker(static_cast<cache::WorkerId>((k / 1000) % 10));
+    }
+    if (k % 1000 == 500) {
+      cluster.RecoverWorker(static_cast<cache::WorkerId>((k / 1000) % 10));
+    }
+    hits += cluster.Read(e.user, e.file).effective_hit;
+    ++k;
+  }
+  *disk = cluster.under_store().bytes_read();
+  return hits / static_cast<double>(trace.events.size());
+}
+
+int Main() {
+  std::puts("Ablation: placement policy under worker churn (1 of 10 "
+            "workers failing on a rota)\n");
+
+  analysis::Table trace_table("unmanaged LRU trace with rolling failures");
+  trace_table.AddHeader({"placement", "effective hit ratio", "disk read"});
+  for (const char* placement : {"modulo", "consistent"}) {
+    std::uint64_t disk = 0;
+    const double hit = RunChurnTrace(placement, &disk);
+    trace_table.AddRow({placement, StrFormat("%.3f", hit),
+                        FormatBytes(disk)});
+  }
+  trace_table.Print();
+
+  // The structural difference: how many blocks change owner when the
+  // membership view shrinks by one worker.
+  analysis::Table remap_table("blocks remapped when one of 10 workers leaves");
+  remap_table.AddHeader({"scheme", "remapped"});
+  std::size_t ring_moved = 0, modulo_moved = 0, total = 0;
+  const cache::ConsistentHashRing ring(10, 128);
+  const auto smaller = ring.Without(7);
+  for (cache::FileId f = 0; f < 200; ++f) {
+    for (std::uint32_t idx = 0; idx < 25; ++idx) {
+      const cache::BlockId b = cache::MakeBlockId(f, idx);
+      ++total;
+      if (ring.Place(b) != smaller.Place(b)) ++ring_moved;
+      if (cache::ModuloPlace(b, 10) != cache::ModuloPlace(b, 9)) {
+        ++modulo_moved;
+      }
+    }
+  }
+  remap_table.AddRow({"consistent ring",
+                      StrFormat("%.1f%%", 100.0 * ring_moved / total)});
+  remap_table.AddRow({"modulo (resize 10 -> 9)",
+                      StrFormat("%.1f%%", 100.0 * modulo_moved / total)});
+  remap_table.Print();
+  std::puts("Reading: the ring remaps ~1/10 of blocks on a membership "
+            "change vs ~90% for modulo — the cost difference of re-warming "
+            "the cache from the under store after every view change.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace opus::bench
+
+int main() { return opus::bench::Main(); }

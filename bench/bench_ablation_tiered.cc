@@ -1,0 +1,108 @@
+// Ablation: tiered MEM/SSD caching (Alluxio-style tiered storage — an
+// extension beyond the paper's memory-only deployment).
+//
+// A single node replays a Zipf(1.1) trace over 100 x 100 MB datasets with
+// 2 GB of memory and a sweep of SSD capacities. Reported: where reads are
+// served from and the resulting mean latency under a three-level latency
+// model (memory 5 GB/s, SSD 500 MB/s + 0.1 ms, disk 100 MB/s + 5 ms).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.h"
+#include "cache/tiered_store.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/zipf.h"
+
+namespace opus::bench {
+namespace {
+
+using cache::kMiB;
+
+constexpr std::size_t kFiles = 100;
+constexpr std::uint64_t kFileBytes = 100 * kMiB;
+constexpr std::size_t kAccesses = 30000;
+
+struct TierOutcome {
+  double mem_rate = 0.0, ssd_rate = 0.0, miss_rate = 0.0;
+  double mean_latency_ms = 0.0;
+  std::uint64_t demotions = 0;
+};
+
+double LatencySec(cache::Tier tier) {
+  switch (tier) {
+    case cache::Tier::kMemory:
+      return static_cast<double>(kFileBytes) / 5e9;
+    case cache::Tier::kSsd:
+      return 1e-4 + static_cast<double>(kFileBytes) / 5e8;
+    case cache::Tier::kNone:
+      return 5e-3 + static_cast<double>(kFileBytes) / 1e8;
+  }
+  return 0.0;
+}
+
+TierOutcome Run(std::uint64_t ssd_bytes) {
+  cache::TieredStoreConfig cfg;
+  cfg.memory_capacity_bytes = 2048 * kMiB;  // 20 datasets
+  cfg.ssd_capacity_bytes = ssd_bytes;
+  cache::TieredStore store(cfg);
+
+  const ZipfDistribution zipf(kFiles, 1.1);
+  Rng rng(20180705);
+  TierOutcome out;
+  double latency = 0.0;
+  std::size_t mem = 0, ssd = 0, miss = 0;
+  for (std::size_t k = 0; k < kAccesses; ++k) {
+    const auto file = static_cast<cache::FileId>(zipf.Sample(rng));
+    const cache::BlockId block = cache::MakeBlockId(file, 0);
+    const cache::Tier tier = store.Access(block);
+    latency += LatencySec(tier);
+    switch (tier) {
+      case cache::Tier::kMemory:
+        ++mem;
+        break;
+      case cache::Tier::kSsd:
+        ++ssd;
+        break;
+      case cache::Tier::kNone:
+        ++miss;
+        store.Insert(block, kFileBytes);  // cache-on-read
+        break;
+    }
+  }
+  out.mem_rate = static_cast<double>(mem) / kAccesses;
+  out.ssd_rate = static_cast<double>(ssd) / kAccesses;
+  out.miss_rate = static_cast<double>(miss) / kAccesses;
+  out.mean_latency_ms = 1e3 * latency / kAccesses;
+  out.demotions = store.stats().demotions;
+  return out;
+}
+
+int Main() {
+  std::puts("Ablation: tiered MEM/SSD cache (Alluxio-style), Zipf(1.1) "
+            "trace, 2 GB memory tier");
+  std::printf("(%zu datasets x 100 MB, %zu accesses)\n\n", kFiles, kAccesses);
+
+  analysis::Table table("read sources and latency vs SSD tier size");
+  table.AddHeader({"ssd size", "mem hits", "ssd hits", "misses",
+                   "mean latency (ms)", "demotions"});
+  for (std::uint64_t ssd_gb : {0ull, 1ull, 2ull, 4ull, 8ull}) {
+    const auto o = Run(ssd_gb * 1024 * kMiB);
+    table.AddRow({StrFormat("%llu GB", static_cast<unsigned long long>(ssd_gb)),
+                  StrFormat("%.1f%%", 100 * o.mem_rate),
+                  StrFormat("%.1f%%", 100 * o.ssd_rate),
+                  StrFormat("%.1f%%", 100 * o.miss_rate),
+                  StrFormat("%.1f", o.mean_latency_ms),
+                  std::to_string(o.demotions)});
+  }
+  table.Print();
+  std::puts("Reading: each GB of SSD converts disk misses (~1005 ms) into "
+            "~200 ms SSD hits; the memory tier's share is set by the Zipf "
+            "head and barely moves.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace opus::bench
+
+int main() { return opus::bench::Main(); }

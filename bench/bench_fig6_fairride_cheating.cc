@@ -1,0 +1,117 @@
+// Fig. 6 — [Cluster] effective hit ratios of the four Fig. 3 users under
+// (a) FairRide and (b) OpuS. User B starts cheating after its 200th access,
+// spuriously accessing F1 more than F2 so the frequency-inferred
+// preferences flip (the paper's FairRide counterexample, live).
+//
+// Expected shape (paper): FairRide lets B free-ride its way from 0.775 to
+// ~0.82 while user D collapses from 0.70 to 0.55; OpuS makes the same lie
+// strictly unprofitable for B.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/fairride.h"
+#include "core/opus.h"
+#include "sim/simulator.h"
+#include "workload/tpch.h"
+#include "workload/trace.h"
+
+namespace opus::bench {
+namespace {
+
+using cache::kMiB;
+
+constexpr std::size_t kAccesses = 9000;
+constexpr std::size_t kCheatAfter = 200;
+
+Matrix Fig3Preferences() {
+  return Matrix::FromRows({{1.00, 0.00, 0.00},
+                           {0.45, 0.55, 0.00},
+                           {0.00, 0.55, 0.45},
+                           {0.00, 0.55, 0.45}});
+}
+
+std::vector<workload::UserTraceSpec> CheatingSpecs() {
+  auto specs = workload::TruthfulSpecs(Fig3Preferences());
+  // User B (index 1) claims it prefers F1 to F2: spurious accesses weighted
+  // so its observed frequency mix approaches (0.55, 0.45, 0).
+  workload::ApplyPreferenceShift(specs[1], kCheatAfter, {0.75, 0.25, 0.0},
+                                 /*rate_multiplier=*/4.0);
+  return specs;
+}
+
+void PrintSeries(const char* title, const sim::SimulationResult& result) {
+  analysis::AsciiChart chart(0.3, 1.0, 12, 72);
+  const char* names[] = {"A", "B", "C", "D"};
+  for (std::size_t u = 0; u < 4; ++u) {
+    chart.AddSeries(names[u], result.series[u]);
+  }
+  std::printf("--- %s ---\n", title);
+  chart.Print();
+}
+
+int Main() {
+  Rng rng(2018);
+  workload::TpchConfig tpch;
+  tpch.num_datasets = 3;
+  tpch.dataset_bytes = 100ull * kMiB;
+  tpch.size_jitter_sigma = 0.0;
+  const auto datasets = GenerateTpchDatasets(tpch, rng);
+  const auto catalog = BuildDatasetCatalog(datasets, 4 * kMiB);
+
+  Rng trng(11);
+  const auto trace =
+      workload::GenerateTrace(CheatingSpecs(), kAccesses, trng);
+
+  sim::ManagedSimConfig cfg;
+  cfg.cluster.num_workers = 5;
+  cfg.cluster.num_users = 4;
+  cfg.cluster.cache_capacity_bytes = 200 * kMiB;  // 2 file units
+  cfg.master.update_interval = 200;
+  cfg.master.learning_window = 800;
+  cfg.metrics.window = 150;
+  cfg.metrics.sample_every = 25;
+  cfg.prime_preferences = Fig3Preferences();
+
+  const FairRideAllocator fairride;
+  const auto fr = sim::RunManagedSimulation(cfg, fairride, catalog, trace);
+  const OpusAllocator opus_alloc;
+  const auto op = sim::RunManagedSimulation(cfg, opus_alloc, catalog, trace);
+
+  std::puts("Fig. 6: user B misreports (spurious F1 accesses) after its "
+            "200th access\n");
+  PrintSeries("(a) FairRide", fr);
+  PrintSeries("(b) OpuS", op);
+
+  analysis::Table table("steady-state effective hit ratios");
+  table.AddHeader({"policy", "A", "B (cheater)", "C", "D (victim)"});
+  for (const auto* r : {&fr, &op}) {
+    std::vector<std::string> row = {r->policy};
+    for (std::size_t u = 0; u < 4; ++u) {
+      // Mean of the last quarter of the series = post-cheat steady state.
+      const auto& s = r->series[u];
+      double acc = 0.0;
+      std::size_t count = 0;
+      for (std::size_t k = (3 * s.size()) / 4; k < s.size(); ++k) {
+        acc += s[k];
+        ++count;
+      }
+      row.push_back(StrFormat("%.3f", count ? acc / count : 0.0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::puts("Analytic anchors for this instance — FairRide: truthful "
+            "B=0.775, D=0.70; after B's lie B=0.817 (gains) and D=0.55 "
+            "(collapses). OpuS: truthful B=0.925, C=D=0.554; any strength "
+            "of the same lie leaves B strictly worse (0.919-0.921) and "
+            "C/D stable (0.550) — cheating never pays.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace opus::bench
+
+int main() { return opus::bench::Main(); }

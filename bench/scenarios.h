@@ -1,0 +1,42 @@
+// Shared scenario builders for the figure/table benches: the paper's worked
+// examples and the randomized Zipf workloads of Sec. VI.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/types.h"
+#include "workload/paper_examples.h"
+#include "workload/preference_gen.h"
+
+namespace opus::bench {
+
+// Fig. 1/2 world: users A, B over files F1-F3, capacity 2 (canonical
+// definition in workload/paper_examples.h).
+inline CachingProblem Fig1Problem() { return workload::Fig1Example(); }
+
+// Fig. 3 world: users A-D over files F1-F3, capacity 2.
+inline CachingProblem Fig3Problem() { return workload::Fig3Example(); }
+
+// Randomized macro workload (Sec. VI): `users` users with per-user-permuted
+// Zipf(alpha) preferences over `files` files, capacity in file units.
+inline CachingProblem ZipfProblem(std::size_t users, std::size_t files,
+                                  double capacity, Rng& rng,
+                                  double alpha = 1.1,
+                                  double support_fraction = 1.0,
+                                  double rank_noise = -1.0) {
+  workload::ZipfPreferenceConfig cfg;
+  cfg.num_users = users;
+  cfg.num_files = files;
+  cfg.alpha = alpha;
+  cfg.support_fraction = support_fraction;
+  cfg.rank_noise = rank_noise;
+  CachingProblem p;
+  p.preferences = workload::GenerateZipfPreferences(cfg, rng);
+  p.capacity = capacity;
+  return p;
+}
+
+}  // namespace opus::bench

@@ -1,0 +1,74 @@
+// capacity_planning — the operator's question the paper's model answers
+// directly: how much cluster memory buys how much hit ratio, and when does
+// sharing stop being worth it?
+//
+// Sweeps cache capacity from 10% to 100% of the working set for a 16-tenant
+// Zipf workload and reports, per capacity point: OpuS's expected hit ratio
+// (mean and worst tenant), whether stage-1 sharing survives its isolation
+// gate, and the marginal hit-ratio gain per GB — the numbers a capacity
+// plan is built from. Uses the analytic evaluator (trace equivalence is
+// covered by the integration tests), so the whole sweep runs in seconds.
+//
+//   ./capacity_planning
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/opus.h"
+#include "core/utility.h"
+#include "workload/preference_gen.h"
+
+int main() {
+  using namespace opus;
+
+  constexpr std::size_t kTenants = 16;
+  constexpr std::size_t kDatasets = 80;   // ~100 MB each -> 8 GB working set
+  constexpr double kDatasetGb = 0.1;
+
+  workload::ZipfPreferenceConfig cfg;
+  cfg.num_users = kTenants;
+  cfg.num_files = kDatasets;
+  cfg.alpha = 1.1;
+  cfg.rank_noise = 0.5;  // correlated popularity across tenants
+  Rng rng(20260705);
+  const Matrix prefs = workload::GenerateZipfPreferences(cfg, rng);
+
+  std::printf("capacity planning: %zu tenants, %zu datasets (%.1f GB "
+              "working set), Zipf(1.1)\n\n",
+              kTenants, kDatasets, kDatasets * kDatasetGb);
+
+  analysis::Table table("hit ratio vs cache capacity (OpuS)");
+  table.AddHeader({"cache", "% of data", "mean hit", "worst tenant",
+                   "sharing?", "marginal hit/GB"});
+  const OpusAllocator allocator;
+  double prev_mean = 0.0;
+  double prev_gb = 0.0;
+  for (int pct = 10; pct <= 100; pct += 15) {
+    CachingProblem problem;
+    problem.preferences = prefs;
+    problem.capacity = kDatasets * pct / 100.0;  // in dataset units
+    OpusDiagnostics diag;
+    const auto result = allocator.AllocateWithDiagnostics(problem, &diag);
+    const auto utils = EvaluateUtilities(result, prefs);
+    const double mean = analysis::ComputeBoxStats(utils).mean;
+    const double worst = analysis::Percentile(utils, 0);
+    const double gb = problem.capacity * kDatasetGb;
+    const double marginal =
+        gb > prev_gb ? (mean - prev_mean) / (gb - prev_gb) : 0.0;
+    table.AddRow({StrFormat("%.1f GB", gb), StrFormat("%d%%", pct),
+                  StrFormat("%.3f", mean), StrFormat("%.3f", worst),
+                  diag.settled_on_sharing ? "yes" : "isolated",
+                  StrFormat("%+.3f", marginal)});
+    prev_mean = mean;
+    prev_gb = gb;
+  }
+  table.Print();
+
+  std::puts("How to read this: provision where the marginal column flattens"
+            " — beyond the Zipf head, extra memory buys little; the worst-"
+            "tenant column is the isolation guarantee making the floor "
+            "predictable.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// sql_analytics — the paper's motivating scenario: many Spark-SQL-style
+// tenants querying shared TPC-H datasets through a memory-centric
+// filesystem (mini-Alluxio), with OpuS as the pluggable cache manager.
+//
+// Spins up a 10-worker cluster with 5 GB of cache and 40 TPC-H datasets,
+// registers 12 tenants with skewed (Zipf) query mixes, replays a 30K-query
+// trace through the OpusMaster control loop, and reports per-tenant
+// effective hit ratios, reallocation activity, and disk pressure — then
+// contrasts against stock LRU eviction.
+//
+//   ./sql_analytics
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/opus.h"
+#include "sim/simulator.h"
+#include "workload/preference_gen.h"
+#include "workload/tpch.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace opus;
+  using cache::kMiB;
+
+  constexpr std::size_t kTenants = 12;
+  constexpr std::size_t kDatasets = 40;
+  constexpr std::size_t kQueries = 30000;
+
+  // --- Generate the warehouse: 40 TPC-H datasets of ~100 MB --------------
+  Rng rng(20180701);
+  workload::TpchConfig tpch;
+  tpch.num_datasets = kDatasets;
+  tpch.dataset_bytes = 100ull * kMiB;
+  const auto datasets = GenerateTpchDatasets(tpch, rng);
+  const auto catalog = BuildDatasetCatalog(datasets, 4 * kMiB);
+  std::printf("warehouse: %zu datasets, %s total\n", catalog.size(),
+              FormatBytes(catalog.TotalBytes()).c_str());
+
+  // --- Tenant query mixes: Zipf(1.1), each tenant with its own ranking ---
+  workload::ZipfPreferenceConfig prefs_cfg;
+  prefs_cfg.num_users = kTenants;
+  prefs_cfg.num_files = kDatasets;
+  prefs_cfg.alpha = 1.1;
+  const Matrix prefs = workload::GenerateZipfPreferences(prefs_cfg, rng);
+
+  Rng trng(7);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(prefs), kQueries, trng);
+
+  // --- Managed cluster: OpuS behind the OpusMaster control loop ----------
+  sim::ManagedSimConfig cfg;
+  cfg.cluster.num_workers = 10;
+  cfg.cluster.num_users = kTenants;
+  cfg.cluster.cache_capacity_bytes = 5ull * 1024 * kMiB;
+  cfg.master.update_interval = 1500;   // "every 20 minutes"
+  cfg.master.learning_window = 6000;   // sliding window
+  cfg.prime_preferences = prefs;       // warm start from yesterday's model
+
+  const OpusAllocator opus_alloc;
+  const auto opus_run =
+      sim::RunManagedSimulation(cfg, opus_alloc, catalog, trace);
+
+  // --- Baseline: stock LRU eviction ---------------------------------------
+  sim::UnmanagedSimConfig lru_cfg;
+  lru_cfg.cluster = cfg.cluster;
+  lru_cfg.cluster.eviction_policy = "lru";
+  const auto lru_run = sim::RunUnmanagedSimulation(lru_cfg, catalog, trace);
+
+  analysis::Table table("per-tenant effective hit ratio");
+  table.AddHeader({"metric", "opus", "lru"});
+  const auto opus_box = analysis::ComputeBoxStats(opus_run.per_user_hit_ratio);
+  const auto lru_box = analysis::ComputeBoxStats(lru_run.per_user_hit_ratio);
+  table.AddRow({"mean", StrFormat("%.3f", opus_box.mean),
+                StrFormat("%.3f", lru_box.mean)});
+  table.AddRow({"p5 (worst tenants)", StrFormat("%.3f", opus_box.p5),
+                StrFormat("%.3f", lru_box.p5)});
+  table.AddRow({"p95 (best tenants)", StrFormat("%.3f", opus_box.p95),
+                StrFormat("%.3f", lru_box.p95)});
+  table.AddRow({"disk read", FormatBytes(opus_run.disk_bytes_read),
+                FormatBytes(lru_run.disk_bytes_read)});
+  table.AddRow({"total latency (s)",
+                StrFormat("%.1f", opus_run.total_latency_sec),
+                StrFormat("%.1f", lru_run.total_latency_sec)});
+  table.Print();
+
+  std::printf("opus reallocations: %zu (one per %zu queries)\n",
+              opus_run.reallocations, cfg.master.update_interval);
+  std::printf(
+      "takeaway: OpuS levels the floor — its worst tenant (%.3f) beats "
+      "LRU's worst (%.3f) because isolation is guaranteed, not incidental.\n",
+      opus_box.p5, lru_box.p5);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "analysis/csv.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace opus::analysis {
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(Trim(field));
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+}  // namespace
+
+std::size_t CsvTable::num_columns() const {
+  if (!header.empty()) return header.size();
+  return rows.empty() ? 0 : rows[0].size();
+}
+
+std::optional<std::size_t> CsvTable::Find(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == name) return c;
+  }
+  return std::nullopt;
+}
+
+CsvTable ParseCsv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::istringstream ss(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(ss, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitLine(trimmed);
+    if (has_header && !saw_header) {
+      table.header = std::move(fields);
+      saw_header = true;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::ostringstream out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      OPUS_CHECK_MSG(row[c].find(',') == std::string::npos,
+                     "CSV field contains a comma: " << row[c]);
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out.str();
+}
+
+std::vector<std::vector<double>> ToNumeric(const CsvTable& table) {
+  std::vector<std::vector<double>> out;
+  out.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    std::vector<double> values;
+    values.reserve(row.size());
+    for (const auto& cell : row) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      OPUS_CHECK_MSG(end != cell.c_str() && *end == '\0',
+                     "non-numeric CSV cell: '" << cell << "'");
+      values.push_back(v);
+    }
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+}  // namespace opus::analysis

@@ -1,0 +1,33 @@
+// Minimal CSV reading/writing used by the CLI tool and bench artifact
+// export. Handles the subset of CSV the tools emit: comma separation,
+// optional header row, no quoting (fields must not contain commas).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace opus::analysis {
+
+struct CsvTable {
+  std::vector<std::string> header;               // empty if none
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t num_columns() const;
+
+  // Column index by header name; nullopt when absent or no header.
+  std::optional<std::size_t> Find(const std::string& name) const;
+};
+
+// Parses CSV text. `has_header` promotes the first row. Trims surrounding
+// whitespace of each field; skips blank lines and lines starting with '#'.
+CsvTable ParseCsv(const std::string& text, bool has_header);
+
+// Serializes a table (header first when present).
+std::string WriteCsv(const CsvTable& table);
+
+// Parses every data cell as double. Aborts (OPUS_CHECK) on non-numeric
+// cells; use for trusted tool input after structural validation.
+std::vector<std::vector<double>> ToNumeric(const CsvTable& table);
+
+}  // namespace opus::analysis

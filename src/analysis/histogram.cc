@@ -1,0 +1,125 @@
+#include "analysis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace opus::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets,
+                     bool log_scale)
+    : lo_(lo), hi_(hi), log_scale_(log_scale), counts_(buckets, 0) {
+  OPUS_CHECK_GT(buckets, 0u);
+  OPUS_CHECK_LT(lo, hi);
+  if (log_scale) OPUS_CHECK_GT(lo, 0.0);
+}
+
+Histogram Histogram::Linear(double lo, double hi, std::size_t buckets) {
+  return Histogram(lo, hi, buckets, /*log_scale=*/false);
+}
+
+Histogram Histogram::Logarithmic(double lo, double hi, std::size_t buckets) {
+  return Histogram(lo, hi, buckets, /*log_scale=*/true);
+}
+
+std::size_t Histogram::BucketFor(double value) const {
+  double t;
+  if (log_scale_) {
+    t = (std::log(value) - std::log(lo_)) /
+        (std::log(hi_) - std::log(lo_));
+  } else {
+    t = (value - lo_) / (hi_ - lo_);
+  }
+  const auto b = static_cast<std::ptrdiff_t>(
+      t * static_cast<double>(counts_.size()));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(b, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) -
+                                     1));
+}
+
+void Histogram::Add(double value) { Add(value, 1); }
+
+void Histogram::Add(double value, std::uint64_t count) {
+  total_ += count;
+  if (value < lo_) {
+    underflow_ += count;
+  } else if (value >= hi_) {
+    overflow_ += count;
+  } else {
+    counts_[BucketFor(value)] += count;
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t b) const {
+  OPUS_CHECK_LT(b, counts_.size());
+  return counts_[b];
+}
+
+double Histogram::bucket_lower(std::size_t b) const {
+  OPUS_CHECK_LT(b, counts_.size());
+  const double t = static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+  if (log_scale_) {
+    return std::exp(std::log(lo_) + t * (std::log(hi_) - std::log(lo_)));
+  }
+  return lo_ + t * (hi_ - lo_);
+}
+
+double Histogram::bucket_upper(std::size_t b) const {
+  return b + 1 == counts_.size() ? hi_ : bucket_lower(b + 1);
+}
+
+double Histogram::ApproximateQuantile(double q) const {
+  OPUS_CHECK_GE(q, 0.0);
+  OPUS_CHECK_LE(q, 100.0);
+  if (total_ == 0) return lo_;
+  const double target = q / 100.0 * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = seen + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double frac = (target - seen) / static_cast<double>(counts_[b]);
+      return bucket_lower(b) + frac * (bucket_upper(b) - bucket_lower(b));
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::Render(int width) const {
+  OPUS_CHECK_GT(width, 0);
+  std::uint64_t max_count = std::max(underflow_, overflow_);
+  for (std::uint64_t c : counts_) max_count = std::max(max_count, c);
+  if (max_count == 0) return "(empty histogram)\n";
+
+  std::string out;
+  auto bar = [&](std::uint64_t count) {
+    const int len = static_cast<int>(
+        static_cast<double>(count) / static_cast<double>(max_count) * width);
+    return std::string(static_cast<std::size_t>(len), '#');
+  };
+  if (underflow_ > 0) {
+    out += StrFormat("%12s < %-9.3g %8llu %s\n", "", lo_,
+                     static_cast<unsigned long long>(underflow_),
+                     bar(underflow_).c_str());
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    out += StrFormat("[%9.3g, %9.3g) %8llu %s\n", bucket_lower(b),
+                     bucket_upper(b),
+                     static_cast<unsigned long long>(counts_[b]),
+                     bar(counts_[b]).c_str());
+  }
+  if (overflow_ > 0) {
+    out += StrFormat("%11s >= %-9.3g %8llu %s\n", "", hi_,
+                     static_cast<unsigned long long>(overflow_),
+                     bar(overflow_).c_str());
+  }
+  return out;
+}
+
+}  // namespace opus::analysis

@@ -1,0 +1,52 @@
+// Fixed-bucket histogram for latency/size distributions, with log-spaced
+// bucket support (read latencies span five orders of magnitude between a
+// memory hit and a cold disk read) and a compact ASCII rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opus::analysis {
+
+class Histogram {
+ public:
+  // Linear buckets over [lo, hi) plus underflow/overflow buckets.
+  static Histogram Linear(double lo, double hi, std::size_t buckets);
+
+  // Log-spaced buckets over [lo, hi), lo > 0.
+  static Histogram Logarithmic(double lo, double hi, std::size_t buckets);
+
+  void Add(double value);
+  void Add(double value, std::uint64_t count);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t b) const;
+  // [lower, upper) bounds of bucket b.
+  double bucket_lower(std::size_t b) const;
+  double bucket_upper(std::size_t b) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  // Approximate quantile by linear interpolation within the bucket.
+  // q in [0, 100]; returns the lo/hi edge for under/overflowing mass.
+  double ApproximateQuantile(double q) const;
+
+  // Compact ASCII rendering: one row per non-empty bucket with a bar
+  // proportional to its share.
+  std::string Render(int width = 40) const;
+
+ private:
+  Histogram(double lo, double hi, std::size_t buckets, bool log_scale);
+  std::size_t BucketFor(double value) const;
+
+  double lo_, hi_;
+  bool log_scale_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace opus::analysis

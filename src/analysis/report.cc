@@ -1,0 +1,117 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus::analysis {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::AddHeader(std::vector<std::string> cells) {
+  OPUS_CHECK(!has_header_);
+  has_header_ = true;
+  rows_.insert(rows_.begin(), std::move(cells));
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  if (!title_.empty()) {
+    out += "== " + title_ + " ==\n";
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      std::string cell = rows_[r][c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < rows_[r].size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line + "\n";
+    if (r == 0 && has_header_) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      }
+      out += std::string(total, '-') + "\n";
+    }
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs((Render() + "\n").c_str(), stdout); }
+
+AsciiChart::AsciiChart(double lo, double hi, int height, int width)
+    : lo_(lo), hi_(hi), height_(height), width_(width) {
+  OPUS_CHECK_LT(lo, hi);
+  OPUS_CHECK_GE(height, 2);
+  OPUS_CHECK_GE(width, 8);
+}
+
+void AsciiChart::AddSeries(std::string label, std::vector<double> values) {
+  series_.emplace_back(std::move(label), std::move(values));
+}
+
+std::string AsciiChart::Render() const {
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  const char marks[] = {'*', 'o', '+', 'x', '#', '@'};
+
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const auto& values = series_[s].second;
+    if (values.empty()) continue;
+    for (int col = 0; col < width_; ++col) {
+      // Nearest sample for this column.
+      const std::size_t idx = static_cast<std::size_t>(
+          static_cast<double>(col) / std::max(1, width_ - 1) *
+          static_cast<double>(values.size() - 1));
+      const double v = Clamp(values[idx], lo_, hi_);
+      const int row = static_cast<int>(
+          (hi_ - v) / (hi_ - lo_) * static_cast<double>(height_ - 1));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          marks[s % sizeof(marks)];
+    }
+  }
+
+  std::string out;
+  char buf[32];
+  for (int r = 0; r < height_; ++r) {
+    const double v = hi_ - (hi_ - lo_) * static_cast<double>(r) /
+                               static_cast<double>(height_ - 1);
+    std::snprintf(buf, sizeof(buf), "%6.2f |", v);
+    out += buf;
+    out += grid[static_cast<std::size_t>(r)];
+    out += "\n";
+  }
+  out += "       +" + std::string(static_cast<std::size_t>(width_), '-') +
+         "\n";
+  out += "        legend:";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    out += " ";
+    out += marks[s % sizeof(marks)];
+    out += "=" + series_[s].first;
+  }
+  out += "\n";
+  return out;
+}
+
+void AsciiChart::Print() const {
+  std::fputs((Render() + "\n").c_str(), stdout);
+}
+
+}  // namespace opus::analysis

@@ -1,0 +1,49 @@
+// Plain-text report rendering for the bench binaries: aligned tables and
+// simple ASCII line charts so every figure/table of the paper prints as a
+// readable terminal artifact (and greps cleanly into EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opus::analysis {
+
+// Column-aligned table. Cells are preformatted strings; the first row added
+// with AddHeader is underlined.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  void AddHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with two-space column gaps.
+  std::string Render() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  bool has_header_ = false;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Multi-series ASCII line chart (one sample per column), used for the
+// hit-ratio time series of Figs. 5-6. Values must lie in [lo, hi].
+class AsciiChart {
+ public:
+  AsciiChart(double lo, double hi, int height = 12, int width = 72);
+
+  void AddSeries(std::string label, std::vector<double> values);
+
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  double lo_, hi_;
+  int height_, width_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+}  // namespace opus::analysis

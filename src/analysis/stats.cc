@@ -1,0 +1,66 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus::analysis {
+
+double Percentile(std::span<const double> xs, double q) {
+  OPUS_CHECK(!xs.empty());
+  OPUS_CHECK_GE(q, 0.0);
+  OPUS_CHECK_LE(q, 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+BoxStats ComputeBoxStats(std::span<const double> xs) {
+  BoxStats b;
+  b.p5 = Percentile(xs, 5);
+  b.p25 = Percentile(xs, 25);
+  b.p50 = Percentile(xs, 50);
+  b.p75 = Percentile(xs, 75);
+  b.p95 = Percentile(xs, 95);
+  b.mean = Mean(xs);
+  return b;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<double, double>> cdf;
+  cdf.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.emplace_back(sorted[i], static_cast<double>(i + 1) /
+                                    static_cast<double>(sorted.size()));
+  }
+  return cdf;
+}
+
+double CdfAt(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double x : xs) {
+    if (x <= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace opus::analysis

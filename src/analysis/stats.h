@@ -1,0 +1,34 @@
+// Descriptive statistics used by the benches: percentiles (Fig. 8/10 error
+// bars and boxplots), empirical CDFs (Fig. 7), and summary records.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace opus::analysis {
+
+// Linear-interpolated percentile, q in [0, 100]. Requires non-empty input.
+double Percentile(std::span<const double> xs, double q);
+
+// The five-number summary used by the paper's boxplots (Fig. 10: whiskers
+// at p5/p95, box at p25/p50/p75).
+struct BoxStats {
+  double p5 = 0.0, p25 = 0.0, p50 = 0.0, p75 = 0.0, p95 = 0.0;
+  double mean = 0.0;
+};
+BoxStats ComputeBoxStats(std::span<const double> xs);
+
+// Empirical CDF sampled at the data points: returns sorted (value,
+// cumulative_probability) pairs.
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::span<const double> xs);
+
+// Fraction of samples <= threshold.
+double CdfAt(std::span<const double> xs, double threshold);
+
+// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double StdDev(std::span<const double> xs);
+
+}  // namespace opus::analysis

@@ -1,0 +1,88 @@
+#include "cache/block_store.h"
+
+#include "common/check.h"
+
+namespace opus::cache {
+
+BlockStore::BlockStore(std::uint64_t capacity_bytes,
+                       std::unique_ptr<EvictionPolicy> policy)
+    : capacity_(capacity_bytes), policy_(std::move(policy)) {
+  OPUS_CHECK(policy_ != nullptr);
+}
+
+bool BlockStore::Insert(BlockId block, std::uint64_t bytes) {
+  OPUS_CHECK_GT(bytes, 0u);
+  if (blocks_.count(block) != 0) return true;
+  if (bytes > capacity_) return false;
+  while (used_ + bytes > capacity_) {
+    if (!EvictOne()) return false;
+  }
+  blocks_[block] = bytes;
+  used_ += bytes;
+  policy_->OnInsert(block);
+  return true;
+}
+
+bool BlockStore::EvictOne() {
+  const auto victim = policy_->Victim();
+  if (!victim.has_value()) return false;  // everything remaining is pinned
+  const auto it = blocks_.find(*victim);
+  OPUS_CHECK(it != blocks_.end());
+  used_ -= it->second;
+  blocks_.erase(it);
+  policy_->OnRemove(*victim);
+  ++evictions_;
+  return true;
+}
+
+bool BlockStore::Access(BlockId block) {
+  if (blocks_.count(block) == 0) return false;
+  policy_->OnAccess(block);
+  return true;
+}
+
+bool BlockStore::Contains(BlockId block) const {
+  return blocks_.count(block) != 0;
+}
+
+void BlockStore::Erase(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  used_ -= it->second;
+  if (pinned_.erase(block) != 0) pinned_bytes_ -= it->second;
+  blocks_.erase(it);
+  policy_->OnRemove(block);
+}
+
+bool BlockStore::Pin(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  if (pinned_.insert(block).second) {
+    pinned_bytes_ += it->second;
+    // Pinned blocks leave the eviction policy so they can never be victims.
+    policy_->OnRemove(block);
+  }
+  return true;
+}
+
+void BlockStore::Unpin(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  if (pinned_.erase(block) != 0) {
+    pinned_bytes_ -= it->second;
+    policy_->OnInsert(block);
+  }
+}
+
+bool BlockStore::IsPinned(BlockId block) const {
+  return pinned_.count(block) != 0;
+}
+
+std::vector<BlockId> BlockStore::ResidentBlocks() const {
+  std::vector<BlockId> out;
+  out.reserve(blocks_.size());
+  for (const auto& [block, bytes] : blocks_) out.push_back(block);
+  return out;
+}
+
+}  // namespace opus::cache

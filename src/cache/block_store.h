@@ -1,0 +1,68 @@
+// Per-worker in-memory block store with capacity enforcement, pinning, and
+// pluggable eviction.
+//
+// Two usage modes mirror the two OpuS deployment modes:
+//  - unmanaged (eviction-driven): Insert() evicts per policy when full —
+//    the Alluxio-default LRU behaviour of Sec. VI-A.
+//  - managed (allocation-driven): the master pins exactly the blocks the
+//    allocation algorithm selected; pinned blocks are never eviction
+//    victims, and the master repins on every reallocation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/eviction.h"
+#include "cache/types.h"
+
+namespace opus::cache {
+
+class BlockStore {
+ public:
+  BlockStore(std::uint64_t capacity_bytes,
+             std::unique_ptr<EvictionPolicy> policy);
+
+  // Inserts a block, evicting unpinned victims as needed. Returns false
+  // (without inserting) when the block cannot fit even after evicting every
+  // unpinned block. Inserting an existing block is a no-op returning true.
+  bool Insert(BlockId block, std::uint64_t bytes);
+
+  // Marks an access for the eviction policy. Returns true iff cached.
+  bool Access(BlockId block);
+
+  bool Contains(BlockId block) const;
+
+  // Removes a block if present (also unpins it).
+  void Erase(BlockId block);
+
+  // Pins / unpins. Pinned blocks are ignored by eviction. Pinning a block
+  // not in the store is a no-op returning false.
+  bool Pin(BlockId block);
+  void Unpin(BlockId block);
+  bool IsPinned(BlockId block) const;
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  // Snapshot of resident blocks (unordered).
+  std::vector<BlockId> ResidentBlocks() const;
+
+ private:
+  bool EvictOne();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_map<BlockId, std::uint64_t> blocks_;  // block -> bytes
+  std::unordered_set<BlockId> pinned_;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,41 @@
+#include "cache/client.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opus::cache {
+
+double SessionStats::EffectiveHitRatio() const {
+  return reads == 0 ? 0.0 : effective_hit_sum / static_cast<double>(reads);
+}
+
+double SessionStats::MeanLatencySec() const {
+  return reads == 0 ? 0.0 : total_latency_sec / static_cast<double>(reads);
+}
+
+ClientSession::ClientSession(CacheCluster* cluster, UserId user,
+                             std::string name)
+    : cluster_(cluster), user_(user), name_(std::move(name)) {
+  OPUS_CHECK(cluster_ != nullptr);
+  OPUS_CHECK_LT(user, cluster_->config().num_users);
+}
+
+ReadResult ClientSession::Read(FileId file) {
+  const ReadResult r = cluster_->Read(user_, file);
+  ++stats_.reads;
+  stats_.bytes_from_memory += r.bytes_from_memory;
+  stats_.bytes_from_disk += r.bytes_from_disk;
+  stats_.effective_hit_sum += r.effective_hit;
+  stats_.total_latency_sec += r.latency_sec;
+  stats_.max_latency_sec = std::max(stats_.max_latency_sec, r.latency_sec);
+  return r;
+}
+
+ReadResult ClientSession::Read(const std::string& file_name) {
+  const FileId id = cluster_->catalog().Find(file_name);
+  OPUS_CHECK_MSG(id != kInvalidFile, "unknown file: " << file_name);
+  return Read(id);
+}
+
+}  // namespace opus::cache

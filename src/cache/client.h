@@ -1,0 +1,57 @@
+// ClientSession — the application-facing handle of the mini-Alluxio stack
+// (paper Fig. 4: applications talk to the master through per-client
+// sessions identified by their OpuS client id).
+//
+// A session binds a UserId to a cluster and tracks per-session metrics:
+// reads, bytes by source, effective hits, and latency aggregates. Sessions
+// are cheap value-ish objects; many sessions may share one cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cluster.h"
+
+namespace opus::cache {
+
+struct SessionStats {
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_from_memory = 0;
+  std::uint64_t bytes_from_disk = 0;
+  double effective_hit_sum = 0.0;  // sum of per-read effective hits
+  double total_latency_sec = 0.0;
+  double max_latency_sec = 0.0;
+
+  // Mean effective hit ratio over this session's reads (0 when idle).
+  double EffectiveHitRatio() const;
+
+  // Mean read latency (0 when idle).
+  double MeanLatencySec() const;
+};
+
+class ClientSession {
+ public:
+  // `cluster` must outlive the session. `user` must be a valid UserId for
+  // the cluster's configuration.
+  ClientSession(CacheCluster* cluster, UserId user, std::string name = "");
+
+  UserId user() const { return user_; }
+  const std::string& name() const { return name_; }
+
+  // Reads a file by id, updating session metrics.
+  ReadResult Read(FileId file);
+
+  // Reads a file by catalog name. Aborts if the name is unknown.
+  ReadResult Read(const std::string& file_name);
+
+  const SessionStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SessionStats{}; }
+
+ private:
+  CacheCluster* cluster_;
+  UserId user_;
+  std::string name_;
+  SessionStats stats_;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,224 @@
+#include "cache/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus::cache {
+
+CacheCluster::CacheCluster(ClusterConfig config, Catalog catalog)
+    : config_(config), catalog_(std::move(catalog)),
+      under_store_(config.under_store) {
+  OPUS_CHECK_GT(config_.num_workers, 0u);
+  OPUS_CHECK_GT(config_.num_users, 0u);
+  const std::uint64_t per_worker =
+      config_.cache_capacity_bytes / config_.num_workers;
+  for (WorkerId w = 0; w < config_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(
+        w, per_worker, MakeEvictionPolicy(config_.eviction_policy)));
+  }
+  worker_alive_.assign(config_.num_workers, true);
+  if (config_.placement == "consistent") {
+    ring_.emplace(config_.num_workers);
+  } else {
+    OPUS_CHECK_MSG(config_.placement == "modulo",
+                   "unknown placement policy: " << config_.placement);
+  }
+}
+
+void CacheCluster::FailWorker(WorkerId worker) {
+  OPUS_CHECK_LT(worker, workers_.size());
+  if (!worker_alive_[worker]) return;
+  worker_alive_[worker] = false;
+  // The crash loses all cached state: restart the worker process empty so
+  // recovery begins from a clean store.
+  const std::uint64_t capacity = workers_[worker]->store().capacity_bytes();
+  workers_[worker] = std::make_unique<Worker>(
+      worker, capacity, MakeEvictionPolicy(config_.eviction_policy));
+}
+
+void CacheCluster::RecoverWorker(WorkerId worker) {
+  OPUS_CHECK_LT(worker, workers_.size());
+  worker_alive_[worker] = true;
+}
+
+bool CacheCluster::IsWorkerAlive(WorkerId worker) const {
+  OPUS_CHECK_LT(worker, workers_.size());
+  return worker_alive_[worker];
+}
+
+std::size_t CacheCluster::num_alive_workers() const {
+  std::size_t alive = 0;
+  for (bool a : worker_alive_) alive += a ? 1 : 0;
+  return alive;
+}
+
+Worker& CacheCluster::WorkerFor(BlockId block) {
+  // Placement spreads every file across workers, which is what makes
+  // per-worker capacities behave like one cluster-wide pool.
+  const WorkerId w =
+      ring_ ? ring_->Place(block)
+            : ModuloPlace(block, static_cast<std::uint32_t>(workers_.size()));
+  return *workers_[w];
+}
+
+const Worker& CacheCluster::WorkerFor(BlockId block) const {
+  const WorkerId w =
+      ring_ ? ring_->Place(block)
+            : ModuloPlace(block, static_cast<std::uint32_t>(workers_.size()));
+  return *workers_[w];
+}
+
+double CacheCluster::MemoryLatency(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / config_.memory_bandwidth_bytes_per_sec;
+}
+
+ReadResult CacheCluster::Read(UserId user, FileId file) {
+  OPUS_CHECK_LT(user, config_.num_users);
+  const FileInfo& info = catalog_.Get(file);
+
+  ReadResult r;
+  r.bytes_total = info.size_bytes;
+
+  for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+    const BlockId block = MakeBlockId(file, idx);
+    const std::uint64_t bytes = info.BlockBytes(idx);
+    Worker& worker = WorkerFor(block);
+    if (worker_alive_[worker.id()] && worker.store().Access(block)) {
+      r.bytes_from_memory += bytes;
+    } else {
+      r.bytes_from_disk += bytes;
+      if (!managed_ && worker_alive_[worker.id()]) {
+        // Cache-on-read: pull the block in, evicting per policy.
+        worker.store().Insert(block, bytes);
+      }
+    }
+  }
+  r.latency_sec = MemoryLatency(r.bytes_from_memory);
+  if (r.bytes_from_disk > 0) {
+    r.latency_sec += under_store_.Read(r.bytes_from_disk);
+  }
+  r.memory_fraction = info.size_bytes == 0
+                          ? 0.0
+                          : static_cast<double>(r.bytes_from_memory) /
+                                static_cast<double>(info.size_bytes);
+
+  // Managed-mode blocking: the master injects the expected delay
+  // f * T_d(bytes served from memory) and the metric charges a fractional
+  // miss of the same probability (Sec. VI "Metric").
+  double unblocked = 1.0;
+  if (!unblocked_share_.empty()) {
+    unblocked = Clamp(unblocked_share_(user, file), 0.0, 1.0);
+  }
+  r.blocking_probability = 1.0 - unblocked;
+  if (r.blocking_probability > 0.0 && r.bytes_from_memory > 0) {
+    r.latency_sec += under_store_.BlockingDelay(r.bytes_from_memory,
+                                                r.blocking_probability);
+  }
+  r.effective_hit = r.memory_fraction * unblocked;
+  return r;
+}
+
+void CacheCluster::ApplyAllocation(const std::vector<double>& file_fractions) {
+  OPUS_CHECK_EQ(file_fractions.size(), catalog_.size());
+  managed_ = true;
+  ++epoch_;
+
+  // Desired block set: the prefix of each file covering the allocated
+  // fraction (rounded to nearest block).
+  std::vector<CacheUpdate> updates(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    updates[w].worker = static_cast<WorkerId>(w);
+    updates[w].epoch = epoch_;
+  }
+
+  for (FileId f = 0; f < catalog_.size(); ++f) {
+    const FileInfo& info = catalog_.Get(f);
+    const double frac = Clamp(file_fractions[f], 0.0, 1.0);
+    // Floor-round with a 1e-6 epsilon: absorbs solver residue on an
+    // intended-integral block count while still flooring true fractions,
+    // so pinned bytes never exceed what the allocator budgeted.
+    const auto want = static_cast<std::uint32_t>(
+        std::floor(frac * static_cast<double>(info.num_blocks) + 1e-6));
+    for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+      const BlockId block = MakeBlockId(f, idx);
+      Worker& worker = WorkerFor(block);
+      auto& up = updates[worker.id()];
+      if (idx < want) {
+        if (!worker.store().Contains(block)) up.load.push_back(block);
+        up.pin.push_back(block);
+      } else {
+        up.unpin.push_back(block);
+        // Desired set is exact in managed mode: drop surplus blocks.
+        if (worker.store().Contains(block)) worker.store().Erase(block);
+      }
+    }
+  }
+
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!worker_alive_[w]) continue;  // retried on the next reallocation
+    auto& up = updates[w];
+    workers_[w]->Apply(up, [&](BlockId b) {
+      return catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b));
+    });
+    ++cp_stats_.cache_updates;
+    cp_stats_.blocks_pinned += up.pin.size();
+    cp_stats_.blocks_unpinned += up.unpin.size();
+    cp_stats_.blocks_loaded += up.load.size();
+    // Loading from the under store costs disk reads (accounted centrally).
+    for (BlockId b : up.load) {
+      under_store_.Read(catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b)));
+    }
+  }
+}
+
+void CacheCluster::SetAccessModel(Matrix unblocked_share) {
+  if (!unblocked_share.empty()) {
+    OPUS_CHECK_EQ(unblocked_share.rows(), config_.num_users);
+    OPUS_CHECK_EQ(unblocked_share.cols(), catalog_.size());
+  }
+  unblocked_share_ = std::move(unblocked_share);
+  ++cp_stats_.blocking_updates;
+}
+
+void CacheCluster::SetUnmanaged() {
+  managed_ = false;
+  unblocked_share_ = Matrix();
+  for (auto& worker : workers_) {
+    for (BlockId b : worker->store().ResidentBlocks()) {
+      worker->store().Unpin(b);
+    }
+  }
+}
+
+double CacheCluster::ResidentFraction(FileId file) const {
+  const FileInfo& info = catalog_.Get(file);
+  std::uint64_t resident = 0;
+  for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+    const BlockId block = MakeBlockId(file, idx);
+    const Worker& worker = WorkerFor(block);
+    if (worker_alive_[worker.id()] && worker.store().Contains(block)) {
+      resident += info.BlockBytes(idx);
+    }
+  }
+  return info.size_bytes == 0
+             ? 0.0
+             : static_cast<double>(resident) /
+                   static_cast<double>(info.size_bytes);
+}
+
+std::uint64_t CacheCluster::UsedBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->store().used_bytes();
+  return total;
+}
+
+std::uint64_t CacheCluster::total_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->store().evictions();
+  return total;
+}
+
+}  // namespace opus::cache

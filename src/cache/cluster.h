@@ -1,0 +1,129 @@
+// CacheCluster — the mini-Alluxio deployment: a master's metadata + block
+// placement view over a set of workers, an under store, and client read
+// paths (paper Fig. 4).
+//
+// Two operating modes:
+//
+//  - Unmanaged (default): reads are cache-on-read; misses pull blocks into
+//    the assigned worker, evicting per the worker's policy (LRU/LFU). This
+//    is stock Alluxio, the Fig. 5 baseline.
+//  - Managed: an allocation policy (via sim::OpusMaster) pins exactly the
+//    allocated block set and installs a per-(user,file) access model; reads
+//    never mutate placement, and blocked accesses are charged the expected
+//    disk delay f * T_d (Sec. V-A "Workflow").
+//
+// Reads account the paper's metric: a delayed access counts as a fractional
+// miss equal to the blocking probability (Sec. VI "Metric").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/file_meta.h"
+#include "cache/messages.h"
+#include "cache/placement.h"
+#include "cache/under_store.h"
+#include "cache/worker.h"
+#include "common/matrix.h"
+
+namespace opus::cache {
+
+struct ClusterConfig {
+  std::uint32_t num_workers = 5;
+  std::uint64_t cache_capacity_bytes = 1 * kGiB;
+  std::string eviction_policy = "lru";
+  // Block-to-worker placement: "modulo" (balanced, churn-hostile) or
+  // "consistent" (consistent-hash ring, minimal remap on churn).
+  std::string placement = "modulo";
+  UnderStoreConfig under_store;
+  double memory_bandwidth_bytes_per_sec = 5e9;  // in-memory read throughput
+  std::uint32_t num_users = 1;
+};
+
+struct ReadResult {
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_from_memory = 0;
+  std::uint64_t bytes_from_disk = 0;
+  double latency_sec = 0.0;
+  // Fraction of bytes served from memory before blocking.
+  double memory_fraction = 0.0;
+  // Probability this user's in-memory access is blocked (managed mode).
+  double blocking_probability = 0.0;
+  // The paper's effective hit: memory_fraction * (1 - blocking).
+  double effective_hit = 0.0;
+};
+
+class CacheCluster {
+ public:
+  CacheCluster(ClusterConfig config, Catalog catalog);
+
+  const Catalog& catalog() const { return catalog_; }
+  const ClusterConfig& config() const { return config_; }
+  UnderStore& under_store() { return under_store_; }
+
+  // Client read path: user `user` reads file `file` in full.
+  ReadResult Read(UserId user, FileId file);
+
+  // --- managed-mode control plane ---------------------------------------
+
+  // Switches to managed mode: pins the block prefix of each file per
+  // `file_fractions` (length = catalog size, values in [0,1]) and evicts
+  // everything else. Subsequent reads never mutate placement.
+  void ApplyAllocation(const std::vector<double>& file_fractions);
+
+  // Installs the per-(user,file) effective-access model from an
+  // AllocationResult: entry (i, j) is e_ij / a_j — the probability user i's
+  // access to a cached byte of file j is NOT blocked. Pass an empty matrix
+  // to clear (full access for everyone).
+  void SetAccessModel(Matrix unblocked_share);
+
+  // Leaves managed mode and clears pins (reverts to cache-on-read).
+  void SetUnmanaged();
+
+  bool managed() const { return managed_; }
+
+  // --- worker failures ----------------------------------------------------
+
+  // Simulates a worker crash: its cached blocks (pins included) are lost.
+  // Reads that map to a failed worker fall through to the under store; in
+  // unmanaged mode they re-populate surviving workers' partitions only when
+  // the block maps there. Re-applying an allocation after RecoverWorker
+  // reloads lost pins (the OpusMaster does this on its next update).
+  void FailWorker(WorkerId worker);
+
+  // Brings a failed worker back empty.
+  void RecoverWorker(WorkerId worker);
+
+  bool IsWorkerAlive(WorkerId worker) const;
+  std::size_t num_alive_workers() const;
+
+  // Fraction of file `file` currently resident in cluster memory.
+  double ResidentFraction(FileId file) const;
+
+  // Total resident bytes across workers.
+  std::uint64_t UsedBytes() const;
+
+  const ControlPlaneStats& control_plane_stats() const { return cp_stats_; }
+  std::uint64_t total_evictions() const;
+
+ private:
+  Worker& WorkerFor(BlockId block);
+  const Worker& WorkerFor(BlockId block) const;
+  double MemoryLatency(std::uint64_t bytes) const;
+
+  ClusterConfig config_;
+  Catalog catalog_;
+  UnderStore under_store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<bool> worker_alive_;
+  std::optional<ConsistentHashRing> ring_;  // set when placement=consistent
+  bool managed_ = false;
+  Matrix unblocked_share_;  // num_users x num_files; empty = no blocking
+  ControlPlaneStats cp_stats_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,76 @@
+#include "cache/eviction.h"
+
+#include "common/check.h"
+
+namespace opus::cache {
+
+// ----------------------------------------------------------------- LRU
+
+void LruPolicy::OnInsert(BlockId block) {
+  OPUS_CHECK(index_.find(block) == index_.end());
+  order_.push_back(block);
+  index_[block] = std::prev(order_.end());
+}
+
+void LruPolicy::OnAccess(BlockId block) { Touch(block); }
+
+void LruPolicy::Touch(BlockId block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) return;  // untracked (e.g. pinned) blocks are fine
+  order_.erase(it->second);
+  order_.push_back(block);
+  it->second = std::prev(order_.end());
+}
+
+void LruPolicy::OnRemove(BlockId block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<BlockId> LruPolicy::Victim() const {
+  if (order_.empty()) return std::nullopt;
+  return order_.front();
+}
+
+// ----------------------------------------------------------------- LFU
+
+void LfuPolicy::OnInsert(BlockId block) {
+  OPUS_CHECK(entries_.find(block) == entries_.end());
+  const Key key{1, next_seq_++};
+  entries_[block] = key;
+  by_key_[key] = block;
+}
+
+void LfuPolicy::OnAccess(BlockId block) { Bump(block); }
+
+void LfuPolicy::Bump(BlockId block) {
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) return;
+  by_key_.erase(it->second);
+  it->second.freq += 1;
+  it->second.seq = next_seq_++;
+  by_key_[it->second] = block;
+}
+
+void LfuPolicy::OnRemove(BlockId block) {
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) return;
+  by_key_.erase(it->second);
+  entries_.erase(it);
+}
+
+std::optional<BlockId> LfuPolicy::Victim() const {
+  if (by_key_.empty()) return std::nullopt;
+  return by_key_.begin()->second;
+}
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(const std::string& name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "lfu") return std::make_unique<LfuPolicy>();
+  OPUS_CHECK_MSG(false, "unknown eviction policy: " << name);
+  return nullptr;
+}
+
+}  // namespace opus::cache

@@ -1,0 +1,91 @@
+// Block eviction policies for the online (unmanaged) cache mode.
+//
+// Alluxio's default eviction is LRU (Sec. VI-A, "LRU: By default, Alluxio
+// uses the LRU policy to evict cached files"); LFU is the frequency-based
+// counterpart. Both optimize global hit ratio and provide no isolation —
+// the failure mode Fig. 5 demonstrates and OpuS fixes.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/types.h"
+
+namespace opus::cache {
+
+// Tracks block temperature and nominates eviction victims. The policy only
+// orders blocks; the BlockStore decides when to evict and skips pinned
+// blocks by removing them from the policy.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Block entered the cache.
+  virtual void OnInsert(BlockId block) = 0;
+
+  // Block was read.
+  virtual void OnAccess(BlockId block) = 0;
+
+  // Block left the cache (evicted or explicitly erased).
+  virtual void OnRemove(BlockId block) = 0;
+
+  // The current victim candidate, or nullopt when the policy tracks no
+  // blocks. Does not remove the block.
+  virtual std::optional<BlockId> Victim() const = 0;
+
+  // Number of tracked blocks.
+  virtual std::size_t size() const = 0;
+};
+
+// Least-recently-used: victims are the blocks idle the longest.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  std::string name() const override { return "lru"; }
+  void OnInsert(BlockId block) override;
+  void OnAccess(BlockId block) override;
+  void OnRemove(BlockId block) override;
+  std::optional<BlockId> Victim() const override;
+  std::size_t size() const override { return index_.size(); }
+
+ private:
+  void Touch(BlockId block);
+
+  std::list<BlockId> order_;  // front = least recent
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+};
+
+// Least-frequently-used with FIFO tie-breaking among equal frequencies.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  std::string name() const override { return "lfu"; }
+  void OnInsert(BlockId block) override;
+  void OnAccess(BlockId block) override;
+  void OnRemove(BlockId block) override;
+  std::optional<BlockId> Victim() const override;
+  std::size_t size() const override { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t freq;
+    std::uint64_t seq;  // insertion order among equal frequencies
+    bool operator<(const Key& o) const {
+      return freq != o.freq ? freq < o.freq : seq < o.seq;
+    }
+  };
+  void Bump(BlockId block);
+
+  std::map<Key, BlockId> by_key_;  // ordered: begin() = victim
+  std::unordered_map<BlockId, Key> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// Factory by name ("lru" | "lfu").
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(const std::string& name);
+
+}  // namespace opus::cache

@@ -1,0 +1,52 @@
+#include "cache/file_meta.h"
+
+#include "common/check.h"
+
+namespace opus::cache {
+
+std::uint64_t FileInfo::BlockBytes(std::uint32_t index) const {
+  OPUS_CHECK_LT(index, num_blocks);
+  if (index + 1 == num_blocks) {
+    const std::uint64_t rem = size_bytes - static_cast<std::uint64_t>(index) * block_size;
+    return rem;
+  }
+  return block_size;
+}
+
+Catalog::Catalog(std::uint64_t block_size) : block_size_(block_size) {
+  OPUS_CHECK_GT(block_size, 0u);
+}
+
+FileId Catalog::Register(std::string name, std::uint64_t size_bytes) {
+  OPUS_CHECK_GT(size_bytes, 0u);
+  OPUS_CHECK_MSG(Find(name) == kInvalidFile, "duplicate file name: " << name);
+  FileInfo info;
+  info.id = static_cast<FileId>(files_.size());
+  info.name = std::move(name);
+  info.size_bytes = size_bytes;
+  info.block_size = block_size_;
+  info.num_blocks =
+      static_cast<std::uint32_t>((size_bytes + block_size_ - 1) / block_size_);
+  files_.push_back(std::move(info));
+  return files_.back().id;
+}
+
+const FileInfo& Catalog::Get(FileId id) const {
+  OPUS_CHECK_LT(id, files_.size());
+  return files_[id];
+}
+
+FileId Catalog::Find(const std::string& name) const {
+  for (const auto& f : files_) {
+    if (f.name == name) return f.id;
+  }
+  return kInvalidFile;
+}
+
+std::uint64_t Catalog::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files_) total += f.size_bytes;
+  return total;
+}
+
+}  // namespace opus::cache

@@ -1,0 +1,52 @@
+// File metadata catalog — the master's namespace (paper Fig. 4: the Alluxio
+// Master manages metadata; OpuSMeta hangs per-application access state off
+// it). Files are registered once and assigned dense FileIds; each file is
+// split into fixed-size blocks (the unit of caching and eviction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/types.h"
+
+namespace opus::cache {
+
+struct FileInfo {
+  FileId id = kInvalidFile;
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t num_blocks = 0;
+  std::uint64_t block_size = 0;
+
+  // Size of block `index` (the last block may be short).
+  std::uint64_t BlockBytes(std::uint32_t index) const;
+};
+
+class Catalog {
+ public:
+  // Blocks default to 1 MiB: small enough that fractional allocations round
+  // accurately, large enough to keep block maps compact.
+  explicit Catalog(std::uint64_t block_size = 1 * kMiB);
+
+  // Registers a file and returns its id. Name must be unique; size > 0.
+  FileId Register(std::string name, std::uint64_t size_bytes);
+
+  const FileInfo& Get(FileId id) const;
+  std::size_t size() const { return files_.size(); }
+  std::uint64_t block_size() const { return block_size_; }
+
+  // Id lookup by name; kInvalidFile if absent.
+  FileId Find(const std::string& name) const;
+
+  // Total bytes across all registered files.
+  std::uint64_t TotalBytes() const;
+
+  const std::vector<FileInfo>& files() const { return files_; }
+
+ private:
+  std::uint64_t block_size_;
+  std::vector<FileInfo> files_;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,110 @@
+#include "cache/journal.h"
+
+#include <cstdlib>
+
+#include "analysis/csv.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace opus::cache {
+
+void Journal::Append(JournalEntry entry) {
+  if (!entries_.empty()) {
+    OPUS_CHECK_GT(entry.epoch, entries_.back().epoch);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const JournalEntry& Journal::entry(std::size_t idx) const {
+  OPUS_CHECK_LT(idx, entries_.size());
+  return entries_[idx];
+}
+
+const JournalEntry& Journal::latest() const {
+  OPUS_CHECK(!entries_.empty());
+  return entries_.back();
+}
+
+void Journal::ReplayLatest(CacheCluster* cluster) const {
+  OPUS_CHECK(cluster != nullptr);
+  if (entries_.empty()) return;
+  const JournalEntry& e = entries_.back();
+  cluster->ApplyAllocation(e.file_fractions);
+  cluster->SetAccessModel(e.unblocked_share);
+}
+
+std::string Journal::Serialize() const {
+  // Row formats:
+  //   epoch,<epoch>,<num_files>,<num_users>
+  //   alloc,<f0>,<f1>,...
+  //   access,<row0cell0>,...           (one row per user; omitted if empty)
+  analysis::CsvTable table;
+  for (const auto& e : entries_) {
+    const std::size_t users = e.unblocked_share.rows();
+    table.rows.push_back({"epoch", std::to_string(e.epoch),
+                          std::to_string(e.file_fractions.size()),
+                          std::to_string(users)});
+    std::vector<std::string> alloc = {"alloc"};
+    for (double f : e.file_fractions) alloc.push_back(StrFormat("%.17g", f));
+    table.rows.push_back(std::move(alloc));
+    for (std::size_t i = 0; i < users; ++i) {
+      std::vector<std::string> row = {"access"};
+      for (std::size_t j = 0; j < e.unblocked_share.cols(); ++j) {
+        row.push_back(StrFormat("%.17g", e.unblocked_share(i, j)));
+      }
+      table.rows.push_back(std::move(row));
+    }
+  }
+  return analysis::WriteCsv(table);
+}
+
+std::optional<Journal> Journal::Deserialize(const std::string& text) {
+  const auto table = analysis::ParseCsv(text, /*has_header=*/false);
+  Journal journal;
+  std::size_t r = 0;
+  while (r < table.rows.size()) {
+    const auto& head = table.rows[r];
+    if (head.size() != 4 || head[0] != "epoch") return std::nullopt;
+    JournalEntry entry;
+    entry.epoch = std::strtoull(head[1].c_str(), nullptr, 10);
+    const std::size_t files = std::strtoull(head[2].c_str(), nullptr, 10);
+    const std::size_t users = std::strtoull(head[3].c_str(), nullptr, 10);
+    ++r;
+    if (r >= table.rows.size()) return std::nullopt;
+    const auto& alloc = table.rows[r];
+    if (alloc.size() != files + 1 || alloc[0] != "alloc") return std::nullopt;
+    for (std::size_t j = 0; j < files; ++j) {
+      entry.file_fractions.push_back(std::strtod(alloc[j + 1].c_str(),
+                                                 nullptr));
+    }
+    ++r;
+    if (users > 0) {
+      entry.unblocked_share = Matrix(users, files, 0.0);
+      for (std::size_t i = 0; i < users; ++i, ++r) {
+        if (r >= table.rows.size()) return std::nullopt;
+        const auto& row = table.rows[r];
+        if (row.size() != files + 1 || row[0] != "access") {
+          return std::nullopt;
+        }
+        for (std::size_t j = 0; j < files; ++j) {
+          entry.unblocked_share(i, j) =
+              std::strtod(row[j + 1].c_str(), nullptr);
+        }
+      }
+    }
+    if (!journal.entries_.empty() &&
+        entry.epoch <= journal.entries_.back().epoch) {
+      return std::nullopt;
+    }
+    journal.entries_.push_back(std::move(entry));
+  }
+  return journal;
+}
+
+void Journal::Compact(std::size_t keep) {
+  if (entries_.size() <= keep) return;
+  entries_.erase(entries_.begin(),
+                 entries_.end() - static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace opus::cache

@@ -1,0 +1,53 @@
+// Master journal — durable record of control-plane decisions, in the
+// spirit of the Alluxio master journal: every allocation the master applies
+// (file fractions + per-user access model) is appended as an entry, and a
+// fresh cluster can be brought to the same logical cache state by
+// replaying the journal tail (the latest allocation epoch).
+//
+// Serialization is line-oriented CSV so journals are greppable and
+// diffable; Save/Load round-trip through analysis::CsvTable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cluster.h"
+#include "common/matrix.h"
+
+namespace opus::cache {
+
+struct JournalEntry {
+  std::uint64_t epoch = 0;
+  std::vector<double> file_fractions;
+  Matrix unblocked_share;  // may be empty (no blocking model)
+};
+
+class Journal {
+ public:
+  // Appends a control-plane decision. Epochs must be strictly increasing.
+  void Append(JournalEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const JournalEntry& entry(std::size_t idx) const;
+  const JournalEntry& latest() const;
+
+  // Replays the latest entry onto `cluster` (ApplyAllocation +
+  // SetAccessModel), restoring the logical cache state after e.g. a master
+  // restart. No-op on an empty journal.
+  void ReplayLatest(CacheCluster* cluster) const;
+
+  // Text round-trip.
+  std::string Serialize() const;
+  static std::optional<Journal> Deserialize(const std::string& text);
+
+  // Drops all entries older than the latest `keep` (compaction).
+  void Compact(std::size_t keep = 1);
+
+ private:
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,58 @@
+#include "cache/placement.h"
+
+#include "common/check.h"
+
+namespace opus::cache {
+namespace {
+
+// splitmix64 — the same mixer the Rng seeds with; good avalanche for ring
+// points and block keys.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+WorkerId ModuloPlace(BlockId block, std::uint32_t num_workers) {
+  OPUS_CHECK_GT(num_workers, 0u);
+  return static_cast<WorkerId>(
+      (static_cast<std::uint64_t>(BlockFile(block)) + BlockIndex(block)) %
+      num_workers);
+}
+
+ConsistentHashRing::ConsistentHashRing(std::uint32_t num_workers,
+                                       std::uint32_t virtual_nodes)
+    : num_workers_(num_workers) {
+  OPUS_CHECK_GT(num_workers, 0u);
+  OPUS_CHECK_GT(virtual_nodes, 0u);
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    for (std::uint32_t v = 0; v < virtual_nodes; ++v) {
+      const std::uint64_t point =
+          Mix64((static_cast<std::uint64_t>(w) << 32) | v);
+      ring_[point] = w;
+    }
+  }
+}
+
+WorkerId ConsistentHashRing::Place(BlockId block) const {
+  OPUS_CHECK(!ring_.empty());
+  const std::uint64_t h = Mix64(block);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+ConsistentHashRing ConsistentHashRing::Without(WorkerId worker) const {
+  OPUS_CHECK_GT(num_workers_, 1u);
+  ConsistentHashRing out;
+  out.num_workers_ = num_workers_;  // ids keep their meaning
+  for (const auto& [point, w] : ring_) {
+    if (w != worker) out.ring_[point] = w;
+  }
+  return out;
+}
+
+}  // namespace opus::cache

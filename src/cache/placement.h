@@ -1,0 +1,47 @@
+// Block-to-worker placement policies.
+//
+// The default placement hashes blocks round-robin-style modulo the worker
+// count — perfectly balanced but maximally disruptive under membership
+// change (resizing from W to W-1 remaps ~(W-1)/W of all blocks). The
+// consistent-hash ring (with virtual nodes) trades a little balance for
+// minimal remapping: removing one of W workers moves only ~1/W of blocks,
+// which matters when worker churn forces cache re-population from the
+// under store.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cache/types.h"
+
+namespace opus::cache {
+
+// Stateless modulo placement (the cluster default).
+WorkerId ModuloPlace(BlockId block, std::uint32_t num_workers);
+
+// Consistent-hash ring over worker ids with virtual nodes.
+class ConsistentHashRing {
+ public:
+  // Builds a ring for workers 0..num_workers-1. More virtual nodes =
+  // better balance at higher memory cost.
+  explicit ConsistentHashRing(std::uint32_t num_workers,
+                              std::uint32_t virtual_nodes = 64);
+
+  // Worker owning `block` (the first ring point clockwise of its hash).
+  WorkerId Place(BlockId block) const;
+
+  // A new ring with `worker` removed (its ranges fall to ring successors).
+  ConsistentHashRing Without(WorkerId worker) const;
+
+  std::uint32_t num_workers() const { return num_workers_; }
+  std::size_t ring_size() const { return ring_.size(); }
+
+ private:
+  ConsistentHashRing() = default;
+
+  std::uint32_t num_workers_ = 0;
+  std::map<std::uint64_t, WorkerId> ring_;  // hash point -> worker
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,145 @@
+#include "cache/tiered_store.h"
+
+#include "common/check.h"
+
+namespace opus::cache {
+
+TieredStore::TieredStore(TieredStoreConfig config)
+    : config_(config),
+      mem_policy_(MakeEvictionPolicy(config.eviction_policy)),
+      ssd_policy_(MakeEvictionPolicy(config.eviction_policy)) {}
+
+bool TieredStore::Insert(BlockId block, std::uint64_t bytes) {
+  OPUS_CHECK_GT(bytes, 0u);
+  if (mem_blocks_.count(block) != 0 || ssd_blocks_.count(block) != 0) {
+    return true;
+  }
+  if (bytes > config_.memory_capacity_bytes) return false;
+  if (!MakeMemoryRoom(bytes)) return false;
+  mem_blocks_[block] = bytes;
+  mem_used_ += bytes;
+  mem_policy_->OnInsert(block);
+  return true;
+}
+
+bool TieredStore::MakeMemoryRoom(std::uint64_t bytes) {
+  while (mem_used_ + bytes > config_.memory_capacity_bytes) {
+    if (!mem_policy_->Victim().has_value()) return false;  // all pinned
+    DemoteOne();
+  }
+  return true;
+}
+
+void TieredStore::DemoteOne() {
+  const auto victim = mem_policy_->Victim();
+  OPUS_CHECK(victim.has_value());
+  const auto it = mem_blocks_.find(*victim);
+  OPUS_CHECK(it != mem_blocks_.end());
+  const std::uint64_t bytes = it->second;
+  mem_used_ -= bytes;
+  mem_blocks_.erase(it);
+  mem_policy_->OnRemove(*victim);
+  ++stats_.demotions;
+
+  // Demote to SSD when it fits; otherwise the block is simply dropped (an
+  // SSD eviction in spirit: the data survives in the under store).
+  if (bytes <= config_.ssd_capacity_bytes && MakeSsdRoom(bytes)) {
+    ssd_blocks_[*victim] = bytes;
+    ssd_used_ += bytes;
+    ssd_policy_->OnInsert(*victim);
+  } else {
+    ++stats_.ssd_evictions;
+  }
+}
+
+bool TieredStore::MakeSsdRoom(std::uint64_t bytes) {
+  while (ssd_used_ + bytes > config_.ssd_capacity_bytes) {
+    const auto victim = ssd_policy_->Victim();
+    if (!victim.has_value()) return false;
+    const auto it = ssd_blocks_.find(*victim);
+    OPUS_CHECK(it != ssd_blocks_.end());
+    ssd_used_ -= it->second;
+    ssd_blocks_.erase(it);
+    ssd_policy_->OnRemove(*victim);
+    ++stats_.ssd_evictions;
+  }
+  return true;
+}
+
+Tier TieredStore::Access(BlockId block) {
+  if (mem_blocks_.count(block) != 0) {
+    mem_policy_->OnAccess(block);
+    return Tier::kMemory;
+  }
+  if (ssd_blocks_.count(block) != 0) {
+    ssd_policy_->OnAccess(block);
+    if (config_.promote_on_access) PromoteToMemory(block);
+    return Tier::kSsd;
+  }
+  return Tier::kNone;
+}
+
+bool TieredStore::PromoteToMemory(BlockId block) {
+  const auto it = ssd_blocks_.find(block);
+  if (it == ssd_blocks_.end()) return false;
+  const std::uint64_t bytes = it->second;
+  if (bytes > config_.memory_capacity_bytes) return false;
+  // Remove from SSD first so a demotion cascade cannot collide with it.
+  ssd_used_ -= bytes;
+  ssd_blocks_.erase(it);
+  ssd_policy_->OnRemove(block);
+  if (!MakeMemoryRoom(bytes)) {
+    // Memory fully pinned: put it back on SSD (room still reserved).
+    ssd_blocks_[block] = bytes;
+    ssd_used_ += bytes;
+    ssd_policy_->OnInsert(block);
+    return false;
+  }
+  mem_blocks_[block] = bytes;
+  mem_used_ += bytes;
+  mem_policy_->OnInsert(block);
+  ++stats_.promotions;
+  return true;
+}
+
+Tier TieredStore::Locate(BlockId block) const {
+  if (mem_blocks_.count(block) != 0) return Tier::kMemory;
+  if (ssd_blocks_.count(block) != 0) return Tier::kSsd;
+  return Tier::kNone;
+}
+
+void TieredStore::Erase(BlockId block) {
+  auto mem = mem_blocks_.find(block);
+  if (mem != mem_blocks_.end()) {
+    mem_used_ -= mem->second;
+    mem_blocks_.erase(mem);
+    mem_policy_->OnRemove(block);
+    pinned_.erase(block);
+    return;
+  }
+  auto ssd = ssd_blocks_.find(block);
+  if (ssd != ssd_blocks_.end()) {
+    ssd_used_ -= ssd->second;
+    ssd_blocks_.erase(ssd);
+    ssd_policy_->OnRemove(block);
+  }
+}
+
+bool TieredStore::Pin(BlockId block) {
+  if (mem_blocks_.count(block) == 0) {
+    if (ssd_blocks_.count(block) == 0) return false;
+    if (!PromoteToMemory(block)) return false;
+  }
+  if (pinned_.insert(block).second) {
+    mem_policy_->OnRemove(block);  // never a demotion victim
+  }
+  return true;
+}
+
+void TieredStore::Unpin(BlockId block) {
+  if (pinned_.erase(block) != 0 && mem_blocks_.count(block) != 0) {
+    mem_policy_->OnInsert(block);
+  }
+}
+
+}  // namespace opus::cache

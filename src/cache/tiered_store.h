@@ -1,0 +1,91 @@
+// Two-tier block store (MEM over SSD), modeled on Alluxio's tiered storage.
+//
+// Inserts land in the memory tier; when memory is full, eviction victims
+// are *demoted* to the SSD tier instead of discarded; the SSD tier evicts
+// to the under store (discard) under its own policy. Accessing a block on
+// SSD optionally promotes it back to memory (Alluxio's default), demoting
+// memory victims to make room. Pinned blocks live in memory and are never
+// demoted.
+//
+// The cluster substrate uses the flat BlockStore (the paper's deployment is
+// memory-only); TieredStore backs the tiered-cache ablation bench and is a
+// drop-in for single-node experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/eviction.h"
+#include "cache/types.h"
+
+namespace opus::cache {
+
+enum class Tier { kNone, kMemory, kSsd };
+
+struct TieredStoreConfig {
+  std::uint64_t memory_capacity_bytes = 0;
+  std::uint64_t ssd_capacity_bytes = 0;
+  // Promote SSD hits back to memory (demoting memory victims).
+  bool promote_on_access = true;
+  std::string eviction_policy = "lru";  // used by both tiers
+};
+
+struct TieredStats {
+  std::uint64_t demotions = 0;    // MEM -> SSD
+  std::uint64_t promotions = 0;   // SSD -> MEM
+  std::uint64_t ssd_evictions = 0;  // SSD -> gone
+};
+
+class TieredStore {
+ public:
+  explicit TieredStore(TieredStoreConfig config);
+
+  // Inserts into the memory tier (demoting victims as needed). Returns
+  // false when the block cannot fit even after demotions/evictions (e.g.
+  // larger than the memory tier, or everything resident is pinned).
+  // Inserting a resident block is a no-op returning true.
+  bool Insert(BlockId block, std::uint64_t bytes);
+
+  // Records an access; returns where the block was found (before any
+  // promotion). Promotes on SSD hits when configured.
+  Tier Access(BlockId block);
+
+  // Where the block currently lives (no side effects).
+  Tier Locate(BlockId block) const;
+
+  // Removes a block from whichever tier holds it.
+  void Erase(BlockId block);
+
+  // Pins a block; if it is on SSD it is promoted first. Returns false when
+  // absent or when promotion cannot fit.
+  bool Pin(BlockId block);
+  void Unpin(BlockId block);
+
+  std::uint64_t memory_used() const { return mem_used_; }
+  std::uint64_t ssd_used() const { return ssd_used_; }
+  const TieredStats& stats() const { return stats_; }
+  const TieredStoreConfig& config() const { return config_; }
+
+ private:
+  // Makes room for `bytes` in memory by demoting unpinned victims; false
+  // if impossible.
+  bool MakeMemoryRoom(std::uint64_t bytes);
+  // Makes room in SSD by evicting; false if impossible.
+  bool MakeSsdRoom(std::uint64_t bytes);
+  void DemoteOne();
+  bool PromoteToMemory(BlockId block);
+
+  TieredStoreConfig config_;
+  std::unique_ptr<EvictionPolicy> mem_policy_;
+  std::unique_ptr<EvictionPolicy> ssd_policy_;
+  std::unordered_map<BlockId, std::uint64_t> mem_blocks_;
+  std::unordered_map<BlockId, std::uint64_t> ssd_blocks_;
+  std::unordered_set<BlockId> pinned_;
+  std::uint64_t mem_used_ = 0;
+  std::uint64_t ssd_used_ = 0;
+  TieredStats stats_;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,32 @@
+// Identifier and unit types for the cache cluster substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace opus::cache {
+
+using FileId = std::uint32_t;
+using BlockId = std::uint64_t;
+using WorkerId = std::uint32_t;
+using UserId = std::uint32_t;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr FileId kInvalidFile = static_cast<FileId>(-1);
+
+// Global block ids pack (file, index) so any component can recover the
+// owning file without a lookup.
+constexpr BlockId MakeBlockId(FileId file, std::uint32_t index) {
+  return (static_cast<BlockId>(file) << 32) | index;
+}
+constexpr FileId BlockFile(BlockId b) {
+  return static_cast<FileId>(b >> 32);
+}
+constexpr std::uint32_t BlockIndex(BlockId b) {
+  return static_cast<std::uint32_t>(b & 0xffffffffu);
+}
+
+}  // namespace opus::cache

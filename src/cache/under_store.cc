@@ -1,0 +1,24 @@
+#include "cache/under_store.h"
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus::cache {
+
+double UnderStore::ReadLatency(std::uint64_t bytes) const {
+  return config_.seek_latency_sec +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+}
+
+double UnderStore::Read(std::uint64_t bytes) {
+  bytes_read_ += bytes;
+  ++reads_;
+  return ReadLatency(bytes);
+}
+
+double UnderStore::BlockingDelay(std::uint64_t bytes,
+                                 double block_probability) const {
+  return Clamp(block_probability, 0.0, 1.0) * ReadLatency(bytes);
+}
+
+}  // namespace opus::cache

@@ -1,0 +1,46 @@
+// Simulated under store (the stable storage beneath the cache, e.g. local
+// disks or S3 in an Alluxio deployment).
+//
+// The paper's blocking emulation needs a disk-latency model: a blocked or
+// missed read costs T_d = f_size / BW (Sec. V-B, "Expected delay with
+// varying file size") plus a fixed per-request overhead. The under store
+// also tracks read counters so benches can report disk pressure.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/types.h"
+
+namespace opus::cache {
+
+struct UnderStoreConfig {
+  double bandwidth_bytes_per_sec = 100.0 * 1e6;  // ~100 MB/s spinning disk
+  double seek_latency_sec = 5e-3;                // per-request overhead
+};
+
+class UnderStore {
+ public:
+  explicit UnderStore(UnderStoreConfig config = {}) : config_(config) {}
+
+  // Latency to read `bytes` from stable storage.
+  double ReadLatency(std::uint64_t bytes) const;
+
+  // Performs a read (accounting only) and returns its latency.
+  double Read(std::uint64_t bytes);
+
+  // Expected blocking delay for a read of `bytes` blocked with probability
+  // `block_probability` (the paper's f_i * T_d rule). Pure accounting — no
+  // counter updates.
+  double BlockingDelay(std::uint64_t bytes, double block_probability) const;
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t reads() const { return reads_; }
+  const UnderStoreConfig& config() const { return config_; }
+
+ private:
+  UnderStoreConfig config_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,9 @@
+#include "cache/worker.h"
+
+namespace opus::cache {
+
+Worker::Worker(WorkerId id, std::uint64_t capacity_bytes,
+               std::unique_ptr<EvictionPolicy> policy)
+    : id_(id), store_(capacity_bytes, std::move(policy)) {}
+
+}  // namespace opus::cache

@@ -1,0 +1,45 @@
+// A cache worker: one node's share of cluster memory plus its block store.
+// Workers execute CacheUpdate messages from the master and serve block
+// reads; they know nothing about users, preferences, or allocation policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/block_store.h"
+#include "cache/messages.h"
+#include "cache/types.h"
+
+namespace opus::cache {
+
+class Worker {
+ public:
+  Worker(WorkerId id, std::uint64_t capacity_bytes,
+         std::unique_ptr<EvictionPolicy> policy);
+
+  WorkerId id() const { return id_; }
+  BlockStore& store() { return store_; }
+  const BlockStore& store() const { return store_; }
+
+  // Applies a CacheUpdate: unpins, loads (inserting if absent), then pins.
+  // `block_bytes(block)` supplies sizes for loads. Returns the number of
+  // load requests that could not fit.
+  template <typename BlockBytesFn>
+  std::uint64_t Apply(const CacheUpdate& update, BlockBytesFn block_bytes) {
+    std::uint64_t failed = 0;
+    for (BlockId b : update.unpin) store_.Unpin(b);
+    for (BlockId b : update.load) {
+      if (!store_.Insert(b, block_bytes(b))) ++failed;
+    }
+    for (BlockId b : update.pin) {
+      if (!store_.Pin(b)) ++failed;
+    }
+    return failed;
+  }
+
+ private:
+  WorkerId id_;
+  BlockStore store_;
+};
+
+}  // namespace opus::cache

@@ -1,0 +1,50 @@
+// Contract-checking macros used across the OpuS library.
+//
+// OPUS_CHECK aborts with a diagnostic on contract violation; it is active in
+// all build types because allocation-policy bugs silently corrupt fairness
+// guarantees. OPUS_CHECK_* variants print both operands.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace opus::internal {
+
+// Terminates the process after printing `msg` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace opus::internal
+
+#define OPUS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::opus::internal::CheckFailed(__FILE__, __LINE__, #cond, "");       \
+    }                                                                     \
+  } while (false)
+
+#define OPUS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream oss_;                                            \
+      oss_ << msg; /* NOLINT */                                           \
+      ::opus::internal::CheckFailed(__FILE__, __LINE__, #cond, oss_.str()); \
+    }                                                                     \
+  } while (false)
+
+#define OPUS_CHECK_OP(op, a, b)                                           \
+  do {                                                                    \
+    if (!((a)op(b))) {                                                    \
+      std::ostringstream oss_;                                            \
+      oss_ << "lhs=" << (a) << " rhs=" << (b);                            \
+      ::opus::internal::CheckFailed(__FILE__, __LINE__, #a " " #op " " #b, \
+                                    oss_.str());                          \
+    }                                                                     \
+  } while (false)
+
+#define OPUS_CHECK_EQ(a, b) OPUS_CHECK_OP(==, a, b)
+#define OPUS_CHECK_NE(a, b) OPUS_CHECK_OP(!=, a, b)
+#define OPUS_CHECK_LT(a, b) OPUS_CHECK_OP(<, a, b)
+#define OPUS_CHECK_LE(a, b) OPUS_CHECK_OP(<=, a, b)
+#define OPUS_CHECK_GT(a, b) OPUS_CHECK_OP(>, a, b)
+#define OPUS_CHECK_GE(a, b) OPUS_CHECK_OP(>=, a, b)

@@ -1,0 +1,63 @@
+#include "common/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opus {
+
+bool NearlyEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+double Clamp(double x, double lo, double hi) {
+  OPUS_CHECK_LE(lo, hi);
+  return std::min(hi, std::max(lo, x));
+}
+
+double KahanSum(std::span<const double> xs) {
+  double sum = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+bool NormalizeToOne(std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) {
+    OPUS_CHECK_GE(x, 0.0);
+    total += x;
+  }
+  if (total <= 0.0) return false;
+  for (double& x : v) x /= total;
+  return true;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  OPUS_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double MaxAbsDiff(std::span<const double> a, std::span<const double> b) {
+  OPUS_CHECK_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double Mean(std::span<const double> xs) {
+  OPUS_CHECK(!xs.empty());
+  return KahanSum(xs) / static_cast<double>(xs.size());
+}
+
+}  // namespace opus

@@ -1,0 +1,33 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace opus {
+
+// True iff |a - b| <= tol (absolute tolerance).
+bool NearlyEqual(double a, double b, double tol = 1e-9);
+
+// Clamps x into [lo, hi]. Requires lo <= hi.
+double Clamp(double x, double lo, double hi);
+
+// Sum of a span of doubles using Kahan compensation (taxes are differences
+// of large sums of logs; naive summation loses digits at N=150 users).
+double KahanSum(std::span<const double> xs);
+
+// Normalizes `v` in place so it sums to 1. Entries must be non-negative.
+// Returns false (leaving v untouched) when the sum is zero.
+bool NormalizeToOne(std::vector<double>& v);
+
+// Dot product of equal-length spans.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+// L-infinity distance between equal-length spans.
+double MaxAbsDiff(std::span<const double> a, std::span<const double> b);
+
+// Arithmetic mean; requires non-empty input.
+double Mean(std::span<const double> xs);
+
+}  // namespace opus

@@ -1,0 +1,64 @@
+// Minimal dense row-major matrix of doubles.
+//
+// Used for N-by-M preference matrices and per-(user,file) access matrices.
+// Header-only by design: the type is a storage convention, not behaviour.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace opus {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows) {
+    if (rows.empty()) return Matrix();
+    Matrix m(rows.size(), rows[0].size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      OPUS_CHECK_EQ(rows[i].size(), m.cols_);
+      for (std::size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+    }
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    OPUS_CHECK_LT(i, rows_);
+    OPUS_CHECK_LT(j, cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    OPUS_CHECK_LT(i, rows_);
+    OPUS_CHECK_LT(j, cols_);
+    return data_[i * cols_ + j];
+  }
+
+  std::span<const double> row(std::size_t i) const {
+    OPUS_CHECK_LT(i, rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<double> row(std::size_t i) {
+    OPUS_CHECK_LT(i, rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace opus

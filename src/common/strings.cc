@@ -1,0 +1,50 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace opus {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double x, int precision) {
+  return StrFormat("%.*f", precision, x);
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.1f %s", v, units[u]);
+}
+
+}  // namespace opus

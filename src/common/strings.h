@@ -1,0 +1,21 @@
+// String formatting helpers for table/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opus {
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Fixed-precision double, e.g. FormatDouble(0.12345, 3) == "0.123".
+std::string FormatDouble(double x, int precision);
+
+// Human-readable byte size, e.g. "300.0 MB".
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace opus

@@ -1,0 +1,46 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opus {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+    : alpha_(alpha) {
+  OPUS_CHECK_GE(n, 1u);
+  OPUS_CHECK_GE(alpha, 0.0);
+  pmf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    pmf_[k] = std::pow(static_cast<double>(k + 1), -alpha);
+    total += pmf_[k];
+  }
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    pmf_[k] /= total;
+    acc += pmf_[k];
+    cdf_[k] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+double ZipfDistribution::TopMass(double k) const {
+  if (k <= 0.0) return 0.0;
+  const auto whole = static_cast<std::size_t>(k);
+  double mass = 0.0;
+  for (std::size_t i = 0; i < whole && i < pmf_.size(); ++i) mass += pmf_[i];
+  const double frac = k - static_cast<double>(whole);
+  if (frac > 0.0 && whole < pmf_.size()) mass += frac * pmf_[whole];
+  return mass;
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace opus

@@ -1,0 +1,44 @@
+// Zipf(α) popularity distributions over a finite catalog.
+//
+// The paper (Sec. VI, "File popularity") assumes user file preferences follow
+// a Zipf distribution, matching skewed access patterns observed in production
+// clusters. ZipfDistribution provides both the normalized probability vector
+// (used directly as caching preferences) and an O(1)-ish sampler (used to
+// draw access traces).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace opus {
+
+// Probability mass p(k) ∝ (k+1)^-alpha for ranks k = 0..n-1, normalized.
+class ZipfDistribution {
+ public:
+  // Requires n >= 1 and alpha >= 0 (alpha = 0 is uniform).
+  ZipfDistribution(std::size_t n, double alpha);
+
+  std::size_t size() const { return pmf_.size(); }
+  double alpha() const { return alpha_; }
+
+  // Probability of rank k (0-based, rank 0 most popular).
+  double pmf(std::size_t k) const { return pmf_[k]; }
+
+  // Full probability vector (sums to 1).
+  const std::vector<double>& probabilities() const { return pmf_; }
+
+  // Cumulative mass of the `k` most popular ranks (k may exceed size()).
+  double TopMass(double k) const;
+
+  // Samples a rank via inverse-CDF binary search.
+  std::size_t Sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace opus

@@ -1,0 +1,29 @@
+// Allocation-policy interface.
+//
+// An allocator maps a CachingProblem (reported preferences + capacity) to an
+// AllocationResult. Allocators are deterministic and stateless: randomized
+// effects (probabilistic blocking) are expressed as expectations in the
+// access matrix and realized stochastically only by the trace simulators.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace opus {
+
+class CacheAllocator {
+ public:
+  virtual ~CacheAllocator() = default;
+
+  // Human-readable policy name (used in reports and result tagging).
+  virtual std::string name() const = 0;
+
+  // Computes the allocation for `problem`. The returned result satisfies
+  // ValidateResult().
+  virtual AllocationResult Allocate(const CachingProblem& problem) const = 0;
+};
+
+}  // namespace opus

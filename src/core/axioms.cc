@@ -1,0 +1,51 @@
+#include "core/axioms.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus {
+
+Matrix EnvyMatrix(const CachingProblem& problem,
+                  const AllocationResult& result) {
+  const std::size_t n = problem.num_users();
+  OPUS_CHECK_EQ(result.access.rows(), n);
+  Matrix envy(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double own = Dot(problem.preferences.row(i), result.access.row(i));
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      const double theirs =
+          Dot(problem.preferences.row(i), result.access.row(k));
+      envy(i, k) = std::max(0.0, theirs - own);
+    }
+  }
+  return envy;
+}
+
+double MaxEnvy(const CachingProblem& problem,
+               const AllocationResult& result) {
+  const Matrix envy = EnvyMatrix(problem, result);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < envy.rows(); ++i) {
+    for (std::size_t k = 0; k < envy.cols(); ++k) {
+      worst = std::max(worst, envy(i, k));
+    }
+  }
+  return worst;
+}
+
+double MeanEnvy(const CachingProblem& problem,
+                const AllocationResult& result) {
+  const std::size_t n = problem.num_users();
+  if (n < 2) return 0.0;
+  const Matrix envy = EnvyMatrix(problem, result);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) total += envy(i, k);
+  }
+  return total / static_cast<double>(n * (n - 1));
+}
+
+}  // namespace opus

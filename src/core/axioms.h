@@ -1,0 +1,26 @@
+// Additional fairness axioms beyond the paper's three properties: envy
+// measurement. User i envies user k when it would rather have k's
+// effective access than its own:
+//   envy(i, k) = max(0, sum_j e_kj p_ij - sum_j e_ij p_ij).
+// Policies with uniform access (max-min, global optimal) are trivially
+// envy-free; blocking- and isolation-based policies can create envy, which
+// bench_table1_properties reports as a supplementary fairness column.
+#pragma once
+
+#include "core/types.h"
+
+namespace opus {
+
+// N x N matrix of pairwise envy (diagonal zero). Entry (i, k) is how much
+// user i's utility would rise under user k's access row, clamped at 0.
+Matrix EnvyMatrix(const CachingProblem& problem,
+                  const AllocationResult& result);
+
+// Largest pairwise envy (0 for an envy-free allocation).
+double MaxEnvy(const CachingProblem& problem, const AllocationResult& result);
+
+// Average pairwise envy across all ordered pairs (0 when N < 2).
+double MeanEnvy(const CachingProblem& problem,
+                const AllocationResult& result);
+
+}  // namespace opus

@@ -1,0 +1,145 @@
+#include "core/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "core/utility.h"
+
+namespace opus {
+namespace {
+
+// Candidate misreports around `truth_row` (same generator family as
+// properties.cc's FindHarmfulDeviation, minus the harm requirement).
+std::vector<double> CandidateLie(std::span<const double> truth_row,
+                                 std::size_t m, int variant, Rng& rng) {
+  std::vector<double> lie(truth_row.begin(), truth_row.end());
+  switch (variant % 4) {
+    case 0: {  // permute weights across the supported files
+      std::vector<std::size_t> support;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (lie[j] > 0.0) support.push_back(j);
+      }
+      if (support.size() >= 2) {
+        std::vector<double> vals;
+        for (std::size_t j : support) vals.push_back(lie[j]);
+        rng.Shuffle(vals);
+        for (std::size_t k = 0; k < support.size(); ++k) {
+          lie[support[k]] = vals[k];
+        }
+      }
+      break;
+    }
+    case 1: {  // multiplicative noise
+      for (double& v : lie) {
+        if (v > 0.0) v *= std::exp(rng.NextUniform(-1.5, 1.5));
+      }
+      break;
+    }
+    case 2: {  // all-in on one supported file
+      std::vector<std::size_t> support;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (lie[j] > 0.0) support.push_back(j);
+      }
+      std::fill(lie.begin(), lie.end(), 0.0);
+      if (!support.empty()) {
+        lie[support[rng.NextBounded(support.size())]] = 1.0;
+      } else {
+        lie[rng.NextBounded(m)] = 1.0;
+      }
+      break;
+    }
+    default: {  // fully random
+      for (double& v : lie) v = rng.NextDouble();
+      break;
+    }
+  }
+  return lie;
+}
+
+}  // namespace
+
+double BestResponseResult::TotalTruthful() const {
+  return KahanSum(truthful_utilities);
+}
+
+double BestResponseResult::TotalFinal() const {
+  return KahanSum(final_utilities);
+}
+
+double BestResponseResult::MaxVictimLoss() const {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < truthful_utilities.size(); ++i) {
+    loss = std::max(loss, truthful_utilities[i] - final_utilities[i]);
+  }
+  return loss;
+}
+
+BestResponseResult RunBestResponseDynamics(const CacheAllocator& allocator,
+                                           const CachingProblem& truthful,
+                                           Rng& rng,
+                                           const BestResponseConfig& config) {
+  OPUS_CHECK_GT(config.max_rounds, 0);
+  const std::size_t n = truthful.num_users();
+  const std::size_t m = truthful.num_files();
+
+  BestResponseResult result;
+  {
+    const auto honest = allocator.Allocate(truthful);
+    result.truthful_utilities = EvaluateUtilities(honest, truthful.preferences);
+  }
+
+  // `state` holds the current reported profile; it starts truthful.
+  CachingProblem state = truthful;
+  std::vector<double> current_utils = result.truthful_utilities;
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    result.rounds = round + 1;
+    bool any_change = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double baseline = current_utils[i];
+      double best_gain = config.improvement_tol;
+      std::vector<double> best_lie;
+      std::vector<double> best_utils;
+      for (int t = 0; t < config.search_trials; ++t) {
+        const auto lie =
+            CandidateLie(truthful.preferences.row(i), m, t, rng);
+        double total = 0.0;
+        for (double v : lie) total += v;
+        if (total <= 0.0) continue;
+        const CachingProblem trial = state.WithMisreport(i, lie);
+        const auto r = allocator.Allocate(trial);
+        const auto utils = EvaluateUtilities(r, truthful.preferences);
+        if (utils[i] - baseline > best_gain) {
+          best_gain = utils[i] - baseline;
+          best_lie = lie;
+          best_utils = utils;
+        }
+      }
+      if (!best_lie.empty()) {
+        state = state.WithMisreport(i, best_lie);
+        current_utils = best_utils;
+        any_change = true;
+      }
+    }
+    if (!any_change) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.reported = state.preferences;
+  result.final_utilities = current_utils;
+  for (std::size_t i = 0; i < n; ++i) {
+    double diff = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      diff += std::fabs(state.preferences(i, j) -
+                        truthful.preferences(i, j));
+    }
+    if (diff > 1e-6) ++result.manipulators;
+  }
+  return result;
+}
+
+}  // namespace opus

@@ -1,0 +1,48 @@
+// Best-response dynamics: what happens when every user is strategic.
+//
+// The paper's strategy-proofness analysis considers a single manipulator
+// (Definition 2). This module plays the full game: users take turns
+// adopting whichever misreport (found by randomized search) raises their
+// own TRUE utility given everyone else's current report, until a round
+// passes with no profitable deviation. For a strategy-proof mechanism the
+// truthful profile should be (near-)stable and honest users unharmed; for
+// max-min/FairRide the dynamics walk away from truth and the honest lose —
+// quantified in bench_dynamics_equilibrium.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/allocator.h"
+
+namespace opus {
+
+struct BestResponseConfig {
+  int max_rounds = 12;           // full passes over all users
+  int search_trials = 48;        // random misreports evaluated per turn
+  double improvement_tol = 1e-5; // minimum utility gain to adopt a lie
+};
+
+struct BestResponseResult {
+  Matrix reported;          // final reported preference matrix
+  int rounds = 0;           // full passes executed
+  bool converged = false;   // last pass found no profitable deviation
+  std::vector<double> truthful_utilities;  // true utilities, all-truthful
+  std::vector<double> final_utilities;     // true utilities at the end
+  std::size_t manipulators = 0;  // users whose final report deviates
+
+  double TotalTruthful() const;
+  double TotalFinal() const;
+  // Largest utility loss suffered by any user relative to all-truthful.
+  double MaxVictimLoss() const;
+};
+
+// Runs the dynamics starting from truthful reports. Deterministic given
+// `rng`. The allocator sees reported preferences; utilities are always
+// evaluated against `truthful.preferences`.
+BestResponseResult RunBestResponseDynamics(const CacheAllocator& allocator,
+                                           const CachingProblem& truthful,
+                                           Rng& rng,
+                                           const BestResponseConfig& config = {});
+
+}  // namespace opus

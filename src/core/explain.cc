@@ -1,0 +1,64 @@
+#include "core/explain.h"
+
+#include <cmath>
+
+#include "analysis/report.h"
+#include "common/strings.h"
+
+namespace opus {
+
+std::string ExplainOpusDecision(const CachingProblem& problem,
+                                const OpusOptions& options) {
+  OpusDiagnostics diag;
+  const OpusAllocator allocator(options);
+  const AllocationResult result =
+      allocator.AllocateWithDiagnostics(problem, &diag);
+
+  std::string out;
+  out += StrFormat(
+      "OpuS decision: %s\n",
+      diag.settled_on_sharing
+          ? "SHARE — the taxed PF allocation beats isolation for everyone"
+          : "ISOLATE — some user was taxed past its break-even (Theorem 3)");
+
+  analysis::Table alloc("stage-1 PF allocation a*");
+  alloc.AddHeader({"file", "size", "a*_j"});
+  for (std::size_t j = 0; j < problem.num_files(); ++j) {
+    alloc.AddRow({std::to_string(j), FormatDouble(problem.FileSize(j), 2),
+                  FormatDouble(diag.pf_allocation[j], 4)});
+  }
+  out += alloc.Render();
+
+  analysis::Table users("per-user mechanics");
+  users.AddHeader({"user", "U(a*)", "U-bar", "tax T", "break-even",
+                   "blocking", "net", "verdict"});
+  for (std::size_t i = 0; i < problem.num_users(); ++i) {
+    const bool over = diag.taxes[i] > diag.break_even_taxes[i] + 1e-9;
+    users.AddRow(
+        {std::to_string(i), FormatDouble(diag.pf_utilities[i], 4),
+         FormatDouble(diag.isolated_utilities[i], 4),
+         FormatDouble(diag.taxes[i], 4),
+         std::isinf(diag.break_even_taxes[i])
+             ? "inf"
+             : FormatDouble(diag.break_even_taxes[i], 4),
+         StrFormat("%.1f%%", 100.0 * (1.0 - std::exp(-diag.taxes[i]))),
+         FormatDouble(diag.net_utilities[i], 4),
+         over ? "prefers isolation" : "prefers sharing"});
+  }
+  out += users.Render();
+
+  if (!diag.settled_on_sharing) {
+    out += "Fallback applied: evenly partitioned isolated caches (stage "
+           "2).\n";
+  } else {
+    double spent = 0.0;
+    for (std::size_t j = 0; j < problem.num_files(); ++j) {
+      spent += result.file_alloc[j] * problem.FileSize(j);
+    }
+    out += StrFormat("Capacity used: %.3f of %.3f units.\n", spent,
+                     problem.capacity);
+  }
+  return out;
+}
+
+}  // namespace opus

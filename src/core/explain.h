@@ -1,0 +1,20 @@
+// Human-readable explanation of an OpuS allocation decision: per-user
+// utility, tax, break-even, blocking and the sharing verdict — the view an
+// operator (or a suspicious tenant) needs to audit why the mechanism chose
+// what it chose. Used by `opus_cli --explain`.
+#pragma once
+
+#include <string>
+
+#include "core/opus.h"
+
+namespace opus {
+
+// Runs OpuS on `problem` and renders a full decision report: the sharing
+// verdict, the allocation vector, and a per-user table with pre-tax
+// utility, isolated baseline, tax vs break-even, blocking probability and
+// net utility.
+std::string ExplainOpusDecision(const CachingProblem& problem,
+                                const OpusOptions& options = {});
+
+}  // namespace opus

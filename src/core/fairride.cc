@@ -1,0 +1,49 @@
+#include "core/fairride.h"
+
+#include "common/mathutil.h"
+#include "core/market.h"
+#include "core/utility.h"
+
+namespace opus {
+
+AllocationResult FairRideAllocator::Allocate(
+    const CachingProblem& problem) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+
+  // Joining enabled: rational truthful users buy into already-cached
+  // segments to escape blocking, which is what preserves FairRide's
+  // isolation guarantee (see market.h).
+  MarketOptions options;
+  options.enable_joining = true;
+  const MarketOutcome market = RunBudgetMarket(problem, options);
+
+  AllocationResult r;
+  r.policy = name();
+  r.file_alloc = market.CachedAmounts();
+  r.access = Matrix(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      r.access(i, j) = market.files[j].FairRideAccess(i);
+    }
+  }
+  r.taxes.assign(n, 0.0);
+  // FairRide has no uniform per-user blocking probability (blocking is
+  // per-portion); report the utility-weighted expected blocking against the
+  // reported preferences for observability.
+  r.blocking.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double full = FullAccessUtility(problem.preferences.row(i),
+                                          r.file_alloc);
+    const double effective = Dot(problem.preferences.row(i), r.access.row(i));
+    r.blocking[i] = full > 0.0 ? 1.0 - effective / full : 0.0;
+  }
+  r.copy_footprint = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
+  }
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+}  // namespace opus

@@ -1,0 +1,19 @@
+// FairRide (Pu et al., NSDI'16; paper Sec. III-D): the max-min budget-market
+// allocation plus probabilistic blocking of free riders. A user reading a
+// cached portion it did not help pay for, funded by n payers, is blocked
+// with probability 1/(n+1) (served from disk as if a miss). The paper's
+// Fig. 3 counterexample — reproduced in tests — shows this is still not
+// strategy-proof.
+#pragma once
+
+#include "core/allocator.h"
+
+namespace opus {
+
+class FairRideAllocator final : public CacheAllocator {
+ public:
+  std::string name() const override { return "fairride"; }
+  AllocationResult Allocate(const CachingProblem& problem) const override;
+};
+
+}  // namespace opus

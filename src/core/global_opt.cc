@@ -1,0 +1,37 @@
+#include "core/global_opt.h"
+
+#include "core/utility.h"
+#include "solver/knapsack.h"
+
+namespace opus {
+
+AllocationResult GlobalOptimalAllocator::Allocate(
+    const CachingProblem& problem) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+
+  std::vector<double> total_weight(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = problem.preferences.row(i);
+    for (std::size_t j = 0; j < m; ++j) total_weight[j] += row[j];
+  }
+  const KnapsackSolution k = SolveFractionalKnapsack(
+      total_weight, problem.capacity, problem.file_sizes);
+
+  AllocationResult r;
+  r.policy = name();
+  r.file_alloc = k.allocation;
+  r.access = Matrix(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) r.access(i, j) = r.file_alloc[j];
+  }
+  r.taxes.assign(n, 0.0);
+  r.blocking.assign(n, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
+  }
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+}  // namespace opus

@@ -1,0 +1,18 @@
+// Globally optimal (utilitarian) allocation — the "optimal LFU" reference of
+// Fig. 8: cache the files with the largest aggregate preference mass,
+// maximizing the cluster-wide expected hit ratio with full shared access and
+// no blocking. Pareto-efficient but provides neither isolation guarantee nor
+// strategy-proofness.
+#pragma once
+
+#include "core/allocator.h"
+
+namespace opus {
+
+class GlobalOptimalAllocator final : public CacheAllocator {
+ public:
+  std::string name() const override { return "optimal"; }
+  AllocationResult Allocate(const CachingProblem& problem) const override;
+};
+
+}  // namespace opus

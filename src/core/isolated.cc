@@ -1,0 +1,77 @@
+#include "core/isolated.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/utility.h"
+
+namespace opus {
+
+AllocationResult IsolatedAllocator::Allocate(
+    const CachingProblem& problem) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+  double weight_total = 0.0;
+  if (!user_weights_.empty()) {
+    OPUS_CHECK_EQ(user_weights_.size(), n);
+    for (double w : user_weights_) {
+      OPUS_CHECK_GT(w, 0.0);
+      weight_total += w;
+    }
+  }
+  auto budget_for = [&](std::size_t i) {
+    if (n == 0) return 0.0;
+    const double share = user_weights_.empty()
+                             ? 1.0 / static_cast<double>(n)
+                             : user_weights_[i] / weight_total;
+    return problem.capacity * share;
+  };
+
+  AllocationResult r;
+  r.policy = name();
+  r.shared = false;
+  r.file_alloc.assign(m, 0.0);
+  r.access = Matrix(n, m, 0.0);
+  r.taxes.assign(n, 0.0);
+  r.blocking.assign(n, 0.0);
+  r.per_user_copies = Matrix(n, m, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto prefs = problem.preferences.row(i);
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return prefs[a] / problem.FileSize(a) >
+                              prefs[b] / problem.FileSize(b);
+                     });
+    double remaining = budget_for(i);
+    for (std::size_t j : order) {
+      if (remaining <= 0.0 || prefs[j] <= 0.0) break;
+      const double take = std::min(1.0, remaining / problem.FileSize(j));
+      r.per_user_copies(i, j) = take;
+      r.access(i, j) = take;  // only the own copy is readable
+      remaining -= take * problem.FileSize(j);
+    }
+  }
+
+  // Deduplicated cluster view: one physical copy holds the largest cached
+  // fraction of the file across users; the copy footprint tracks what the
+  // naive copy-per-user layout would have used.
+  for (std::size_t j = 0; j < m; ++j) {
+    double max_frac = 0.0;
+    double copies = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_frac = std::max(max_frac, r.per_user_copies(i, j));
+      copies += r.per_user_copies(i, j);
+    }
+    r.file_alloc[j] = max_frac;
+    r.copy_footprint += copies * problem.FileSize(j);
+  }
+
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+}  // namespace opus

@@ -1,0 +1,27 @@
+// Isolated caches (Sec. III-B): the cache is split into N private partitions
+// of size C/N; each user greedily caches its most-preferred files in its own
+// partition. Trivially isolation-guaranteeing and strategy-proof, but
+// inefficient: shared files are duplicated and access to files outside the
+// own partition is fully blocked (the implementation keeps one physical copy
+// and blocks non-owners, per the paper's Sec. V implementation note).
+#pragma once
+
+#include "core/allocator.h"
+
+namespace opus {
+
+class IsolatedAllocator final : public CacheAllocator {
+ public:
+  // `user_weights` (optional; all positive) sizes partitions proportionally
+  // — C * w_i / sum(w) instead of C / N (the priority-tenant extension).
+  explicit IsolatedAllocator(std::vector<double> user_weights = {})
+      : user_weights_(std::move(user_weights)) {}
+
+  std::string name() const override { return "isolated"; }
+  AllocationResult Allocate(const CachingProblem& problem) const override;
+
+ private:
+  std::vector<double> user_weights_;
+};
+
+}  // namespace opus

@@ -1,0 +1,289 @@
+#include "core/market.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace opus {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+enum class ActionKind { kNone, kFund, kJoin };
+
+struct Action {
+  ActionKind kind = ActionKind::kNone;
+  std::size_t file = 0;
+  std::size_t segment = 0;  // kJoin only
+};
+
+// Mutable per-file segment state. Unlike FileSegments, segments here may
+// shrink while a joiner converts them, so we keep a plain vector and export
+// to FileSegments at the end.
+struct SegState {
+  double length = 0.0;
+  std::vector<std::size_t> payers;
+};
+
+bool HasPayer(const SegState& s, std::size_t user) {
+  return std::binary_search(s.payers.begin(), s.payers.end(), user);
+}
+
+// Appends `length` units, merging into an existing equal-payer segment.
+void Append(std::vector<SegState>& segs, double length,
+            std::vector<std::size_t> payers) {
+  if (length <= 0.0) return;
+  for (auto& s : segs) {
+    if (s.payers == payers) {
+      s.length += length;
+      return;
+    }
+  }
+  segs.push_back(SegState{length, std::move(payers)});
+}
+
+// The full market state shared by the funding rounds and the join cascade.
+struct MarketState {
+  const CachingProblem& problem;
+  const MarketOptions& options;
+  std::vector<double> budgets;
+  std::vector<std::vector<SegState>> segs;
+  std::vector<double> cached;
+  MarketOutcome* out;
+
+  // Money (budget units) needed to cache one *fraction unit* of file j.
+  double Cost(std::size_t j) const { return problem.FileSize(j); }
+
+  // User i's next action: the actionable file with the best benefit-cost
+  // ratio p_ij / s_j (for unit sizes this is simply the preference, the
+  // paper's descending-preference rule). Both funding and joining have this
+  // same ratio per unit of money, so one ordering covers both. Actionable =
+  // not fully cached (fund), or — with joining enabled — complete but
+  // containing segments the user did not pay for (join). Ties break to the
+  // lower file index.
+  Action PickAction(std::size_t i) const {
+    const auto prefs = problem.preferences.row(i);
+    int best = -1;
+    double best_p = 0.0;
+    for (std::size_t j = 0; j < prefs.size(); ++j) {
+      if (prefs[j] <= 0.0) continue;
+      bool actionable = cached[j] < 1.0 - kEps;
+      if (!actionable && options.enable_joining) {
+        for (const auto& s : segs[j]) {
+          if (s.length > kEps && !HasPayer(s, i)) {
+            actionable = true;
+            break;
+          }
+        }
+      }
+      if (!actionable) continue;
+      const double density = prefs[j] / Cost(j);
+      if (density > best_p + kEps) {
+        best = static_cast<int>(j);
+        best_p = density;
+      }
+    }
+    if (best < 0) return {};
+    const auto j = static_cast<std::size_t>(best);
+    if (cached[j] < 1.0 - kEps) return {ActionKind::kFund, j, 0};
+    for (std::size_t s = 0; s < segs[j].size(); ++s) {
+      if (segs[j][s].length > kEps && !HasPayer(segs[j][s], i)) {
+        return {ActionKind::kJoin, j, s};
+      }
+    }
+    return {};
+  }
+
+  // Executes user u's join of segment (file, seg) as a discrete step:
+  // converting length L of a k-payer segment costs the joiner L/(k+1) and
+  // refunds each incumbent L/(k(k+1)), leaving k+1 equal shares. The step
+  // converts as much as the joiner's budget allows in one shot (joins need
+  // no temporal interleaving — only funding shares costs by simultaneity).
+  void ExecuteJoin(std::size_t u, std::size_t file, std::size_t seg_idx) {
+    auto& seg = segs[file][seg_idx];
+    const double k = static_cast<double>(seg.payers.size());
+    const double s = Cost(file);
+    const double conv =
+        std::min(seg.length, budgets[u] * (k + 1.0) / s);
+    if (conv <= 0.0) return;
+    const double pay = conv * s / (k + 1.0);
+    out->contributions(u, file) += pay;
+    budgets[u] -= pay;
+    out->spent[u] += pay;
+    const double refund_each = conv * s / (k * (k + 1.0));
+    std::vector<std::size_t> new_payers = seg.payers;
+    for (std::size_t payer : new_payers) {
+      out->contributions(payer, file) -= refund_each;
+      budgets[payer] += refund_each;
+      out->spent[payer] -= refund_each;
+    }
+    seg.length -= conv;
+    new_payers.insert(
+        std::lower_bound(new_payers.begin(), new_payers.end(), u), u);
+    // Invalidates `seg`; do not touch it afterwards.
+    Append(segs[file], conv, std::move(new_payers));
+  }
+
+  // Runs joins to a fixpoint: every user whose top actionable item is a
+  // join executes it immediately (user-id order for determinism); refunds
+  // may re-activate earlier users, hence the outer loop. Bounded because
+  // each full conversion permanently grows a segment's payer set and a
+  // partial conversion exhausts a budget.
+  void JoinCascade() {
+    if (!options.enable_joining) return;
+    const std::size_t cap =
+        16 * (problem.num_users() + 1) * (problem.num_files() + 1) *
+            (problem.num_users() + 1) +
+        64;
+    std::size_t steps = 0;
+    bool changed = true;
+    while (changed && steps < cap) {
+      changed = false;
+      for (std::size_t i = 0; i < problem.num_users(); ++i) {
+        while (budgets[i] > kEps && steps < cap) {
+          const Action a = PickAction(i);
+          if (a.kind != ActionKind::kJoin) break;
+          ExecuteJoin(i, a.file, a.segment);
+          changed = true;
+          ++steps;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> MarketOutcome::CachedAmounts() const {
+  std::vector<double> out(files.size());
+  for (std::size_t j = 0; j < files.size(); ++j) {
+    out[j] = files[j].TotalLength();
+  }
+  return out;
+}
+
+MarketOutcome RunBudgetMarket(const CachingProblem& problem,
+                              const MarketOptions& options) {
+  const std::size_t n = problem.num_users();
+  const double each =
+      n == 0 ? 0.0 : problem.capacity / static_cast<double>(n);
+  return RunBudgetMarket(problem, std::vector<double>(n, each), options);
+}
+
+MarketOutcome RunBudgetMarket(const CachingProblem& problem,
+                              std::vector<double> budgets,
+                              const MarketOptions& options) {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+  OPUS_CHECK_EQ(budgets.size(), n);
+  for (double b : budgets) OPUS_CHECK_GE(b, 0.0);
+
+  MarketOutcome out;
+  out.files.resize(m);
+  out.spent.assign(n, 0.0);
+  out.contributions = Matrix(n, m, 0.0);
+
+  MarketState state{problem, options, std::move(budgets),
+                    std::vector<std::vector<SegState>>(m),
+                    std::vector<double>(m, 0.0), &out};
+
+  // Funding event loop: between events, every active user funds its top
+  // not-yet-full desired file at unit rate; co-funders split the cost
+  // evenly (a file funded by k users grows at rate k). Events are file
+  // completions and budget exhaustions. Joins (FairRide) execute as
+  // discrete steps between funding rounds. With idle-budget redistribution
+  // the loop resumes after sated users donate their leftovers.
+  std::size_t redistribution_rounds = 0;
+  const std::size_t max_events = 8 * (n + m + 2) * (m + 1) + 16;
+  for (std::size_t event = 0; event < max_events; ++event) {
+    state.JoinCascade();
+
+    std::vector<std::vector<std::size_t>> funders(m);
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state.budgets[i] <= kEps) continue;
+      const Action a = state.PickAction(i);
+      if (a.kind == ActionKind::kFund) {
+        funders[a.file].push_back(i);
+        any_active = true;
+      }
+      // A join target here is impossible: JoinCascade ran to fixpoint and
+      // funding has not progressed since.
+    }
+    if (!any_active) {
+      if (!options.redistribute_idle_budget ||
+          redistribution_rounds > n + 1) {
+        break;
+      }
+      ++redistribution_rounds;
+      // Sated users (nothing actionable) donate; drained users with
+      // outstanding desires receive equal shares.
+      double pool = 0.0;
+      std::vector<std::size_t> recipients;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool actionable =
+            state.PickAction(i).kind != ActionKind::kNone;
+        if (!actionable && state.budgets[i] > kEps) {
+          pool += state.budgets[i];
+          state.budgets[i] = 0.0;
+        } else if (actionable && state.budgets[i] <= kEps) {
+          recipients.push_back(i);
+        }
+      }
+      if (pool <= kEps || recipients.empty()) break;
+      const double share = pool / static_cast<double>(recipients.size());
+      for (std::size_t i : recipients) state.budgets[i] += share;
+      continue;
+    }
+
+    // A funder pays money at rate 1; k funders grow file j (fraction units)
+    // at rate k / s_j.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (funders[j].empty()) continue;
+      dt = std::min(dt, (1.0 - state.cached[j]) * state.Cost(j) /
+                            static_cast<double>(funders[j].size()));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i : funders[j]) {
+        dt = std::min(dt, state.budgets[i]);
+      }
+    }
+    OPUS_CHECK(dt >= 0.0 && std::isfinite(dt));
+
+    for (std::size_t j = 0; j < m; ++j) {
+      if (funders[j].empty()) continue;
+      const double grown = std::min(
+          dt * static_cast<double>(funders[j].size()) / state.Cost(j),
+          1.0 - state.cached[j]);
+      if (grown <= 0.0) continue;
+      state.cached[j] += grown;
+      Append(state.segs[j], grown, funders[j]);
+      const double share = grown * state.Cost(j) /
+                           static_cast<double>(funders[j].size());
+      for (std::size_t i : funders[j]) out.contributions(i, j) += share;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i : funders[j]) {
+        const double pay = std::min(dt, state.budgets[i]);
+        state.budgets[i] -= pay;
+        out.spent[i] += pay;
+      }
+    }
+  }
+  // Final cascade: the last funding event may have completed files whose
+  // segments budget-holders still want to buy into.
+  state.JoinCascade();
+
+  // Export segments (dropping empties) in deterministic order.
+  for (std::size_t j = 0; j < m; ++j) {
+    for (const auto& s : state.segs[j]) {
+      if (s.length > kEps) out.files[j].Add(s.length, s.payers);
+    }
+  }
+  return out;
+}
+
+}  // namespace opus

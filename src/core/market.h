@@ -1,0 +1,65 @@
+// Continuous-time budget market implementing the paper's max-min fair cache
+// allocation (Sec. III-C), with optional FairRide "joining".
+//
+// Every user receives an equal budget C/N and spends it at unit rate on its
+// most-preferred file it has not yet secured. Users funding the same file at
+// the same time split its caching cost evenly, so a file funded by n users
+// fills at rate n while each payer is drained at rate 1.
+//
+// With `enable_joining` (the rational-truthful-user behaviour under
+// FairRide's blocking), a user whose preferred file is already fully cached
+// may buy into segments it did not fund: converting length dl of a k-payer
+// segment costs the joiner dl/(k+1) and refunds each incumbent payer
+// dl/(k(k+1)), leaving all k+1 payers with equal shares. Refunded budget is
+// re-spendable. Joining is what restores FairRide's isolation guarantee — a
+// user can always secure its isolation bundle at per-unit cost <= 1. Plain
+// max-min omits joining because without blocking a cached byte is free to
+// read and no rational user pays for it.
+//
+// The process advances between discrete events (file completion, segment
+// conversion, budget exhaustion) and terminates when no user can spend. The
+// worked examples of Figs. 1-3 are reproduced to the digit (see
+// tests/core/market_test.cc).
+#pragma once
+
+#include <vector>
+
+#include "core/segments.h"
+#include "core/types.h"
+
+namespace opus {
+
+struct MarketOptions {
+  // Allow buying into already-cached segments (FairRide behaviour).
+  bool enable_joining = false;
+  // Water-filling refinement (extension): budget left idle by sated users
+  // (everything they want is cached/secured) is redistributed equally to
+  // users who ran dry with desires outstanding, and the market resumes.
+  // This is the progressive-filling reading of "maximize the minimum
+  // allocation"; the paper's worked examples have no idle budget, so they
+  // are unaffected either way.
+  bool redistribute_idle_budget = false;
+};
+
+struct MarketOutcome {
+  // One per file; segment lengths are cached *fractions* of that file,
+  // payments scale with the file's size (CachingProblem::file_sizes).
+  std::vector<FileSegments> files;
+  std::vector<double> spent;  // per-user budget spent, net of refunds
+  Matrix contributions;       // c_ij: user i's net payment toward file j
+
+  // Total cached amount of file j.
+  std::vector<double> CachedAmounts() const;
+};
+
+// Runs the market on `problem` with equal budgets C/N.
+MarketOutcome RunBudgetMarket(const CachingProblem& problem,
+                              const MarketOptions& options = {});
+
+// Runs the market with explicit per-user budgets (size N, non-negative).
+// Exposed for tests and what-if analyses.
+MarketOutcome RunBudgetMarket(const CachingProblem& problem,
+                              std::vector<double> budgets,
+                              const MarketOptions& options = {});
+
+}  // namespace opus

@@ -1,0 +1,34 @@
+#include "core/maxmin.h"
+
+#include "core/market.h"
+#include "core/utility.h"
+
+namespace opus {
+
+AllocationResult MaxMinAllocator::Allocate(
+    const CachingProblem& problem) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+
+  const MarketOutcome market = RunBudgetMarket(problem);
+
+  AllocationResult r;
+  r.policy = name();
+  r.file_alloc = market.CachedAmounts();
+  r.access = Matrix(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      r.access(i, j) = r.file_alloc[j];  // cached bytes are readable by all
+    }
+  }
+  r.taxes.assign(n, 0.0);
+  r.blocking.assign(n, 0.0);
+  r.copy_footprint = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
+  }
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+}  // namespace opus

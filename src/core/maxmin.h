@@ -1,0 +1,18 @@
+// Max-min fair cache allocation (Sec. III-C): the budget-market allocation
+// with unrestricted access to every cached file. Provides isolation
+// guarantee and Pareto efficiency but is NOT strategy-proof — free riders
+// can misreport to have others pay for files they want (Fig. 2), which
+// tests/core/properties_test.cc demonstrates.
+#pragma once
+
+#include "core/allocator.h"
+
+namespace opus {
+
+class MaxMinAllocator final : public CacheAllocator {
+ public:
+  std::string name() const override { return "maxmin"; }
+  AllocationResult Allocate(const CachingProblem& problem) const override;
+};
+
+}  // namespace opus

@@ -1,0 +1,190 @@
+#include "core/opus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "core/isolated.h"
+#include "core/utility.h"
+#include "solver/pf_solver.h"
+
+namespace opus {
+namespace {
+
+// Sum of log-utilities of users other than `excluded` with positive utility
+// and a non-empty preference row. Zero-preference users never enter the
+// virtual social welfare (their log term is undefined and they are outside
+// the mechanism).
+double OthersVirtualWelfare(const Matrix& prefs,
+                            const std::vector<double>& utilities,
+                            std::size_t excluded,
+                            const std::vector<double>& user_weights) {
+  std::vector<double> logs;
+  logs.reserve(utilities.size());
+  for (std::size_t k = 0; k < utilities.size(); ++k) {
+    if (k == excluded) continue;
+    double row_sum = 0.0;
+    for (double p : prefs.row(k)) row_sum += p;
+    if (row_sum <= 0.0) continue;
+    // At a PF optimum with positive capacity every user with a non-zero
+    // preference row has strictly positive utility; utility can be zero only
+    // in the degenerate capacity-0 / no-files instances, where it is zero in
+    // both the full and the leave-one-out solution and cancels out of the
+    // tax — skip symmetrically.
+    if (utilities[k] <= 0.0) continue;
+    const double w = user_weights.empty() ? 1.0 : user_weights[k];
+    logs.push_back(w * std::log(utilities[k]));
+  }
+  return KahanSum(logs);
+}
+
+}  // namespace
+
+AllocationResult OpusAllocator::Allocate(const CachingProblem& problem) const {
+  return AllocateWithDiagnostics(problem, nullptr);
+}
+
+AllocationResult OpusAllocator::AllocateWithDiagnostics(
+    const CachingProblem& problem, OpusDiagnostics* diag) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+  const std::vector<double>& priorities = options_.user_weights;
+  if (!priorities.empty()) {
+    OPUS_CHECK_EQ(priorities.size(), n);
+    for (double w : priorities) OPUS_CHECK_GT(w, 0.0);
+  }
+  auto priority_of = [&](std::size_t i) {
+    return priorities.empty() ? 1.0 : priorities[i];
+  };
+
+  PfOptions pf_options;
+  pf_options.tolerance = options_.solver_tolerance;
+  pf_options.max_iterations = options_.solver_max_iterations;
+
+  // --- Stage 1: VCG_PF --------------------------------------------------
+  const PfSolution star =
+      SolveProportionalFairness(problem.preferences, problem.capacity,
+                                pf_options, priorities, {},
+                                problem.file_sizes);
+  int total_iterations = star.iterations;
+
+  // Clarke pivot taxes via leave-one-out PF solves, warm-started from a*.
+  // The solves are independent; with tax_threads > 1 they run in parallel
+  // (each worker carries its own weight vector), which changes nothing but
+  // wall time.
+  std::vector<double> taxes(n, 0.0);
+  std::vector<int> solve_iterations(n, 0);
+  auto tax_for = [&](std::size_t i, std::vector<double>& weights) {
+    const double saved = weights[i];
+    weights[i] = 0.0;
+    const PfSolution without_i = SolveProportionalFairness(
+        problem.preferences, problem.capacity, pf_options, weights,
+        star.allocation, problem.file_sizes);
+    weights[i] = saved;
+    solve_iterations[i] = without_i.iterations;
+
+    const double welfare_without = OthersVirtualWelfare(
+        problem.preferences, without_i.utilities, i, priorities);
+    const double welfare_at_star = OthersVirtualWelfare(
+        problem.preferences, star.utilities, i, priorities);
+    // The pivot tax is non-negative by optimality of the leave-one-out
+    // solution; clamp away solver residual noise.
+    taxes[i] = std::max(0.0, welfare_without - welfare_at_star);
+  };
+  const unsigned threads =
+      options_.tax_threads > 1
+          ? std::min<unsigned>(options_.tax_threads,
+                               static_cast<unsigned>(n))
+          : 1;
+  if (threads <= 1) {
+    std::vector<double> weights(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) weights[i] = priority_of(i);
+    for (std::size_t i = 0; i < n; ++i) tax_for(i, weights);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        std::vector<double> weights(n, 1.0);
+        for (std::size_t i = 0; i < n; ++i) weights[i] = priority_of(i);
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+          tax_for(i, weights);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  for (int it : solve_iterations) total_iterations += it;
+
+  std::vector<double> blocking(n, 0.0);
+  std::vector<double> net(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The tax lives in virtual-welfare units; user i's virtual utility is
+    // w_i log U_i, so the utility share it keeps is exp(-T_i / w_i).
+    blocking[i] = 1.0 - std::exp(-taxes[i] / priority_of(i));
+    net[i] = std::exp(-taxes[i] / priority_of(i)) * star.utilities[i];
+  }
+
+  // --- Stage 2: PROVIDES_IG ----------------------------------------------
+  const std::vector<double> isolated = IsolatedUtilities(problem, priorities);
+  bool ig_holds = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (net[i] < isolated[i] - options_.ig_tolerance) {
+      ig_holds = false;
+      break;
+    }
+  }
+
+  if (diag != nullptr) {
+    diag->pf_allocation = star.allocation;
+    diag->pf_utilities = star.utilities;
+    diag->taxes = taxes;
+    diag->break_even_taxes.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (isolated[i] <= 0.0) {
+        diag->break_even_taxes[i] = std::numeric_limits<double>::infinity();
+      } else if (star.utilities[i] <= 0.0) {
+        diag->break_even_taxes[i] = 0.0;
+      } else {
+        diag->break_even_taxes[i] =
+            priority_of(i) * std::log(star.utilities[i] / isolated[i]);
+      }
+    }
+    diag->net_utilities = net;
+    diag->isolated_utilities = isolated;
+    diag->settled_on_sharing = ig_holds;
+    diag->solver_iterations = total_iterations;
+  }
+
+  if (!ig_holds) {
+    AllocationResult r = IsolatedAllocator(priorities).Allocate(problem);
+    r.policy = name();
+    return r;
+  }
+
+  AllocationResult r;
+  r.policy = name();
+  r.file_alloc = star.allocation;
+  r.access = Matrix(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double keep = 1.0 - blocking[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      r.access(i, j) = keep * r.file_alloc[j];
+    }
+  }
+  r.taxes = std::move(taxes);
+  r.blocking = std::move(blocking);
+  for (std::size_t j = 0; j < m; ++j) {
+    r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
+  }
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+}  // namespace opus

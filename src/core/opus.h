@@ -1,0 +1,70 @@
+// OpuS — Opportunistic Sharing for high efficiency (paper Sec. IV,
+// Algorithm 1).
+//
+// Stage 1 (VCG_PF): compute the proportional-fair allocation
+//   a* = argmax sum_i log U_i(a)   s.t. 0 <= a_j <= 1, sum_j a_j <= C,
+// then charge each user the Clarke pivot tax in virtual (log) utility:
+//   T_i = sum_{k!=i} V_k(a*_{-i}) - sum_{k!=i} V_k(a*),
+// where a*_{-i} is the PF allocation with user i removed. The tax is
+// realized by blocking user i's in-memory accesses with probability
+//   f_i = 1 - exp(-T_i),
+// so the net utility is exp(-T_i) * U_i(a*).
+//
+// Stage 2 (PROVIDES_IG): if any user is charged beyond its break-even tax
+//   T-bar_i = log(U_i(a*) / U-bar_i)
+// (equivalently, its net utility falls below its isolated utility), the
+// sharing attempt fails and the allocation reduces to isolated caches.
+#pragma once
+
+#include "core/allocator.h"
+
+namespace opus {
+
+struct OpusOptions {
+  // Numerical slack for the isolation-guarantee gate: sharing is kept when
+  // net_i >= U-bar_i - ig_tolerance for all i. Covers solver residual noise.
+  double ig_tolerance = 1e-7;
+  // PF solver optimality tolerance.
+  double solver_tolerance = 1e-10;
+  // PF solver iteration cap.
+  int solver_max_iterations = 200000;
+  // Threads for the N leave-one-out tax solves (0/1 = sequential). The
+  // solves are independent, so results are bit-identical regardless of the
+  // thread count; this only shrinks Algorithm 1's wall time at large N.
+  unsigned tax_threads = 0;
+  // Priority weights (extension beyond the paper): user i's virtual
+  // utility becomes w_i log U_i, its isolation baseline a C * w_i / sum(w)
+  // partition, and its blocking probability 1 - exp(-T_i / w_i). Empty =
+  // equal weights (the paper's mechanism). All weights must be positive.
+  std::vector<double> user_weights;
+};
+
+// Detailed stage-1 artifacts, exposed for tests, benches, and the bench for
+// Fig. 9 (chance of settling on sharing).
+struct OpusDiagnostics {
+  std::vector<double> pf_allocation;     // a*
+  std::vector<double> pf_utilities;      // U_i(a*)
+  std::vector<double> taxes;             // T_i (log-utility units, >= 0)
+  std::vector<double> break_even_taxes;  // T-bar_i (+inf when U-bar_i = 0)
+  std::vector<double> net_utilities;     // exp(-T_i) U_i(a*)
+  std::vector<double> isolated_utilities;  // U-bar_i
+  bool settled_on_sharing = false;
+  int solver_iterations = 0;  // across all N+1 PF solves
+};
+
+class OpusAllocator final : public CacheAllocator {
+ public:
+  explicit OpusAllocator(OpusOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "opus"; }
+  AllocationResult Allocate(const CachingProblem& problem) const override;
+
+  // Allocate() plus the stage-1 diagnostics.
+  AllocationResult AllocateWithDiagnostics(const CachingProblem& problem,
+                                           OpusDiagnostics* diag) const;
+
+ private:
+  OpusOptions options_;
+};
+
+}  // namespace opus

@@ -1,0 +1,256 @@
+#include "core/properties.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "core/utility.h"
+#include "solver/knapsack.h"
+
+namespace opus {
+
+bool SatisfiesIsolationGuarantee(const CachingProblem& problem,
+                                 const AllocationResult& result,
+                                 double tol) {
+  const std::vector<double> isolated = IsolatedUtilities(problem);
+  const std::vector<double> utilities =
+      EvaluateUtilities(result, problem.preferences);
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    if (utilities[i] < isolated[i] - tol) return false;
+  }
+  return true;
+}
+
+double EfficiencyRatio(const CachingProblem& problem,
+                       const AllocationResult& result) {
+  const std::size_t m = problem.num_files();
+  std::vector<double> total_weight(m, 0.0);
+  for (std::size_t i = 0; i < problem.num_users(); ++i) {
+    const auto row = problem.preferences.row(i);
+    for (std::size_t j = 0; j < m; ++j) total_weight[j] += row[j];
+  }
+  const KnapsackSolution opt = SolveFractionalKnapsack(
+      total_weight, problem.capacity, problem.file_sizes);
+  if (opt.value <= 0.0) return 1.0;
+  const std::vector<double> utilities =
+      EvaluateUtilities(result, problem.preferences);
+  return KahanSum(utilities) / opt.value;
+}
+
+namespace {
+
+Deviation EvaluateDeviationAgainst(const CacheAllocator& allocator,
+                                   const CachingProblem& truthful,
+                                   const std::vector<double>& honest_utils,
+                                   std::size_t cheater,
+                                   const std::vector<double>& misreport) {
+  const CachingProblem lied = truthful.WithMisreport(cheater, misreport);
+  const AllocationResult dishonest = allocator.Allocate(lied);
+  // All utilities are evaluated against the TRUE preferences: the lie only
+  // changes what the allocator believes.
+  const std::vector<double> dishonest_utils =
+      EvaluateUtilities(dishonest, truthful.preferences);
+
+  Deviation d;
+  d.misreport = std::vector<double>(lied.preferences.row(cheater).begin(),
+                                    lied.preferences.row(cheater).end());
+  d.cheater_gain = dishonest_utils[cheater] - honest_utils[cheater];
+  d.max_victim_loss = 0.0;
+  for (std::size_t k = 0; k < honest_utils.size(); ++k) {
+    if (k == cheater) continue;
+    d.max_victim_loss =
+        std::max(d.max_victim_loss, honest_utils[k] - dishonest_utils[k]);
+  }
+  return d;
+}
+
+}  // namespace
+
+Deviation EvaluateDeviation(const CacheAllocator& allocator,
+                            const CachingProblem& truthful,
+                            std::size_t cheater,
+                            std::vector<double> misreport) {
+  OPUS_CHECK_LT(cheater, truthful.num_users());
+  const AllocationResult honest = allocator.Allocate(truthful);
+  const std::vector<double> honest_utils =
+      EvaluateUtilities(honest, truthful.preferences);
+  return EvaluateDeviationAgainst(allocator, truthful, honest_utils, cheater,
+                                  misreport);
+}
+
+namespace {
+
+// Shared misreport generator for the single- and two-party searches.
+std::vector<double> GenerateLie(std::span<const double> truth_row,
+                                std::size_t m, int variant, Rng& rng) {
+  std::vector<double> lie(truth_row.begin(), truth_row.end());
+  switch (variant % 4) {
+    case 0: {
+      std::vector<std::size_t> support;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (lie[j] > 0.0) support.push_back(j);
+      }
+      if (support.size() >= 2) {
+        std::vector<double> vals;
+        for (std::size_t j : support) vals.push_back(lie[j]);
+        rng.Shuffle(vals);
+        for (std::size_t k = 0; k < support.size(); ++k) {
+          lie[support[k]] = vals[k];
+        }
+      }
+      break;
+    }
+    case 1: {
+      for (double& v : lie) {
+        if (v > 0.0) v *= std::exp(rng.NextUniform(-1.5, 1.5));
+      }
+      break;
+    }
+    case 2: {
+      std::vector<std::size_t> support;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (lie[j] > 0.0) support.push_back(j);
+      }
+      std::fill(lie.begin(), lie.end(), 0.0);
+      if (!support.empty()) {
+        lie[support[rng.NextBounded(support.size())]] = 1.0;
+      } else {
+        lie[rng.NextBounded(m)] = 1.0;
+      }
+      break;
+    }
+    default: {
+      for (double& v : lie) v = rng.NextDouble();
+      break;
+    }
+  }
+  return lie;
+}
+
+}  // namespace
+
+std::optional<CollusiveDeviation> FindCollusiveDeviation(
+    const CacheAllocator& allocator, const CachingProblem& truthful,
+    std::size_t colluder_a, std::size_t colluder_b, Rng& rng, int trials,
+    double min_gain, double min_harm) {
+  OPUS_CHECK_LT(colluder_a, truthful.num_users());
+  OPUS_CHECK_LT(colluder_b, truthful.num_users());
+  OPUS_CHECK_NE(colluder_a, colluder_b);
+  const std::size_t m = truthful.num_files();
+
+  const AllocationResult honest = allocator.Allocate(truthful);
+  const std::vector<double> honest_utils =
+      EvaluateUtilities(honest, truthful.preferences);
+
+  std::optional<CollusiveDeviation> best;
+  for (int t = 0; t < trials; ++t) {
+    const auto lie_a = GenerateLie(truthful.preferences.row(colluder_a), m,
+                                   t, rng);
+    const auto lie_b = GenerateLie(truthful.preferences.row(colluder_b), m,
+                                   t / 2, rng);
+    double total_a = 0.0, total_b = 0.0;
+    for (double v : lie_a) total_a += v;
+    for (double v : lie_b) total_b += v;
+    if (total_a <= 0.0 || total_b <= 0.0) continue;
+
+    const CachingProblem lied =
+        truthful.WithMisreport(colluder_a, lie_a)
+            .WithMisreport(colluder_b, lie_b);
+    const AllocationResult dishonest = allocator.Allocate(lied);
+    const std::vector<double> utils =
+        EvaluateUtilities(dishonest, truthful.preferences);
+
+    const double gain_a = utils[colluder_a] - honest_utils[colluder_a];
+    const double gain_b = utils[colluder_b] - honest_utils[colluder_b];
+    double victim_loss = 0.0;
+    for (std::size_t k = 0; k < utils.size(); ++k) {
+      if (k == colluder_a || k == colluder_b) continue;
+      victim_loss = std::max(victim_loss, honest_utils[k] - utils[k]);
+    }
+    if (gain_a + gain_b > min_gain && victim_loss > min_harm) {
+      CollusiveDeviation d;
+      d.misreport_a =
+          std::vector<double>(lied.preferences.row(colluder_a).begin(),
+                              lied.preferences.row(colluder_a).end());
+      d.misreport_b =
+          std::vector<double>(lied.preferences.row(colluder_b).begin(),
+                              lied.preferences.row(colluder_b).end());
+      d.joint_gain = gain_a + gain_b;
+      d.min_member_gain = std::min(gain_a, gain_b);
+      d.max_victim_loss = victim_loss;
+      if (!best || d.joint_gain > best->joint_gain) best = d;
+    }
+  }
+  return best;
+}
+
+std::optional<Deviation> FindHarmfulDeviation(
+    const CacheAllocator& allocator, const CachingProblem& truthful,
+    std::size_t cheater, Rng& rng, int trials, double min_gain,
+    double min_harm) {
+  OPUS_CHECK_LT(cheater, truthful.num_users());
+  const std::size_t m = truthful.num_files();
+  const auto truth_row = truthful.preferences.row(cheater);
+
+  const AllocationResult honest = allocator.Allocate(truthful);
+  const std::vector<double> honest_utils =
+      EvaluateUtilities(honest, truthful.preferences);
+
+  std::optional<Deviation> best;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> lie(truth_row.begin(), truth_row.end());
+    switch (t % 4) {
+      case 0: {  // permute the truthful weights across the supported files
+        std::vector<std::size_t> support;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (lie[j] > 0.0) support.push_back(j);
+        }
+        if (support.size() >= 2) {
+          std::vector<double> vals;
+          for (std::size_t j : support) vals.push_back(lie[j]);
+          rng.Shuffle(vals);
+          for (std::size_t k = 0; k < support.size(); ++k) {
+            lie[support[k]] = vals[k];
+          }
+        }
+        break;
+      }
+      case 1: {  // multiplicative noise on the truthful row
+        for (double& v : lie) {
+          if (v > 0.0) v *= std::exp(rng.NextUniform(-1.5, 1.5));
+        }
+        break;
+      }
+      case 2: {  // concentrate all claimed demand on one supported file
+        std::vector<std::size_t> support;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (lie[j] > 0.0) support.push_back(j);
+        }
+        std::fill(lie.begin(), lie.end(), 0.0);
+        if (!support.empty()) {
+          lie[support[rng.NextBounded(support.size())]] = 1.0;
+        } else {
+          lie[rng.NextBounded(m)] = 1.0;
+        }
+        break;
+      }
+      default: {  // fully random claimed preferences
+        for (double& v : lie) v = rng.NextDouble();
+        break;
+      }
+    }
+    double total = 0.0;
+    for (double v : lie) total += v;
+    if (total <= 0.0) continue;
+
+    Deviation d = EvaluateDeviationAgainst(allocator, truthful, honest_utils,
+                                           cheater, lie);
+    if (d.cheater_gain > min_gain && d.max_victim_loss > min_harm) {
+      if (!best || d.cheater_gain > best->cheater_gain) best = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace opus

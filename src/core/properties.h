@@ -1,0 +1,76 @@
+// Empirical checkers for the three desirable properties of Sec. II-B:
+// isolation guarantee (IG), strategy-proofness (SP), Pareto efficiency (PE).
+// Used by property tests and by bench_table1_properties to regenerate
+// Table I.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/allocator.h"
+
+namespace opus {
+
+// True iff every user's utility under `result` (evaluated against the
+// problem's preferences) is at least its isolated utility U-bar_i - tol.
+bool SatisfiesIsolationGuarantee(const CachingProblem& problem,
+                                 const AllocationResult& result,
+                                 double tol = 1e-7);
+
+// Aggregate efficiency of `result` relative to the utilitarian optimum:
+//   sum_i U_i(result) / max_a sum_i U_i(a)   in [0, 1].
+// A Pareto-efficient sharing allocation that saturates capacity scores close
+// to 1 on well-mixed workloads; isolation scores much lower.
+double EfficiencyRatio(const CachingProblem& problem,
+                       const AllocationResult& result);
+
+// A profitable-and-harmful deviation found for `cheater`, if any: the
+// misreport raised the cheater's true-preference utility by more than
+// `min_gain` while lowering some other user's utility by more than
+// `min_harm`. This is exactly the behaviour Definition 2 forbids.
+struct Deviation {
+  std::vector<double> misreport;   // the lie (normalized)
+  double cheater_gain = 0.0;       // utility delta for the cheater
+  double max_victim_loss = 0.0;    // largest utility drop among others
+};
+
+// Randomized search for a harmful profitable deviation by `cheater` under
+// `allocator`. Tries `trials` random misreports (permuted/perturbed/sparse
+// variants of the truthful row plus fully random rows). Returns the best
+// found deviation or nullopt. Deterministic given `rng`.
+std::optional<Deviation> FindHarmfulDeviation(
+    const CacheAllocator& allocator, const CachingProblem& truthful,
+    std::size_t cheater, Rng& rng, int trials = 200,
+    double min_gain = 1e-6, double min_harm = 1e-6);
+
+// Convenience: evaluates a specific misreport. Returns the deviation record
+// regardless of profitability (gain/loss may be negative/zero).
+Deviation EvaluateDeviation(const CacheAllocator& allocator,
+                            const CachingProblem& truthful,
+                            std::size_t cheater,
+                            std::vector<double> misreport);
+
+// --- coalition manipulation (extension) ----------------------------------
+//
+// VCG-style mechanisms are individually strategy-proof but not, in general,
+// coalition-proof: two users misreporting together (and splitting the
+// spoils with side payments) can sometimes profit where neither could
+// alone. FindCollusiveDeviation searches random joint misreports for a
+// pair; a coalition "succeeds" when its members' total true utility rises
+// by more than `min_gain` while some outsider loses more than `min_harm`.
+
+struct CollusiveDeviation {
+  std::vector<double> misreport_a;  // normalized lie of the first colluder
+  std::vector<double> misreport_b;  // normalized lie of the second
+  double joint_gain = 0.0;          // sum of colluders' utility deltas
+  double min_member_gain = 0.0;     // the worse-off colluder's delta
+  double max_victim_loss = 0.0;     // largest drop among outsiders
+};
+
+std::optional<CollusiveDeviation> FindCollusiveDeviation(
+    const CacheAllocator& allocator, const CachingProblem& truthful,
+    std::size_t colluder_a, std::size_t colluder_b, Rng& rng,
+    int trials = 200, double min_gain = 1e-6, double min_harm = 1e-6);
+
+}  // namespace opus

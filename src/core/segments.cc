@@ -1,0 +1,52 @@
+#include "core/segments.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opus {
+
+bool Segment::HasPayer(std::size_t user) const {
+  return std::binary_search(payers.begin(), payers.end(), user);
+}
+
+void FileSegments::Add(double length, std::vector<std::size_t> payers) {
+  OPUS_CHECK_GE(length, 0.0);
+  if (length <= 0.0) return;
+  OPUS_CHECK(!payers.empty());
+  OPUS_CHECK(std::is_sorted(payers.begin(), payers.end()));
+  if (!segments_.empty() && segments_.back().payers == payers) {
+    segments_.back().length += length;
+    return;
+  }
+  segments_.push_back(Segment{length, std::move(payers)});
+}
+
+double FileSegments::TotalLength() const {
+  double total = 0.0;
+  for (const auto& s : segments_) total += s.length;
+  return total;
+}
+
+double FileSegments::PaidLength(std::size_t user) const {
+  double total = 0.0;
+  for (const auto& s : segments_) {
+    if (s.HasPayer(user)) total += s.length;
+  }
+  return total;
+}
+
+double FileSegments::FairRideAccess(std::size_t user) const {
+  double access = 0.0;
+  for (const auto& s : segments_) {
+    if (s.HasPayer(user)) {
+      access += s.length;
+    } else {
+      const auto n = static_cast<double>(s.payers.size());
+      access += s.length * n / (n + 1.0);
+    }
+  }
+  return access;
+}
+
+}  // namespace opus

@@ -1,0 +1,47 @@
+// Per-file cached segments with payer sets.
+//
+// The max-min budget market (Sec. III-C) caches a file in portions, each
+// portion funded by the set of users who were co-paying while it was being
+// cached. FairRide's per-portion blocking rule (Sec. III-D) needs exactly
+// this structure: a non-payer of a portion funded by n users is blocked with
+// probability 1/(n+1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace opus {
+
+struct Segment {
+  double length = 0.0;               // cached amount, in file units
+  std::vector<std::size_t> payers;   // sorted user ids who co-funded it
+
+  bool HasPayer(std::size_t user) const;
+};
+
+// All cached segments of one file. Segment order is immaterial (only lengths
+// and payer sets affect utilities).
+class FileSegments {
+ public:
+  // Appends `length` units funded by `payers` (must be sorted, non-empty for
+  // positive length). Adjacent-equal payer sets are merged.
+  void Add(double length, std::vector<std::size_t> payers);
+
+  // Total cached amount of the file.
+  double TotalLength() const;
+
+  // Amount of the file user `user` co-funded.
+  double PaidLength(std::size_t user) const;
+
+  // Expected in-memory-readable fraction of this file for `user` when
+  // free-riders are blocked per portion with probability 1/(n+1):
+  //   payer portions count fully; non-payer portions count n/(n+1).
+  double FairRideAccess(std::size_t user) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace opus

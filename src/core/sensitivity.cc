@@ -1,0 +1,72 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/utility.h"
+
+namespace opus {
+
+SensitivityResult MeasureNoiseSensitivity(const CacheAllocator& allocator,
+                                          const CachingProblem& exact,
+                                          double sigma, Rng& rng,
+                                          int trials) {
+  OPUS_CHECK_GE(sigma, 0.0);
+  OPUS_CHECK_GT(trials, 0);
+
+  const AllocationResult base = allocator.Allocate(exact);
+  const std::vector<double> base_utils =
+      EvaluateUtilities(base, exact.preferences);
+
+  SensitivityResult out;
+  out.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    CachingProblem noisy = exact;
+    for (std::size_t i = 0; i < noisy.num_users(); ++i) {
+      auto row = noisy.preferences.row(i);
+      double total = 0.0;
+      for (double& v : row) {
+        if (v > 0.0) v *= std::exp(sigma * rng.NextGaussian());
+        total += v;
+      }
+      if (total > 0.0) {
+        for (double& v : row) v /= total;
+      }
+    }
+    const AllocationResult perturbed = allocator.Allocate(noisy);
+    // Utilities always against the TRUE preferences: the noise is the
+    // system's estimation error, not a change in what users want.
+    const std::vector<double> utils =
+        EvaluateUtilities(perturbed, exact.preferences);
+
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < utils.size(); ++i) {
+      max_delta = std::max(max_delta, std::fabs(utils[i] - base_utils[i]));
+      out.worst_user_regression = std::min(
+          out.worst_user_regression, utils[i] - base_utils[i]);
+    }
+    out.mean_max_utility_delta += max_delta;
+
+    double drift = 0.0;
+    for (std::size_t j = 0; j < exact.num_files(); ++j) {
+      drift += std::fabs(perturbed.file_alloc[j] - base.file_alloc[j]);
+    }
+    out.mean_allocation_drift += drift;
+
+    if (perturbed.shared != base.shared) out.verdict_flip_rate += 1.0;
+  }
+  out.mean_max_utility_delta /= trials;
+  out.mean_allocation_drift /= trials;
+  out.verdict_flip_rate /= trials;
+  return out;
+}
+
+double SigmaForWindow(double preference_mass, std::size_t window_accesses) {
+  OPUS_CHECK_GT(preference_mass, 0.0);
+  OPUS_CHECK_GT(window_accesses, 0u);
+  return 1.0 /
+         std::sqrt(preference_mass * static_cast<double>(window_accesses));
+}
+
+}  // namespace opus

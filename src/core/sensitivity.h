@@ -1,0 +1,47 @@
+// Sensitivity of an allocation policy to preference estimation error.
+//
+// The deployed system never sees true preferences — it sees windowed access
+// frequencies (Sec. V-A), which are noisy estimates. This module perturbs a
+// problem's preferences with multiplicative noise (the natural error model
+// for count-based estimation), re-runs the policy, and reports how much the
+// outcome moved: utility deltas against TRUE preferences, allocation drift,
+// and how often OpuS's sharing verdict flips. bench_ablation_noise uses it
+// to answer "how long must the learning window be before the mechanism's
+// behaviour stabilizes".
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/allocator.h"
+
+namespace opus {
+
+struct SensitivityResult {
+  // Mean over trials of max_i |U_i(noisy) - U_i(exact)| (true preferences).
+  double mean_max_utility_delta = 0.0;
+  // Mean over trials of the L1 allocation drift sum_j |a_j' - a_j|.
+  double mean_allocation_drift = 0.0;
+  // Fraction of trials where the sharing verdict differed from exact.
+  double verdict_flip_rate = 0.0;
+  // Worst utility seen for any user across trials, relative to its exact
+  // utility (most-negative delta; 0 if nobody ever lost).
+  double worst_user_regression = 0.0;
+  int trials = 0;
+};
+
+// Runs `trials` perturbations: each preference entry is scaled by
+// exp(sigma * N(0,1)) and rows renormalized — the log-normal error of
+// estimating frequencies from finite samples. Deterministic given `rng`.
+SensitivityResult MeasureNoiseSensitivity(const CacheAllocator& allocator,
+                                          const CachingProblem& exact,
+                                          double sigma, Rng& rng,
+                                          int trials = 20);
+
+// Relates a sampling-window length to the equivalent noise sigma: a
+// preference estimated from k observations has a relative standard error of
+// ~1/sqrt(k) (Poisson counts), so sigma ~ 1/sqrt(p_ij * window) for the
+// files that matter. Helper for interpreting the ablation's x-axis.
+double SigmaForWindow(double preference_mass, std::size_t window_accesses);
+
+}  // namespace opus

@@ -1,0 +1,100 @@
+#include "core/types.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus {
+
+double CachingProblem::FileSize(std::size_t j) const {
+  OPUS_CHECK_LT(j, num_files());
+  if (file_sizes.empty()) return 1.0;
+  return file_sizes[j];
+}
+
+double CachingProblem::TotalSize() const {
+  if (file_sizes.empty()) return static_cast<double>(num_files());
+  double total = 0.0;
+  for (double s : file_sizes) total += s;
+  return total;
+}
+
+CachingProblem CachingProblem::FromRaw(Matrix raw_scores, double capacity) {
+  OPUS_CHECK_GE(capacity, 0.0);
+  CachingProblem p;
+  p.capacity = capacity;
+  for (std::size_t i = 0; i < raw_scores.rows(); ++i) {
+    auto row = raw_scores.row(i);
+    double total = 0.0;
+    for (double v : row) {
+      OPUS_CHECK_GE(v, 0.0);
+      total += v;
+    }
+    if (total > 0.0) {
+      for (double& v : row) v /= total;
+    }
+  }
+  p.preferences = std::move(raw_scores);
+  return p;
+}
+
+CachingProblem CachingProblem::WithMisreport(
+    std::size_t i, std::vector<double> misreport) const {
+  OPUS_CHECK_LT(i, num_users());
+  OPUS_CHECK_EQ(misreport.size(), num_files());
+  CachingProblem p = *this;
+  double total = 0.0;
+  for (double v : misreport) {
+    OPUS_CHECK_GE(v, 0.0);
+    total += v;
+  }
+  auto row = p.preferences.row(i);
+  for (std::size_t j = 0; j < misreport.size(); ++j) {
+    row[j] = total > 0.0 ? misreport[j] / total : 0.0;
+  }
+  return p;
+}
+
+void ValidateResult(const CachingProblem& problem,
+                    const AllocationResult& result, double tol) {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+  OPUS_CHECK_EQ(result.file_alloc.size(), m);
+  OPUS_CHECK_EQ(result.access.rows(), n);
+  OPUS_CHECK_EQ(result.access.cols(), m);
+  OPUS_CHECK_EQ(result.taxes.size(), n);
+  OPUS_CHECK_EQ(result.blocking.size(), n);
+  OPUS_CHECK_EQ(result.reported_utilities.size(), n);
+
+  if (!problem.file_sizes.empty()) {
+    OPUS_CHECK_EQ(problem.file_sizes.size(), m);
+    for (double s : problem.file_sizes) OPUS_CHECK_GT(s, 0.0);
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double a = result.file_alloc[j];
+    OPUS_CHECK_GE(a, -tol);
+    OPUS_CHECK_LE(a, 1.0 + tol);
+    total += a * problem.FileSize(j);
+  }
+  OPUS_CHECK_LE(total, problem.capacity + tol * problem.TotalSize());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    OPUS_CHECK_GE(result.blocking[i], -tol);
+    OPUS_CHECK_LE(result.blocking[i], 1.0 + tol);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double e = result.access(i, j);
+      OPUS_CHECK_GE(e, -tol);
+      // A user can never read more of a file than is cached.
+      OPUS_CHECK_LE(e, result.file_alloc[j] + tol);
+    }
+  }
+
+  if (!result.per_user_copies.empty()) {
+    OPUS_CHECK_EQ(result.per_user_copies.rows(), n);
+    OPUS_CHECK_EQ(result.per_user_copies.cols(), m);
+  }
+}
+
+}  // namespace opus

@@ -1,0 +1,96 @@
+// Core value types of the cache allocation model (paper Sec. II).
+//
+// N users share M unit-size files under total cache capacity C. User i's
+// caching preference for file j is p_ij, normalized so each non-empty row
+// sums to 1. An allocation caches a_j in [0,1] of file j with sum_j a_j <= C.
+// Because policies differ in *who may read* a cached byte (isolation blocks
+// non-owners; FairRide and OpuS block probabilistically), an allocation
+// outcome carries a per-(user,file) effective access matrix e_ij: the
+// expected in-memory-readable fraction of file j for user i. A user's
+// (net) utility against preference row q is sum_j e_ij * q_j, which equals
+// its expected effective cache hit ratio when q is its true access
+// distribution (Sec. VI, "Metric").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace opus {
+
+// A cache allocation instance: reported preferences + capacity.
+struct CachingProblem {
+  Matrix preferences;  // N x M, rows normalized (or identically zero)
+  double capacity = 0.0;
+
+  // Optional per-file sizes (positive; empty = unit-size files). a_j stays
+  // the cached *fraction* of file j; the capacity constraint becomes
+  // sum_j s_j a_j <= C and all budgets/taxes are in size units (paper
+  // Sec. V-B, varying file sizes).
+  std::vector<double> file_sizes;
+
+  std::size_t num_users() const { return preferences.rows(); }
+  std::size_t num_files() const { return preferences.cols(); }
+
+  // Size of file j (1 when file_sizes is empty).
+  double FileSize(std::size_t j) const;
+
+  // Sum of all file sizes.
+  double TotalSize() const;
+
+  // Builds a problem from raw non-negative scores (e.g. access frequencies),
+  // normalizing each row to sum to 1. Rows that sum to zero stay zero.
+  // Requires capacity >= 0.
+  static CachingProblem FromRaw(Matrix raw_scores, double capacity);
+
+  // Copy of this problem with user `i`'s preference row replaced by the
+  // (normalized) `misreport`. Used by strategy-proofness analyses.
+  CachingProblem WithMisreport(std::size_t i,
+                               std::vector<double> misreport) const;
+};
+
+// Outcome of running an allocation policy.
+struct AllocationResult {
+  std::string policy;
+
+  // Deduplicated in-memory fraction of each file (a_j). For isolated
+  // allocations this is the union view (a single physical copy is kept, per
+  // the paper's Sec. V implementation note).
+  std::vector<double> file_alloc;
+
+  // Effective access matrix e_ij in [0,1] (see file comment).
+  Matrix access;
+
+  // Per-user tax charged by the mechanism. Log-utility units for OpuS,
+  // utility units for classic VCG, zero for tax-free policies.
+  std::vector<double> taxes;
+
+  // Per-user blocking probability f_i enforced to collect the tax.
+  std::vector<double> blocking;
+
+  // Utilities w.r.t. the *reported* preferences the allocator saw.
+  std::vector<double> reported_utilities;
+
+  // True when the policy settled on cache sharing; false when it reduced to
+  // isolated caches (OpuS/VCG stage 2, or the isolation policy itself).
+  bool shared = true;
+
+  // For isolated allocations: own_ij = fraction of file j held in user i's
+  // private partition (copies). Empty for sharing policies.
+  Matrix per_user_copies;
+
+  // Total physical memory consumed, counting duplicate copies (equals
+  // sum_j a_j for sharing policies; may exceed it under isolation when the
+  // system does not deduplicate). Our isolation dedupes, so this reports
+  // the hypothetical copy footprint used for the waste metric.
+  double copy_footprint = 0.0;
+};
+
+// Sanity-checks structural invariants of `result` against `problem`
+// (dimensions, ranges, capacity). Aborts on violation; used in tests and
+// debug paths.
+void ValidateResult(const CachingProblem& problem,
+                    const AllocationResult& result, double tol = 1e-6);
+
+}  // namespace opus

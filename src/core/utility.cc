@@ -1,0 +1,86 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus {
+
+double EvaluateUtility(const AllocationResult& result,
+                       const Matrix& true_prefs, std::size_t i) {
+  OPUS_CHECK_LT(i, true_prefs.rows());
+  OPUS_CHECK_EQ(true_prefs.cols(), result.access.cols());
+  return Dot(result.access.row(i), true_prefs.row(i));
+}
+
+std::vector<double> EvaluateUtilities(const AllocationResult& result,
+                                      const Matrix& true_prefs) {
+  std::vector<double> out(true_prefs.rows());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = EvaluateUtility(result, true_prefs, i);
+  }
+  return out;
+}
+
+double IsolatedUtility(std::span<const double> prefs, double budget,
+                       std::span<const double> sizes) {
+  OPUS_CHECK_GE(budget, 0.0);
+  if (!sizes.empty()) {
+    OPUS_CHECK_EQ(sizes.size(), prefs.size());
+    for (double s : sizes) OPUS_CHECK_GT(s, 0.0);
+  }
+  auto size_of = [&](std::size_t j) {
+    return sizes.empty() ? 1.0 : sizes[j];
+  };
+  std::vector<std::size_t> order(prefs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return prefs[a] / size_of(a) > prefs[b] / size_of(b);
+                   });
+  double remaining = budget;
+  double utility = 0.0;
+  for (std::size_t j : order) {
+    if (remaining <= 0.0 || prefs[j] <= 0.0) break;
+    const double take = std::min(1.0, remaining / size_of(j));
+    utility += take * prefs[j];
+    remaining -= take * size_of(j);
+  }
+  return utility;
+}
+
+std::vector<double> IsolatedUtilities(const CachingProblem& problem) {
+  return IsolatedUtilities(problem, {});
+}
+
+std::vector<double> IsolatedUtilities(const CachingProblem& problem,
+                                      std::span<const double> user_weights) {
+  const std::size_t n = problem.num_users();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  double weight_total = 0.0;
+  if (!user_weights.empty()) {
+    OPUS_CHECK_EQ(user_weights.size(), n);
+    for (double w : user_weights) {
+      OPUS_CHECK_GT(w, 0.0);
+      weight_total += w;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share = user_weights.empty()
+                             ? 1.0 / static_cast<double>(n)
+                             : user_weights[i] / weight_total;
+    out[i] = IsolatedUtility(problem.preferences.row(i),
+                             problem.capacity * share, problem.file_sizes);
+  }
+  return out;
+}
+
+double FullAccessUtility(std::span<const double> prefs,
+                         std::span<const double> allocation) {
+  return Dot(prefs, allocation);
+}
+
+}  // namespace opus

@@ -1,0 +1,41 @@
+// Utility computations shared across allocators and analyses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace opus {
+
+// Utility of user `i` under `result` evaluated against `true_prefs` row i:
+//   sum_j e_ij * p_ij.
+// Pass the allocator's input preferences to get reported utilities, or the
+// user's genuine preferences to evaluate cheating outcomes.
+double EvaluateUtility(const AllocationResult& result, const Matrix& true_prefs,
+                       std::size_t i);
+
+// All users' utilities against `true_prefs`.
+std::vector<double> EvaluateUtilities(const AllocationResult& result,
+                                      const Matrix& true_prefs);
+
+// Utility a user with preference row `prefs` gains from a private isolated
+// cache of size `budget` (files cached greedily in descending preference
+// density p_j / s_j, last file possibly fractional). This is the paper's
+// U-bar (Definition 1). Empty `sizes` means unit-size files.
+double IsolatedUtility(std::span<const double> prefs, double budget,
+                       std::span<const double> sizes = {});
+
+// U-bar for every user with even split C/N.
+std::vector<double> IsolatedUtilities(const CachingProblem& problem);
+
+// Weighted variant: user i's private partition is C * w_i / sum(w) (the
+// priority-tenant extension). Empty `user_weights` = even split.
+std::vector<double> IsolatedUtilities(const CachingProblem& problem,
+                                      std::span<const double> user_weights);
+
+// Full-access utility sum_j a_j p_ij (no blocking), the U_i(a) of Eq. (1).
+double FullAccessUtility(std::span<const double> prefs,
+                         std::span<const double> allocation);
+
+}  // namespace opus

@@ -1,0 +1,89 @@
+#include "core/vcg_classic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "core/isolated.h"
+#include "core/utility.h"
+#include "solver/knapsack.h"
+
+namespace opus {
+namespace {
+
+constexpr double kIgTolerance = 1e-9;
+
+}  // namespace
+
+AllocationResult VcgClassicAllocator::Allocate(
+    const CachingProblem& problem) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+
+  // Stage 1: utilitarian welfare maximization.
+  std::vector<double> total_weight(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = problem.preferences.row(i);
+    for (std::size_t j = 0; j < m; ++j) total_weight[j] += row[j];
+  }
+  const KnapsackSolution star = SolveFractionalKnapsack(
+      total_weight, problem.capacity, problem.file_sizes);
+
+  std::vector<double> utilities(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    utilities[i] =
+        FullAccessUtility(problem.preferences.row(i), star.allocation);
+  }
+
+  // Clarke pivot taxes: solve each leave-one-out welfare problem.
+  std::vector<double> taxes(n, 0.0);
+  std::vector<double> blocking(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> weight_wo(m, 0.0);
+    const auto row = problem.preferences.row(i);
+    for (std::size_t j = 0; j < m; ++j) weight_wo[j] = total_weight[j] - row[j];
+    const KnapsackSolution wo = SolveFractionalKnapsack(
+        weight_wo, problem.capacity, problem.file_sizes);
+    // Others' welfare at a* equals total welfare minus user i's utility.
+    const double others_at_star = star.value - utilities[i];
+    taxes[i] = std::max(0.0, wo.value - others_at_star);
+    blocking[i] =
+        utilities[i] > 0.0 ? Clamp(taxes[i] / utilities[i], 0.0, 1.0) : 0.0;
+  }
+
+  // Stage 2: isolation-guarantee gate.
+  const std::vector<double> isolated = IsolatedUtilities(problem);
+  bool ig_holds = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double net = utilities[i] * (1.0 - blocking[i]);
+    if (net < isolated[i] - kIgTolerance) {
+      ig_holds = false;
+      break;
+    }
+  }
+  if (!ig_holds) {
+    AllocationResult r = IsolatedAllocator().Allocate(problem);
+    r.policy = name();
+    r.taxes = std::move(taxes);  // keep the stage-1 taxes for observability
+    return r;
+  }
+
+  AllocationResult r;
+  r.policy = name();
+  r.file_alloc = star.allocation;
+  r.access = Matrix(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      r.access(i, j) = (1.0 - blocking[i]) * r.file_alloc[j];
+    }
+  }
+  r.taxes = std::move(taxes);
+  r.blocking = std::move(blocking);
+  for (std::size_t j = 0; j < m; ++j) {
+    r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
+  }
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+}  // namespace opus

@@ -1,0 +1,24 @@
+// Classic-VCG opportunistic sharing (Sec. IV-B): the first-attempt design
+// that OpuS improves on, evaluated in Fig. 9.
+//
+// Stage 1 computes the utilitarian allocation (maximize sum_i U_i) and
+// charges each user the Clarke pivot tax in *utility* units:
+//   T_i = [others' best welfare without i] - [others' welfare at a*],
+// enforced as blocking probability f_i = T_i / U_i(a*). Stage 2 falls back
+// to isolated caches whenever some user's net utility U_i(a*) - T_i drops
+// below its isolated utility U-bar_i. Because the utilitarian objective
+// sacrifices small contributors, the fallback fires often — the effect
+// Fig. 9 quantifies.
+#pragma once
+
+#include "core/allocator.h"
+
+namespace opus {
+
+class VcgClassicAllocator final : public CacheAllocator {
+ public:
+  std::string name() const override { return "vcg-classic"; }
+  AllocationResult Allocate(const CachingProblem& problem) const override;
+};
+
+}  // namespace opus

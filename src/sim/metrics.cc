@@ -1,0 +1,65 @@
+#include "sim/metrics.h"
+
+#include "common/check.h"
+
+namespace opus::sim {
+
+HitRatioTracker::HitRatioTracker(std::size_t num_users, MetricsConfig config)
+    : config_(config), users_(num_users) {
+  OPUS_CHECK_GT(config_.window, 0u);
+  OPUS_CHECK_GT(config_.sample_every, 0u);
+}
+
+void HitRatioTracker::Record(cache::UserId user, double effective_hit,
+                             bool genuine) {
+  OPUS_CHECK_LT(user, users_.size());
+  OPUS_CHECK_GE(effective_hit, -1e-9);
+  OPUS_CHECK_LE(effective_hit, 1.0 + 1e-9);
+  UserState& u = users_[user];
+  if (!genuine) {
+    ++u.spurious;
+    return;
+  }
+  ++u.genuine;
+  u.hit_sum += effective_hit;
+  u.window.push_back(effective_hit);
+  u.window_sum += effective_hit;
+  if (u.window.size() > config_.window) {
+    u.window_sum -= u.window.front();
+    u.window.pop_front();
+  }
+  if (u.genuine % config_.sample_every == 0) {
+    u.series.push_back(u.window_sum / static_cast<double>(u.window.size()));
+  }
+}
+
+double HitRatioTracker::CumulativeRatio(cache::UserId user) const {
+  OPUS_CHECK_LT(user, users_.size());
+  const UserState& u = users_[user];
+  return u.genuine == 0 ? 0.0 : u.hit_sum / static_cast<double>(u.genuine);
+}
+
+std::vector<double> HitRatioTracker::CumulativeRatios() const {
+  std::vector<double> out(users_.size());
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    out[i] = CumulativeRatio(static_cast<cache::UserId>(i));
+  }
+  return out;
+}
+
+const std::vector<double>& HitRatioTracker::Series(cache::UserId user) const {
+  OPUS_CHECK_LT(user, users_.size());
+  return users_[user].series;
+}
+
+std::size_t HitRatioTracker::GenuineCount(cache::UserId user) const {
+  OPUS_CHECK_LT(user, users_.size());
+  return users_[user].genuine;
+}
+
+std::size_t HitRatioTracker::SpuriousCount(cache::UserId user) const {
+  OPUS_CHECK_LT(user, users_.size());
+  return users_[user].spurious;
+}
+
+}  // namespace opus::sim

@@ -1,0 +1,60 @@
+// Per-user effective-hit-ratio accounting for trace simulations.
+//
+// Implements the paper's metric (Sec. VI): every genuine access contributes
+// an effective hit in [0,1] — the in-memory fraction served, discounted by
+// the blocking probability (a delayed access counts as a fractional miss).
+// Spurious accesses are tracked separately: they drive frequency learning
+// and cache churn but do not score the cheater's workload.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "cache/types.h"
+
+namespace opus::sim {
+
+struct MetricsConfig {
+  // Rolling-window length (in genuine accesses per user) for time series.
+  std::size_t window = 100;
+  // Emit a series sample every this many genuine accesses per user.
+  std::size_t sample_every = 20;
+};
+
+class HitRatioTracker {
+ public:
+  HitRatioTracker(std::size_t num_users, MetricsConfig config = {});
+
+  // Records one access outcome.
+  void Record(cache::UserId user, double effective_hit, bool genuine);
+
+  // Cumulative effective hit ratio over the user's genuine accesses
+  // (0 when the user has none).
+  double CumulativeRatio(cache::UserId user) const;
+
+  // All users' cumulative ratios.
+  std::vector<double> CumulativeRatios() const;
+
+  // Rolling-window hit-ratio series for a user (one point per
+  // `sample_every` genuine accesses).
+  const std::vector<double>& Series(cache::UserId user) const;
+
+  std::size_t GenuineCount(cache::UserId user) const;
+  std::size_t SpuriousCount(cache::UserId user) const;
+
+ private:
+  struct UserState {
+    double hit_sum = 0.0;
+    std::size_t genuine = 0;
+    std::size_t spurious = 0;
+    std::deque<double> window;
+    double window_sum = 0.0;
+    std::vector<double> series;
+  };
+
+  MetricsConfig config_;
+  std::vector<UserState> users_;
+};
+
+}  // namespace opus::sim

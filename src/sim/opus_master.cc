@@ -1,0 +1,207 @@
+#include "sim/opus_master.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "workload/preference_gen.h"
+
+namespace opus::sim {
+namespace {
+
+// Average absolute preference drift between two normalized matrices; the
+// adaptive-window signal.
+double Drift(const Matrix& a, const Matrix& b) {
+  if (a.empty() || b.empty() || a.rows() != b.rows() ||
+      a.cols() != b.cols()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      total += std::fabs(a(i, j) - b(i, j));
+    }
+  }
+  return total / static_cast<double>(a.rows());
+}
+
+}  // namespace
+
+OpusMaster::OpusMaster(const CacheAllocator* allocator,
+                       cache::CacheCluster* cluster, OpusMasterConfig config)
+    : allocator_(allocator), cluster_(cluster), config_(config) {
+  OPUS_CHECK(allocator_ != nullptr);
+  OPUS_CHECK(cluster_ != nullptr);
+  OPUS_CHECK_GT(config_.update_interval, 0u);
+  OPUS_CHECK_GT(config_.learning_window, 0u);
+  const std::size_t n = cluster_->config().num_users;
+  const std::size_t m = cluster_->catalog().size();
+  counts_ = Matrix(n, m, 0.0);
+  // Allocation is posed in "units" of one mean file; heterogeneous
+  // catalogs carry per-file sizes in the same unit so the capacity
+  // constraint stays in bytes (paper Sec. V-B).
+  const double mean_file_bytes =
+      static_cast<double>(cluster_->catalog().TotalBytes()) /
+      static_cast<double>(m);
+  if (config_.capacity_units <= 0.0) {
+    config_.capacity_units =
+        static_cast<double>(cluster_->config().cache_capacity_bytes) /
+        mean_file_bytes;
+  }
+  file_sizes_.resize(m);
+  bool heterogeneous = false;
+  for (std::size_t j = 0; j < m; ++j) {
+    file_sizes_[j] =
+        static_cast<double>(cluster_->catalog().Get(static_cast<cache::FileId>(j)).size_bytes) /
+        mean_file_bytes;
+    if (std::fabs(file_sizes_[j] - 1.0) > 1e-6) heterogeneous = true;
+  }
+  if (!heterogeneous) file_sizes_.clear();  // unit-size fast path
+}
+
+void OpusMaster::Prime(const Matrix& preferences) {
+  OPUS_CHECK_EQ(preferences.rows(), counts_.rows());
+  OPUS_CHECK_EQ(preferences.cols(), counts_.cols());
+  CachingProblem problem =
+      CachingProblem::FromRaw(preferences, config_.capacity_units);
+  problem.file_sizes = file_sizes_;
+  previous_prefs_ = problem.preferences;
+  Apply(allocator_->Allocate(problem));
+}
+
+void OpusMaster::OnAccess(const workload::AccessEvent& event) {
+  OPUS_CHECK_LT(event.user, counts_.rows());
+  OPUS_CHECK_LT(event.file, counts_.cols());
+  window_.push_back(event);
+  counts_(event.user, event.file) += 1.0;
+  while (window_.size() > config_.learning_window) {
+    const auto& old = window_.front();
+    counts_(old.user, old.file) -= 1.0;
+    window_.pop_front();
+  }
+  if (++since_update_ >= config_.update_interval) {
+    Reallocate();
+  }
+}
+
+cache::UserId OpusMaster::RegisterClient(std::string name) {
+  OPUS_CHECK_MSG(client_names_.size() < counts_.rows(),
+                 "more clients than the cluster's num_users="
+                     << counts_.rows());
+  client_names_.push_back(std::move(name));
+  return static_cast<cache::UserId>(client_names_.size() - 1);
+}
+
+const std::string& OpusMaster::client_name(cache::UserId id) const {
+  OPUS_CHECK_LT(id, client_names_.size());
+  return client_names_[id];
+}
+
+void OpusMaster::ReportPreferences(cache::UserId client,
+                                   std::vector<double> prefs) {
+  OPUS_CHECK_LT(client, counts_.rows());
+  OPUS_CHECK_EQ(prefs.size(), counts_.cols());
+  OPUS_CHECK_MSG(NormalizeToOne(prefs),
+                 "explicitly reported preferences must have positive mass");
+  if (explicit_prefs_.empty()) explicit_prefs_.resize(counts_.rows());
+  explicit_prefs_[client] = std::move(prefs);
+}
+
+void OpusMaster::ClearReportedPreferences(cache::UserId client) {
+  OPUS_CHECK_LT(client, counts_.rows());
+  if (client < explicit_prefs_.size()) explicit_prefs_[client].clear();
+}
+
+bool OpusMaster::HasReportedPreferences(cache::UserId client) const {
+  OPUS_CHECK_LT(client, counts_.rows());
+  return client < explicit_prefs_.size() &&
+         !explicit_prefs_[client].empty();
+}
+
+Matrix OpusMaster::InferredPreferences() const {
+  Matrix prefs = workload::PreferencesFromCounts(counts_);
+  // Explicit reports override inference per client (Sec. V-A: preferences
+  // are either reported through an API or inferred from access history).
+  for (std::size_t i = 0; i < explicit_prefs_.size(); ++i) {
+    if (explicit_prefs_[i].empty()) continue;
+    auto row = prefs.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = explicit_prefs_[i][j];
+    }
+  }
+  return prefs;
+}
+
+void OpusMaster::Reallocate() {
+  since_update_ = 0;
+  Matrix prefs = InferredPreferences();
+  // Lazy mode: a stable preference estimate means the current allocation
+  // is still (near-)optimal — skip the N+1 solves entirely.
+  if (config_.lazy_threshold > 0.0 && reallocations_ > 0 &&
+      Drift(prefs, previous_prefs_) < config_.lazy_threshold) {
+    ++skipped_;
+    return;
+  }
+  if (config_.adaptive_window) AdaptWindow();
+  CachingProblem problem;
+  problem.preferences = prefs;
+  problem.capacity = config_.capacity_units;
+  problem.file_sizes = file_sizes_;
+  Apply(allocator_->Allocate(problem));
+  previous_prefs_ = std::move(prefs);
+}
+
+void OpusMaster::AdaptWindow() {
+  const Matrix now = InferredPreferences();
+  // Consecutive windows share all but `update_interval` of their samples,
+  // so the largest possible L1 distance between them is about
+  // 2 * interval / window; normalize the observed drift by that ceiling to
+  // get a window-size-independent signal in [0, ~1].
+  const double overlap_ceiling =
+      2.0 * static_cast<double>(config_.update_interval) /
+      static_cast<double>(std::max<std::size_t>(config_.learning_window,
+                                                config_.update_interval));
+  const double drift = Drift(now, previous_prefs_) / overlap_ceiling;
+  // Fast drift -> shrink the window to forget stale popularity sooner;
+  // stability -> grow it for lower-variance estimates.
+  if (drift > 0.2) {
+    config_.learning_window =
+        std::max(config_.min_window, config_.learning_window / 2);
+  } else if (drift < 0.05) {
+    config_.learning_window =
+        std::min(config_.max_window, config_.learning_window * 2);
+  }
+  while (window_.size() > config_.learning_window) {
+    const auto& old = window_.front();
+    counts_(old.user, old.file) -= 1.0;
+    window_.pop_front();
+  }
+}
+
+void OpusMaster::Apply(const AllocationResult& result) {
+  current_ = result;
+  ++reallocations_;
+  cluster_->ApplyAllocation(result.file_alloc);
+  // Per-(user,file) unblocked share e_ij / a_j for the delay model.
+  const std::size_t n = counts_.rows();
+  const std::size_t m = counts_.cols();
+  Matrix unblocked(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      unblocked(i, j) = result.file_alloc[j] > 1e-12
+                            ? result.access(i, j) / result.file_alloc[j]
+                            : 0.0;
+    }
+  }
+  if (config_.enable_journal) {
+    cache::JournalEntry entry;
+    entry.epoch = reallocations_;
+    entry.file_fractions = result.file_alloc;
+    entry.unblocked_share = unblocked;
+    journal_.Append(std::move(entry));
+  }
+  cluster_->SetAccessModel(std::move(unblocked));
+}
+
+}  // namespace opus::sim

@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include "analysis/stats.h"
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus::sim {
+namespace {
+
+SimulationResult Summarize(const std::string& policy,
+                           const HitRatioTracker& tracker,
+                           const cache::CacheCluster& cluster,
+                           std::size_t num_users) {
+  SimulationResult r;
+  r.policy = policy;
+  r.per_user_hit_ratio = tracker.CumulativeRatios();
+  r.series.reserve(num_users);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    r.series.push_back(tracker.Series(static_cast<cache::UserId>(i)));
+  }
+  r.average_hit_ratio = r.per_user_hit_ratio.empty()
+                            ? 0.0
+                            : Mean(r.per_user_hit_ratio);
+  r.evictions = cluster.total_evictions();
+  return r;
+}
+
+}  // namespace
+
+SimulationResult RunManagedSimulation(const ManagedSimConfig& config,
+                                      const CacheAllocator& allocator,
+                                      const cache::Catalog& catalog,
+                                      const workload::Trace& trace) {
+  cache::CacheCluster cluster(config.cluster, catalog);
+  OpusMaster master(&allocator, &cluster, config.master);
+  if (!config.prime_preferences.empty()) {
+    master.Prime(config.prime_preferences);
+  }
+  HitRatioTracker tracker(config.cluster.num_users, config.metrics);
+
+  double total_latency = 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(trace.events.size());
+  for (const auto& event : trace.events) {
+    // The master observes every access (spurious included — that is the
+    // attack surface); scoring happens on genuine accesses only.
+    master.OnAccess(event);
+    const cache::ReadResult read = cluster.Read(event.user, event.file);
+    total_latency += read.latency_sec;
+    latencies.push_back(read.latency_sec);
+    tracker.Record(event.user, read.effective_hit, !event.spurious);
+  }
+
+  SimulationResult r = Summarize(allocator.name(), tracker, cluster,
+                                 config.cluster.num_users);
+  r.reallocations = master.reallocations();
+  r.disk_bytes_read = cluster.under_store().bytes_read();
+  r.total_latency_sec = total_latency;
+  if (!latencies.empty()) {
+    r.latency_p50_sec = analysis::Percentile(latencies, 50);
+    r.latency_p95_sec = analysis::Percentile(latencies, 95);
+    r.latency_p99_sec = analysis::Percentile(latencies, 99);
+  }
+  return r;
+}
+
+SimulationResult RunUnmanagedSimulation(const UnmanagedSimConfig& config,
+                                        const cache::Catalog& catalog,
+                                        const workload::Trace& trace) {
+  cache::CacheCluster cluster(config.cluster, catalog);
+  HitRatioTracker tracker(config.cluster.num_users, config.metrics);
+
+  double total_latency = 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(trace.events.size());
+  for (const auto& event : trace.events) {
+    const cache::ReadResult read = cluster.Read(event.user, event.file);
+    total_latency += read.latency_sec;
+    latencies.push_back(read.latency_sec);
+    tracker.Record(event.user, read.effective_hit, !event.spurious);
+  }
+
+  SimulationResult r = Summarize(config.cluster.eviction_policy, tracker,
+                                 cluster, config.cluster.num_users);
+  r.disk_bytes_read = cluster.under_store().bytes_read();
+  r.total_latency_sec = total_latency;
+  if (!latencies.empty()) {
+    r.latency_p50_sec = analysis::Percentile(latencies, 50);
+    r.latency_p95_sec = analysis::Percentile(latencies, 95);
+    r.latency_p99_sec = analysis::Percentile(latencies, 99);
+  }
+  return r;
+}
+
+}  // namespace opus::sim

@@ -1,0 +1,60 @@
+// Trace-driven simulation engine: replays an access trace against either a
+// managed cluster (allocator + OpusMaster control loop) or an unmanaged
+// cluster (online LRU/LFU eviction), producing the paper's effective
+// hit-ratio metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cluster.h"
+#include "core/allocator.h"
+#include "sim/metrics.h"
+#include "sim/opus_master.h"
+#include "workload/trace.h"
+
+namespace opus::sim {
+
+struct SimulationResult {
+  std::string policy;
+  std::vector<double> per_user_hit_ratio;        // cumulative, genuine only
+  std::vector<std::vector<double>> series;       // rolling window, per user
+  double average_hit_ratio = 0.0;
+  std::size_t reallocations = 0;                 // managed mode only
+  std::uint64_t evictions = 0;                   // unmanaged mode only
+  std::uint64_t disk_bytes_read = 0;
+  double total_latency_sec = 0.0;
+  // Per-access latency percentiles across the whole trace (seconds).
+  double latency_p50_sec = 0.0;
+  double latency_p95_sec = 0.0;
+  double latency_p99_sec = 0.0;
+};
+
+struct ManagedSimConfig {
+  cache::ClusterConfig cluster;
+  OpusMasterConfig master;
+  MetricsConfig metrics;
+  // Steady-state priming: allocate once from these preferences before the
+  // trace starts (empty = start cold and learn from scratch).
+  Matrix prime_preferences;
+};
+
+// Replays `trace` under `allocator` with the OpusMaster control loop.
+SimulationResult RunManagedSimulation(const ManagedSimConfig& config,
+                                      const CacheAllocator& allocator,
+                                      const cache::Catalog& catalog,
+                                      const workload::Trace& trace);
+
+struct UnmanagedSimConfig {
+  cache::ClusterConfig cluster;  // eviction_policy selects lru/lfu
+  MetricsConfig metrics;
+};
+
+// Replays `trace` against stock cache-on-read eviction (the Fig. 5 LRU
+// baseline and the online-LFU reference).
+SimulationResult RunUnmanagedSimulation(const UnmanagedSimConfig& config,
+                                        const cache::Catalog& catalog,
+                                        const workload::Trace& trace);
+
+}  // namespace opus::sim

@@ -1,0 +1,92 @@
+#include "sim/sweep.h"
+
+#include "analysis/csv.h"
+#include "analysis/stats.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/utility.h"
+
+namespace opus::sim {
+
+SweepRunner::SweepRunner(std::vector<std::string> point_labels,
+                         ProblemFn problem_fn, int replications,
+                         std::uint64_t seed)
+    : point_labels_(std::move(point_labels)),
+      problem_fn_(std::move(problem_fn)),
+      replications_(replications),
+      seed_(seed) {
+  OPUS_CHECK(!point_labels_.empty());
+  OPUS_CHECK_GT(replications_, 0);
+  OPUS_CHECK(problem_fn_ != nullptr);
+}
+
+void SweepRunner::AddPolicy(const CacheAllocator* policy) {
+  OPUS_CHECK(policy != nullptr);
+  policies_.push_back(policy);
+}
+
+void SweepRunner::Run() {
+  OPUS_CHECK(!policies_.empty());
+  for (std::size_t point = 0; point < point_labels_.size(); ++point) {
+    for (int rep = 0; rep < replications_; ++rep) {
+      // Instance seed depends only on (point, rep): adding/removing
+      // policies cannot perturb the generated problems.
+      Rng rng(seed_ ^ (static_cast<std::uint64_t>(point) << 32) ^
+              static_cast<std::uint64_t>(rep));
+      const CachingProblem problem = problem_fn_(point, rep, rng);
+      for (const CacheAllocator* policy : policies_) {
+        const AllocationResult result = policy->Allocate(problem);
+        const auto utils = EvaluateUtilities(result, problem.preferences);
+        for (std::size_t u = 0; u < utils.size(); ++u) {
+          records_.push_back({policy->name(), point_labels_[point], rep, u,
+                              utils[u], result.shared});
+        }
+      }
+    }
+  }
+}
+
+std::vector<SweepPointSummary> SweepRunner::Summaries() const {
+  std::vector<SweepPointSummary> out;
+  for (const CacheAllocator* policy : policies_) {
+    for (const auto& label : point_labels_) {
+      std::vector<double> utils;
+      int shared = 0, reps_seen = 0, last_rep = -1;
+      for (const auto& r : records_) {
+        if (r.policy != policy->name() || r.point != label) continue;
+        utils.push_back(r.utility);
+        if (r.replication != last_rep) {
+          last_rep = r.replication;
+          ++reps_seen;
+          if (r.shared) ++shared;
+        }
+      }
+      if (utils.empty()) continue;
+      SweepPointSummary s;
+      s.policy = policy->name();
+      s.point = label;
+      s.mean = analysis::ComputeBoxStats(utils).mean;
+      s.p5 = analysis::Percentile(utils, 5);
+      s.p95 = analysis::Percentile(utils, 95);
+      s.sharing_rate =
+          reps_seen > 0 ? static_cast<double>(shared) / reps_seen : 0.0;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::string SweepRunner::ToCsv() const {
+  analysis::CsvTable table;
+  table.header = {"policy", "point", "replication", "user", "utility",
+                  "shared"};
+  for (const auto& r : records_) {
+    table.rows.push_back({r.policy, r.point, std::to_string(r.replication),
+                          std::to_string(r.user),
+                          StrFormat("%.6f", r.utility),
+                          r.shared ? "1" : "0"});
+  }
+  return analysis::WriteCsv(table);
+}
+
+}  // namespace opus::sim

@@ -1,0 +1,67 @@
+// Experiment sweep runner: evaluates a set of policies over a grid of
+// randomized problem instances and collects per-(policy, instance, user)
+// records — the machinery behind parameter-sweep figures (Fig. 8/9 style),
+// exposed as a library so downstream studies don't rewrite the loop.
+// Records export to CSV for external plotting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/allocator.h"
+
+namespace opus::sim {
+
+struct SweepRecord {
+  std::string policy;
+  std::string point;       // sweep-point label (e.g. "users=50")
+  int replication = 0;
+  std::size_t user = 0;
+  double utility = 0.0;    // true-preference effective hit ratio
+  bool shared = false;     // the policy settled on sharing
+};
+
+struct SweepPointSummary {
+  std::string policy;
+  std::string point;
+  double mean = 0.0, p5 = 0.0, p95 = 0.0;
+  double sharing_rate = 0.0;  // fraction of replications that shared
+};
+
+class SweepRunner {
+ public:
+  // Generator builds the problem for (point_index, replication); the rng is
+  // seeded deterministically per (point, replication) so adding policies
+  // never perturbs instances.
+  using ProblemFn =
+      std::function<CachingProblem(std::size_t point, int replication, Rng&)>;
+
+  SweepRunner(std::vector<std::string> point_labels, ProblemFn problem_fn,
+              int replications, std::uint64_t seed = 0xBEEF);
+
+  // Registers a policy (borrowed; must outlive Run()).
+  void AddPolicy(const CacheAllocator* policy);
+
+  // Runs the full grid; records accumulate across calls.
+  void Run();
+
+  const std::vector<SweepRecord>& records() const { return records_; }
+
+  // Per-(policy, point) aggregate across users x replications.
+  std::vector<SweepPointSummary> Summaries() const;
+
+  // Records as CSV (policy,point,replication,user,utility,shared).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> point_labels_;
+  ProblemFn problem_fn_;
+  int replications_;
+  std::uint64_t seed_;
+  std::vector<const CacheAllocator*> policies_;
+  std::vector<SweepRecord> records_;
+};
+
+}  // namespace opus::sim

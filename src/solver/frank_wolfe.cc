@@ -1,0 +1,155 @@
+#include "solver/frank_wolfe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "solver/knapsack.h"
+
+namespace opus {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double Objective(const Matrix& prefs, std::span<const double> a,
+                 std::vector<double>& utilities) {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < prefs.rows(); ++i) {
+    const double u = Dot(prefs.row(i), a);
+    utilities[i] = u;
+    double row_sum = 0.0;
+    for (double p : prefs.row(i)) row_sum += p;
+    if (row_sum <= 0.0) continue;
+    if (u <= 0.0) return kNegInf;
+    obj += std::log(u);
+  }
+  return obj;
+}
+
+}  // namespace
+
+PfSolution SolveProportionalFairnessFw(const Matrix& preferences,
+                                       double capacity,
+                                       const FrankWolfeOptions& options,
+                                       std::span<const double> file_sizes) {
+  OPUS_CHECK_GE(capacity, 0.0);
+  const std::size_t n = preferences.rows();
+  const std::size_t m = preferences.cols();
+  if (!file_sizes.empty()) OPUS_CHECK_EQ(file_sizes.size(), m);
+
+  PfSolution sol;
+  sol.utilities.assign(n, 0.0);
+  if (m == 0 || capacity == 0.0) {
+    sol.allocation.assign(m, 0.0);
+    sol.converged = true;
+    return sol;
+  }
+
+  double total_size = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    total_size += file_sizes.empty() ? 1.0 : file_sizes[j];
+  }
+  // Start from the uniform interior point.
+  std::vector<double> a(m, std::min(1.0, capacity / total_size));
+  std::vector<double> utilities(n, 0.0);
+  double f = Objective(preferences, a, utilities);
+  if (f == kNegInf) {
+    // No active user: any feasible point works.
+    sol.allocation = std::move(a);
+    sol.converged = true;
+    return sol;
+  }
+
+  std::vector<double> grad(m, 0.0);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    sol.iterations = iter;
+    // grad_j = sum_i p_ij / U_i over active users.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (double p : preferences.row(i)) row_sum += p;
+      if (row_sum <= 0.0 || utilities[i] <= 0.0) continue;
+      const auto row = preferences.row(i);
+      for (std::size_t j = 0; j < m; ++j) {
+        grad[j] += row[j] / utilities[i];
+      }
+    }
+
+    // Linear maximization oracle over the (weighted) capped simplex.
+    const KnapsackSolution vertex =
+        SolveFractionalKnapsack(grad, capacity, file_sizes);
+
+    double gap = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      gap += grad[j] * (vertex.allocation[j] - a[j]);
+    }
+    if (gap < options.gap_tolerance) {
+      sol.residual = gap;
+      sol.converged = true;
+      break;
+    }
+
+    // Exact line search on gamma in [0, 1] for the concave 1-D slice
+    // g(gamma) = sum_i log(U_i + gamma D_i): golden-section is robust and
+    // cheap (the per-user direction D_i is precomputable).
+    std::vector<double> dir_util(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = 0.0;
+      const auto row = preferences.row(i);
+      for (std::size_t j = 0; j < m; ++j) {
+        d += row[j] * (vertex.allocation[j] - a[j]);
+      }
+      dir_util[i] = d;
+    }
+    auto slice = [&](double gamma) {
+      double obj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (utilities[i] <= 0.0) continue;
+        const double u = utilities[i] + gamma * dir_util[i];
+        if (u <= 0.0) return kNegInf;
+        obj += std::log(u);
+      }
+      return obj;
+    };
+    double lo = 0.0, hi = 1.0;
+    constexpr double kInvPhi = 0.6180339887498949;
+    double x1 = hi - kInvPhi * (hi - lo);
+    double x2 = lo + kInvPhi * (hi - lo);
+    double f1 = slice(x1), f2 = slice(x2);
+    for (int it = 0; it < 60; ++it) {
+      if (f1 < f2) {
+        lo = x1;
+        x1 = x2;
+        f1 = f2;
+        x2 = lo + kInvPhi * (hi - lo);
+        f2 = slice(x2);
+      } else {
+        hi = x2;
+        x2 = x1;
+        f2 = f1;
+        x1 = hi - kInvPhi * (hi - lo);
+        f1 = slice(x1);
+      }
+    }
+    const double gamma = Clamp(0.5 * (lo + hi), 0.0, 1.0);
+    if (gamma <= 0.0) {
+      sol.residual = gap;
+      break;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      a[j] += gamma * (vertex.allocation[j] - a[j]);
+    }
+    f = Objective(preferences, a, utilities);
+  }
+
+  sol.allocation = std::move(a);
+  sol.objective = f;
+  for (std::size_t i = 0; i < n; ++i) {
+    sol.utilities[i] = Dot(preferences.row(i), sol.allocation);
+  }
+  return sol;
+}
+
+}  // namespace opus

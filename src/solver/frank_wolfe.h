@@ -1,0 +1,36 @@
+// Frank-Wolfe (conditional gradient) solver for the PF problem — an
+// independent second algorithm used to cross-validate the projected
+// gradient solver (tests/solver/cross_check_test.cc) and as a
+// projection-free alternative for very large catalogs.
+//
+// Each iteration maximizes the linearized objective over the feasible set
+//   argmax_s <grad f(a), s>  s.t. 0 <= s_j <= 1, sum_j w_j s_j <= C,
+// which for this polytope is a fractional knapsack with values grad_j and
+// sizes w_j, then steps a <- a + gamma (s - a) with exact line search on
+// the 1-D concave slice.
+#pragma once
+
+#include <span>
+
+#include "solver/pf_solver.h"
+
+namespace opus {
+
+struct FrankWolfeOptions {
+  // Stop when the Frank-Wolfe duality gap <grad, s - a> drops below this.
+  // The gap directly bounds objective suboptimality (f* - f <= gap).
+  // Classic FW zigzags on polytope faces (O(1/k)), so gaps much below
+  // ~1e-5 are uneconomical — use the projected-gradient solver when
+  // tighter solutions are needed; this backend exists for cross-checking.
+  double gap_tolerance = 2e-5;
+  int max_iterations = 200000;
+};
+
+// Solves the same problem as SolveProportionalFairness (weights all-one).
+// Returns a PfSolution; `residual` holds the final duality gap.
+PfSolution SolveProportionalFairnessFw(
+    const Matrix& preferences, double capacity,
+    const FrankWolfeOptions& options = {},
+    std::span<const double> file_sizes = {});
+
+}  // namespace opus

@@ -1,0 +1,49 @@
+#include "solver/knapsack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace opus {
+
+KnapsackSolution SolveFractionalKnapsack(std::span<const double> values,
+                                         double capacity) {
+  return SolveFractionalKnapsack(values, capacity, {});
+}
+
+KnapsackSolution SolveFractionalKnapsack(std::span<const double> values,
+                                         double capacity,
+                                         std::span<const double> sizes) {
+  OPUS_CHECK_GE(capacity, 0.0);
+  if (!sizes.empty()) {
+    OPUS_CHECK_EQ(sizes.size(), values.size());
+    for (double s : sizes) OPUS_CHECK_GT(s, 0.0);
+  }
+  auto size_of = [&](std::size_t j) {
+    return sizes.empty() ? 1.0 : sizes[j];
+  };
+  KnapsackSolution sol;
+  sol.allocation.assign(values.size(), 0.0);
+
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return values[a] / size_of(a) > values[b] / size_of(b);
+                   });
+
+  double remaining = capacity;
+  for (std::size_t j : order) {
+    OPUS_CHECK_GE(values[j], 0.0);
+    if (remaining <= 0.0) break;
+    if (values[j] <= 0.0) break;  // zero-value files are never worth caching
+    const double take = std::min(1.0, remaining / size_of(j));
+    sol.allocation[j] = take;
+    sol.value += values[j] * take;
+    remaining -= take * size_of(j);
+  }
+  return sol;
+}
+
+}  // namespace opus

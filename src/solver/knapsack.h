@@ -1,0 +1,36 @@
+// Fractional knapsack over unit-size files:
+//
+//   maximize   sum_j v_j * a_j
+//   subject to 0 <= a_j <= 1,  sum_j a_j <= C.
+//
+// This is the utilitarian (social-welfare-maximizing) allocation used by the
+// classic VCG baseline (Sec. IV-B) and by the global-optimum ("optimal LFU")
+// policy in Fig. 8: cache whole files in descending total-value order, with
+// at most one fractional file at the capacity boundary.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace opus {
+
+struct KnapsackSolution {
+  std::vector<double> allocation;  // a_j in [0,1]
+  double value = 0.0;              // sum_j v_j a_j
+};
+
+// Solves the fractional knapsack. Values may be zero (such files are cached
+// only if everything positive already fits — i.e. never beyond need).
+// Ties are broken by lower file index for determinism. Requires
+// capacity >= 0 and all values >= 0.
+KnapsackSolution SolveFractionalKnapsack(std::span<const double> values,
+                                         double capacity);
+
+// Heterogeneous-size variant: file j occupies sizes[j] > 0 units when fully
+// cached; the greedy order is by value density v_j / s_j (ties by lower
+// index). Empty `sizes` means all-ones.
+KnapsackSolution SolveFractionalKnapsack(std::span<const double> values,
+                                         double capacity,
+                                         std::span<const double> sizes);
+
+}  // namespace opus

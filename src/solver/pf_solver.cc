@@ -1,0 +1,234 @@
+#include "solver/pf_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "solver/projection.h"
+
+namespace opus {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Users that participate in the objective: positive weight and a non-zero
+// preference row.
+std::vector<std::size_t> ActiveUsers(const Matrix& prefs,
+                                     std::span<const double> weights) {
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < prefs.rows(); ++i) {
+    if (!weights.empty() && weights[i] <= 0.0) continue;
+    double row_sum = 0.0;
+    for (double p : prefs.row(i)) {
+      OPUS_CHECK_GE(p, 0.0);
+      row_sum += p;
+    }
+    if (row_sum > 0.0) active.push_back(i);
+  }
+  return active;
+}
+
+double UserWeight(std::span<const double> weights, std::size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+// Objective sum_i w_i log(p_i . a) over active users; -inf if any active
+// user has zero utility.
+double Objective(const Matrix& prefs, std::span<const double> weights,
+                 const std::vector<std::size_t>& active,
+                 std::span<const double> a, std::vector<double>& utilities) {
+  double obj = 0.0;
+  for (std::size_t i : active) {
+    const double u = Dot(prefs.row(i), a);
+    utilities[i] = u;
+    if (u <= 0.0) return kNegInf;
+    obj += UserWeight(weights, i) * std::log(u);
+  }
+  return obj;
+}
+
+// grad_j = sum_i w_i p_ij / U_i. `utilities` must already hold p_i . a.
+void Gradient(const Matrix& prefs, std::span<const double> weights,
+              const std::vector<std::size_t>& active,
+              const std::vector<double>& utilities, std::vector<double>& g) {
+  std::fill(g.begin(), g.end(), 0.0);
+  for (std::size_t i : active) {
+    const double scale = UserWeight(weights, i) / utilities[i];
+    const auto row = prefs.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) g[j] += scale * row[j];
+  }
+}
+
+}  // namespace
+
+PfSolution SolveProportionalFairness(const Matrix& preferences,
+                                     double capacity,
+                                     const PfOptions& options,
+                                     std::span<const double> weights,
+                                     std::span<const double> warm_start,
+                                     std::span<const double> file_sizes) {
+  OPUS_CHECK_GE(capacity, 0.0);
+  if (!weights.empty()) OPUS_CHECK_EQ(weights.size(), preferences.rows());
+  const std::size_t m = preferences.cols();
+  if (!file_sizes.empty()) {
+    OPUS_CHECK_EQ(file_sizes.size(), m);
+    for (double s : file_sizes) OPUS_CHECK_GT(s, 0.0);
+  }
+  double total_size = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    total_size += file_sizes.empty() ? 1.0 : file_sizes[j];
+  }
+
+  PfSolution sol;
+  sol.utilities.assign(preferences.rows(), 0.0);
+
+  const auto active = ActiveUsers(preferences, weights);
+  if (m == 0 || capacity == 0.0 || active.empty()) {
+    // Nothing to allocate or nobody to please: any feasible point is
+    // optimal; return the zero allocation (or projected warm start when no
+    // user is active but capacity exists — zero keeps results deterministic).
+    sol.allocation.assign(m, 0.0);
+    sol.objective = active.empty() ? 0.0 : kNegInf;
+    sol.converged = true;
+    // Utilities for inactive users are still reported against the returned
+    // allocation (zero here).
+    return sol;
+  }
+
+  // If capacity covers every file, a_j = 1 is optimal (objective is
+  // monotone non-decreasing in each a_j).
+  if (capacity >= total_size) {
+    sol.allocation.assign(m, 1.0);
+    std::vector<double> util(preferences.rows(), 0.0);
+    sol.objective =
+        Objective(preferences, weights, active, sol.allocation, util);
+    for (std::size_t i = 0; i < preferences.rows(); ++i) {
+      sol.utilities[i] = Dot(preferences.row(i), sol.allocation);
+    }
+    sol.converged = true;
+    return sol;
+  }
+
+  // Starting point: warm start if provided (projected), else uniform spread
+  // which guarantees positive utility for every active user.
+  std::vector<double> a;
+  const double uniform_fill = capacity / total_size;  // < 1 here
+  if (!warm_start.empty()) {
+    OPUS_CHECK_EQ(warm_start.size(), m);
+    a = ProjectCappedSimplex(warm_start, capacity, file_sizes);
+    std::vector<double> util(preferences.rows(), 0.0);
+    if (Objective(preferences, weights, active, a, util) == kNegInf) {
+      a.assign(m, uniform_fill);
+    }
+  } else {
+    a.assign(m, uniform_fill);
+  }
+
+  std::vector<double> utilities(preferences.rows(), 0.0);
+  std::vector<double> g(m, 0.0), g_prev(m, 0.0), a_prev(m, 0.0);
+  std::vector<double> cand(m, 0.0), trial(m, 0.0);
+  std::vector<double> cand_util(preferences.rows(), 0.0);
+
+  double f = Objective(preferences, weights, active, a, utilities);
+  OPUS_CHECK(f > kNegInf);
+  Gradient(preferences, weights, active, utilities, g);
+
+  double step = 1.0;
+  bool have_prev = false;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    sol.iterations = iter;
+
+    // Barzilai-Borwein step length from the previous iterate pair.
+    if (have_prev) {
+      double sy = 0.0, ss = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double s = a[j] - a_prev[j];
+        const double y = g_prev[j] - g[j];  // curvature of -f
+        ss += s * s;
+        sy += s * y;
+      }
+      if (sy > 1e-18 && ss > 0.0) {
+        step = Clamp(ss / sy, 1e-12, 1e12);
+      } else {
+        step = std::min(step * 2.0, 1e12);
+      }
+    }
+
+    // Armijo backtracking on the projected step.
+    double f_cand = kNegInf;
+    bool accepted = false;
+    for (int bt = 0; bt < 80; ++bt) {
+      for (std::size_t j = 0; j < m; ++j) trial[j] = a[j] + step * g[j];
+      cand = ProjectCappedSimplex(trial, capacity, file_sizes);
+      f_cand = Objective(preferences, weights, active, cand, cand_util);
+      if (f_cand > kNegInf) {
+        double descent = 0.0;  // <g, cand - a> >= 0 for a projected ascent
+        for (std::size_t j = 0; j < m; ++j) descent += g[j] * (cand[j] - a[j]);
+        if (f_cand >= f + 1e-4 * descent || descent <= 0.0) {
+          accepted = true;
+          break;
+        }
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // numerically stuck; residual reported below
+
+    a_prev = a;
+    g_prev = g;
+    a = cand;
+    utilities = cand_util;
+    f = f_cand;
+    Gradient(preferences, weights, active, utilities, g);
+    have_prev = true;
+
+    if (iter % options.check_interval == 0) {
+      // Unit-step projected-gradient residual: zero iff KKT-optimal.
+      for (std::size_t j = 0; j < m; ++j) trial[j] = a[j] + g[j];
+      const auto proj = ProjectCappedSimplex(trial, capacity, file_sizes);
+      const double res = MaxAbsDiff(proj, a);
+      if (res < options.tolerance) {
+        sol.residual = res;
+        sol.converged = true;
+        break;
+      }
+    }
+  }
+
+  if (!sol.converged) {
+    for (std::size_t j = 0; j < m; ++j) trial[j] = a[j] + g[j];
+    const auto proj = ProjectCappedSimplex(trial, capacity, file_sizes);
+    sol.residual = MaxAbsDiff(proj, a);
+    sol.converged = sol.residual < options.tolerance * 10.0;
+  }
+
+  sol.allocation = std::move(a);
+  sol.objective = f;
+  for (std::size_t i = 0; i < preferences.rows(); ++i) {
+    sol.utilities[i] = Dot(preferences.row(i), sol.allocation);
+  }
+  return sol;
+}
+
+double PfOptimalityResidual(const Matrix& preferences, double capacity,
+                            std::span<const double> allocation,
+                            std::span<const double> weights,
+                            std::span<const double> file_sizes) {
+  OPUS_CHECK_EQ(allocation.size(), preferences.cols());
+  const auto active = ActiveUsers(preferences, weights);
+  std::vector<double> utilities(preferences.rows(), 0.0);
+  std::vector<double> a(allocation.begin(), allocation.end());
+  if (Objective(preferences, weights, active, a, utilities) == kNegInf) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> g(preferences.cols(), 0.0);
+  Gradient(preferences, weights, active, utilities, g);
+  std::vector<double> trial(preferences.cols());
+  for (std::size_t j = 0; j < trial.size(); ++j) trial[j] = a[j] + g[j];
+  const auto proj = ProjectCappedSimplex(trial, capacity, file_sizes);
+  return MaxAbsDiff(proj, a);
+}
+
+}  // namespace opus

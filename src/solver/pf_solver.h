@@ -1,0 +1,64 @@
+// Proportional-fairness solver for the cache allocation problem (Eq. (2)):
+//
+//   maximize   sum_i w_i * log( sum_j p_ij * a_j )
+//   subject to 0 <= a_j <= 1,  sum_j a_j <= C.
+//
+// The paper solves this with CVXPY; we ship a native projected-gradient
+// method with Barzilai-Borwein steps, Armijo backtracking, and a
+// projected-gradient optimality residual. The solver supports warm starts,
+// which matter because OpuS's VCG tax computation solves N+1 closely related
+// instances (full problem plus each leave-one-out problem).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace opus {
+
+struct PfOptions {
+  // Stop when the unit-step projected-gradient residual drops below this.
+  double tolerance = 1e-9;
+  // Hard iteration cap (safety net; typical solves need a few hundred).
+  int max_iterations = 50000;
+  // Check the residual every `check_interval` iterations.
+  int check_interval = 10;
+};
+
+struct PfSolution {
+  std::vector<double> allocation;  // a_j, feasible for the capped simplex
+  std::vector<double> utilities;   // U_i = p_i . a (0 for zero-weight users)
+  double objective = 0.0;          // sum of w_i log U_i over active users
+  double residual = 0.0;           // final optimality residual
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Solves the PF problem.
+//
+// `preferences` is N x M; rows need not be normalized but must be
+// non-negative. `weights` (size N, default all-ones) scales each user's log
+// term; a weight of zero removes the user from the objective entirely —
+// this is how leave-one-out tax problems are posed without reshaping the
+// matrix. Users whose preference row sums to zero are likewise ignored.
+// `warm_start` (size M, feasible or not — it is projected) seeds the
+// iteration. `file_sizes` (size M, positive; empty = unit sizes) switches
+// the capacity constraint to sum_j s_j a_j <= C for heterogeneous files
+// (paper Sec. V-B). Requires capacity >= 0.
+PfSolution SolveProportionalFairness(
+    const Matrix& preferences, double capacity,
+    const PfOptions& options = {},
+    std::span<const double> weights = {},
+    std::span<const double> warm_start = {},
+    std::span<const double> file_sizes = {});
+
+// Max KKT violation of `allocation` for the PF problem: the L-inf norm of
+// Proj(a + grad f(a)) - a. Zero iff `allocation` is optimal. Used by tests.
+double PfOptimalityResidual(const Matrix& preferences, double capacity,
+                            std::span<const double> allocation,
+                            std::span<const double> weights = {},
+                            std::span<const double> file_sizes = {});
+
+}  // namespace opus

@@ -1,0 +1,99 @@
+#include "solver/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace opus {
+namespace {
+
+double WeightAt(std::span<const double> weights, std::size_t j) {
+  return weights.empty() ? 1.0 : weights[j];
+}
+
+double ClampedWeightedSum(std::span<const double> y,
+                          std::span<const double> weights, double tau) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    const double w = WeightAt(weights, j);
+    s += w * Clamp(y[j] - tau * w, 0.0, 1.0);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> ProjectCappedSimplex(std::span<const double> y,
+                                         double capacity) {
+  return ProjectCappedSimplex(y, capacity, {});
+}
+
+std::vector<double> ProjectCappedSimplex(std::span<const double> y,
+                                         double capacity,
+                                         std::span<const double> weights) {
+  OPUS_CHECK_GE(capacity, 0.0);
+  if (!weights.empty()) {
+    OPUS_CHECK_EQ(weights.size(), y.size());
+    for (double w : weights) OPUS_CHECK_GT(w, 0.0);
+  }
+  std::vector<double> x(y.size());
+  // Fast path: the box-clamped point may already satisfy the capacity.
+  double clamped_sum = 0.0;
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    x[j] = Clamp(y[j], 0.0, 1.0);
+    clamped_sum += WeightAt(weights, j) * x[j];
+  }
+  if (clamped_sum <= capacity) return x;
+
+  // Bisection for tau: the weighted clamped sum is non-increasing in tau,
+  // equals clamped_sum > C at tau = 0, and reaches 0 once
+  // tau >= max_j(y_j / w_j).
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    hi = std::max(hi, y[j] / WeightAt(weights, j));
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ClampedWeightedSum(y, weights, mid) > capacity) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-15 * std::max(1.0, hi)) break;
+  }
+  const double tau = 0.5 * (lo + hi);
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    x[j] = Clamp(y[j] - tau * WeightAt(weights, j), 0.0, 1.0);
+  }
+  // Exact-capacity touch-up: absorb the bisection residue in interior
+  // coordinates so downstream capacity checks hold to tight tolerance.
+  double total = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    total += WeightAt(weights, j) * x[j];
+  }
+  double residual = capacity - total;  // in weighted units
+  for (std::size_t j = 0; j < x.size() && std::fabs(residual) > 1e-15; ++j) {
+    if (x[j] > 0.0 && x[j] < 1.0) {
+      const double w = WeightAt(weights, j);
+      const double nx = Clamp(x[j] + residual / w, 0.0, 1.0);
+      residual -= (nx - x[j]) * w;
+      x[j] = nx;
+    }
+  }
+  return x;
+}
+
+bool IsFeasibleCappedSimplex(std::span<const double> x, double capacity,
+                             double tol, std::span<const double> weights) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < -tol || x[j] > 1.0 + tol) return false;
+    total += WeightAt(weights, j) * x[j];
+  }
+  return total <= capacity + tol;
+}
+
+}  // namespace opus

@@ -1,0 +1,37 @@
+// Euclidean projection onto the capped simplex
+//   S = { x in R^M : 0 <= x_j <= 1, sum_j x_j <= C }.
+//
+// This is the feasible set of the cache allocation problem (files of unit
+// size cached fractionally, total capacity C). The projection is the
+// workhorse of the projected-gradient PF solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace opus {
+
+// Returns argmin_{x in S} ||x - y||_2. Requires capacity >= 0.
+//
+// Implementation: if clamp(y, 0, 1) already fits the capacity it is optimal;
+// otherwise the KKT conditions give x_j = clamp(y_j - tau, 0, 1) for the
+// unique tau >= 0 with sum_j x_j = C, located by bisection (the sum is
+// continuous and non-increasing in tau).
+std::vector<double> ProjectCappedSimplex(std::span<const double> y,
+                                         double capacity);
+
+// Weighted variant for heterogeneous file sizes (paper Sec. V-B): the
+// feasible set becomes { 0 <= x_j <= 1, sum_j w_j x_j <= C } with w_j > 0
+// (the file sizes). KKT gives x_j = clamp(y_j - tau * w_j, 0, 1).
+// An empty `weights` span means all-ones (the unweighted set).
+std::vector<double> ProjectCappedSimplex(std::span<const double> y,
+                                         double capacity,
+                                         std::span<const double> weights);
+
+// True iff x is feasible for S up to tolerance `tol`. Empty `weights`
+// means all-ones.
+bool IsFeasibleCappedSimplex(std::span<const double> x, double capacity,
+                             double tol = 1e-9,
+                             std::span<const double> weights = {});
+
+}  // namespace opus

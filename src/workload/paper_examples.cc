@@ -1,0 +1,26 @@
+#include "workload/paper_examples.h"
+
+namespace opus::workload {
+
+CachingProblem Fig1Example() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  return p;
+}
+
+std::vector<double> Fig2Misreport() { return {0.0, 0.4, 0.6}; }
+
+CachingProblem Fig3Example() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  return p;
+}
+
+std::vector<double> Fig3Misreport() { return {0.55, 0.45, 0.0}; }
+
+}  // namespace opus::workload

@@ -1,0 +1,42 @@
+// The paper's worked examples as canonical, documented scenario builders —
+// one definition shared by tests, benches and examples, together with the
+// analytic expectations derived in the paper (and re-derived exactly in
+// DESIGN.md where the paper rounds).
+#pragma once
+
+#include "core/types.h"
+
+namespace opus::workload {
+
+// Fig. 1 (Sec. II-A): users A, B over files F1-F3, capacity 2.
+//   max-min & PF allocation: a = (1/2, 1, 1/2); U_A = U_B = 0.8;
+//   isolated utilities 0.6; OpuS taxes log 1.25, net utilities 0.64.
+CachingProblem Fig1Example();
+
+// Fig. 2 misreport (Sec. III-C): user B's lie "F3 over F2" as the row it
+// feeds the allocator (normalized).
+std::vector<double> Fig2Misreport();
+
+// Fig. 3 (Sec. III-D): users A-D over files F1-F3, capacity 2 (budgets
+// 0.5). Truthful FairRide utilities: A = 2/3, B = 0.775, C = D = 0.70.
+CachingProblem Fig3Example();
+
+// Fig. 3b misreport: user B's lie "F1 over F2". Under FairRide it lifts B
+// to 0.45 + 0.55*2/3 = 0.8167 and drops D to 0.55.
+std::vector<double> Fig3Misreport();
+
+// Analytic anchors (exact values; see tests/workload/paper_examples_test.cc
+// for the assertions tying them to the allocators).
+struct Fig1Expectations {
+  static constexpr double kSharedUtility = 0.8;
+  static constexpr double kIsolatedUtility = 0.6;
+  static constexpr double kOpusNetUtility = 0.64;
+};
+struct Fig3Expectations {
+  static constexpr double kFairRideTruthfulB = 0.775;
+  static constexpr double kFairRideCheatB = 0.45 + 0.55 * 2.0 / 3.0;
+  static constexpr double kFairRideTruthfulD = 0.70;
+  static constexpr double kFairRideCheatD = 0.55;
+};
+
+}  // namespace opus::workload

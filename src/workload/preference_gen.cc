@@ -1,0 +1,66 @@
+#include "workload/preference_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/zipf.h"
+
+namespace opus::workload {
+
+Matrix GenerateZipfPreferences(const ZipfPreferenceConfig& config, Rng& rng) {
+  OPUS_CHECK_GT(config.num_users, 0u);
+  OPUS_CHECK_GT(config.num_files, 0u);
+  OPUS_CHECK_GT(config.support_fraction, 0.0);
+  OPUS_CHECK_LE(config.support_fraction, 1.0);
+
+  const auto support = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.support_fraction *
+                                  static_cast<double>(config.num_files)));
+  const ZipfDistribution zipf(support, config.alpha);
+
+  Matrix prefs(config.num_users, config.num_files, 0.0);
+  for (std::size_t i = 0; i < config.num_users; ++i) {
+    std::vector<std::size_t> order;
+    if (config.permute_per_user && config.rank_noise >= 0.0) {
+      // Correlated ranking: global order with Gaussian rank jitter.
+      std::vector<std::pair<double, std::size_t>> scored(config.num_files);
+      for (std::size_t j = 0; j < config.num_files; ++j) {
+        scored[j] = {static_cast<double>(j) +
+                         config.rank_noise *
+                             static_cast<double>(config.num_files) *
+                             rng.NextGaussian(),
+                     j};
+      }
+      std::sort(scored.begin(), scored.end());
+      order.reserve(config.num_files);
+      for (const auto& [score, j] : scored) order.push_back(j);
+    } else if (config.permute_per_user) {
+      order = rng.Permutation(config.num_files);
+    } else {
+      order.resize(config.num_files);
+      for (std::size_t j = 0; j < config.num_files; ++j) order[j] = j;
+    }
+    for (std::size_t rank = 0; rank < support; ++rank) {
+      prefs(i, order[rank]) = zipf.pmf(rank);
+    }
+  }
+  return prefs;
+}
+
+Matrix PreferencesFromCounts(const Matrix& counts) {
+  Matrix prefs = counts;
+  for (std::size_t i = 0; i < prefs.rows(); ++i) {
+    auto row = prefs.row(i);
+    double total = 0.0;
+    for (double v : row) {
+      OPUS_CHECK_GE(v, 0.0);
+      total += v;
+    }
+    if (total > 0.0) {
+      for (double& v : row) v /= total;
+    }
+  }
+  return prefs;
+}
+
+}  // namespace opus::workload

@@ -1,0 +1,39 @@
+// Preference matrix generators (paper Sec. VI "File popularity"): user file
+// preferences follow Zipf with per-user rank permutations, matching skewed
+// production access patterns while keeping users heterogeneous.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace opus::workload {
+
+struct ZipfPreferenceConfig {
+  std::size_t num_users = 20;
+  std::size_t num_files = 60;
+  double alpha = 1.1;  // paper's macro-benchmark exponent
+  // Each user ranks files by an independent random permutation; with false,
+  // everyone shares the global rank order (homogeneous demand).
+  bool permute_per_user = true;
+  // When permuting and >= 0: instead of an independent permutation, each
+  // user's ranking is the global order with Gaussian jitter of this
+  // magnitude (in catalog-size units) applied to each file's rank. 0 = global
+  // order; ~0.3 = correlated-but-personal rankings (production popularity
+  // skew is shared across tenants); < 0 = fully independent permutations.
+  double rank_noise = -1.0;
+  // A user draws interest in only this fraction of the catalog (the rest of
+  // its row is zero). 1.0 = dense rows.
+  double support_fraction = 1.0;
+};
+
+// Normalized N x M preference matrix; rows sum to 1.
+Matrix GenerateZipfPreferences(const ZipfPreferenceConfig& config, Rng& rng);
+
+// Preferences proportional to raw access counts (used when inferring
+// preferences from a trace window). Rows with zero counts stay zero.
+Matrix PreferencesFromCounts(const Matrix& counts);
+
+}  // namespace opus::workload

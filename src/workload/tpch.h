@@ -1,0 +1,54 @@
+// TPC-H-shaped dataset generation (paper Sec. VI "Workload").
+//
+// The paper generates 200+ TPC-H datasets of ~100 MB, each holding the 8
+// benchmark tables whose sizes span 2 KB to 70 MB. The allocation policies
+// only ever observe file names and sizes, so we synthesize datasets with the
+// published table-size distribution instead of running dbgen (DESIGN.md
+// substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/file_meta.h"
+#include "common/rng.h"
+
+namespace opus::workload {
+
+struct TpchTable {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+};
+
+struct TpchDataset {
+  std::string name;
+  std::vector<TpchTable> tables;  // the 8 TPC-H tables
+
+  std::uint64_t TotalBytes() const;
+};
+
+struct TpchConfig {
+  std::size_t num_datasets = 60;
+  // Target size per dataset; table sizes follow TPC-H's published relative
+  // volumes (lineitem ~70%, orders ~17%, ... region ~0.0004%) with mild
+  // lognormal jitter so datasets are not identical.
+  std::uint64_t dataset_bytes = 100ull * 1024 * 1024;
+  double size_jitter_sigma = 0.08;
+};
+
+// Generates `config.num_datasets` datasets deterministically from `rng`.
+std::vector<TpchDataset> GenerateTpchDatasets(const TpchConfig& config,
+                                              Rng& rng);
+
+// Registers every dataset as one catalog file (dataset-granularity caching,
+// as in the paper's experiments where a "file" is a TPC-H dataset).
+cache::Catalog BuildDatasetCatalog(const std::vector<TpchDataset>& datasets,
+                                   std::uint64_t block_size = 1024 * 1024);
+
+// Registers every table as its own catalog file (table-granularity caching,
+// exercising the varying-file-size path of Sec. V-B).
+cache::Catalog BuildTableCatalog(const std::vector<TpchDataset>& datasets,
+                                 std::uint64_t block_size = 64 * 1024);
+
+}  // namespace opus::workload

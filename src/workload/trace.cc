@@ -1,0 +1,95 @@
+#include "workload/trace.h"
+
+#include "common/check.h"
+
+namespace opus::workload {
+
+std::size_t Trace::CountFor(cache::UserId user, bool include_spurious) const {
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    if (e.user == user && (include_spurious || !e.spurious)) ++count;
+  }
+  return count;
+}
+
+Trace GenerateTrace(const std::vector<UserTraceSpec>& specs,
+                    std::size_t total_events, Rng& rng) {
+  OPUS_CHECK(!specs.empty());
+  const std::size_t n = specs.size();
+  for (const auto& s : specs) {
+    OPUS_CHECK_GT(s.genuine_rate, 0.0);
+    double total = 0.0;
+    for (double p : s.true_prefs) total += p;
+    OPUS_CHECK_GT(total, 0.0);
+  }
+
+  std::vector<std::size_t> genuine_count(n, 0);
+  Trace trace;
+  trace.events.reserve(total_events);
+  double now = 0.0;
+
+  for (std::size_t k = 0; k < total_events; ++k) {
+    // Current stream rates: one genuine stream per user plus a spurious
+    // stream for each user whose trigger has fired.
+    std::vector<double> rates;
+    rates.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rates.push_back(specs[i].genuine_rate);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool cheating = genuine_count[i] >= specs[i].cheat_after_genuine &&
+                            specs[i].spurious_rate > 0.0;
+      rates.push_back(cheating ? specs[i].spurious_rate : 0.0);
+    }
+    double total_rate = 0.0;
+    for (double r : rates) total_rate += r;
+
+    now += rng.NextExponential(total_rate);
+    const std::size_t stream = rng.NextDiscrete(rates);
+
+    AccessEvent e;
+    e.time_sec = now;
+    if (stream < n) {
+      e.user = static_cast<cache::UserId>(stream);
+      e.spurious = false;
+      e.file = static_cast<cache::FileId>(
+          rng.NextDiscrete(specs[stream].true_prefs));
+      ++genuine_count[stream];
+    } else {
+      const std::size_t i = stream - n;
+      e.user = static_cast<cache::UserId>(i);
+      e.spurious = true;
+      OPUS_CHECK(!specs[i].spurious_prefs.empty());
+      e.file =
+          static_cast<cache::FileId>(rng.NextDiscrete(specs[i].spurious_prefs));
+    }
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+std::vector<UserTraceSpec> TruthfulSpecs(const Matrix& prefs) {
+  std::vector<UserTraceSpec> specs(prefs.rows());
+  for (std::size_t i = 0; i < prefs.rows(); ++i) {
+    specs[i].true_prefs.assign(prefs.row(i).begin(), prefs.row(i).end());
+  }
+  return specs;
+}
+
+void ApplyRateTripling(UserTraceSpec& spec, std::size_t after) {
+  spec.cheat_after_genuine = after;
+  // Tripled total rate = genuine + 2x spurious over the same distribution.
+  spec.spurious_rate = 2.0 * spec.genuine_rate;
+  spec.spurious_prefs = spec.true_prefs;
+}
+
+void ApplyPreferenceShift(UserTraceSpec& spec, std::size_t after,
+                          std::vector<double> claimed_prefs,
+                          double rate_multiplier) {
+  OPUS_CHECK_GT(rate_multiplier, 0.0);
+  spec.cheat_after_genuine = after;
+  spec.spurious_rate = rate_multiplier * spec.genuine_rate;
+  spec.spurious_prefs = std::move(claimed_prefs);
+}
+
+}  // namespace opus::workload

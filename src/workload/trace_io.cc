@@ -1,0 +1,54 @@
+#include "workload/trace_io.h"
+
+#include <cstdlib>
+
+#include "analysis/csv.h"
+#include "common/strings.h"
+
+namespace opus::workload {
+
+std::string SerializeTrace(const Trace& trace) {
+  analysis::CsvTable table;
+  table.header = {"time_sec", "user", "file", "spurious"};
+  table.rows.reserve(trace.events.size());
+  for (const auto& e : trace.events) {
+    table.rows.push_back({StrFormat("%.9f", e.time_sec),
+                          std::to_string(e.user), std::to_string(e.file),
+                          e.spurious ? "1" : "0"});
+  }
+  return analysis::WriteCsv(table);
+}
+
+std::optional<Trace> DeserializeTrace(const std::string& text) {
+  const auto table = analysis::ParseCsv(text, /*has_header=*/true);
+  if (table.header !=
+      std::vector<std::string>{"time_sec", "user", "file", "spurious"}) {
+    return std::nullopt;
+  }
+  Trace trace;
+  trace.events.reserve(table.rows.size());
+  double last_time = 0.0;
+  for (const auto& row : table.rows) {
+    if (row.size() != 4) return std::nullopt;
+    char* end = nullptr;
+    AccessEvent e;
+    e.time_sec = std::strtod(row[0].c_str(), &end);
+    if (end == row[0].c_str() || *end != '\0' || e.time_sec < 0.0) {
+      return std::nullopt;
+    }
+    e.user = static_cast<cache::UserId>(
+        std::strtoul(row[1].c_str(), &end, 10));
+    if (*end != '\0') return std::nullopt;
+    e.file = static_cast<cache::FileId>(
+        std::strtoul(row[2].c_str(), &end, 10));
+    if (*end != '\0') return std::nullopt;
+    if (row[3] != "0" && row[3] != "1") return std::nullopt;
+    e.spurious = row[3] == "1";
+    if (e.time_sec < last_time) return std::nullopt;  // must be ordered
+    last_time = e.time_sec;
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+}  // namespace opus::workload

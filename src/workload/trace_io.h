@@ -1,0 +1,26 @@
+// Trace serialization: save generated access traces to CSV and load them
+// back, so experiments can be replayed bit-for-bit outside the process
+// that generated them (tools/opus_replay) and real-world traces can be
+// fed to the simulator.
+//
+// Format (with header):
+//   time_sec,user,file,spurious
+//   0.013,0,4,0
+//   ...
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace opus::workload {
+
+// Serializes a trace to CSV text (with header).
+std::string SerializeTrace(const Trace& trace);
+
+// Parses CSV text (header required). Returns nullopt on malformed input:
+// wrong header, non-numeric cells, negative time, or out-of-order events.
+std::optional<Trace> DeserializeTrace(const std::string& text);
+
+}  // namespace opus::workload

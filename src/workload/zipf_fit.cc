@@ -1,0 +1,74 @@
+#include "workload/zipf_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace opus::workload {
+namespace {
+
+// Log-likelihood of the sorted counts under Zipf(alpha):
+//   sum_k c_k * (-alpha * log(k+1)) - total * log(H_n(alpha)).
+double LogLikelihood(const std::vector<double>& sorted_counts, double total,
+                     double alpha) {
+  const std::size_t n = sorted_counts.size();
+  double harmonic = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    harmonic += std::pow(static_cast<double>(k + 1), -alpha);
+  }
+  double ll = -total * std::log(harmonic);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (sorted_counts[k] > 0.0) {
+      ll -= alpha * sorted_counts[k] * std::log(static_cast<double>(k + 1));
+    }
+  }
+  return ll;
+}
+
+}  // namespace
+
+ZipfFit FitZipf(std::span<const double> counts, double max_alpha) {
+  OPUS_CHECK(!counts.empty());
+  OPUS_CHECK_GT(max_alpha, 0.0);
+  std::vector<double> sorted(counts.begin(), counts.end());
+  double total = 0.0;
+  for (double c : sorted) {
+    OPUS_CHECK_GE(c, 0.0);
+    total += c;
+  }
+  OPUS_CHECK_GT(total, 0.0);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  // Golden-section search on the concave log-likelihood.
+  constexpr double kInvPhi = 0.6180339887498949;
+  double lo = 0.0, hi = max_alpha;
+  double x1 = hi - kInvPhi * (hi - lo);
+  double x2 = lo + kInvPhi * (hi - lo);
+  double f1 = LogLikelihood(sorted, total, x1);
+  double f2 = LogLikelihood(sorted, total, x2);
+  for (int iter = 0; iter < 100; ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kInvPhi * (hi - lo);
+      f2 = LogLikelihood(sorted, total, x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kInvPhi * (hi - lo);
+      f1 = LogLikelihood(sorted, total, x1);
+    }
+  }
+  ZipfFit fit;
+  fit.alpha = 0.5 * (lo + hi);
+  fit.log_likelihood = LogLikelihood(sorted, total, fit.alpha);
+  fit.total_count = static_cast<std::size_t>(total);
+  return fit;
+}
+
+}  // namespace opus::workload

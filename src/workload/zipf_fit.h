@@ -1,0 +1,27 @@
+// Workload characterization: maximum-likelihood fit of a Zipf exponent to
+// observed access counts. Used to sanity-check synthetic workloads against
+// the paper's Zipf(1.1) assumption and to characterize learned windows
+// (e.g. deciding whether a trace is skewed enough for sharing to pay off).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace opus::workload {
+
+struct ZipfFit {
+  double alpha = 0.0;          // fitted exponent (>= 0)
+  double log_likelihood = 0.0; // at the fitted alpha
+  std::size_t total_count = 0;
+};
+
+// Fits alpha by MLE for counts over a ranked catalog: counts[k] accesses
+// to the k-th most popular item (the fit sorts internally, so any order is
+// accepted). The likelihood of one access to rank k under Zipf(alpha) over
+// n items is (k+1)^-alpha / H_n(alpha); alpha is located by golden-section
+// search on the concave log-likelihood over [0, max_alpha].
+//
+// Requires at least one positive count; counts must be non-negative.
+ZipfFit FitZipf(std::span<const double> counts, double max_alpha = 5.0);
+
+}  // namespace opus::workload

@@ -1,0 +1,64 @@
+#include "analysis/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::analysis {
+namespace {
+
+TEST(CsvTest, ParsesRowsWithoutHeader) {
+  const auto t = ParseCsv("1,2,3\n4,5,6\n", false);
+  EXPECT_TRUE(t.header.empty());
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(t.num_columns(), 3u);
+}
+
+TEST(CsvTest, ParsesHeader) {
+  const auto t = ParseCsv("user,utility\n0,0.64\n", true);
+  EXPECT_EQ(t.header, (std::vector<std::string>{"user", "utility"}));
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.Find("utility").value(), 1u);
+  EXPECT_FALSE(t.Find("missing").has_value());
+}
+
+TEST(CsvTest, SkipsBlankAndCommentLines) {
+  const auto t = ParseCsv("# comment\n\n1,2\n   \n3,4\n", false);
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvTest, TrimsWhitespace) {
+  const auto t = ParseCsv("  a , b \n", false);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, TrailingCommaGivesEmptyField) {
+  const auto t = ParseCsv("a,b,\n", false);
+  ASSERT_EQ(t.rows[0].size(), 3u);
+  EXPECT_EQ(t.rows[0][2], "");
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"1", "2"}, {"3", "4"}};
+  const auto parsed = ParseCsv(WriteCsv(t), true);
+  EXPECT_EQ(parsed.header, t.header);
+  EXPECT_EQ(parsed.rows, t.rows);
+}
+
+TEST(CsvTest, ToNumeric) {
+  const auto t = ParseCsv("1.5,2\n-3,4e-2\n", false);
+  const auto nums = ToNumeric(t);
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(nums[1][1], 0.04);
+}
+
+TEST(CsvTest, EmptyInput) {
+  const auto t = ParseCsv("", false);
+  EXPECT_TRUE(t.rows.empty());
+  EXPECT_EQ(t.num_columns(), 0u);
+}
+
+}  // namespace
+}  // namespace opus::analysis

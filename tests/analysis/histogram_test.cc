@@ -1,0 +1,77 @@
+#include "analysis/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::analysis {
+namespace {
+
+TEST(HistogramTest, LinearBucketing) {
+  auto h = Histogram::Linear(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(5.6);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(5), 2u);
+  EXPECT_EQ(h.bucket_lower(5), 5.0);
+  EXPECT_EQ(h.bucket_upper(5), 6.0);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  auto h = Histogram::Linear(0.0, 1.0, 4);
+  h.Add(-1.0);
+  h.Add(2.0);
+  h.Add(1.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, LogBucketsSpanDecades) {
+  auto h = Histogram::Logarithmic(1e-4, 1e1, 5);  // one bucket per decade
+  h.Add(2e-4);
+  h.Add(3e-3);
+  h.Add(4e-2);
+  h.Add(5e-1);
+  h.Add(6.0);
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(h.bucket_count(b), 1u) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  auto h = Histogram::Linear(0.0, 1.0, 2);
+  h.Add(0.25, 10);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(HistogramTest, ApproximateQuantile) {
+  auto h = Histogram::Linear(0.0, 100.0, 100);
+  for (int v = 0; v < 100; ++v) h.Add(v + 0.5);
+  EXPECT_NEAR(h.ApproximateQuantile(50), 50.0, 1.5);
+  EXPECT_NEAR(h.ApproximateQuantile(95), 95.0, 1.5);
+  EXPECT_NEAR(h.ApproximateQuantile(0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileOnEmpty) {
+  auto h = Histogram::Linear(0.0, 1.0, 4);
+  EXPECT_EQ(h.ApproximateQuantile(50), 0.0);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  auto h = Histogram::Linear(0.0, 10.0, 2);
+  h.Add(1.0, 4);
+  h.Add(7.0, 2);
+  const std::string out = h.Render(8);
+  EXPECT_NE(out.find("########"), std::string::npos);  // max bucket full bar
+  EXPECT_NE(out.find("####\n"), std::string::npos);    // half-height bar
+}
+
+TEST(HistogramTest, RenderEmpty) {
+  auto h = Histogram::Linear(0.0, 1.0, 4);
+  EXPECT_EQ(h.Render(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace opus::analysis

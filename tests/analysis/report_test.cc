@@ -1,0 +1,47 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::analysis {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t("demo");
+  t.AddHeader({"policy", "hit"});
+  t.AddRow({"opus", "0.903"});
+  t.AddRow({"fairride", "0.774"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("policy    hit"), std::string::npos);
+  EXPECT_NE(out.find("opus      0.903"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NoHeaderNoRule) {
+  Table t;
+  t.AddRow({"a", "b"});
+  const std::string out = t.Render();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RendersSeriesAndLegend) {
+  AsciiChart chart(0.0, 1.0, 8, 40);
+  chart.AddSeries("up", {0.0, 0.25, 0.5, 0.75, 1.0});
+  chart.AddSeries("down", {1.0, 0.75, 0.5, 0.25, 0.0});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find("legend: *=up o=down"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  // Axis labels for top and bottom.
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_NE(out.find("0.00"), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptySeriesTolerated) {
+  AsciiChart chart(0.0, 1.0);
+  chart.AddSeries("empty", {});
+  EXPECT_FALSE(chart.Render().empty());
+}
+
+}  // namespace
+}  // namespace opus::analysis

@@ -1,0 +1,69 @@
+#include "analysis/stats.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace opus::analysis {
+namespace {
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_EQ(Percentile(xs, 100), 3.0);
+  EXPECT_EQ(Percentile(xs, 50), 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(Percentile(xs, 25), 2.5, 1e-12);
+  EXPECT_NEAR(Percentile(xs, 75), 7.5, 1e-12);
+}
+
+TEST(StatsTest, PercentileSingleton) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_EQ(Percentile(xs, 5), 42.0);
+  EXPECT_EQ(Percentile(xs, 95), 42.0);
+}
+
+TEST(StatsTest, BoxStatsOrdered) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));
+  const auto b = ComputeBoxStats(xs);
+  EXPECT_LT(b.p5, b.p25);
+  EXPECT_LT(b.p25, b.p50);
+  EXPECT_LT(b.p50, b.p75);
+  EXPECT_LT(b.p75, b.p95);
+  EXPECT_NEAR(b.p50, 49.5, 1e-9);
+  EXPECT_NEAR(b.mean, 49.5, 1e-9);
+}
+
+TEST(StatsTest, EmpiricalCdfShape) {
+  const std::vector<double> xs = {2.0, 1.0, 3.0, 1.0};
+  const auto cdf = EmpiricalCdf(xs);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_EQ(cdf.front().first, 1.0);
+  EXPECT_EQ(cdf.back().first, 3.0);
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+  for (std::size_t k = 1; k < cdf.size(); ++k) {
+    EXPECT_GE(cdf[k].first, cdf[k - 1].first);
+    EXPECT_GT(cdf[k].second, cdf[k - 1].second);
+  }
+}
+
+TEST(StatsTest, CdfAt) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(CdfAt(xs, 2.5), 0.5, 1e-12);
+  EXPECT_NEAR(CdfAt(xs, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(CdfAt(xs, 4.0), 1.0, 1e-12);
+  EXPECT_EQ(CdfAt({}, 1.0), 0.0);
+}
+
+TEST(StatsTest, StdDev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(StdDev(xs), 2.138, 1e-3);
+  EXPECT_EQ(StdDev(std::vector<double>{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace opus::analysis

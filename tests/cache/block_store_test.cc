@@ -1,0 +1,117 @@
+#include "cache/block_store.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::cache {
+namespace {
+
+BlockStore MakeLru(std::uint64_t capacity) {
+  return BlockStore(capacity, MakeEvictionPolicy("lru"));
+}
+
+TEST(BlockStoreTest, InsertAndContains) {
+  auto s = MakeLru(100);
+  EXPECT_TRUE(s.Insert(1, 40));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_EQ(s.used_bytes(), 40u);
+}
+
+TEST(BlockStoreTest, DuplicateInsertIsNoop) {
+  auto s = MakeLru(100);
+  EXPECT_TRUE(s.Insert(1, 40));
+  EXPECT_TRUE(s.Insert(1, 40));
+  EXPECT_EQ(s.used_bytes(), 40u);
+  EXPECT_EQ(s.num_blocks(), 1u);
+}
+
+TEST(BlockStoreTest, EvictsLruWhenFull) {
+  auto s = MakeLru(100);
+  s.Insert(1, 50);
+  s.Insert(2, 50);
+  s.Access(1);  // 2 becomes LRU
+  EXPECT_TRUE(s.Insert(3, 50));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_EQ(s.evictions(), 1u);
+}
+
+TEST(BlockStoreTest, OversizedBlockRejected) {
+  auto s = MakeLru(100);
+  EXPECT_FALSE(s.Insert(1, 101));
+  EXPECT_EQ(s.used_bytes(), 0u);
+}
+
+TEST(BlockStoreTest, PinnedBlocksSurviveEviction) {
+  auto s = MakeLru(100);
+  s.Insert(1, 50);
+  s.Insert(2, 50);
+  EXPECT_TRUE(s.Pin(1));
+  EXPECT_TRUE(s.Insert(3, 50));  // must evict 2, not pinned 1
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+}
+
+TEST(BlockStoreTest, InsertFailsWhenEverythingPinned) {
+  auto s = MakeLru(100);
+  s.Insert(1, 60);
+  s.Pin(1);
+  EXPECT_FALSE(s.Insert(2, 60));
+  EXPECT_TRUE(s.Contains(1));
+}
+
+TEST(BlockStoreTest, PinAbsentBlockFails) {
+  auto s = MakeLru(100);
+  EXPECT_FALSE(s.Pin(42));
+}
+
+TEST(BlockStoreTest, UnpinMakesEvictableAgain) {
+  auto s = MakeLru(100);
+  s.Insert(1, 60);
+  s.Pin(1);
+  s.Unpin(1);
+  EXPECT_TRUE(s.Insert(2, 60));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(2));
+}
+
+TEST(BlockStoreTest, EraseReleasesBytesAndPin) {
+  auto s = MakeLru(100);
+  s.Insert(1, 60);
+  s.Pin(1);
+  EXPECT_EQ(s.pinned_bytes(), 60u);
+  s.Erase(1);
+  EXPECT_EQ(s.used_bytes(), 0u);
+  EXPECT_EQ(s.pinned_bytes(), 0u);
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(BlockStoreTest, AccessReturnsResidency) {
+  auto s = MakeLru(100);
+  s.Insert(1, 10);
+  EXPECT_TRUE(s.Access(1));
+  EXPECT_FALSE(s.Access(2));
+}
+
+TEST(BlockStoreTest, PinnedBytesTracked) {
+  auto s = MakeLru(100);
+  s.Insert(1, 30);
+  s.Insert(2, 20);
+  s.Pin(1);
+  s.Pin(2);
+  EXPECT_EQ(s.pinned_bytes(), 50u);
+  s.Unpin(1);
+  EXPECT_EQ(s.pinned_bytes(), 20u);
+}
+
+TEST(BlockStoreTest, ResidentBlocksSnapshot) {
+  auto s = MakeLru(100);
+  s.Insert(7, 10);
+  s.Insert(9, 10);
+  auto blocks = s.ResidentBlocks();
+  EXPECT_EQ(blocks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace opus::cache

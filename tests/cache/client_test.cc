@@ -1,0 +1,73 @@
+#include "cache/client.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::cache {
+namespace {
+
+Catalog TwoFileCatalog() {
+  Catalog c(1 * kMiB);
+  c.Register("warm", 4 * kMiB);
+  c.Register("cold", 4 * kMiB);
+  return c;
+}
+
+ClusterConfig Config() {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 2;
+  cfg.cache_capacity_bytes = 8 * kMiB;
+  return cfg;
+}
+
+TEST(ClientSessionTest, TracksReadsAndBytes) {
+  CacheCluster cluster(Config(), TwoFileCatalog());
+  ClientSession session(&cluster, 0, "etl-job");
+  session.Read(FileId{0});  // cold miss
+  session.Read(FileId{0});  // hit
+  EXPECT_EQ(session.stats().reads, 2u);
+  EXPECT_EQ(session.stats().bytes_from_disk, 4 * kMiB);
+  EXPECT_EQ(session.stats().bytes_from_memory, 4 * kMiB);
+  EXPECT_NEAR(session.stats().EffectiveHitRatio(), 0.5, 1e-12);
+  EXPECT_EQ(session.name(), "etl-job");
+}
+
+TEST(ClientSessionTest, ReadByName) {
+  CacheCluster cluster(Config(), TwoFileCatalog());
+  ClientSession session(&cluster, 1);
+  const auto r = session.Read("warm");
+  EXPECT_EQ(r.bytes_total, 4 * kMiB);
+}
+
+TEST(ClientSessionTest, LatencyAggregates) {
+  CacheCluster cluster(Config(), TwoFileCatalog());
+  ClientSession session(&cluster, 0);
+  const auto miss = session.Read(FileId{1});
+  const auto hit = session.Read(FileId{1});
+  EXPECT_GT(miss.latency_sec, hit.latency_sec);
+  EXPECT_NEAR(session.stats().max_latency_sec, miss.latency_sec, 1e-12);
+  EXPECT_NEAR(session.stats().total_latency_sec,
+              miss.latency_sec + hit.latency_sec, 1e-12);
+  EXPECT_GT(session.stats().MeanLatencySec(), 0.0);
+}
+
+TEST(ClientSessionTest, SessionsShareTheCluster) {
+  CacheCluster cluster(Config(), TwoFileCatalog());
+  ClientSession a(&cluster, 0), b(&cluster, 1);
+  a.Read(FileId{0});            // a pays the cold miss
+  const auto r = b.Read(FileId{0});  // b hits the shared copy
+  EXPECT_EQ(r.bytes_from_disk, 0u);
+  EXPECT_EQ(b.stats().bytes_from_memory, 4 * kMiB);
+}
+
+TEST(ClientSessionTest, ResetStats) {
+  CacheCluster cluster(Config(), TwoFileCatalog());
+  ClientSession session(&cluster, 0);
+  session.Read(FileId{0});
+  session.ResetStats();
+  EXPECT_EQ(session.stats().reads, 0u);
+  EXPECT_EQ(session.stats().EffectiveHitRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace opus::cache

@@ -1,0 +1,160 @@
+#include "cache/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/file_meta.h"
+
+namespace opus::cache {
+namespace {
+
+Catalog SmallCatalog() {
+  Catalog c(/*block_size=*/1 * kMiB);
+  c.Register("a", 4 * kMiB);
+  c.Register("b", 4 * kMiB);
+  c.Register("c", 3 * kMiB + 512 * kKiB);  // short last block
+  return c;
+}
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  cfg.cache_capacity_bytes = 9 * kMiB;
+  cfg.num_users = 2;
+  return cfg;
+}
+
+TEST(CatalogTest, BlockMath) {
+  const auto c = SmallCatalog();
+  const auto& f = c.Get(2);
+  EXPECT_EQ(f.num_blocks, 4u);
+  EXPECT_EQ(f.BlockBytes(0), 1 * kMiB);
+  EXPECT_EQ(f.BlockBytes(3), 512 * kKiB);
+  EXPECT_EQ(c.TotalBytes(), 11 * kMiB + 512 * kKiB);
+  EXPECT_EQ(c.Find("b"), 1u);
+  EXPECT_EQ(c.Find("zzz"), kInvalidFile);
+}
+
+TEST(ClusterTest, ColdReadMissesThenHits) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  const auto miss = cluster.Read(0, 0);
+  EXPECT_EQ(miss.bytes_from_memory, 0u);
+  EXPECT_EQ(miss.bytes_from_disk, 4 * kMiB);
+  EXPECT_EQ(miss.effective_hit, 0.0);
+  // Cache-on-read: second access hits fully.
+  const auto hit = cluster.Read(0, 0);
+  EXPECT_EQ(hit.bytes_from_disk, 0u);
+  EXPECT_NEAR(hit.effective_hit, 1.0, 1e-12);
+  EXPECT_LT(hit.latency_sec, miss.latency_sec);
+}
+
+TEST(ClusterTest, EvictionUnderPressure) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.Read(0, 0);
+  cluster.Read(0, 1);
+  cluster.Read(0, 2);  // total demand 11.5 MiB > 9 MiB capacity
+  EXPECT_GT(cluster.total_evictions(), 0u);
+  EXPECT_LE(cluster.UsedBytes(), 9 * kMiB);
+}
+
+TEST(ClusterTest, ManagedAllocationPinsPrefix) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.5, 0.0});
+  EXPECT_TRUE(cluster.managed());
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.5, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(2), 0.0, 1e-12);
+}
+
+TEST(ClusterTest, ManagedReadsDoNotMutatePlacement) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  cluster.Read(0, 2);  // miss entirely
+  EXPECT_NEAR(cluster.ResidentFraction(2), 0.0, 1e-12);
+  const auto r = cluster.Read(0, 2);
+  EXPECT_EQ(r.bytes_from_memory, 0u);
+}
+
+TEST(ClusterTest, ManagedPartialFileRead) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({0.5, 0.0, 0.0});
+  const auto r = cluster.Read(0, 0);
+  EXPECT_EQ(r.bytes_from_memory, 2 * kMiB);
+  EXPECT_EQ(r.bytes_from_disk, 2 * kMiB);
+  EXPECT_NEAR(r.memory_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(r.effective_hit, 0.5, 1e-12);
+}
+
+TEST(ClusterTest, AccessModelBlocksUsers) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  Matrix unblocked(2, 3, 1.0);
+  unblocked(1, 0) = 0.25;  // user 1 is blocked 75% on file 0
+  cluster.SetAccessModel(unblocked);
+
+  const auto r0 = cluster.Read(0, 0);
+  EXPECT_NEAR(r0.effective_hit, 1.0, 1e-12);
+  EXPECT_NEAR(r0.blocking_probability, 0.0, 1e-12);
+
+  const auto r1 = cluster.Read(1, 0);
+  EXPECT_NEAR(r1.effective_hit, 0.25, 1e-12);
+  EXPECT_NEAR(r1.blocking_probability, 0.75, 1e-12);
+  // Blocking injects the expected disk delay on top of the memory read.
+  EXPECT_GT(r1.latency_sec, r0.latency_sec);
+}
+
+TEST(ClusterTest, BlockingDelayMatchesExpectedFormula) {
+  auto config = SmallConfig();
+  CacheCluster cluster(config, SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  Matrix unblocked(2, 3, 1.0);
+  unblocked(0, 0) = 0.5;
+  cluster.SetAccessModel(unblocked);
+  const auto r = cluster.Read(0, 0);
+  const double t_mem = static_cast<double>(4 * kMiB) /
+                       config.memory_bandwidth_bytes_per_sec;
+  const double t_disk = cluster.under_store().ReadLatency(4 * kMiB);
+  EXPECT_NEAR(r.latency_sec, t_mem + 0.5 * t_disk, 1e-12);
+}
+
+TEST(ClusterTest, ReallocationMovesPins) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.5, 0.0});
+  cluster.ApplyAllocation({0.0, 0.5, 1.0});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 0.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.5, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(2), 1.0, 1e-12);
+}
+
+TEST(ClusterTest, ControlPlaneStatsAccumulate) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  const auto& stats = cluster.control_plane_stats();
+  EXPECT_EQ(stats.cache_updates, 3u);  // one per worker
+  EXPECT_EQ(stats.blocks_pinned, 4u);
+  EXPECT_EQ(stats.blocks_loaded, 4u);
+}
+
+TEST(ClusterTest, SetUnmanagedRevertsToCacheOnRead) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  cluster.SetUnmanaged();
+  EXPECT_FALSE(cluster.managed());
+  cluster.Read(0, 2);
+  EXPECT_GT(cluster.ResidentFraction(2), 0.0);
+}
+
+TEST(UnderStoreTest, LatencyModel) {
+  UnderStoreConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 100e6;
+  cfg.seek_latency_sec = 5e-3;
+  UnderStore store(cfg);
+  EXPECT_NEAR(store.ReadLatency(100'000'000), 1.005, 1e-9);
+  EXPECT_NEAR(store.BlockingDelay(100'000'000, 0.5), 0.5025, 1e-9);
+  EXPECT_NEAR(store.BlockingDelay(100'000'000, 2.0), 1.005, 1e-9);  // clamped
+  store.Read(1000);
+  EXPECT_EQ(store.bytes_read(), 1000u);
+  EXPECT_EQ(store.reads(), 1u);
+}
+
+}  // namespace
+}  // namespace opus::cache

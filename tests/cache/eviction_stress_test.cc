@@ -1,0 +1,129 @@
+// Model-based stress test: the BlockStore + LRU policy against a simple
+// reference model under thousands of randomized operations. Any divergence
+// in residency, byte accounting, or eviction order is a bug in the real
+// implementation (the reference is deliberately naive).
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "cache/block_store.h"
+#include "common/rng.h"
+
+namespace opus::cache {
+namespace {
+
+// Naive reference LRU cache with pinning.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::uint64_t capacity) : capacity_(capacity) {}
+
+  bool Insert(BlockId b, std::uint64_t bytes) {
+    if (blocks_.count(b)) return true;
+    if (bytes > capacity_) return false;
+    while (used_ + bytes > capacity_) {
+      // Evict the least-recent unpinned block.
+      auto victim = order_.end();
+      for (auto it = order_.begin(); it != order_.end(); ++it) {
+        if (!pinned_.count(*it)) {
+          victim = it;
+          break;
+        }
+      }
+      if (victim == order_.end()) return false;
+      used_ -= blocks_[*victim];
+      blocks_.erase(*victim);
+      order_.erase(victim);
+    }
+    blocks_[b] = bytes;
+    order_.push_back(b);
+    used_ += bytes;
+    return true;
+  }
+
+  bool Access(BlockId b) {
+    if (!blocks_.count(b)) return false;
+    if (!pinned_.count(b)) {
+      order_.remove(b);
+      order_.push_back(b);
+    }
+    return true;
+  }
+
+  void Erase(BlockId b) {
+    if (!blocks_.count(b)) return;
+    used_ -= blocks_[b];
+    blocks_.erase(b);
+    order_.remove(b);
+    pinned_.erase(b);
+  }
+
+  bool Pin(BlockId b) {
+    if (!blocks_.count(b)) return false;
+    if (pinned_.insert(b).second) order_.remove(b);
+    return true;
+  }
+
+  void Unpin(BlockId b) {
+    if (pinned_.erase(b) && blocks_.count(b)) order_.push_back(b);
+  }
+
+  bool Contains(BlockId b) const { return blocks_.count(b) != 0; }
+  std::uint64_t used() const { return used_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<BlockId, std::uint64_t> blocks_;
+  std::list<BlockId> order_;  // front = least recent among unpinned
+  std::unordered_set<BlockId> pinned_;
+};
+
+class EvictionStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvictionStress, MatchesReferenceModel) {
+  Rng rng(9900 + static_cast<std::uint64_t>(GetParam()));
+  const std::uint64_t capacity = 50 + rng.NextBounded(200);
+  BlockStore real(capacity, MakeEvictionPolicy("lru"));
+  ReferenceLru ref(capacity);
+
+  const std::size_t universe = 24;  // block ids 0..23
+  for (int op = 0; op < 3000; ++op) {
+    const BlockId b = rng.NextBounded(universe);
+    switch (rng.NextBounded(5)) {
+      case 0: {  // insert (sizes deterministic per id so they always agree)
+        const std::uint64_t bytes = 5 + (b * 7) % 40;
+        EXPECT_EQ(real.Insert(b, bytes), ref.Insert(b, bytes)) << "op " << op;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(real.Access(b), ref.Access(b)) << "op " << op;
+        break;
+      case 2:
+        real.Erase(b);
+        ref.Erase(b);
+        break;
+      case 3:
+        EXPECT_EQ(real.Pin(b), ref.Pin(b)) << "op " << op;
+        break;
+      default:
+        real.Unpin(b);
+        ref.Unpin(b);
+        break;
+    }
+    EXPECT_EQ(real.used_bytes(), ref.used()) << "op " << op;
+    // Residency agrees across the whole universe.
+    for (BlockId probe = 0; probe < universe; ++probe) {
+      ASSERT_EQ(real.Contains(probe), ref.Contains(probe))
+          << "op " << op << " block " << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, EvictionStress,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace opus::cache

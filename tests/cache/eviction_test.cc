@@ -1,0 +1,73 @@
+#include "cache/eviction.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::cache {
+namespace {
+
+TEST(LruPolicyTest, VictimIsLeastRecent) {
+  LruPolicy p;
+  p.OnInsert(1);
+  p.OnInsert(2);
+  p.OnInsert(3);
+  EXPECT_EQ(p.Victim().value(), 1u);
+  p.OnAccess(1);  // 1 becomes most recent
+  EXPECT_EQ(p.Victim().value(), 2u);
+}
+
+TEST(LruPolicyTest, RemoveUpdatesVictim) {
+  LruPolicy p;
+  p.OnInsert(1);
+  p.OnInsert(2);
+  p.OnRemove(1);
+  EXPECT_EQ(p.Victim().value(), 2u);
+  p.OnRemove(2);
+  EXPECT_FALSE(p.Victim().has_value());
+}
+
+TEST(LruPolicyTest, AccessUntrackedIsNoop) {
+  LruPolicy p;
+  p.OnInsert(1);
+  p.OnAccess(99);
+  p.OnRemove(99);
+  EXPECT_EQ(p.Victim().value(), 1u);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(LfuPolicyTest, VictimIsLeastFrequent) {
+  LfuPolicy p;
+  p.OnInsert(1);
+  p.OnInsert(2);
+  p.OnAccess(1);
+  p.OnAccess(1);
+  p.OnAccess(2);
+  // 1 has freq 3, 2 has freq 2.
+  EXPECT_EQ(p.Victim().value(), 2u);
+}
+
+TEST(LfuPolicyTest, TieBreaksFifoAmongEqualFrequencies) {
+  LfuPolicy p;
+  p.OnInsert(10);
+  p.OnInsert(20);
+  EXPECT_EQ(p.Victim().value(), 10u);  // inserted first, same freq
+}
+
+TEST(LfuPolicyTest, RemoveForgetsFrequency) {
+  LfuPolicy p;
+  p.OnInsert(1);
+  p.OnAccess(1);
+  p.OnAccess(1);
+  p.OnRemove(1);
+  p.OnInsert(1);  // fresh insert starts at freq 1 again
+  p.OnInsert(2);
+  p.OnAccess(2);
+  EXPECT_EQ(p.Victim().value(), 1u);
+}
+
+TEST(EvictionFactoryTest, MakesBothPolicies) {
+  EXPECT_EQ(MakeEvictionPolicy("lru")->name(), "lru");
+  EXPECT_EQ(MakeEvictionPolicy("lfu")->name(), "lfu");
+}
+
+}  // namespace
+}  // namespace opus::cache

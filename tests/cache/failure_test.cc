@@ -1,0 +1,102 @@
+// Worker failure and recovery: crashed workers lose their blocks, reads
+// fall through to the under store, and the next allocation round restores
+// pins — the availability story behind the paper's "OpuSMaster ... runs
+// Algorithm 1 periodically".
+#include <gtest/gtest.h>
+
+#include "cache/cluster.h"
+#include "core/opus.h"
+#include "sim/opus_master.h"
+
+namespace opus::cache {
+namespace {
+
+Catalog ThreeFileCatalog() {
+  Catalog c(1 * kMiB);
+  for (int f = 0; f < 3; ++f) {
+    c.Register("f" + std::to_string(f), 6 * kMiB);
+  }
+  return c;
+}
+
+ClusterConfig ThreeWorkerConfig() {
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  cfg.num_users = 1;
+  cfg.cache_capacity_bytes = 18 * kMiB;
+  return cfg;
+}
+
+TEST(FailureTest, FailedWorkerLosesItsBlocks) {
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  cluster.FailWorker(0);
+  EXPECT_EQ(cluster.num_alive_workers(), 2u);
+  // f0's blocks 0..5 map to workers (0+idx)%3 — a third lives on worker 0.
+  EXPECT_NEAR(cluster.ResidentFraction(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(FailureTest, ReadsOnFailedWorkerGoToDisk) {
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  cluster.FailWorker(1);
+  const auto r = cluster.Read(0, 0);
+  EXPECT_EQ(r.bytes_from_disk, 2 * kMiB);  // the 2 blocks on worker 1
+  EXPECT_EQ(r.bytes_from_memory, 4 * kMiB);
+}
+
+TEST(FailureTest, RecoveredWorkerStartsEmptyThenRepins) {
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  cluster.FailWorker(2);
+  cluster.RecoverWorker(2);
+  EXPECT_TRUE(cluster.IsWorkerAlive(2));
+  // Still cold until the next allocation round.
+  EXPECT_LT(cluster.ResidentFraction(0), 1.0);
+  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+}
+
+TEST(FailureTest, UnmanagedModeDoesNotCacheOnDeadWorker) {
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.FailWorker(0);
+  cluster.Read(0, 0);
+  cluster.Read(0, 0);
+  const auto r = cluster.Read(0, 0);
+  // Blocks mapping to the dead worker keep missing; the rest are cached.
+  EXPECT_EQ(r.bytes_from_disk, 2 * kMiB);
+  EXPECT_EQ(r.bytes_from_memory, 4 * kMiB);
+}
+
+TEST(FailureTest, DoubleFailIsIdempotent) {
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.FailWorker(0);
+  cluster.FailWorker(0);
+  EXPECT_EQ(cluster.num_alive_workers(), 2u);
+}
+
+TEST(FailureTest, MasterReallocationHealsTheCache) {
+  // End-to-end: fail a worker mid-flight; the OpusMaster's next periodic
+  // reallocation reloads the lost pins on the recovered worker.
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  const OpusAllocator alloc;
+  sim::OpusMasterConfig cfg;
+  cfg.update_interval = 10;
+  sim::OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 10; ++k) master.OnAccess(e);  // triggers allocation
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+
+  cluster.FailWorker(1);
+  cluster.RecoverWorker(1);
+  EXPECT_LT(cluster.ResidentFraction(0), 1.0);
+  for (int k = 0; k < 10; ++k) master.OnAccess(e);  // next round heals
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace opus::cache

@@ -1,0 +1,126 @@
+#include "cache/journal.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::cache {
+namespace {
+
+Catalog SmallCatalog() {
+  Catalog c(1 * kMiB);
+  c.Register("a", 4 * kMiB);
+  c.Register("b", 4 * kMiB);
+  return c;
+}
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 2;
+  cfg.cache_capacity_bytes = 8 * kMiB;
+  return cfg;
+}
+
+JournalEntry MakeEntry(std::uint64_t epoch) {
+  JournalEntry e;
+  e.epoch = epoch;
+  e.file_fractions = {1.0, 0.5};
+  e.unblocked_share = Matrix(2, 2, 1.0);
+  e.unblocked_share(1, 0) = 0.25;
+  return e;
+}
+
+TEST(JournalTest, AppendAndLatest) {
+  Journal j;
+  EXPECT_TRUE(j.empty());
+  j.Append(MakeEntry(1));
+  j.Append(MakeEntry(2));
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.latest().epoch, 2u);
+  EXPECT_EQ(j.entry(0).epoch, 1u);
+}
+
+TEST(JournalTest, SerializeRoundTrip) {
+  Journal j;
+  j.Append(MakeEntry(1));
+  j.Append(MakeEntry(7));
+  const auto restored = Journal::Deserialize(j.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->latest().epoch, 7u);
+  EXPECT_EQ(restored->latest().file_fractions,
+            (std::vector<double>{1.0, 0.5}));
+  EXPECT_EQ(restored->latest().unblocked_share(1, 0), 0.25);
+  EXPECT_EQ(restored->latest().unblocked_share(0, 1), 1.0);
+}
+
+TEST(JournalTest, RoundTripWithoutAccessModel) {
+  Journal j;
+  JournalEntry e;
+  e.epoch = 3;
+  e.file_fractions = {0.25, 0.75};
+  j.Append(std::move(e));
+  const auto restored = Journal::Deserialize(j.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->latest().unblocked_share.empty());
+}
+
+TEST(JournalTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Journal::Deserialize("not,a,journal").has_value());
+  EXPECT_FALSE(Journal::Deserialize("epoch,1,2,0\nalloc,0.5").has_value());
+  // Non-increasing epochs.
+  Journal j;
+  j.Append(MakeEntry(5));
+  std::string text = j.Serialize() + j.Serialize();
+  EXPECT_FALSE(Journal::Deserialize(text).has_value());
+}
+
+TEST(JournalTest, EmptyTextIsEmptyJournal) {
+  const auto restored = Journal::Deserialize("");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(JournalTest, ReplayRestoresClusterState) {
+  CacheCluster original(SmallConfig(), SmallCatalog());
+  original.ApplyAllocation({1.0, 0.5});
+  Matrix unblocked(2, 2, 1.0);
+  unblocked(1, 0) = 0.25;
+  original.SetAccessModel(unblocked);
+
+  Journal j;
+  JournalEntry e;
+  e.epoch = 1;
+  e.file_fractions = {1.0, 0.5};
+  e.unblocked_share = unblocked;
+  j.Append(std::move(e));
+
+  // A master restart: a brand-new cluster object, replayed from the log.
+  CacheCluster restored(SmallConfig(), SmallCatalog());
+  j.ReplayLatest(&restored);
+  for (FileId f = 0; f < 2; ++f) {
+    EXPECT_EQ(restored.ResidentFraction(f), original.ResidentFraction(f));
+  }
+  const auto a = original.Read(1, 0);
+  const auto b = restored.Read(1, 0);
+  EXPECT_EQ(a.effective_hit, b.effective_hit);
+  EXPECT_EQ(a.blocking_probability, b.blocking_probability);
+}
+
+TEST(JournalTest, ReplayEmptyIsNoop) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  Journal j;
+  j.ReplayLatest(&cluster);
+  EXPECT_FALSE(cluster.managed());
+}
+
+TEST(JournalTest, CompactKeepsTail) {
+  Journal j;
+  for (std::uint64_t e = 1; e <= 5; ++e) j.Append(MakeEntry(e));
+  j.Compact(2);
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.entry(0).epoch, 4u);
+  EXPECT_EQ(j.latest().epoch, 5u);
+}
+
+}  // namespace
+}  // namespace opus::cache

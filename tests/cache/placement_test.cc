@@ -1,0 +1,114 @@
+#include "cache/placement.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cluster.h"
+
+namespace opus::cache {
+namespace {
+
+std::vector<BlockId> SampleBlocks(std::size_t n) {
+  std::vector<BlockId> blocks;
+  blocks.reserve(n);
+  for (std::size_t f = 0; f < n / 16 + 1; ++f) {
+    for (std::uint32_t idx = 0; idx < 16 && blocks.size() < n; ++idx) {
+      blocks.push_back(MakeBlockId(static_cast<FileId>(f), idx));
+    }
+  }
+  return blocks;
+}
+
+TEST(PlacementTest, ModuloIsDeterministicAndInRange) {
+  for (BlockId b : SampleBlocks(200)) {
+    const WorkerId w = ModuloPlace(b, 7);
+    EXPECT_LT(w, 7u);
+    EXPECT_EQ(w, ModuloPlace(b, 7));
+  }
+}
+
+TEST(PlacementTest, RingIsDeterministicAndInRange) {
+  const ConsistentHashRing ring(5);
+  for (BlockId b : SampleBlocks(200)) {
+    const WorkerId w = ring.Place(b);
+    EXPECT_LT(w, 5u);
+    EXPECT_EQ(w, ring.Place(b));
+  }
+}
+
+TEST(PlacementTest, RingBalancesReasonably) {
+  const ConsistentHashRing ring(5, /*virtual_nodes=*/128);
+  const auto blocks = SampleBlocks(20000);
+  std::vector<int> counts(5, 0);
+  for (BlockId b : blocks) ++counts[ring.Place(b)];
+  for (int c : counts) {
+    // Each worker within 2x of fair share with 128 vnodes.
+    EXPECT_GT(c, 2000);
+    EXPECT_LT(c, 8000);
+  }
+}
+
+TEST(PlacementTest, RingRemapIsMinimalOnRemoval) {
+  const ConsistentHashRing ring(8, 128);
+  const ConsistentHashRing smaller = ring.Without(3);
+  const auto blocks = SampleBlocks(20000);
+  std::size_t moved = 0;
+  for (BlockId b : blocks) {
+    const WorkerId before = ring.Place(b);
+    const WorkerId after = smaller.Place(b);
+    EXPECT_NE(after, 3u);  // removed worker owns nothing
+    if (before != after) {
+      ++moved;
+      // Only blocks of the removed worker may move.
+      EXPECT_EQ(before, 3u);
+    }
+  }
+  // ~1/8 of blocks move (the removed worker's share), vs ~7/8 for modulo.
+  EXPECT_LT(static_cast<double>(moved) / blocks.size(), 0.25);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(PlacementTest, ModuloRemapIsNearTotalOnResize) {
+  const auto blocks = SampleBlocks(20000);
+  std::size_t moved = 0;
+  for (BlockId b : blocks) {
+    if (ModuloPlace(b, 8) != ModuloPlace(b, 7)) ++moved;
+  }
+  EXPECT_GT(static_cast<double>(moved) / blocks.size(), 0.7);
+}
+
+TEST(PlacementTest, ClusterAcceptsConsistentPlacement) {
+  Catalog c(1 * kMiB);
+  c.Register("a", 8 * kMiB);
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.num_users = 1;
+  // Generous per-worker capacity: with only 8 blocks, ring skew can land
+  // most of them on one worker.
+  cfg.cache_capacity_bytes = 32 * kMiB;
+  cfg.placement = "consistent";
+  CacheCluster cluster(cfg, c);
+  cluster.Read(0, 0);
+  const auto r = cluster.Read(0, 0);
+  EXPECT_NEAR(r.effective_hit, 1.0, 1e-12);
+}
+
+TEST(PlacementTest, ManagedModeWorksWithRing) {
+  Catalog c(1 * kMiB);
+  c.Register("a", 8 * kMiB);
+  c.Register("b", 8 * kMiB);
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.num_users = 1;
+  cfg.cache_capacity_bytes = 64 * kMiB;  // headroom for ring skew
+  cfg.placement = "consistent";
+  CacheCluster cluster(cfg, c);
+  cluster.ApplyAllocation({1.0, 0.5});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace opus::cache

@@ -1,0 +1,139 @@
+#include "cache/tiered_store.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::cache {
+namespace {
+
+TieredStore Make(std::uint64_t mem, std::uint64_t ssd,
+                 bool promote = true) {
+  TieredStoreConfig cfg;
+  cfg.memory_capacity_bytes = mem;
+  cfg.ssd_capacity_bytes = ssd;
+  cfg.promote_on_access = promote;
+  return TieredStore(cfg);
+}
+
+TEST(TieredStoreTest, InsertLandsInMemory) {
+  auto s = Make(100, 100);
+  EXPECT_TRUE(s.Insert(1, 40));
+  EXPECT_EQ(s.Locate(1), Tier::kMemory);
+  EXPECT_EQ(s.memory_used(), 40u);
+  EXPECT_EQ(s.ssd_used(), 0u);
+}
+
+TEST(TieredStoreTest, EvictionDemotesToSsd) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  s.Insert(2, 60);  // 1 demoted
+  EXPECT_EQ(s.Locate(1), Tier::kSsd);
+  EXPECT_EQ(s.Locate(2), Tier::kMemory);
+  EXPECT_EQ(s.stats().demotions, 1u);
+}
+
+TEST(TieredStoreTest, SsdOverflowEvictsForGood) {
+  auto s = Make(100, 60);
+  s.Insert(1, 60);
+  s.Insert(2, 60);  // 1 -> SSD (fits exactly)
+  s.Insert(3, 60);  // 2 -> SSD, 1 evicted from SSD
+  EXPECT_EQ(s.Locate(1), Tier::kNone);
+  EXPECT_EQ(s.Locate(2), Tier::kSsd);
+  EXPECT_EQ(s.Locate(3), Tier::kMemory);
+  EXPECT_GE(s.stats().ssd_evictions, 1u);
+}
+
+TEST(TieredStoreTest, AccessPromotesFromSsd) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  s.Insert(2, 60);  // 1 on SSD
+  EXPECT_EQ(s.Access(1), Tier::kSsd);  // reports where it was found
+  EXPECT_EQ(s.Locate(1), Tier::kMemory);  // promoted
+  EXPECT_EQ(s.Locate(2), Tier::kSsd);     // demoted to make room
+  EXPECT_EQ(s.stats().promotions, 1u);
+}
+
+TEST(TieredStoreTest, NoPromotionWhenDisabled) {
+  auto s = Make(100, 100, /*promote=*/false);
+  s.Insert(1, 60);
+  s.Insert(2, 60);
+  EXPECT_EQ(s.Access(1), Tier::kSsd);
+  EXPECT_EQ(s.Locate(1), Tier::kSsd);
+  EXPECT_EQ(s.stats().promotions, 0u);
+}
+
+TEST(TieredStoreTest, MissReturnsNone) {
+  auto s = Make(100, 100);
+  EXPECT_EQ(s.Access(42), Tier::kNone);
+}
+
+TEST(TieredStoreTest, PinnedBlocksNeverDemoted) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  EXPECT_TRUE(s.Pin(1));
+  s.Insert(2, 40);
+  // Inserting 3 would need to demote; only 2 is a candidate.
+  EXPECT_TRUE(s.Insert(3, 40));
+  EXPECT_EQ(s.Locate(1), Tier::kMemory);
+  EXPECT_EQ(s.Locate(2), Tier::kSsd);
+}
+
+TEST(TieredStoreTest, InsertFailsWhenAllPinned) {
+  auto s = Make(100, 100);
+  s.Insert(1, 100);
+  s.Pin(1);
+  EXPECT_FALSE(s.Insert(2, 50));
+}
+
+TEST(TieredStoreTest, PinPromotesFromSsd) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  s.Insert(2, 60);  // 1 -> SSD
+  EXPECT_TRUE(s.Pin(1));
+  EXPECT_EQ(s.Locate(1), Tier::kMemory);
+}
+
+TEST(TieredStoreTest, UnpinAllowsDemotionAgain) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  s.Pin(1);
+  s.Unpin(1);
+  s.Insert(2, 60);
+  EXPECT_EQ(s.Locate(1), Tier::kSsd);
+}
+
+TEST(TieredStoreTest, EraseFromEitherTier) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  s.Insert(2, 60);  // 1 -> SSD
+  s.Erase(1);
+  s.Erase(2);
+  EXPECT_EQ(s.Locate(1), Tier::kNone);
+  EXPECT_EQ(s.Locate(2), Tier::kNone);
+  EXPECT_EQ(s.memory_used(), 0u);
+  EXPECT_EQ(s.ssd_used(), 0u);
+}
+
+TEST(TieredStoreTest, OversizedBlockRejected) {
+  auto s = Make(100, 1000);
+  EXPECT_FALSE(s.Insert(1, 101));
+}
+
+TEST(TieredStoreTest, DuplicateInsertNoop) {
+  auto s = Make(100, 100);
+  s.Insert(1, 60);
+  s.Insert(2, 60);  // 1 -> SSD
+  EXPECT_TRUE(s.Insert(1, 60));  // already resident (on SSD)
+  EXPECT_EQ(s.memory_used(), 60u);
+  EXPECT_EQ(s.ssd_used(), 60u);
+}
+
+TEST(TieredStoreTest, ZeroSsdActsLikeFlatStore) {
+  auto s = Make(100, 0);
+  s.Insert(1, 60);
+  s.Insert(2, 60);
+  EXPECT_EQ(s.Locate(1), Tier::kNone);  // demotion had nowhere to go
+  EXPECT_EQ(s.Locate(2), Tier::kMemory);
+}
+
+}  // namespace
+}  // namespace opus::cache

@@ -1,0 +1,41 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace opus {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  OPUS_CHECK(true);
+  OPUS_CHECK_EQ(1, 1);
+  OPUS_CHECK_NE(1, 2);
+  OPUS_CHECK_LT(1, 2);
+  OPUS_CHECK_LE(2, 2);
+  OPUS_CHECK_GT(3, 2);
+  OPUS_CHECK_GE(3, 3);
+  OPUS_CHECK_MSG(true, "never rendered");
+}
+
+TEST(CheckDeathTest, FailureAbortsWithLocation) {
+  EXPECT_DEATH(OPUS_CHECK(false), "OPUS_CHECK failed at .*check_test");
+}
+
+TEST(CheckDeathTest, OperandsArePrinted) {
+  const int a = 3, b = 5;
+  EXPECT_DEATH(OPUS_CHECK_EQ(a, b), "lhs=3 rhs=5");
+  EXPECT_DEATH(OPUS_CHECK_GT(a, b), "lhs=3 rhs=5");
+}
+
+TEST(CheckDeathTest, MessageIsRendered) {
+  EXPECT_DEATH(OPUS_CHECK_MSG(false, "context " << 42), "context 42");
+}
+
+TEST(CheckTest, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&]() { return ++calls; };
+  OPUS_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace opus

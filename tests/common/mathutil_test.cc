@@ -1,0 +1,65 @@
+#include "common/mathutil.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace opus {
+namespace {
+
+TEST(MathUtilTest, NearlyEqualRespectsTolerance) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0 + 5e-10));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.0 + 5e-9));
+  EXPECT_TRUE(NearlyEqual(1.0, 1.1, 0.2));
+}
+
+TEST(MathUtilTest, ClampWorks) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, KahanSumAccurate) {
+  // 1 + 1e-16 * 10^6 loses everything with naive order-sensitive addition
+  // at double precision for individual adds; Kahan keeps the small mass.
+  std::vector<double> xs(1000001, 1e-16);
+  xs[0] = 1.0;
+  EXPECT_NEAR(KahanSum(xs), 1.0 + 1e-10, 1e-15);
+}
+
+TEST(MathUtilTest, KahanSumEmpty) {
+  EXPECT_EQ(KahanSum(std::vector<double>{}), 0.0);
+}
+
+TEST(MathUtilTest, NormalizeToOne) {
+  std::vector<double> v = {1.0, 3.0};
+  EXPECT_TRUE(NormalizeToOne(v));
+  EXPECT_NEAR(v[0], 0.25, 1e-12);
+  EXPECT_NEAR(v[1], 0.75, 1e-12);
+}
+
+TEST(MathUtilTest, NormalizeZeroVectorFails) {
+  std::vector<double> v = {0.0, 0.0};
+  EXPECT_FALSE(NormalizeToOne(v));
+  EXPECT_EQ(v[0], 0.0);
+}
+
+TEST(MathUtilTest, DotProduct) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_NEAR(Dot(a, b), 32.0, 1e-12);
+}
+
+TEST(MathUtilTest, MaxAbsDiff) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.5, 2.0, 2.0};
+  EXPECT_NEAR(MaxAbsDiff(a, b), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, Mean) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Mean(xs), 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,66 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace opus {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 1.5);
+  }
+}
+
+TEST(MatrixTest, FromRows) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, FromEmptyRows) {
+  const Matrix m = Matrix::FromRows({});
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, RowSpanReadsAndWrites) {
+  Matrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_EQ(m(1, 0), 7.0);
+  const Matrix& cm = m;
+  EXPECT_EQ(cm.row(1)[0], 7.0);
+  EXPECT_EQ(cm.row(1).size(), 2u);
+}
+
+TEST(MatrixTest, Equality) {
+  const Matrix a = Matrix::FromRows({{1, 2}});
+  const Matrix b = Matrix::FromRows({{1, 2}});
+  const Matrix c = Matrix::FromRows({{1, 3}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(MatrixDeathTest, OutOfBoundsAborts) {
+  Matrix m(2, 2, 0.0);
+  EXPECT_DEATH((void)m(2, 0), "OPUS_CHECK");
+  EXPECT_DEATH((void)m(0, 2), "OPUS_CHECK");
+  EXPECT_DEATH((void)m.row(5), "OPUS_CHECK");
+}
+
+TEST(MatrixDeathTest, RaggedFromRowsAborts) {
+  EXPECT_DEATH((void)Matrix::FromRows({{1, 2}, {3}}), "OPUS_CHECK");
+}
+
+}  // namespace
+}  // namespace opus

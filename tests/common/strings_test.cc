@@ -1,0 +1,33 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace opus {
+namespace {
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringsTest, StrFormatEmpty) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(300ull * 1024 * 1024), "300.0 MB");
+  EXPECT_EQ(FormatBytes(5ull * 1024 * 1024 * 1024), "5.0 GB");
+}
+
+}  // namespace
+}  // namespace opus

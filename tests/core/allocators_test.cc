@@ -1,0 +1,250 @@
+// Unit tests for the baseline allocators (isolated, max-min, FairRide,
+// global-optimal, classic VCG) against the paper's worked examples.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/utility.h"
+#include "core/vcg_classic.h"
+
+namespace opus {
+namespace {
+
+CachingProblem Fig1Problem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  return p;
+}
+
+CachingProblem Fig3Problem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  return p;
+}
+
+// ---------------------------------------------------------------- isolated
+
+TEST(IsolatedTest, Fig1Utilities) {
+  const auto p = Fig1Problem();
+  const auto r = IsolatedAllocator().Allocate(p);
+  ValidateResult(p, r);
+  // Each user caches its own copy of F2 (budget 1) and gets 0.6.
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.6, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 1), 0.6, 1e-9);
+  EXPECT_FALSE(r.shared);
+}
+
+TEST(IsolatedTest, DuplicateCopiesTracked) {
+  const auto p = Fig1Problem();
+  const auto r = IsolatedAllocator().Allocate(p);
+  // Both users privately cache F2: copy footprint 2, deduped alloc 1.
+  EXPECT_NEAR(r.copy_footprint, 2.0, 1e-9);
+  EXPECT_NEAR(r.file_alloc[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.per_user_copies(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(r.per_user_copies(1, 1), 1.0, 1e-9);
+}
+
+TEST(IsolatedTest, NoAccessOutsideOwnPartition) {
+  const auto p = Fig1Problem();
+  const auto r = IsolatedAllocator().Allocate(p);
+  // User A never cached F3, so it cannot read it even though B did.
+  EXPECT_EQ(r.access(0, 2), 0.0);
+  EXPECT_EQ(r.access(1, 0), 0.0);
+}
+
+TEST(IsolatedTest, FractionalLastFile) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.5, 0.3, 0.2}});
+  p.capacity = 1.5;  // single user, budget 1.5
+  const auto r = IsolatedAllocator().Allocate(p);
+  EXPECT_NEAR(r.access(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(r.access(0, 1), 0.5, 1e-9);
+  EXPECT_NEAR(r.access(0, 2), 0.0, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.65, 1e-9);
+}
+
+TEST(IsolatedTest, MatchesIsolatedUtilityHelper) {
+  const auto p = Fig3Problem();
+  const auto r = IsolatedAllocator().Allocate(p);
+  const auto ubars = IsolatedUtilities(p);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(EvaluateUtility(r, p.preferences, i), ubars[i], 1e-9);
+  }
+}
+
+// ----------------------------------------------------------------- max-min
+
+TEST(MaxMinTest, Fig1UtilitiesMatchPaper) {
+  const auto p = Fig1Problem();
+  const auto r = MaxMinAllocator().Allocate(p);
+  ValidateResult(p, r);
+  // Paper: both users gain 0.4 * 1/2 + 0.6 = 0.8.
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.8, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 1), 0.8, 1e-9);
+}
+
+TEST(MaxMinTest, FreeRidingIsProfitableAndHarmful) {
+  // Fig. 2: B's misreport lifts its true utility from 0.8 to 1.0 while
+  // dropping A from 0.8 to 0.6 — the manipulation max-min cannot stop.
+  const auto truthful = Fig1Problem();
+  const auto honest = MaxMinAllocator().Allocate(truthful);
+  const auto lied =
+      MaxMinAllocator().Allocate(truthful.WithMisreport(1, {0.0, 0.4, 0.6}));
+  EXPECT_NEAR(EvaluateUtility(honest, truthful.preferences, 1), 0.8, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(lied, truthful.preferences, 1), 1.0, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(honest, truthful.preferences, 0), 0.8, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(lied, truthful.preferences, 0), 0.6, 1e-9);
+}
+
+TEST(MaxMinTest, EveryoneReadsSharedCache) {
+  const auto p = Fig1Problem();
+  const auto r = MaxMinAllocator().Allocate(p);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(r.access(i, j), r.file_alloc[j], 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- FairRide
+
+TEST(FairRideTest, Fig3TruthfulUtilities) {
+  const auto p = Fig3Problem();
+  const auto r = FairRideAllocator().Allocate(p);
+  ValidateResult(p, r);
+  // Paper: B gains 0.45*(1/3 + 1/3 * 1/2) + 0.55 = 0.775 (text rounds 0.78).
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 1), 0.775, 1e-9);
+  // A reads the 2/3 of F1 it funded in full.
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 2.0 / 3.0, 1e-9);
+  // C and D: full F2 plus the 1/3 of F3 they funded.
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 2), 0.55 + 0.45 / 3.0, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 3), 0.55 + 0.45 / 3.0, 1e-9);
+}
+
+TEST(FairRideTest, Fig3CheatingProfitsAtOthersExpense) {
+  // The paper's counterexample: misreporting lifts B to
+  // 0.45 + 0.55 * 2/3 = 0.8167 while D collapses to 0.55.
+  const auto truthful = Fig3Problem();
+  const auto honest = FairRideAllocator().Allocate(truthful);
+  const auto lied = FairRideAllocator().Allocate(
+      truthful.WithMisreport(1, {0.55, 0.45, 0.0}));
+  const double honest_b = EvaluateUtility(honest, truthful.preferences, 1);
+  const double lied_b = EvaluateUtility(lied, truthful.preferences, 1);
+  EXPECT_NEAR(honest_b, 0.775, 1e-9);
+  EXPECT_NEAR(lied_b, 0.45 + 0.55 * 2.0 / 3.0, 1e-9);
+  EXPECT_GT(lied_b, honest_b);
+
+  const double honest_d = EvaluateUtility(honest, truthful.preferences, 3);
+  const double lied_d = EvaluateUtility(lied, truthful.preferences, 3);
+  EXPECT_NEAR(honest_d, 0.70, 1e-9);
+  EXPECT_NEAR(lied_d, 0.55, 1e-9);
+  EXPECT_LT(lied_d, honest_d);
+}
+
+TEST(FairRideTest, Fig2BlockingMatchesPaper) {
+  // Fig. 2 under FairRide: B free-rides on F2 (solely funded by A) and is
+  // blocked with probability 1/2 -> utility 0.6 * 1/2 + 0.4 * 1 = 0.7.
+  const auto truthful = Fig1Problem();
+  const auto lied = FairRideAllocator().Allocate(
+      truthful.WithMisreport(1, {0.0, 0.4, 0.6}));
+  EXPECT_NEAR(EvaluateUtility(lied, truthful.preferences, 1), 0.7, 1e-9);
+}
+
+TEST(FairRideTest, PayersNeverBlocked) {
+  const auto p = Fig1Problem();
+  const auto r = FairRideAllocator().Allocate(p);
+  // Both users co-funded F2 and fully access it.
+  EXPECT_NEAR(r.access(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(r.access(1, 1), 1.0, 1e-9);
+}
+
+TEST(FairRideTest, NonPayerBlockedAtHalf) {
+  const auto p = Fig1Problem();
+  const auto r = FairRideAllocator().Allocate(p);
+  // F1 is solo-funded by A; B would be blocked at 1/(1+1).
+  EXPECT_NEAR(r.access(1, 0), 0.5 * 0.5, 1e-9);  // half of the cached half
+}
+
+// ------------------------------------------------------------ global optimum
+
+TEST(GlobalOptTest, CachesHighestAggregateFiles) {
+  const auto p = Fig1Problem();
+  const auto r = GlobalOptimalAllocator().Allocate(p);
+  ValidateResult(p, r);
+  // Aggregate weights: F1 = 0.4, F2 = 1.2, F3 = 0.4; capacity 2 caches F2
+  // fully and F1 (tie broken by index) fully.
+  EXPECT_NEAR(r.file_alloc[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.file_alloc[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.file_alloc[2], 0.0, 1e-12);
+}
+
+TEST(GlobalOptTest, MaximizesTotalUtility) {
+  const auto p = Fig3Problem();
+  const auto r = GlobalOptimalAllocator().Allocate(p);
+  const auto utils = EvaluateUtilities(r, p.preferences);
+  double total = 0.0;
+  for (double u : utils) total += u;
+  // Aggregate weights: F1 = 1.45, F2 = 1.65, F3 = 0.9. Cache F2 + F1.
+  EXPECT_NEAR(total, 1.45 + 1.65, 1e-9);
+}
+
+// ------------------------------------------------------------- classic VCG
+
+TEST(VcgClassicTest, TaxesNonNegative) {
+  const auto p = Fig3Problem();
+  const auto r = VcgClassicAllocator().Allocate(p);
+  for (double t : r.taxes) EXPECT_GE(t, 0.0);
+}
+
+TEST(VcgClassicTest, NoExternalityNoTax) {
+  // Two users with disjoint demands and enough capacity for both: removing
+  // either user does not change what the other gets, so taxes are zero.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  p.capacity = 2.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  EXPECT_TRUE(r.shared);
+  EXPECT_NEAR(r.taxes[0], 0.0, 1e-12);
+  EXPECT_NEAR(r.taxes[1], 0.0, 1e-12);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 1.0, 1e-9);
+}
+
+TEST(VcgClassicTest, ContestedCapacityTaxesWinner) {
+  // Two users want different files, capacity 1. Utilitarian caches the
+  // higher-aggregate file (user 0's), and user 0 owes user 1's forgone
+  // utility as tax.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  p.capacity = 1.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  // Without user 0, user 1 would have had utility 1; at a*, user 1 has 0.
+  // Tax on user 0 = 1.0 -> blocking 1.0 -> net utility 0. Isolation gives
+  // each 0.5, so the IG gate must trip and the result falls back.
+  EXPECT_FALSE(r.shared);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.5, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 1), 0.5, 1e-9);
+}
+
+TEST(VcgClassicTest, SharedDemandSettlesOnSharing) {
+  // Everyone wants the same file: caching it serves all, no externality.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}});
+  p.capacity = 1.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  EXPECT_TRUE(r.shared);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(EvaluateUtility(r, p.preferences, i), 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace opus

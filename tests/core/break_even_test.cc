@@ -1,0 +1,84 @@
+// Property tests for Theorem 3: the break-even tax is
+// T-bar_i = log(U_i(a*) / U-bar_i), and a user prefers isolation iff its
+// charged tax exceeds the break-even — which is exactly when OpuS's stage-2
+// gate fires.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/opus.h"
+
+namespace opus {
+namespace {
+
+class BreakEvenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BreakEvenSweep, Theorem3BreakEvenCharacterizesTheGate) {
+  Rng rng(9100 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.NextBounded(4);
+  const std::size_t m = 3 + rng.NextBounded(6);
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      prefs(i, j) = rng.NextBernoulli(0.6) ? rng.NextDouble() : 0.0;
+      total += prefs(i, j);
+    }
+    if (total <= 0.0) {
+      prefs(i, rng.NextBounded(m)) = 1.0;
+      total = 1.0;
+    }
+    for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+  }
+  CachingProblem p;
+  p.preferences = std::move(prefs);
+  p.capacity = rng.NextUniform(0.5, static_cast<double>(m) * 0.8);
+
+  OpusDiagnostics diag;
+  OpusAllocator().AllocateWithDiagnostics(p, &diag);
+
+  bool any_above_break_even = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Check the T-bar formula itself.
+    if (diag.isolated_utilities[i] > 0.0 && diag.pf_utilities[i] > 0.0) {
+      EXPECT_NEAR(diag.break_even_taxes[i],
+                  std::log(diag.pf_utilities[i] /
+                           diag.isolated_utilities[i]),
+                  1e-9);
+    }
+    // Theorem 3 iff: net < U-bar exactly when T > T-bar (modulo the solver
+    // tolerance band).
+    const double net = diag.net_utilities[i];
+    const double ubar = diag.isolated_utilities[i];
+    if (diag.taxes[i] > diag.break_even_taxes[i] + 1e-7) {
+      EXPECT_LT(net, ubar + 1e-6);
+      any_above_break_even = true;
+    }
+    if (diag.taxes[i] + 1e-7 < diag.break_even_taxes[i]) {
+      EXPECT_GT(net, ubar - 1e-6);
+    }
+  }
+  // The gate fires iff someone was charged beyond break-even.
+  if (any_above_break_even) {
+    EXPECT_FALSE(diag.settled_on_sharing);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BreakEvenSweep,
+                         ::testing::Range(0, 30));
+
+TEST(BreakEvenTest, InfiniteBreakEvenForZeroIsolatedUtility) {
+  // A user whose isolated cache would be worthless can never prefer
+  // isolation: its break-even tax is infinite.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.0, 0.0, 0.0}, {0.4, 0.3, 0.3}});
+  p.capacity = 2.0;
+  OpusDiagnostics diag;
+  OpusAllocator().AllocateWithDiagnostics(p, &diag);
+  EXPECT_TRUE(std::isinf(diag.break_even_taxes[0]));
+  EXPECT_TRUE(diag.settled_on_sharing);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,97 @@
+#include "core/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fairride.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+
+namespace opus {
+namespace {
+
+CachingProblem Fig1Problem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  return p;
+}
+
+CachingProblem Fig3Problem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  return p;
+}
+
+TEST(DynamicsTest, IsolatedIsTruthfulFixedPoint) {
+  Rng rng(1);
+  const auto r = RunBestResponseDynamics(IsolatedAllocator(), Fig1Problem(),
+                                         rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.manipulators, 0u);
+  EXPECT_EQ(r.MaxVictimLoss(), 0.0);
+}
+
+TEST(DynamicsTest, MaxMinExploitedOnFig1) {
+  // The Fig. 2 free ride is a best response: some user deviates and the
+  // honest user loses the 0.2 the paper computes.
+  Rng rng(2);
+  const auto r =
+      RunBestResponseDynamics(MaxMinAllocator(), Fig1Problem(), rng);
+  EXPECT_GE(r.manipulators, 1u);
+  EXPECT_NEAR(r.MaxVictimLoss(), 0.2, 1e-6);
+}
+
+TEST(DynamicsTest, FairRideExploitedOnFig3) {
+  Rng rng(3);
+  const auto r =
+      RunBestResponseDynamics(FairRideAllocator(), Fig3Problem(), rng);
+  EXPECT_GE(r.manipulators, 1u);
+  EXPECT_GT(r.MaxVictimLoss(), 0.1);
+}
+
+TEST(DynamicsTest, OpusVictimsNeverLose) {
+  // Theorem 5: any deviation that survives best-response search must not
+  // harm the others.
+  for (const auto& problem : {Fig1Problem(), Fig3Problem()}) {
+    Rng rng(4);
+    const auto r = RunBestResponseDynamics(OpusAllocator(), problem, rng);
+    EXPECT_LT(r.MaxVictimLoss(), 1e-5);
+  }
+}
+
+TEST(DynamicsTest, ReportsTruthfulUtilities) {
+  Rng rng(5);
+  const auto r =
+      RunBestResponseDynamics(MaxMinAllocator(), Fig1Problem(), rng);
+  ASSERT_EQ(r.truthful_utilities.size(), 2u);
+  EXPECT_NEAR(r.truthful_utilities[0], 0.8, 1e-9);
+  EXPECT_NEAR(r.truthful_utilities[1], 0.8, 1e-9);
+  EXPECT_NEAR(r.TotalTruthful(), 1.6, 1e-9);
+}
+
+TEST(DynamicsTest, RoundLimitRespected) {
+  BestResponseConfig cfg;
+  cfg.max_rounds = 1;
+  Rng rng(6);
+  const auto r = RunBestResponseDynamics(MaxMinAllocator(), Fig1Problem(),
+                                         rng, cfg);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(DynamicsTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const auto ra =
+      RunBestResponseDynamics(FairRideAllocator(), Fig3Problem(), a);
+  const auto rb =
+      RunBestResponseDynamics(FairRideAllocator(), Fig3Problem(), b);
+  EXPECT_EQ(ra.manipulators, rb.manipulators);
+  EXPECT_EQ(ra.reported, rb.reported);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,38 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.h"
+
+namespace opus {
+namespace {
+
+TEST(ExplainTest, SharingVerdictRendered) {
+  const std::string out =
+      ExplainOpusDecision(workload::Fig1Example());
+  EXPECT_NE(out.find("OpuS decision: SHARE"), std::string::npos);
+  EXPECT_NE(out.find("0.6400"), std::string::npos);  // net utility
+  EXPECT_NE(out.find("prefers sharing"), std::string::npos);
+  EXPECT_NE(out.find("Capacity used: 2.000 of 2.000"), std::string::npos);
+}
+
+TEST(ExplainTest, IsolationVerdictRendered) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  p.capacity = 1.0;
+  const std::string out = ExplainOpusDecision(p);
+  EXPECT_NE(out.find("OpuS decision: ISOLATE"), std::string::npos);
+  EXPECT_NE(out.find("prefers isolation"), std::string::npos);
+  EXPECT_NE(out.find("Fallback applied"), std::string::npos);
+}
+
+TEST(ExplainTest, InfiniteBreakEvenPrinted) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.0, 0.0}, {0.5, 0.5}});
+  p.capacity = 1.0;
+  const std::string out = ExplainOpusDecision(p);
+  EXPECT_NE(out.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,149 @@
+// Cross-policy invariant sweep: every allocator, over a randomized grid of
+// conditions (unit/sized files, sparse/dense preferences, starved/abundant
+// capacity), must produce structurally valid, deterministic results with
+// utilities in [0, 1], and honor the guarantees its Table I row claims.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "core/properties.h"
+#include "core/utility.h"
+#include "core/vcg_classic.h"
+
+namespace opus {
+namespace {
+
+struct Condition {
+  bool sized;
+  double density;    // probability a (user, file) edge exists
+  double fill;       // capacity as a fraction of total size
+};
+
+CachingProblem MakeProblem(const Condition& c, Rng& rng) {
+  const std::size_t n = 1 + rng.NextBounded(6);
+  const std::size_t m = 1 + rng.NextBounded(10);
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      prefs(i, j) = rng.NextBernoulli(c.density) ? rng.NextDouble() : 0.0;
+      total += prefs(i, j);
+    }
+    if (total > 0.0) {
+      for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+    }
+  }
+  CachingProblem p;
+  p.preferences = std::move(prefs);
+  if (c.sized) {
+    p.file_sizes.resize(m);
+    for (double& s : p.file_sizes) s = rng.NextUniform(0.1, 4.0);
+  }
+  p.capacity = c.fill * p.TotalSize();
+  return p;
+}
+
+std::vector<std::unique_ptr<CacheAllocator>> AllPolicies() {
+  std::vector<std::unique_ptr<CacheAllocator>> out;
+  out.push_back(std::make_unique<IsolatedAllocator>());
+  out.push_back(std::make_unique<MaxMinAllocator>());
+  out.push_back(std::make_unique<FairRideAllocator>());
+  out.push_back(std::make_unique<GlobalOptimalAllocator>());
+  out.push_back(std::make_unique<VcgClassicAllocator>());
+  out.push_back(std::make_unique<OpusAllocator>());
+  return out;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvariantSweep, AllPoliciesAllConditions) {
+  Rng rng(31337 + static_cast<std::uint64_t>(GetParam()));
+  const Condition conditions[] = {
+      {false, 0.9, 0.1},  // dense demand, starved cache
+      {false, 0.9, 0.9},  // dense demand, abundant cache
+      {false, 0.3, 0.5},  // sparse demand
+      {true, 0.9, 0.3},   // sized, starved
+      {true, 0.5, 0.7},   // sized, sparse-ish, roomy
+  };
+  const auto policies = AllPolicies();
+  for (const auto& condition : conditions) {
+    const auto p = MakeProblem(condition, rng);
+    for (const auto& policy : policies) {
+      SCOPED_TRACE(policy->name());
+      const auto r = policy->Allocate(p);
+      ValidateResult(p, r);
+
+      // Utilities are probabilities of effective hits: always in [0, 1].
+      const auto utils = EvaluateUtilities(r, p.preferences);
+      for (double u : utils) {
+        EXPECT_GE(u, -1e-9);
+        EXPECT_LE(u, 1.0 + 1e-9);
+      }
+
+      // Determinism: a second run is identical.
+      const auto r2 = policy->Allocate(p);
+      EXPECT_EQ(r.file_alloc, r2.file_alloc);
+      EXPECT_EQ(r.access, r2.access);
+
+      // Policies whose Table I row claims IG must honor it everywhere.
+      if (policy->name() != "optimal") {
+        EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-5));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, InvariantSweep,
+                         ::testing::Range(0, 12));
+
+TEST(InvariantEdgeCases, SingleUserSingleFile) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0}});
+  p.capacity = 0.5;
+  for (const auto& policy : AllPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const auto r = policy->Allocate(p);
+    ValidateResult(p, r);
+    EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.5, 1e-6);
+  }
+}
+
+TEST(InvariantEdgeCases, AllZeroPreferences) {
+  CachingProblem p;
+  p.preferences = Matrix(3, 4, 0.0);
+  p.capacity = 2.0;
+  for (const auto& policy : AllPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const auto r = policy->Allocate(p);
+    ValidateResult(p, r);
+    for (double u : EvaluateUtilities(r, p.preferences)) {
+      EXPECT_EQ(u, 0.0);
+    }
+  }
+}
+
+TEST(InvariantEdgeCases, CapacityLargerThanEverything) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.5, 0.5}, {1.0, 0.0}});
+  p.capacity = 100.0;
+  for (const auto& policy : AllPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const auto r = policy->Allocate(p);
+    ValidateResult(p, r);
+    // Sharing policies serve everyone fully; isolation also fits everything
+    // in each private partition here.
+    for (double u : EvaluateUtilities(r, p.preferences)) {
+      EXPECT_NEAR(u, 1.0, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opus

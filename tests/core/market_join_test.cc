@@ -1,0 +1,166 @@
+// Tests for the FairRide "joining" extension of the budget market: a user
+// whose preferred file was cached by others buys into its segments (with
+// refunds to the incumbents) instead of staying a blocked free rider. This
+// is the mechanism that preserves FairRide's isolation guarantee.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fairride.h"
+#include "core/market.h"
+#include "core/properties.h"
+#include "core/utility.h"
+
+namespace opus {
+namespace {
+
+MarketOptions Joining() {
+  MarketOptions o;
+  o.enable_joining = true;
+  return o;
+}
+
+// Three users: A and B want only F1; C wants F2 first, then F1. A and B
+// complete F1 at t=0.5 while C is still buying F2; with joining enabled C
+// then buys into F1's {A,B} segment.
+CachingProblem LateArrivalProblem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0},
+                                    {1.0, 0.0},
+                                    {0.4, 0.6}});
+  p.capacity = 0.0;  // budgets passed explicitly
+  return p;
+}
+
+TEST(MarketJoinTest, LateUserBuysIntoCompletedFile) {
+  const auto p = LateArrivalProblem();
+  const auto out = RunBudgetMarket(p, {0.5, 0.5, 1.5}, Joining());
+  // F2 fully cached by C (cost 1), then C joins F1 with its remaining 0.5:
+  // converting the whole 1-unit {A,B} segment costs 1/3.
+  EXPECT_NEAR(out.CachedAmounts()[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.CachedAmounts()[1], 1.0, 1e-9);
+  ASSERT_EQ(out.files[0].segments().size(), 1u);
+  EXPECT_EQ(out.files[0].segments()[0].payers,
+            (std::vector<std::size_t>{0, 1, 2}));
+  // Equal thirds after the buy-in; A and B were refunded 1/6 each.
+  EXPECT_NEAR(out.contributions(0, 0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.contributions(1, 0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.contributions(2, 0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.spent[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.spent[2], 1.0 + 1.0 / 3.0, 1e-9);
+}
+
+TEST(MarketJoinTest, WithoutJoiningLateUserStaysFreeRider) {
+  const auto p = LateArrivalProblem();
+  const auto out = RunBudgetMarket(p, {0.5, 0.5, 1.5}, MarketOptions{});
+  ASSERT_EQ(out.files[0].segments().size(), 1u);
+  EXPECT_EQ(out.files[0].segments()[0].payers,
+            (std::vector<std::size_t>{0, 1}));
+  // C would be blocked on F1 with probability 1/(2+1).
+  EXPECT_NEAR(out.files[0].FairRideAccess(2), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MarketJoinTest, JoiningRestoresFullAccess) {
+  const auto p = LateArrivalProblem();
+  const auto out = RunBudgetMarket(p, {0.5, 0.5, 1.5}, Joining());
+  EXPECT_NEAR(out.files[0].FairRideAccess(2), 1.0, 1e-9);
+}
+
+TEST(MarketJoinTest, PartialJoinSplitsSegment) {
+  // C has only 0.1 budget left after F2: it can convert 0.3 units of the
+  // {A,B} segment (cost 0.1 = 0.3/3), leaving a 0.7 unit {A,B} remainder.
+  const auto p = LateArrivalProblem();
+  const auto out = RunBudgetMarket(p, {0.5, 0.5, 1.1}, Joining());
+  EXPECT_NEAR(out.files[0].PaidLength(2), 0.3, 1e-9);
+  EXPECT_NEAR(out.files[0].TotalLength(), 1.0, 1e-9);
+  // Access: 0.3 joined fully + 0.7 blocked at 1/(2+1).
+  EXPECT_NEAR(out.files[0].FairRideAccess(2), 0.3 + 0.7 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(MarketJoinTest, RefundsAreReSpendable) {
+  // Two users with mirrored demands: A loves F1 then F2; B loves F2 then
+  // F1. Each funds its own top file (cost 1), then buys into the other's
+  // with the refunded money cascading until budgets drain.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.6, 0.4}, {0.4, 0.6}});
+  p.capacity = 0.0;
+  const auto out = RunBudgetMarket(p, {1.2, 1.2}, Joining());
+  EXPECT_NEAR(out.CachedAmounts()[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.CachedAmounts()[1], 1.0, 1e-9);
+  // Conservation: total spent equals total cached.
+  EXPECT_NEAR(out.spent[0] + out.spent[1], 2.0, 1e-6);
+  // Both users end with full access to both files.
+  EXPECT_NEAR(out.files[0].FairRideAccess(1), 1.0, 1e-9);
+  EXPECT_NEAR(out.files[1].FairRideAccess(0), 1.0, 1e-9);
+}
+
+TEST(MarketJoinTest, ConservationUnderJoining) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.NextBounded(5);
+    const std::size_t m = 2 + rng.NextBounded(8);
+    Matrix prefs(n, m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        prefs(i, j) = rng.NextBernoulli(0.7) ? rng.NextDouble() : 0.0;
+        total += prefs(i, j);
+      }
+      if (total > 0.0) {
+        for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+      }
+    }
+    CachingProblem p;
+    p.preferences = prefs;
+    p.capacity = rng.NextUniform(0.5, static_cast<double>(m));
+    const auto out = RunBudgetMarket(p, Joining());
+
+    // Per-file: contributions sum to cached amount.
+    for (std::size_t j = 0; j < m; ++j) {
+      double contrib = 0.0;
+      for (std::size_t i = 0; i < n; ++i) contrib += out.contributions(i, j);
+      EXPECT_NEAR(contrib, out.files[j].TotalLength(), 1e-6);
+    }
+    // Per-user: net spend within budget and matching contributions.
+    const double budget = p.capacity / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(out.spent[i], budget + 1e-6);
+      double contrib = 0.0;
+      for (std::size_t j = 0; j < m; ++j) contrib += out.contributions(i, j);
+      EXPECT_NEAR(contrib, out.spent[i], 1e-6);
+    }
+  }
+}
+
+TEST(MarketJoinTest, NoJoinOpportunityNoBehaviourChange) {
+  // In the Fig. 1 world everyone exhausts its budget with nothing left to
+  // join, so joining on/off must coincide (pins the paper examples).
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  const auto without = RunBudgetMarket(p, MarketOptions{});
+  const auto with = RunBudgetMarket(p, Joining());
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(without.CachedAmounts()[j], with.CachedAmounts()[j], 1e-9);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(without.contributions(i, j), with.contributions(i, j),
+                  1e-9);
+    }
+  }
+}
+
+TEST(MarketJoinTest, FairRideIgHoldsOnAdversarialInstance) {
+  // The instance family that broke IG before joining existed: one user's
+  // top file is fully funded by two eager twins before it gets there.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.9, 0.1, 0.0},
+                                    {0.9, 0.0, 0.1},
+                                    {0.8, 0.0, 0.2}});
+  p.capacity = 1.5;
+  const auto r = FairRideAllocator().Allocate(p);
+  EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-6));
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,196 @@
+#include "core/market.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace opus {
+namespace {
+
+// Fig. 1: A = (0.4, 0.6, 0), B = (0, 0.6, 0.4), C = 2 (budget 1 each).
+CachingProblem Fig1Problem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  return p;
+}
+
+// Fig. 3: A = (1, 0, 0), B = (0.45, 0.55, 0), C = D = (0, 0.55, 0.45),
+// C = 2 (budget 0.5 each).
+CachingProblem Fig3Problem() {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  return p;
+}
+
+TEST(MarketTest, Fig1CachedAmounts) {
+  const auto out = RunBudgetMarket(Fig1Problem());
+  const auto cached = out.CachedAmounts();
+  EXPECT_NEAR(cached[0], 0.5, 1e-9);  // F1: half, solo A
+  EXPECT_NEAR(cached[1], 1.0, 1e-9);  // F2: full, shared
+  EXPECT_NEAR(cached[2], 0.5, 1e-9);  // F3: half, solo B
+}
+
+TEST(MarketTest, Fig1CostSharing) {
+  const auto out = RunBudgetMarket(Fig1Problem());
+  EXPECT_NEAR(out.contributions(0, 1), 0.5, 1e-9);  // A pays half of F2
+  EXPECT_NEAR(out.contributions(1, 1), 0.5, 1e-9);  // B pays half of F2
+  EXPECT_NEAR(out.contributions(0, 0), 0.5, 1e-9);  // A alone on F1
+  EXPECT_NEAR(out.contributions(1, 2), 0.5, 1e-9);  // B alone on F3
+  EXPECT_NEAR(out.spent[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.spent[1], 1.0, 1e-9);
+}
+
+TEST(MarketTest, Fig1SegmentPayers) {
+  const auto out = RunBudgetMarket(Fig1Problem());
+  // F2 funded jointly by both users throughout.
+  ASSERT_EQ(out.files[1].segments().size(), 1u);
+  EXPECT_EQ(out.files[1].segments()[0].payers,
+            (std::vector<std::size_t>{0, 1}));
+  // F1 funded solely by A.
+  ASSERT_EQ(out.files[0].segments().size(), 1u);
+  EXPECT_EQ(out.files[0].segments()[0].payers, (std::vector<std::size_t>{0}));
+}
+
+TEST(MarketTest, Fig2MisreportFreeRiding) {
+  // User B claims it prefers F3 to F2 (Fig. 2): B goes all-in on F3, forcing
+  // A to cache F2 alone; final cache = (0, 1, 1).
+  auto p = Fig1Problem();
+  p = p.WithMisreport(1, {0.0, 0.4, 0.6});
+  const auto out = RunBudgetMarket(p);
+  const auto cached = out.CachedAmounts();
+  EXPECT_NEAR(cached[0], 0.0, 1e-9);
+  EXPECT_NEAR(cached[1], 1.0, 1e-9);
+  EXPECT_NEAR(cached[2], 1.0, 1e-9);
+  EXPECT_NEAR(out.contributions(0, 1), 1.0, 1e-9);  // A pays all of F2
+  EXPECT_NEAR(out.contributions(1, 2), 1.0, 1e-9);  // B pays all of F3
+}
+
+TEST(MarketTest, Fig3TruthfulAmountsAndSegments) {
+  const auto out = RunBudgetMarket(Fig3Problem());
+  const auto cached = out.CachedAmounts();
+  EXPECT_NEAR(cached[0], 2.0 / 3.0, 1e-9);  // F1: 1/3 solo A + 1/3 {A,B}
+  EXPECT_NEAR(cached[1], 1.0, 1e-9);        // F2: full, {B,C,D}
+  EXPECT_NEAR(cached[2], 1.0 / 3.0, 1e-9);  // F3: {C,D} leftovers
+
+  // F2's only segment is co-paid by B, C, D at 1/3 each.
+  ASSERT_EQ(out.files[1].segments().size(), 1u);
+  EXPECT_EQ(out.files[1].segments()[0].payers,
+            (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_NEAR(out.contributions(1, 1), 1.0 / 3.0, 1e-9);
+
+  // F1 has a solo-A segment of 1/3 and an {A,B} segment of 1/3.
+  EXPECT_NEAR(out.files[0].PaidLength(0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.files[0].PaidLength(1), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.contributions(1, 0), 1.0 / 6.0, 1e-9);
+}
+
+TEST(MarketTest, Fig3CheatAmounts) {
+  // B misreports preferring F1 (Fig. 3b): F1 and F2 fully cached, F3 not.
+  auto p = Fig3Problem();
+  p = p.WithMisreport(1, {0.55, 0.45, 0.0});
+  const auto out = RunBudgetMarket(p);
+  const auto cached = out.CachedAmounts();
+  EXPECT_NEAR(cached[0], 1.0, 1e-9);
+  EXPECT_NEAR(cached[1], 1.0, 1e-9);
+  EXPECT_NEAR(cached[2], 0.0, 1e-9);
+  // C and D go all-in on F2.
+  EXPECT_NEAR(out.contributions(2, 1), 0.5, 1e-9);
+  EXPECT_NEAR(out.contributions(3, 1), 0.5, 1e-9);
+}
+
+TEST(MarketTest, BudgetsNeverOverspent) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.NextBounded(6);
+    const std::size_t m = 1 + rng.NextBounded(10);
+    Matrix prefs(n, m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        prefs(i, j) = rng.NextBernoulli(0.6) ? rng.NextDouble() : 0.0;
+        total += prefs(i, j);
+      }
+      if (total > 0.0) {
+        for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+      }
+    }
+    CachingProblem p;
+    p.preferences = prefs;
+    p.capacity = rng.NextUniform(0.0, static_cast<double>(m));
+    const auto out = RunBudgetMarket(p);
+    const double budget = p.capacity / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(out.spent[i], budget + 1e-9);
+    }
+    // Conservation: total cached == total spent.
+    double cached_total = 0.0;
+    for (double c : out.CachedAmounts()) {
+      EXPECT_LE(c, 1.0 + 1e-9);
+      cached_total += c;
+    }
+    double spent_total = 0.0;
+    for (double s : out.spent) spent_total += s;
+    EXPECT_NEAR(cached_total, spent_total, 1e-6);
+    EXPECT_LE(cached_total, p.capacity + 1e-6);
+  }
+}
+
+TEST(MarketTest, ContributionsMatchSegments) {
+  const auto out = RunBudgetMarket(Fig3Problem());
+  // For every file, summed contributions equal the cached amount.
+  for (std::size_t j = 0; j < out.files.size(); ++j) {
+    double contrib = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) contrib += out.contributions(i, j);
+    EXPECT_NEAR(contrib, out.files[j].TotalLength(), 1e-9);
+  }
+}
+
+TEST(MarketTest, NoUsersNoAllocation) {
+  CachingProblem p;
+  p.preferences = Matrix(0, 3, 0.0);
+  p.capacity = 2.0;
+  const auto out = RunBudgetMarket(p);
+  for (double c : out.CachedAmounts()) EXPECT_EQ(c, 0.0);
+}
+
+TEST(MarketTest, ZeroPreferenceUserSpendsNothing) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.0, 0.0}, {0.5, 0.5}});
+  p.capacity = 2.0;
+  const auto out = RunBudgetMarket(p);
+  EXPECT_EQ(out.spent[0], 0.0);
+  EXPECT_NEAR(out.spent[1], 1.0, 1e-9);
+}
+
+TEST(MarketTest, ExplicitBudgetsRespected) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  p.capacity = 2.0;  // unused by the explicit-budget overload
+  const auto out = RunBudgetMarket(p, std::vector<double>{0.25, 0.75});
+  const auto cached = out.CachedAmounts();
+  EXPECT_NEAR(cached[0], 0.25, 1e-9);
+  EXPECT_NEAR(cached[1], 0.75, 1e-9);
+}
+
+TEST(MarketTest, PopularFileFundedOnceNotTwice) {
+  // Two users both want only F1: they split its cost and stop (no budget
+  // is wasted re-buying a full file).
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {1.0, 0.0}});
+  p.capacity = 2.0;
+  const auto out = RunBudgetMarket(p);
+  EXPECT_NEAR(out.CachedAmounts()[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.spent[0], 0.5, 1e-9);
+  EXPECT_NEAR(out.spent[1], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace opus

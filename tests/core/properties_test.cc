@@ -1,0 +1,221 @@
+// Property tests for the three desirable properties (Sec. II-B): isolation
+// guarantee, strategy-proofness, Pareto efficiency. Parameterized sweeps over
+// random instances empirically verify the Table I grid.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "core/market.h"
+#include "core/properties.h"
+#include "core/utility.h"
+#include "core/vcg_classic.h"
+
+namespace opus {
+namespace {
+
+// Random normalized problem with moderate preference overlap.
+CachingProblem RandomProblem(Rng& rng, std::size_t n_users = 0,
+                             std::size_t n_files = 0) {
+  const std::size_t n = n_users != 0 ? n_users : 2 + rng.NextBounded(4);
+  const std::size_t m = n_files != 0 ? n_files : 3 + rng.NextBounded(6);
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      prefs(i, j) = rng.NextBernoulli(0.6) ? rng.NextDouble() : 0.0;
+      total += prefs(i, j);
+    }
+    if (total <= 0.0) {
+      prefs(i, rng.NextBounded(m)) = 1.0;
+      total = 1.0;
+    }
+    for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+  }
+  CachingProblem p;
+  p.preferences = std::move(prefs);
+  p.capacity = rng.NextUniform(0.5, static_cast<double>(m) * 0.8);
+  return p;
+}
+
+class PropertySweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng MakeRng() const {
+    return Rng(7000 + static_cast<std::uint64_t>(GetParam()));
+  }
+};
+
+// --- Isolation guarantee -------------------------------------------------
+
+TEST_P(PropertySweep, OpusAlwaysProvidesIsolationGuarantee) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto r = OpusAllocator().Allocate(p);
+  ValidateResult(p, r);
+  EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-5));
+}
+
+TEST_P(PropertySweep, IsolatedAlwaysProvidesIsolationGuarantee) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto r = IsolatedAllocator().Allocate(p);
+  EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-9));
+}
+
+TEST_P(PropertySweep, MaxMinProvidesIsolationGuarantee) {
+  // Truthful max-min weakly dominates isolation: cost sharing can only
+  // stretch each user's C/N budget further.
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto r = MaxMinAllocator().Allocate(p);
+  EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-6));
+}
+
+TEST_P(PropertySweep, FairRideProvidesIsolationGuarantee) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto r = FairRideAllocator().Allocate(p);
+  EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-6));
+}
+
+TEST_P(PropertySweep, VcgClassicProvidesIsolationGuarantee) {
+  // By construction: it falls back to isolation when the gate fails.
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto r = VcgClassicAllocator().Allocate(p);
+  EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-6));
+}
+
+// --- Strategy-proofness --------------------------------------------------
+
+TEST_P(PropertySweep, OpusAdmitsNoHarmfulProfitableDeviation) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const std::size_t cheater = rng.NextBounded(p.num_users());
+  const OpusAllocator alloc;
+  const auto dev =
+      FindHarmfulDeviation(alloc, p, cheater, rng, /*trials=*/40,
+                           /*min_gain=*/1e-4, /*min_harm=*/1e-4);
+  if (dev.has_value()) {
+    ADD_FAILURE() << "harmful deviation: gain=" << dev->cheater_gain
+                  << " victim_loss=" << dev->max_victim_loss;
+  }
+}
+
+TEST_P(PropertySweep, IsolatedIsStrategyProof) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const std::size_t cheater = rng.NextBounded(p.num_users());
+  const IsolatedAllocator alloc;
+  // Under isolation a lie can never even be profitable (the user's own
+  // partition is filled by its *claimed* preferences).
+  const auto dev = FindHarmfulDeviation(alloc, p, cheater, rng, 40,
+                                        1e-9, -1.0);
+  EXPECT_FALSE(dev.has_value());
+}
+
+// --- Known manipulation witnesses ---------------------------------------
+
+TEST(PropertiesTest, MaxMinNotStrategyProofOnFig2) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  const auto dev = EvaluateDeviation(MaxMinAllocator(), p, 1,
+                                     {0.0, 0.4, 0.6});
+  EXPECT_NEAR(dev.cheater_gain, 0.2, 1e-9);      // 0.8 -> 1.0
+  EXPECT_NEAR(dev.max_victim_loss, 0.2, 1e-9);   // A: 0.8 -> 0.6
+}
+
+TEST(PropertiesTest, FairRideNotStrategyProofOnFig3) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  const auto dev = EvaluateDeviation(FairRideAllocator(), p, 1,
+                                     {0.55, 0.45, 0.0});
+  EXPECT_GT(dev.cheater_gain, 0.04);      // 0.775 -> 0.8167
+  EXPECT_GT(dev.max_victim_loss, 0.14);   // D: 0.70 -> 0.55
+}
+
+TEST(PropertiesTest, SearchFindsFairRideManipulation) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  Rng rng(123);
+  const auto dev = FindHarmfulDeviation(FairRideAllocator(), p, 1, rng,
+                                        /*trials=*/200, 1e-4, 1e-4);
+  ASSERT_TRUE(dev.has_value());
+  EXPECT_GT(dev->cheater_gain, 0.0);
+}
+
+TEST(PropertiesTest, OpusResistsTheFig3Manipulation) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                    {0.45, 0.55, 0.00},
+                                    {0.00, 0.55, 0.45},
+                                    {0.00, 0.55, 0.45}});
+  p.capacity = 2.0;
+  const auto dev = EvaluateDeviation(OpusAllocator(), p, 1,
+                                     {0.55, 0.45, 0.0});
+  // The same lie that breaks FairRide must not be both profitable and
+  // harmful under OpuS.
+  EXPECT_FALSE(dev.cheater_gain > 1e-5 && dev.max_victim_loss > 1e-5);
+}
+
+// --- Pareto efficiency ---------------------------------------------------
+
+TEST_P(PropertySweep, GlobalOptimalHasUnitEfficiency) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto r = GlobalOptimalAllocator().Allocate(p);
+  EXPECT_NEAR(EfficiencyRatio(p, r), 1.0, 1e-9);
+}
+
+TEST_P(PropertySweep, SharingPoliciesBeatIsolationEfficiency) {
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const double iso = EfficiencyRatio(p, IsolatedAllocator().Allocate(p));
+  const double mm = EfficiencyRatio(p, MaxMinAllocator().Allocate(p));
+  EXPECT_GE(mm, iso - 1e-6);
+}
+
+TEST_P(PropertySweep, MaxMinIdleCapacityOnlyWhenDemandIsSated) {
+  // Pareto-efficiency necessary condition: the market may leave capacity
+  // idle only when every user with leftover budget already has all of its
+  // desired files fully cached (money cannot buy it more utility).
+  Rng rng = MakeRng();
+  const auto p = RandomProblem(rng);
+  const auto market = RunBudgetMarket(p);
+  const auto cached = market.CachedAmounts();
+  double total = 0.0;
+  for (double a : cached) total += a;
+  if (total >= p.capacity - 1e-6) return;  // capacity saturated: fine
+
+  const double budget = p.capacity / static_cast<double>(p.num_users());
+  for (std::size_t i = 0; i < p.num_users(); ++i) {
+    if (market.spent[i] >= budget - 1e-6) continue;  // budget exhausted: fine
+    for (std::size_t j = 0; j < p.num_files(); ++j) {
+      if (p.preferences(i, j) > 0.0) {
+        EXPECT_GE(cached[j], 1.0 - 1e-9)
+            << "user " << i << " idles budget while its desired file " << j
+            << " is not fully cached";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PropertySweep,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace opus

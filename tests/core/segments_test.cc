@@ -1,0 +1,70 @@
+#include "core/segments.h"
+
+#include <gtest/gtest.h>
+
+namespace opus {
+namespace {
+
+TEST(SegmentsTest, AddAndTotals) {
+  FileSegments f;
+  f.Add(0.25, {0});
+  f.Add(0.5, {0, 1});
+  EXPECT_NEAR(f.TotalLength(), 0.75, 1e-12);
+  EXPECT_EQ(f.segments().size(), 2u);
+}
+
+TEST(SegmentsTest, AdjacentEqualPayersMerge) {
+  FileSegments f;
+  f.Add(0.2, {0, 2});
+  f.Add(0.3, {0, 2});
+  EXPECT_EQ(f.segments().size(), 1u);
+  EXPECT_NEAR(f.segments()[0].length, 0.5, 1e-12);
+}
+
+TEST(SegmentsTest, ZeroLengthIgnored) {
+  FileSegments f;
+  f.Add(0.0, {0});
+  EXPECT_TRUE(f.segments().empty());
+  EXPECT_EQ(f.TotalLength(), 0.0);
+}
+
+TEST(SegmentsTest, PaidLength) {
+  FileSegments f;
+  f.Add(0.4, {0});
+  f.Add(0.3, {0, 1});
+  f.Add(0.2, {2});
+  EXPECT_NEAR(f.PaidLength(0), 0.7, 1e-12);
+  EXPECT_NEAR(f.PaidLength(1), 0.3, 1e-12);
+  EXPECT_NEAR(f.PaidLength(2), 0.2, 1e-12);
+  EXPECT_EQ(f.PaidLength(9), 0.0);
+}
+
+TEST(SegmentsTest, FairRideAccessFormula) {
+  // Payer portions count fully; a non-payer of an n-payer portion gets
+  // n/(n+1) of it.
+  FileSegments f;
+  f.Add(0.6, {0});       // user 1: 1/2 access
+  f.Add(0.4, {0, 1, 2}); // user 3 absent: 3/4 access
+  EXPECT_NEAR(f.FairRideAccess(0), 1.0, 1e-12);
+  EXPECT_NEAR(f.FairRideAccess(1), 0.6 * 0.5 + 0.4, 1e-12);
+  EXPECT_NEAR(f.FairRideAccess(3), 0.6 * 0.5 + 0.4 * 0.75, 1e-12);
+}
+
+TEST(SegmentsTest, HasPayerUsesBinarySearch) {
+  Segment s{1.0, {1, 4, 9}};
+  EXPECT_TRUE(s.HasPayer(4));
+  EXPECT_FALSE(s.HasPayer(5));
+}
+
+TEST(SegmentsDeathTest, UnsortedPayersRejected) {
+  FileSegments f;
+  EXPECT_DEATH(f.Add(0.5, {3, 1}), "OPUS_CHECK");
+}
+
+TEST(SegmentsDeathTest, EmptyPayersRejected) {
+  FileSegments f;
+  EXPECT_DEATH(f.Add(0.5, {}), "OPUS_CHECK");
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,73 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/isolated.h"
+#include "core/opus.h"
+#include "workload/paper_examples.h"
+#include "workload/preference_gen.h"
+
+namespace opus {
+namespace {
+
+CachingProblem MacroInstance() {
+  workload::ZipfPreferenceConfig cfg;
+  cfg.num_users = 8;
+  cfg.num_files = 20;
+  cfg.alpha = 1.1;
+  Rng rng(5);
+  CachingProblem p;
+  p.preferences = workload::GenerateZipfPreferences(cfg, rng);
+  p.capacity = 10.0;
+  return p;
+}
+
+TEST(SensitivityTest, ZeroNoiseIsExactlyStable) {
+  Rng rng(1);
+  const auto r = MeasureNoiseSensitivity(OpusAllocator(), MacroInstance(),
+                                         0.0, rng, 5);
+  // Row renormalization after the (unit) perturbation can wiggle the last
+  // ulp; anything beyond that means instability.
+  EXPECT_NEAR(r.mean_max_utility_delta, 0.0, 1e-12);
+  EXPECT_NEAR(r.mean_allocation_drift, 0.0, 1e-9);
+  EXPECT_EQ(r.verdict_flip_rate, 0.0);
+  EXPECT_NEAR(r.worst_user_regression, 0.0, 1e-12);
+}
+
+TEST(SensitivityTest, DeltaGrowsWithNoise) {
+  Rng rng1(2), rng2(2);
+  const auto small = MeasureNoiseSensitivity(OpusAllocator(), MacroInstance(),
+                                             0.05, rng1, 10);
+  const auto large = MeasureNoiseSensitivity(OpusAllocator(), MacroInstance(),
+                                             0.8, rng2, 10);
+  EXPECT_GT(large.mean_max_utility_delta, small.mean_max_utility_delta);
+  EXPECT_GT(large.mean_allocation_drift, small.mean_allocation_drift);
+}
+
+TEST(SensitivityTest, SmallNoiseSmallDamage) {
+  // At sigma = 0.05 (a ~400-observation window for a 10% preference), the
+  // mechanism's outcome should be nearly unchanged.
+  Rng rng(3);
+  const auto r = MeasureNoiseSensitivity(OpusAllocator(), MacroInstance(),
+                                         0.05, rng, 10);
+  EXPECT_LT(r.mean_max_utility_delta, 0.05);
+  EXPECT_GT(r.worst_user_regression, -0.1);
+}
+
+TEST(SensitivityTest, IsolatedPolicyAlsoMeasurable) {
+  Rng rng(4);
+  const auto r = MeasureNoiseSensitivity(IsolatedAllocator(), MacroInstance(),
+                                         0.3, rng, 5);
+  EXPECT_GE(r.mean_max_utility_delta, 0.0);
+  EXPECT_EQ(r.verdict_flip_rate, 0.0);  // isolated never shares
+}
+
+TEST(SensitivityTest, SigmaForWindowScaling) {
+  // Quadrupling the window halves the error; rarer files need more data.
+  EXPECT_NEAR(SigmaForWindow(0.1, 1000) / SigmaForWindow(0.1, 4000), 2.0,
+              1e-9);
+  EXPECT_GT(SigmaForWindow(0.01, 1000), SigmaForWindow(0.5, 1000));
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,328 @@
+// Tests for heterogeneous file sizes across the allocation stack (paper
+// Sec. V-B): the capacity constraint becomes sum_j s_j a_j <= C, budgets
+// and taxes are in size units, and "a file of size s is s unit chunks"
+// equivalences must hold exactly.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/market.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "core/properties.h"
+#include "core/utility.h"
+#include "core/vcg_classic.h"
+#include "solver/knapsack.h"
+#include "solver/pf_solver.h"
+#include "solver/projection.h"
+
+namespace opus {
+namespace {
+
+// Random sized problem helper.
+CachingProblem RandomSizedProblem(Rng& rng) {
+  const std::size_t n = 2 + rng.NextBounded(4);
+  const std::size_t m = 3 + rng.NextBounded(6);
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      prefs(i, j) = rng.NextBernoulli(0.7) ? rng.NextDouble() : 0.0;
+      total += prefs(i, j);
+    }
+    if (total <= 0.0) {
+      prefs(i, rng.NextBounded(m)) = 1.0;
+      total = 1.0;
+    }
+    for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+  }
+  CachingProblem p;
+  p.preferences = std::move(prefs);
+  p.file_sizes.resize(m);
+  double total_size = 0.0;
+  for (double& s : p.file_sizes) {
+    s = rng.NextUniform(0.2, 3.0);
+    total_size += s;
+  }
+  p.capacity = rng.NextUniform(0.3 * total_size, 0.9 * total_size);
+  return p;
+}
+
+// ------------------------------------------------------------- projection
+
+TEST(SizedProjectionTest, WeightedCapacityBinds) {
+  // Two files of sizes (2, 1), capacity 2: projecting (1, 1) must respect
+  // 2*x0 + x1 <= 2 with KKT form x_j = clamp(y_j - tau*w_j, 0, 1).
+  const std::vector<double> y = {1.0, 1.0};
+  const std::vector<double> w = {2.0, 1.0};
+  const auto x = ProjectCappedSimplex(y, 2.0, w);
+  EXPECT_NEAR(2.0 * x[0] + x[1], 2.0, 1e-9);
+  // tau from x1: x1 = 1 - tau; x0 = 1 - 2 tau -> 2(1-2t)+(1-t)=2 -> t=0.2.
+  EXPECT_NEAR(x[0], 0.6, 1e-6);
+  EXPECT_NEAR(x[1], 0.8, 1e-6);
+}
+
+TEST(SizedProjectionTest, MatchesUnweightedWhenSizesAreOne) {
+  Rng rng(11);
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t m = 1 + rng.NextBounded(8);
+    std::vector<double> y(m), ones(m, 1.0);
+    for (double& v : y) v = rng.NextUniform(-1.0, 2.0);
+    const double c = rng.NextUniform(0.0, static_cast<double>(m));
+    const auto a = ProjectCappedSimplex(y, c);
+    const auto b = ProjectCappedSimplex(y, c, ones);
+    for (std::size_t j = 0; j < m; ++j) EXPECT_NEAR(a[j], b[j], 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- PF solver
+
+TEST(SizedPfTest, ChunkEquivalence) {
+  // A file of size 2 behaves exactly like two unit chunks with the
+  // preference mass split between them (the paper's footnote 1).
+  const Matrix sized = Matrix::FromRows({{0.6, 0.4}});
+  CachingProblem p;
+  p.preferences = sized;
+  p.file_sizes = {2.0, 1.0};
+  p.capacity = 2.0;
+
+  const Matrix chunked = Matrix::FromRows({{0.3, 0.3, 0.4}});
+
+  const auto sol_sized = SolveProportionalFairness(
+      p.preferences, p.capacity, {}, {}, {}, p.file_sizes);
+  const auto sol_chunked = SolveProportionalFairness(chunked, 2.0);
+  ASSERT_TRUE(sol_sized.converged);
+  ASSERT_TRUE(sol_chunked.converged);
+  // Same optimal utility.
+  EXPECT_NEAR(sol_sized.utilities[0],
+              0.3 * sol_chunked.allocation[0] +
+                  0.3 * sol_chunked.allocation[1] +
+                  0.4 * sol_chunked.allocation[2],
+              1e-6);
+}
+
+TEST(SizedPfTest, KktResidualSmall) {
+  Rng rng(21);
+  for (int t = 0; t < 15; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    const auto sol = SolveProportionalFairness(p.preferences, p.capacity, {},
+                                               {}, {}, p.file_sizes);
+    ASSERT_TRUE(sol.converged);
+    EXPECT_TRUE(IsFeasibleCappedSimplex(sol.allocation, p.capacity, 1e-6,
+                                        p.file_sizes));
+    EXPECT_LT(PfOptimalityResidual(p.preferences, p.capacity, sol.allocation,
+                                   {}, p.file_sizes),
+              1e-6);
+  }
+}
+
+// -------------------------------------------------------------- knapsack
+
+TEST(SizedKnapsackTest, OrdersByDensity) {
+  // Values (1.0, 0.9), sizes (4, 1): densities 0.25 vs 0.9 -> small file
+  // first.
+  const std::vector<double> values = {1.0, 0.9};
+  const std::vector<double> sizes = {4.0, 1.0};
+  const auto sol = SolveFractionalKnapsack(values, 3.0, sizes);
+  EXPECT_NEAR(sol.allocation[1], 1.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[0], 0.5, 1e-12);  // 2 remaining / size 4
+  EXPECT_NEAR(sol.value, 0.9 + 0.5, 1e-12);
+}
+
+TEST(SizedKnapsackTest, CapacityInSizeUnits) {
+  const std::vector<double> values = {0.5};
+  const std::vector<double> sizes = {10.0};
+  const auto sol = SolveFractionalKnapsack(values, 5.0, sizes);
+  EXPECT_NEAR(sol.allocation[0], 0.5, 1e-12);
+}
+
+// ------------------------------------------------------- isolated utility
+
+TEST(SizedIsolatedTest, GreedyByDensity) {
+  // prefs (0.5, 0.5), sizes (5, 1), budget 2: density favours file 1
+  // (0.5/1), then 1 unit left buys 1/5 of file 0.
+  const std::vector<double> prefs = {0.5, 0.5};
+  const std::vector<double> sizes = {5.0, 1.0};
+  EXPECT_NEAR(IsolatedUtility(prefs, 2.0, sizes), 0.5 + 0.5 * 0.2, 1e-12);
+}
+
+TEST(SizedIsolatedTest, AllocatorMatchesHelper) {
+  Rng rng(31);
+  for (int t = 0; t < 10; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    const auto r = IsolatedAllocator().Allocate(p);
+    ValidateResult(p, r);
+    const auto ubars = IsolatedUtilities(p);
+    for (std::size_t i = 0; i < p.num_users(); ++i) {
+      EXPECT_NEAR(EvaluateUtility(r, p.preferences, i), ubars[i], 1e-9);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- market
+
+TEST(SizedMarketTest, FundingCostScalesWithSize) {
+  // One user, one file of size 4, budget 2 (capacity 2): it can afford to
+  // cache exactly half the file.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0}});
+  p.file_sizes = {4.0};
+  p.capacity = 2.0;
+  const auto out = RunBudgetMarket(p);
+  EXPECT_NEAR(out.CachedAmounts()[0], 0.5, 1e-9);
+  EXPECT_NEAR(out.spent[0], 2.0, 1e-9);
+}
+
+TEST(SizedMarketTest, CostSharingWithSizes) {
+  // Spending follows benefit-cost density p/s: each user first completes
+  // its private size-1 file (density 0.4 beats the shared file's 0.2),
+  // then the two co-fund the size-3 file with their remaining 1 + 1 money,
+  // covering 2/3 of it.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.6, 0.4, 0.0}, {0.6, 0.0, 0.4}});
+  p.file_sizes = {3.0, 1.0, 1.0};
+  p.capacity = 4.0;  // budgets 2 each
+  const auto out = RunBudgetMarket(p);
+  EXPECT_NEAR(out.CachedAmounts()[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.contributions(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(out.contributions(1, 0), 1.0, 1e-9);
+  EXPECT_NEAR(out.CachedAmounts()[1], 1.0, 1e-9);
+  EXPECT_NEAR(out.CachedAmounts()[2], 1.0, 1e-9);
+}
+
+TEST(SizedMarketTest, JoinPaymentScalesWithSize) {
+  // Timeline: t in [0,1]: A funds the size-2 F1 alone (0.5 cached, paid 1);
+  // B completes its size-1 F2 (paid 1; density 0.6 > 0.4/2). t in [1,1.5]:
+  // both co-fund F1's remaining half (each pays 0.5). B then spends its
+  // last 0.5 buying A's solo 0.5-fraction segment outright (join cost
+  // 0.5*2/(1+1) = 0.5), refunding A 0.5.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.4, 0.6}});
+  p.file_sizes = {2.0, 1.0};
+  p.capacity = 0.0;
+  MarketOptions joining;
+  joining.enable_joining = true;
+  const auto out = RunBudgetMarket(p, {2.0, 2.0}, joining);
+  EXPECT_NEAR(out.CachedAmounts()[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.CachedAmounts()[1], 1.0, 1e-9);
+  EXPECT_NEAR(out.contributions(1, 0), 1.0, 1e-9);  // 0.5 co-fund + 0.5 join
+  EXPECT_NEAR(out.contributions(0, 0), 1.0, 1e-9);  // 1.5 - 0.5 refund
+  EXPECT_NEAR(out.spent[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.spent[1], 2.0, 1e-9);
+  // The buy-in covers everything: B reads F1 unblocked.
+  EXPECT_NEAR(out.files[0].FairRideAccess(1), 1.0, 1e-9);
+}
+
+TEST(SizedMarketTest, ConservationWithSizes) {
+  Rng rng(41);
+  for (int t = 0; t < 15; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    MarketOptions joining;
+    joining.enable_joining = true;
+    const auto out = RunBudgetMarket(p, joining);
+    double money = 0.0, value = 0.0;
+    for (std::size_t i = 0; i < p.num_users(); ++i) money += out.spent[i];
+    const auto cached = out.CachedAmounts();
+    for (std::size_t j = 0; j < p.num_files(); ++j) {
+      value += cached[j] * p.FileSize(j);
+    }
+    EXPECT_NEAR(money, value, 1e-6);
+    EXPECT_LE(value, p.capacity + 1e-6);
+  }
+}
+
+// ------------------------------------------------------------------ OpuS
+
+TEST(SizedOpusTest, RespectsSizedCapacity) {
+  Rng rng(51);
+  for (int t = 0; t < 10; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    const auto r = OpusAllocator().Allocate(p);
+    ValidateResult(p, r);
+    EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-5));
+  }
+}
+
+TEST(SizedOpusTest, ChunkEquivalentNetUtility) {
+  // OpuS on a sized instance must agree with OpuS on the chunked-unit
+  // equivalent (same utilities, same sharing decision).
+  CachingProblem sized;
+  sized.preferences = Matrix::FromRows({{0.6, 0.4}, {0.4, 0.6}});
+  sized.file_sizes = {2.0, 1.0};
+  sized.capacity = 2.0;
+
+  CachingProblem chunked;
+  chunked.preferences =
+      Matrix::FromRows({{0.3, 0.3, 0.4}, {0.2, 0.2, 0.6}});
+  chunked.capacity = 2.0;
+
+  OpusDiagnostics ds, dc;
+  OpusAllocator().AllocateWithDiagnostics(sized, &ds);
+  OpusAllocator().AllocateWithDiagnostics(chunked, &dc);
+  EXPECT_EQ(ds.settled_on_sharing, dc.settled_on_sharing);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(ds.pf_utilities[i], dc.pf_utilities[i], 1e-5);
+    EXPECT_NEAR(ds.taxes[i], dc.taxes[i], 1e-5);
+    EXPECT_NEAR(ds.isolated_utilities[i], dc.isolated_utilities[i], 1e-9);
+  }
+}
+
+TEST(SizedOpusTest, NoHarmfulDeviationOnSizedInstances) {
+  Rng rng(61);
+  for (int t = 0; t < 5; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    const std::size_t cheater = rng.NextBounded(p.num_users());
+    const OpusAllocator alloc;
+    const auto dev =
+        FindHarmfulDeviation(alloc, p, cheater, rng, 20, 1e-4, 1e-4);
+    EXPECT_FALSE(dev.has_value());
+  }
+}
+
+// ----------------------------------------------------- remaining policies
+
+TEST(SizedPoliciesTest, AllPoliciesProduceValidSizedResults) {
+  Rng rng(71);
+  const auto p = RandomSizedProblem(rng);
+  ValidateResult(p, IsolatedAllocator().Allocate(p));
+  ValidateResult(p, MaxMinAllocator().Allocate(p));
+  ValidateResult(p, FairRideAllocator().Allocate(p));
+  ValidateResult(p, GlobalOptimalAllocator().Allocate(p));
+  ValidateResult(p, VcgClassicAllocator().Allocate(p));
+  ValidateResult(p, OpusAllocator().Allocate(p));
+}
+
+TEST(SizedPoliciesTest, MaxMinAndFairRideKeepIsolationGuarantee) {
+  Rng rng(81);
+  for (int t = 0; t < 15; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    EXPECT_TRUE(
+        SatisfiesIsolationGuarantee(p, MaxMinAllocator().Allocate(p), 1e-6));
+    EXPECT_TRUE(
+        SatisfiesIsolationGuarantee(p, FairRideAllocator().Allocate(p), 1e-6));
+  }
+}
+
+TEST(SizedPoliciesTest, GlobalOptimalBeatsOthersInTotalUtility) {
+  Rng rng(91);
+  for (int t = 0; t < 10; ++t) {
+    const auto p = RandomSizedProblem(rng);
+    auto total = [&](const AllocationResult& r) {
+      double s = 0.0;
+      for (double u : EvaluateUtilities(r, p.preferences)) s += u;
+      return s;
+    };
+    const double opt = total(GlobalOptimalAllocator().Allocate(p));
+    EXPECT_GE(opt + 1e-6, total(OpusAllocator().Allocate(p)));
+    EXPECT_GE(opt + 1e-6, total(FairRideAllocator().Allocate(p)));
+    EXPECT_GE(opt + 1e-6, total(IsolatedAllocator().Allocate(p)));
+  }
+}
+
+}  // namespace
+}  // namespace opus

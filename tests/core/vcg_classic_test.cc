@@ -1,0 +1,97 @@
+// Dedicated tests for the classic-VCG baseline (Sec. IV-B) with exact
+// Clarke-pivot tax arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/properties.h"
+#include "core/utility.h"
+#include "core/vcg_classic.h"
+
+namespace opus {
+namespace {
+
+TEST(VcgClassicTaxTest, ExactPivotOnFig1) {
+  // Fig. 1 world: aggregate weights (0.4, 1.2, 0.4), capacity 2 -> cache
+  // F2 and F1 (index tie-break). U_A = 1.0, U_B = 0.6.
+  // T_A: without A the optimum caches F2+F3 giving B 1.0; at a* B has 0.6
+  //      -> T_A = 0.4, blocking 0.4, net 0.6 = isolated -> gate holds.
+  // T_B: without B the optimum caches F2+F1 giving A 1.0; at a* A has 1.0
+  //      -> T_B = 0.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  ASSERT_TRUE(r.shared);
+  EXPECT_NEAR(r.taxes[0], 0.4, 1e-9);
+  EXPECT_NEAR(r.taxes[1], 0.0, 1e-9);
+  EXPECT_NEAR(r.blocking[0], 0.4, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.6, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 1), 0.6, 1e-9);
+}
+
+TEST(VcgClassicTaxTest, TaxEqualsExternalityThreeUsers) {
+  // Users: A wants F1, B wants F2, C wants both equally. Capacity 1.
+  // Aggregate: F1 = 1.5, F2 = 1.5 -> tie, cache F1.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}});
+  p.capacity = 1.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  // Without A: weights (0.5, 1.5) -> cache F2 -> others (B, C) welfare 1.5;
+  // at a* others have 0 + 0.5 = 0.5 -> T_A = 1.0 -> blocking 1 -> net 0
+  // < isolated (1/3) -> fallback to isolation.
+  EXPECT_FALSE(r.shared);
+  EXPECT_NEAR(r.taxes[0], 1.0, 1e-9);
+  // Without B: weights (1.5, 0.5) -> F1, others (A, C) get 1.5; at a*
+  // they already have 1.5 -> T_B = 0.
+  EXPECT_NEAR(r.taxes[1], 0.0, 1e-9);
+  // Without C: weights (1, 1) -> F1 (tie), others (A, B) get 1.0; at a*
+  // 1.0 -> T_C = 0.
+  EXPECT_NEAR(r.taxes[2], 0.0, 1e-9);
+}
+
+TEST(VcgClassicTaxTest, TaxesNeverNegativeOnRandomInstances) {
+  Rng rng(77);
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t n = 2 + rng.NextBounded(4);
+    const std::size_t m = 2 + rng.NextBounded(6);
+    Matrix prefs(n, m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        prefs(i, j) = rng.NextDouble();
+        total += prefs(i, j);
+      }
+      for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+    }
+    CachingProblem p;
+    p.preferences = std::move(prefs);
+    p.capacity = rng.NextUniform(0.5, static_cast<double>(m) * 0.9);
+    const auto r = VcgClassicAllocator().Allocate(p);
+    for (double tax : r.taxes) EXPECT_GE(tax, 0.0);
+    EXPECT_TRUE(SatisfiesIsolationGuarantee(p, r, 1e-6));
+  }
+}
+
+TEST(VcgClassicTaxTest, SoleUserPaysNothing) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.7, 0.3}});
+  p.capacity = 1.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  EXPECT_TRUE(r.shared);
+  EXPECT_NEAR(r.taxes[0], 0.0, 1e-12);
+  EXPECT_NEAR(EvaluateUtility(r, p.preferences, 0), 0.7, 1e-9);
+}
+
+TEST(VcgClassicTaxTest, FallbackKeepsStageOneTaxesForObservability) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  p.capacity = 1.0;
+  const auto r = VcgClassicAllocator().Allocate(p);
+  EXPECT_FALSE(r.shared);
+  // The losing bidder's displacement tax is preserved in the result.
+  EXPECT_NEAR(r.taxes[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.taxes[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,171 @@
+// Integration tests tying the whole stack together: workload generation ->
+// trace -> cluster + OpusMaster -> effective hit ratios. The key invariant
+// is that the measured effective hit ratio of a stationary trace converges
+// to the analytic net utility of the allocation (the paper's Eq. (1) /
+// Sec. VI metric equivalence).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/fairride.h"
+#include "core/isolated.h"
+#include "core/opus.h"
+#include "core/utility.h"
+#include "sim/simulator.h"
+#include "workload/preference_gen.h"
+#include "workload/tpch.h"
+#include "workload/trace.h"
+
+namespace opus {
+namespace {
+
+using cache::kMiB;
+
+// Fig. 1 world: 2 users, 3 equal files, capacity = 2 files.
+struct Fig1World {
+  Matrix prefs = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  cache::Catalog catalog{1 * kMiB};
+  sim::ManagedSimConfig config;
+
+  Fig1World() {
+    for (int f = 0; f < 3; ++f) {
+      catalog.Register("f" + std::to_string(f), 20 * kMiB);
+    }
+    config.cluster.num_workers = 2;
+    config.cluster.num_users = 2;
+    config.cluster.cache_capacity_bytes = 40 * kMiB;  // 2 file units
+    config.master.update_interval = 500;
+    config.master.learning_window = 2000;
+    config.prime_preferences = prefs;
+  }
+};
+
+TEST(EndToEndTest, OpusTraceConvergesToAnalyticNetUtility) {
+  Fig1World world;
+  Rng rng(42);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(world.prefs), 6000, rng);
+  const OpusAllocator alloc;
+  const auto result = sim::RunManagedSimulation(world.config, alloc,
+                                                world.catalog, trace);
+  // Analytic: net utility 0.64 per user (paper Sec. IV-C example).
+  EXPECT_NEAR(result.per_user_hit_ratio[0], 0.64, 0.02);
+  EXPECT_NEAR(result.per_user_hit_ratio[1], 0.64, 0.02);
+  EXPECT_GT(result.reallocations, 10u);
+}
+
+TEST(EndToEndTest, IsolatedTraceConvergesToIsolatedUtility) {
+  Fig1World world;
+  Rng rng(43);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(world.prefs), 6000, rng);
+  const IsolatedAllocator alloc;
+  const auto result = sim::RunManagedSimulation(world.config, alloc,
+                                                world.catalog, trace);
+  // Analytic: each user caches its own F2 copy -> 0.6.
+  EXPECT_NEAR(result.per_user_hit_ratio[0], 0.6, 0.02);
+  EXPECT_NEAR(result.per_user_hit_ratio[1], 0.6, 0.02);
+}
+
+TEST(EndToEndTest, FairRideTraceMatchesFig3Utilities) {
+  // Fig. 3 world: 4 users, 3 files, capacity 2.
+  Matrix prefs = Matrix::FromRows({{1.00, 0.00, 0.00},
+                                   {0.45, 0.55, 0.00},
+                                   {0.00, 0.55, 0.45},
+                                   {0.00, 0.55, 0.45}});
+  cache::Catalog catalog(1 * kMiB);
+  for (int f = 0; f < 3; ++f) {
+    catalog.Register("f" + std::to_string(f), 30 * kMiB);
+  }
+  sim::ManagedSimConfig config;
+  config.cluster.num_workers = 2;
+  config.cluster.num_users = 4;
+  config.cluster.cache_capacity_bytes = 60 * kMiB;
+  config.master.update_interval = 1000;
+  config.master.learning_window = 4000;
+  config.prime_preferences = prefs;
+
+  Rng rng(44);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(prefs), 12000, rng);
+  const FairRideAllocator alloc;
+  const auto result =
+      sim::RunManagedSimulation(config, alloc, catalog, trace);
+  EXPECT_NEAR(result.per_user_hit_ratio[0], 2.0 / 3.0, 0.03);  // A
+  EXPECT_NEAR(result.per_user_hit_ratio[1], 0.775, 0.03);      // B
+  EXPECT_NEAR(result.per_user_hit_ratio[2], 0.70, 0.03);       // C
+  EXPECT_NEAR(result.per_user_hit_ratio[3], 0.70, 0.03);       // D
+}
+
+TEST(EndToEndTest, UnmanagedLruServesRepeatedAccesses) {
+  cache::Catalog catalog(1 * kMiB);
+  for (int f = 0; f < 4; ++f) {
+    catalog.Register("f" + std::to_string(f), 10 * kMiB);
+  }
+  sim::UnmanagedSimConfig config;
+  config.cluster.num_workers = 2;
+  config.cluster.num_users = 1;
+  config.cluster.cache_capacity_bytes = 40 * kMiB;  // everything fits
+  config.cluster.eviction_policy = "lru";
+
+  Matrix prefs = Matrix::FromRows({{0.25, 0.25, 0.25, 0.25}});
+  Rng rng(45);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(prefs), 2000, rng);
+  const auto result = sim::RunUnmanagedSimulation(config, catalog, trace);
+  // Only cold misses: the steady-state ratio approaches 1.
+  EXPECT_GT(result.per_user_hit_ratio[0], 0.95);
+  EXPECT_EQ(result.evictions, 0u);
+}
+
+TEST(EndToEndTest, UnmanagedLruThrashesWhenOversubscribed) {
+  cache::Catalog catalog(1 * kMiB);
+  for (int f = 0; f < 8; ++f) {
+    catalog.Register("f" + std::to_string(f), 10 * kMiB);
+  }
+  sim::UnmanagedSimConfig config;
+  config.cluster.num_workers = 2;
+  config.cluster.num_users = 1;
+  config.cluster.cache_capacity_bytes = 20 * kMiB;  // 2 of 8 files
+  config.cluster.eviction_policy = "lru";
+
+  Matrix prefs(1, 8, 0.125);
+  Rng rng(46);
+  const auto trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(prefs), 2000, rng);
+  const auto result = sim::RunUnmanagedSimulation(config, catalog, trace);
+  // Uniform scan over 4x oversubscription: hit ratio must be low.
+  EXPECT_LT(result.per_user_hit_ratio[0], 0.5);
+  EXPECT_GT(result.evictions, 100u);
+}
+
+TEST(EndToEndTest, SpuriousAccessesDistortLearnedPreferences) {
+  // The manipulation surface end-to-end: a cheater's spurious accesses move
+  // the master's inferred preferences, but under OpuS its genuine hit ratio
+  // does not improve.
+  Fig1World world;
+  Rng rng(47);
+  auto specs = workload::TruthfulSpecs(world.prefs);
+  // User 1 spams F3 (claiming it prefers F3 over F2) from the start.
+  workload::ApplyPreferenceShift(specs[1], 0, {0.0, 0.0, 1.0}, 3.0);
+  const auto cheat_trace = workload::GenerateTrace(specs, 12000, rng);
+
+  const OpusAllocator alloc;
+  const auto cheat_result = sim::RunManagedSimulation(
+      world.config, alloc, world.catalog, cheat_trace);
+
+  Rng rng2(47);
+  const auto honest_trace = workload::GenerateTrace(
+      workload::TruthfulSpecs(world.prefs), 12000, rng2);
+  const auto honest_result = sim::RunManagedSimulation(
+      world.config, alloc, world.catalog, honest_trace);
+
+  // Cheating must not pay for user 1...
+  EXPECT_LE(cheat_result.per_user_hit_ratio[1],
+            honest_result.per_user_hit_ratio[1] + 0.02);
+  // ...and user 0 keeps its isolation guarantee (>= 0.6 - noise).
+  EXPECT_GE(cheat_result.per_user_hit_ratio[0], 0.57);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,101 @@
+// Tests for the paper's Sec. V-A client workflow: registration assigns an
+// OpuS client id; preferences can be reported explicitly through the API or
+// inferred from the access history, and explicit reports take precedence.
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+#include "sim/opus_master.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog FourFileCatalog() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 4; ++f) {
+    c.Register("file-" + std::to_string(f), 10 * cache::kMiB);
+  }
+  return c;
+}
+
+cache::ClusterConfig TwoUserCluster() {
+  cache::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 2;
+  cfg.cache_capacity_bytes = 20 * cache::kMiB;
+  return cfg;
+}
+
+struct Fixture {
+  cache::CacheCluster cluster{TwoUserCluster(), FourFileCatalog()};
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  Fixture() { cfg.update_interval = 1000000; }
+};
+
+TEST(ClientWorkflowTest, RegistrationAssignsDenseIds) {
+  Fixture f;
+  OpusMaster master(&f.alloc, &f.cluster, f.cfg);
+  EXPECT_EQ(master.RegisterClient("spark-sql"), 0u);
+  EXPECT_EQ(master.RegisterClient("ml-train"), 1u);
+  EXPECT_EQ(master.num_registered_clients(), 2u);
+  EXPECT_EQ(master.client_name(0), "spark-sql");
+  EXPECT_EQ(master.client_name(1), "ml-train");
+}
+
+TEST(ClientWorkflowTest, ExplicitPreferencesOverrideInference) {
+  Fixture f;
+  OpusMaster master(&f.alloc, &f.cluster, f.cfg);
+  // Access history says client 0 wants file 0...
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 10; ++k) master.OnAccess(e);
+  // ...but it reports (raw, unnormalized) preferences for file 3.
+  master.ReportPreferences(0, {0.0, 0.0, 1.0, 3.0});
+  EXPECT_TRUE(master.HasReportedPreferences(0));
+
+  const Matrix prefs = master.InferredPreferences();
+  EXPECT_NEAR(prefs(0, 3), 0.75, 1e-12);  // normalized explicit row
+  EXPECT_NEAR(prefs(0, 2), 0.25, 1e-12);
+  EXPECT_EQ(prefs(0, 0), 0.0);
+}
+
+TEST(ClientWorkflowTest, ClearRevertsToInference) {
+  Fixture f;
+  OpusMaster master(&f.alloc, &f.cluster, f.cfg);
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 1;
+  for (int k = 0; k < 4; ++k) master.OnAccess(e);
+  master.ReportPreferences(0, {1.0, 0.0, 0.0, 0.0});
+  master.ClearReportedPreferences(0);
+  EXPECT_FALSE(master.HasReportedPreferences(0));
+  const Matrix prefs = master.InferredPreferences();
+  EXPECT_NEAR(prefs(0, 1), 1.0, 1e-12);
+}
+
+TEST(ClientWorkflowTest, ExplicitPreferencesDriveAllocation) {
+  Fixture f;
+  OpusMaster master(&f.alloc, &f.cluster, f.cfg);
+  master.ReportPreferences(0, {0.0, 0.0, 0.0, 1.0});
+  master.ReportPreferences(1, {0.0, 0.0, 1.0, 0.0});
+  master.Reallocate();
+  EXPECT_NEAR(f.cluster.ResidentFraction(3), 1.0, 1e-9);
+  EXPECT_NEAR(f.cluster.ResidentFraction(2), 1.0, 1e-9);
+  EXPECT_NEAR(f.cluster.ResidentFraction(0), 0.0, 1e-9);
+}
+
+TEST(ClientWorkflowTest, OtherClientsUnaffectedByOnesReport) {
+  Fixture f;
+  OpusMaster master(&f.alloc, &f.cluster, f.cfg);
+  workload::AccessEvent e;
+  e.user = 1;
+  e.file = 2;
+  for (int k = 0; k < 6; ++k) master.OnAccess(e);
+  master.ReportPreferences(0, {1.0, 0.0, 0.0, 0.0});
+  const Matrix prefs = master.InferredPreferences();
+  EXPECT_NEAR(prefs(1, 2), 1.0, 1e-12);  // still inferred
+}
+
+}  // namespace
+}  // namespace opus::sim

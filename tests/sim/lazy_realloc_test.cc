@@ -1,0 +1,78 @@
+// Lazy reallocation: stable inferred preferences skip the Algorithm-1 run;
+// real drift still triggers it.
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+#include "sim/opus_master.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog Catalog4() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 4; ++f) {
+    c.Register("file-" + std::to_string(f), 10 * cache::kMiB);
+  }
+  return c;
+}
+
+cache::ClusterConfig Cluster1() {
+  cache::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 1;
+  cfg.cache_capacity_bytes = 20 * cache::kMiB;
+  return cfg;
+}
+
+TEST(LazyReallocTest, StablePreferencesSkipTheSolve) {
+  cache::CacheCluster cluster(Cluster1(), Catalog4());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 10;
+  cfg.lazy_threshold = 0.05;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 50; ++k) master.OnAccess(e);  // 5 scheduled updates
+  EXPECT_EQ(master.reallocations(), 1u);   // only the first one solved
+  EXPECT_EQ(master.skipped_reallocations(), 4u);
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-9);
+}
+
+TEST(LazyReallocTest, DriftStillTriggers) {
+  cache::CacheCluster cluster(Cluster1(), Catalog4());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 10;
+  cfg.learning_window = 20;
+  cfg.lazy_threshold = 0.05;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 20; ++k) master.OnAccess(e);
+  e.file = 3;  // demand moves entirely
+  for (int k = 0; k < 30; ++k) master.OnAccess(e);
+  EXPECT_GE(master.reallocations(), 2u);
+  EXPECT_NEAR(cluster.ResidentFraction(3), 1.0, 1e-9);
+}
+
+TEST(LazyReallocTest, DisabledByDefault) {
+  cache::CacheCluster cluster(Cluster1(), Catalog4());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 10;
+  OpusMaster master(&alloc, &cluster, cfg);
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 50; ++k) master.OnAccess(e);
+  EXPECT_EQ(master.reallocations(), 5u);
+  EXPECT_EQ(master.skipped_reallocations(), 0u);
+}
+
+}  // namespace
+}  // namespace opus::sim

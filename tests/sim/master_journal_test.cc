@@ -1,0 +1,76 @@
+// Master restart with journal replay: the journaled latest allocation
+// restores the logical cache state on a fresh cluster.
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+#include "sim/opus_master.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog Catalog4() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 4; ++f) {
+    c.Register("file-" + std::to_string(f), 10 * cache::kMiB);
+  }
+  return c;
+}
+
+cache::ClusterConfig Cluster2() {
+  cache::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 2;
+  cfg.cache_capacity_bytes = 20 * cache::kMiB;
+  return cfg;
+}
+
+TEST(MasterJournalTest, DisabledByDefault) {
+  cache::CacheCluster cluster(Cluster2(), Catalog4());
+  OpusAllocator alloc;
+  OpusMaster master(&alloc, &cluster, {});
+  master.Prime(Matrix::FromRows({{1, 0, 0, 0}, {0, 1, 0, 0}}));
+  EXPECT_TRUE(master.journal().empty());
+}
+
+TEST(MasterJournalTest, JournalsEveryReallocation) {
+  cache::CacheCluster cluster(Cluster2(), Catalog4());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.enable_journal = true;
+  cfg.update_interval = 5;
+  OpusMaster master(&alloc, &cluster, cfg);
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 15; ++k) master.OnAccess(e);
+  EXPECT_EQ(master.journal().size(), 3u);
+  EXPECT_EQ(master.journal().latest().epoch, 3u);
+}
+
+TEST(MasterJournalTest, RestartReplaysLatestState) {
+  cache::CacheCluster cluster(Cluster2(), Catalog4());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.enable_journal = true;
+  OpusMaster master(&alloc, &cluster, cfg);
+  master.ReportPreferences(0, {0.0, 0.0, 1.0, 0.0});
+  master.ReportPreferences(1, {0.0, 0.0, 0.0, 1.0});
+  master.Reallocate();
+
+  // Serialize across the "restart", then replay onto a new cluster.
+  const std::string log = master.journal().Serialize();
+  const auto restored_journal = cache::Journal::Deserialize(log);
+  ASSERT_TRUE(restored_journal.has_value());
+
+  cache::CacheCluster fresh(Cluster2(), Catalog4());
+  restored_journal->ReplayLatest(&fresh);
+  for (cache::FileId f = 0; f < 4; ++f) {
+    EXPECT_EQ(fresh.ResidentFraction(f), cluster.ResidentFraction(f));
+  }
+  const auto a = cluster.Read(0, 2);
+  const auto b = fresh.Read(0, 2);
+  EXPECT_EQ(a.effective_hit, b.effective_hit);
+}
+
+}  // namespace
+}  // namespace opus::sim

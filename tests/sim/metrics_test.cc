@@ -1,0 +1,62 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::sim {
+namespace {
+
+TEST(MetricsTest, CumulativeRatio) {
+  HitRatioTracker t(2);
+  t.Record(0, 1.0, true);
+  t.Record(0, 0.0, true);
+  t.Record(0, 0.5, true);
+  EXPECT_NEAR(t.CumulativeRatio(0), 0.5, 1e-12);
+  EXPECT_EQ(t.CumulativeRatio(1), 0.0);
+}
+
+TEST(MetricsTest, SpuriousExcludedFromRatio) {
+  HitRatioTracker t(1);
+  t.Record(0, 1.0, true);
+  t.Record(0, 0.0, false);
+  t.Record(0, 0.0, false);
+  EXPECT_NEAR(t.CumulativeRatio(0), 1.0, 1e-12);
+  EXPECT_EQ(t.GenuineCount(0), 1u);
+  EXPECT_EQ(t.SpuriousCount(0), 2u);
+}
+
+TEST(MetricsTest, SeriesSampledEveryK) {
+  MetricsConfig cfg;
+  cfg.window = 4;
+  cfg.sample_every = 2;
+  HitRatioTracker t(1, cfg);
+  for (int i = 0; i < 10; ++i) t.Record(0, 1.0, true);
+  EXPECT_EQ(t.Series(0).size(), 5u);
+  for (double v : t.Series(0)) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, WindowForgetsOldSamples) {
+  MetricsConfig cfg;
+  cfg.window = 2;
+  cfg.sample_every = 1;
+  HitRatioTracker t(1, cfg);
+  t.Record(0, 0.0, true);
+  t.Record(0, 0.0, true);
+  t.Record(0, 1.0, true);
+  t.Record(0, 1.0, true);
+  // Last sample: window holds {1.0, 1.0}.
+  EXPECT_NEAR(t.Series(0).back(), 1.0, 1e-12);
+  // Cumulative still remembers everything.
+  EXPECT_NEAR(t.CumulativeRatio(0), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, CumulativeRatiosVector) {
+  HitRatioTracker t(3);
+  t.Record(2, 0.8, true);
+  const auto all = t.CumulativeRatios();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 0.0);
+  EXPECT_NEAR(all[2], 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace opus::sim

@@ -1,0 +1,165 @@
+#include "sim/opus_master.h"
+
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+#include "workload/tpch.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog FourFileCatalog() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 4; ++f) {
+    c.Register("file-" + std::to_string(f), 10 * cache::kMiB);
+  }
+  return c;
+}
+
+cache::ClusterConfig TwoUserCluster() {
+  cache::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 2;
+  cfg.cache_capacity_bytes = 20 * cache::kMiB;  // 2 of 4 files
+  return cfg;
+}
+
+TEST(OpusMasterTest, DerivesCapacityUnitsFromCluster) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  OpusMaster master(&alloc, &cluster, cfg);
+  // 20 MiB cache / 10 MiB mean file = 2 units; priming allocates 2 files.
+  Matrix prefs = Matrix::FromRows(
+      {{0.6, 0.4, 0.0, 0.0}, {0.6, 0.0, 0.4, 0.0}});
+  master.Prime(prefs);
+  EXPECT_EQ(master.reallocations(), 1u);
+  double total = 0.0;
+  for (cache::FileId f = 0; f < 4; ++f) total += cluster.ResidentFraction(f);
+  EXPECT_NEAR(total, 2.0, 0.2);
+}
+
+TEST(OpusMasterTest, LearnsPreferencesFromWindow) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;  // no auto-update during the test
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 1;
+  for (int k = 0; k < 3; ++k) master.OnAccess(e);
+  e.file = 2;
+  master.OnAccess(e);
+
+  const Matrix prefs = master.InferredPreferences();
+  EXPECT_NEAR(prefs(0, 1), 0.75, 1e-12);
+  EXPECT_NEAR(prefs(0, 2), 0.25, 1e-12);
+  EXPECT_EQ(prefs(1, 0), 0.0);
+}
+
+TEST(OpusMasterTest, SlidingWindowForgets) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  cfg.learning_window = 4;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 4; ++k) master.OnAccess(e);
+  e.file = 3;
+  for (int k = 0; k < 4; ++k) master.OnAccess(e);  // pushes file-0 out
+
+  const Matrix prefs = master.InferredPreferences();
+  EXPECT_EQ(prefs(0, 0), 0.0);
+  EXPECT_NEAR(prefs(0, 3), 1.0, 1e-12);
+}
+
+TEST(OpusMasterTest, ReallocatesOnSchedule) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 10;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 35; ++k) master.OnAccess(e);
+  EXPECT_EQ(master.reallocations(), 3u);
+}
+
+TEST(OpusMasterTest, AllocationFollowsDemandShift) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  cfg.learning_window = 50;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 50; ++k) master.OnAccess(e);
+  e.user = 1;
+  for (int k = 0; k < 40; ++k) master.OnAccess(e);
+  master.Reallocate();
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-9);
+
+  // Demand moves to file 3; after the window slides, so does the cache.
+  e.file = 3;
+  e.user = 0;
+  for (int k = 0; k < 50; ++k) master.OnAccess(e);
+  master.Reallocate();
+  EXPECT_NEAR(cluster.ResidentFraction(3), 1.0, 1e-9);
+}
+
+TEST(OpusMasterTest, AdaptiveWindowShrinksOnDrift) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  cfg.learning_window = 64;
+  cfg.adaptive_window = true;
+  cfg.min_window = 8;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 0;
+  for (int k = 0; k < 64; ++k) master.OnAccess(e);
+  master.Reallocate();
+  const std::size_t before = master.window_size();
+
+  e.file = 3;  // abrupt popularity shift
+  for (int k = 0; k < 64; ++k) master.OnAccess(e);
+  master.Reallocate();
+  EXPECT_LT(master.window_size(), before);
+}
+
+TEST(OpusMasterTest, AdaptiveWindowGrowsWhenStable) {
+  cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  cfg.learning_window = 16;
+  cfg.adaptive_window = true;
+  cfg.max_window = 256;
+  OpusMaster master(&alloc, &cluster, cfg);
+
+  workload::AccessEvent e;
+  e.user = 0;
+  e.file = 2;
+  for (int k = 0; k < 16; ++k) master.OnAccess(e);
+  master.Reallocate();
+  for (int k = 0; k < 16; ++k) master.OnAccess(e);
+  master.Reallocate();  // identical distribution -> grow
+  EXPECT_GT(master.window_size(), 16u);
+}
+
+}  // namespace
+}  // namespace opus::sim

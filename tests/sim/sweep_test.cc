@@ -1,0 +1,92 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/csv.h"
+#include "core/isolated.h"
+#include "core/opus.h"
+#include "workload/preference_gen.h"
+
+namespace opus::sim {
+namespace {
+
+SweepRunner::ProblemFn ZipfGrid() {
+  return [](std::size_t point, int /*rep*/, Rng& rng) {
+    workload::ZipfPreferenceConfig cfg;
+    cfg.num_users = 3 + point;  // points sweep the user count
+    cfg.num_files = 8;
+    cfg.alpha = 1.1;
+    CachingProblem p;
+    p.preferences = workload::GenerateZipfPreferences(cfg, rng);
+    p.capacity = 4.0;
+    return p;
+  };
+}
+
+TEST(SweepTest, ProducesRecordsForEveryCell) {
+  SweepRunner runner({"n=3", "n=4"}, ZipfGrid(), /*replications=*/2);
+  const OpusAllocator opus;
+  const IsolatedAllocator isolated;
+  runner.AddPolicy(&opus);
+  runner.AddPolicy(&isolated);
+  runner.Run();
+  // Users per point: 3 and 4; 2 reps; 2 policies.
+  EXPECT_EQ(runner.records().size(), (3u + 4u) * 2u * 2u);
+}
+
+TEST(SweepTest, InstancesIndependentOfPolicySet) {
+  // The same (point, rep) must yield identical utilities for a policy no
+  // matter what other policies run alongside.
+  const OpusAllocator opus;
+  const IsolatedAllocator isolated;
+
+  SweepRunner solo({"n=3"}, ZipfGrid(), 2);
+  solo.AddPolicy(&opus);
+  solo.Run();
+
+  SweepRunner both({"n=3"}, ZipfGrid(), 2);
+  both.AddPolicy(&isolated);
+  both.AddPolicy(&opus);
+  both.Run();
+
+  auto opus_utils = [](const SweepRunner& r) {
+    std::vector<double> out;
+    for (const auto& rec : r.records()) {
+      if (rec.policy == "opus") out.push_back(rec.utility);
+    }
+    return out;
+  };
+  EXPECT_EQ(opus_utils(solo), opus_utils(both));
+}
+
+TEST(SweepTest, SummariesAggregate) {
+  SweepRunner runner({"n=3", "n=4"}, ZipfGrid(), 3);
+  const OpusAllocator opus;
+  runner.AddPolicy(&opus);
+  runner.Run();
+  const auto summaries = runner.Summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  for (const auto& s : summaries) {
+    EXPECT_EQ(s.policy, "opus");
+    EXPECT_GE(s.mean, s.p5);
+    EXPECT_LE(s.mean, s.p95 + 1e-12);
+    EXPECT_GE(s.sharing_rate, 0.0);
+    EXPECT_LE(s.sharing_rate, 1.0);
+  }
+}
+
+TEST(SweepTest, CsvExportParses) {
+  SweepRunner runner({"n=3"}, ZipfGrid(), 1);
+  const IsolatedAllocator isolated;
+  runner.AddPolicy(&isolated);
+  runner.Run();
+  const auto table = analysis::ParseCsv(runner.ToCsv(), /*has_header=*/true);
+  EXPECT_EQ(table.header.size(), 6u);
+  EXPECT_EQ(table.rows.size(), runner.records().size());
+  EXPECT_EQ(table.rows[0][0], "isolated");
+  // Isolated never shares.
+  for (const auto& row : table.rows) EXPECT_EQ(row[5], "0");
+}
+
+}  // namespace
+}  // namespace opus::sim

@@ -1,0 +1,92 @@
+// Cross-validation of the two independent PF solvers: projected gradient
+// (the production path) vs Frank-Wolfe. Agreement of two algorithmically
+// unrelated methods on random instances is strong evidence both are
+// solving Eq. (2) correctly.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solver/frank_wolfe.h"
+#include "solver/pf_solver.h"
+
+namespace opus {
+namespace {
+
+Matrix RandomPrefs(Rng& rng, std::size_t n, std::size_t m) {
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      prefs(i, j) = rng.NextBernoulli(0.7) ? rng.NextDouble() : 0.0;
+      total += prefs(i, j);
+    }
+    if (total <= 0.0) {
+      prefs(i, rng.NextBounded(m)) = 1.0;
+      total = 1.0;
+    }
+    for (std::size_t j = 0; j < m; ++j) prefs(i, j) /= total;
+  }
+  return prefs;
+}
+
+class CrossCheckSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossCheckSweep, SolversAgreeOnObjectiveAndUtilities) {
+  Rng rng(8800 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.NextBounded(6);
+  const std::size_t m = 3 + rng.NextBounded(10);
+  const Matrix prefs = RandomPrefs(rng, n, m);
+  const double capacity = rng.NextUniform(0.5, static_cast<double>(m) * 0.8);
+
+  const auto pg = SolveProportionalFairness(prefs, capacity);
+  const auto fw = SolveProportionalFairnessFw(prefs, capacity);
+
+  ASSERT_TRUE(pg.converged);
+  ASSERT_TRUE(fw.converged);
+  // The FW gap bounds objective suboptimality by 2e-5; allocations may
+  // differ on degenerate faces, but the (strictly concave in U) per-user
+  // utilities must agree to ~sqrt(2 * gap) ~ 1%.
+  EXPECT_NEAR(pg.objective, fw.objective, 3e-5);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(pg.utilities[i], fw.utilities[i], 1e-2)
+        << "user " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CrossCheckSweep,
+                         ::testing::Range(0, 25));
+
+TEST(CrossCheckTest, SizedInstancesAgree) {
+  Rng rng(99);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 2 + rng.NextBounded(4);
+    const std::size_t m = 3 + rng.NextBounded(6);
+    const Matrix prefs = RandomPrefs(rng, n, m);
+    std::vector<double> sizes(m);
+    double total_size = 0.0;
+    for (double& s : sizes) {
+      s = rng.NextUniform(0.3, 2.5);
+      total_size += s;
+    }
+    const double capacity = rng.NextUniform(0.3, 0.8) * total_size;
+
+    const auto pg =
+        SolveProportionalFairness(prefs, capacity, {}, {}, {}, sizes);
+    const auto fw = SolveProportionalFairnessFw(prefs, capacity, {}, sizes);
+    ASSERT_TRUE(pg.converged);
+    ASSERT_TRUE(fw.converged);
+    EXPECT_NEAR(pg.objective, fw.objective, 3e-5);
+  }
+}
+
+TEST(CrossCheckTest, Fig1Exact) {
+  const Matrix prefs = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  const auto fw = SolveProportionalFairnessFw(prefs, 2.0);
+  ASSERT_TRUE(fw.converged);
+  EXPECT_NEAR(fw.utilities[0], 0.8, 1e-2);
+  EXPECT_NEAR(fw.utilities[1], 0.8, 1e-2);
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,96 @@
+#include "solver/knapsack.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace opus {
+namespace {
+
+TEST(KnapsackTest, FillsInValueOrder) {
+  const std::vector<double> values = {0.1, 0.9, 0.5};
+  const auto sol = SolveFractionalKnapsack(values, 2.0);
+  EXPECT_NEAR(sol.allocation[1], 1.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[2], 1.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[0], 0.0, 1e-12);
+  EXPECT_NEAR(sol.value, 1.4, 1e-12);
+}
+
+TEST(KnapsackTest, FractionalBoundary) {
+  const std::vector<double> values = {0.9, 0.5};
+  const auto sol = SolveFractionalKnapsack(values, 1.5);
+  EXPECT_NEAR(sol.allocation[0], 1.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[1], 0.5, 1e-12);
+  EXPECT_NEAR(sol.value, 0.9 + 0.25, 1e-12);
+}
+
+TEST(KnapsackTest, ZeroCapacity) {
+  const auto sol = SolveFractionalKnapsack(std::vector<double>{1.0}, 0.0);
+  EXPECT_NEAR(sol.allocation[0], 0.0, 1e-12);
+  EXPECT_EQ(sol.value, 0.0);
+}
+
+TEST(KnapsackTest, ZeroValuesNeverCached) {
+  const std::vector<double> values = {0.0, 0.4, 0.0};
+  const auto sol = SolveFractionalKnapsack(values, 3.0);
+  EXPECT_NEAR(sol.allocation[0], 0.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[1], 1.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[2], 0.0, 1e-12);
+}
+
+TEST(KnapsackTest, TieBreaksByIndex) {
+  const std::vector<double> values = {0.5, 0.5, 0.5};
+  const auto sol = SolveFractionalKnapsack(values, 1.0);
+  EXPECT_NEAR(sol.allocation[0], 1.0, 1e-12);
+  EXPECT_NEAR(sol.allocation[1], 0.0, 1e-12);
+}
+
+TEST(KnapsackTest, EmptyInput) {
+  const auto sol = SolveFractionalKnapsack(std::vector<double>{}, 1.0);
+  EXPECT_TRUE(sol.allocation.empty());
+  EXPECT_EQ(sol.value, 0.0);
+}
+
+// Property: greedy value dominates random feasible allocations.
+class KnapsackPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackPropertyTest, GreedyIsOptimal) {
+  Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 1 + rng.NextBounded(10);
+  const double capacity = rng.NextUniform(0.0, static_cast<double>(m));
+  std::vector<double> values(m);
+  for (double& v : values) v = rng.NextDouble();
+
+  const auto sol = SolveFractionalKnapsack(values, capacity);
+
+  double total = 0.0;
+  for (double a : sol.allocation) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    total += a;
+  }
+  EXPECT_LE(total, capacity + 1e-9);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> cand(m);
+    double cand_total = 0.0;
+    for (double& v : cand) {
+      v = rng.NextDouble();
+      cand_total += v;
+    }
+    if (cand_total > capacity && cand_total > 0.0) {
+      for (double& v : cand) v *= capacity / cand_total;
+    }
+    double cand_value = 0.0;
+    for (std::size_t j = 0; j < m; ++j) cand_value += cand[j] * values[j];
+    EXPECT_LE(cand_value, sol.value + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace opus

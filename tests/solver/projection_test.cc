@@ -1,0 +1,105 @@
+#include "solver/projection.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.h"
+#include "common/rng.h"
+
+namespace opus {
+namespace {
+
+TEST(ProjectionTest, InteriorPointUnchanged) {
+  const std::vector<double> y = {0.2, 0.3, 0.1};
+  const auto x = ProjectCappedSimplex(y, 2.0);
+  EXPECT_NEAR(MaxAbsDiff(x, y), 0.0, 1e-12);
+}
+
+TEST(ProjectionTest, BoxClampOnly) {
+  const std::vector<double> y = {-0.5, 1.5, 0.3};
+  const auto x = ProjectCappedSimplex(y, 10.0);
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 0.3, 1e-12);
+}
+
+TEST(ProjectionTest, CapacityBindsUniform) {
+  const std::vector<double> y = {1.0, 1.0, 1.0, 1.0};
+  const auto x = ProjectCappedSimplex(y, 2.0);
+  for (double v : x) EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+TEST(ProjectionTest, CapacityBindsAsymmetric) {
+  // Projecting (0.9, 0.1) onto sum <= 0.6: tau = 0.2, x = (0.7, 0) is wrong
+  // because 0.1 - 0.2 < 0 clamps; solve: x = (0.9-t, 0.1-t)+ with sum 0.6
+  // -> t = 0.2, x = (0.7, 0) sums to 0.7 > 0.6; so second coord clamps to 0
+  // and 0.9 - t = 0.6 -> t = 0.3 gives x = (0.6, 0). Check against KKT.
+  const std::vector<double> y = {0.9, 0.1};
+  const auto x = ProjectCappedSimplex(y, 0.6);
+  EXPECT_NEAR(x[0] + x[1], 0.6, 1e-9);
+  // Optimality: moving mass from x0 to x1 must not reduce distance.
+  const double d_opt = (x[0] - 0.9) * (x[0] - 0.9) + (x[1] - 0.1) * (x[1] - 0.1);
+  const double d_alt = (0.5 - 0.9) * (0.5 - 0.9) + (0.1 - 0.1) * (0.1 - 0.1);
+  EXPECT_LE(d_opt, d_alt + 1e-9);
+}
+
+TEST(ProjectionTest, ZeroCapacity) {
+  const std::vector<double> y = {0.5, 0.7};
+  const auto x = ProjectCappedSimplex(y, 0.0);
+  EXPECT_NEAR(x[0], 0.0, 1e-9);
+  EXPECT_NEAR(x[1], 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, EmptyInput) {
+  const auto x = ProjectCappedSimplex(std::vector<double>{}, 1.0);
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(ProjectionTest, FeasibilityChecker) {
+  EXPECT_TRUE(IsFeasibleCappedSimplex(std::vector<double>{0.5, 0.5}, 1.0));
+  EXPECT_FALSE(IsFeasibleCappedSimplex(std::vector<double>{0.8, 0.5}, 1.0));
+  EXPECT_FALSE(IsFeasibleCappedSimplex(std::vector<double>{1.2}, 2.0));
+  EXPECT_FALSE(IsFeasibleCappedSimplex(std::vector<double>{-0.1}, 2.0));
+}
+
+// Property: the projection is feasible and no feasible point is closer.
+// Verified against random candidate points.
+class ProjectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionPropertyTest, ProjectionIsNearestFeasiblePoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 1 + rng.NextBounded(12);
+  const double capacity = rng.NextUniform(0.0, static_cast<double>(m));
+  std::vector<double> y(m);
+  for (double& v : y) v = rng.NextUniform(-2.0, 3.0);
+
+  const auto x = ProjectCappedSimplex(y, capacity);
+  ASSERT_TRUE(IsFeasibleCappedSimplex(x, capacity, 1e-7));
+
+  auto dist2 = [&](const std::vector<double>& p) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < m; ++j) d += (p[j] - y[j]) * (p[j] - y[j]);
+    return d;
+  };
+  const double dx = dist2(x);
+
+  // Random feasible candidates must not beat the projection.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> cand(m);
+    for (double& v : cand) v = rng.NextUniform(0.0, 1.0);
+    double total = 0.0;
+    for (double v : cand) total += v;
+    if (total > capacity && total > 0.0) {
+      for (double& v : cand) v *= capacity / total;
+    }
+    EXPECT_GE(dist2(cand), dx - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ProjectionPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace opus

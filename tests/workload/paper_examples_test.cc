@@ -1,0 +1,65 @@
+// Ties the canonical paper-example builders to the allocator behaviour the
+// paper (and DESIGN.md) derives for them — a single place where the
+// published numbers are asserted against the shared scenario definitions.
+#include <gtest/gtest.h>
+
+#include "core/fairride.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "core/utility.h"
+#include "workload/paper_examples.h"
+
+namespace opus::workload {
+namespace {
+
+TEST(PaperExamplesTest, Fig1Shapes) {
+  const auto p = Fig1Example();
+  EXPECT_EQ(p.num_users(), 2u);
+  EXPECT_EQ(p.num_files(), 3u);
+  EXPECT_EQ(p.capacity, 2.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double total = 0.0;
+    for (double v : p.preferences.row(i)) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(PaperExamplesTest, Fig1Anchors) {
+  const auto p = Fig1Example();
+  const auto mm = MaxMinAllocator().Allocate(p);
+  EXPECT_NEAR(EvaluateUtility(mm, p.preferences, 0),
+              Fig1Expectations::kSharedUtility, 1e-9);
+  const auto iso = IsolatedUtilities(p);
+  EXPECT_NEAR(iso[0], Fig1Expectations::kIsolatedUtility, 1e-9);
+  const auto op = OpusAllocator().Allocate(p);
+  EXPECT_NEAR(EvaluateUtility(op, p.preferences, 0),
+              Fig1Expectations::kOpusNetUtility, 1e-5);
+}
+
+TEST(PaperExamplesTest, Fig3Anchors) {
+  const auto p = Fig3Example();
+  const auto honest = FairRideAllocator().Allocate(p);
+  EXPECT_NEAR(EvaluateUtility(honest, p.preferences, 1),
+              Fig3Expectations::kFairRideTruthfulB, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(honest, p.preferences, 3),
+              Fig3Expectations::kFairRideTruthfulD, 1e-9);
+
+  const auto lied =
+      FairRideAllocator().Allocate(p.WithMisreport(1, Fig3Misreport()));
+  EXPECT_NEAR(EvaluateUtility(lied, p.preferences, 1),
+              Fig3Expectations::kFairRideCheatB, 1e-9);
+  EXPECT_NEAR(EvaluateUtility(lied, p.preferences, 3),
+              Fig3Expectations::kFairRideCheatD, 1e-9);
+}
+
+TEST(PaperExamplesTest, MisreportsAreNormalizable) {
+  double total = 0.0;
+  for (double v : Fig2Misreport()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  total = 0.0;
+  for (double v : Fig3Misreport()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace opus::workload

@@ -1,0 +1,90 @@
+#include "workload/preference_gen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace opus::workload {
+namespace {
+
+TEST(PreferenceGenTest, RowsAreNormalized) {
+  Rng rng(1);
+  ZipfPreferenceConfig cfg;
+  cfg.num_users = 10;
+  cfg.num_files = 30;
+  const auto prefs = GenerateZipfPreferences(cfg, rng);
+  for (std::size_t i = 0; i < prefs.rows(); ++i) {
+    double total = 0.0;
+    for (double v : prefs.row(i)) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(PreferenceGenTest, PermutedUsersDiffer) {
+  Rng rng(2);
+  ZipfPreferenceConfig cfg;
+  cfg.num_users = 2;
+  cfg.num_files = 20;
+  cfg.permute_per_user = true;
+  const auto prefs = GenerateZipfPreferences(cfg, rng);
+  bool differ = false;
+  for (std::size_t j = 0; j < 20; ++j) {
+    if (prefs(0, j) != prefs(1, j)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(PreferenceGenTest, UnpermutedUsersIdentical) {
+  Rng rng(3);
+  ZipfPreferenceConfig cfg;
+  cfg.num_users = 3;
+  cfg.num_files = 15;
+  cfg.permute_per_user = false;
+  const auto prefs = GenerateZipfPreferences(cfg, rng);
+  for (std::size_t j = 0; j < 15; ++j) {
+    EXPECT_EQ(prefs(0, j), prefs(1, j));
+    EXPECT_EQ(prefs(0, j), prefs(2, j));
+  }
+  // Rank 0 is the largest (Zipf head) and decreases along ranks.
+  EXPECT_GT(prefs(0, 0), prefs(0, 1));
+}
+
+TEST(PreferenceGenTest, SupportFractionLimitsNonzeros) {
+  Rng rng(4);
+  ZipfPreferenceConfig cfg;
+  cfg.num_users = 5;
+  cfg.num_files = 40;
+  cfg.support_fraction = 0.25;
+  const auto prefs = GenerateZipfPreferences(cfg, rng);
+  for (std::size_t i = 0; i < prefs.rows(); ++i) {
+    std::size_t nonzero = 0;
+    for (double v : prefs.row(i)) {
+      if (v > 0.0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 10u);
+  }
+}
+
+TEST(PreferenceGenTest, ZipfSkewVisible) {
+  Rng rng(5);
+  ZipfPreferenceConfig cfg;
+  cfg.num_users = 1;
+  cfg.num_files = 60;
+  cfg.alpha = 1.1;
+  cfg.permute_per_user = false;
+  const auto prefs = GenerateZipfPreferences(cfg, rng);
+  // Top file should carry >20% of the mass at alpha=1.1 over 60 files.
+  EXPECT_GT(prefs(0, 0), 0.2);
+}
+
+TEST(PreferenceGenTest, FromCountsNormalizes) {
+  Matrix counts = Matrix::FromRows({{2.0, 6.0}, {0.0, 0.0}});
+  const auto prefs = PreferencesFromCounts(counts);
+  EXPECT_NEAR(prefs(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(prefs(0, 1), 0.75, 1e-12);
+  EXPECT_EQ(prefs(1, 0), 0.0);
+  EXPECT_EQ(prefs(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace opus::workload

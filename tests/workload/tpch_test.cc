@@ -1,0 +1,91 @@
+#include "workload/tpch.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::workload {
+namespace {
+
+TEST(TpchTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  TpchConfig cfg;
+  cfg.num_datasets = 10;
+  const auto datasets = GenerateTpchDatasets(cfg, rng);
+  EXPECT_EQ(datasets.size(), 10u);
+  for (const auto& ds : datasets) EXPECT_EQ(ds.tables.size(), 8u);
+}
+
+TEST(TpchTest, DatasetSizesNearTarget) {
+  Rng rng(2);
+  TpchConfig cfg;
+  cfg.num_datasets = 50;
+  cfg.dataset_bytes = 100ull * 1024 * 1024;
+  const auto datasets = GenerateTpchDatasets(cfg, rng);
+  for (const auto& ds : datasets) {
+    const double mb = static_cast<double>(ds.TotalBytes()) / (1024.0 * 1024.0);
+    EXPECT_GT(mb, 70.0);
+    EXPECT_LT(mb, 140.0);
+  }
+}
+
+TEST(TpchTest, TableSizeSpreadMatchesPaper) {
+  // Paper: "The size of a TPC-H table varies from 2 KB to 70 MB."
+  Rng rng(3);
+  TpchConfig cfg;
+  cfg.num_datasets = 20;
+  const auto datasets = GenerateTpchDatasets(cfg, rng);
+  std::uint64_t min_bytes = ~0ull, max_bytes = 0;
+  for (const auto& ds : datasets) {
+    for (const auto& t : ds.tables) {
+      min_bytes = std::min(min_bytes, t.size_bytes);
+      max_bytes = std::max(max_bytes, t.size_bytes);
+    }
+  }
+  EXPECT_LE(min_bytes, 4096u);                      // KB-scale fixed tables
+  EXPECT_GT(max_bytes, 50ull * 1024 * 1024);        // lineitem ~70 MB
+  EXPECT_LT(max_bytes, 120ull * 1024 * 1024);
+}
+
+TEST(TpchTest, LineitemDominates) {
+  Rng rng(4);
+  TpchConfig cfg;
+  cfg.num_datasets = 5;
+  const auto datasets = GenerateTpchDatasets(cfg, rng);
+  for (const auto& ds : datasets) {
+    EXPECT_GT(ds.tables[0].size_bytes,
+              ds.TotalBytes() / 2);  // lineitem is first and ~70%
+  }
+}
+
+TEST(TpchTest, DeterministicGivenSeed) {
+  TpchConfig cfg;
+  cfg.num_datasets = 5;
+  Rng a(7), b(7);
+  const auto da = GenerateTpchDatasets(cfg, a);
+  const auto db = GenerateTpchDatasets(cfg, b);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].TotalBytes(), db[i].TotalBytes());
+  }
+}
+
+TEST(TpchTest, DatasetCatalogOneFilePerDataset) {
+  Rng rng(5);
+  TpchConfig cfg;
+  cfg.num_datasets = 8;
+  const auto datasets = GenerateTpchDatasets(cfg, rng);
+  const auto catalog = BuildDatasetCatalog(datasets);
+  EXPECT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog.Get(0).name, "tpch-000");
+  EXPECT_EQ(catalog.Get(0).size_bytes, datasets[0].TotalBytes());
+}
+
+TEST(TpchTest, TableCatalogOneFilePerTable) {
+  Rng rng(6);
+  TpchConfig cfg;
+  cfg.num_datasets = 3;
+  const auto datasets = GenerateTpchDatasets(cfg, rng);
+  const auto catalog = BuildTableCatalog(datasets);
+  EXPECT_EQ(catalog.size(), 24u);
+}
+
+}  // namespace
+}  // namespace opus::workload

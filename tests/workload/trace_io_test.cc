@@ -1,0 +1,74 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace opus::workload {
+namespace {
+
+Trace SmallTrace() {
+  Trace t;
+  t.events.push_back({0, 3, 0.5, false});
+  t.events.push_back({1, 0, 0.75, true});
+  t.events.push_back({0, 2, 1.25, false});
+  return t;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const auto original = SmallTrace();
+  const auto restored = DeserializeTrace(SerializeTrace(original));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->events.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(restored->events[k].user, original.events[k].user);
+    EXPECT_EQ(restored->events[k].file, original.events[k].file);
+    EXPECT_EQ(restored->events[k].spurious, original.events[k].spurious);
+    EXPECT_NEAR(restored->events[k].time_sec, original.events[k].time_sec,
+                1e-9);
+  }
+}
+
+TEST(TraceIoTest, GeneratedTraceRoundTrips) {
+  std::vector<UserTraceSpec> specs(2);
+  specs[0].true_prefs = {0.5, 0.5};
+  specs[1].true_prefs = {1.0, 0.0};
+  ApplyRateTripling(specs[1], 50);
+  Rng rng(3);
+  const auto trace = GenerateTrace(specs, 500, rng);
+  const auto restored = DeserializeTrace(SerializeTrace(trace));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->events.size(), 500u);
+  EXPECT_EQ(restored->CountFor(1, true), trace.CountFor(1, true));
+  EXPECT_EQ(restored->CountFor(1, false), trace.CountFor(1, false));
+}
+
+TEST(TraceIoTest, RejectsWrongHeader) {
+  EXPECT_FALSE(DeserializeTrace("a,b,c,d\n1,2,3,0\n").has_value());
+}
+
+TEST(TraceIoTest, RejectsOutOfOrderTimes) {
+  const std::string text =
+      "time_sec,user,file,spurious\n2.0,0,0,0\n1.0,0,1,0\n";
+  EXPECT_FALSE(DeserializeTrace(text).has_value());
+}
+
+TEST(TraceIoTest, RejectsBadSpuriousFlag) {
+  const std::string text = "time_sec,user,file,spurious\n1.0,0,0,maybe\n";
+  EXPECT_FALSE(DeserializeTrace(text).has_value());
+}
+
+TEST(TraceIoTest, RejectsNegativeTime) {
+  const std::string text = "time_sec,user,file,spurious\n-1.0,0,0,0\n";
+  EXPECT_FALSE(DeserializeTrace(text).has_value());
+}
+
+TEST(TraceIoTest, EmptyTraceIsValid) {
+  const std::string text = "time_sec,user,file,spurious\n";
+  const auto restored = DeserializeTrace(text);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->events.empty());
+}
+
+}  // namespace
+}  // namespace opus::workload

@@ -1,0 +1,118 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::workload {
+namespace {
+
+std::vector<UserTraceSpec> TwoUserSpecs() {
+  std::vector<UserTraceSpec> specs(2);
+  specs[0].true_prefs = {0.7, 0.3, 0.0};
+  specs[1].true_prefs = {0.0, 0.3, 0.7};
+  return specs;
+}
+
+TEST(TraceTest, GeneratesRequestedEvents) {
+  Rng rng(1);
+  const auto trace = GenerateTrace(TwoUserSpecs(), 1000, rng);
+  EXPECT_EQ(trace.events.size(), 1000u);
+}
+
+TEST(TraceTest, TimesMonotone) {
+  Rng rng(2);
+  const auto trace = GenerateTrace(TwoUserSpecs(), 500, rng);
+  for (std::size_t k = 1; k < trace.events.size(); ++k) {
+    EXPECT_GE(trace.events[k].time_sec, trace.events[k - 1].time_sec);
+  }
+}
+
+TEST(TraceTest, TruthfulUsersEmitNoSpurious) {
+  Rng rng(3);
+  const auto trace = GenerateTrace(TwoUserSpecs(), 2000, rng);
+  for (const auto& e : trace.events) EXPECT_FALSE(e.spurious);
+}
+
+TEST(TraceTest, FilesFollowPreferences) {
+  Rng rng(4);
+  const auto trace = GenerateTrace(TwoUserSpecs(), 20000, rng);
+  std::size_t user0_file0 = 0, user0_total = 0;
+  for (const auto& e : trace.events) {
+    if (e.user == 0) {
+      ++user0_total;
+      if (e.file == 0) ++user0_file0;
+    }
+    if (e.user == 0) EXPECT_NE(e.file, 2u);  // zero preference
+    if (e.user == 1) EXPECT_NE(e.file, 0u);
+  }
+  EXPECT_NEAR(static_cast<double>(user0_file0) / user0_total, 0.7, 0.03);
+}
+
+TEST(TraceTest, EqualRatesSplitEvenly) {
+  Rng rng(5);
+  const auto trace = GenerateTrace(TwoUserSpecs(), 20000, rng);
+  const auto u0 = trace.CountFor(0, true);
+  EXPECT_NEAR(static_cast<double>(u0) / 20000.0, 0.5, 0.02);
+}
+
+TEST(TraceTest, RateTriplingKicksInAfterTrigger) {
+  Rng rng(6);
+  auto specs = TwoUserSpecs();
+  ApplyRateTripling(specs[0], /*after=*/200);
+  const auto trace = GenerateTrace(specs, 30000, rng);
+
+  // Before the trigger both users run at rate 1; afterwards user 0's total
+  // stream (genuine + spurious) is 3x user 1's.
+  std::size_t genuine0 = 0;
+  std::size_t late_u0 = 0, late_u1 = 0;
+  bool triggered = false;
+  for (const auto& e : trace.events) {
+    if (e.user == 0 && !e.spurious) ++genuine0;
+    if (genuine0 >= 400) triggered = true;  // well past the trigger
+    if (triggered) {
+      if (e.user == 0) ++late_u0;
+      if (e.user == 1) ++late_u1;
+    }
+  }
+  ASSERT_GT(late_u1, 1000u);
+  EXPECT_NEAR(static_cast<double>(late_u0) / static_cast<double>(late_u1),
+              3.0, 0.3);
+}
+
+TEST(TraceTest, SpuriousEventsUseClaimedDistribution) {
+  Rng rng(7);
+  auto specs = TwoUserSpecs();
+  ApplyPreferenceShift(specs[0], /*after=*/100, {0.0, 0.0, 1.0}, 4.0);
+  const auto trace = GenerateTrace(specs, 20000, rng);
+  std::size_t spurious = 0;
+  for (const auto& e : trace.events) {
+    if (e.spurious) {
+      ++spurious;
+      EXPECT_EQ(e.user, 0u);
+      EXPECT_EQ(e.file, 2u);  // spurious stream only touches file 2
+    }
+  }
+  EXPECT_GT(spurious, 5000u);
+}
+
+TEST(TraceTest, CountForFiltersSpurious) {
+  Rng rng(8);
+  auto specs = TwoUserSpecs();
+  ApplyRateTripling(specs[0], 0);  // cheats from the start
+  const auto trace = GenerateTrace(specs, 4000, rng);
+  EXPECT_GT(trace.CountFor(0, true), trace.CountFor(0, false));
+  EXPECT_EQ(trace.CountFor(1, true), trace.CountFor(1, false));
+}
+
+TEST(TraceTest, DeterministicGivenSeed) {
+  auto specs = TwoUserSpecs();
+  Rng a(9), b(9);
+  const auto ta = GenerateTrace(specs, 300, a);
+  const auto tb = GenerateTrace(specs, 300, b);
+  for (std::size_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(ta.events[k].user, tb.events[k].user);
+    EXPECT_EQ(ta.events[k].file, tb.events[k].file);
+  }
+}
+
+}  // namespace
+}  // namespace opus::workload

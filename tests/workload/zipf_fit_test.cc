@@ -1,0 +1,71 @@
+#include "workload/zipf_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace opus::workload {
+namespace {
+
+TEST(ZipfFitTest, RecoversKnownAlphaFromExactMasses) {
+  // Feeding the exact pmf as "counts" should recover alpha precisely.
+  for (double alpha : {0.5, 1.1, 2.0}) {
+    const ZipfDistribution z(50, alpha);
+    std::vector<double> counts;
+    for (std::size_t k = 0; k < z.size(); ++k) {
+      counts.push_back(1e6 * z.pmf(k));
+    }
+    const auto fit = FitZipf(counts);
+    EXPECT_NEAR(fit.alpha, alpha, 1e-3) << "alpha=" << alpha;
+  }
+}
+
+TEST(ZipfFitTest, RecoversAlphaFromSampledTrace) {
+  const ZipfDistribution z(60, 1.1);
+  Rng rng(7);
+  std::vector<double> counts(60, 0.0);
+  for (int k = 0; k < 200000; ++k) counts[z.Sample(rng)] += 1.0;
+  const auto fit = FitZipf(counts);
+  EXPECT_NEAR(fit.alpha, 1.1, 0.05);
+  EXPECT_EQ(fit.total_count, 200000u);
+}
+
+TEST(ZipfFitTest, UniformCountsGiveNearZeroAlpha) {
+  const std::vector<double> counts(30, 100.0);
+  const auto fit = FitZipf(counts);
+  EXPECT_LT(fit.alpha, 0.01);
+}
+
+TEST(ZipfFitTest, OrderInvariant) {
+  // The fit sorts internally: shuffled counts give the same alpha.
+  const ZipfDistribution z(40, 1.3);
+  std::vector<double> counts;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    counts.push_back(1e5 * z.pmf(k));
+  }
+  auto shuffled = counts;
+  Rng rng(9);
+  rng.Shuffle(shuffled);
+  EXPECT_NEAR(FitZipf(counts).alpha, FitZipf(shuffled).alpha, 1e-9);
+}
+
+TEST(ZipfFitTest, ExtremeSkewHitsCap) {
+  // One hot item and silence elsewhere wants alpha -> infinity; the fit
+  // returns (near) the cap.
+  std::vector<double> counts(20, 0.0);
+  counts[0] = 1000.0;
+  const auto fit = FitZipf(counts, /*max_alpha=*/5.0);
+  EXPECT_GT(fit.alpha, 4.9);
+}
+
+TEST(ZipfFitTest, SingleItemDegenerate) {
+  const std::vector<double> counts = {42.0};
+  const auto fit = FitZipf(counts);
+  // With one item every alpha is equally likely; just require sanity.
+  EXPECT_GE(fit.alpha, 0.0);
+  EXPECT_EQ(fit.total_count, 42u);
+}
+
+}  // namespace
+}  // namespace opus::workload

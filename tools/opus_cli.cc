@@ -1,0 +1,228 @@
+// opus_cli — command-line cache allocation.
+//
+// Reads a preference matrix from CSV (one row per user, one column per
+// file; raw scores are normalized per row), runs the selected policy, and
+// prints the allocation, per-user utilities, taxes and blocking — or emits
+// machine-readable CSV with --csv.
+//
+// Usage:
+//   opus_cli --prefs prefs.csv --capacity 2.0 [--policy opus]
+//            [--sizes sizes.csv] [--csv] [--compare] [--explain]
+//
+//   --prefs FILE      required; CSV of non-negative scores (no header)
+//   --capacity C      required; cache capacity in file units (or size
+//                     units when --sizes is given)
+//   --policy NAME     opus | fairride | maxmin | isolated | vcg-classic |
+//                     optimal (default: opus)
+//   --sizes FILE      optional; single CSV row of per-file sizes
+//   --csv             machine-readable output (allocation + per-user rows)
+//   --compare         run every policy and print a utility comparison
+//   --explain         audit report of the OpuS decision (taxes, break-even,
+//                     blocking, sharing verdict)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/csv.h"
+#include "analysis/report.h"
+#include "common/strings.h"
+#include "core/explain.h"
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "core/utility.h"
+#include "core/vcg_classic.h"
+
+namespace {
+
+using namespace opus;
+
+std::unique_ptr<CacheAllocator> MakeAllocator(const std::string& name) {
+  if (name == "opus") return std::make_unique<OpusAllocator>();
+  if (name == "fairride") return std::make_unique<FairRideAllocator>();
+  if (name == "maxmin") return std::make_unique<MaxMinAllocator>();
+  if (name == "isolated") return std::make_unique<IsolatedAllocator>();
+  if (name == "vcg-classic") return std::make_unique<VcgClassicAllocator>();
+  if (name == "optimal") return std::make_unique<GlobalOptimalAllocator>();
+  return nullptr;
+}
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --prefs FILE --capacity C [--policy NAME] "
+               "[--sizes FILE] [--csv] [--compare] [--explain]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string prefs_path, sizes_path, policy = "opus";
+  double capacity = -1.0;
+  bool csv_output = false, compare = false, explain = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      return (a + 1 < argc) ? argv[++a] : nullptr;
+    };
+    if (arg == "--prefs") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      prefs_path = v;
+    } else if (arg == "--capacity") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      capacity = std::atof(v);
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      policy = v;
+    } else if (arg == "--sizes") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      sizes_path = v;
+    } else if (arg == "--csv") {
+      csv_output = true;
+    } else if (arg == "--compare") {
+      compare = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (prefs_path.empty() || capacity < 0.0) return Usage(argv[0]);
+
+  bool ok = false;
+  const std::string prefs_text = ReadFile(prefs_path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", prefs_path.c_str());
+    return 1;
+  }
+  const auto prefs_csv = analysis::ParseCsv(prefs_text, /*has_header=*/false);
+  const auto raw = analysis::ToNumeric(prefs_csv);
+  if (raw.empty()) {
+    std::fprintf(stderr, "empty preference matrix\n");
+    return 1;
+  }
+  for (const auto& row : raw) {
+    if (row.size() != raw[0].size()) {
+      std::fprintf(stderr, "ragged preference matrix\n");
+      return 1;
+    }
+  }
+
+  CachingProblem problem =
+      CachingProblem::FromRaw(Matrix::FromRows(raw), capacity);
+  if (!sizes_path.empty()) {
+    const std::string sizes_text = ReadFile(sizes_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", sizes_path.c_str());
+      return 1;
+    }
+    const auto sizes =
+        analysis::ToNumeric(analysis::ParseCsv(sizes_text, false));
+    if (sizes.size() != 1 || sizes[0].size() != problem.num_files()) {
+      std::fprintf(stderr, "--sizes must be one row of %zu values\n",
+                   problem.num_files());
+      return 1;
+    }
+    problem.file_sizes = sizes[0];
+  }
+
+  if (explain) {
+    std::fputs(ExplainOpusDecision(problem).c_str(), stdout);
+    return 0;
+  }
+
+  if (compare) {
+    analysis::Table table("policy comparison");
+    std::vector<std::string> header = {"policy"};
+    for (std::size_t i = 0; i < problem.num_users(); ++i) {
+      header.push_back("user" + std::to_string(i));
+    }
+    header.push_back("shared?");
+    table.AddHeader(std::move(header));
+    for (const char* name : {"isolated", "maxmin", "fairride", "optimal",
+                             "vcg-classic", "opus"}) {
+      const auto alloc = MakeAllocator(name);
+      const auto r = alloc->Allocate(problem);
+      const auto utils = EvaluateUtilities(r, problem.preferences);
+      std::vector<std::string> row = {name};
+      for (double u : utils) row.push_back(FormatDouble(u, 4));
+      row.push_back(r.shared ? "yes" : "no");
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    return 0;
+  }
+
+  const auto allocator = MakeAllocator(policy);
+  if (!allocator) {
+    std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
+    return 1;
+  }
+  const auto result = allocator->Allocate(problem);
+  const auto utils = EvaluateUtilities(result, problem.preferences);
+
+  if (csv_output) {
+    analysis::CsvTable alloc_table;
+    alloc_table.header = {"file", "allocation"};
+    for (std::size_t j = 0; j < problem.num_files(); ++j) {
+      alloc_table.rows.push_back(
+          {std::to_string(j), FormatDouble(result.file_alloc[j], 6)});
+    }
+    std::fputs(analysis::WriteCsv(alloc_table).c_str(), stdout);
+    analysis::CsvTable user_table;
+    user_table.header = {"user", "utility", "tax", "blocking"};
+    for (std::size_t i = 0; i < problem.num_users(); ++i) {
+      user_table.rows.push_back({std::to_string(i),
+                                 FormatDouble(utils[i], 6),
+                                 FormatDouble(result.taxes[i], 6),
+                                 FormatDouble(result.blocking[i], 6)});
+    }
+    std::fputs(analysis::WriteCsv(user_table).c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("policy: %s (%s)\n", result.policy.c_str(),
+              result.shared ? "sharing" : "isolated");
+  analysis::Table alloc_table("file allocation");
+  alloc_table.AddHeader({"file", "size", "cached fraction"});
+  for (std::size_t j = 0; j < problem.num_files(); ++j) {
+    alloc_table.AddRow({std::to_string(j),
+                        FormatDouble(problem.FileSize(j), 2),
+                        FormatDouble(result.file_alloc[j], 4)});
+  }
+  alloc_table.Print();
+  analysis::Table user_table("per-user outcome");
+  user_table.AddHeader({"user", "utility", "tax", "blocking"});
+  for (std::size_t i = 0; i < problem.num_users(); ++i) {
+    user_table.AddRow({std::to_string(i), FormatDouble(utils[i], 4),
+                       FormatDouble(result.taxes[i], 4),
+                       FormatDouble(result.blocking[i], 4)});
+  }
+  user_table.Print();
+  return 0;
+}

@@ -1,0 +1,243 @@
+// opus_replay — replay an access trace through the cache simulator.
+//
+// Reads a trace CSV (workload/trace_io.h format), a catalog CSV (one row
+// per file: name,size_bytes), and replays the trace under the selected
+// policy, printing per-user effective hit ratios, latency percentiles and
+// cache activity. With --generate, synthesizes a Zipf trace instead and
+// optionally writes it out for later replay.
+//
+// Usage:
+//   opus_replay --catalog files.csv --trace trace.csv
+//               [--policy opus|fairride|maxmin|isolated|optimal|lru|lfu]
+//               [--cache-mb 1024] [--workers 5] [--users N]
+//               [--update-interval 1000] [--window 4000]
+//   opus_replay --catalog files.csv --generate 20000 --users 8
+//               [--alpha 1.1] [--seed 42] [--save-trace trace.csv]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "analysis/csv.h"
+#include "analysis/histogram.h"
+#include "analysis/report.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "sim/simulator.h"
+#include "workload/preference_gen.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace opus;
+
+std::unique_ptr<CacheAllocator> MakeAllocator(const std::string& name) {
+  if (name == "opus") return std::make_unique<OpusAllocator>();
+  if (name == "fairride") return std::make_unique<FairRideAllocator>();
+  if (name == "maxmin") return std::make_unique<MaxMinAllocator>();
+  if (name == "isolated") return std::make_unique<IsolatedAllocator>();
+  if (name == "optimal") return std::make_unique<GlobalOptimalAllocator>();
+  return nullptr;
+}
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --catalog FILE (--trace FILE | --generate N --users N)\n"
+      "          [--policy NAME] [--cache-mb MB] [--workers W]\n"
+      "          [--alpha A] [--seed S] [--save-trace FILE]\n"
+      "          [--update-interval K] [--window W]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string catalog_path, trace_path, save_trace_path, policy = "opus";
+  std::size_t generate = 0, users = 0, workers = 5;
+  std::size_t update_interval = 1000, window = 4000;
+  double cache_mb = 1024.0, alpha = 1.1;
+  std::uint64_t seed = 42;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      return (a + 1 < argc) ? argv[++a] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--catalog" && (v = next())) {
+      catalog_path = v;
+    } else if (arg == "--trace" && (v = next())) {
+      trace_path = v;
+    } else if (arg == "--generate" && (v = next())) {
+      generate = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--users" && (v = next())) {
+      users = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--policy" && (v = next())) {
+      policy = v;
+    } else if (arg == "--cache-mb" && (v = next())) {
+      cache_mb = std::atof(v);
+    } else if (arg == "--workers" && (v = next())) {
+      workers = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--alpha" && (v = next())) {
+      alpha = std::atof(v);
+    } else if (arg == "--seed" && (v = next())) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--save-trace" && (v = next())) {
+      save_trace_path = v;
+    } else if (arg == "--update-interval" && (v = next())) {
+      update_interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--window" && (v = next())) {
+      window = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (catalog_path.empty() || (trace_path.empty() && generate == 0)) {
+    return Usage(argv[0]);
+  }
+
+  // --- catalog ------------------------------------------------------------
+  bool ok = false;
+  const std::string catalog_text = ReadFile(catalog_path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", catalog_path.c_str());
+    return 1;
+  }
+  cache::Catalog catalog(1 * cache::kMiB);
+  for (const auto& row :
+       analysis::ParseCsv(catalog_text, /*has_header=*/false).rows) {
+    if (row.size() != 2) {
+      std::fprintf(stderr, "catalog rows must be name,size_bytes\n");
+      return 1;
+    }
+    catalog.Register(row[0], std::strtoull(row[1].c_str(), nullptr, 10));
+  }
+  if (catalog.size() == 0) {
+    std::fprintf(stderr, "empty catalog\n");
+    return 1;
+  }
+
+  // --- trace --------------------------------------------------------------
+  workload::Trace trace;
+  if (!trace_path.empty()) {
+    const std::string trace_text = ReadFile(trace_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+      return 1;
+    }
+    auto parsed = workload::DeserializeTrace(trace_text);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "malformed trace: %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace = std::move(*parsed);
+    if (users == 0) {
+      for (const auto& e : trace.events) {
+        users = std::max<std::size_t>(users, e.user + 1);
+      }
+    }
+  } else {
+    if (users == 0) {
+      std::fprintf(stderr, "--generate requires --users\n");
+      return 1;
+    }
+    workload::ZipfPreferenceConfig pcfg;
+    pcfg.num_users = users;
+    pcfg.num_files = catalog.size();
+    pcfg.alpha = alpha;
+    Rng rng(seed);
+    const Matrix prefs = workload::GenerateZipfPreferences(pcfg, rng);
+    trace = workload::GenerateTrace(workload::TruthfulSpecs(prefs), generate,
+                                    rng);
+    if (!save_trace_path.empty()) {
+      std::ofstream out(save_trace_path);
+      out << workload::SerializeTrace(trace);
+      std::printf("trace written to %s (%zu events)\n",
+                  save_trace_path.c_str(), trace.events.size());
+    }
+  }
+  if (users == 0) {
+    std::fprintf(stderr, "no users\n");
+    return 1;
+  }
+
+  // --- replay --------------------------------------------------------------
+  sim::SimulationResult result;
+  if (policy == "lru" || policy == "lfu") {
+    sim::UnmanagedSimConfig cfg;
+    cfg.cluster.num_workers = static_cast<std::uint32_t>(workers);
+    cfg.cluster.num_users = static_cast<std::uint32_t>(users);
+    cfg.cluster.cache_capacity_bytes =
+        static_cast<std::uint64_t>(cache_mb * 1024 * 1024);
+    cfg.cluster.eviction_policy = policy;
+    result = sim::RunUnmanagedSimulation(cfg, catalog, trace);
+  } else {
+    const auto allocator = MakeAllocator(policy);
+    if (!allocator) {
+      std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
+      return 1;
+    }
+    sim::ManagedSimConfig cfg;
+    cfg.cluster.num_workers = static_cast<std::uint32_t>(workers);
+    cfg.cluster.num_users = static_cast<std::uint32_t>(users);
+    cfg.cluster.cache_capacity_bytes =
+        static_cast<std::uint64_t>(cache_mb * 1024 * 1024);
+    cfg.master.update_interval = update_interval;
+    cfg.master.learning_window = window;
+    result = sim::RunManagedSimulation(cfg, *allocator, catalog, trace);
+  }
+
+  std::printf("policy=%s events=%zu users=%zu files=%zu cache=%s\n",
+              result.policy.c_str(), trace.events.size(), users,
+              catalog.size(),
+              FormatBytes(static_cast<std::uint64_t>(cache_mb * 1024 * 1024))
+                  .c_str());
+  analysis::Table table("replay results");
+  table.AddHeader({"metric", "value"});
+  table.AddRow({"mean effective hit ratio",
+                FormatDouble(result.average_hit_ratio, 4)});
+  for (std::size_t i = 0; i < result.per_user_hit_ratio.size(); ++i) {
+    table.AddRow({"user " + std::to_string(i) + " hit ratio",
+                  FormatDouble(result.per_user_hit_ratio[i], 4)});
+  }
+  table.AddRow({"latency p50 (ms)",
+                FormatDouble(1e3 * result.latency_p50_sec, 2)});
+  table.AddRow({"latency p99 (ms)",
+                FormatDouble(1e3 * result.latency_p99_sec, 2)});
+  table.AddRow({"disk bytes read", FormatBytes(result.disk_bytes_read)});
+  table.AddRow({"reallocations", std::to_string(result.reallocations)});
+  table.AddRow({"evictions", std::to_string(result.evictions)});
+  table.Print();
+
+  // Latency distribution sketch (log buckets from 10 us to 100 s).
+  analysis::Histogram hist = analysis::Histogram::Logarithmic(1e-5, 100.0, 14);
+  hist.Add(result.latency_p50_sec, 50);
+  hist.Add(result.latency_p95_sec, 45);
+  hist.Add(result.latency_p99_sec, 5);
+  std::puts("latency sketch (seconds; mass at p50/p95/p99):");
+  std::fputs(hist.Render(30).c_str(), stdout);
+  return 0;
+}
