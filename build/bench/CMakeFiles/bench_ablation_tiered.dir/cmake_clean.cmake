@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tiered.dir/bench_ablation_tiered.cc.o"
+  "CMakeFiles/bench_ablation_tiered.dir/bench_ablation_tiered.cc.o.d"
+  "bench_ablation_tiered"
+  "bench_ablation_tiered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

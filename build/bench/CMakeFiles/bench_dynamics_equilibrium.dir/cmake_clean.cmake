@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamics_equilibrium.dir/bench_dynamics_equilibrium.cc.o"
+  "CMakeFiles/bench_dynamics_equilibrium.dir/bench_dynamics_equilibrium.cc.o.d"
+  "bench_dynamics_equilibrium"
+  "bench_dynamics_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamics_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lru_cheating.dir/bench_fig5_lru_cheating.cc.o"
+  "CMakeFiles/bench_fig5_lru_cheating.dir/bench_fig5_lru_cheating.cc.o.d"
+  "bench_fig5_lru_cheating"
+  "bench_fig5_lru_cheating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lru_cheating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

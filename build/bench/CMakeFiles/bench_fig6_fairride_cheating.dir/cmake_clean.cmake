@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fairride_cheating.dir/bench_fig6_fairride_cheating.cc.o"
+  "CMakeFiles/bench_fig6_fairride_cheating.dir/bench_fig6_fairride_cheating.cc.o.d"
+  "bench_fig6_fairride_cheating"
+  "bench_fig6_fairride_cheating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fairride_cheating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

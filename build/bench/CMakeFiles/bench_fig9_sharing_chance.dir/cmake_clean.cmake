@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sharing_chance.dir/bench_fig9_sharing_chance.cc.o"
+  "CMakeFiles/bench_fig9_sharing_chance.dir/bench_fig9_sharing_chance.cc.o.d"
+  "bench_fig9_sharing_chance"
+  "bench_fig9_sharing_chance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sharing_chance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

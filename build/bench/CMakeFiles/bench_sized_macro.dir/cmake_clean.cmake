@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sized_macro.dir/bench_sized_macro.cc.o"
+  "CMakeFiles/bench_sized_macro.dir/bench_sized_macro.cc.o.d"
+  "bench_sized_macro"
+  "bench_sized_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sized_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_serving.dir/ml_serving.cpp.o"
+  "CMakeFiles/ml_serving.dir/ml_serving.cpp.o.d"
+  "ml_serving"
+  "ml_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/strategic_user.cpp" "examples/CMakeFiles/strategic_user.dir/strategic_user.cpp.o" "gcc" "examples/CMakeFiles/strategic_user.dir/strategic_user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/opus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/opus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/opus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

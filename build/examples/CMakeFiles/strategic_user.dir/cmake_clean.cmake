@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategic_user.dir/strategic_user.cpp.o"
+  "CMakeFiles/strategic_user.dir/strategic_user.cpp.o.d"
+  "strategic_user"
+  "strategic_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategic_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for strategic_user.
+# This may be replaced when dependencies are built.

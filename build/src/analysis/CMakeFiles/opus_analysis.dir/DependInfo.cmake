@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/csv.cc" "src/analysis/CMakeFiles/opus_analysis.dir/csv.cc.o" "gcc" "src/analysis/CMakeFiles/opus_analysis.dir/csv.cc.o.d"
+  "/root/repo/src/analysis/histogram.cc" "src/analysis/CMakeFiles/opus_analysis.dir/histogram.cc.o" "gcc" "src/analysis/CMakeFiles/opus_analysis.dir/histogram.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/opus_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/opus_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/opus_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/opus_analysis.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_analysis.dir/csv.cc.o"
+  "CMakeFiles/opus_analysis.dir/csv.cc.o.d"
+  "CMakeFiles/opus_analysis.dir/histogram.cc.o"
+  "CMakeFiles/opus_analysis.dir/histogram.cc.o.d"
+  "CMakeFiles/opus_analysis.dir/report.cc.o"
+  "CMakeFiles/opus_analysis.dir/report.cc.o.d"
+  "CMakeFiles/opus_analysis.dir/stats.cc.o"
+  "CMakeFiles/opus_analysis.dir/stats.cc.o.d"
+  "libopus_analysis.a"
+  "libopus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_store.cc" "src/cache/CMakeFiles/opus_cache.dir/block_store.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/block_store.cc.o.d"
+  "/root/repo/src/cache/client.cc" "src/cache/CMakeFiles/opus_cache.dir/client.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/client.cc.o.d"
+  "/root/repo/src/cache/cluster.cc" "src/cache/CMakeFiles/opus_cache.dir/cluster.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/cluster.cc.o.d"
+  "/root/repo/src/cache/eviction.cc" "src/cache/CMakeFiles/opus_cache.dir/eviction.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/eviction.cc.o.d"
+  "/root/repo/src/cache/file_meta.cc" "src/cache/CMakeFiles/opus_cache.dir/file_meta.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/file_meta.cc.o.d"
+  "/root/repo/src/cache/journal.cc" "src/cache/CMakeFiles/opus_cache.dir/journal.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/journal.cc.o.d"
+  "/root/repo/src/cache/placement.cc" "src/cache/CMakeFiles/opus_cache.dir/placement.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/placement.cc.o.d"
+  "/root/repo/src/cache/tiered_store.cc" "src/cache/CMakeFiles/opus_cache.dir/tiered_store.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/tiered_store.cc.o.d"
+  "/root/repo/src/cache/under_store.cc" "src/cache/CMakeFiles/opus_cache.dir/under_store.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/under_store.cc.o.d"
+  "/root/repo/src/cache/worker.cc" "src/cache/CMakeFiles/opus_cache.dir/worker.cc.o" "gcc" "src/cache/CMakeFiles/opus_cache.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

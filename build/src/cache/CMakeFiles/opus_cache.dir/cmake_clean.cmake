@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_cache.dir/block_store.cc.o"
+  "CMakeFiles/opus_cache.dir/block_store.cc.o.d"
+  "CMakeFiles/opus_cache.dir/client.cc.o"
+  "CMakeFiles/opus_cache.dir/client.cc.o.d"
+  "CMakeFiles/opus_cache.dir/cluster.cc.o"
+  "CMakeFiles/opus_cache.dir/cluster.cc.o.d"
+  "CMakeFiles/opus_cache.dir/eviction.cc.o"
+  "CMakeFiles/opus_cache.dir/eviction.cc.o.d"
+  "CMakeFiles/opus_cache.dir/file_meta.cc.o"
+  "CMakeFiles/opus_cache.dir/file_meta.cc.o.d"
+  "CMakeFiles/opus_cache.dir/journal.cc.o"
+  "CMakeFiles/opus_cache.dir/journal.cc.o.d"
+  "CMakeFiles/opus_cache.dir/placement.cc.o"
+  "CMakeFiles/opus_cache.dir/placement.cc.o.d"
+  "CMakeFiles/opus_cache.dir/tiered_store.cc.o"
+  "CMakeFiles/opus_cache.dir/tiered_store.cc.o.d"
+  "CMakeFiles/opus_cache.dir/under_store.cc.o"
+  "CMakeFiles/opus_cache.dir/under_store.cc.o.d"
+  "CMakeFiles/opus_cache.dir/worker.cc.o"
+  "CMakeFiles/opus_cache.dir/worker.cc.o.d"
+  "libopus_cache.a"
+  "libopus_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopus_cache.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_common.dir/check.cc.o"
+  "CMakeFiles/opus_common.dir/check.cc.o.d"
+  "CMakeFiles/opus_common.dir/mathutil.cc.o"
+  "CMakeFiles/opus_common.dir/mathutil.cc.o.d"
+  "CMakeFiles/opus_common.dir/rng.cc.o"
+  "CMakeFiles/opus_common.dir/rng.cc.o.d"
+  "CMakeFiles/opus_common.dir/strings.cc.o"
+  "CMakeFiles/opus_common.dir/strings.cc.o.d"
+  "CMakeFiles/opus_common.dir/zipf.cc.o"
+  "CMakeFiles/opus_common.dir/zipf.cc.o.d"
+  "libopus_common.a"
+  "libopus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/axioms.cc" "src/core/CMakeFiles/opus_core.dir/axioms.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/axioms.cc.o.d"
+  "/root/repo/src/core/dynamics.cc" "src/core/CMakeFiles/opus_core.dir/dynamics.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/dynamics.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/opus_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/fairride.cc" "src/core/CMakeFiles/opus_core.dir/fairride.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/fairride.cc.o.d"
+  "/root/repo/src/core/global_opt.cc" "src/core/CMakeFiles/opus_core.dir/global_opt.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/global_opt.cc.o.d"
+  "/root/repo/src/core/isolated.cc" "src/core/CMakeFiles/opus_core.dir/isolated.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/isolated.cc.o.d"
+  "/root/repo/src/core/market.cc" "src/core/CMakeFiles/opus_core.dir/market.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/market.cc.o.d"
+  "/root/repo/src/core/maxmin.cc" "src/core/CMakeFiles/opus_core.dir/maxmin.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/maxmin.cc.o.d"
+  "/root/repo/src/core/opus.cc" "src/core/CMakeFiles/opus_core.dir/opus.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/opus.cc.o.d"
+  "/root/repo/src/core/properties.cc" "src/core/CMakeFiles/opus_core.dir/properties.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/properties.cc.o.d"
+  "/root/repo/src/core/segments.cc" "src/core/CMakeFiles/opus_core.dir/segments.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/segments.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/opus_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/opus_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/types.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/opus_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/utility.cc.o.d"
+  "/root/repo/src/core/vcg_classic.cc" "src/core/CMakeFiles/opus_core.dir/vcg_classic.cc.o" "gcc" "src/core/CMakeFiles/opus_core.dir/vcg_classic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/opus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

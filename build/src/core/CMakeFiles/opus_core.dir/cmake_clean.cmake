@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_core.dir/axioms.cc.o"
+  "CMakeFiles/opus_core.dir/axioms.cc.o.d"
+  "CMakeFiles/opus_core.dir/dynamics.cc.o"
+  "CMakeFiles/opus_core.dir/dynamics.cc.o.d"
+  "CMakeFiles/opus_core.dir/explain.cc.o"
+  "CMakeFiles/opus_core.dir/explain.cc.o.d"
+  "CMakeFiles/opus_core.dir/fairride.cc.o"
+  "CMakeFiles/opus_core.dir/fairride.cc.o.d"
+  "CMakeFiles/opus_core.dir/global_opt.cc.o"
+  "CMakeFiles/opus_core.dir/global_opt.cc.o.d"
+  "CMakeFiles/opus_core.dir/isolated.cc.o"
+  "CMakeFiles/opus_core.dir/isolated.cc.o.d"
+  "CMakeFiles/opus_core.dir/market.cc.o"
+  "CMakeFiles/opus_core.dir/market.cc.o.d"
+  "CMakeFiles/opus_core.dir/maxmin.cc.o"
+  "CMakeFiles/opus_core.dir/maxmin.cc.o.d"
+  "CMakeFiles/opus_core.dir/opus.cc.o"
+  "CMakeFiles/opus_core.dir/opus.cc.o.d"
+  "CMakeFiles/opus_core.dir/properties.cc.o"
+  "CMakeFiles/opus_core.dir/properties.cc.o.d"
+  "CMakeFiles/opus_core.dir/segments.cc.o"
+  "CMakeFiles/opus_core.dir/segments.cc.o.d"
+  "CMakeFiles/opus_core.dir/sensitivity.cc.o"
+  "CMakeFiles/opus_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/opus_core.dir/types.cc.o"
+  "CMakeFiles/opus_core.dir/types.cc.o.d"
+  "CMakeFiles/opus_core.dir/utility.cc.o"
+  "CMakeFiles/opus_core.dir/utility.cc.o.d"
+  "CMakeFiles/opus_core.dir/vcg_classic.cc.o"
+  "CMakeFiles/opus_core.dir/vcg_classic.cc.o.d"
+  "libopus_core.a"
+  "libopus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_sim.dir/metrics.cc.o"
+  "CMakeFiles/opus_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/opus_sim.dir/opus_master.cc.o"
+  "CMakeFiles/opus_sim.dir/opus_master.cc.o.d"
+  "CMakeFiles/opus_sim.dir/simulator.cc.o"
+  "CMakeFiles/opus_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/opus_sim.dir/sweep.cc.o"
+  "CMakeFiles/opus_sim.dir/sweep.cc.o.d"
+  "libopus_sim.a"
+  "libopus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

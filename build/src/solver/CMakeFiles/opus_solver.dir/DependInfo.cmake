@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/frank_wolfe.cc" "src/solver/CMakeFiles/opus_solver.dir/frank_wolfe.cc.o" "gcc" "src/solver/CMakeFiles/opus_solver.dir/frank_wolfe.cc.o.d"
+  "/root/repo/src/solver/knapsack.cc" "src/solver/CMakeFiles/opus_solver.dir/knapsack.cc.o" "gcc" "src/solver/CMakeFiles/opus_solver.dir/knapsack.cc.o.d"
+  "/root/repo/src/solver/pf_solver.cc" "src/solver/CMakeFiles/opus_solver.dir/pf_solver.cc.o" "gcc" "src/solver/CMakeFiles/opus_solver.dir/pf_solver.cc.o.d"
+  "/root/repo/src/solver/projection.cc" "src/solver/CMakeFiles/opus_solver.dir/projection.cc.o" "gcc" "src/solver/CMakeFiles/opus_solver.dir/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

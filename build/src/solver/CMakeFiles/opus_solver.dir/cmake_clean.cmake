@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_solver.dir/frank_wolfe.cc.o"
+  "CMakeFiles/opus_solver.dir/frank_wolfe.cc.o.d"
+  "CMakeFiles/opus_solver.dir/knapsack.cc.o"
+  "CMakeFiles/opus_solver.dir/knapsack.cc.o.d"
+  "CMakeFiles/opus_solver.dir/pf_solver.cc.o"
+  "CMakeFiles/opus_solver.dir/pf_solver.cc.o.d"
+  "CMakeFiles/opus_solver.dir/projection.cc.o"
+  "CMakeFiles/opus_solver.dir/projection.cc.o.d"
+  "libopus_solver.a"
+  "libopus_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

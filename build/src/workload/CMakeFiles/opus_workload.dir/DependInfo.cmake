@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/paper_examples.cc" "src/workload/CMakeFiles/opus_workload.dir/paper_examples.cc.o" "gcc" "src/workload/CMakeFiles/opus_workload.dir/paper_examples.cc.o.d"
+  "/root/repo/src/workload/preference_gen.cc" "src/workload/CMakeFiles/opus_workload.dir/preference_gen.cc.o" "gcc" "src/workload/CMakeFiles/opus_workload.dir/preference_gen.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/opus_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/opus_workload.dir/tpch.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/opus_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/opus_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/opus_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/opus_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/zipf_fit.cc" "src/workload/CMakeFiles/opus_workload.dir/zipf_fit.cc.o" "gcc" "src/workload/CMakeFiles/opus_workload.dir/zipf_fit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/opus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

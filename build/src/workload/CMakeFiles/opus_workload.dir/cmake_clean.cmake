@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_workload.dir/paper_examples.cc.o"
+  "CMakeFiles/opus_workload.dir/paper_examples.cc.o.d"
+  "CMakeFiles/opus_workload.dir/preference_gen.cc.o"
+  "CMakeFiles/opus_workload.dir/preference_gen.cc.o.d"
+  "CMakeFiles/opus_workload.dir/tpch.cc.o"
+  "CMakeFiles/opus_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/opus_workload.dir/trace.cc.o"
+  "CMakeFiles/opus_workload.dir/trace.cc.o.d"
+  "CMakeFiles/opus_workload.dir/trace_io.cc.o"
+  "CMakeFiles/opus_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/opus_workload.dir/zipf_fit.cc.o"
+  "CMakeFiles/opus_workload.dir/zipf_fit.cc.o.d"
+  "libopus_workload.a"
+  "libopus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

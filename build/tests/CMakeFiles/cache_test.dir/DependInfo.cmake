@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/block_store_test.cc" "tests/CMakeFiles/cache_test.dir/cache/block_store_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/block_store_test.cc.o.d"
+  "/root/repo/tests/cache/client_test.cc" "tests/CMakeFiles/cache_test.dir/cache/client_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/client_test.cc.o.d"
+  "/root/repo/tests/cache/cluster_test.cc" "tests/CMakeFiles/cache_test.dir/cache/cluster_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/cluster_test.cc.o.d"
+  "/root/repo/tests/cache/eviction_stress_test.cc" "tests/CMakeFiles/cache_test.dir/cache/eviction_stress_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/eviction_stress_test.cc.o.d"
+  "/root/repo/tests/cache/eviction_test.cc" "tests/CMakeFiles/cache_test.dir/cache/eviction_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/eviction_test.cc.o.d"
+  "/root/repo/tests/cache/failure_test.cc" "tests/CMakeFiles/cache_test.dir/cache/failure_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/failure_test.cc.o.d"
+  "/root/repo/tests/cache/journal_test.cc" "tests/CMakeFiles/cache_test.dir/cache/journal_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/journal_test.cc.o.d"
+  "/root/repo/tests/cache/placement_test.cc" "tests/CMakeFiles/cache_test.dir/cache/placement_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/placement_test.cc.o.d"
+  "/root/repo/tests/cache/tiered_store_test.cc" "tests/CMakeFiles/cache_test.dir/cache/tiered_store_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache/tiered_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/opus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/opus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/opus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/block_store_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/block_store_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/client_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/client_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/cluster_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/cluster_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/eviction_stress_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/eviction_stress_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/eviction_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/eviction_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/failure_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/failure_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/journal_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/journal_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/placement_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/placement_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/tiered_store_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/tiered_store_test.cc.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocators_test.cc" "tests/CMakeFiles/core_test.dir/core/allocators_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/allocators_test.cc.o.d"
+  "/root/repo/tests/core/axioms_test.cc" "tests/CMakeFiles/core_test.dir/core/axioms_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/axioms_test.cc.o.d"
+  "/root/repo/tests/core/break_even_test.cc" "tests/CMakeFiles/core_test.dir/core/break_even_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/break_even_test.cc.o.d"
+  "/root/repo/tests/core/collusion_test.cc" "tests/CMakeFiles/core_test.dir/core/collusion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/collusion_test.cc.o.d"
+  "/root/repo/tests/core/dynamics_test.cc" "tests/CMakeFiles/core_test.dir/core/dynamics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dynamics_test.cc.o.d"
+  "/root/repo/tests/core/explain_test.cc" "tests/CMakeFiles/core_test.dir/core/explain_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/explain_test.cc.o.d"
+  "/root/repo/tests/core/invariants_test.cc" "tests/CMakeFiles/core_test.dir/core/invariants_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/invariants_test.cc.o.d"
+  "/root/repo/tests/core/market_join_test.cc" "tests/CMakeFiles/core_test.dir/core/market_join_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/market_join_test.cc.o.d"
+  "/root/repo/tests/core/market_test.cc" "tests/CMakeFiles/core_test.dir/core/market_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/market_test.cc.o.d"
+  "/root/repo/tests/core/opus_test.cc" "tests/CMakeFiles/core_test.dir/core/opus_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/opus_test.cc.o.d"
+  "/root/repo/tests/core/parallel_tax_test.cc" "tests/CMakeFiles/core_test.dir/core/parallel_tax_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/parallel_tax_test.cc.o.d"
+  "/root/repo/tests/core/properties_test.cc" "tests/CMakeFiles/core_test.dir/core/properties_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/properties_test.cc.o.d"
+  "/root/repo/tests/core/redistribution_test.cc" "tests/CMakeFiles/core_test.dir/core/redistribution_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/redistribution_test.cc.o.d"
+  "/root/repo/tests/core/segments_test.cc" "tests/CMakeFiles/core_test.dir/core/segments_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/segments_test.cc.o.d"
+  "/root/repo/tests/core/sensitivity_test.cc" "tests/CMakeFiles/core_test.dir/core/sensitivity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sensitivity_test.cc.o.d"
+  "/root/repo/tests/core/sized_files_test.cc" "tests/CMakeFiles/core_test.dir/core/sized_files_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sized_files_test.cc.o.d"
+  "/root/repo/tests/core/vcg_classic_test.cc" "tests/CMakeFiles/core_test.dir/core/vcg_classic_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/vcg_classic_test.cc.o.d"
+  "/root/repo/tests/core/weighted_opus_test.cc" "tests/CMakeFiles/core_test.dir/core/weighted_opus_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/weighted_opus_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/opus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/opus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/opus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

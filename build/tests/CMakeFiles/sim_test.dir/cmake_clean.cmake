@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/client_workflow_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/client_workflow_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/lazy_realloc_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/lazy_realloc_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/master_journal_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/master_journal_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/metrics_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/metrics_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/opus_master_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/opus_master_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/sweep_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/sweep_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_test.dir/solver/cross_check_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/cross_check_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/knapsack_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/knapsack_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/pf_scale_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/pf_scale_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/pf_solver_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/pf_solver_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/projection_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/projection_test.cc.o.d"
+  "solver_test"
+  "solver_test.pdb"
+  "solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

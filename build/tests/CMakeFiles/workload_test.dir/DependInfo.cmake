@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/paper_examples_test.cc" "tests/CMakeFiles/workload_test.dir/workload/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/paper_examples_test.cc.o.d"
+  "/root/repo/tests/workload/preference_gen_test.cc" "tests/CMakeFiles/workload_test.dir/workload/preference_gen_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/preference_gen_test.cc.o.d"
+  "/root/repo/tests/workload/tpch_test.cc" "tests/CMakeFiles/workload_test.dir/workload/tpch_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/tpch_test.cc.o.d"
+  "/root/repo/tests/workload/trace_io_test.cc" "tests/CMakeFiles/workload_test.dir/workload/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/trace_io_test.cc.o.d"
+  "/root/repo/tests/workload/trace_test.cc" "tests/CMakeFiles/workload_test.dir/workload/trace_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/trace_test.cc.o.d"
+  "/root/repo/tests/workload/zipf_fit_test.cc" "tests/CMakeFiles/workload_test.dir/workload/zipf_fit_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/zipf_fit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/opus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/opus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/opus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/opus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/opus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/opus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_cli.dir/opus_cli.cc.o"
+  "CMakeFiles/opus_cli.dir/opus_cli.cc.o.d"
+  "opus_cli"
+  "opus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

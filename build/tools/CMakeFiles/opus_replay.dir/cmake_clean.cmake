@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_replay.dir/opus_replay.cc.o"
+  "CMakeFiles/opus_replay.dir/opus_replay.cc.o.d"
+  "opus_replay"
+  "opus_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

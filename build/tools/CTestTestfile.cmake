@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_opus_cli "/root/repo/build/tools/opus_cli" "--prefs" "/root/repo/build/tools/fixture_prefs.csv" "--capacity" "2.0" "--compare")
+set_tests_properties(tool_opus_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_opus_cli_explain "/root/repo/build/tools/opus_cli" "--prefs" "/root/repo/build/tools/fixture_prefs.csv" "--capacity" "2.0" "--explain")
+set_tests_properties(tool_opus_cli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_opus_replay "/root/repo/build/tools/opus_replay" "--catalog" "/root/repo/build/tools/fixture_catalog.csv" "--generate" "500" "--users" "2" "--cache-mb" "20")
+set_tests_properties(tool_opus_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
