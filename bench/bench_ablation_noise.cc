@@ -9,6 +9,8 @@
 // that would produce it for a typical (p = 0.1) file.
 #include <cmath>
 #include <cstdio>
+#include <iterator>
+#include <utility>
 
 #include "analysis/report.h"
 #include "common/rng.h"
@@ -38,12 +40,22 @@ int Main() {
   analysis::Table table("outcome movement vs estimation noise");
   table.AddHeader({"sigma", "~window", "opus dU(max)", "opus drift",
                    "opus verdict flips", "fairride dU(max)"});
-  for (double sigma : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+  // Each sigma row reseeds its own Rngs, so the rows are independent: run
+  // them on the shared pool and print in order.
+  const double sigmas[] = {0.02, 0.05, 0.1, 0.2, 0.4, 0.8};
+  constexpr std::size_t kRows = std::size(sigmas);
+  std::pair<SensitivityResult, SensitivityResult> rows[kRows];
+  ParallelOver(kRows, [&](std::size_t k) {
     Rng rng1(7000), rng2(7000);
-    const auto opus_r = MeasureNoiseSensitivity(
-        OpusAllocator(), problem, sigma, rng1, kTrials);
-    const auto fr_r = MeasureNoiseSensitivity(
-        FairRideAllocator(), problem, sigma, rng2, kTrials);
+    rows[k].first = MeasureNoiseSensitivity(OpusAllocator(), problem,
+                                            sigmas[k], rng1, kTrials);
+    rows[k].second = MeasureNoiseSensitivity(FairRideAllocator(), problem,
+                                             sigmas[k], rng2, kTrials);
+  });
+  for (std::size_t k = 0; k < kRows; ++k) {
+    const double sigma = sigmas[k];
+    const auto& opus_r = rows[k].first;
+    const auto& fr_r = rows[k].second;
     // Invert SigmaForWindow for p = 0.1: W = 1 / (p * sigma^2).
     const double window = 1.0 / (0.1 * sigma * sigma);
     table.AddRow({StrFormat("%.2f", sigma),

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "analysis/report.h"
@@ -101,11 +102,16 @@ int PrintTable() {
                 kInstances));
   table.AddHeader(
       {"tolerance", "max |tax err|", "gate mismatches", "mean ms"});
-  for (double tol : {1e-4, 1e-6, 1e-8, 1e-10}) {
-    const auto row = RunAt(tol);
-    table.AddRow({StrFormat("%.0e", tol), StrFormat("%.2e", row.max_tax_err),
-                  std::to_string(row.decision_mismatches),
-                  StrFormat("%.1f", row.mean_ms)});
+  // Rows stay serial: each row reports a wall time, and concurrent rows
+  // would contend for cores and inflate every measurement.
+  const double tols[] = {1e-4, 1e-6, 1e-8, 1e-10};
+  AblationRow rows[std::size(tols)];
+  for (std::size_t k = 0; k < std::size(tols); ++k) rows[k] = RunAt(tols[k]);
+  for (std::size_t k = 0; k < std::size(tols); ++k) {
+    table.AddRow({StrFormat("%.0e", tols[k]),
+                  StrFormat("%.2e", rows[k].max_tax_err),
+                  std::to_string(rows[k].decision_mismatches),
+                  StrFormat("%.1f", rows[k].mean_ms)});
   }
   table.Print();
   std::puts("Defaults (1e-10) keep tax error far below the 1e-7 IG gate "

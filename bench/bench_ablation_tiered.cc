@@ -6,6 +6,7 @@
 // served from and the resulting mean latency under a three-level latency
 // model (memory 5 GB/s, SSD 500 MB/s + 0.1 ms, disk 100 MB/s + 5 ms).
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "analysis/report.h"
@@ -13,6 +14,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/zipf.h"
+#include "scenarios.h"
 
 namespace opus::bench {
 namespace {
@@ -86,8 +88,16 @@ int Main() {
   analysis::Table table("read sources and latency vs SSD tier size");
   table.AddHeader({"ssd size", "mem hits", "ssd hits", "misses",
                    "mean latency (ms)", "demotions"});
-  for (std::uint64_t ssd_gb : {0ull, 1ull, 2ull, 4ull, 8ull}) {
-    const auto o = Run(ssd_gb * 1024 * kMiB);
+  // Each SSD size replays its own store with a fixed seed; run the five
+  // sweeps concurrently and print rows in order.
+  const std::uint64_t ssd_sizes_gb[] = {0, 1, 2, 4, 8};
+  TierOutcome outcomes[std::size(ssd_sizes_gb)];
+  ParallelOver(std::size(ssd_sizes_gb), [&](std::size_t k) {
+    outcomes[k] = Run(ssd_sizes_gb[k] * 1024 * kMiB);
+  });
+  for (std::size_t k = 0; k < std::size(ssd_sizes_gb); ++k) {
+    const std::uint64_t ssd_gb = ssd_sizes_gb[k];
+    const TierOutcome& o = outcomes[k];
     table.AddRow({StrFormat("%llu GB", static_cast<unsigned long long>(ssd_gb)),
                   StrFormat("%.1f%%", 100 * o.mem_rate),
                   StrFormat("%.1f%%", 100 * o.ssd_rate),

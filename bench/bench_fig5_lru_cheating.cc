@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/opus.h"
+#include "scenarios.h"
 #include "sim/simulator.h"
 #include "workload/preference_gen.h"
 #include "workload/tpch.h"
@@ -107,7 +108,6 @@ int Main() {
   lru.cluster.cache_capacity_bytes = 300 * kMiB;
   lru.cluster.eviction_policy = "lru";
   lru.metrics = metrics;
-  const auto lru_result = sim::RunUnmanagedSimulation(lru, catalog, trace);
 
   // --- (b) OpuS ----------------------------------------------------------
   sim::ManagedSimConfig opus_cfg;
@@ -117,8 +117,17 @@ int Main() {
   opus_cfg.metrics = metrics;
   opus_cfg.prime_preferences = UserPreferences();
   const OpusAllocator opus_alloc;
-  const auto opus_result =
-      sim::RunManagedSimulation(opus_cfg, opus_alloc, catalog, trace);
+
+  // The two simulations replay the same immutable trace independently.
+  sim::SimulationResult lru_result, opus_result;
+  ParallelOver(2, [&](std::size_t task) {
+    if (task == 0) {
+      lru_result = sim::RunUnmanagedSimulation(lru, catalog, trace);
+    } else {
+      opus_result = sim::RunManagedSimulation(opus_cfg, opus_alloc, catalog,
+                                              trace);
+    }
+  });
 
   std::puts("Fig. 5: user 1 cheats (spurious accesses, 3x rate) after its "
             "200th access\n");

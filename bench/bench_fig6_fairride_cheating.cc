@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "core/fairride.h"
 #include "core/opus.h"
+#include "scenarios.h"
 #include "sim/simulator.h"
 #include "workload/tpch.h"
 #include "workload/trace.h"
@@ -76,9 +77,15 @@ int Main() {
   cfg.prime_preferences = Fig3Preferences();
 
   const FairRideAllocator fairride;
-  const auto fr = sim::RunManagedSimulation(cfg, fairride, catalog, trace);
   const OpusAllocator opus_alloc;
-  const auto op = sim::RunManagedSimulation(cfg, opus_alloc, catalog, trace);
+  sim::SimulationResult fr, op;
+  ParallelOver(2, [&](std::size_t task) {
+    if (task == 0) {
+      fr = sim::RunManagedSimulation(cfg, fairride, catalog, trace);
+    } else {
+      op = sim::RunManagedSimulation(cfg, opus_alloc, catalog, trace);
+    }
+  });
 
   std::puts("Fig. 6: user B misreports (spurious F1 accesses) after its "
             "200th access\n");

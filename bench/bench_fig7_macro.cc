@@ -39,12 +39,12 @@ void PrintCdfTable(const char* title,
   analysis::Table table(title);
   table.AddHeader({"policy", "mean", "p10", "p25", "p50", "p75", "p90"});
   for (const auto& [name, xs] : data) {
+    const double qs[] = {10.0, 25.0, 50.0, 75.0, 90.0};
+    const auto p = analysis::Percentiles(xs, qs);
     table.AddRow({name, StrFormat("%.3f", analysis::ComputeBoxStats(xs).mean),
-                  StrFormat("%.3f", analysis::Percentile(xs, 10)),
-                  StrFormat("%.3f", analysis::Percentile(xs, 25)),
-                  StrFormat("%.3f", analysis::Percentile(xs, 50)),
-                  StrFormat("%.3f", analysis::Percentile(xs, 75)),
-                  StrFormat("%.3f", analysis::Percentile(xs, 90))});
+                  StrFormat("%.3f", p[0]), StrFormat("%.3f", p[1]),
+                  StrFormat("%.3f", p[2]), StrFormat("%.3f", p[3]),
+                  StrFormat("%.3f", p[4])});
   }
   table.Print();
 }
@@ -79,34 +79,31 @@ int Main() {
   std::puts("Fig. 7 macro-benchmark: 20 users, 60 TPC-H datasets, Zipf(1.1),"
             " 5 GB cache, 20K accesses\n");
 
-  std::vector<std::pair<std::string, std::vector<double>>> hit_cdfs;
-  double opus_mean = 0.0, fairride_mean = 0.0, iso_mean = 0.0,
-         optimal_mean = 0.0;
+  // The four policy simulations replay the same immutable trace; run them
+  // concurrently and emit results in the historical order.
+  const OpusAllocator opus_policy;
+  const FairRideAllocator fairride_policy;
+  const IsolatedAllocator isolated_policy;
+  const GlobalOptimalAllocator optimal_policy;
+  const std::pair<std::string, const CacheAllocator*> policies[] = {
+      {"opus", &opus_policy},
+      {"fairride", &fairride_policy},
+      {"isolated", &isolated_policy},
+      {"optimal", &optimal_policy}};
+  sim::SimulationResult sim_results[4];
+  ParallelOver(4, [&](std::size_t k) {
+    sim_results[k] =
+        sim::RunManagedSimulation(cfg, *policies[k].second, catalog, trace);
+  });
 
-  {
-    const OpusAllocator alloc;
-    const auto r = sim::RunManagedSimulation(cfg, alloc, catalog, trace);
-    opus_mean = r.average_hit_ratio;
-    hit_cdfs.emplace_back("opus", r.per_user_hit_ratio);
+  std::vector<std::pair<std::string, std::vector<double>>> hit_cdfs;
+  for (std::size_t k = 0; k < 4; ++k) {
+    hit_cdfs.emplace_back(policies[k].first, sim_results[k].per_user_hit_ratio);
   }
-  {
-    const FairRideAllocator alloc;
-    const auto r = sim::RunManagedSimulation(cfg, alloc, catalog, trace);
-    fairride_mean = r.average_hit_ratio;
-    hit_cdfs.emplace_back("fairride", r.per_user_hit_ratio);
-  }
-  {
-    const IsolatedAllocator alloc;
-    const auto r = sim::RunManagedSimulation(cfg, alloc, catalog, trace);
-    iso_mean = r.average_hit_ratio;
-    hit_cdfs.emplace_back("isolated", r.per_user_hit_ratio);
-  }
-  {
-    const GlobalOptimalAllocator alloc;
-    const auto r = sim::RunManagedSimulation(cfg, alloc, catalog, trace);
-    optimal_mean = r.average_hit_ratio;
-    hit_cdfs.emplace_back("optimal", r.per_user_hit_ratio);
-  }
+  const double opus_mean = sim_results[0].average_hit_ratio;
+  const double fairride_mean = sim_results[1].average_hit_ratio;
+  const double iso_mean = sim_results[2].average_hit_ratio;
+  const double optimal_mean = sim_results[3].average_hit_ratio;
 
   PrintCdfTable("Fig. 7a: per-user effective hit ratio distribution",
                 hit_cdfs);
@@ -142,13 +139,22 @@ int Main() {
   summary.Print();
 
   // --- (b) normalized net utility exp(-T_i) ------------------------------
-  std::vector<double> normalized;
+  // Instances are generated serially (preserving the exact Rng stream of
+  // the serial bench) and the expensive Algorithm-1 solves fan out.
+  constexpr int kNetReps = 30;
+  std::vector<CachingProblem> net_problems;
+  net_problems.reserve(kNetReps);
   Rng brng(779);
+  for (int rep = 0; rep < kNetReps; ++rep) {
+    net_problems.push_back(ZipfProblem(kUsers, kDatasets, 51.2, brng, 1.1));
+  }
   const OpusAllocator opus_alloc;
-  for (int rep = 0; rep < 30; ++rep) {
-    const auto p = ZipfProblem(kUsers, kDatasets, 51.2, brng, 1.1);
-    OpusDiagnostics diag;
-    opus_alloc.AllocateWithDiagnostics(p, &diag);
+  std::vector<OpusDiagnostics> net_diags(kNetReps);
+  ParallelOver(kNetReps, [&](std::size_t rep) {
+    opus_alloc.AllocateWithDiagnostics(net_problems[rep], &net_diags[rep]);
+  });
+  std::vector<double> normalized;
+  for (const auto& diag : net_diags) {
     if (!diag.settled_on_sharing) continue;
     for (std::size_t i = 0; i < kUsers; ++i) {
       if (diag.pf_utilities[i] > 0.0) {

@@ -61,9 +61,22 @@ int Main() {
 
   analysis::Table table("P(settle on sharing)");
   table.AddHeader({"data size", "datasets", "opus", "classic vcg"});
-  double opus_min = 1.0, vcg_min = 1.0;
+
+  // Each catalog-size point seeds its own Rng: evaluate all five in
+  // parallel, then print rows in order (output matches the serial run).
+  std::vector<std::size_t> file_counts;
   for (std::size_t files = 100; files <= 200; files += 25) {
-    const auto pt = Evaluate(files, 4000 + files);
+    file_counts.push_back(files);
+  }
+  std::vector<Point> points(file_counts.size());
+  ParallelOver(file_counts.size(), [&](std::size_t k) {
+    points[k] = Evaluate(file_counts[k], 4000 + file_counts[k]);
+  });
+
+  double opus_min = 1.0, vcg_min = 1.0;
+  for (std::size_t k = 0; k < file_counts.size(); ++k) {
+    const std::size_t files = file_counts[k];
+    const Point& pt = points[k];
     opus_min = std::min(opus_min, pt.opus_rate);
     vcg_min = std::min(vcg_min, pt.vcg_rate);
     table.AddRow({StrFormat("%.1f GB", static_cast<double>(files) / 10.0),

@@ -1,17 +1,40 @@
 // Shared scenario builders for the figure/table benches: the paper's worked
-// examples and the randomized Zipf workloads of Sec. VI.
+// examples and the randomized Zipf workloads of Sec. VI — plus the bench
+// drivers' parallel dispatch helpers.
 #pragma once
 
 #include <cstddef>
+#include <cstdlib>
+#include <functional>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/types.h"
 #include "workload/paper_examples.h"
 #include "workload/preference_gen.h"
 
 namespace opus::bench {
+
+// Worker parallelism for the bench drivers: OPUS_BENCH_THREADS=N overrides
+// (N=1 forces the serial path), otherwise every hardware thread.
+inline unsigned BenchThreads() {
+  if (const char* env = std::getenv("OPUS_BENCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return HardwareThreads();
+}
+
+// Runs body(i) for i in [0, n) on the shared pool with at most
+// BenchThreads() concurrent tasks. Figure output stays byte-identical to a
+// serial run as long as each task writes only into its own pre-sized slot
+// and the results are printed in index order afterwards.
+inline void ParallelOver(std::size_t n,
+                         const std::function<void(std::size_t)>& body) {
+  ThreadPool::Shared().ParallelFor(n, body, BenchThreads());
+}
 
 // Fig. 1/2 world: users A, B over files F1-F3, capacity 2 (canonical
 // definition in workload/paper_examples.h).

@@ -7,13 +7,11 @@
 #include "common/mathutil.h"
 
 namespace opus::analysis {
+namespace {
 
-double Percentile(std::span<const double> xs, double q) {
-  OPUS_CHECK(!xs.empty());
+double SortedPercentile(const std::vector<double>& sorted, double q) {
   OPUS_CHECK_GE(q, 0.0);
   OPUS_CHECK_LE(q, 100.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted[0];
   const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -22,13 +20,35 @@ double Percentile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+}  // namespace
+
+double Percentile(std::span<const double> xs, double q) {
+  OPUS_CHECK(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return SortedPercentile(sorted, q);
+}
+
+std::vector<double> Percentiles(std::span<const double> xs,
+                                std::span<const double> qs) {
+  OPUS_CHECK(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(SortedPercentile(sorted, q));
+  return out;
+}
+
 BoxStats ComputeBoxStats(std::span<const double> xs) {
+  const double qs[] = {5.0, 25.0, 50.0, 75.0, 95.0};
+  const auto p = Percentiles(xs, qs);
   BoxStats b;
-  b.p5 = Percentile(xs, 5);
-  b.p25 = Percentile(xs, 25);
-  b.p50 = Percentile(xs, 50);
-  b.p75 = Percentile(xs, 75);
-  b.p95 = Percentile(xs, 95);
+  b.p5 = p[0];
+  b.p25 = p[1];
+  b.p50 = p[2];
+  b.p75 = p[3];
+  b.p95 = p[4];
   b.mean = Mean(xs);
   return b;
 }

@@ -12,6 +12,12 @@ namespace opus::analysis {
 // Linear-interpolated percentile, q in [0, 100]. Requires non-empty input.
 double Percentile(std::span<const double> xs, double q);
 
+// Percentiles at each q in `qs`, from a single sorted copy of the data.
+// Use instead of repeated Percentile() calls on the same sample: one
+// O(n log n) sort instead of one per quantile. Requires non-empty `xs`.
+std::vector<double> Percentiles(std::span<const double> xs,
+                                std::span<const double> qs);
+
 // The five-number summary used by the paper's boxplots (Fig. 10: whiskers
 // at p5/p95, box at p25/p50/p75).
 struct BoxStats {

@@ -1,5 +1,8 @@
 #include "cache/journal.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "analysis/csv.h"
@@ -7,6 +10,40 @@
 #include "common/strings.h"
 
 namespace opus::cache {
+namespace {
+
+// Strict numeric field parsers for Deserialize: the strtoull/strtod family
+// accepts garbage prefixes ("epoch,garbage,3,2" parsed as epoch 0) and
+// negative or overflowing values; a journal row must be rejected instead.
+
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;  // no leading whitespace, sign, or empty field
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool ParseFiniteDouble(const std::string& s, double* out) {
+  if (s.empty() ||
+      std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 void Journal::Append(JournalEntry entry) {
   if (!entries_.empty()) {
@@ -66,19 +103,27 @@ std::optional<Journal> Journal::Deserialize(const std::string& text) {
     const auto& head = table.rows[r];
     if (head.size() != 4 || head[0] != "epoch") return std::nullopt;
     JournalEntry entry;
-    entry.epoch = std::strtoull(head[1].c_str(), nullptr, 10);
-    const std::size_t files = std::strtoull(head[2].c_str(), nullptr, 10);
-    const std::size_t users = std::strtoull(head[3].c_str(), nullptr, 10);
+    std::uint64_t files_u64 = 0, users_u64 = 0;
+    if (!ParseU64(head[1], &entry.epoch) || !ParseU64(head[2], &files_u64) ||
+        !ParseU64(head[3], &users_u64)) {
+      return std::nullopt;
+    }
+    const auto files = static_cast<std::size_t>(files_u64);
+    const auto users = static_cast<std::size_t>(users_u64);
     ++r;
     if (r >= table.rows.size()) return std::nullopt;
     const auto& alloc = table.rows[r];
     if (alloc.size() != files + 1 || alloc[0] != "alloc") return std::nullopt;
     for (std::size_t j = 0; j < files; ++j) {
-      entry.file_fractions.push_back(std::strtod(alloc[j + 1].c_str(),
-                                                 nullptr));
+      double fraction = 0.0;
+      if (!ParseFiniteDouble(alloc[j + 1], &fraction)) return std::nullopt;
+      entry.file_fractions.push_back(fraction);
     }
     ++r;
     if (users > 0) {
+      // A corrupted user count must not trigger a giant Matrix allocation:
+      // the remaining rows bound any well-formed access block.
+      if (users > table.rows.size() - r) return std::nullopt;
       entry.unblocked_share = Matrix(users, files, 0.0);
       for (std::size_t i = 0; i < users; ++i, ++r) {
         if (r >= table.rows.size()) return std::nullopt;
@@ -87,8 +132,9 @@ std::optional<Journal> Journal::Deserialize(const std::string& text) {
           return std::nullopt;
         }
         for (std::size_t j = 0; j < files; ++j) {
-          entry.unblocked_share(i, j) =
-              std::strtod(row[j + 1].c_str(), nullptr);
+          double share = 0.0;
+          if (!ParseFiniteDouble(row[j + 1], &share)) return std::nullopt;
+          entry.unblocked_share(i, j) = share;
         }
       }
     }

@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace opus {
+namespace {
+
+// Set for the lifetime of every pool worker; ParallelFor consults it to run
+// nested loops inline instead of deadlocking on the fixed pool.
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+unsigned HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_workers) {
+  workers_.reserve(num_workers);
+  for (unsigned t = 0; t < num_workers; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Execute(Job& job) {
+  std::size_t ran = 0;
+  for (std::size_t i = job.next.fetch_add(1); i < job.n;
+       i = job.next.fetch_add(1)) {
+    (*job.body)(i);
+    ++ran;
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lk(job.mu);
+  job.completed += ran;
+  if (job.completed == job.n) job.done.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_task = true;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::shared_ptr<Job> job;
+    for (const auto& candidate : queue_) {
+      const bool has_work = candidate->next.load() < candidate->n;
+      const bool has_slot = candidate->max_parallelism == 0 ||
+                            candidate->joined < candidate->max_parallelism;
+      if (has_work && has_slot) {
+        job = candidate;
+        ++candidate->joined;
+        break;
+      }
+    }
+    if (job == nullptr) {
+      if (stop_) return;
+      work_cv_.wait(lk);
+      continue;
+    }
+    lk.unlock();
+    Execute(*job);
+    lk.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             unsigned max_parallelism) {
+  if (n == 0) return;
+  if (t_inside_pool_task || workers_.empty() || n == 1 ||
+      max_parallelism == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->body = &body;
+  job->max_parallelism = max_parallelism;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job->joined = 1;  // the caller occupies the first parallelism slot
+    queue_.push_back(job);
+  }
+  work_cv_.notify_all();
+  Execute(*job);
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->done.wait(lk, [&] { return job->completed == job->n; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, HardwareThreads() - 1));
+  return *pool;
+}
+
+}  // namespace opus

@@ -1,0 +1,84 @@
+// Fixed-size thread pool shared by the parallel layers of the library (the
+// sweep engine, Algorithm 1's leave-one-out tax solves, the bench drivers).
+//
+// Design constraints, in order:
+//  - Determinism first: the pool never owns results. Callers hand
+//    ParallelFor an index space and write into pre-sized slabs keyed by
+//    index, so output is byte-identical regardless of scheduling. There is
+//    no work stealing and no unordered reduction anywhere in the pool.
+//  - No oversubscription: one process-wide pool (`Shared()`) sized to the
+//    hardware, reused by every layer. A ParallelFor issued from inside a
+//    pool task runs inline on the calling thread (nested parallelism would
+//    otherwise deadlock a fixed pool and oversubscribe the machine).
+//  - The calling thread participates: ParallelFor on a zero-worker pool
+//    degrades to a plain serial loop, so a `threads=1` configuration takes
+//    exactly the historical serial code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opus {
+
+// Hardware thread count, never zero (hardware_concurrency() may return 0).
+unsigned HardwareThreads();
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` long-lived worker threads (0 is valid: every
+  // ParallelFor then runs inline on the caller).
+  explicit ThreadPool(unsigned num_workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Runs body(i) for every i in [0, n) and blocks until all complete.
+  // Indices are claimed dynamically in increasing order; any index may run
+  // on any thread, so `body` must only touch per-index state (or otherwise
+  // synchronize). `max_parallelism` caps the number of threads executing
+  // the loop, counting the caller (0 = caller plus every worker);
+  // max_parallelism=1 is exactly a serial loop. Calls from inside a pool
+  // task run inline serially — see file comment.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   unsigned max_parallelism = 0);
+
+  // Process-wide pool with HardwareThreads() - 1 workers (at least 1), so a
+  // caller-participating ParallelFor uses the whole machine. Created on
+  // first use; never destroyed.
+  static ThreadPool& Shared();
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    unsigned max_parallelism = 0;  // 0 = unlimited
+    std::atomic<std::size_t> next{0};
+    unsigned joined = 0;     // threads executing this job; pool mutex
+    std::size_t completed = 0;  // finished iterations; job mutex
+    std::mutex mu;
+    std::condition_variable done;
+  };
+
+  void WorkerLoop();
+  // Executes iterations of `job` until the index space is exhausted.
+  static void Execute(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;  // jobs with unclaimed indices
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace opus

@@ -1,13 +1,12 @@
 #include "core/opus.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
-#include <thread>
 
 #include "common/check.h"
 #include "common/mathutil.h"
+#include "common/thread_pool.h"
 #include "core/isolated.h"
 #include "core/utility.h"
 #include "solver/pf_solver.h"
@@ -105,20 +104,17 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
     for (std::size_t i = 0; i < n; ++i) weights[i] = priority_of(i);
     for (std::size_t i = 0; i < n; ++i) tax_for(i, weights);
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        std::vector<double> weights(n, 1.0);
-        for (std::size_t i = 0; i < n; ++i) weights[i] = priority_of(i);
-        for (std::size_t i = next.fetch_add(1); i < n;
-             i = next.fetch_add(1)) {
+    // Shared fixed pool rather than per-call thread spawns; each task
+    // carries its own weight vector (O(n) setup, dwarfed by the PF solve).
+    // Inside a pool task (e.g. a SweepRunner worker) this runs inline.
+    ThreadPool::Shared().ParallelFor(
+        n,
+        [&](std::size_t i) {
+          std::vector<double> weights(n, 1.0);
+          for (std::size_t k = 0; k < n; ++k) weights[k] = priority_of(k);
           tax_for(i, weights);
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
+        },
+        threads);
   }
   for (int it : solve_iterations) total_iterations += it;
 

@@ -37,6 +37,11 @@ OpusMaster::OpusMaster(const CacheAllocator* allocator,
   OPUS_CHECK_GT(config_.learning_window, 0u);
   const std::size_t n = cluster_->config().num_users;
   const std::size_t m = cluster_->catalog().size();
+  // An empty catalog (or zero total bytes) would make mean_file_bytes 0/0
+  // and silently propagate NaN capacity_units into every PF solve.
+  OPUS_CHECK_MSG(m > 0, "OpusMaster requires a non-empty catalog");
+  OPUS_CHECK_MSG(cluster_->catalog().TotalBytes() > 0,
+                 "OpusMaster requires a catalog with positive total bytes");
   counts_ = Matrix(n, m, 0.0);
   // Allocation is posed in "units" of one mean file; heterogeneous
   // catalogs carry per-file sizes in the same unit so the capacity

@@ -1,9 +1,16 @@
 #include "sim/sweep.h"
 
+#include <iterator>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
 #include "analysis/csv.h"
 #include "analysis/stats.h"
 #include "common/check.h"
+#include "common/mathutil.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/utility.h"
 
 namespace opus::sim {
@@ -27,49 +34,87 @@ void SweepRunner::AddPolicy(const CacheAllocator* policy) {
 
 void SweepRunner::Run() {
   OPUS_CHECK(!policies_.empty());
-  for (std::size_t point = 0; point < point_labels_.size(); ++point) {
-    for (int rep = 0; rep < replications_; ++rep) {
-      // Instance seed depends only on (point, rep): adding/removing
-      // policies cannot perturb the generated problems.
-      Rng rng(seed_ ^ (static_cast<std::uint64_t>(point) << 32) ^
-              static_cast<std::uint64_t>(rep));
-      const CachingProblem problem = problem_fn_(point, rep, rng);
-      for (const CacheAllocator* policy : policies_) {
-        const AllocationResult result = policy->Allocate(problem);
-        const auto utils = EvaluateUtilities(result, problem.preferences);
-        for (std::size_t u = 0; u < utils.size(); ++u) {
-          records_.push_back({policy->name(), point_labels_[point], rep, u,
-                              utils[u], result.shared});
-        }
+  const std::size_t reps = static_cast<std::size_t>(replications_);
+  const std::size_t tasks = point_labels_.size() * reps;
+  // One slab slot per (point, rep); concatenating the slots in task order
+  // reproduces the serial record stream exactly.
+  std::vector<std::vector<SweepRecord>> slabs(tasks);
+  const auto run_task = [&](std::size_t task) {
+    const std::size_t point = task / reps;
+    const int rep = static_cast<int>(task % reps);
+    // Instance seed depends only on (point, rep): adding/removing policies
+    // or changing the thread count cannot perturb the generated problems.
+    Rng rng(seed_ ^ (static_cast<std::uint64_t>(point) << 32) ^
+            static_cast<std::uint64_t>(rep));
+    const CachingProblem problem = problem_fn_(point, rep, rng);
+    std::vector<SweepRecord>& out = slabs[task];
+    for (const CacheAllocator* policy : policies_) {
+      const AllocationResult result = policy->Allocate(problem);
+      const auto utils = EvaluateUtilities(result, problem.preferences);
+      for (std::size_t u = 0; u < utils.size(); ++u) {
+        out.push_back({policy->name(), point_labels_[point], rep, u,
+                       utils[u], result.shared});
       }
     }
+  };
+  const unsigned threads = threads_ == 0 ? HardwareThreads() : threads_;
+  if (threads <= 1) {
+    for (std::size_t task = 0; task < tasks; ++task) run_task(task);
+  } else {
+    ThreadPool::Shared().ParallelFor(tasks, run_task, threads);
+  }
+  for (auto& slab : slabs) {
+    records_.insert(records_.end(), std::make_move_iterator(slab.begin()),
+                    std::make_move_iterator(slab.end()));
   }
 }
 
 std::vector<SweepPointSummary> SweepRunner::Summaries() const {
-  std::vector<SweepPointSummary> out;
+  // Group keys are positions in the registered policy/point lists so the
+  // output order matches the historical (policy, point) nesting.
+  std::unordered_map<std::string, std::size_t> policy_index;
+  std::vector<std::string> policy_names;
   for (const CacheAllocator* policy : policies_) {
-    for (const auto& label : point_labels_) {
-      std::vector<double> utils;
-      int shared = 0, reps_seen = 0, last_rep = -1;
-      for (const auto& r : records_) {
-        if (r.policy != policy->name() || r.point != label) continue;
-        utils.push_back(r.utility);
-        if (r.replication != last_rep) {
-          last_rep = r.replication;
-          ++reps_seen;
-          if (r.shared) ++shared;
-        }
-      }
-      if (utils.empty()) continue;
+    if (policy_index.emplace(policy->name(), policy_names.size()).second) {
+      policy_names.push_back(policy->name());
+    }
+  }
+  std::unordered_map<std::string, std::size_t> point_index;
+  for (std::size_t j = 0; j < point_labels_.size(); ++j) {
+    point_index.emplace(point_labels_[j], j);
+  }
+
+  struct Group {
+    std::vector<double> utils;
+    std::set<int> reps;         // distinct replications seen
+    std::set<int> shared_reps;  // distinct replications that shared
+  };
+  std::vector<Group> groups(policy_names.size() * point_labels_.size());
+  for (const auto& r : records_) {
+    const auto pi = policy_index.find(r.policy);
+    const auto qi = point_index.find(r.point);
+    if (pi == policy_index.end() || qi == point_index.end()) continue;
+    Group& g = groups[pi->second * point_labels_.size() + qi->second];
+    g.utils.push_back(r.utility);
+    g.reps.insert(r.replication);
+    if (r.shared) g.shared_reps.insert(r.replication);
+  }
+
+  std::vector<SweepPointSummary> out;
+  for (std::size_t p = 0; p < policy_names.size(); ++p) {
+    for (std::size_t j = 0; j < point_labels_.size(); ++j) {
+      Group& g = groups[p * point_labels_.size() + j];
+      if (g.utils.empty()) continue;
+      const double qs[] = {5.0, 95.0};
+      const auto pct = analysis::Percentiles(g.utils, qs);
       SweepPointSummary s;
-      s.policy = policy->name();
-      s.point = label;
-      s.mean = analysis::ComputeBoxStats(utils).mean;
-      s.p5 = analysis::Percentile(utils, 5);
-      s.p95 = analysis::Percentile(utils, 95);
-      s.sharing_rate =
-          reps_seen > 0 ? static_cast<double>(shared) / reps_seen : 0.0;
+      s.policy = policy_names[p];
+      s.point = point_labels_[j];
+      s.mean = Mean(g.utils);
+      s.p5 = pct[0];
+      s.p95 = pct[1];
+      s.sharing_rate = static_cast<double>(g.shared_reps.size()) /
+                       static_cast<double>(g.reps.size());
       out.push_back(std::move(s));
     }
   }

@@ -3,6 +3,12 @@
 // records — the machinery behind parameter-sweep figures (Fig. 8/9 style),
 // exposed as a library so downstream studies don't rewrite the loop.
 // Records export to CSV for external plotting.
+//
+// Threading model: Run() dispatches one task per (point, replication) onto
+// the shared ThreadPool. Each task seeds its own Rng from (point, rep)
+// alone and writes into a pre-sized slab slot, so the record stream — and
+// therefore ToCsv() and Summaries() — is byte-identical to the serial run
+// regardless of the thread count or scheduling order.
 #pragma once
 
 #include <functional>
@@ -34,22 +40,30 @@ class SweepRunner {
  public:
   // Generator builds the problem for (point_index, replication); the rng is
   // seeded deterministically per (point, replication) so adding policies
-  // never perturbs instances.
+  // never perturbs instances. Must be safe to call concurrently for
+  // distinct (point, replication) pairs.
   using ProblemFn =
       std::function<CachingProblem(std::size_t point, int replication, Rng&)>;
 
   SweepRunner(std::vector<std::string> point_labels, ProblemFn problem_fn,
               int replications, std::uint64_t seed = 0xBEEF);
 
-  // Registers a policy (borrowed; must outlive Run()).
+  // Registers a policy (borrowed; must outlive Run()). Allocate() must be
+  // const-thread-safe (all shipped allocators are).
   void AddPolicy(const CacheAllocator* policy);
+
+  // Worker parallelism for Run(): 0 = all hardware threads (default),
+  // 1 = serial, N = at most N concurrent tasks.
+  void set_threads(unsigned threads) { threads_ = threads; }
+  unsigned threads() const { return threads_; }
 
   // Runs the full grid; records accumulate across calls.
   void Run();
 
   const std::vector<SweepRecord>& records() const { return records_; }
 
-  // Per-(policy, point) aggregate across users x replications.
+  // Per-(policy, point) aggregate across users x replications. A single
+  // grouped pass over the records; insensitive to record order.
   std::vector<SweepPointSummary> Summaries() const;
 
   // Records as CSV (policy,point,replication,user,utility,shared).
@@ -60,6 +74,7 @@ class SweepRunner {
   ProblemFn problem_fn_;
   int replications_;
   std::uint64_t seed_;
+  unsigned threads_ = 0;
   std::vector<const CacheAllocator*> policies_;
   std::vector<SweepRecord> records_;
 };

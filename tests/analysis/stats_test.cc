@@ -26,6 +26,29 @@ TEST(StatsTest, PercentileSingleton) {
   EXPECT_EQ(Percentile(xs, 95), 42.0);
 }
 
+TEST(StatsTest, PercentilesMatchSingleCalls) {
+  std::vector<double> xs;
+  for (int i = 0; i < 57; ++i) xs.push_back(static_cast<double>((i * 37) % 57));
+  const std::vector<double> qs = {0, 5, 25, 50, 75, 95, 99, 100};
+  const auto batch = Percentiles(xs, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t k = 0; k < qs.size(); ++k) {
+    EXPECT_EQ(batch[k], Percentile(xs, qs[k])) << "q=" << qs[k];
+  }
+}
+
+TEST(StatsTest, PercentilesSingleton) {
+  const std::vector<double> xs = {7.0};
+  const std::vector<double> qs = {5, 50, 95};
+  const auto batch = Percentiles(xs, qs);
+  EXPECT_EQ(batch, (std::vector<double>{7.0, 7.0, 7.0}));
+}
+
+TEST(StatsTest, PercentilesEmptyQuantileList) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_TRUE(Percentiles(xs, {}).empty());
+}
+
 TEST(StatsTest, BoxStatsOrdered) {
   std::vector<double> xs;
   for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));

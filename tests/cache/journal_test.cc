@@ -74,6 +74,53 @@ TEST(JournalTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Journal::Deserialize(text).has_value());
 }
 
+TEST(JournalTest, DeserializeRejectsCorruptedNumericFields) {
+  // Baseline: a well-formed journal round-trips.
+  Journal j;
+  j.Append(MakeEntry(3));
+  const std::string good = j.Serialize();
+  ASSERT_TRUE(Journal::Deserialize(good).has_value());
+
+  // A non-numeric epoch must be rejected, not parsed as 0.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,garbage,1,0\nalloc,0.5").has_value());
+  // Trailing junk after the number.
+  EXPECT_FALSE(Journal::Deserialize("epoch,3x,1,0\nalloc,0.5").has_value());
+  // Negative counts are not valid unsigned fields.
+  EXPECT_FALSE(Journal::Deserialize("epoch,-1,1,0\nalloc,0.5").has_value());
+  // Overflowing epoch.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,99999999999999999999999999,1,0\nalloc,0.5")
+          .has_value());
+  // Corrupted file count.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,1,one,0\nalloc,0.5").has_value());
+  // Non-numeric allocation fraction.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,1,2,0\nalloc,0.5,abc").has_value());
+  // Non-finite allocation fraction.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,1,2,0\nalloc,0.5,inf").has_value());
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,1,2,0\nalloc,0.5,nan").has_value());
+  // Corrupted access-matrix cell.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,1,1,1\nalloc,0.5\naccess,0.2.3")
+          .has_value());
+  // A user count far beyond the remaining rows must be rejected without
+  // attempting the matrix allocation.
+  EXPECT_FALSE(
+      Journal::Deserialize("epoch,1,1,18446744073709551615\nalloc,0.5")
+          .has_value());
+
+  // The same journal text with one digit corrupted into a letter.
+  std::string corrupted = good;
+  const auto pos = corrupted.find("epoch,3");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted[pos + 6] = 'q';
+  EXPECT_FALSE(Journal::Deserialize(corrupted).has_value());
+}
+
 TEST(JournalTest, EmptyTextIsEmptyJournal) {
   const auto restored = Journal::Deserialize("");
   ASSERT_TRUE(restored.has_value());

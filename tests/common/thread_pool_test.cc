@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace opus {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInlineInOrder) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> order;
+  pool.ParallelFor(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, MaxParallelismOneIsSerialInOrder) {
+  ThreadPool pool(3);
+  std::vector<std::size_t> order;  // unsynchronized: safe only if serial
+  pool.ParallelFor(8, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    // A nested loop from inside a pool task must not deadlock the fixed
+    // pool; it runs inline on the task's thread.
+    pool.ParallelFor(10, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPoolTest, SequentialLoopsReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 50l * (19 * 20 / 2));
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.ParallelFor(64, [&](std::size_t) { count.fetch_add(1); }, 4);
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace opus

@@ -39,6 +39,16 @@ TEST(OpusMasterTest, DerivesCapacityUnitsFromCluster) {
   EXPECT_NEAR(total, 2.0, 0.2);
 }
 
+TEST(OpusMasterDeathTest, RejectsEmptyCatalog) {
+  // An empty catalog used to produce NaN capacity_units (0 bytes / 0 files)
+  // that silently propagated into the PF solver; it must fail fast instead.
+  cache::Catalog empty(1 * cache::kMiB);
+  cache::CacheCluster cluster(TwoUserCluster(), empty);
+  OpusAllocator alloc;
+  EXPECT_DEATH(OpusMaster(&alloc, &cluster, OpusMasterConfig{}),
+               "non-empty catalog");
+}
+
 TEST(OpusMasterTest, LearnsPreferencesFromWindow) {
   cache::CacheCluster cluster(TwoUserCluster(), FourFileCatalog());
   OpusAllocator alloc;

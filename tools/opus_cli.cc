@@ -7,7 +7,8 @@
 //
 // Usage:
 //   opus_cli --prefs prefs.csv --capacity 2.0 [--policy opus]
-//            [--sizes sizes.csv] [--csv] [--compare] [--explain]
+//            [--sizes sizes.csv] [--threads N] [--csv] [--compare]
+//            [--explain]
 //
 //   --prefs FILE      required; CSV of non-negative scores (no header)
 //   --capacity C      required; cache capacity in file units (or size
@@ -15,6 +16,9 @@
 //   --policy NAME     opus | fairride | maxmin | isolated | vcg-classic |
 //                     optimal (default: opus)
 //   --sizes FILE      optional; single CSV row of per-file sizes
+//   --threads N       worker threads for OpuS's N leave-one-out tax solves
+//                     (default: all hardware threads; 1 = serial; results
+//                     are bit-identical at any thread count)
 //   --csv             machine-readable output (allocation + per-user rows)
 //   --compare         run every policy and print a utility comparison
 //   --explain         audit report of the OpuS decision (taxes, break-even,
@@ -30,6 +34,7 @@
 #include "analysis/csv.h"
 #include "analysis/report.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/explain.h"
 #include "core/fairride.h"
 #include "core/global_opt.h"
@@ -43,8 +48,13 @@ namespace {
 
 using namespace opus;
 
-std::unique_ptr<CacheAllocator> MakeAllocator(const std::string& name) {
-  if (name == "opus") return std::make_unique<OpusAllocator>();
+std::unique_ptr<CacheAllocator> MakeAllocator(const std::string& name,
+                                              unsigned threads) {
+  if (name == "opus") {
+    OpusOptions options;
+    options.tax_threads = threads;
+    return std::make_unique<OpusAllocator>(options);
+  }
   if (name == "fairride") return std::make_unique<FairRideAllocator>();
   if (name == "maxmin") return std::make_unique<MaxMinAllocator>();
   if (name == "isolated") return std::make_unique<IsolatedAllocator>();
@@ -68,7 +78,8 @@ std::string ReadFile(const std::string& path, bool* ok) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --prefs FILE --capacity C [--policy NAME] "
-               "[--sizes FILE] [--csv] [--compare] [--explain]\n",
+               "[--sizes FILE] [--threads N] [--csv] [--compare] "
+               "[--explain]\n",
                argv0);
   return 2;
 }
@@ -78,6 +89,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string prefs_path, sizes_path, policy = "opus";
   double capacity = -1.0;
+  unsigned threads = opus::HardwareThreads();
   bool csv_output = false, compare = false, explain = false;
 
   for (int a = 1; a < argc; ++a) {
@@ -101,6 +113,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       sizes_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return Usage(argv[0]);
+      threads = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--csv") {
       csv_output = true;
     } else if (arg == "--compare") {
@@ -166,7 +182,7 @@ int main(int argc, char** argv) {
     table.AddHeader(std::move(header));
     for (const char* name : {"isolated", "maxmin", "fairride", "optimal",
                              "vcg-classic", "opus"}) {
-      const auto alloc = MakeAllocator(name);
+      const auto alloc = MakeAllocator(name, threads);
       const auto r = alloc->Allocate(problem);
       const auto utils = EvaluateUtilities(r, problem.preferences);
       std::vector<std::string> row = {name};
@@ -178,7 +194,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto allocator = MakeAllocator(policy);
+  const auto allocator = MakeAllocator(policy, threads);
   if (!allocator) {
     std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
     return 1;
