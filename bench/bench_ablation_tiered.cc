@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/zipf.h"
+#include "obs/metrics.h"
 #include "scenarios.h"
 
 namespace opus::bench {
@@ -29,6 +30,7 @@ struct TierOutcome {
   double mem_rate = 0.0, ssd_rate = 0.0, miss_rate = 0.0;
   double mean_latency_ms = 0.0;
   std::uint64_t demotions = 0;
+  std::uint64_t promotions = 0;
 };
 
 double LatencySec(cache::Tier tier) {
@@ -48,6 +50,10 @@ TierOutcome Run(std::uint64_t ssd_bytes) {
   cfg.memory_capacity_bytes = 2048 * kMiB;  // 20 datasets
   cfg.ssd_capacity_bytes = ssd_bytes;
   cache::TieredStore store(cfg);
+  // Per-sweep registry (one per task, so the parallel sweep stays
+  // deterministic); read back through the same counters the simulator uses.
+  obs::MetricsRegistry metrics;
+  store.AttachObservability(&metrics, nullptr);
 
   const ZipfDistribution zipf(kFiles, 1.1);
   Rng rng(20180705);
@@ -76,7 +82,8 @@ TierOutcome Run(std::uint64_t ssd_bytes) {
   out.ssd_rate = static_cast<double>(ssd) / kAccesses;
   out.miss_rate = static_cast<double>(miss) / kAccesses;
   out.mean_latency_ms = 1e3 * latency / kAccesses;
-  out.demotions = store.stats().demotions;
+  out.demotions = metrics.counter("tier.demotions").value();
+  out.promotions = metrics.counter("tier.promotions").value();
   return out;
 }
 
@@ -87,7 +94,7 @@ int Main() {
 
   analysis::Table table("read sources and latency vs SSD tier size");
   table.AddHeader({"ssd size", "mem hits", "ssd hits", "misses",
-                   "mean latency (ms)", "demotions"});
+                   "mean latency (ms)", "demotions", "promotions"});
   // Each SSD size replays its own store with a fixed seed; run the five
   // sweeps concurrently and print rows in order.
   const std::uint64_t ssd_sizes_gb[] = {0, 1, 2, 4, 8};
@@ -103,7 +110,8 @@ int Main() {
                   StrFormat("%.1f%%", 100 * o.ssd_rate),
                   StrFormat("%.1f%%", 100 * o.miss_rate),
                   StrFormat("%.1f", o.mean_latency_ms),
-                  std::to_string(o.demotions)});
+                  std::to_string(o.demotions),
+                  std::to_string(o.promotions)});
   }
   table.Print();
   std::puts("Reading: each GB of SSD converts disk misses (~1005 ms) into "

@@ -32,6 +32,7 @@ bool BlockStore::EvictOne() {
   blocks_.erase(it);
   policy_->OnRemove(*victim);
   ++evictions_;
+  if (eviction_counter_ != nullptr) eviction_counter_->Increment();
   return true;
 }
 

@@ -17,6 +17,7 @@
 
 #include "cache/eviction.h"
 #include "cache/types.h"
+#include "obs/metrics.h"
 
 namespace opus::cache {
 
@@ -53,6 +54,12 @@ class BlockStore {
   // Snapshot of resident blocks (unordered).
   std::vector<BlockId> ResidentBlocks() const;
 
+  // Mirrors future evictions into `counter` (e.g. "cluster.worker.W
+  // .evictions" in the owning cluster's registry). Pass nullptr to detach.
+  void set_eviction_counter(obs::Counter* counter) {
+    eviction_counter_ = counter;
+  }
+
  private:
   bool EvictOne();
 
@@ -61,6 +68,7 @@ class BlockStore {
   std::uint64_t pinned_bytes_ = 0;
   std::uint64_t evictions_ = 0;
   std::unique_ptr<EvictionPolicy> policy_;
+  obs::Counter* eviction_counter_ = nullptr;  // borrowed, optional
   std::unordered_map<BlockId, std::uint64_t> blocks_;  // block -> bytes
   std::unordered_set<BlockId> pinned_;
 };

@@ -7,6 +7,15 @@
 #include "common/mathutil.h"
 
 namespace opus::cache {
+namespace {
+
+// Fixed log-spaced latency buckets (seconds): deterministic exports require
+// bucket bounds chosen once, not derived from observed data.
+std::vector<double> LatencyBounds() {
+  return {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+}  // namespace
 
 CacheCluster::CacheCluster(ClusterConfig config, Catalog catalog)
     : config_(config), catalog_(std::move(catalog)),
@@ -20,11 +29,45 @@ CacheCluster::CacheCluster(ClusterConfig config, Catalog catalog)
         w, per_worker, MakeEvictionPolicy(config_.eviction_policy)));
   }
   worker_alive_.assign(config_.num_workers, true);
+  last_updates_.resize(config_.num_workers);
   if (config_.placement == "consistent") {
     ring_.emplace(config_.num_workers);
   } else {
     OPUS_CHECK_MSG(config_.placement == "modulo",
                    "unknown placement policy: " << config_.placement);
+  }
+  InitObservability();
+}
+
+void CacheCluster::InitObservability() {
+  under_store_.AttachMetrics(&metrics_);
+  read_latency_hist_ =
+      &metrics_.histogram("cluster.read.latency_sec", LatencyBounds());
+  worker_counters_.resize(workers_.size());
+  for (WorkerId w = 0; w < workers_.size(); ++w) {
+    const std::string p = "cluster.worker." + std::to_string(w) + ".";
+    WorkerCounters& c = worker_counters_[w];
+    c.mem_hits = &metrics_.counter(p + "mem_hits");
+    c.mem_hit_bytes = &metrics_.counter(p + "mem_hit_bytes");
+    c.misses = &metrics_.counter(p + "misses");
+    c.miss_bytes = &metrics_.counter(p + "miss_bytes");
+    c.pins = &metrics_.counter(p + "pins");
+    c.unpins = &metrics_.counter(p + "unpins");
+    c.loads = &metrics_.counter(p + "loads");
+    c.pin_failures = &metrics_.counter(p + "pin_failures");
+    c.failures = &metrics_.counter(p + "failures");
+    workers_[w]->store().set_eviction_counter(
+        &metrics_.counter(p + "evictions"));
+  }
+  user_counters_.resize(config_.num_users);
+  for (UserId u = 0; u < config_.num_users; ++u) {
+    const std::string p = "cluster.user." + std::to_string(u) + ".";
+    UserCounters& c = user_counters_[u];
+    c.reads = &metrics_.counter(p + "reads");
+    c.mem_bytes = &metrics_.counter(p + "mem_bytes");
+    c.disk_bytes = &metrics_.counter(p + "disk_bytes");
+    c.blocking_delay_sec =
+        &metrics_.histogram(p + "blocking_delay_sec", LatencyBounds());
   }
 }
 
@@ -32,16 +75,41 @@ void CacheCluster::FailWorker(WorkerId worker) {
   OPUS_CHECK_LT(worker, workers_.size());
   if (!worker_alive_[worker]) return;
   worker_alive_[worker] = false;
+  const std::uint64_t lost_blocks = workers_[worker]->store().num_blocks();
+  const std::uint64_t lost_bytes = workers_[worker]->store().used_bytes();
   // The crash loses all cached state: restart the worker process empty so
   // recovery begins from a clean store.
   const std::uint64_t capacity = workers_[worker]->store().capacity_bytes();
   workers_[worker] = std::make_unique<Worker>(
       worker, capacity, MakeEvictionPolicy(config_.eviction_policy));
+  workers_[worker]->store().set_eviction_counter(&metrics_.counter(
+      "cluster.worker." + std::to_string(worker) + ".evictions"));
+  worker_counters_[worker].failures->Increment();
+  trace_.Emit("cluster.worker.failed",
+              {{"worker", std::to_string(worker)},
+               {"lost_blocks", std::to_string(lost_blocks)},
+               {"lost_bytes", std::to_string(lost_bytes)}});
 }
 
 void CacheCluster::RecoverWorker(WorkerId worker) {
   OPUS_CHECK_LT(worker, workers_.size());
+  if (worker_alive_[worker]) return;
   worker_alive_[worker] = true;
+  std::uint64_t reloaded = 0;
+  if (managed_) {
+    // Re-apply the latest allocation to the rebooted (empty) worker rather
+    // than serving its whole partition from disk until the next round.
+    CacheUpdate update = last_updates_[worker];
+    update.load.clear();
+    for (BlockId b : update.pin) {
+      if (!workers_[worker]->store().Contains(b)) update.load.push_back(b);
+    }
+    reloaded = update.load.size();
+    ApplyUpdateToWorker(worker, update);
+  }
+  trace_.Emit("cluster.worker.recovered",
+              {{"worker", std::to_string(worker)},
+               {"reloaded_blocks", std::to_string(reloaded)}});
 }
 
 bool CacheCluster::IsWorkerAlive(WorkerId worker) const {
@@ -86,10 +154,15 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
     const BlockId block = MakeBlockId(file, idx);
     const std::uint64_t bytes = info.BlockBytes(idx);
     Worker& worker = WorkerFor(block);
+    WorkerCounters& wc = worker_counters_[worker.id()];
     if (worker_alive_[worker.id()] && worker.store().Access(block)) {
       r.bytes_from_memory += bytes;
+      wc.mem_hits->Increment();
+      wc.mem_hit_bytes->Increment(bytes);
     } else {
       r.bytes_from_disk += bytes;
+      wc.misses->Increment();
+      wc.miss_bytes->Increment(bytes);
       if (!managed_ && worker_alive_[worker.id()]) {
         // Cache-on-read: pull the block in, evicting per policy.
         worker.store().Insert(block, bytes);
@@ -113,12 +186,40 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
     unblocked = Clamp(unblocked_share_(user, file), 0.0, 1.0);
   }
   r.blocking_probability = 1.0 - unblocked;
+  UserCounters& uc = user_counters_[user];
   if (r.blocking_probability > 0.0 && r.bytes_from_memory > 0) {
-    r.latency_sec += under_store_.BlockingDelay(r.bytes_from_memory,
-                                                r.blocking_probability);
+    const double delay = under_store_.BlockingDelay(r.bytes_from_memory,
+                                                    r.blocking_probability);
+    r.latency_sec += delay;
+    uc.blocking_delay_sec->Observe(delay);
   }
   r.effective_hit = r.memory_fraction * unblocked;
+  uc.reads->Increment();
+  uc.mem_bytes->Increment(r.bytes_from_memory);
+  uc.disk_bytes->Increment(r.bytes_from_disk);
+  read_latency_hist_->Observe(r.latency_sec);
   return r;
+}
+
+void CacheCluster::ApplyUpdateToWorker(WorkerId worker,
+                                       const CacheUpdate& update) {
+  OPUS_CHECK(worker_alive_[worker]);
+  const std::uint64_t failed = workers_[worker]->Apply(update, [&](BlockId b) {
+    return catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b));
+  });
+  ++cp_stats_.cache_updates;
+  cp_stats_.blocks_pinned += update.pin.size();
+  cp_stats_.blocks_unpinned += update.unpin.size();
+  cp_stats_.blocks_loaded += update.load.size();
+  WorkerCounters& wc = worker_counters_[worker];
+  wc.pins->Increment(update.pin.size());
+  wc.unpins->Increment(update.unpin.size());
+  wc.loads->Increment(update.load.size());
+  wc.pin_failures->Increment(failed);
+  // Loading from the under store costs disk reads (accounted centrally).
+  for (BlockId b : update.load) {
+    under_store_.Read(catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b)));
+  }
 }
 
 void CacheCluster::ApplyAllocation(const std::vector<double>& file_fractions) {
@@ -158,20 +259,14 @@ void CacheCluster::ApplyAllocation(const std::vector<double>& file_fractions) {
   }
 
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (!worker_alive_[w]) continue;  // retried on the next reallocation
-    auto& up = updates[w];
-    workers_[w]->Apply(up, [&](BlockId b) {
-      return catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b));
-    });
-    ++cp_stats_.cache_updates;
-    cp_stats_.blocks_pinned += up.pin.size();
-    cp_stats_.blocks_unpinned += up.unpin.size();
-    cp_stats_.blocks_loaded += up.load.size();
-    // Loading from the under store costs disk reads (accounted centrally).
-    for (BlockId b : up.load) {
-      under_store_.Read(catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b)));
-    }
+    // Dead workers keep the intended update in last_updates_ below, so
+    // RecoverWorker (or the next round) can re-apply it.
+    if (!worker_alive_[w]) continue;
+    ApplyUpdateToWorker(static_cast<WorkerId>(w), updates[w]);
   }
+  last_updates_ = std::move(updates);
+  trace_.Emit("cluster.realloc_applied",
+              {{"epoch", std::to_string(epoch_)}});
 }
 
 void CacheCluster::SetAccessModel(Matrix unblocked_share) {

@@ -28,6 +28,8 @@
 #include "cache/under_store.h"
 #include "cache/worker.h"
 #include "common/matrix.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 
 namespace opus::cache {
 
@@ -90,11 +92,14 @@ class CacheCluster {
   // Simulates a worker crash: its cached blocks (pins included) are lost.
   // Reads that map to a failed worker fall through to the under store; in
   // unmanaged mode they re-populate surviving workers' partitions only when
-  // the block maps there. Re-applying an allocation after RecoverWorker
-  // reloads lost pins (the OpusMaster does this on its next update).
+  // the block maps there.
   void FailWorker(WorkerId worker);
 
-  // Brings a failed worker back empty.
+  // Brings a failed worker back. In managed mode the latest CacheUpdate for
+  // this worker is re-applied immediately — its pinned block set is
+  // reloaded from the under store (with disk-read accounting) — so the
+  // recovered partition serves from memory right away instead of from disk
+  // until the next reallocation round.
   void RecoverWorker(WorkerId worker);
 
   bool IsWorkerAlive(WorkerId worker) const;
@@ -109,21 +114,65 @@ class CacheCluster {
   const ControlPlaneStats& control_plane_stats() const { return cp_stats_; }
   std::uint64_t total_evictions() const;
 
+  // --- observability ------------------------------------------------------
+  //
+  // Every cluster owns a deterministic metrics registry and a bounded event
+  // trace; workers, the under store and the control plane record into them
+  // (names like "cluster.worker.3.mem_hits", "cluster.user.0.disk_bytes").
+  // All values are logical-clock based, so snapshots are byte-identical
+  // across reruns and thread counts.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::EventTrace& trace() { return trace_; }
+  const obs::EventTrace& trace() const { return trace_; }
+
  private:
+  // Pre-resolved metric handles (hot-path instrumentation must not pay a
+  // map lookup per block access).
+  struct WorkerCounters {
+    obs::Counter* mem_hits = nullptr;
+    obs::Counter* mem_hit_bytes = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* miss_bytes = nullptr;
+    obs::Counter* pins = nullptr;
+    obs::Counter* unpins = nullptr;
+    obs::Counter* loads = nullptr;
+    obs::Counter* pin_failures = nullptr;
+    obs::Counter* failures = nullptr;
+  };
+  struct UserCounters {
+    obs::Counter* reads = nullptr;
+    obs::Counter* mem_bytes = nullptr;
+    obs::Counter* disk_bytes = nullptr;
+    obs::Histogram* blocking_delay_sec = nullptr;
+  };
+
   Worker& WorkerFor(BlockId block);
   const Worker& WorkerFor(BlockId block) const;
   double MemoryLatency(std::uint64_t bytes) const;
+  void InitObservability();
+  // Delivers one CacheUpdate to an alive worker: applies it, accounts
+  // control-plane stats/metrics, and charges under-store reads for loads.
+  void ApplyUpdateToWorker(WorkerId worker, const CacheUpdate& update);
 
   ClusterConfig config_;
   Catalog catalog_;
   UnderStore under_store_;
+  obs::MetricsRegistry metrics_;
+  obs::EventTrace trace_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<bool> worker_alive_;
+  std::vector<WorkerCounters> worker_counters_;
+  std::vector<UserCounters> user_counters_;
+  obs::Histogram* read_latency_hist_ = nullptr;
   std::optional<ConsistentHashRing> ring_;  // set when placement=consistent
   bool managed_ = false;
   Matrix unblocked_share_;  // num_users x num_files; empty = no blocking
   ControlPlaneStats cp_stats_;
   std::uint64_t epoch_ = 0;
+  // Latest per-worker CacheUpdate (managed mode), kept so RecoverWorker can
+  // re-apply the current allocation without waiting for the next round.
+  std::vector<CacheUpdate> last_updates_;
 };
 
 }  // namespace opus::cache

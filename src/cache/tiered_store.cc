@@ -9,16 +9,50 @@ TieredStore::TieredStore(TieredStoreConfig config)
       mem_policy_(MakeEvictionPolicy(config.eviction_policy)),
       ssd_policy_(MakeEvictionPolicy(config.eviction_policy)) {}
 
+void TieredStore::AttachObservability(obs::MetricsRegistry* registry,
+                                      obs::EventTrace* trace) {
+  trace_ = trace;
+  if (registry != nullptr) {
+    demotions_counter_ = &registry->counter("tier.demotions");
+    promotions_counter_ = &registry->counter("tier.promotions");
+    ssd_evictions_counter_ = &registry->counter("tier.ssd_evictions");
+  } else {
+    demotions_counter_ = nullptr;
+    promotions_counter_ = nullptr;
+    ssd_evictions_counter_ = nullptr;
+  }
+}
+
+void TieredStore::EmitEvent(const char* kind, BlockId block,
+                            std::uint64_t bytes) {
+  if (trace_ == nullptr) return;
+  trace_->Emit(kind, {{"block", std::to_string(block)},
+                      {"bytes", std::to_string(bytes)}});
+}
+
+void TieredStore::CheckCapacityInvariant() const {
+  OPUS_CHECK_LE(mem_used_, config_.memory_capacity_bytes);
+  OPUS_CHECK_LE(ssd_used_, config_.ssd_capacity_bytes);
+}
+
 bool TieredStore::Insert(BlockId block, std::uint64_t bytes) {
   OPUS_CHECK_GT(bytes, 0u);
-  if (mem_blocks_.count(block) != 0 || ssd_blocks_.count(block) != 0) {
-    return true;
+  if (mem_blocks_.count(block) != 0) return true;
+  if (ssd_blocks_.count(block) != 0) {
+    // A load wants the block on the fast tier; SSD residency is not
+    // success. Try promoting (the managed pin path relies on this — a
+    // "successful" insert that leaves the block on SSD would silently serve
+    // it at SSD speed forever).
+    const bool promoted = PromoteToMemory(block);
+    CheckCapacityInvariant();
+    return promoted;
   }
   if (bytes > config_.memory_capacity_bytes) return false;
   if (!MakeMemoryRoom(bytes)) return false;
   mem_blocks_[block] = bytes;
   mem_used_ += bytes;
   mem_policy_->OnInsert(block);
+  CheckCapacityInvariant();
   return true;
 }
 
@@ -40,6 +74,7 @@ void TieredStore::DemoteOne() {
   mem_blocks_.erase(it);
   mem_policy_->OnRemove(*victim);
   ++stats_.demotions;
+  if (demotions_counter_ != nullptr) demotions_counter_->Increment();
 
   // Demote to SSD when it fits; otherwise the block is simply dropped (an
   // SSD eviction in spirit: the data survives in the under store).
@@ -47,8 +82,11 @@ void TieredStore::DemoteOne() {
     ssd_blocks_[*victim] = bytes;
     ssd_used_ += bytes;
     ssd_policy_->OnInsert(*victim);
+    EmitEvent("tier.block_demoted", *victim, bytes);
   } else {
     ++stats_.ssd_evictions;
+    if (ssd_evictions_counter_ != nullptr) ssd_evictions_counter_->Increment();
+    EmitEvent("tier.block_evicted", *victim, bytes);
   }
 }
 
@@ -58,10 +96,13 @@ bool TieredStore::MakeSsdRoom(std::uint64_t bytes) {
     if (!victim.has_value()) return false;
     const auto it = ssd_blocks_.find(*victim);
     OPUS_CHECK(it != ssd_blocks_.end());
-    ssd_used_ -= it->second;
+    const std::uint64_t victim_bytes = it->second;
+    ssd_used_ -= victim_bytes;
     ssd_blocks_.erase(it);
     ssd_policy_->OnRemove(*victim);
     ++stats_.ssd_evictions;
+    if (ssd_evictions_counter_ != nullptr) ssd_evictions_counter_->Increment();
+    EmitEvent("tier.block_evicted", *victim, victim_bytes);
   }
   return true;
 }
@@ -73,7 +114,10 @@ Tier TieredStore::Access(BlockId block) {
   }
   if (ssd_blocks_.count(block) != 0) {
     ssd_policy_->OnAccess(block);
-    if (config_.promote_on_access) PromoteToMemory(block);
+    if (config_.promote_on_access) {
+      PromoteToMemory(block);
+      CheckCapacityInvariant();
+    }
     return Tier::kSsd;
   }
   return Tier::kNone;
@@ -89,16 +133,31 @@ bool TieredStore::PromoteToMemory(BlockId block) {
   ssd_blocks_.erase(it);
   ssd_policy_->OnRemove(block);
   if (!MakeMemoryRoom(bytes)) {
-    // Memory fully pinned: put it back on SSD (room still reserved).
-    ssd_blocks_[block] = bytes;
-    ssd_used_ += bytes;
-    ssd_policy_->OnInsert(block);
+    // Memory fully pinned: return the block to SSD. The demotion cascade
+    // above may have consumed the room this block freed, so the room must
+    // be re-reserved; when the SSD can no longer hold the block it is
+    // dropped (the data survives in the under store).
+    if (MakeSsdRoom(bytes)) {
+      ssd_blocks_[block] = bytes;
+      ssd_used_ += bytes;
+      ssd_policy_->OnInsert(block);
+    } else {
+      ++stats_.ssd_evictions;
+      if (ssd_evictions_counter_ != nullptr) {
+        ssd_evictions_counter_->Increment();
+      }
+      EmitEvent("tier.block_evicted", block, bytes);
+    }
+    CheckCapacityInvariant();
     return false;
   }
   mem_blocks_[block] = bytes;
   mem_used_ += bytes;
   mem_policy_->OnInsert(block);
   ++stats_.promotions;
+  if (promotions_counter_ != nullptr) promotions_counter_->Increment();
+  EmitEvent("tier.block_promoted", block, bytes);
+  CheckCapacityInvariant();
   return true;
 }
 

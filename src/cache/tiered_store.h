@@ -19,6 +19,8 @@
 
 #include "cache/eviction.h"
 #include "cache/types.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 
 namespace opus::cache {
 
@@ -43,9 +45,11 @@ class TieredStore {
   explicit TieredStore(TieredStoreConfig config);
 
   // Inserts into the memory tier (demoting victims as needed). Returns
-  // false when the block cannot fit even after demotions/evictions (e.g.
-  // larger than the memory tier, or everything resident is pinned).
-  // Inserting a resident block is a no-op returning true.
+  // false when the block cannot land in memory even after
+  // demotions/evictions (e.g. larger than the memory tier, or everything
+  // resident is pinned). Inserting a memory-resident block is a no-op
+  // returning true; inserting an SSD-resident block attempts promotion —
+  // an insert "succeeds" only when the block ends up on the fast tier.
   bool Insert(BlockId block, std::uint64_t bytes);
 
   // Records an access; returns where the block was found (before any
@@ -68,6 +72,13 @@ class TieredStore {
   const TieredStats& stats() const { return stats_; }
   const TieredStoreConfig& config() const { return config_; }
 
+  // Mirrors tier movements into a registry ("tier.demotions",
+  // "tier.promotions", "tier.ssd_evictions") and emits per-block
+  // demote/promote/evict events. Either pointer may be null; both must
+  // outlive the store.
+  void AttachObservability(obs::MetricsRegistry* registry,
+                           obs::EventTrace* trace);
+
  private:
   // Makes room for `bytes` in memory by demoting unpinned victims; false
   // if impossible.
@@ -76,6 +87,10 @@ class TieredStore {
   bool MakeSsdRoom(std::uint64_t bytes);
   void DemoteOne();
   bool PromoteToMemory(BlockId block);
+  // Capacity accounting invariant, checked after every mutating operation:
+  // neither tier's used bytes may exceed its configured capacity.
+  void CheckCapacityInvariant() const;
+  void EmitEvent(const char* kind, BlockId block, std::uint64_t bytes);
 
   TieredStoreConfig config_;
   std::unique_ptr<EvictionPolicy> mem_policy_;
@@ -86,6 +101,10 @@ class TieredStore {
   std::uint64_t mem_used_ = 0;
   std::uint64_t ssd_used_ = 0;
   TieredStats stats_;
+  obs::EventTrace* trace_ = nullptr;             // borrowed, optional
+  obs::Counter* demotions_counter_ = nullptr;    // borrowed, optional
+  obs::Counter* promotions_counter_ = nullptr;   // borrowed, optional
+  obs::Counter* ssd_evictions_counter_ = nullptr;  // borrowed, optional
 };
 
 }  // namespace opus::cache

@@ -13,7 +13,16 @@ double UnderStore::ReadLatency(std::uint64_t bytes) const {
 double UnderStore::Read(std::uint64_t bytes) {
   bytes_read_ += bytes;
   ++reads_;
+  if (reads_counter_ != nullptr) {
+    reads_counter_->Increment();
+    read_bytes_counter_->Increment(bytes);
+  }
   return ReadLatency(bytes);
+}
+
+void UnderStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  reads_counter_ = &registry->counter("under.reads");
+  read_bytes_counter_ = &registry->counter("under.bytes_read");
 }
 
 double UnderStore::BlockingDelay(std::uint64_t bytes,

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "cache/types.h"
+#include "obs/metrics.h"
 
 namespace opus::cache {
 
@@ -37,10 +38,16 @@ class UnderStore {
   std::uint64_t reads() const { return reads_; }
   const UnderStoreConfig& config() const { return config_; }
 
+  // Mirrors read accounting into `registry` ("under.reads",
+  // "under.bytes_read"). The registry must outlive the store.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   UnderStoreConfig config_;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t reads_ = 0;
+  obs::Counter* reads_counter_ = nullptr;       // borrowed, optional
+  obs::Counter* read_bytes_counter_ = nullptr;  // borrowed, optional
 };
 
 }  // namespace opus::cache

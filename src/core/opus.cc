@@ -69,14 +69,14 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
       SolveProportionalFairness(problem.preferences, problem.capacity,
                                 pf_options, priorities, {},
                                 problem.file_sizes);
-  int total_iterations = star.iterations;
 
   // Clarke pivot taxes via leave-one-out PF solves, warm-started from a*.
   // The solves are independent; with tax_threads > 1 they run in parallel
   // (each worker carries its own weight vector), which changes nothing but
-  // wall time.
+  // wall time. Per-solve stats land in index-addressed slots and are folded
+  // in order below, so the totals match the serial run bit for bit.
   std::vector<double> taxes(n, 0.0);
-  std::vector<int> solve_iterations(n, 0);
+  std::vector<PfSolution> loo_solutions(n);
   auto tax_for = [&](std::size_t i, std::vector<double>& weights) {
     const double saved = weights[i];
     weights[i] = 0.0;
@@ -84,7 +84,6 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
         problem.preferences, problem.capacity, pf_options, weights,
         star.allocation, problem.file_sizes);
     weights[i] = saved;
-    solve_iterations[i] = without_i.iterations;
 
     const double welfare_without = OthersVirtualWelfare(
         problem.preferences, without_i.utilities, i, priorities);
@@ -93,6 +92,7 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
     // The pivot tax is non-negative by optimality of the leave-one-out
     // solution; clamp away solver residual noise.
     taxes[i] = std::max(0.0, welfare_without - welfare_at_star);
+    loo_solutions[i] = without_i;
   };
   const unsigned threads =
       options_.tax_threads > 1
@@ -116,7 +116,9 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
         },
         threads);
   }
-  for (int it : solve_iterations) total_iterations += it;
+  PfStats solve_stats;
+  solve_stats.Observe(star);
+  for (const PfSolution& s : loo_solutions) solve_stats.Observe(s);
 
   std::vector<double> blocking(n, 0.0);
   std::vector<double> net(n, 0.0);
@@ -155,12 +157,14 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
     diag->net_utilities = net;
     diag->isolated_utilities = isolated;
     diag->settled_on_sharing = ig_holds;
-    diag->solver_iterations = total_iterations;
+    diag->solver_iterations = static_cast<int>(solve_stats.iterations);
   }
 
   if (!ig_holds) {
     AllocationResult r = IsolatedAllocator(priorities).Allocate(problem);
     r.policy = name();
+    r.solver_iterations = solve_stats.iterations;
+    r.solver_residual = solve_stats.max_residual;
     return r;
   }
 
@@ -176,6 +180,8 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   }
   r.taxes = std::move(taxes);
   r.blocking = std::move(blocking);
+  r.solver_iterations = solve_stats.iterations;
+  r.solver_residual = solve_stats.max_residual;
   for (std::size_t j = 0; j < m; ++j) {
     r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
   }

@@ -85,6 +85,13 @@ struct AllocationResult {
   // system does not deduplicate). Our isolation dedupes, so this reports
   // the hypothetical copy footprint used for the waste metric.
   double copy_footprint = 0.0;
+
+  // Solver accounting (observability): total iterations across every
+  // underlying solve (for OpuS: the PF solve plus N leave-one-out tax
+  // solves) and the worst optimality residual among them. Zero for
+  // closed-form policies. Deterministic at any thread count.
+  std::uint64_t solver_iterations = 0;
+  double solver_residual = 0.0;
 };
 
 // Sanity-checks structural invariants of `result` against `problem`

@@ -1,0 +1,83 @@
+#include "obs/event_trace.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace opus::obs {
+
+EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
+  OPUS_CHECK_GT(capacity_, 0u);
+}
+
+void EventTrace::Emit(
+    std::string kind,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  TraceEvent e;
+  e.seq = next_seq_++;
+  e.kind = std::move(kind);
+  e.fields = std::move(fields);
+  events_.push_back(std::move(e));
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> EventTrace::Snapshot() const {
+  return {events_.begin(), events_.end()};
+}
+
+std::string EventsToText(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  for (const auto& e : events) {
+    out << e.seq << ' ' << e.kind;
+    for (const auto& [k, v] : e.fields) out << ' ' << k << '=' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string EventsToCsv(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "seq,kind,fields\n";
+  for (const auto& e : events) {
+    out << e.seq << ',' << e.kind << ',';
+    for (std::size_t k = 0; k < e.fields.size(); ++k) {
+      if (k > 0) out << ' ';
+      out << e.fields[k].first << '=' << e.fields[k].second;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string EventsToJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    out << "  {\"seq\": " << e.seq << ", \"kind\": \"" << e.kind << "\"";
+    for (const auto& [k, v] : e.fields) {
+      out << ", \"" << k << "\": \"" << v << "\"";
+    }
+    out << "}" << (i + 1 < events.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string ExportEvents(const std::vector<TraceEvent>& events,
+                         ExportFormat format) {
+  switch (format) {
+    case ExportFormat::kText:
+      return EventsToText(events);
+    case ExportFormat::kCsv:
+      return EventsToCsv(events);
+    case ExportFormat::kJson:
+      return EventsToJson(events);
+  }
+  return EventsToText(events);
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,63 @@
+// Bounded structured event trace — the narrative companion to the metrics
+// registry: "reallocation applied", "worker failed/recovered", "block
+// demoted/promoted", "IG fallback triggered" and similar control-plane
+// moments, in order.
+//
+// Events carry a logical-clock sequence number (the emission index — never
+// wall time) plus ordered key=value string fields, so exports are
+// byte-identical across reruns and thread counts under the same
+// determinism contract as obs::MetricsRegistry. The buffer is a ring:
+// when more than `capacity` events are emitted the oldest are dropped and
+// counted, bounding memory on arbitrarily long simulations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"  // ExportFormat
+
+namespace opus::obs {
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // logical clock: 0-based emission index
+  std::string kind;       // dot-separated, e.g. "cluster.worker.failed"
+  // Ordered key=value pairs; keys follow the metric-name convention,
+  // values are free-form (no newlines or commas).
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Deterministic serializations of a span of events.
+std::string EventsToText(const std::vector<TraceEvent>& events);
+std::string EventsToCsv(const std::vector<TraceEvent>& events);
+std::string EventsToJson(const std::vector<TraceEvent>& events);
+std::string ExportEvents(const std::vector<TraceEvent>& events,
+                         ExportFormat format);
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 4096);
+
+  // Emits one event; assigns the next logical-clock sequence number.
+  void Emit(std::string kind,
+            std::vector<std::pair<std::string, std::string>> fields = {});
+
+  // Retained events, oldest first.
+  const std::deque<TraceEvent>& events() const { return events_; }
+  // Copy of the retained events (the exportable snapshot).
+  std::vector<TraceEvent> Snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_emitted() const { return next_seq_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace opus::obs

@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace opus::obs {
+
+// Deterministic double rendering: the same bit pattern always yields the
+// same string ("%.12g" round-trips every value the instrumentation emits).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.' || c == '-';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t k = 1; k < bounds_.size(); ++k) {
+    OPUS_CHECK_MSG(bounds_[k - 1] < bounds_[k],
+                   "histogram bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+ExportFormat FormatForPath(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".json")) return ExportFormat::kJson;
+  if (ends_with(".csv")) return ExportFormat::kCsv;
+  return ExportFormat::kText;
+}
+
+void MetricsRegistry::CheckName(const std::string& name) const {
+  OPUS_CHECK_MSG(!name.empty(), "metric names must be non-empty");
+  for (char c : name) {
+    OPUS_CHECK_MSG(ValidNameChar(c),
+                   "invalid character '" << c << "' in metric name \"" << name
+                                         << "\"");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  CheckName(name);
+  OPUS_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                 "metric \"" << name << "\" already registered as another kind");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  CheckName(name);
+  OPUS_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                 "metric \"" << name << "\" already registered as another kind");
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    OPUS_CHECK_MSG(it->second.bounds() == bounds,
+                   "histogram \"" << name << "\" re-registered with different bounds");
+    return it->second;
+  }
+  CheckName(name);
+  OPUS_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                 "metric \"" << name << "\" already registered as another kind");
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+void MetricsRegistry::MarkVolatile(const std::string& name) {
+  CheckName(name);
+  volatile_.insert(name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(bool include_volatile) const {
+  MetricsSnapshot snap;
+  const auto keep = [&](const std::string& name) {
+    return include_volatile || volatile_.count(name) == 0;
+  };
+  for (const auto& [name, c] : counters_) {
+    if (keep(name)) snap.counters.push_back({name, c.value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (keep(name)) snap.gauges.push_back({name, g.value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (keep(name)) {
+      snap.histograms.push_back(
+          {name, h.bounds(), h.bucket_counts(), h.count(), h.sum()});
+    }
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& c : counters) {
+    out << "counter " << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : gauges) {
+    out << "gauge " << g.name << ' ' << FormatDouble(g.value) << '\n';
+  }
+  for (const auto& h : histograms) {
+    out << "histogram " << h.name << " count=" << h.count
+        << " sum=" << FormatDouble(h.sum) << " buckets=";
+    for (std::size_t k = 0; k < h.counts.size(); ++k) {
+      if (k > 0) out << ',';
+      if (k < h.bounds.size()) {
+        out << "le" << FormatDouble(h.bounds[k]);
+      } else {
+        out << "inf";
+      }
+      out << ':' << h.counts[k];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& c : counters) {
+    out << "counter," << c.name << ",value," << c.value << '\n';
+  }
+  for (const auto& g : gauges) {
+    out << "gauge," << g.name << ",value," << FormatDouble(g.value) << '\n';
+  }
+  for (const auto& h : histograms) {
+    out << "histogram," << h.name << ",count," << h.count << '\n';
+    out << "histogram," << h.name << ",sum," << FormatDouble(h.sum) << '\n';
+    for (std::size_t k = 0; k < h.counts.size(); ++k) {
+      out << "histogram," << h.name << ",bucket_";
+      if (k < h.bounds.size()) {
+        out << "le" << FormatDouble(h.bounds[k]);
+      } else {
+        out << "inf";
+      }
+      out << ',' << h.counts[k] << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"' << counters[i].name
+        << "\": " << counters[i].value;
+  }
+  out << (counters.empty() ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"' << gauges[i].name
+        << "\": " << FormatDouble(gauges[i].value);
+  }
+  out << (gauges.empty() ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out << (i ? ",\n    " : "\n    ") << '"' << h.name << "\": {\"count\": "
+        << h.count << ", \"sum\": " << FormatDouble(h.sum) << ", \"bounds\": [";
+    for (std::size_t k = 0; k < h.bounds.size(); ++k) {
+      out << (k ? ", " : "") << FormatDouble(h.bounds[k]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t k = 0; k < h.counts.size(); ++k) {
+      out << (k ? ", " : "") << h.counts[k];
+    }
+    out << "]}";
+  }
+  out << (histograms.empty() ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::Export(ExportFormat format) const {
+  switch (format) {
+    case ExportFormat::kText:
+      return ToText();
+    case ExportFormat::kCsv:
+      return ToCsv();
+    case ExportFormat::kJson:
+      return ToJson();
+  }
+  return ToText();
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,148 @@
+// Deterministic metrics registry — the observability substrate behind the
+// paper's per-user hit-ratio / blocking-delay / reallocation figures
+// (Figs. 5-10), generalized into a uniform, assertable export.
+//
+// Three metric kinds, all keyed by structured dot-separated names
+// ("cluster.worker.3.mem_hits", "master.solve.iterations"):
+//
+//  - Counter:   monotonically increasing uint64.
+//  - Gauge:     last-written double (window size, residual, hit ratio).
+//  - Histogram: fixed upper-bound buckets chosen at creation plus an
+//               implicit +inf bucket; tracks per-bucket counts, total count
+//               and sum. Buckets are fixed so two runs that observe the
+//               same values export byte-identical bucket vectors.
+//
+// Determinism contract: everything is logical-clock based (event indices,
+// iteration counts, byte totals) — never wall time — so a Snapshot() export
+// is byte-identical across reruns and thread counts as long as the recorded
+// computation itself is deterministic (which the PR-1 threading contract
+// guarantees for all shipped components). Metrics that are inherently
+// nondeterministic (e.g. solve wall time) must be registered volatile via
+// MarkVolatile(); Snapshot() excludes them unless explicitly asked.
+//
+// Threading: a registry is single-writer (one simulation/control loop owns
+// it). Parallel phases must aggregate into deterministic per-task slots
+// first (the way OpusAllocator totals its leave-one-out solves) and record
+// the merged result from the owning thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace opus::obs {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  // `bounds` are strictly increasing upper bucket bounds; a value v lands
+  // in the first bucket with v <= bound, else in the +inf bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket counts; size = bounds().size() + 1 (last = +inf bucket).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Value-type snapshot of a registry, sorted by name within each kind, with
+// deterministic text/CSV/JSON serializations.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+// Deterministic double rendering used by every exporter ("%.12g"); also the
+// right helper for stringifying numeric fields of trace events.
+std::string FormatDouble(double v);
+
+enum class ExportFormat { kText, kCsv, kJson };
+
+// Picks a format from a file path: ".json" -> kJson, ".csv" -> kCsv,
+// anything else -> kText.
+ExportFormat FormatForPath(const std::string& path);
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // One "kind name ..." line per metric.
+  std::string ToText() const;
+  // kind,name,field,value rows (histograms expand to one row per bucket).
+  std::string ToCsv() const;
+  // {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string ToJson() const;
+
+  std::string Export(ExportFormat format) const;
+};
+
+class MetricsRegistry {
+ public:
+  // Creation is idempotent: re-requesting a name returns the same object.
+  // A name identifies exactly one kind; reusing it across kinds aborts.
+  // Names must be non-empty dot-separated [a-z0-9_.-] tokens.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // `bounds` must be strictly increasing; re-requesting an existing
+  // histogram requires identical bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Flags `name` as volatile (nondeterministic across runs — wall times and
+  // the like). Volatile metrics are skipped by Snapshot() by default.
+  void MarkVolatile(const std::string& name);
+
+  MetricsSnapshot Snapshot(bool include_volatile = false) const;
+
+ private:
+  void CheckName(const std::string& name) const;
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::set<std::string> volatile_;
+};
+
+}  // namespace opus::obs

@@ -1,6 +1,7 @@
 #include "sim/opus_master.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
@@ -63,6 +64,26 @@ OpusMaster::OpusMaster(const CacheAllocator* allocator,
     if (std::fabs(file_sizes_[j] - 1.0) > 1e-6) heterogeneous = true;
   }
   if (!heterogeneous) file_sizes_.clear();  // unit-size fast path
+  InitObservability();
+}
+
+void OpusMaster::InitObservability() {
+  obs::MetricsRegistry& m = cluster_->metrics();
+  realloc_counter_ = &m.counter("master.reallocations");
+  lazy_skip_counter_ = &m.counter("master.lazy_skips");
+  ig_fallback_counter_ = &m.counter("master.ig_fallbacks");
+  window_gauge_ = &m.gauge("master.window_size");
+  window_gauge_->Set(static_cast<double>(config_.learning_window));
+  drift_gauge_ = &m.gauge("master.drift");
+  residual_gauge_ = &m.gauge("master.solver.residual");
+  solve_iterations_hist_ = &m.histogram(
+      "master.solve.iterations", {100.0, 1000.0, 10000.0, 100000.0});
+  // Wall time is the one genuinely nondeterministic signal the master
+  // records; flagged volatile so default snapshots stay byte-identical
+  // across reruns and thread counts.
+  solve_wall_hist_ = &m.histogram("master.solve.wall_sec",
+                                  {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  m.MarkVolatile("master.solve.wall_sec");
 }
 
 void OpusMaster::Prime(const Matrix& preferences) {
@@ -72,7 +93,7 @@ void OpusMaster::Prime(const Matrix& preferences) {
       CachingProblem::FromRaw(preferences, config_.capacity_units);
   problem.file_sizes = file_sizes_;
   previous_prefs_ = problem.preferences;
-  Apply(allocator_->Allocate(problem));
+  SolveAndApply(problem);
 }
 
 void OpusMaster::OnAccess(const workload::AccessEvent& event) {
@@ -141,11 +162,16 @@ Matrix OpusMaster::InferredPreferences() const {
 void OpusMaster::Reallocate() {
   since_update_ = 0;
   Matrix prefs = InferredPreferences();
+  const double drift = Drift(prefs, previous_prefs_);
+  drift_gauge_->Set(drift);
   // Lazy mode: a stable preference estimate means the current allocation
   // is still (near-)optimal — skip the N+1 solves entirely.
   if (config_.lazy_threshold > 0.0 && reallocations_ > 0 &&
-      Drift(prefs, previous_prefs_) < config_.lazy_threshold) {
+      drift < config_.lazy_threshold) {
     ++skipped_;
+    lazy_skip_counter_->Increment();
+    cluster_->trace().Emit("master.realloc_lazy_skip",
+                           {{"drift", obs::FormatDouble(drift)}});
     return;
   }
   if (config_.adaptive_window) AdaptWindow();
@@ -153,8 +179,27 @@ void OpusMaster::Reallocate() {
   problem.preferences = prefs;
   problem.capacity = config_.capacity_units;
   problem.file_sizes = file_sizes_;
-  Apply(allocator_->Allocate(problem));
+  SolveAndApply(problem);
   previous_prefs_ = std::move(prefs);
+}
+
+void OpusMaster::SolveAndApply(const CachingProblem& problem) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const AllocationResult result = allocator_->Allocate(problem);
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  solve_wall_hist_->Observe(wall_sec);
+  solve_iterations_hist_->Observe(
+      static_cast<double>(result.solver_iterations));
+  residual_gauge_->Set(result.solver_residual);
+  if (!result.shared) {
+    ig_fallback_counter_->Increment();
+    cluster_->trace().Emit("master.ig_fallback",
+                           {{"epoch", std::to_string(reallocations_ + 1)},
+                            {"policy", result.policy}});
+  }
+  Apply(result);
 }
 
 void OpusMaster::AdaptWindow() {
@@ -170,12 +215,21 @@ void OpusMaster::AdaptWindow() {
   const double drift = Drift(now, previous_prefs_) / overlap_ceiling;
   // Fast drift -> shrink the window to forget stale popularity sooner;
   // stability -> grow it for lower-variance estimates.
+  const std::size_t before = config_.learning_window;
   if (drift > 0.2) {
     config_.learning_window =
         std::max(config_.min_window, config_.learning_window / 2);
   } else if (drift < 0.05) {
     config_.learning_window =
         std::min(config_.max_window, config_.learning_window * 2);
+  }
+  if (config_.learning_window != before) {
+    window_gauge_->Set(static_cast<double>(config_.learning_window));
+    cluster_->trace().Emit(
+        "master.window_resized",
+        {{"from", std::to_string(before)},
+         {"to", std::to_string(config_.learning_window)},
+         {"drift", obs::FormatDouble(drift)}});
   }
   while (window_.size() > config_.learning_window) {
     const auto& old = window_.front();
@@ -187,6 +241,13 @@ void OpusMaster::AdaptWindow() {
 void OpusMaster::Apply(const AllocationResult& result) {
   current_ = result;
   ++reallocations_;
+  realloc_counter_->Increment();
+  cluster_->trace().Emit(
+      "master.realloc_applied",
+      {{"epoch", std::to_string(reallocations_)},
+       {"policy", result.policy},
+       {"shared", result.shared ? "1" : "0"},
+       {"solver_iterations", std::to_string(result.solver_iterations)}});
   cluster_->ApplyAllocation(result.file_alloc);
   // Per-(user,file) unblocked share e_ij / a_j for the delay model.
   const std::size_t n = counts_.rows();

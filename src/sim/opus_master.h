@@ -19,6 +19,7 @@
 #include "cache/cluster.h"
 #include "cache/journal.h"
 #include "core/allocator.h"
+#include "obs/metrics.h"
 #include "workload/trace.h"
 
 namespace opus::sim {
@@ -98,6 +99,10 @@ class OpusMaster {
  private:
   void Apply(const AllocationResult& result);
   void AdaptWindow();
+  void InitObservability();
+  // Runs one allocator solve with wall-time accounting (the only volatile
+  // metric the master records) and applies the result.
+  void SolveAndApply(const CachingProblem& problem);
 
   const CacheAllocator* allocator_;
   cache::CacheCluster* cluster_;
@@ -114,6 +119,16 @@ class OpusMaster {
   std::size_t since_update_ = 0;
   std::size_t reallocations_ = 0;
   std::size_t skipped_ = 0;
+
+  // Pre-resolved handles into the cluster's metrics registry ("master.*").
+  obs::Counter* realloc_counter_ = nullptr;
+  obs::Counter* lazy_skip_counter_ = nullptr;
+  obs::Counter* ig_fallback_counter_ = nullptr;
+  obs::Gauge* window_gauge_ = nullptr;
+  obs::Gauge* drift_gauge_ = nullptr;
+  obs::Gauge* residual_gauge_ = nullptr;
+  obs::Histogram* solve_iterations_hist_ = nullptr;
+  obs::Histogram* solve_wall_hist_ = nullptr;  // volatile (wall time)
 };
 
 }  // namespace opus::sim

@@ -9,7 +9,7 @@ namespace {
 
 SimulationResult Summarize(const std::string& policy,
                            const HitRatioTracker& tracker,
-                           const cache::CacheCluster& cluster,
+                           cache::CacheCluster& cluster,
                            std::size_t num_users) {
   SimulationResult r;
   r.policy = policy;
@@ -22,6 +22,17 @@ SimulationResult Summarize(const std::string& policy,
                             ? 0.0
                             : Mean(r.per_user_hit_ratio);
   r.evictions = cluster.total_evictions();
+  // Final per-user hit ratios land in the registry as gauges so metric
+  // exports are self-contained, then the registry and the event trace are
+  // snapshotted into the result.
+  for (std::size_t i = 0; i < num_users; ++i) {
+    cluster.metrics()
+        .gauge("sim.user." + std::to_string(i) + ".hit_ratio")
+        .Set(r.per_user_hit_ratio[i]);
+  }
+  cluster.metrics().gauge("sim.average_hit_ratio").Set(r.average_hit_ratio);
+  r.metrics = cluster.metrics().Snapshot();
+  r.trace_events = cluster.trace().Snapshot();
   return r;
 }
 

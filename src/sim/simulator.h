@@ -10,6 +10,8 @@
 
 #include "cache/cluster.h"
 #include "core/allocator.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 #include "sim/metrics.h"
 #include "sim/opus_master.h"
 #include "workload/trace.h"
@@ -29,6 +31,11 @@ struct SimulationResult {
   double latency_p50_sec = 0.0;
   double latency_p95_sec = 0.0;
   double latency_p99_sec = 0.0;
+  // End-of-run snapshot of the cluster's metrics registry (volatile metrics
+  // excluded, so exports are byte-identical across reruns and thread
+  // counts) and the structured event trace accumulated during the run.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> trace_events;
 };
 
 struct ManagedSimConfig {

@@ -231,4 +231,10 @@ double PfOptimalityResidual(const Matrix& preferences, double capacity,
   return MaxAbsDiff(proj, a);
 }
 
+void PfStats::Observe(const PfSolution& solution) {
+  ++solves;
+  iterations += static_cast<std::uint64_t>(solution.iterations);
+  max_residual = std::max(max_residual, solution.residual);
+}
+
 }  // namespace opus

@@ -54,6 +54,18 @@ PfSolution SolveProportionalFairness(
     std::span<const double> warm_start = {},
     std::span<const double> file_sizes = {});
 
+// Deterministic accumulator over a batch of PF solves (observability):
+// OpuS's N+1 tax solves fold their PfSolutions into one of these — in a
+// fixed index order when the solves ran in parallel — so downstream
+// metrics are identical at any thread count.
+struct PfStats {
+  std::uint64_t solves = 0;
+  std::uint64_t iterations = 0;
+  double max_residual = 0.0;
+
+  void Observe(const PfSolution& solution);
+};
+
 // Max KKT violation of `allocation` for the PF problem: the L-inf norm of
 // Proj(a + grad f(a)) - a. Zero iff `allocation` is optimal. Used by tests.
 double PfOptimalityResidual(const Matrix& preferences, double capacity,

@@ -46,16 +46,30 @@ TEST(FailureTest, ReadsOnFailedWorkerGoToDisk) {
   EXPECT_EQ(r.bytes_from_memory, 4 * kMiB);
 }
 
-TEST(FailureTest, RecoveredWorkerStartsEmptyThenRepins) {
+TEST(FailureTest, RecoveredWorkerRepinsFromLastUpdate) {
   CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
   cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  const std::uint64_t disk_before = cluster.under_store().bytes_read();
   cluster.FailWorker(2);
   cluster.RecoverWorker(2);
   EXPECT_TRUE(cluster.IsWorkerAlive(2));
-  // Still cold until the next allocation round.
-  EXPECT_LT(cluster.ResidentFraction(0), 1.0);
-  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  // The latest CacheUpdate is replayed on recovery: the worker is warm
+  // again immediately, and the reload was charged as under-store reads
+  // (regression: recovered workers used to sit empty and unpinned until
+  // the next reallocation round).
   EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_GT(cluster.under_store().bytes_read(), disk_before);
+}
+
+TEST(FailureTest, RecoveryInUnmanagedModeStaysCold) {
+  // Without a control plane there is no stored CacheUpdate to replay; the
+  // worker refills organically via cache-on-read.
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.Read(0, 0);  // warms the unmanaged cache
+  cluster.FailWorker(2);
+  cluster.RecoverWorker(2);
+  EXPECT_TRUE(cluster.IsWorkerAlive(2));
+  EXPECT_LT(cluster.ResidentFraction(0), 1.0);
 }
 
 TEST(FailureTest, UnmanagedModeDoesNotCacheOnDeadWorker) {
@@ -77,8 +91,11 @@ TEST(FailureTest, DoubleFailIsIdempotent) {
 }
 
 TEST(FailureTest, MasterReallocationHealsTheCache) {
-  // End-to-end: fail a worker mid-flight; the OpusMaster's next periodic
-  // reallocation reloads the lost pins on the recovered worker.
+  // End-to-end: fail a worker mid-flight and leave it down across a
+  // reallocation round — the master cannot push pins to a dead worker, so
+  // the cache stays degraded until the worker returns, at which point the
+  // stored update (refreshed by the round that ran while it was down)
+  // restores full residency without waiting for the next round.
   CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
   const OpusAllocator alloc;
   sim::OpusMasterConfig cfg;
@@ -92,9 +109,10 @@ TEST(FailureTest, MasterReallocationHealsTheCache) {
   EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
 
   cluster.FailWorker(1);
-  cluster.RecoverWorker(1);
   EXPECT_LT(cluster.ResidentFraction(0), 1.0);
-  for (int k = 0; k < 10; ++k) master.OnAccess(e);  // next round heals
+  for (int k = 0; k < 10; ++k) master.OnAccess(e);  // realloc, worker 1 down
+  EXPECT_LT(cluster.ResidentFraction(0), 1.0);
+  cluster.RecoverWorker(1);
   EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
 }
 

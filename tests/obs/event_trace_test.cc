@@ -1,0 +1,71 @@
+#include "obs/event_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::obs {
+namespace {
+
+TEST(EventTraceTest, SequenceNumbersAreEmissionIndices) {
+  EventTrace trace;
+  trace.Emit("a");
+  trace.Emit("b", {{"k", "v"}});
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].seq, 0u);
+  EXPECT_EQ(trace.events()[0].kind, "a");
+  EXPECT_EQ(trace.events()[1].seq, 1u);
+  ASSERT_EQ(trace.events()[1].fields.size(), 1u);
+  EXPECT_EQ(trace.events()[1].fields[0].first, "k");
+  EXPECT_EQ(trace.events()[1].fields[0].second, "v");
+}
+
+TEST(EventTraceTest, RingDropsOldestAndCounts) {
+  EventTrace trace(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    trace.Emit("e" + std::to_string(i));
+  }
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events().front().kind, "e2");
+  EXPECT_EQ(trace.events().back().kind, "e4");
+  // Sequence numbers keep counting from the global logical clock.
+  EXPECT_EQ(trace.events().front().seq, 2u);
+  EXPECT_EQ(trace.total_emitted(), 5u);
+  EXPECT_EQ(trace.dropped(), 2u);
+}
+
+TEST(EventTraceTest, TextExportGolden) {
+  EventTrace trace;
+  trace.Emit("worker.failed", {{"worker", "2"}, {"lost_bytes", "1024"}});
+  trace.Emit("realloc.applied");
+  EXPECT_EQ(EventsToText(trace.Snapshot()),
+            "0 worker.failed worker=2 lost_bytes=1024\n"
+            "1 realloc.applied\n");
+}
+
+TEST(EventTraceTest, CsvExportGolden) {
+  EventTrace trace;
+  trace.Emit("a", {{"x", "1"}, {"y", "2"}});
+  EXPECT_EQ(EventsToCsv(trace.Snapshot()),
+            "seq,kind,fields\n"
+            "0,a,x=1 y=2\n");
+}
+
+TEST(EventTraceTest, JsonExportContainsFields) {
+  EventTrace trace;
+  trace.Emit("a", {{"x", "1"}});
+  const std::string json = EventsToJson(trace.Snapshot());
+  EXPECT_NE(json.find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\": \"1\""), std::string::npos);
+}
+
+TEST(EventTraceTest, ExportEventsDispatchesOnFormat) {
+  EventTrace trace;
+  trace.Emit("a");
+  const auto events = trace.Snapshot();
+  EXPECT_EQ(ExportEvents(events, ExportFormat::kText), EventsToText(events));
+  EXPECT_EQ(ExportEvents(events, ExportFormat::kCsv), EventsToCsv(events));
+  EXPECT_EQ(ExportEvents(events, ExportFormat::kJson), EventsToJson(events));
+}
+
+}  // namespace
+}  // namespace opus::obs

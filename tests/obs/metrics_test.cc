@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterStartsAtZeroAndIncrements) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("cluster.worker.0.mem_hits");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsRegistryTest, CreationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  a.Increment(7);
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+  Gauge& g1 = reg.gauge("x.level");
+  Gauge& g2 = reg.gauge("x.level");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("x.latency", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.latency", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ReferencesSurviveLaterRegistrations) {
+  // Handles are cached at construction time by the instrumented components;
+  // std::map node stability must keep them valid as the registry grows.
+  MetricsRegistry reg;
+  Counter& first = reg.counter("m.a");
+  first.Increment();
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("m.fill" + std::to_string(i));
+  }
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_EQ(&first, &reg.counter("m.a"));
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreUpperInclusive) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {10.0, 20.0});
+  h.Observe(10.0);  // == bound -> that bucket
+  h.Observe(10.5);
+  h.Observe(25.0);  // +inf bucket
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 45.5);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("z.last").Increment();
+  reg.counter("a.first").Increment(2);
+  reg.gauge("m.mid").Set(0.5);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "m.mid");
+}
+
+TEST(MetricsRegistryTest, VolatileMetricsExcludedByDefault) {
+  MetricsRegistry reg;
+  reg.counter("stable").Increment();
+  reg.histogram("solve.wall_sec", {0.1, 1.0}).Observe(0.5);
+  reg.MarkVolatile("solve.wall_sec");
+  const MetricsSnapshot without = reg.Snapshot();
+  EXPECT_TRUE(without.histograms.empty());
+  ASSERT_EQ(without.counters.size(), 1u);
+  const MetricsSnapshot with = reg.Snapshot(/*include_volatile=*/true);
+  ASSERT_EQ(with.histograms.size(), 1u);
+  EXPECT_EQ(with.histograms[0].name, "solve.wall_sec");
+}
+
+TEST(MetricsRegistryTest, FormatForPathPicksBySuffix) {
+  EXPECT_EQ(FormatForPath("out/metrics.json"), ExportFormat::kJson);
+  EXPECT_EQ(FormatForPath("metrics.csv"), ExportFormat::kCsv);
+  EXPECT_EQ(FormatForPath("metrics.txt"), ExportFormat::kText);
+  EXPECT_EQ(FormatForPath("metrics"), ExportFormat::kText);
+}
+
+TEST(MetricsRegistryTest, TextExportGolden) {
+  MetricsRegistry reg;
+  reg.counter("c.hits").Increment(3);
+  reg.gauge("g.ratio").Set(0.25);
+  Histogram& h = reg.histogram("h.lat", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  EXPECT_EQ(reg.Snapshot().ToText(),
+            "counter c.hits 3\n"
+            "gauge g.ratio 0.25\n"
+            "histogram h.lat count=2 sum=5.5 buckets=le1:1,le10:1,inf:0\n");
+}
+
+TEST(MetricsRegistryTest, CsvExportGolden) {
+  MetricsRegistry reg;
+  reg.counter("c.hits").Increment(3);
+  reg.histogram("h.lat", {1.0}).Observe(2.0);
+  EXPECT_EQ(reg.Snapshot().ToCsv(),
+            "kind,name,field,value\n"
+            "counter,c.hits,value,3\n"
+            "histogram,h.lat,count,1\n"
+            "histogram,h.lat,sum,2\n"
+            "histogram,h.lat,bucket_le1,0\n"
+            "histogram,h.lat,bucket_inf,1\n");
+}
+
+TEST(MetricsRegistryTest, JsonExportParsesShape) {
+  MetricsRegistry reg;
+  reg.counter("c").Increment();
+  reg.gauge("g").Set(1.5);
+  reg.histogram("h", {2.0}).Observe(1.0);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotExportsAreStableAcrossCalls) {
+  MetricsRegistry reg;
+  reg.counter("a").Increment(5);
+  reg.gauge("b").Set(3.14159);
+  reg.histogram("c", {1.0, 2.0, 3.0}).Observe(2.5);
+  const MetricsSnapshot s1 = reg.Snapshot();
+  const MetricsSnapshot s2 = reg.Snapshot();
+  EXPECT_EQ(s1.ToText(), s2.ToText());
+  EXPECT_EQ(s1.ToCsv(), s2.ToCsv());
+  EXPECT_EQ(s1.ToJson(), s2.ToJson());
+}
+
+}  // namespace
+}  // namespace opus::obs

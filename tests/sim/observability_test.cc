@@ -1,0 +1,169 @@
+// Observability end-to-end: the registry snapshot and event trace carried
+// by SimulationResult are byte-identical across thread counts and reruns
+// (the determinism contract), and the mid-simulation fail/recover path is
+// visible through — and verified with — the exported metrics and events.
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog SixFileCatalog() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 6; ++f) {
+    c.Register("file-" + std::to_string(f), 8 * cache::kMiB);
+  }
+  return c;
+}
+
+Matrix TwoUserPrefs() {
+  Matrix prefs(2, 6, 0.0);
+  prefs(0, 0) = 0.5;
+  prefs(0, 1) = 0.3;
+  prefs(0, 2) = 0.2;
+  prefs(1, 3) = 0.6;
+  prefs(1, 4) = 0.3;
+  prefs(1, 5) = 0.1;
+  return prefs;
+}
+
+workload::Trace MakeTrace(std::size_t events, std::uint64_t seed) {
+  Rng rng(seed);
+  return workload::GenerateTrace(workload::TruthfulSpecs(TwoUserPrefs()),
+                                 events, rng);
+}
+
+ManagedSimConfig MakeConfig() {
+  ManagedSimConfig cfg;
+  cfg.cluster.num_workers = 3;
+  cfg.cluster.num_users = 2;
+  cfg.cluster.cache_capacity_bytes = 24 * cache::kMiB;
+  cfg.master.update_interval = 200;
+  cfg.master.learning_window = 400;
+  return cfg;
+}
+
+SimulationResult RunWithThreads(unsigned tax_threads,
+                                const cache::Catalog& catalog,
+                                const workload::Trace& trace) {
+  OpusOptions options;
+  options.tax_threads = tax_threads;
+  const OpusAllocator alloc(options);
+  return RunManagedSimulation(MakeConfig(), alloc, catalog, trace);
+}
+
+std::uint64_t CounterValue(const obs::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+bool HasEvent(const std::vector<obs::TraceEvent>& events,
+              const std::string& kind) {
+  for (const auto& e : events) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(ObservabilityTest, ExportsByteIdenticalAcrossThreadCountsAndReruns) {
+  const cache::Catalog catalog = SixFileCatalog();
+  const workload::Trace trace = MakeTrace(1000, /*seed=*/7);
+
+  const SimulationResult serial = RunWithThreads(1, catalog, trace);
+  const SimulationResult parallel = RunWithThreads(8, catalog, trace);
+  const SimulationResult rerun = RunWithThreads(8, catalog, trace);
+
+  // Volatile metrics (solve wall time) are excluded from the snapshot, so
+  // every exporter must agree byte for byte at any thread count.
+  EXPECT_EQ(serial.metrics.ToText(), parallel.metrics.ToText());
+  EXPECT_EQ(serial.metrics.ToCsv(), parallel.metrics.ToCsv());
+  EXPECT_EQ(serial.metrics.ToJson(), parallel.metrics.ToJson());
+  EXPECT_EQ(parallel.metrics.ToText(), rerun.metrics.ToText());
+
+  EXPECT_EQ(obs::EventsToText(serial.trace_events),
+            obs::EventsToText(parallel.trace_events));
+  EXPECT_EQ(obs::EventsToText(parallel.trace_events),
+            obs::EventsToText(rerun.trace_events));
+  EXPECT_FALSE(serial.trace_events.empty());
+}
+
+TEST(ObservabilityTest, ResultCarriesRegistrySnapshot) {
+  const cache::Catalog catalog = SixFileCatalog();
+  const workload::Trace trace = MakeTrace(600, /*seed=*/11);
+  const SimulationResult r = RunWithThreads(1, catalog, trace);
+
+  bool found_avg = false;
+  for (const auto& g : r.metrics.gauges) {
+    if (g.name == "sim.average_hit_ratio") {
+      found_avg = true;
+      EXPECT_DOUBLE_EQ(g.value, r.average_hit_ratio);
+    }
+  }
+  EXPECT_TRUE(found_avg);
+
+  // Per-worker and per-user instrumentation is present and consistent with
+  // the result's aggregate accounting.
+  std::uint64_t reads = 0;
+  for (std::size_t u = 0; u < 2; ++u) {
+    reads += CounterValue(r.metrics,
+                          "cluster.user." + std::to_string(u) + ".reads");
+  }
+  EXPECT_EQ(reads, trace.events.size());
+  EXPECT_EQ(CounterValue(r.metrics, "master.reallocations"),
+            static_cast<std::uint64_t>(r.reallocations));
+  EXPECT_TRUE(HasEvent(r.trace_events, "master.realloc_applied"));
+
+  // Volatile wall-time metrics must not leak into the default snapshot.
+  for (const auto& h : r.metrics.histograms) {
+    EXPECT_NE(h.name, "master.solve.wall_sec");
+  }
+}
+
+TEST(ObservabilityTest, RecoveryHealsHitRatioBeforeNextReallocation) {
+  // Fail a worker mid-simulation and recover it a few accesses later:
+  // the stored CacheUpdate replay must restore full residency immediately
+  // — strictly between scheduled reallocations — and the whole episode
+  // must be legible from the event trace and the per-user disk counters.
+  cache::CacheCluster cluster(MakeConfig().cluster, SixFileCatalog());
+  const OpusAllocator alloc;
+  OpusMasterConfig mcfg = MakeConfig().master;
+  OpusMaster master(&alloc, &cluster, mcfg);
+  const workload::Trace trace = MakeTrace(1000, /*seed=*/13);
+
+  std::size_t i = 0;
+  auto feed = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < trace.events.size(); ++k, ++i) {
+      master.OnAccess(trace.events[i]);
+      cluster.Read(trace.events[i].user, trace.events[i].file);
+    }
+  };
+
+  feed(400);  // at least one reallocation has pinned the cache
+  const double resident_before = cluster.ResidentFraction(0);
+  cluster.FailWorker(1);
+  feed(50);  // mid-window: degraded reads go to disk
+  const std::size_t reallocs_before = master.reallocations();
+  const std::uint64_t disk_before =
+      CounterValue(cluster.metrics().Snapshot(), "cluster.user.0.disk_bytes") +
+      CounterValue(cluster.metrics().Snapshot(), "cluster.user.1.disk_bytes");
+  cluster.RecoverWorker(1);
+  // No reallocation ran during the fail/recover window...
+  EXPECT_EQ(master.reallocations(), reallocs_before);
+  // ...yet residency is already back to the pre-failure level.
+  EXPECT_NEAR(cluster.ResidentFraction(0), resident_before, 1e-12);
+  EXPECT_GT(disk_before, 0u);
+
+  const auto events = cluster.trace().Snapshot();
+  EXPECT_TRUE(HasEvent(events, "cluster.worker.failed"));
+  EXPECT_TRUE(HasEvent(events, "cluster.worker.recovered"));
+}
+
+}  // namespace
+}  // namespace opus::sim

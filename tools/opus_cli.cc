@@ -8,7 +8,8 @@
 // Usage:
 //   opus_cli --prefs prefs.csv --capacity 2.0 [--policy opus]
 //            [--sizes sizes.csv] [--threads N] [--csv] [--compare]
-//            [--explain]
+//            [--explain] [--simulate N [--workers W] [--cache-mb MB]
+//            [--seed S]] [--metrics-out FILE] [--trace-out FILE]
 //
 //   --prefs FILE      required; CSV of non-negative scores (no header)
 //   --capacity C      required; cache capacity in file units (or size
@@ -23,6 +24,16 @@
 //   --compare         run every policy and print a utility comparison
 //   --explain         audit report of the OpuS decision (taxes, break-even,
 //                     blocking, sharing verdict)
+//   --simulate N      replay an N-event synthetic trace (truthful users
+//                     drawn from the normalized preference rows) through a
+//                     managed cluster instead of a one-shot allocation
+//   --workers W       simulate: cluster worker count (default 4)
+//   --cache-mb MB     simulate: cluster memory (default: capacity * 8 MiB)
+//   --seed S          simulate: trace RNG seed (default 42)
+//   --metrics-out F   simulate: write the end-of-run metrics registry
+//                     (format from extension: .json/.csv/other=text);
+//                     byte-identical across reruns and --threads
+//   --trace-out F     simulate: write the structured event trace
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +44,7 @@
 
 #include "analysis/csv.h"
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/explain.h"
@@ -43,6 +55,10 @@
 #include "core/opus.h"
 #include "core/utility.h"
 #include "core/vcg_classic.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -79,17 +95,31 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --prefs FILE --capacity C [--policy NAME] "
                "[--sizes FILE] [--threads N] [--csv] [--compare] "
-               "[--explain]\n",
+               "[--explain] [--simulate N] [--workers W] [--cache-mb MB] "
+               "[--seed S] [--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
   return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string prefs_path, sizes_path, policy = "opus";
-  double capacity = -1.0;
+  std::string metrics_out, trace_out;
+  double capacity = -1.0, cache_mb = 0.0;
   unsigned threads = opus::HardwareThreads();
+  std::size_t simulate = 0, workers = 4;
+  std::uint64_t seed = 42;
   bool csv_output = false, compare = false, explain = false;
 
   for (int a = 1; a < argc; ++a) {
@@ -117,6 +147,30 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v || std::atoi(v) < 1) return Usage(argv[0]);
       threads = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--simulate") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return Usage(argv[0]);
+      simulate = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return Usage(argv[0]);
+      workers = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      cache_mb = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      trace_out = v;
     } else if (arg == "--csv") {
       csv_output = true;
     } else if (arg == "--compare") {
@@ -170,6 +224,69 @@ int main(int argc, char** argv) {
   if (explain) {
     std::fputs(ExplainOpusDecision(problem).c_str(), stdout);
     return 0;
+  }
+
+  if (simulate > 0) {
+    const auto allocator = MakeAllocator(policy, threads);
+    if (!allocator) {
+      std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
+      return 1;
+    }
+    // One catalog file per preference column; sizes in units of one 8 MiB
+    // mean file so --capacity keeps its meaning (file units).
+    const double mean_file_bytes = 8.0 * 1024 * 1024;
+    cache::Catalog catalog(1 * cache::kMiB);
+    for (std::size_t j = 0; j < problem.num_files(); ++j) {
+      catalog.Register("file-" + std::to_string(j),
+                       static_cast<std::uint64_t>(problem.FileSize(j) *
+                                                  mean_file_bytes));
+    }
+    sim::ManagedSimConfig cfg;
+    cfg.cluster.num_workers = static_cast<std::uint32_t>(workers);
+    cfg.cluster.num_users =
+        static_cast<std::uint32_t>(problem.num_users());
+    cfg.cluster.cache_capacity_bytes =
+        cache_mb > 0.0
+            ? static_cast<std::uint64_t>(cache_mb * 1024 * 1024)
+            : static_cast<std::uint64_t>(capacity * mean_file_bytes);
+    cfg.master.update_interval = std::max<std::size_t>(50, simulate / 10);
+    cfg.master.learning_window = 4 * cfg.master.update_interval;
+
+    Rng rng(seed);
+    const workload::Trace trace = workload::GenerateTrace(
+        workload::TruthfulSpecs(problem.preferences), simulate, rng);
+    const sim::SimulationResult result =
+        sim::RunManagedSimulation(cfg, *allocator, catalog, trace);
+
+    analysis::Table table("simulation results");
+    table.AddHeader({"metric", "value"});
+    table.AddRow({"mean effective hit ratio",
+                  FormatDouble(result.average_hit_ratio, 4)});
+    for (std::size_t i = 0; i < result.per_user_hit_ratio.size(); ++i) {
+      table.AddRow({"user " + std::to_string(i) + " hit ratio",
+                    FormatDouble(result.per_user_hit_ratio[i], 4)});
+    }
+    table.AddRow({"reallocations", std::to_string(result.reallocations)});
+    table.AddRow({"disk bytes read", FormatBytes(result.disk_bytes_read)});
+    table.Print();
+
+    if (!metrics_out.empty() &&
+        !WriteFile(metrics_out, result.metrics.Export(
+                                    obs::FormatForPath(metrics_out)))) {
+      return 1;
+    }
+    if (!trace_out.empty() &&
+        !WriteFile(trace_out,
+                   obs::ExportEvents(result.trace_events,
+                                     obs::FormatForPath(trace_out)))) {
+      return 1;
+    }
+    return 0;
+  }
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    std::fprintf(stderr,
+                 "--metrics-out/--trace-out require --simulate\n");
+    return Usage(argv[0]);
   }
 
   if (compare) {

@@ -13,6 +13,11 @@
 //               [--update-interval 1000] [--window 4000]
 //   opus_replay --catalog files.csv --generate 20000 --users 8
 //               [--alpha 1.1] [--seed 42] [--save-trace trace.csv]
+//
+// --metrics-out FILE / --trace-out FILE additionally write the end-of-run
+// metrics registry snapshot and structured event trace (format from the
+// file extension: .json/.csv/anything else = text). Exports contain only
+// deterministic metrics and are byte-identical across reruns.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +36,8 @@
 #include "core/isolated.h"
 #include "core/maxmin.h"
 #include "core/opus.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "workload/preference_gen.h"
 #include "workload/trace_io.h"
@@ -66,7 +73,8 @@ int Usage(const char* argv0) {
       "usage: %s --catalog FILE (--trace FILE | --generate N --users N)\n"
       "          [--policy NAME] [--cache-mb MB] [--workers W]\n"
       "          [--alpha A] [--seed S] [--save-trace FILE]\n"
-      "          [--update-interval K] [--window W]\n",
+      "          [--update-interval K] [--window W]\n"
+      "          [--metrics-out FILE] [--trace-out FILE]\n",
       argv0);
   return 2;
 }
@@ -75,6 +83,7 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string catalog_path, trace_path, save_trace_path, policy = "opus";
+  std::string metrics_out, trace_out;
   std::size_t generate = 0, users = 0, workers = 5;
   std::size_t update_interval = 1000, window = 4000;
   double cache_mb = 1024.0, alpha = 1.1;
@@ -110,6 +119,10 @@ int main(int argc, char** argv) {
       update_interval = std::strtoull(v, nullptr, 10);
     } else if (arg == "--window" && (v = next())) {
       window = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-out" && (v = next())) {
+      metrics_out = v;
+    } else if (arg == "--trace-out" && (v = next())) {
+      trace_out = v;
     } else {
       std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -239,5 +252,23 @@ int main(int argc, char** argv) {
   hist.Add(result.latency_p99_sec, 5);
   std::puts("latency sketch (seconds; mass at p50/p95/p99):");
   std::fputs(hist.Render(30).c_str(), stdout);
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << result.metrics.Export(obs::FormatForPath(metrics_out));
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << obs::ExportEvents(result.trace_events,
+                             obs::FormatForPath(trace_out));
+  }
   return 0;
 }
