@@ -50,10 +50,11 @@ TierOutcome Run(std::uint64_t ssd_bytes) {
   cfg.memory_capacity_bytes = 2048 * kMiB;  // 20 datasets
   cfg.ssd_capacity_bytes = ssd_bytes;
   cache::TieredStore store(cfg);
-  // Per-sweep registry (one per task, so the parallel sweep stays
+  // Per-sweep ScenarioObs (one per task, so the parallel sweep stays
   // deterministic); read back through the same counters the simulator uses.
-  obs::MetricsRegistry metrics;
-  store.AttachObservability(&metrics, nullptr);
+  // Spans are attached too so each sweep carries its own tier.* span tree.
+  ScenarioObs obs;
+  store.AttachObservability(&obs.metrics, &obs.trace, &obs.spans);
 
   const ZipfDistribution zipf(kFiles, 1.1);
   Rng rng(20180705);
@@ -82,8 +83,8 @@ TierOutcome Run(std::uint64_t ssd_bytes) {
   out.ssd_rate = static_cast<double>(ssd) / kAccesses;
   out.miss_rate = static_cast<double>(miss) / kAccesses;
   out.mean_latency_ms = 1e3 * latency / kAccesses;
-  out.demotions = metrics.counter("tier.demotions").value();
-  out.promotions = metrics.counter("tier.promotions").value();
+  out.demotions = obs.metrics.counter("tier.demotions").value();
+  out.promotions = obs.metrics.counter("tier.promotions").value();
   return out;
 }
 

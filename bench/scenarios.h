@@ -12,10 +12,29 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/types.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "workload/paper_examples.h"
 #include "workload/preference_gen.h"
 
 namespace opus::bench {
+
+// Per-scenario observability bundle: a fresh MetricsRegistry, EventTrace
+// and SpanTrace, drop counters pre-wired. Registry hygiene rule for the
+// benches: never share one registry across scenarios or parallel sweep
+// tasks — counters from different sweeps would interleave (nondeterministic
+// under ParallelOver) and carry over between scenarios. One ScenarioObs per
+// task keeps every readback and export byte-identical to a serial run.
+struct ScenarioObs {
+  ScenarioObs() {
+    trace.AttachDropCounter(&metrics.counter("obs.trace.dropped"));
+    spans.AttachDropCounter(&metrics.counter("obs.spans.dropped"));
+  }
+  obs::MetricsRegistry metrics;
+  obs::EventTrace trace;
+  obs::SpanTrace spans;
+};
 
 // Worker parallelism for the bench drivers: OPUS_BENCH_THREADS=N overrides
 // (N=1 forces the serial path), otherwise every hardware thread.

@@ -19,7 +19,9 @@ std::vector<double> LatencyBounds() {
 
 CacheCluster::CacheCluster(ClusterConfig config, Catalog catalog)
     : config_(config), catalog_(std::move(catalog)),
-      under_store_(config.under_store) {
+      under_store_(config.under_store),
+      spans_(obs::SpanTraceConfig{config.span_sample_every,
+                                  config.span_capacity}) {
   OPUS_CHECK_GT(config_.num_workers, 0u);
   OPUS_CHECK_GT(config_.num_users, 0u);
   const std::uint64_t per_worker =
@@ -41,6 +43,11 @@ CacheCluster::CacheCluster(ClusterConfig config, Catalog catalog)
 
 void CacheCluster::InitObservability() {
   under_store_.AttachMetrics(&metrics_);
+  under_store_.AttachSpans(&spans_);
+  // Bounded-buffer data loss must be visible in the metric export, not
+  // only on the trace objects.
+  trace_.AttachDropCounter(&metrics_.counter("obs.trace.dropped"));
+  spans_.AttachDropCounter(&metrics_.counter("obs.spans.dropped"));
   read_latency_hist_ =
       &metrics_.histogram("cluster.read.latency_sec", LatencyBounds());
   worker_counters_.resize(workers_.size());
@@ -146,31 +153,41 @@ double CacheCluster::MemoryLatency(std::uint64_t bytes) const {
 ReadResult CacheCluster::Read(UserId user, FileId file) {
   OPUS_CHECK_LT(user, config_.num_users);
   const FileInfo& info = catalog_.Get(file);
+  obs::ScopedSpan span(&spans_, "cluster.read");
+  span.AddAttr("user", std::to_string(user));
+  span.AddAttr("file", std::to_string(file));
 
   ReadResult r;
   r.bytes_total = info.size_bytes;
 
-  for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
-    const BlockId block = MakeBlockId(file, idx);
-    const std::uint64_t bytes = info.BlockBytes(idx);
-    Worker& worker = WorkerFor(block);
-    WorkerCounters& wc = worker_counters_[worker.id()];
-    if (worker_alive_[worker.id()] && worker.store().Access(block)) {
-      r.bytes_from_memory += bytes;
-      wc.mem_hits->Increment();
-      wc.mem_hit_bytes->Increment(bytes);
-    } else {
-      r.bytes_from_disk += bytes;
-      wc.misses->Increment();
-      wc.miss_bytes->Increment(bytes);
-      if (!managed_ && worker_alive_[worker.id()]) {
-        // Cache-on-read: pull the block in, evicting per policy.
-        worker.store().Insert(block, bytes);
+  {
+    obs::ScopedSpan probe(&spans_, "cluster.probe");
+    for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+      const BlockId block = MakeBlockId(file, idx);
+      const std::uint64_t bytes = info.BlockBytes(idx);
+      Worker& worker = WorkerFor(block);
+      WorkerCounters& wc = worker_counters_[worker.id()];
+      if (worker_alive_[worker.id()] && worker.store().Access(block)) {
+        r.bytes_from_memory += bytes;
+        wc.mem_hits->Increment();
+        wc.mem_hit_bytes->Increment(bytes);
+      } else {
+        r.bytes_from_disk += bytes;
+        wc.misses->Increment();
+        wc.miss_bytes->Increment(bytes);
+        if (!managed_ && worker_alive_[worker.id()]) {
+          // Cache-on-read: pull the block in, evicting per policy.
+          worker.store().Insert(block, bytes);
+        }
       }
     }
+    probe.AddAttr("blocks", std::to_string(info.num_blocks));
+    probe.AddAttr("mem_bytes", std::to_string(r.bytes_from_memory));
+    probe.AddAttr("disk_bytes", std::to_string(r.bytes_from_disk));
   }
   r.latency_sec = MemoryLatency(r.bytes_from_memory);
   if (r.bytes_from_disk > 0) {
+    // UnderStore::Read opens its own "under.read" child span.
     r.latency_sec += under_store_.Read(r.bytes_from_disk);
   }
   r.memory_fraction = info.size_bytes == 0
@@ -188,16 +205,22 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
   r.blocking_probability = 1.0 - unblocked;
   UserCounters& uc = user_counters_[user];
   if (r.blocking_probability > 0.0 && r.bytes_from_memory > 0) {
+    obs::ScopedSpan blocking(&spans_, "cluster.blocking_delay");
     const double delay = under_store_.BlockingDelay(r.bytes_from_memory,
                                                     r.blocking_probability);
     r.latency_sec += delay;
     uc.blocking_delay_sec->Observe(delay);
+    blocking.AddAttr("probability",
+                     obs::FormatDouble(r.blocking_probability));
+    blocking.AddAttr("delay_sec", obs::FormatDouble(delay));
   }
   r.effective_hit = r.memory_fraction * unblocked;
   uc.reads->Increment();
   uc.mem_bytes->Increment(r.bytes_from_memory);
   uc.disk_bytes->Increment(r.bytes_from_disk);
   read_latency_hist_->Observe(r.latency_sec);
+  span.AddAttr("bytes", std::to_string(r.bytes_total));
+  span.AddAttr("latency_sec", obs::FormatDouble(r.latency_sec));
   return r;
 }
 
@@ -224,8 +247,10 @@ void CacheCluster::ApplyUpdateToWorker(WorkerId worker,
 
 void CacheCluster::ApplyAllocation(const std::vector<double>& file_fractions) {
   OPUS_CHECK_EQ(file_fractions.size(), catalog_.size());
+  obs::ScopedSpan span(&spans_, "cluster.apply_allocation");
   managed_ = true;
   ++epoch_;
+  span.AddAttr("epoch", std::to_string(epoch_));
 
   // Desired block set: the prefix of each file covering the allocated
   // fraction (rounded to nearest block).

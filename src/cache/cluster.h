@@ -30,6 +30,7 @@
 #include "common/matrix.h"
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 
 namespace opus::cache {
 
@@ -43,6 +44,10 @@ struct ClusterConfig {
   UnderStoreConfig under_store;
   double memory_bandwidth_bytes_per_sec = 5e9;  // in-memory read throughput
   std::uint32_t num_users = 1;
+  // Span tracer: keep every span_sample_every-th root span per root name
+  // (0 disables tracing entirely) up to span_capacity retained spans.
+  std::uint64_t span_sample_every = 1;
+  std::size_t span_capacity = 1 << 16;
 };
 
 struct ReadResult {
@@ -125,6 +130,12 @@ class CacheCluster {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::EventTrace& trace() { return trace_; }
   const obs::EventTrace& trace() const { return trace_; }
+  // Causal span trace: one root span per Read/ApplyAllocation with child
+  // spans for tier probes, under-store reads, and blocking-delay injection.
+  // Control-plane callers (sim::OpusMaster) open their own spans on the
+  // same trace so reallocation work parents the cluster's spans.
+  obs::SpanTrace& spans() { return spans_; }
+  const obs::SpanTrace& spans() const { return spans_; }
 
  private:
   // Pre-resolved metric handles (hot-path instrumentation must not pay a
@@ -160,6 +171,7 @@ class CacheCluster {
   UnderStore under_store_;
   obs::MetricsRegistry metrics_;
   obs::EventTrace trace_;
+  obs::SpanTrace spans_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<bool> worker_alive_;
   std::vector<WorkerCounters> worker_counters_;

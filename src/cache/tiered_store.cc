@@ -9,9 +9,27 @@ TieredStore::TieredStore(TieredStoreConfig config)
       mem_policy_(MakeEvictionPolicy(config.eviction_policy)),
       ssd_policy_(MakeEvictionPolicy(config.eviction_policy)) {}
 
+namespace {
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kMemory:
+      return "memory";
+    case Tier::kSsd:
+      return "ssd";
+    case Tier::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+}  // namespace
+
 void TieredStore::AttachObservability(obs::MetricsRegistry* registry,
-                                      obs::EventTrace* trace) {
+                                      obs::EventTrace* trace,
+                                      obs::SpanTrace* spans) {
   trace_ = trace;
+  spans_ = spans;
   if (registry != nullptr) {
     demotions_counter_ = &registry->counter("tier.demotions");
     promotions_counter_ = &registry->counter("tier.promotions");
@@ -37,7 +55,13 @@ void TieredStore::CheckCapacityInvariant() const {
 
 bool TieredStore::Insert(BlockId block, std::uint64_t bytes) {
   OPUS_CHECK_GT(bytes, 0u);
-  if (mem_blocks_.count(block) != 0) return true;
+  obs::ScopedSpan span(spans_, "tier.insert");
+  span.AddAttr("block", std::to_string(block));
+  span.AddAttr("bytes", std::to_string(bytes));
+  if (mem_blocks_.count(block) != 0) {
+    span.AddAttr("outcome", "already_in_memory");
+    return true;
+  }
   if (ssd_blocks_.count(block) != 0) {
     // A load wants the block on the fast tier; SSD residency is not
     // success. Try promoting (the managed pin path relies on this — a
@@ -45,14 +69,22 @@ bool TieredStore::Insert(BlockId block, std::uint64_t bytes) {
     // it at SSD speed forever).
     const bool promoted = PromoteToMemory(block);
     CheckCapacityInvariant();
+    span.AddAttr("outcome", promoted ? "promoted" : "promotion_failed");
     return promoted;
   }
-  if (bytes > config_.memory_capacity_bytes) return false;
-  if (!MakeMemoryRoom(bytes)) return false;
+  if (bytes > config_.memory_capacity_bytes) {
+    span.AddAttr("outcome", "too_large");
+    return false;
+  }
+  if (!MakeMemoryRoom(bytes)) {
+    span.AddAttr("outcome", "no_room");
+    return false;
+  }
   mem_blocks_[block] = bytes;
   mem_used_ += bytes;
   mem_policy_->OnInsert(block);
   CheckCapacityInvariant();
+  span.AddAttr("outcome", "inserted");
   return true;
 }
 
@@ -70,6 +102,9 @@ void TieredStore::DemoteOne() {
   const auto it = mem_blocks_.find(*victim);
   OPUS_CHECK(it != mem_blocks_.end());
   const std::uint64_t bytes = it->second;
+  obs::ScopedSpan span(spans_, "tier.demote");
+  span.AddAttr("block", std::to_string(*victim));
+  span.AddAttr("bytes", std::to_string(bytes));
   mem_used_ -= bytes;
   mem_blocks_.erase(it);
   mem_policy_->OnRemove(*victim);
@@ -83,10 +118,12 @@ void TieredStore::DemoteOne() {
     ssd_used_ += bytes;
     ssd_policy_->OnInsert(*victim);
     EmitEvent("tier.block_demoted", *victim, bytes);
+    span.AddAttr("outcome", "demoted_to_ssd");
   } else {
     ++stats_.ssd_evictions;
     if (ssd_evictions_counter_ != nullptr) ssd_evictions_counter_->Increment();
     EmitEvent("tier.block_evicted", *victim, bytes);
+    span.AddAttr("outcome", "evicted");
   }
 }
 
@@ -108,18 +145,23 @@ bool TieredStore::MakeSsdRoom(std::uint64_t bytes) {
 }
 
 Tier TieredStore::Access(BlockId block) {
+  obs::ScopedSpan span(spans_, "tier.access");
+  span.AddAttr("block", std::to_string(block));
   if (mem_blocks_.count(block) != 0) {
     mem_policy_->OnAccess(block);
+    span.AddAttr("tier", TierName(Tier::kMemory));
     return Tier::kMemory;
   }
   if (ssd_blocks_.count(block) != 0) {
     ssd_policy_->OnAccess(block);
+    span.AddAttr("tier", TierName(Tier::kSsd));
     if (config_.promote_on_access) {
       PromoteToMemory(block);
       CheckCapacityInvariant();
     }
     return Tier::kSsd;
   }
+  span.AddAttr("tier", TierName(Tier::kNone));
   return Tier::kNone;
 }
 
@@ -127,7 +169,13 @@ bool TieredStore::PromoteToMemory(BlockId block) {
   const auto it = ssd_blocks_.find(block);
   if (it == ssd_blocks_.end()) return false;
   const std::uint64_t bytes = it->second;
-  if (bytes > config_.memory_capacity_bytes) return false;
+  obs::ScopedSpan span(spans_, "tier.promote");
+  span.AddAttr("block", std::to_string(block));
+  span.AddAttr("bytes", std::to_string(bytes));
+  if (bytes > config_.memory_capacity_bytes) {
+    span.AddAttr("outcome", "too_large");
+    return false;
+  }
   // Remove from SSD first so a demotion cascade cannot collide with it.
   ssd_used_ -= bytes;
   ssd_blocks_.erase(it);
@@ -149,6 +197,7 @@ bool TieredStore::PromoteToMemory(BlockId block) {
       EmitEvent("tier.block_evicted", block, bytes);
     }
     CheckCapacityInvariant();
+    span.AddAttr("outcome", "no_room");
     return false;
   }
   mem_blocks_[block] = bytes;
@@ -158,6 +207,7 @@ bool TieredStore::PromoteToMemory(BlockId block) {
   if (promotions_counter_ != nullptr) promotions_counter_->Increment();
   EmitEvent("tier.block_promoted", block, bytes);
   CheckCapacityInvariant();
+  span.AddAttr("outcome", "promoted");
   return true;
 }
 

@@ -21,6 +21,7 @@
 #include "cache/types.h"
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 
 namespace opus::cache {
 
@@ -74,10 +75,13 @@ class TieredStore {
 
   // Mirrors tier movements into a registry ("tier.demotions",
   // "tier.promotions", "tier.ssd_evictions") and emits per-block
-  // demote/promote/evict events. Either pointer may be null; both must
-  // outlive the store.
+  // demote/promote/evict events. With `spans`, every Access/Insert opens a
+  // "tier.access"/"tier.insert" span whose children ("tier.promote",
+  // "tier.demote") expose promotion attempts and the demotion cascades
+  // they trigger. Any pointer may be null; all must outlive the store.
   void AttachObservability(obs::MetricsRegistry* registry,
-                           obs::EventTrace* trace);
+                           obs::EventTrace* trace,
+                           obs::SpanTrace* spans = nullptr);
 
  private:
   // Makes room for `bytes` in memory by demoting unpinned victims; false
@@ -102,6 +106,7 @@ class TieredStore {
   std::uint64_t ssd_used_ = 0;
   TieredStats stats_;
   obs::EventTrace* trace_ = nullptr;             // borrowed, optional
+  obs::SpanTrace* spans_ = nullptr;              // borrowed, optional
   obs::Counter* demotions_counter_ = nullptr;    // borrowed, optional
   obs::Counter* promotions_counter_ = nullptr;   // borrowed, optional
   obs::Counter* ssd_evictions_counter_ = nullptr;  // borrowed, optional

@@ -11,19 +11,25 @@ double UnderStore::ReadLatency(std::uint64_t bytes) const {
 }
 
 double UnderStore::Read(std::uint64_t bytes) {
+  obs::ScopedSpan span(spans_, "under.read");
   bytes_read_ += bytes;
   ++reads_;
   if (reads_counter_ != nullptr) {
     reads_counter_->Increment();
     read_bytes_counter_->Increment(bytes);
   }
-  return ReadLatency(bytes);
+  const double latency = ReadLatency(bytes);
+  span.AddAttr("bytes", std::to_string(bytes));
+  span.AddAttr("latency_sec", obs::FormatDouble(latency));
+  return latency;
 }
 
 void UnderStore::AttachMetrics(obs::MetricsRegistry* registry) {
   reads_counter_ = &registry->counter("under.reads");
   read_bytes_counter_ = &registry->counter("under.bytes_read");
 }
+
+void UnderStore::AttachSpans(obs::SpanTrace* spans) { spans_ = spans; }
 
 double UnderStore::BlockingDelay(std::uint64_t bytes,
                                  double block_probability) const {

@@ -11,6 +11,7 @@
 
 #include "cache/types.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 
 namespace opus::cache {
 
@@ -42,12 +43,18 @@ class UnderStore {
   // "under.bytes_read"). The registry must outlive the store.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
+  // Opens an "under.read" span (bytes + latency attrs) around every Read(),
+  // parented under whatever span the caller has open. The trace must
+  // outlive the store; nullptr detaches.
+  void AttachSpans(obs::SpanTrace* spans);
+
  private:
   UnderStoreConfig config_;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t reads_ = 0;
   obs::Counter* reads_counter_ = nullptr;       // borrowed, optional
   obs::Counter* read_bytes_counter_ = nullptr;  // borrowed, optional
+  obs::SpanTrace* spans_ = nullptr;             // borrowed, optional
 };
 
 }  // namespace opus::cache

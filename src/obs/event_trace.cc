@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/json.h"
 
 namespace opus::obs {
 
@@ -21,6 +22,14 @@ void EventTrace::Emit(
   if (events_.size() > capacity_) {
     events_.pop_front();
     ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Increment();
+  }
+}
+
+void EventTrace::AttachDropCounter(Counter* counter) {
+  drop_counter_ = counter;
+  if (drop_counter_ != nullptr && dropped_ > drop_counter_->value()) {
+    drop_counter_->Increment(dropped_ - drop_counter_->value());
   }
 }
 
@@ -42,12 +51,15 @@ std::string EventsToCsv(const std::vector<TraceEvent>& events) {
   std::ostringstream out;
   out << "seq,kind,fields\n";
   for (const auto& e : events) {
-    out << e.seq << ',' << e.kind << ',';
+    out << e.seq << ',' << CsvEscape(e.kind) << ',';
+    std::string fields;
     for (std::size_t k = 0; k < e.fields.size(); ++k) {
-      if (k > 0) out << ' ';
-      out << e.fields[k].first << '=' << e.fields[k].second;
+      if (k > 0) fields += ' ';
+      fields += e.fields[k].first;
+      fields += '=';
+      fields += e.fields[k].second;
     }
-    out << '\n';
+    out << CsvEscape(fields) << '\n';
   }
   return out.str();
 }
@@ -57,9 +69,10 @@ std::string EventsToJson(const std::vector<TraceEvent>& events) {
   out << "[\n";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const auto& e = events[i];
-    out << "  {\"seq\": " << e.seq << ", \"kind\": \"" << e.kind << "\"";
+    out << "  {\"seq\": " << e.seq << ", \"kind\": \"" << JsonEscape(e.kind)
+        << "\"";
     for (const auto& [k, v] : e.fields) {
-      out << ", \"" << k << "\": \"" << v << "\"";
+      out << ", \"" << JsonEscape(k) << "\": \"" << JsonEscape(v) << "\"";
     }
     out << "}" << (i + 1 < events.size() ? "," : "") << '\n';
   }

@@ -25,7 +25,7 @@ struct TraceEvent {
   std::uint64_t seq = 0;  // logical clock: 0-based emission index
   std::string kind;       // dot-separated, e.g. "cluster.worker.failed"
   // Ordered key=value pairs; keys follow the metric-name convention,
-  // values are free-form (no newlines or commas).
+  // values are free-form (the CSV/JSON exporters escape them).
   std::vector<std::pair<std::string, std::string>> fields;
 };
 
@@ -44,6 +44,12 @@ class EventTrace {
   void Emit(std::string kind,
             std::vector<std::pair<std::string, std::string>> fields = {});
 
+  // Mirrors ring drops into a registry counter (e.g. "obs.trace.dropped")
+  // so bounded-buffer data loss is visible in the metric export, not only
+  // on the trace object itself. Catches up on drops that happened before
+  // attachment; the counter must outlive this trace.
+  void AttachDropCounter(Counter* counter);
+
   // Retained events, oldest first.
   const std::deque<TraceEvent>& events() const { return events_; }
   // Copy of the retained events (the exportable snapshot).
@@ -58,6 +64,7 @@ class EventTrace {
   std::deque<TraceEvent> events_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace opus::obs

@@ -1,0 +1,354 @@
+#include "obs/fairness_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/axioms.h"
+#include "core/utility.h"
+#include "obs/json.h"
+
+namespace opus::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Break-even tax T-bar_i = log(U_i(a*) / U-bar_i); +inf when the isolated
+// baseline is zero (such a user can never be taxed past break-even).
+double BreakEvenTax(double pf_utility, double isolated_utility) {
+  if (isolated_utility <= 0.0) return kInf;
+  if (pf_utility <= 0.0) return 0.0;
+  return std::log(pf_utility / isolated_utility);
+}
+
+}  // namespace
+
+FairnessAuditor::FairnessAuditor(FairnessAuditConfig config)
+    : config_(config) {}
+
+void FairnessAuditor::Attach(MetricsRegistry* registry, EventTrace* trace) {
+  registry_ = registry;
+  trace_ = trace;
+  if (registry_ != nullptr) {
+    // Pre-register so the counters appear (as zero) in every export even
+    // when no window was ever audited.
+    registry_->counter("audit.windows");
+    registry_->counter("audit.violations");
+  }
+}
+
+const WindowAudit& FairnessAuditor::AuditWindow(std::uint64_t window,
+                                                const CachingProblem& problem,
+                                                const AllocationResult& result,
+                                                const OpusDiagnostics* diag) {
+  WindowAudit audit;
+  audit.window = window;
+  audit.policy = result.policy;
+  audit.shared = result.shared;
+  // Only policies that claim the isolation guarantee are checked; anything
+  // else (fairride, max-min, global, ...) records an unaudited window.
+  audit.audited = result.policy == "opus" || result.policy == "isolated";
+
+  const std::size_t n = problem.num_users();
+  if (audit.audited && n > 0) {
+    const double utol = config_.utility_tolerance;
+    const std::vector<double> isolated = IsolatedUtilities(problem);
+    // Realized utilities under the *applied* access matrix — this is what
+    // users actually experienced, taxes and blocking included.
+    const std::vector<double> realized =
+        EvaluateUtilities(result, problem.preferences);
+
+    audit.users.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      UserWindowAudit& u = audit.users[i];
+      u.user = i;
+      u.isolated_utility = isolated[i];
+      u.net_utility = realized[i];
+      u.tax = i < result.taxes.size() ? result.taxes[i] : 0.0;
+      u.blocking = i < result.blocking.size() ? result.blocking[i] : 0.0;
+      if (result.shared) {
+        // U_i(a*) is recomputable from the shared allocation vector.
+        u.pf_utility =
+            FullAccessUtility(problem.preferences.row(i), result.file_alloc);
+      } else if (diag != nullptr && i < diag->pf_utilities.size()) {
+        // Fallback window: the PF attempt lives only in the diagnostics.
+        u.pf_utility = diag->pf_utilities[i];
+      } else {
+        u.pf_utility = 0.0;
+      }
+      u.break_even_tax = BreakEvenTax(u.pf_utility, u.isolated_utility);
+
+      // Isolation: realized utility must cover the isolated baseline.
+      if (u.net_utility < u.isolated_utility - utol) {
+        AuditViolation v;
+        v.window = window;
+        v.check = "isolation";
+        v.user = i;
+        v.magnitude = u.isolated_utility - u.net_utility;
+        std::ostringstream detail;
+        detail << "net utility " << FormatDouble(u.net_utility)
+               << " below isolated baseline "
+               << FormatDouble(u.isolated_utility);
+        v.detail = detail.str();
+        audit.violations.push_back(std::move(v));
+      }
+
+      // Break-even (kept-sharing half): sharing retained while user i's
+      // mechanism-level net exp(-T_i) U_i(a*) is below its baseline means
+      // the Stage-2 gate failed to fire.
+      if (result.shared) {
+        const double mechanism_net = std::exp(-u.tax) * u.pf_utility;
+        if (mechanism_net < u.isolated_utility - utol) {
+          AuditViolation v;
+          v.window = window;
+          v.check = "break_even";
+          v.user = i;
+          v.magnitude = u.isolated_utility - mechanism_net;
+          std::ostringstream detail;
+          detail << "sharing kept with tax " << FormatDouble(u.tax)
+                 << " past break-even " << FormatDouble(u.break_even_tax);
+          v.detail = detail.str();
+          audit.violations.push_back(std::move(v));
+        }
+      }
+    }
+
+    // Break-even (fallback half): a window that reduced to isolation must
+    // have had at least one user past break-even in the sharing attempt.
+    // Needs the stage-1 diagnostics; without them this half is skipped.
+    if (!result.shared && result.policy == "opus" && diag != nullptr &&
+        diag->net_utilities.size() == n) {
+      bool justified = false;
+      std::size_t closest = 0;
+      double worst_margin = kInf;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double margin = diag->net_utilities[i] - isolated[i];
+        if (margin < -utol) justified = true;
+        if (margin < worst_margin) {
+          worst_margin = margin;
+          closest = i;
+        }
+      }
+      if (!justified) {
+        AuditViolation v;
+        v.window = window;
+        v.check = "break_even";
+        v.user = closest;
+        v.magnitude = worst_margin;
+        std::ostringstream detail;
+        detail << "fell back to isolation but no user was past break-even "
+                  "(tightest margin "
+               << FormatDouble(worst_margin) << ")";
+        v.detail = detail.str();
+        audit.violations.push_back(std::move(v));
+      }
+    }
+
+    // Envy-freeness up to normalization: undo each user's blocking factor
+    // so rows are comparable, then measure pairwise envy.
+    if (config_.check_envy && n > 1) {
+      AllocationResult normalized = result;
+      for (std::size_t i = 0; i < normalized.access.rows(); ++i) {
+        const double f = i < result.blocking.size() ? result.blocking[i] : 0.0;
+        if (f > 0.0 && f < 1.0) {
+          for (std::size_t j = 0; j < normalized.access.cols(); ++j) {
+            normalized.access(i, j) /= 1.0 - f;
+          }
+        }
+      }
+      const Matrix envy = EnvyMatrix(problem, normalized);
+      for (std::size_t i = 0; i < envy.rows(); ++i) {
+        double worst = 0.0;
+        for (std::size_t k = 0; k < envy.cols(); ++k) {
+          worst = std::max(worst, envy(i, k));
+        }
+        audit.max_normalized_envy =
+            std::max(audit.max_normalized_envy, worst);
+        if (worst > config_.envy_tolerance) {
+          AuditViolation v;
+          v.window = window;
+          v.check = "envy";
+          v.user = i;
+          v.magnitude = worst;
+          std::ostringstream detail;
+          detail << "normalized envy " << FormatDouble(worst)
+                 << " exceeds tolerance";
+          v.detail = detail.str();
+          audit.violations.push_back(std::move(v));
+        }
+      }
+    }
+  }
+
+  if (registry_ != nullptr) {
+    registry_->counter("audit.windows").Increment();
+    registry_->counter("audit.violations")
+        .Increment(audit.violations.size());
+  }
+  if (trace_ != nullptr) {
+    for (const AuditViolation& v : audit.violations) {
+      trace_->Emit("audit.violation",
+                   {{"window", std::to_string(v.window)},
+                    {"check", v.check},
+                    {"user", std::to_string(v.user)},
+                    {"magnitude", FormatDouble(v.magnitude)},
+                    {"detail", v.detail}});
+    }
+  }
+
+  report_.total_violations += audit.violations.size();
+  report_.windows.push_back(std::move(audit));
+  return report_.windows.back();
+}
+
+std::string AuditReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"total_violations\": " << total_violations << ",\n\"windows\": [\n";
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const WindowAudit& a = windows[w];
+    out << "{\"window\": " << a.window << ", \"policy\": \""
+        << JsonEscape(a.policy) << "\", \"shared\": "
+        << (a.shared ? "true" : "false")
+        << ", \"audited\": " << (a.audited ? "true" : "false")
+        << ", \"max_normalized_envy\": " << JsonNumber(a.max_normalized_envy)
+        << ",\n \"users\": [";
+    for (std::size_t i = 0; i < a.users.size(); ++i) {
+      const UserWindowAudit& u = a.users[i];
+      out << (i ? ",\n  " : "\n  ") << "{\"user\": " << u.user
+          << ", \"pf_utility\": " << JsonNumber(u.pf_utility)
+          << ", \"isolated_utility\": " << JsonNumber(u.isolated_utility)
+          << ", \"tax\": " << JsonNumber(u.tax)
+          << ", \"break_even_tax\": " << JsonNumber(u.break_even_tax)
+          << ", \"net_utility\": " << JsonNumber(u.net_utility)
+          << ", \"blocking\": " << JsonNumber(u.blocking) << "}";
+    }
+    out << (a.users.empty() ? "]" : "\n ]") << ",\n \"violations\": [";
+    for (std::size_t i = 0; i < a.violations.size(); ++i) {
+      const AuditViolation& v = a.violations[i];
+      out << (i ? ",\n  " : "\n  ") << "{\"window\": " << v.window
+          << ", \"check\": \"" << JsonEscape(v.check)
+          << "\", \"user\": " << v.user
+          << ", \"magnitude\": " << JsonNumber(v.magnitude)
+          << ", \"detail\": \"" << JsonEscape(v.detail) << "\"}";
+    }
+    out << (a.violations.empty() ? "]}" : "\n ]}")
+        << (w + 1 < windows.size() ? "," : "") << '\n';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string AuditReport::ToText() const {
+  std::ostringstream out;
+  std::uint64_t audited = 0;
+  for (const WindowAudit& a : windows) {
+    if (a.audited) ++audited;
+  }
+  out << "audit: " << windows.size() << " windows (" << audited
+      << " audited), " << total_violations << " violation"
+      << (total_violations == 1 ? "" : "s") << '\n';
+  for (const WindowAudit& a : windows) {
+    out << "window " << a.window << " policy=" << a.policy
+        << " shared=" << (a.shared ? "yes" : "no");
+    if (!a.audited) {
+      out << " (not audited)\n";
+      continue;
+    }
+    out << " max_norm_envy=" << FormatDouble(a.max_normalized_envy) << '\n';
+    for (const UserWindowAudit& u : a.users) {
+      out << "  user " << u.user << ": U*=" << FormatDouble(u.pf_utility)
+          << " Ubar=" << FormatDouble(u.isolated_utility)
+          << " T=" << FormatDouble(u.tax)
+          << " Tbar=" << FormatDouble(u.break_even_tax)
+          << " net=" << FormatDouble(u.net_utility)
+          << " f=" << FormatDouble(u.blocking) << '\n';
+    }
+    for (const AuditViolation& v : a.violations) {
+      out << "  VIOLATION [" << v.check << "] user " << v.user
+          << " magnitude=" << FormatDouble(v.magnitude) << ": " << v.detail
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+// Numeric fields written through JsonNumber: plain number or quoted
+// "inf"/"-inf"/"nan".
+double AuditNumber(const JsonValue* v, double fallback) {
+  if (v == nullptr) return fallback;
+  if (v->is_number()) return v->number;
+  if (v->is_string()) {
+    if (v->text == "inf") return kInf;
+    if (v->text == "-inf") return -kInf;
+    if (v->text == "nan") return std::numeric_limits<double>::quiet_NaN();
+  }
+  return fallback;
+}
+
+}  // namespace
+
+bool ParseAuditJson(const std::string& text, AuditReport* out) {
+  *out = AuditReport();
+  const auto doc = ParseJson(text);
+  if (!doc || !doc->is_object()) return false;
+  const JsonValue* total = doc->Find("total_violations");
+  const JsonValue* windows = doc->Find("windows");
+  if (!total || !total->is_number() || !windows || !windows->is_array()) {
+    return false;
+  }
+  out->total_violations = total->UintOr(0);
+  for (const JsonValue& w : windows->items) {
+    if (!w.is_object()) return false;
+    WindowAudit a;
+    const JsonValue* window = w.Find("window");
+    if (!window || !window->is_number()) return false;
+    a.window = window->UintOr(0);
+    a.policy = w.Find("policy") ? w.Find("policy")->StringOr("") : "";
+    if (const JsonValue* shared = w.Find("shared")) {
+      a.shared = shared->bool_value;
+    }
+    if (const JsonValue* audited = w.Find("audited")) {
+      a.audited = audited->bool_value;
+    }
+    a.max_normalized_envy = AuditNumber(w.Find("max_normalized_envy"), 0.0);
+    if (const JsonValue* users = w.Find("users")) {
+      if (!users->is_array()) return false;
+      for (const JsonValue& uj : users->items) {
+        if (!uj.is_object()) return false;
+        UserWindowAudit u;
+        u.user = static_cast<std::size_t>(
+            uj.Find("user") ? uj.Find("user")->UintOr(0) : 0);
+        u.pf_utility = AuditNumber(uj.Find("pf_utility"), 0.0);
+        u.isolated_utility = AuditNumber(uj.Find("isolated_utility"), 0.0);
+        u.tax = AuditNumber(uj.Find("tax"), 0.0);
+        u.break_even_tax = AuditNumber(uj.Find("break_even_tax"), 0.0);
+        u.net_utility = AuditNumber(uj.Find("net_utility"), 0.0);
+        u.blocking = AuditNumber(uj.Find("blocking"), 0.0);
+        a.users.push_back(std::move(u));
+      }
+    }
+    if (const JsonValue* violations = w.Find("violations")) {
+      if (!violations->is_array()) return false;
+      for (const JsonValue& vj : violations->items) {
+        if (!vj.is_object()) return false;
+        AuditViolation v;
+        v.window = vj.Find("window") ? vj.Find("window")->UintOr(0) : 0;
+        v.check = vj.Find("check") ? vj.Find("check")->StringOr("") : "";
+        v.user = static_cast<std::size_t>(
+            vj.Find("user") ? vj.Find("user")->UintOr(0) : 0);
+        v.magnitude = AuditNumber(vj.Find("magnitude"), 0.0);
+        v.detail = vj.Find("detail") ? vj.Find("detail")->StringOr("") : "";
+        a.violations.push_back(std::move(v));
+      }
+    }
+    out->windows.push_back(std::move(a));
+  }
+  return true;
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,127 @@
+// Online fairness auditor — checks, every allocation window, that the
+// paper's headline guarantees actually held at runtime instead of only in
+// offline benches (paper Sec. IV, Algorithm 1):
+//
+//  - Isolation (Definition 1 / Theorem 2): each user's realized net
+//    utility exp(-T_i) * U_i(a*) — measured from the *applied* access
+//    matrix, so a bug that over-blocks a user is caught even when the
+//    mechanism's own arithmetic was right — must be at least its isolated
+//    baseline U-bar_i (minus a numerical tolerance).
+//  - Break-even coherence (Stage 2, PROVIDES_IG): sharing must be kept iff
+//    no user is taxed past its break-even tax
+//    T-bar_i = log(U_i(a*) / U-bar_i); a window that kept sharing with a
+//    user beyond break-even, or fell back to isolation when nobody was,
+//    is flagged.
+//  - Envy-freeness up to normalization: OpuS's asymmetric blocking makes
+//    raw access rows incomparable (a heavily-taxed user "envies" everyone
+//    by construction), so each user's access row is first rescaled by
+//    1/(1 - f_i) and pairwise envy is computed on the normalized matrix
+//    (core/axioms.h). Isolated windows have zero blocking, so this reduces
+//    to plain envy there.
+//
+// Only policies that claim the isolation guarantee ("opus", "isolated")
+// are audited; other policies (fairride, max-min, ...) pass through as
+// unaudited windows rather than producing vacuous violations.
+//
+// Violations are emitted as structured "audit.violation" trace events and
+// counted in the registry ("audit.windows", "audit.violations"); the full
+// per-window, per-user arithmetic is kept in a machine-readable AuditReport
+// (JSON round-trip) that opus_inspect pretty-prints and CI gates on.
+//
+// Determinism: everything is recomputed from the window's CachingProblem
+// and AllocationResult — no wall time — so reports are byte-identical
+// across reruns and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/opus.h"
+#include "core/types.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+
+namespace opus::obs {
+
+struct FairnessAuditConfig {
+  // Slack (in utility units) on the isolation and break-even checks;
+  // mirrors OpusOptions::ig_tolerance but defaults looser to absorb the
+  // solver residual of the leave-one-out tax solves.
+  double utility_tolerance = 1e-6;
+  // Slack on normalized pairwise envy.
+  double envy_tolerance = 1e-6;
+  bool check_envy = true;
+};
+
+// Per-user arithmetic of one audited window.
+struct UserWindowAudit {
+  std::size_t user = 0;
+  double pf_utility = 0.0;        // U_i(a*)
+  double isolated_utility = 0.0;  // U-bar_i
+  double tax = 0.0;               // applied T_i
+  double break_even_tax = 0.0;    // T-bar_i (+inf when U-bar_i = 0)
+  double net_utility = 0.0;       // realized utility under applied access
+  double blocking = 0.0;          // applied f_i
+};
+
+struct AuditViolation {
+  std::uint64_t window = 0;
+  std::string check;  // "isolation" | "break_even" | "envy"
+  std::size_t user = 0;
+  double magnitude = 0.0;  // how far past the bound, in the check's units
+  std::string detail;
+};
+
+struct WindowAudit {
+  std::uint64_t window = 0;
+  std::string policy;
+  bool shared = true;
+  bool audited = false;  // false for policies without an isolation claim
+  double max_normalized_envy = 0.0;
+  std::vector<UserWindowAudit> users;
+  std::vector<AuditViolation> violations;
+};
+
+struct AuditReport {
+  std::vector<WindowAudit> windows;
+  std::uint64_t total_violations = 0;
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+// Round-trip loader for AuditReport::ToJson (used by opus_inspect and the
+// CI gate). Returns false on malformed input.
+bool ParseAuditJson(const std::string& text, AuditReport* out);
+
+class FairnessAuditor {
+ public:
+  explicit FairnessAuditor(FairnessAuditConfig config = {});
+
+  // Optional: mirror audit activity into a registry ("audit.windows",
+  // "audit.violations" counters) and emit one "audit.violation" event per
+  // violation. Both may be nullptr; they must outlive the auditor.
+  void Attach(MetricsRegistry* registry, EventTrace* trace);
+
+  // Audits one allocation window. `diag` carries the mechanism's stage-1
+  // arithmetic when available (OpusAllocator::AllocateWithDiagnostics);
+  // without it, shared windows are reconstructed from the result (the PF
+  // utilities are recomputable from file_alloc) and the
+  // fallback-justification half of the break-even check is skipped.
+  const WindowAudit& AuditWindow(std::uint64_t window,
+                                 const CachingProblem& problem,
+                                 const AllocationResult& result,
+                                 const OpusDiagnostics* diag = nullptr);
+
+  const AuditReport& report() const { return report_; }
+  const FairnessAuditConfig& config() const { return config_; }
+
+ private:
+  FairnessAuditConfig config_;
+  AuditReport report_;
+  MetricsRegistry* registry_ = nullptr;
+  EventTrace* trace_ = nullptr;
+};
+
+}  // namespace opus::obs

@@ -1,0 +1,61 @@
+// Minimal JSON value tree + recursive-descent parser for the observability
+// exports (metric snapshots, event traces, Perfetto span files, audit
+// reports). This is a loader for files *we* wrote — it accepts standard
+// JSON, keeps object members in document order (our exporters are ordered,
+// and round-trip tests demand byte-identical re-serialization), and stores
+// numbers as both the parsed double and the raw source text so integer
+// values above 2^53 survive a round trip.
+//
+// Also home to the string-escaping helpers shared by every exporter
+// (JsonEscape for JSON string literals, CsvEscape for RFC-4180 CSV cells):
+// metric names are validated to [a-z0-9_.-], but event/span attribute
+// *values* are free-form and must not be able to corrupt an export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace opus::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes,
+// backslashes, and control characters; non-ASCII bytes pass through).
+std::string JsonEscape(const std::string& s);
+
+// Escapes `s` as one CSV cell: returned verbatim unless it contains a
+// comma, double quote, CR or LF, in which case it is quoted with internal
+// quotes doubled (RFC 4180).
+std::string CsvEscape(const std::string& s);
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string text;  // string value, or the raw source text of a number
+  std::vector<JsonValue> items;                            // array
+  std::vector<std::pair<std::string, JsonValue>> members;  // object, ordered
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // First member with `key`, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Convenience accessors with fallbacks for absent/mistyped values.
+  std::string StringOr(const std::string& fallback) const;
+  double NumberOr(double fallback) const;
+  std::uint64_t UintOr(std::uint64_t fallback) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage
+// rejected). Returns nullopt on malformed input — never aborts, so loaders
+// can surface clean errors for hand-edited files.
+std::optional<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace opus::obs

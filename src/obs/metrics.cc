@@ -1,10 +1,14 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/json.h"
 
 namespace opus::obs {
 
@@ -14,6 +18,12 @@ std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.12g", v);
   return buf;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isfinite(v)) return FormatDouble(v);
+  if (std::isnan(v)) return "\"nan\"";
+  return v > 0 ? "\"inf\"" : "\"-inf\"";
 }
 
 namespace {
@@ -146,16 +156,18 @@ std::string MetricsSnapshot::ToCsv() const {
   std::ostringstream out;
   out << "kind,name,field,value\n";
   for (const auto& c : counters) {
-    out << "counter," << c.name << ",value," << c.value << '\n';
+    out << "counter," << CsvEscape(c.name) << ",value," << c.value << '\n';
   }
   for (const auto& g : gauges) {
-    out << "gauge," << g.name << ",value," << FormatDouble(g.value) << '\n';
+    out << "gauge," << CsvEscape(g.name) << ",value," << FormatDouble(g.value)
+        << '\n';
   }
   for (const auto& h : histograms) {
-    out << "histogram," << h.name << ",count," << h.count << '\n';
-    out << "histogram," << h.name << ",sum," << FormatDouble(h.sum) << '\n';
+    const std::string name = CsvEscape(h.name);
+    out << "histogram," << name << ",count," << h.count << '\n';
+    out << "histogram," << name << ",sum," << FormatDouble(h.sum) << '\n';
     for (std::size_t k = 0; k < h.counts.size(); ++k) {
-      out << "histogram," << h.name << ",bucket_";
+      out << "histogram," << name << ",bucket_";
       if (k < h.bounds.size()) {
         out << "le" << FormatDouble(h.bounds[k]);
       } else {
@@ -171,23 +183,24 @@ std::string MetricsSnapshot::ToJson() const {
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i) {
-    out << (i ? ",\n    " : "\n    ") << '"' << counters[i].name
+    out << (i ? ",\n    " : "\n    ") << '"' << JsonEscape(counters[i].name)
         << "\": " << counters[i].value;
   }
   out << (counters.empty() ? "},\n" : "\n  },\n");
   out << "  \"gauges\": {";
   for (std::size_t i = 0; i < gauges.size(); ++i) {
-    out << (i ? ",\n    " : "\n    ") << '"' << gauges[i].name
-        << "\": " << FormatDouble(gauges[i].value);
+    out << (i ? ",\n    " : "\n    ") << '"' << JsonEscape(gauges[i].name)
+        << "\": " << JsonNumber(gauges[i].value);
   }
   out << (gauges.empty() ? "},\n" : "\n  },\n");
   out << "  \"histograms\": {";
   for (std::size_t i = 0; i < histograms.size(); ++i) {
     const auto& h = histograms[i];
-    out << (i ? ",\n    " : "\n    ") << '"' << h.name << "\": {\"count\": "
-        << h.count << ", \"sum\": " << FormatDouble(h.sum) << ", \"bounds\": [";
+    out << (i ? ",\n    " : "\n    ") << '"' << JsonEscape(h.name)
+        << "\": {\"count\": " << h.count
+        << ", \"sum\": " << JsonNumber(h.sum) << ", \"bounds\": [";
     for (std::size_t k = 0; k < h.bounds.size(); ++k) {
-      out << (k ? ", " : "") << FormatDouble(h.bounds[k]);
+      out << (k ? ", " : "") << JsonNumber(h.bounds[k]);
     }
     out << "], \"counts\": [";
     for (std::size_t k = 0; k < h.counts.size(); ++k) {
@@ -210,6 +223,263 @@ std::string MetricsSnapshot::Export(ExportFormat format) const {
       return ToJson();
   }
   return ToText();
+}
+
+namespace {
+
+std::uint64_t ClampedSub(std::uint64_t after, std::uint64_t before) {
+  return after > before ? after - before : 0;
+}
+
+}  // namespace
+
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+
+  std::map<std::string, std::uint64_t> prev_counters;
+  for (const auto& c : before.counters) prev_counters[c.name] = c.value;
+  delta.counters.reserve(after.counters.size());
+  for (const auto& c : after.counters) {
+    const auto it = prev_counters.find(c.name);
+    const std::uint64_t prev = it == prev_counters.end() ? 0 : it->second;
+    delta.counters.push_back({c.name, ClampedSub(c.value, prev)});
+  }
+
+  // Gauges are levels, not flows: the window's value is the value at its
+  // end, not a difference.
+  delta.gauges = after.gauges;
+
+  std::map<std::string, const HistogramSample*> prev_hists;
+  for (const auto& h : before.histograms) prev_hists[h.name] = &h;
+  delta.histograms.reserve(after.histograms.size());
+  for (const auto& h : after.histograms) {
+    HistogramSample d;
+    d.name = h.name;
+    d.bounds = h.bounds;
+    d.counts = h.counts;
+    d.count = h.count;
+    d.sum = h.sum;
+    const auto it = prev_hists.find(h.name);
+    if (it != prev_hists.end() && it->second->bounds == h.bounds) {
+      const HistogramSample& p = *it->second;
+      for (std::size_t k = 0; k < d.counts.size() && k < p.counts.size(); ++k) {
+        d.counts[k] = ClampedSub(d.counts[k], p.counts[k]);
+      }
+      d.count = ClampedSub(d.count, p.count);
+      d.sum -= p.sum;
+    }
+    delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+namespace {
+
+// Splits `s` on `sep`, keeping empty tokens.
+std::vector<std::string> SplitString(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseUint(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseDoubleText(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  if (s == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "nan") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+// Numeric JSON values that may have been rendered by JsonNumber(): either a
+// plain number or a quoted "inf"/"-inf"/"nan".
+bool NumberFromJson(const JsonValue& v, double* out) {
+  if (v.is_number()) {
+    *out = v.number;
+    return true;
+  }
+  if (v.is_string()) return ParseDoubleText(v.text, out);
+  return false;
+}
+
+}  // namespace
+
+bool ParseMetricsText(const std::string& text, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind, name;
+    if (!(ls >> kind >> name)) return false;
+    if (kind == "counter") {
+      std::string value;
+      if (!(ls >> value)) return false;
+      CounterSample c;
+      c.name = name;
+      if (!ParseUint(value, &c.value)) return false;
+      out->counters.push_back(std::move(c));
+    } else if (kind == "gauge") {
+      std::string value;
+      if (!(ls >> value)) return false;
+      GaugeSample g;
+      g.name = name;
+      if (!ParseDoubleText(value, &g.value)) return false;
+      out->gauges.push_back(std::move(g));
+    } else if (kind == "histogram") {
+      HistogramSample h;
+      h.name = name;
+      std::string token;
+      bool saw_buckets = false;
+      while (ls >> token) {
+        if (token.rfind("count=", 0) == 0) {
+          if (!ParseUint(token.substr(6), &h.count)) return false;
+        } else if (token.rfind("sum=", 0) == 0) {
+          if (!ParseDoubleText(token.substr(4), &h.sum)) return false;
+        } else if (token.rfind("buckets=", 0) == 0) {
+          saw_buckets = true;
+          for (const std::string& bucket :
+               SplitString(token.substr(8), ',')) {
+            const std::size_t colon = bucket.rfind(':');
+            if (colon == std::string::npos) return false;
+            const std::string bound = bucket.substr(0, colon);
+            std::uint64_t count = 0;
+            if (!ParseUint(bucket.substr(colon + 1), &count)) return false;
+            if (bound == "inf") {
+              // Implicit +inf bucket: counted but not a stored bound.
+            } else if (bound.rfind("le", 0) == 0) {
+              double b = 0.0;
+              if (!ParseDoubleText(bound.substr(2), &b)) return false;
+              h.bounds.push_back(b);
+            } else {
+              return false;
+            }
+            h.counts.push_back(count);
+          }
+        } else {
+          return false;
+        }
+      }
+      if (!saw_buckets || h.counts.size() != h.bounds.size() + 1) return false;
+      out->histograms.push_back(std::move(h));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseMetricsJson(const std::string& text, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  const auto doc = ParseJson(text);
+  if (!doc || !doc->is_object()) return false;
+
+  const JsonValue* counters = doc->Find("counters");
+  const JsonValue* gauges = doc->Find("gauges");
+  const JsonValue* histograms = doc->Find("histograms");
+  if (!counters || !counters->is_object() || !gauges || !gauges->is_object() ||
+      !histograms || !histograms->is_object()) {
+    return false;
+  }
+
+  for (const auto& [name, v] : counters->members) {
+    if (!v.is_number()) return false;
+    out->counters.push_back({name, v.UintOr(0)});
+  }
+  for (const auto& [name, v] : gauges->members) {
+    GaugeSample g;
+    g.name = name;
+    if (!NumberFromJson(v, &g.value)) return false;
+    out->gauges.push_back(std::move(g));
+  }
+  for (const auto& [name, v] : histograms->members) {
+    if (!v.is_object()) return false;
+    HistogramSample h;
+    h.name = name;
+    const JsonValue* count = v.Find("count");
+    const JsonValue* sum = v.Find("sum");
+    const JsonValue* bounds = v.Find("bounds");
+    const JsonValue* counts = v.Find("counts");
+    if (!count || !count->is_number() || !sum || !bounds ||
+        !bounds->is_array() || !counts || !counts->is_array()) {
+      return false;
+    }
+    h.count = count->UintOr(0);
+    if (!NumberFromJson(*sum, &h.sum)) return false;
+    for (const auto& b : bounds->items) {
+      double value = 0.0;
+      if (!NumberFromJson(b, &value)) return false;
+      h.bounds.push_back(value);
+    }
+    for (const auto& c : counts->items) {
+      if (!c.is_number()) return false;
+      h.counts.push_back(c.UintOr(0));
+    }
+    if (h.counts.size() != h.bounds.size() + 1) return false;
+    out->histograms.push_back(std::move(h));
+  }
+  return true;
+}
+
+std::string MetricWindowsToJson(const std::vector<MetricWindow>& windows) {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    std::string metrics = windows[i].delta.ToJson();
+    // ToJson ends with a newline; trim it so the window wrapper stays tidy.
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    out << "{\"window\": " << windows[i].window << ", \"metrics\": " << metrics
+        << "}" << (i + 1 < windows.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+WindowedSnapshots::WindowedSnapshots(std::size_t max_windows)
+    : max_windows_(max_windows) {
+  OPUS_CHECK_GT(max_windows_, 0u);
+}
+
+void WindowedSnapshots::Capture(const MetricsRegistry& registry,
+                                std::uint64_t window_id) {
+  MetricsSnapshot now = registry.Snapshot();
+  MetricWindow w;
+  w.window = window_id;
+  w.delta = DiffSnapshots(last_, now);
+  windows_.push_back(std::move(w));
+  last_ = std::move(now);
+  ++captured_;
+  if (windows_.size() > max_windows_) {
+    windows_.erase(windows_.begin());
+    ++dropped_;
+  }
 }
 
 }  // namespace opus::obs

@@ -98,6 +98,11 @@ struct HistogramSample {
 // right helper for stringifying numeric fields of trace events.
 std::string FormatDouble(double v);
 
+// FormatDouble for finite values; non-finite values become quoted strings
+// ("inf", "-inf", "nan") so JSON documents stay parseable. Every JSON
+// exporter in obs renders doubles through this.
+std::string JsonNumber(double v);
+
 enum class ExportFormat { kText, kCsv, kJson };
 
 // Picks a format from a file path: ".json" -> kJson, ".csv" -> kCsv,
@@ -117,6 +122,57 @@ struct MetricsSnapshot {
   std::string ToJson() const;
 
   std::string Export(ExportFormat format) const;
+};
+
+// Per-metric delta `after - before`, the unit of per-allocation-window
+// accounting: counters and histogram bucket counts subtract (clamped at
+// zero — they are monotonic, so a negative delta means mismatched
+// snapshots), histogram sums subtract exactly, and gauges keep the `after`
+// value (a gauge is a level, not a flow). Metrics absent from `before`
+// diff against zero; metrics absent from `after` are dropped.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+// Loaders for the snapshot exports (round-trip of ToText / ToJson). Return
+// false on malformed input. Used by opus_inspect and the exporter
+// regression tests.
+bool ParseMetricsText(const std::string& text, MetricsSnapshot* out);
+bool ParseMetricsJson(const std::string& text, MetricsSnapshot* out);
+
+// One allocation window's metric delta, tagged with the window id (the
+// master's reallocation epoch).
+struct MetricWindow {
+  std::uint64_t window = 0;
+  MetricsSnapshot delta;
+};
+
+// JSON array of {"window": k, "metrics": {...}} objects.
+std::string MetricWindowsToJson(const std::vector<MetricWindow>& windows);
+
+class MetricsRegistry;
+
+// Captures per-allocation-window metric deltas from a registry: Capture()
+// snapshots the registry and records the delta against the previous
+// capture, so each window shows what happened *during* it instead of
+// cumulative end-of-run totals. Bounded: beyond `max_windows` the oldest
+// window is dropped (and counted), so long simulations stay bounded the
+// same way EventTrace does.
+class WindowedSnapshots {
+ public:
+  explicit WindowedSnapshots(std::size_t max_windows = 512);
+
+  void Capture(const MetricsRegistry& registry, std::uint64_t window_id);
+
+  const std::vector<MetricWindow>& windows() const { return windows_; }
+  std::uint64_t captured() const { return captured_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t max_windows_;
+  std::vector<MetricWindow> windows_;
+  MetricsSnapshot last_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 class MetricsRegistry {

@@ -1,0 +1,203 @@
+#include "obs/span_trace.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace opus::obs {
+
+SpanTrace::SpanTrace(SpanTraceConfig config) : config_(config) {
+  if (config_.sample_every > 0) {
+    OPUS_CHECK_GT(config_.max_spans, 0u);
+  }
+}
+
+std::uint64_t SpanTrace::Begin(const std::string& name) {
+  if (config_.sample_every == 0) return 0;
+  ++started_;
+  ++tick_;
+
+  bool record = false;
+  if (stack_.empty()) {
+    // Root: counting-based sampling, per root name so rare control-plane
+    // roots are not starved by frequent data-plane ones.
+    const std::uint64_t ordinal = root_seen_[name]++;
+    record = (ordinal % config_.sample_every) == 0;
+    if (!record) ++sampled_out_;
+  } else {
+    // Child: causal muting — only record inside a recorded parent.
+    record = stack_.back().record != static_cast<std::size_t>(-1);
+    if (!record) ++sampled_out_;
+  }
+  if (record && records_.size() >= config_.max_spans) {
+    record = false;
+    ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Increment();
+  }
+
+  OpenSpan open;
+  open.token = next_token_++;
+  if (record) {
+    SpanRecord r;
+    r.id = records_.size() + 1;
+    r.parent = stack_.empty() || stack_.back().record == static_cast<std::size_t>(-1)
+                   ? 0
+                   : records_[stack_.back().record].id;
+    r.name = name;
+    r.begin_tick = tick_;
+    r.end_tick = tick_;
+    open.record = records_.size();
+    records_.push_back(std::move(r));
+  }
+  stack_.push_back(open);
+  return open.token;
+}
+
+void SpanTrace::AddAttr(std::uint64_t token, const std::string& key,
+                        const std::string& value) {
+  if (token == 0) return;
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->token != token) continue;
+    if (it->record != static_cast<std::size_t>(-1)) {
+      records_[it->record].attrs.emplace_back(key, value);
+    }
+    return;
+  }
+  OPUS_CHECK_MSG(false, "AddAttr on a span that is not open");
+}
+
+void SpanTrace::End(std::uint64_t token) {
+  if (token == 0) return;
+  OPUS_CHECK_MSG(!stack_.empty(), "End with no open span");
+  OPUS_CHECK_MSG(stack_.back().token == token,
+                 "spans must strictly nest: End must close the innermost "
+                 "open span");
+  ++tick_;
+  if (stack_.back().record != static_cast<std::size_t>(-1)) {
+    records_[stack_.back().record].end_tick = tick_;
+  }
+  stack_.pop_back();
+}
+
+bool SpanTrace::IsRecorded(std::uint64_t token) const {
+  if (token == 0) return false;
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->token == token) {
+      return it->record != static_cast<std::size_t>(-1);
+    }
+  }
+  return false;
+}
+
+std::vector<SpanRecord> SpanTrace::Snapshot() const { return records_; }
+
+void SpanTrace::AttachDropCounter(Counter* counter) {
+  drop_counter_ = counter;
+  if (drop_counter_ != nullptr && dropped_ > drop_counter_->value()) {
+    drop_counter_->Increment(dropped_ - drop_counter_->value());
+  }
+}
+
+std::string SpansToPerfettoJson(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out << "{\"name\": \"" << JsonEscape(s.name)
+        << "\", \"cat\": \"opus\", \"ph\": \"X\", \"ts\": " << s.begin_tick
+        << ", \"dur\": " << (s.end_tick - s.begin_tick)
+        << ", \"pid\": 1, \"tid\": 1, \"id\": " << s.id
+        << ", \"parent\": " << s.parent << ", \"args\": {";
+    for (std::size_t k = 0; k < s.attrs.size(); ++k) {
+      out << (k ? ", " : "") << '"' << JsonEscape(s.attrs[k].first)
+          << "\": \"" << JsonEscape(s.attrs[k].second) << '"';
+    }
+    out << "}}" << (i + 1 < spans.size() ? "," : "") << '\n';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::optional<std::vector<SpanRecord>> ParseSpansPerfettoJson(
+    const std::string& text) {
+  const auto doc = ParseJson(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* events = doc->Find("traceEvents");
+  if (!events || !events->is_array()) return std::nullopt;
+
+  std::vector<SpanRecord> spans;
+  spans.reserve(events->items.size());
+  for (const JsonValue& e : events->items) {
+    if (!e.is_object()) return std::nullopt;
+    const JsonValue* name = e.Find("name");
+    const JsonValue* ts = e.Find("ts");
+    const JsonValue* dur = e.Find("dur");
+    if (!name || !name->is_string() || !ts || !ts->is_number() || !dur ||
+        !dur->is_number()) {
+      return std::nullopt;
+    }
+    SpanRecord s;
+    s.name = name->text;
+    s.begin_tick = ts->UintOr(0);
+    s.end_tick = s.begin_tick + dur->UintOr(0);
+    if (const JsonValue* id = e.Find("id")) s.id = id->UintOr(0);
+    if (s.id == 0) s.id = spans.size() + 1;
+    if (const JsonValue* parent = e.Find("parent")) {
+      s.parent = parent->UintOr(0);
+    }
+    if (const JsonValue* args = e.Find("args")) {
+      if (!args->is_object()) return std::nullopt;
+      for (const auto& [k, v] : args->members) {
+        s.attrs.emplace_back(
+            k, v.is_string() ? v.text : v.StringOr(v.text));
+      }
+    }
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+std::string SpansToText(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  for (const SpanRecord& s : spans) {
+    out << s.id << ' ' << s.parent << ' ' << s.name << " [" << s.begin_tick
+        << ',' << s.end_tick << ')';
+    for (const auto& [k, v] : s.attrs) out << ' ' << k << '=' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string SpansToCsv(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << "id,parent,name,begin,end,attrs\n";
+  for (const SpanRecord& s : spans) {
+    out << s.id << ',' << s.parent << ',' << CsvEscape(s.name) << ','
+        << s.begin_tick << ',' << s.end_tick << ',';
+    std::string attrs;
+    for (std::size_t k = 0; k < s.attrs.size(); ++k) {
+      if (k > 0) attrs += ' ';
+      attrs += s.attrs[k].first;
+      attrs += '=';
+      attrs += s.attrs[k].second;
+    }
+    out << CsvEscape(attrs) << '\n';
+  }
+  return out.str();
+}
+
+std::string ExportSpans(const std::vector<SpanRecord>& spans,
+                        ExportFormat format) {
+  switch (format) {
+    case ExportFormat::kText:
+      return SpansToText(spans);
+    case ExportFormat::kCsv:
+      return SpansToCsv(spans);
+    case ExportFormat::kJson:
+      return SpansToPerfettoJson(spans);
+  }
+  return SpansToText(spans);
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,163 @@
+// Deterministic causal span tracer — the "why was this access slow" layer
+// on top of the flat metrics registry and event ring. A span is a named
+// interval on the logical clock with a parent link and ordered string
+// attributes: one root span per simulated access (or per control-plane
+// action like a PF solve), child spans for each stage it passes through
+// (tier probe, promotion, demotion cascade, under-store read, blocking
+// delay). The resulting tree answers causal questions the counters cannot:
+// which tier served block b, whether a demotion cascade ran inside this
+// read, how much blocking delay the mechanism injected on this access.
+//
+// Determinism contract (same bar as obs::MetricsRegistry): timestamps are
+// logical ticks — every Begin and every End advances the clock by one —
+// never wall time, so span exports are byte-identical across reruns and
+// thread counts. A trace is single-writer: one simulation loop owns it.
+//
+// Sampling and bounds: full-fleet benches emit millions of accesses, so
+// the tracer keeps every root whose per-name ordinal k satisfies
+// k % sample_every == 0 (counting-based, hence deterministic — never
+// random) and mutes the rest. Muting is causal: children of a muted span
+// are muted too, so sampled output contains only complete trees. Per-name
+// counting keeps rare roots (master.realloc) from being starved by
+// frequent ones (cluster.read). Independently, a hard `max_spans` cap
+// drops spans once the buffer is full (counted, and mirrored into a
+// registry counter via AttachDropCounter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"  // Counter, ExportFormat
+
+namespace opus::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;      // 1-based, in recording order
+  std::uint64_t parent = 0;  // parent span id, 0 for roots
+  std::string name;          // dot-separated, e.g. "tier.promote"
+  std::uint64_t begin_tick = 0;
+  std::uint64_t end_tick = 0;  // == begin_tick while still open
+  // Ordered key=value pairs; keys follow the metric-name convention,
+  // values are free-form (the exporters escape them).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+struct SpanTraceConfig {
+  // Keep every sample_every-th root span per root name (1 = keep all,
+  // 0 = tracing disabled entirely).
+  std::uint64_t sample_every = 1;
+  // Hard cap on retained spans; once full, further spans are dropped and
+  // counted.
+  std::size_t max_spans = 1 << 16;
+};
+
+class SpanTrace {
+ public:
+  explicit SpanTrace(SpanTraceConfig config = {});
+
+  // Opens a span; the innermost currently-open span becomes its parent.
+  // Returns an opaque token for AddAttr/End, or 0 when tracing is
+  // disabled (sample_every == 0) — token 0 is accepted and ignored by
+  // AddAttr/End so callers never branch.
+  std::uint64_t Begin(const std::string& name);
+
+  // Appends an attribute to the span's record (no-op if the span was
+  // muted by sampling or the capacity cap).
+  void AddAttr(std::uint64_t token, const std::string& key,
+               const std::string& value);
+
+  // Closes the span. Spans must strictly nest: `token` must be the
+  // innermost open span.
+  void End(std::uint64_t token);
+
+  // True if the span is being recorded (not muted/dropped/disabled).
+  bool IsRecorded(std::uint64_t token) const;
+
+  // Recorded spans in id order (open spans appear with end == begin).
+  std::vector<SpanRecord> Snapshot() const;
+
+  // Mirrors capacity drops into a registry counter (e.g.
+  // "obs.trace.dropped"); catches up on prior drops. The counter must
+  // outlive this trace.
+  void AttachDropCounter(Counter* counter);
+
+  const SpanTraceConfig& config() const { return config_; }
+  std::uint64_t tick() const { return tick_; }
+  std::uint64_t started() const { return started_; }
+  std::uint64_t recorded() const { return records_.size(); }
+  std::uint64_t sampled_out() const { return sampled_out_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t open_depth() const { return stack_.size(); }
+
+ private:
+  struct OpenSpan {
+    std::uint64_t token = 0;
+    // Index into records_, or npos when muted.
+    std::size_t record = static_cast<std::size_t>(-1);
+  };
+
+  SpanTraceConfig config_;
+  std::vector<SpanRecord> records_;
+  std::vector<OpenSpan> stack_;
+  std::map<std::string, std::uint64_t> root_seen_;  // per-root-name ordinals
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
+};
+
+// RAII wrapper: opens on construction, closes on destruction. A default
+// constructed (or nullptr-trace) ScopedSpan is inert.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(SpanTrace* trace, const std::string& name)
+      : trace_(trace), token_(trace ? trace->Begin(name) : 0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr && token_ != 0) trace_->End(token_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddAttr(const std::string& key, const std::string& value) {
+    if (trace_ != nullptr && token_ != 0) trace_->AddAttr(token_, key, value);
+  }
+
+  bool recorded() const {
+    return trace_ != nullptr && token_ != 0 && trace_->IsRecorded(token_);
+  }
+
+ private:
+  SpanTrace* trace_ = nullptr;
+  std::uint64_t token_ = 0;
+};
+
+// Chrome/Perfetto trace_event JSON: one complete ("ph":"X") event per
+// span, ts/dur in logical ticks, span id and parent link carried in
+// top-level "id"/"parent" fields (Perfetto ignores unknown fields),
+// attributes under "args". Loads directly in ui.perfetto.dev and
+// chrome://tracing.
+std::string SpansToPerfettoJson(const std::vector<SpanRecord>& spans);
+
+// Round-trip loader for SpansToPerfettoJson output (also accepts any
+// trace_event JSON whose events carry ts/dur). Returns nullopt on
+// malformed input.
+std::optional<std::vector<SpanRecord>> ParseSpansPerfettoJson(
+    const std::string& text);
+
+// One "id parent name [begin,end) k=v ..." line per span.
+std::string SpansToText(const std::vector<SpanRecord>& spans);
+// id,parent,name,begin,end,attrs rows.
+std::string SpansToCsv(const std::vector<SpanRecord>& spans);
+// kJson selects the Perfetto serialization.
+std::string ExportSpans(const std::vector<SpanRecord>& spans,
+                        ExportFormat format);
+
+}  // namespace opus::obs

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/mathutil.h"
+#include "core/opus.h"
 #include "workload/preference_gen.h"
 
 namespace opus::sim {
@@ -31,7 +32,9 @@ double Drift(const Matrix& a, const Matrix& b) {
 
 OpusMaster::OpusMaster(const CacheAllocator* allocator,
                        cache::CacheCluster* cluster, OpusMasterConfig config)
-    : allocator_(allocator), cluster_(cluster), config_(config) {
+    : allocator_(allocator), cluster_(cluster), config_(config),
+      auditor_(config.audit_config),
+      window_metrics_(config.max_metric_windows) {
   OPUS_CHECK(allocator_ != nullptr);
   OPUS_CHECK(cluster_ != nullptr);
   OPUS_CHECK_GT(config_.update_interval, 0u);
@@ -84,6 +87,9 @@ void OpusMaster::InitObservability() {
   solve_wall_hist_ = &m.histogram("master.solve.wall_sec",
                                   {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
   m.MarkVolatile("master.solve.wall_sec");
+  if (config_.audit) {
+    auditor_.Attach(&m, &cluster_->trace());
+  }
 }
 
 void OpusMaster::Prime(const Matrix& preferences) {
@@ -184,8 +190,28 @@ void OpusMaster::Reallocate() {
 }
 
 void OpusMaster::SolveAndApply(const CachingProblem& problem) {
+  obs::ScopedSpan realloc_span(&cluster_->spans(), "master.realloc");
+  realloc_span.AddAttr("epoch", std::to_string(reallocations_ + 1));
+
+  AllocationResult result;
+  // When the allocator is OpuS, run the diagnostics variant (same solves,
+  // same result) so the auditor sees the stage-1 arithmetic — without it,
+  // Stage-2 fallback windows cannot be checked for justification.
+  OpusDiagnostics diag;
+  const auto* opus_allocator = dynamic_cast<const OpusAllocator*>(allocator_);
   const auto t0 = std::chrono::steady_clock::now();
-  const AllocationResult result = allocator_->Allocate(problem);
+  {
+    obs::ScopedSpan solve_span(&cluster_->spans(), "master.solve");
+    result = opus_allocator != nullptr
+                 ? opus_allocator->AllocateWithDiagnostics(problem, &diag)
+                 : allocator_->Allocate(problem);
+    solve_span.AddAttr("policy", result.policy);
+    solve_span.AddAttr("iterations",
+                       std::to_string(result.solver_iterations));
+    solve_span.AddAttr("residual",
+                       obs::FormatDouble(result.solver_residual));
+    solve_span.AddAttr("shared", result.shared ? "1" : "0");
+  }
   const double wall_sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -200,6 +226,17 @@ void OpusMaster::SolveAndApply(const CachingProblem& problem) {
                             {"policy", result.policy}});
   }
   Apply(result);
+  if (config_.audit) {
+    obs::ScopedSpan audit_span(&cluster_->spans(), "master.audit");
+    const obs::WindowAudit& audit = auditor_.AuditWindow(
+        reallocations_, problem, result,
+        opus_allocator != nullptr ? &diag : nullptr);
+    audit_span.AddAttr("violations",
+                       std::to_string(audit.violations.size()));
+  }
+  // Close the window: record what happened in the metrics since the last
+  // applied allocation (the auditor's and opus_inspect's per-window input).
+  window_metrics_.Capture(cluster_->metrics(), reallocations_);
 }
 
 void OpusMaster::AdaptWindow() {

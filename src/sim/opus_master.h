@@ -19,6 +19,7 @@
 #include "cache/cluster.h"
 #include "cache/journal.h"
 #include "core/allocator.h"
+#include "obs/fairness_audit.h"
 #include "obs/metrics.h"
 #include "workload/trace.h"
 
@@ -43,6 +44,14 @@ struct OpusMasterConfig {
   // when the inferred preferences moved less than this L1 distance per
   // user since the last applied allocation. 0 = always reallocate.
   double lazy_threshold = 0.0;
+  // Online fairness audit: after each applied allocation, recompute the
+  // isolation / break-even / normalized-envy guarantees and record
+  // violations ("audit.violation" events + the AuditReport).
+  bool audit = true;
+  obs::FairnessAuditConfig audit_config;
+  // Per-allocation-window metric deltas retained (oldest dropped beyond
+  // this).
+  std::size_t max_metric_windows = 512;
 };
 
 class OpusMaster {
@@ -93,6 +102,15 @@ class OpusMaster {
   // The control-plane journal (empty unless enable_journal).
   const cache::Journal& journal() const { return journal_; }
 
+  // Per-window fairness audit (empty when config.audit is false).
+  const obs::AuditReport& audit_report() const { return auditor_.report(); }
+
+  // Per-allocation-window metric deltas (window k = what happened between
+  // applied allocations k-1 and k).
+  const std::vector<obs::MetricWindow>& window_metrics() const {
+    return window_metrics_.windows();
+  }
+
   // Preference matrix inferred from the current window (normalized).
   Matrix InferredPreferences() const;
 
@@ -116,6 +134,8 @@ class OpusMaster {
   Matrix previous_prefs_;
   AllocationResult current_;
   cache::Journal journal_;
+  obs::FairnessAuditor auditor_;
+  obs::WindowedSnapshots window_metrics_;
   std::size_t since_update_ = 0;
   std::size_t reallocations_ = 0;
   std::size_t skipped_ = 0;

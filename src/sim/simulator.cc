@@ -33,6 +33,7 @@ SimulationResult Summarize(const std::string& policy,
   cluster.metrics().gauge("sim.average_hit_ratio").Set(r.average_hit_ratio);
   r.metrics = cluster.metrics().Snapshot();
   r.trace_events = cluster.trace().Snapshot();
+  r.spans = cluster.spans().Snapshot();
   return r;
 }
 
@@ -65,6 +66,8 @@ SimulationResult RunManagedSimulation(const ManagedSimConfig& config,
   SimulationResult r = Summarize(allocator.name(), tracker, cluster,
                                  config.cluster.num_users);
   r.reallocations = master.reallocations();
+  r.audit = master.audit_report();
+  r.window_metrics = master.window_metrics();
   r.disk_bytes_read = cluster.under_store().bytes_read();
   r.total_latency_sec = total_latency;
   if (!latencies.empty()) {

@@ -11,7 +11,9 @@
 #include "cache/cluster.h"
 #include "core/allocator.h"
 #include "obs/event_trace.h"
+#include "obs/fairness_audit.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "sim/metrics.h"
 #include "sim/opus_master.h"
 #include "workload/trace.h"
@@ -36,6 +38,13 @@ struct SimulationResult {
   // counts) and the structured event trace accumulated during the run.
   obs::MetricsSnapshot metrics;
   std::vector<obs::TraceEvent> trace_events;
+  // Causal span trace of the run (sampled per ClusterConfig); same
+  // determinism bar as `metrics`.
+  std::vector<obs::SpanRecord> spans;
+  // Managed mode only: per-window fairness audit and per-window metric
+  // deltas from the master.
+  obs::AuditReport audit;
+  std::vector<obs::MetricWindow> window_metrics;
 };
 
 struct ManagedSimConfig {

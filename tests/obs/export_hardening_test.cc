@@ -1,0 +1,159 @@
+// Exporter hardening: free-form event/span attribute values (commas,
+// quotes, newlines, control bytes) must not be able to corrupt a CSV or
+// JSON export, and empty exports must stay well-formed and loadable.
+#include <gtest/gtest.h>
+
+#include "obs/event_trace.h"
+#include "obs/fairness_audit.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
+
+namespace opus::obs {
+namespace {
+
+constexpr char kNasty[] = "a,b\"c\"\nd\\e";
+
+TEST(ExportHardeningTest, EventCsvQuotesHostileValues) {
+  EventTrace trace;
+  trace.Emit("kind,with\"comma", {{"k", kNasty}});
+  const std::string csv = EventsToCsv(trace.Snapshot());
+  // Header plus one record; the record spans two physical lines because the
+  // value's newline is preserved inside a quoted cell.
+  ASSERT_EQ(csv.find("seq,kind,fields"), 0u);
+  // The hostile kind is quoted with its inner quote doubled.
+  EXPECT_NE(csv.find("\"kind,with\"\"comma\""), std::string::npos);
+  // A parser that honors RFC-4180 quoting sees exactly one data record:
+  // count unquoted newlines.
+  std::size_t records = 0;
+  bool quoted = false;
+  for (char c : csv) {
+    if (c == '"') quoted = !quoted;
+    if (c == '\n' && !quoted) ++records;
+  }
+  EXPECT_EQ(records, 2u);  // header + one row
+}
+
+TEST(ExportHardeningTest, EventJsonStaysParseableWithHostileValues) {
+  EventTrace trace;
+  trace.Emit("evil\"kind", {{"k", kNasty}, {"ctl", std::string(1, '\x02')}});
+  const std::string json = EventsToJson(trace.Snapshot());
+  const auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->items.size(), 1u);
+  EXPECT_EQ(doc->items[0].Find("kind")->StringOr(""), "evil\"kind");
+  EXPECT_EQ(doc->items[0].Find("k")->StringOr(""), kNasty);
+}
+
+TEST(ExportHardeningTest, SpanExportsSurviveHostileAttrValues) {
+  SpanTrace trace;
+  const auto token = trace.Begin("span");
+  trace.AddAttr(token, "note", kNasty);
+  trace.End(token);
+  const auto spans = trace.Snapshot();
+
+  const auto loaded = ParseSpansPerfettoJson(SpansToPerfettoJson(spans));
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ((*loaded)[0].attrs.size(), 1u);
+  EXPECT_EQ((*loaded)[0].attrs[0].second, kNasty);
+
+  // CSV: the attrs cell is quoted, so the value's comma and newline stay
+  // inside one logical cell.
+  const std::string csv = SpansToCsv(spans);
+  EXPECT_NE(csv.find('"'), std::string::npos);
+}
+
+TEST(ExportHardeningTest, MetricJsonEscapesAndRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("a.b").Increment(3);
+  registry.gauge("g").Set(1.5);
+  registry.histogram("h", {1.0, 2.0}).Observe(0.5);
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  MetricsSnapshot from_json, from_text;
+  ASSERT_TRUE(ParseMetricsJson(snap.ToJson(), &from_json));
+  ASSERT_TRUE(ParseMetricsText(snap.ToText(), &from_text));
+  EXPECT_EQ(from_json.ToJson(), snap.ToJson());
+  EXPECT_EQ(from_text.ToText(), snap.ToText());
+}
+
+TEST(ExportHardeningTest, EmptyExportsAreValid) {
+  const MetricsSnapshot empty;
+  EXPECT_TRUE(ParseJson(empty.ToJson()).has_value());
+  MetricsSnapshot loaded;
+  EXPECT_TRUE(ParseMetricsJson(empty.ToJson(), &loaded));
+  EXPECT_TRUE(ParseMetricsText(empty.ToText(), &loaded));
+
+  EventTrace trace;
+  EXPECT_TRUE(ParseJson(EventsToJson(trace.Snapshot())).has_value());
+
+  const AuditReport report;
+  AuditReport loaded_report;
+  EXPECT_TRUE(ParseAuditJson(report.ToJson(), &loaded_report));
+  EXPECT_EQ(loaded_report.total_violations, 0u);
+  EXPECT_TRUE(loaded_report.windows.empty());
+}
+
+TEST(ExportHardeningTest, DiffSnapshotsSemantics) {
+  MetricsRegistry before_reg;
+  before_reg.counter("c").Increment(5);
+  before_reg.gauge("g").Set(1.0);
+  before_reg.histogram("h", {10.0}).Observe(3.0);
+  const MetricsSnapshot before = before_reg.Snapshot();
+
+  MetricsRegistry after_reg;
+  after_reg.counter("c").Increment(8);
+  after_reg.counter("new").Increment(2);
+  after_reg.gauge("g").Set(4.0);
+  auto& h = after_reg.histogram("h", {10.0});
+  h.Observe(3.0);
+  h.Observe(20.0);
+  const MetricsSnapshot after = after_reg.Snapshot();
+
+  const MetricsSnapshot delta = DiffSnapshots(before, after);
+  for (const auto& c : delta.counters) {
+    if (c.name == "c") {
+      EXPECT_EQ(c.value, 3u);
+    }
+    if (c.name == "new") {
+      EXPECT_EQ(c.value, 2u);  // treated as all-new
+    }
+  }
+  for (const auto& g : delta.gauges) {
+    if (g.name == "g") {
+      EXPECT_DOUBLE_EQ(g.value, 4.0);  // level, not flow
+    }
+  }
+  for (const auto& hist : delta.histograms) {
+    if (hist.name == "h") {
+      // One new observation landed in the overflow bucket.
+      ASSERT_EQ(hist.counts.size(), 2u);
+      EXPECT_EQ(hist.counts[0], 0u);
+      EXPECT_EQ(hist.counts[1], 1u);
+    }
+  }
+}
+
+TEST(ExportHardeningTest, WindowedSnapshotsCaptureDeltas) {
+  MetricsRegistry registry;
+  WindowedSnapshots windows(/*max_windows=*/2);
+  registry.counter("c").Increment(4);
+  windows.Capture(registry, 1);
+  registry.counter("c").Increment(6);
+  windows.Capture(registry, 2);
+  ASSERT_EQ(windows.windows().size(), 2u);
+  EXPECT_EQ(windows.windows()[0].delta.counters[0].value, 4u);
+  EXPECT_EQ(windows.windows()[1].delta.counters[0].value, 6u);
+  // Bounded retention: the oldest window falls off and is counted.
+  registry.counter("c").Increment(1);
+  windows.Capture(registry, 3);
+  ASSERT_EQ(windows.windows().size(), 2u);
+  EXPECT_EQ(windows.windows()[0].window, 2u);
+  EXPECT_EQ(windows.dropped(), 1u);
+  // The windows export is valid JSON.
+  EXPECT_TRUE(ParseJson(MetricWindowsToJson(windows.windows())).has_value());
+}
+
+}  // namespace
+}  // namespace opus::obs

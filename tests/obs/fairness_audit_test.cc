@@ -1,0 +1,183 @@
+#include "obs/fairness_audit.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "core/isolated.h"
+#include "core/opus.h"
+#include "core/types.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+
+namespace opus::obs {
+namespace {
+
+CachingProblem TwoUserProblem() {
+  return CachingProblem::FromRaw(
+      Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}}), 2.0);
+}
+
+TEST(FairnessAuditTest, HonestOpusWindowAuditsClean) {
+  const CachingProblem p = TwoUserProblem();
+  OpusDiagnostics diag;
+  const auto r = OpusAllocator().AllocateWithDiagnostics(p, &diag);
+
+  MetricsRegistry registry;
+  EventTrace trace;
+  FairnessAuditor auditor;
+  auditor.Attach(&registry, &trace);
+  const WindowAudit& audit = auditor.AuditWindow(1, p, r, &diag);
+
+  EXPECT_TRUE(audit.audited);
+  EXPECT_TRUE(audit.violations.empty());
+  EXPECT_EQ(auditor.report().total_violations, 0u);
+  ASSERT_EQ(audit.users.size(), 2u);
+  for (const UserWindowAudit& u : audit.users) {
+    // The audited arithmetic must reproduce the mechanism's stage-1 view.
+    EXPECT_NEAR(u.pf_utility, diag.pf_utilities[u.user], 1e-9);
+    EXPECT_NEAR(u.tax, diag.taxes[u.user], 1e-9);
+    EXPECT_GE(u.net_utility, u.isolated_utility - 1e-6);
+  }
+  EXPECT_EQ(registry.counter("audit.windows").value(), 1u);
+  EXPECT_EQ(registry.counter("audit.violations").value(), 0u);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(FairnessAuditTest, RiggedInflatedTaxTripsIsolationCheck) {
+  // Simulate a mechanism bug that over-blocks user 0: double its tax and
+  // halve its applied access row. The stage-1 diagnostics still look
+  // legitimate — only the applied access matrix betrays the bug, which is
+  // exactly what the auditor recomputes from.
+  const CachingProblem p = TwoUserProblem();
+  auto r = OpusAllocator().Allocate(p);
+  ASSERT_TRUE(r.shared);
+  r.taxes[0] += std::log(2.0);
+  r.blocking[0] = 1.0 - (1.0 - r.blocking[0]) / 2.0;
+  for (std::size_t j = 0; j < r.access.cols(); ++j) {
+    r.access(0, j) /= 2.0;
+  }
+
+  MetricsRegistry registry;
+  EventTrace trace;
+  FairnessAuditor auditor;
+  auditor.Attach(&registry, &trace);
+  const WindowAudit& audit = auditor.AuditWindow(7, p, r);
+
+  bool found_isolation = false;
+  for (const AuditViolation& v : audit.violations) {
+    if (v.check == "isolation" && v.user == 0) {
+      found_isolation = true;
+      EXPECT_GT(v.magnitude, 0.0);
+      EXPECT_EQ(v.window, 7u);
+    }
+  }
+  EXPECT_TRUE(found_isolation);
+  EXPECT_GE(registry.counter("audit.violations").value(), 1u);
+  // One structured event per violation.
+  ASSERT_FALSE(trace.events().empty());
+  EXPECT_EQ(trace.events()[0].kind, "audit.violation");
+}
+
+TEST(FairnessAuditTest, JustifiedFallbackAuditsClean) {
+  // Disjoint demands with tight capacity: the canonical Stage-2 fallback
+  // (each user taxed log 2 > break-even). The fallback must audit clean.
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  p.capacity = 1.0;
+  OpusDiagnostics diag;
+  const auto r = OpusAllocator().AllocateWithDiagnostics(p, &diag);
+  ASSERT_FALSE(r.shared);
+
+  FairnessAuditor auditor;
+  const WindowAudit& audit = auditor.AuditWindow(1, p, r, &diag);
+  EXPECT_TRUE(audit.audited);
+  EXPECT_FALSE(audit.shared);
+  EXPECT_TRUE(audit.violations.empty());
+}
+
+TEST(FairnessAuditTest, UnjustifiedFallbackFlagged) {
+  // An isolated outcome labeled "opus" whose own diagnostics show every
+  // user at or above its isolated baseline: the Stage-2 gate had no reason
+  // to fire, so the auditor must flag the fallback as unjustified.
+  const CachingProblem p = TwoUserProblem();
+  auto r = IsolatedAllocator().Allocate(p);
+  r.policy = "opus";
+  OpusDiagnostics diag;
+  diag.pf_utilities = {0.9, 0.9};
+  diag.net_utilities = {0.8, 0.8};
+  diag.isolated_utilities = {0.6, 0.6};
+  diag.settled_on_sharing = false;
+
+  FairnessAuditor auditor;
+  const WindowAudit& audit = auditor.AuditWindow(2, p, r, &diag);
+  bool found = false;
+  for (const AuditViolation& v : audit.violations) {
+    if (v.check == "break_even") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FairnessAuditTest, NonGuaranteePoliciesPassThroughUnaudited) {
+  const CachingProblem p = TwoUserProblem();
+  auto r = OpusAllocator().Allocate(p);
+  r.policy = "fairride";
+
+  MetricsRegistry registry;
+  FairnessAuditor auditor;
+  auditor.Attach(&registry, nullptr);
+  const WindowAudit& audit = auditor.AuditWindow(1, p, r);
+  EXPECT_FALSE(audit.audited);
+  EXPECT_TRUE(audit.violations.empty());
+  EXPECT_TRUE(audit.users.empty());
+  // The window is still counted so unaudited gaps are visible.
+  EXPECT_EQ(registry.counter("audit.windows").value(), 1u);
+}
+
+TEST(FairnessAuditTest, ReportJsonRoundTripsByteIdentically) {
+  const CachingProblem p = TwoUserProblem();
+  OpusDiagnostics diag;
+  const auto r = OpusAllocator().AllocateWithDiagnostics(p, &diag);
+  FairnessAuditor auditor;
+  auditor.AuditWindow(1, p, r, &diag);
+  // A second window with a rigged result so the report carries violations.
+  auto rigged = r;
+  rigged.taxes[0] += 1.0;
+  for (std::size_t j = 0; j < rigged.access.cols(); ++j) {
+    rigged.access(0, j) *= 0.3;
+  }
+  auditor.AuditWindow(2, p, rigged);
+
+  const std::string json = auditor.report().ToJson();
+  AuditReport loaded;
+  ASSERT_TRUE(ParseAuditJson(json, &loaded));
+  EXPECT_EQ(loaded.ToJson(), json);
+  EXPECT_EQ(loaded.total_violations, auditor.report().total_violations);
+  ASSERT_EQ(loaded.windows.size(), 2u);
+  EXPECT_GT(loaded.windows[1].violations.size(), 0u);
+}
+
+TEST(FairnessAuditTest, InfiniteBreakEvenTaxSerializes) {
+  // A user with an empty preference row has U-bar = 0, so its break-even
+  // tax is +inf; JsonNumber writes it as a quoted "inf" and the loader
+  // restores the infinity.
+  CachingProblem p = CachingProblem::FromRaw(
+      Matrix::FromRows({{0.0, 0.0, 0.0}, {0.4, 0.3, 0.3}}), 2.0);
+  OpusDiagnostics diag;
+  const auto r = OpusAllocator().AllocateWithDiagnostics(p, &diag);
+  FairnessAuditor auditor;
+  const WindowAudit& audit = auditor.AuditWindow(1, p, r, &diag);
+  ASSERT_EQ(audit.users.size(), 2u);
+  EXPECT_TRUE(std::isinf(audit.users[0].break_even_tax));
+  EXPECT_TRUE(audit.violations.empty());
+
+  AuditReport loaded;
+  ASSERT_TRUE(ParseAuditJson(auditor.report().ToJson(), &loaded));
+  EXPECT_TRUE(std::isinf(loaded.windows[0].users[0].break_even_tax));
+  EXPECT_GT(loaded.windows[0].users[0].break_even_tax, 0.0);
+}
+
+}  // namespace
+}  // namespace opus::obs

@@ -1,0 +1,86 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace opus::obs {
+namespace {
+
+TEST(JsonEscapeTest, QuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  // Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(ParseJsonTest, Scalars) {
+  EXPECT_EQ(ParseJson("true")->bool_value, true);
+  EXPECT_EQ(ParseJson("false")->bool_value, false);
+  EXPECT_EQ(ParseJson("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->number, -350.0);
+  EXPECT_EQ(ParseJson("\"a\\n\\\"b\"")->text, "a\n\"b");
+}
+
+TEST(ParseJsonTest, ObjectKeepsMemberOrder) {
+  const auto v = ParseJson("{\"z\": 1, \"a\": 2, \"z\": 3}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members.size(), 3u);
+  EXPECT_EQ(v->members[0].first, "z");
+  EXPECT_EQ(v->members[1].first, "a");
+  // Find returns the first member with the key.
+  EXPECT_DOUBLE_EQ(v->Find("z")->number, 1.0);
+}
+
+TEST(ParseJsonTest, NestedArraysAndObjects) {
+  const auto v = ParseJson("[{\"k\": [1, 2]}, \"s\", 3]");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_array());
+  ASSERT_EQ(v->items.size(), 3u);
+  const JsonValue* k = v->items[0].Find("k");
+  ASSERT_NE(k, nullptr);
+  ASSERT_EQ(k->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(k->items[1].number, 2.0);
+  EXPECT_EQ(v->items[1].text, "s");
+}
+
+TEST(ParseJsonTest, LargeIntegersSurviveViaRawText) {
+  // 2^63 - 1 is not representable as a double; UintOr re-parses the raw
+  // source text.
+  const auto v = ParseJson("9223372036854775807");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->UintOr(0), 9223372036854775807ull);
+}
+
+TEST(ParseJsonTest, RejectsMalformedAndTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("").has_value());
+  EXPECT_FALSE(ParseJson("{").has_value());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").has_value());
+  EXPECT_FALSE(ParseJson("1 2").has_value());
+  EXPECT_FALSE(ParseJson("\"unterminated").has_value());
+  // Trailing whitespace is fine.
+  EXPECT_TRUE(ParseJson("42 \n").has_value());
+}
+
+TEST(ParseJsonTest, AccessorFallbacks) {
+  const auto v = ParseJson("{\"s\": \"x\", \"n\": 7}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("s")->StringOr("d"), "x");
+  EXPECT_EQ(v->Find("s")->NumberOr(-1.0), -1.0);  // mistyped -> fallback
+  EXPECT_EQ(v->Find("n")->UintOr(0), 7u);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace opus::obs

@@ -1,0 +1,185 @@
+#include "obs/span_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace opus::obs {
+namespace {
+
+TEST(SpanTraceTest, NestingParentingAndLogicalClock) {
+  SpanTrace trace;
+  const auto outer = trace.Begin("outer");
+  const auto inner = trace.Begin("inner");
+  trace.AddAttr(inner, "k", "v");
+  trace.End(inner);
+  trace.End(outer);
+
+  const auto spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].id, 1u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].id, 2u);
+  EXPECT_EQ(spans[1].parent, 1u);
+  // Every Begin and every End advances the logical clock by one.
+  EXPECT_EQ(spans[0].begin_tick, 1u);
+  EXPECT_EQ(spans[1].begin_tick, 2u);
+  EXPECT_EQ(spans[1].end_tick, 3u);
+  EXPECT_EQ(spans[0].end_tick, 4u);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(spans[1].attrs[0].first, "k");
+  EXPECT_EQ(spans[1].attrs[0].second, "v");
+  EXPECT_EQ(trace.open_depth(), 0u);
+}
+
+TEST(SpanTraceTest, SamplingKeepsEveryNthRootPerName) {
+  SpanTraceConfig cfg;
+  cfg.sample_every = 2;
+  SpanTrace trace(cfg);
+  for (int k = 0; k < 4; ++k) {
+    const auto root = trace.Begin("frequent");
+    const auto child = trace.Begin("stage");
+    trace.End(child);
+    trace.End(root);
+  }
+  // A rarer root name has its own ordinal counter, so its first instance
+  // is always kept — frequent roots cannot starve rare ones.
+  const auto rare = trace.Begin("rare");
+  trace.End(rare);
+
+  const auto spans = trace.Snapshot();
+  // Roots 0 and 2 of "frequent" (each with its child) plus "rare".
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[0].name, "frequent");
+  EXPECT_EQ(spans[1].name, "stage");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[4].name, "rare");
+  EXPECT_EQ(trace.started(), 9u);
+  EXPECT_GT(trace.sampled_out(), 0u);
+  // Muted spans still advance the clock: determinism is independent of the
+  // sampling configuration.
+  EXPECT_EQ(trace.tick(), 18u);
+}
+
+TEST(SpanTraceTest, ChildrenOfMutedSpansAreMuted) {
+  SpanTraceConfig cfg;
+  cfg.sample_every = 2;
+  SpanTrace trace(cfg);
+  const auto kept = trace.Begin("root");  // ordinal 0 -> kept
+  trace.End(kept);
+  const auto muted = trace.Begin("root");  // ordinal 1 -> muted
+  EXPECT_FALSE(trace.IsRecorded(muted));
+  const auto child = trace.Begin("child");
+  EXPECT_FALSE(trace.IsRecorded(child));
+  trace.AddAttr(child, "k", "v");  // no-op on a muted span
+  trace.End(child);
+  trace.End(muted);
+  const auto spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "root");
+}
+
+TEST(SpanTraceTest, DisabledTraceReturnsTokenZero) {
+  SpanTraceConfig cfg;
+  cfg.sample_every = 0;
+  SpanTrace trace(cfg);
+  const auto token = trace.Begin("anything");
+  EXPECT_EQ(token, 0u);
+  trace.AddAttr(token, "k", "v");  // token 0 accepted and ignored
+  trace.End(token);
+  EXPECT_TRUE(trace.Snapshot().empty());
+  EXPECT_FALSE(trace.IsRecorded(0));
+}
+
+TEST(SpanTraceTest, CapacityCapDropsAndCounts) {
+  SpanTraceConfig cfg;
+  cfg.max_spans = 2;
+  SpanTrace trace(cfg);
+  for (int k = 0; k < 4; ++k) {
+    trace.End(trace.Begin("r"));
+  }
+  EXPECT_EQ(trace.recorded(), 2u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // Attaching after the fact catches the counter up on prior drops.
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("obs.spans.dropped");
+  trace.AttachDropCounter(&counter);
+  EXPECT_EQ(counter.value(), 2u);
+  trace.End(trace.Begin("r"));
+  EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(ScopedSpanTest, RaiiAndNullTraceInert) {
+  SpanTrace trace;
+  {
+    ScopedSpan span(&trace, "scoped");
+    span.AddAttr("k", "v");
+    EXPECT_TRUE(span.recorded());
+    ScopedSpan inert(nullptr, "ignored");
+    inert.AddAttr("k", "v");
+    EXPECT_FALSE(inert.recorded());
+    ScopedSpan default_constructed;
+    EXPECT_FALSE(default_constructed.recorded());
+  }
+  const auto spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "scoped");
+  EXPECT_GT(spans[0].end_tick, spans[0].begin_tick);
+}
+
+TEST(SpanExportTest, PerfettoJsonRoundTrips) {
+  SpanTrace trace;
+  const auto root = trace.Begin("cluster.read");
+  trace.AddAttr(root, "user", "3");
+  trace.AddAttr(root, "note", "tricky \"quote\",\ncomma");
+  const auto child = trace.Begin("under.read");
+  trace.AddAttr(child, "latency_sec", "0.0125");
+  trace.End(child);
+  trace.End(root);
+
+  const auto spans = trace.Snapshot();
+  const std::string json = SpansToPerfettoJson(spans);
+  const auto loaded = ParseSpansPerfettoJson(json);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, spans[i].id);
+    EXPECT_EQ((*loaded)[i].parent, spans[i].parent);
+    EXPECT_EQ((*loaded)[i].name, spans[i].name);
+    EXPECT_EQ((*loaded)[i].begin_tick, spans[i].begin_tick);
+    EXPECT_EQ((*loaded)[i].end_tick, spans[i].end_tick);
+    EXPECT_EQ((*loaded)[i].attrs, spans[i].attrs);
+  }
+}
+
+TEST(SpanExportTest, EmptyExportsAreValid) {
+  const std::vector<SpanRecord> empty;
+  const auto loaded = ParseSpansPerfettoJson(SpansToPerfettoJson(empty));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  EXPECT_EQ(SpansToText(empty), "");
+  EXPECT_EQ(SpansToCsv(empty), "id,parent,name,begin,end,attrs\n");
+}
+
+TEST(SpanExportTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseSpansPerfettoJson("not json").has_value());
+  EXPECT_FALSE(ParseSpansPerfettoJson("{}").has_value());
+  EXPECT_FALSE(
+      ParseSpansPerfettoJson("{\"traceEvents\": [{\"ph\": \"X\"}]}")
+          .has_value());
+}
+
+TEST(SpanExportTest, ExportSpansDispatchesOnFormat) {
+  SpanTrace trace;
+  trace.End(trace.Begin("a"));
+  const auto spans = trace.Snapshot();
+  EXPECT_EQ(ExportSpans(spans, ExportFormat::kText), SpansToText(spans));
+  EXPECT_EQ(ExportSpans(spans, ExportFormat::kCsv), SpansToCsv(spans));
+  EXPECT_EQ(ExportSpans(spans, ExportFormat::kJson),
+            SpansToPerfettoJson(spans));
+}
+
+}  // namespace
+}  // namespace opus::obs

@@ -1,0 +1,145 @@
+// Span-trace end-to-end: the causal span export carried by
+// SimulationResult is byte-identical across tax-solver thread counts and
+// reruns, sampling produces only complete trees, and the expected span
+// hierarchy (cluster.read -> probe/under.read/blocking_delay,
+// master.realloc -> solve/apply/audit) shows up in a managed run.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+#include "obs/span_trace.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog SixFileCatalog() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 6; ++f) {
+    c.Register("file-" + std::to_string(f), 8 * cache::kMiB);
+  }
+  return c;
+}
+
+Matrix TwoUserPrefs() {
+  Matrix prefs(2, 6, 0.0);
+  prefs(0, 0) = 0.5;
+  prefs(0, 1) = 0.3;
+  prefs(0, 2) = 0.2;
+  prefs(1, 3) = 0.6;
+  prefs(1, 4) = 0.3;
+  prefs(1, 5) = 0.1;
+  return prefs;
+}
+
+workload::Trace MakeTrace(std::size_t events, std::uint64_t seed) {
+  Rng rng(seed);
+  return workload::GenerateTrace(workload::TruthfulSpecs(TwoUserPrefs()),
+                                 events, rng);
+}
+
+ManagedSimConfig MakeConfig(std::uint64_t span_sample_every = 1) {
+  ManagedSimConfig cfg;
+  cfg.cluster.num_workers = 3;
+  cfg.cluster.num_users = 2;
+  cfg.cluster.cache_capacity_bytes = 24 * cache::kMiB;
+  cfg.cluster.span_sample_every = span_sample_every;
+  cfg.master.update_interval = 200;
+  cfg.master.learning_window = 400;
+  return cfg;
+}
+
+SimulationResult RunWithThreads(unsigned tax_threads,
+                                const cache::Catalog& catalog,
+                                const workload::Trace& trace,
+                                std::uint64_t span_sample_every = 1) {
+  OpusOptions options;
+  options.tax_threads = tax_threads;
+  const OpusAllocator alloc(options);
+  return RunManagedSimulation(MakeConfig(span_sample_every), alloc, catalog,
+                              trace);
+}
+
+TEST(SpanExportTest, ByteIdenticalAcrossThreadCountsAndReruns) {
+  const cache::Catalog catalog = SixFileCatalog();
+  const workload::Trace trace = MakeTrace(1000, /*seed=*/7);
+
+  const SimulationResult serial = RunWithThreads(1, catalog, trace);
+  const SimulationResult parallel = RunWithThreads(8, catalog, trace);
+  const SimulationResult rerun = RunWithThreads(8, catalog, trace);
+
+  ASSERT_FALSE(serial.spans.empty());
+  const std::string json = obs::SpansToPerfettoJson(serial.spans);
+  EXPECT_EQ(json, obs::SpansToPerfettoJson(parallel.spans));
+  EXPECT_EQ(json, obs::SpansToPerfettoJson(rerun.spans));
+  EXPECT_EQ(obs::SpansToText(serial.spans),
+            obs::SpansToText(parallel.spans));
+
+  // The per-window audit and metric windows obey the same contract.
+  EXPECT_EQ(serial.audit.ToJson(), parallel.audit.ToJson());
+  EXPECT_EQ(obs::MetricWindowsToJson(serial.window_metrics),
+            obs::MetricWindowsToJson(parallel.window_metrics));
+}
+
+TEST(SpanExportTest, ManagedRunEmitsExpectedHierarchy) {
+  const cache::Catalog catalog = SixFileCatalog();
+  const workload::Trace trace = MakeTrace(600, /*seed=*/11);
+  const SimulationResult r = RunWithThreads(1, catalog, trace);
+
+  std::size_t reads = 0, probes = 0, solves = 0, audits = 0;
+  for (const obs::SpanRecord& s : r.spans) {
+    if (s.name == "cluster.read") {
+      ++reads;
+      EXPECT_EQ(s.parent, 0u);  // data-plane roots
+    }
+    if (s.name == "cluster.probe") {
+      ++probes;
+      EXPECT_NE(s.parent, 0u);
+    }
+    if (s.name == "master.solve") {
+      ++solves;
+      EXPECT_NE(s.parent, 0u);  // child of master.realloc
+    }
+    if (s.name == "master.audit") ++audits;
+  }
+  EXPECT_EQ(reads, trace.events.size());
+  EXPECT_EQ(probes, reads);
+  EXPECT_EQ(solves, r.reallocations);
+  EXPECT_EQ(audits, r.reallocations);
+}
+
+TEST(SpanExportTest, SamplingYieldsOnlyCompleteTrees) {
+  const cache::Catalog catalog = SixFileCatalog();
+  const workload::Trace trace = MakeTrace(1000, /*seed=*/7);
+  const SimulationResult full = RunWithThreads(1, catalog, trace, 1);
+  const SimulationResult sampled = RunWithThreads(1, catalog, trace, 5);
+
+  ASSERT_FALSE(sampled.spans.empty());
+  EXPECT_LT(sampled.spans.size(), full.spans.size());
+  // Causal muting: every non-root span's parent is present in the export.
+  std::set<std::uint64_t> ids;
+  for (const obs::SpanRecord& s : sampled.spans) ids.insert(s.id);
+  for (const obs::SpanRecord& s : sampled.spans) {
+    if (s.parent != 0) {
+      EXPECT_TRUE(ids.count(s.parent)) << "orphan span " << s.name;
+    }
+  }
+  // Sampling changes which spans are kept, not the logical clock: sampled
+  // ticks are a subset of the full run's tick domain.
+  EXPECT_EQ(full.spans.front().begin_tick, sampled.spans.front().begin_tick);
+}
+
+TEST(SpanExportTest, DisabledSpansLeaveResultEmpty) {
+  const cache::Catalog catalog = SixFileCatalog();
+  const workload::Trace trace = MakeTrace(400, /*seed=*/3);
+  const SimulationResult r = RunWithThreads(1, catalog, trace, 0);
+  EXPECT_TRUE(r.spans.empty());
+  // The rest of the run is unaffected.
+  EXPECT_GT(r.average_hit_ratio, 0.0);
+  EXPECT_FALSE(r.metrics.counters.empty());
+}
+
+}  // namespace
+}  // namespace opus::sim

@@ -34,6 +34,14 @@
 //                     (format from extension: .json/.csv/other=text);
 //                     byte-identical across reruns and --threads
 //   --trace-out F     simulate: write the structured event trace
+//   --spans-out F     simulate: write the causal span trace (.json =
+//                     Perfetto/Chrome trace_event format, loadable at
+//                     ui.perfetto.dev; .csv/other = flat rows); same
+//                     determinism bar as --metrics-out
+//   --span-sample-n N simulate: record every Nth root span per root name
+//                     (1 = all, 0 = disable span tracing; default 1)
+//   --audit-out F     simulate: write the per-window fairness audit report
+//                     (.json, or text otherwise); see opus_inspect audit
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,7 +64,9 @@
 #include "core/utility.h"
 #include "core/vcg_classic.h"
 #include "obs/event_trace.h"
+#include "obs/fairness_audit.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
@@ -96,7 +106,8 @@ int Usage(const char* argv0) {
                "usage: %s --prefs FILE --capacity C [--policy NAME] "
                "[--sizes FILE] [--threads N] [--csv] [--compare] "
                "[--explain] [--simulate N] [--workers W] [--cache-mb MB] "
-               "[--seed S] [--metrics-out FILE] [--trace-out FILE]\n",
+               "[--seed S] [--metrics-out FILE] [--trace-out FILE] "
+               "[--spans-out FILE] [--span-sample-n N] [--audit-out FILE]\n",
                argv0);
   return 2;
 }
@@ -115,11 +126,11 @@ bool WriteFile(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   std::string prefs_path, sizes_path, policy = "opus";
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, spans_out, audit_out;
   double capacity = -1.0, cache_mb = 0.0;
   unsigned threads = opus::HardwareThreads();
   std::size_t simulate = 0, workers = 4;
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42, span_sample_n = 1;
   bool csv_output = false, compare = false, explain = false;
 
   for (int a = 1; a < argc; ++a) {
@@ -171,6 +182,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       trace_out = v;
+    } else if (arg == "--spans-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      spans_out = v;
+    } else if (arg == "--span-sample-n") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      span_sample_n = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--audit-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      audit_out = v;
     } else if (arg == "--csv") {
       csv_output = true;
     } else if (arg == "--compare") {
@@ -249,6 +272,7 @@ int main(int argc, char** argv) {
         cache_mb > 0.0
             ? static_cast<std::uint64_t>(cache_mb * 1024 * 1024)
             : static_cast<std::uint64_t>(capacity * mean_file_bytes);
+    cfg.cluster.span_sample_every = span_sample_n;
     cfg.master.update_interval = std::max<std::size_t>(50, simulate / 10);
     cfg.master.learning_window = 4 * cfg.master.update_interval;
 
@@ -281,11 +305,25 @@ int main(int argc, char** argv) {
                                      obs::FormatForPath(trace_out)))) {
       return 1;
     }
+    if (!spans_out.empty() &&
+        !WriteFile(spans_out, obs::ExportSpans(result.spans,
+                                               obs::FormatForPath(spans_out)))) {
+      return 1;
+    }
+    if (!audit_out.empty() &&
+        !WriteFile(audit_out,
+                   obs::FormatForPath(audit_out) == obs::ExportFormat::kJson
+                       ? result.audit.ToJson()
+                       : result.audit.ToText())) {
+      return 1;
+    }
     return 0;
   }
-  if (!metrics_out.empty() || !trace_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty() || !spans_out.empty() ||
+      !audit_out.empty()) {
     std::fprintf(stderr,
-                 "--metrics-out/--trace-out require --simulate\n");
+                 "--metrics-out/--trace-out/--spans-out/--audit-out require "
+                 "--simulate\n");
     return Usage(argv[0]);
   }
 

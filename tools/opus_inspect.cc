@@ -1,0 +1,253 @@
+// opus_inspect — offline inspector for the observability exports.
+//
+// Subcommands:
+//   opus_inspect diff BEFORE AFTER [--json]
+//     Loads two metric snapshots (format from extension: .json or text)
+//     and prints the per-metric delta AFTER - BEFORE (counters and
+//     histogram counts subtract, gauges show the AFTER level) — the
+//     "what changed between these two runs/windows" view.
+//   opus_inspect spans FILE [--top K]
+//     Loads a Perfetto/Chrome trace_event span file (--spans-out) and
+//     prints: per-name aggregates (count, logical-tick totals, seconds
+//     from latency attrs), the tier.access per-tier breakdown, and the
+//     top-K slowest root spans with their child trees.
+//   opus_inspect audit FILE
+//     Pretty-prints a fairness audit report (--audit-out). Exit status 1
+//     when the report contains any violation — the CI gate.
+//
+// Exit codes: 0 success / clean audit, 1 audit violations or bad input,
+// 2 usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/fairness_audit.h"
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
+
+namespace {
+
+using namespace opus;
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: opus_inspect diff BEFORE AFTER [--json]\n"
+               "       opus_inspect spans FILE [--top K]\n"
+               "       opus_inspect audit FILE\n");
+  return 2;
+}
+
+bool LoadSnapshot(const std::string& path, obs::MetricsSnapshot* out) {
+  bool ok = false;
+  const std::string text = ReadFile(path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  const bool parsed = obs::FormatForPath(path) == obs::ExportFormat::kJson
+                          ? obs::ParseMetricsJson(text, out)
+                          : obs::ParseMetricsText(text, out);
+  if (!parsed) {
+    std::fprintf(stderr, "malformed metrics snapshot: %s\n", path.c_str());
+  }
+  return parsed;
+}
+
+int RunDiff(const std::vector<std::string>& args) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (const auto& a : args) {
+    if (a == "--json") {
+      json = true;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) return Usage();
+  obs::MetricsSnapshot before, after;
+  if (!LoadSnapshot(paths[0], &before) || !LoadSnapshot(paths[1], &after)) {
+    return 1;
+  }
+  const obs::MetricsSnapshot delta = obs::DiffSnapshots(before, after);
+  std::fputs(json ? delta.ToJson().c_str() : delta.ToText().c_str(), stdout);
+  return 0;
+}
+
+// Seconds carried by a span's latency attributes (the simulation's virtual
+// clock; logical ticks only order events).
+double SpanSeconds(const obs::SpanRecord& s) {
+  for (const auto& [k, v] : s.attrs) {
+    if (k == "latency_sec" || k == "delay_sec") {
+      return std::strtod(v.c_str(), nullptr);
+    }
+  }
+  return 0.0;
+}
+
+std::string SpanAttr(const obs::SpanRecord& s, const std::string& key) {
+  for (const auto& [k, v] : s.attrs) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+void PrintTree(const obs::SpanRecord& s,
+               const std::map<std::uint64_t, std::vector<std::size_t>>& kids,
+               const std::vector<obs::SpanRecord>& spans, int depth) {
+  std::printf("%*s%s [%llu,%llu)", 2 * depth + 4, "", s.name.c_str(),
+              static_cast<unsigned long long>(s.begin_tick),
+              static_cast<unsigned long long>(s.end_tick));
+  const double sec = SpanSeconds(s);
+  if (sec > 0.0) std::printf(" %.6fs", sec);
+  std::printf("\n");
+  const auto it = kids.find(s.id);
+  if (it == kids.end()) return;
+  for (std::size_t idx : it->second) {
+    PrintTree(spans[idx], kids, spans, depth + 1);
+  }
+}
+
+int RunSpans(const std::vector<std::string>& args) {
+  std::size_t top = 5;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 1) return Usage();
+  bool ok = false;
+  const std::string text = ReadFile(paths[0], &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", paths[0].c_str());
+    return 1;
+  }
+  const auto spans = obs::ParseSpansPerfettoJson(text);
+  if (!spans.has_value()) {
+    std::fprintf(stderr, "malformed span file: %s\n", paths[0].c_str());
+    return 1;
+  }
+
+  // Per-name aggregates.
+  struct NameAgg {
+    std::uint64_t count = 0;
+    std::uint64_t ticks = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::string, NameAgg> by_name;
+  std::map<std::string, std::uint64_t> tier_counts;
+  std::map<std::uint64_t, std::vector<std::size_t>> kids;
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans->size(); ++i) {
+    const obs::SpanRecord& s = (*spans)[i];
+    NameAgg& agg = by_name[s.name];
+    ++agg.count;
+    agg.ticks += s.end_tick - s.begin_tick;
+    agg.seconds += SpanSeconds(s);
+    if (s.name == "tier.access") {
+      const std::string tier = SpanAttr(s, "tier");
+      if (!tier.empty()) ++tier_counts[tier];
+    }
+    if (s.parent == 0) {
+      roots.push_back(i);
+    } else {
+      kids[s.parent].push_back(i);
+    }
+  }
+
+  std::printf("spans: %zu (%zu roots)\n\n", spans->size(), roots.size());
+  std::printf("%-28s %10s %12s %14s\n", "name", "count", "ticks", "seconds");
+  for (const auto& [name, agg] : by_name) {
+    std::printf("%-28s %10llu %12llu %14.6f\n", name.c_str(),
+                static_cast<unsigned long long>(agg.count),
+                static_cast<unsigned long long>(agg.ticks), agg.seconds);
+  }
+
+  if (!tier_counts.empty()) {
+    std::printf("\ntier.access breakdown:\n");
+    for (const auto& [tier, count] : tier_counts) {
+      std::printf("  %-8s %llu\n", tier.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  // Top-K slowest roots: ranked by attr seconds when present (the
+  // simulation's virtual latency), logical-tick duration as tiebreak.
+  std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    const obs::SpanRecord& sa = (*spans)[a];
+    const obs::SpanRecord& sb = (*spans)[b];
+    const double da = SpanSeconds(sa), db = SpanSeconds(sb);
+    if (da != db) return da > db;
+    const std::uint64_t ta = sa.end_tick - sa.begin_tick;
+    const std::uint64_t tb = sb.end_tick - sb.begin_tick;
+    if (ta != tb) return ta > tb;
+    return sa.id < sb.id;
+  });
+  const std::size_t show = std::min(top, roots.size());
+  if (show > 0) std::printf("\ntop %zu slowest paths:\n", show);
+  for (std::size_t k = 0; k < show; ++k) {
+    const obs::SpanRecord& s = (*spans)[roots[k]];
+    std::printf("  #%zu id=%llu %s", k + 1,
+                static_cast<unsigned long long>(s.id), s.name.c_str());
+    for (const auto& [key, value] : s.attrs) {
+      std::printf(" %s=%s", key.c_str(), value.c_str());
+    }
+    std::printf("\n");
+    const auto it = kids.find(s.id);
+    if (it != kids.end()) {
+      for (std::size_t idx : it->second) {
+        PrintTree((*spans)[idx], kids, *spans, 0);
+      }
+    }
+  }
+  return 0;
+}
+
+int RunAudit(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  bool ok = false;
+  const std::string text = ReadFile(args[0], &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", args[0].c_str());
+    return 1;
+  }
+  obs::AuditReport report;
+  if (!obs::ParseAuditJson(text, &report)) {
+    std::fprintf(stderr, "malformed audit report: %s\n", args[0].c_str());
+    return 1;
+  }
+  std::fputs(report.ToText().c_str(), stdout);
+  return report.total_violations > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "diff") return RunDiff(args);
+  if (command == "spans") return RunSpans(args);
+  if (command == "audit") return RunAudit(args);
+  return Usage();
+}

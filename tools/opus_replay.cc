@@ -18,6 +18,12 @@
 // metrics registry snapshot and structured event trace (format from the
 // file extension: .json/.csv/anything else = text). Exports contain only
 // deterministic metrics and are byte-identical across reruns.
+//
+// --spans-out FILE writes the causal span trace (.json = Perfetto/Chrome
+// trace_event format, loadable at ui.perfetto.dev); --span-sample-n N keeps
+// every Nth root span per root name (0 disables tracing). --audit-out FILE
+// writes the per-window fairness audit report (managed policies only; empty
+// report under lru/lfu).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +43,9 @@
 #include "core/maxmin.h"
 #include "core/opus.h"
 #include "obs/event_trace.h"
+#include "obs/fairness_audit.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "sim/simulator.h"
 #include "workload/preference_gen.h"
 #include "workload/trace_io.h"
@@ -74,7 +82,8 @@ int Usage(const char* argv0) {
       "          [--policy NAME] [--cache-mb MB] [--workers W]\n"
       "          [--alpha A] [--seed S] [--save-trace FILE]\n"
       "          [--update-interval K] [--window W]\n"
-      "          [--metrics-out FILE] [--trace-out FILE]\n",
+      "          [--metrics-out FILE] [--trace-out FILE]\n"
+      "          [--spans-out FILE] [--span-sample-n N] [--audit-out FILE]\n",
       argv0);
   return 2;
 }
@@ -83,11 +92,11 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string catalog_path, trace_path, save_trace_path, policy = "opus";
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, spans_out, audit_out;
   std::size_t generate = 0, users = 0, workers = 5;
   std::size_t update_interval = 1000, window = 4000;
   double cache_mb = 1024.0, alpha = 1.1;
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42, span_sample_n = 1;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -123,6 +132,12 @@ int main(int argc, char** argv) {
       metrics_out = v;
     } else if (arg == "--trace-out" && (v = next())) {
       trace_out = v;
+    } else if (arg == "--spans-out" && (v = next())) {
+      spans_out = v;
+    } else if (arg == "--span-sample-n" && (v = next())) {
+      span_sample_n = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--audit-out" && (v = next())) {
+      audit_out = v;
     } else {
       std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -206,6 +221,7 @@ int main(int argc, char** argv) {
     cfg.cluster.cache_capacity_bytes =
         static_cast<std::uint64_t>(cache_mb * 1024 * 1024);
     cfg.cluster.eviction_policy = policy;
+    cfg.cluster.span_sample_every = span_sample_n;
     result = sim::RunUnmanagedSimulation(cfg, catalog, trace);
   } else {
     const auto allocator = MakeAllocator(policy);
@@ -218,6 +234,7 @@ int main(int argc, char** argv) {
     cfg.cluster.num_users = static_cast<std::uint32_t>(users);
     cfg.cluster.cache_capacity_bytes =
         static_cast<std::uint64_t>(cache_mb * 1024 * 1024);
+    cfg.cluster.span_sample_every = span_sample_n;
     cfg.master.update_interval = update_interval;
     cfg.master.learning_window = window;
     result = sim::RunManagedSimulation(cfg, *allocator, catalog, trace);
@@ -269,6 +286,24 @@ int main(int argc, char** argv) {
     }
     out << obs::ExportEvents(result.trace_events,
                              obs::FormatForPath(trace_out));
+  }
+  if (!spans_out.empty()) {
+    std::ofstream out(spans_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", spans_out.c_str());
+      return 1;
+    }
+    out << obs::ExportSpans(result.spans, obs::FormatForPath(spans_out));
+  }
+  if (!audit_out.empty()) {
+    std::ofstream out(audit_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", audit_out.c_str());
+      return 1;
+    }
+    out << (obs::FormatForPath(audit_out) == obs::ExportFormat::kJson
+                ? result.audit.ToJson()
+                : result.audit.ToText());
   }
   return 0;
 }
