@@ -1,0 +1,213 @@
+// Solver scaling bench: full OpusAllocator::Allocate (star PF solve plus N
+// leave-one-out tax solves) across an N x M x density grid, run through
+// both PF engines:
+//   - sparse (production): CSR kernels, exact breakpoint projection with
+//     warm-started tau, active-set-restricted tax solves;
+//   - dense (reference): the pre-optimization baseline — dense passes,
+//     per-solve validation, bisection projection, full tax solves.
+//
+// Emits machine-readable JSON (default BENCH_solver.json) with median/p90
+// wall time, iteration and projection counts, and the sparse/dense
+// agreement self-check; exits non-zero when the engines disagree, so CI
+// can gate on it. `--smoke` shrinks the grid for CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "core/opus.h"
+#include "scenarios.h"
+
+namespace opus::bench {
+namespace {
+
+struct Cell {
+  std::size_t users = 0;
+  std::size_t files = 0;
+  double density = 0.0;  // ZipfProblem support fraction
+};
+
+struct EngineRun {
+  double median_ms = 0.0;
+  double p90_ms = 0.0;
+  AllocationResult result;  // representative (runs are deterministic)
+};
+
+double Percentile(std::vector<double> v, double q) {
+  OPUS_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+EngineRun RunEngine(const CachingProblem& problem, bool dense, unsigned threads,
+                    int reps) {
+  OpusOptions options;
+  options.use_dense_solver = dense;
+  options.tax_threads = threads;
+  const OpusAllocator alloc(options);
+  EngineRun run;
+  std::vector<double> ms;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    AllocationResult result = alloc.Allocate(problem);
+    const auto end = std::chrono::steady_clock::now();
+    ms.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+    if (r == 0) run.result = std::move(result);
+  }
+  run.median_ms = Percentile(ms, 0.5);
+  run.p90_ms = Percentile(ms, 0.9);
+  return run;
+}
+
+double MaxDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  OPUS_CHECK_EQ(a.size(), b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  }
+  return d;
+}
+
+int Run(bool smoke, const std::string& out_path, int reps, unsigned threads) {
+  // Each cell is one random Zipf instance; `density` maps to the per-user
+  // support fraction, so nnz/(N*M) lands near it.
+  std::vector<Cell> cells;
+  if (smoke) {
+    for (double d : {0.1, 0.5}) {
+      cells.push_back({8, 128, d});
+      cells.push_back({16, 256, d});
+    }
+  } else {
+    for (double d : {0.05, 0.25}) {
+      cells.push_back({16, 1024, d});
+      cells.push_back({32, 2048, d});
+      cells.push_back({64, 4096, d});
+    }
+  }
+
+  // Agreement thresholds: both engines converge to residual below 1e-9, so
+  // utilities and taxes agree tightly; allocations get extra slack for
+  // near-degenerate coordinates where the optimum is flat.
+  constexpr double kAllocTol = 1e-5;
+  constexpr double kTaxTol = 1e-6;
+  constexpr double kUtilTol = 1e-6;
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"solver_scaling\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n  \"reps\": %d,\n  \"cells\": [\n",
+               smoke ? "true" : "false", reps);
+
+  bool all_agree = true;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    const double capacity = 0.25 * static_cast<double>(cell.files);
+    Rng rng(9100 + 977 * c);
+    const CachingProblem problem = ZipfProblem(
+        cell.users, cell.files, capacity, rng, 1.1, cell.density);
+
+    const EngineRun sparse = RunEngine(problem, /*dense=*/false, threads, reps);
+    const EngineRun dense = RunEngine(problem, /*dense=*/true, threads, reps);
+
+    const double alloc_diff =
+        MaxDiff(sparse.result.file_alloc, dense.result.file_alloc);
+    const double tax_diff = MaxDiff(sparse.result.taxes, dense.result.taxes);
+    const double util_diff = MaxDiff(sparse.result.reported_utilities,
+                                     dense.result.reported_utilities);
+    const bool agree = sparse.result.shared == dense.result.shared &&
+                       alloc_diff <= kAllocTol && tax_diff <= kTaxTol &&
+                       util_diff <= kUtilTol;
+    all_agree = all_agree && agree;
+    const double speedup =
+        sparse.median_ms > 0.0 ? dense.median_ms / sparse.median_ms : 0.0;
+
+    std::fprintf(
+        out,
+        "    {\"users\": %zu, \"files\": %zu, \"density\": %g, "
+        "\"capacity\": %g, \"nnz_ratio\": %.6f,\n"
+        "     \"sparse\": {\"median_ms\": %.3f, \"p90_ms\": %.3f, "
+        "\"iterations\": %llu, \"projections\": %llu, "
+        "\"restricted_taxes\": %llu, \"restricted_fallbacks\": %llu},\n"
+        "     \"dense\": {\"median_ms\": %.3f, \"p90_ms\": %.3f, "
+        "\"iterations\": %llu, \"projections\": %llu},\n"
+        "     \"speedup\": %.2f, \"max_alloc_diff\": %.3e, "
+        "\"max_tax_diff\": %.3e, \"max_utility_diff\": %.3e, "
+        "\"agree\": %s}%s\n",
+        cell.users, cell.files, cell.density, capacity,
+        sparse.result.solver_nnz_ratio, sparse.median_ms, sparse.p90_ms,
+        static_cast<unsigned long long>(sparse.result.solver_iterations),
+        static_cast<unsigned long long>(sparse.result.solver_projections),
+        static_cast<unsigned long long>(sparse.result.solver_restricted_taxes),
+        static_cast<unsigned long long>(
+            sparse.result.solver_restricted_fallbacks),
+        dense.median_ms, dense.p90_ms,
+        static_cast<unsigned long long>(dense.result.solver_iterations),
+        static_cast<unsigned long long>(dense.result.solver_projections),
+        speedup, alloc_diff, tax_diff, util_diff, agree ? "true" : "false",
+        c + 1 < cells.size() ? "," : "");
+    std::fprintf(stderr,
+                 "[%zu/%zu] N=%zu M=%zu density=%.2f: sparse %.1f ms, dense "
+                 "%.1f ms (%.1fx), agree=%s\n",
+                 c + 1, cells.size(), cell.users, cell.files, cell.density,
+                 sparse.median_ms, dense.median_ms, speedup,
+                 agree ? "yes" : "NO");
+  }
+
+  std::fprintf(out, "  ],\n  \"all_agree\": %s\n}\n",
+               all_agree ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  if (!all_agree) {
+    std::fprintf(stderr, "FAIL: sparse/dense engines disagree\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace opus::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_solver.json";
+  int reps = 3;
+  unsigned threads = 1;  // single-threaded taxes: clean engine comparison
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + len;
+      return nullptr;
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--reps=")) {
+      reps = std::max(1, std::atoi(v));
+    } else if (const char* v = value("--threads=")) {
+      threads = static_cast<unsigned>(std::max(1, std::atoi(v)));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=PATH] [--reps=N] "
+                   "[--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return opus::bench::Run(smoke, out_path, reps, threads);
+}

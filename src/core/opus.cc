@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <optional>
 
 #include "common/check.h"
 #include "common/mathutil.h"
@@ -17,8 +19,10 @@ namespace {
 // Sum of log-utilities of users other than `excluded` with positive utility
 // and a non-empty preference row. Zero-preference users never enter the
 // virtual social welfare (their log term is undefined and they are outside
-// the mechanism).
-double OthersVirtualWelfare(const Matrix& prefs,
+// the mechanism). `row_active` is precomputed once per Allocate — the old
+// implementation re-summed every preference row on every call, which made
+// the N-tax loop O(N^2 * M) in row scans alone.
+double OthersVirtualWelfare(const std::vector<char>& row_active,
                             const std::vector<double>& utilities,
                             std::size_t excluded,
                             const std::vector<double>& user_weights) {
@@ -26,9 +30,7 @@ double OthersVirtualWelfare(const Matrix& prefs,
   logs.reserve(utilities.size());
   for (std::size_t k = 0; k < utilities.size(); ++k) {
     if (k == excluded) continue;
-    double row_sum = 0.0;
-    for (double p : prefs.row(k)) row_sum += p;
-    if (row_sum <= 0.0) continue;
+    if (!row_active[k]) continue;
     // At a PF optimum with positive capacity every user with a non-zero
     // preference row has strictly positive utility; utility can be zero only
     // in the degenerate capacity-0 / no-files instances, where it is zero in
@@ -39,6 +41,130 @@ double OthersVirtualWelfare(const Matrix& prefs,
     logs.push_back(w * std::log(utilities[k]));
   }
   return KahanSum(logs);
+}
+
+// Shared inputs of the N leave-one-out tax solves (all read-only once the
+// parallel loop starts, so the solves stay bit-identical at any thread
+// count).
+struct TaxContext {
+  const CachingProblem* problem = nullptr;
+  const CsrMatrix* csr = nullptr;  // null when the dense engine is in use
+  const PfSolution* star = nullptr;
+  PfOptions pf_options;
+  bool restricted = false;
+
+  // Star-allocation structure for the restricted fast path: files strictly
+  // inside (0,1), and zero files ordered by the full-problem gradient at a*
+  // (descending) — the order in which freed capacity would recruit them.
+  std::vector<std::size_t> interior_files;
+  std::vector<std::size_t> zero_order;
+};
+
+// Leave-one-out solve restricted to columns R = support(i) ∪ interior(a*)
+// ∪ (leading zero files by gradient order, enough to absorb ~2x the
+// capacity user i's support releases). Every other column is frozen at its
+// star value: its utility contribution enters through per-user offsets and
+// its mass is subtracted from the capacity. Returns the composed
+// full-length solution when the full-problem KKT residual confirms it;
+// nullopt when the restriction was skipped (R too large) or missed
+// tolerance (`attempt_cost` then carries the wasted work for accounting).
+std::optional<PfSolution> RestrictedLeaveOneOut(
+    const TaxContext& ctx, std::size_t i, std::span<const double> loo_weights,
+    bool* attempted, PfSolution* attempt_cost) {
+  *attempted = false;
+  const CsrMatrix& csr = *ctx.csr;
+  const std::size_t m = csr.cols();
+  const std::vector<double>& a_star = ctx.star->allocation;
+  const std::vector<double>& sizes = ctx.problem->file_sizes;
+  auto size_of = [&](std::size_t j) {
+    return sizes.empty() ? 1.0 : sizes[j];
+  };
+
+  std::vector<char> in_r(m, 0);
+  std::size_t count = 0;
+  double freed = 0.0;  // capacity user i's support holds at a*
+  {
+    const auto cols = csr.row_cols(i);
+    for (std::uint32_t c : cols) {
+      if (!in_r[c]) {
+        in_r[c] = 1;
+        ++count;
+      }
+      freed += size_of(c) * a_star[c];
+    }
+  }
+  for (std::size_t j : ctx.interior_files) {
+    if (!in_r[j]) {
+      in_r[j] = 1;
+      ++count;
+    }
+  }
+  double budget = 2.0 * freed;  // slack so recruits are not capacity-starved
+  for (std::size_t j : ctx.zero_order) {
+    if (budget <= 0.0) break;
+    if (in_r[j]) continue;
+    in_r[j] = 1;
+    ++count;
+    budget -= size_of(j);
+  }
+  // A restriction covering most columns saves nothing over the full solve.
+  if (count * 4 >= m * 3) return std::nullopt;
+
+  *attempted = true;
+  std::vector<std::size_t> restricted;
+  restricted.reserve(count);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (in_r[j]) restricted.push_back(j);
+  }
+  const CsrMatrix sub = csr.ColumnSubset(restricted);
+
+  // Frozen columns: capacity they pin and utility they contribute.
+  double frozen_mass = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (!in_r[j]) frozen_mass += size_of(j) * a_star[j];
+  }
+  const double sub_capacity =
+      std::max(0.0, ctx.problem->capacity - frozen_mass);
+  std::vector<double> offsets(csr.rows(), 0.0);
+  for (std::size_t k = 0; k < csr.rows(); ++k) {
+    const auto cols = csr.row_cols(k);
+    const auto vals = csr.row_vals(k);
+    double off = 0.0;
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      if (!in_r[cols[t]]) off += vals[t] * a_star[cols[t]];
+    }
+    offsets[k] = off;
+  }
+
+  std::vector<double> warm(restricted.size());
+  std::vector<double> sub_sizes;
+  if (!sizes.empty()) sub_sizes.resize(restricted.size());
+  for (std::size_t r = 0; r < restricted.size(); ++r) {
+    warm[r] = a_star[restricted[r]];
+    if (!sizes.empty()) sub_sizes[r] = sizes[restricted[r]];
+  }
+
+  PfSolution sol = SolveProportionalFairnessCsr(
+      sub, sub_capacity, ctx.pf_options, loo_weights, warm, sub_sizes,
+      offsets);
+
+  // Compose back to full length; restricted utilities already include the
+  // frozen columns through the offsets, so they are the full utilities.
+  std::vector<double> full_alloc = a_star;
+  for (std::size_t r = 0; r < restricted.size(); ++r) {
+    full_alloc[restricted[r]] = sol.allocation[r];
+  }
+  sol.allocation = std::move(full_alloc);
+
+  const double residual = PfOptimalityResidualCsr(
+      csr, ctx.problem->capacity, sol.allocation, loo_weights, sizes);
+  sol.residual = residual;
+  if (!(residual < ctx.pf_options.tolerance * 10.0)) {
+    *attempt_cost = std::move(sol);
+    return std::nullopt;
+  }
+  sol.converged = true;
+  return sol;
 }
 
 }  // namespace
@@ -63,12 +189,77 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   PfOptions pf_options;
   pf_options.tolerance = options_.solver_tolerance;
   pf_options.max_iterations = options_.solver_max_iterations;
+  pf_options.use_dense_reference = options_.use_dense_solver;
+
+  // The production engine works off the problem's cached CSR view: the
+  // matrix is validated and row sums are taken exactly once, shared by the
+  // star solve and all N leave-one-out solves.
+  const CsrMatrix* csr =
+      options_.use_dense_solver ? nullptr : &problem.PreferencesCsr();
+
+  // Which users participate in the mechanism (non-empty preference row) —
+  // computed once, consumed by every OthersVirtualWelfare call.
+  std::vector<char> row_active(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    if (csr != nullptr) {
+      row_sum = csr->row_sum(i);
+    } else {
+      for (double p : problem.preferences.row(i)) row_sum += p;
+    }
+    row_active[i] = row_sum > 0.0 ? 1 : 0;
+  }
 
   // --- Stage 1: VCG_PF --------------------------------------------------
   const PfSolution star =
-      SolveProportionalFairness(problem.preferences, problem.capacity,
-                                pf_options, priorities, {},
-                                problem.file_sizes);
+      csr != nullptr
+          ? SolveProportionalFairnessCsr(*csr, problem.capacity, pf_options,
+                                         priorities, {}, problem.file_sizes)
+          : SolveProportionalFairness(problem.preferences, problem.capacity,
+                                      pf_options, priorities, {},
+                                      problem.file_sizes);
+
+  // Shared read-only context for the leave-one-out solves, including the
+  // star-allocation structure the restricted fast path partitions on.
+  TaxContext ctx;
+  ctx.problem = &problem;
+  ctx.csr = csr;
+  ctx.star = &star;
+  ctx.pf_options = pf_options;
+  ctx.restricted = csr != nullptr && options_.restricted_tax_solves;
+  if (ctx.restricted) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (star.allocation[j] > 0.0 && star.allocation[j] < 1.0) {
+        ctx.interior_files.push_back(j);
+      }
+    }
+    // Gradient of the full objective at a*: zero files with the steepest
+    // gradient are the ones freed capacity recruits first. For files
+    // outside user i's support this full gradient equals the others'
+    // gradient exactly (user i contributes nothing there), and support
+    // files are always in R, so one global descending order serves all N
+    // solves.
+    std::vector<double> g_full(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!row_active[i]) continue;
+      const double u = star.utilities[i];
+      if (u <= 0.0) continue;
+      const double scale = priority_of(i) / u;
+      const auto cols = csr->row_cols(i);
+      const auto vals = csr->row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        g_full[cols[k]] += scale * vals[k];
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (star.allocation[j] <= 0.0) ctx.zero_order.push_back(j);
+    }
+    std::sort(ctx.zero_order.begin(), ctx.zero_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (g_full[a] != g_full[b]) return g_full[a] > g_full[b];
+                return a < b;  // deterministic tie-break
+              });
+  }
 
   // Clarke pivot taxes via leave-one-out PF solves, warm-started from a*.
   // The solves are independent; with tax_threads > 1 they run in parallel
@@ -77,22 +268,66 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   // in order below, so the totals match the serial run bit for bit.
   std::vector<double> taxes(n, 0.0);
   std::vector<PfSolution> loo_solutions(n);
+  std::vector<char> restricted_hit(n, 0);
+  std::vector<char> restricted_fb(n, 0);
   auto tax_for = [&](std::size_t i, std::vector<double>& weights) {
     const double saved = weights[i];
     weights[i] = 0.0;
-    const PfSolution without_i = SolveProportionalFairness(
-        problem.preferences, problem.capacity, pf_options, weights,
-        star.allocation, problem.file_sizes);
+    PfSolution without_i;
+    if (csr != nullptr && !row_active[i]) {
+      // User i never entered the objective, so the leave-one-out problem
+      // *is* the star problem: reuse its solution at zero marginal cost.
+      without_i.allocation = star.allocation;
+      without_i.utilities = star.utilities;
+      without_i.objective = star.objective;
+      without_i.residual = star.residual;
+      without_i.converged = star.converged;
+    } else {
+      bool attempted = false;
+      std::optional<PfSolution> fast;
+      PfSolution attempt_cost;
+      if (ctx.restricted) {
+        fast = RestrictedLeaveOneOut(ctx, i, weights, &attempted,
+                                     &attempt_cost);
+      }
+      if (fast.has_value()) {
+        without_i = std::move(*fast);
+        restricted_hit[i] = 1;
+      } else {
+        if (attempted) restricted_fb[i] = 1;
+        // Full solve, warm-started from the best available point: the
+        // failed restricted composition when there is one, else a*.
+        std::span<const double> warm =
+            attempted ? std::span<const double>(attempt_cost.allocation)
+                      : std::span<const double>(star.allocation);
+        without_i =
+            csr != nullptr
+                ? SolveProportionalFairnessCsr(*csr, problem.capacity,
+                                               pf_options, weights, warm,
+                                               problem.file_sizes)
+                : SolveProportionalFairness(problem.preferences,
+                                            problem.capacity, pf_options,
+                                            weights, warm,
+                                            problem.file_sizes);
+        if (attempted) {
+          // Fold the wasted restricted attempt into this tax's accounting.
+          without_i.iterations += attempt_cost.iterations;
+          without_i.projection_calls += attempt_cost.projection_calls;
+          without_i.projection_warm_hits += attempt_cost.projection_warm_hits;
+          without_i.projection_exact += attempt_cost.projection_exact;
+        }
+      }
+    }
     weights[i] = saved;
 
     const double welfare_without = OthersVirtualWelfare(
-        problem.preferences, without_i.utilities, i, priorities);
+        row_active, without_i.utilities, i, priorities);
     const double welfare_at_star = OthersVirtualWelfare(
-        problem.preferences, star.utilities, i, priorities);
+        row_active, star.utilities, i, priorities);
     // The pivot tax is non-negative by optimality of the leave-one-out
     // solution; clamp away solver residual noise.
     taxes[i] = std::max(0.0, welfare_without - welfare_at_star);
-    loo_solutions[i] = without_i;
+    loo_solutions[i] = std::move(without_i);
   };
   const unsigned threads =
       options_.tax_threads > 1
@@ -119,6 +354,19 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   PfStats solve_stats;
   solve_stats.Observe(star);
   for (const PfSolution& s : loo_solutions) solve_stats.Observe(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    solve_stats.restricted_solves += restricted_hit[i];
+    solve_stats.restricted_fallbacks += restricted_fb[i];
+  }
+  auto fill_solver_fields = [&](AllocationResult& r) {
+    r.solver_iterations = solve_stats.iterations;
+    r.solver_residual = solve_stats.max_residual;
+    r.solver_solves = solve_stats.solves;
+    r.solver_projections = solve_stats.projection_calls;
+    r.solver_restricted_taxes = solve_stats.restricted_solves;
+    r.solver_restricted_fallbacks = solve_stats.restricted_fallbacks;
+    r.solver_nnz_ratio = csr != nullptr ? csr->NnzRatio() : 1.0;
+  };
 
   std::vector<double> blocking(n, 0.0);
   std::vector<double> net(n, 0.0);
@@ -163,8 +411,7 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   if (!ig_holds) {
     AllocationResult r = IsolatedAllocator(priorities).Allocate(problem);
     r.policy = name();
-    r.solver_iterations = solve_stats.iterations;
-    r.solver_residual = solve_stats.max_residual;
+    fill_solver_fields(r);
     return r;
   }
 
@@ -180,8 +427,7 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   }
   r.taxes = std::move(taxes);
   r.blocking = std::move(blocking);
-  r.solver_iterations = solve_stats.iterations;
-  r.solver_residual = solve_stats.max_residual;
+  fill_solver_fields(r);
   for (std::size_t j = 0; j < m; ++j) {
     r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
   }

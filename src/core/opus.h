@@ -32,6 +32,16 @@ struct OpusOptions {
   // solves are independent, so results are bit-identical regardless of the
   // thread count; this only shrinks Algorithm 1's wall time at large N.
   unsigned tax_threads = 0;
+  // Use the dense reference PF engine (pre-sparse-rewrite behaviour) for
+  // every solve. Benchmarks and cross-check tests only; the production
+  // sparse engine produces the same allocations to solver tolerance.
+  bool use_dense_solver = false;
+  // Serve leave-one-out tax solves with the active-set-restricted fast
+  // path (sparse engine only): re-optimize just the columns near the
+  // departing user's support plus the interior files, validate the composed
+  // solution against the full problem's KKT residual, and fall back to a
+  // full solve when the residual misses tolerance.
+  bool restricted_tax_solves = true;
   // Priority weights (extension beyond the paper): user i's virtual
   // utility becomes w_i log U_i, its isolation baseline a C * w_i / sum(w)
   // partition, and its blocking probability 1 - exp(-T_i / w_i). Empty =

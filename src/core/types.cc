@@ -39,11 +39,20 @@ CachingProblem CachingProblem::FromRaw(Matrix raw_scores, double capacity) {
   return p;
 }
 
+const CsrMatrix& CachingProblem::PreferencesCsr() const {
+  if (csr_cache_ == nullptr) {
+    csr_cache_ =
+        std::make_shared<const CsrMatrix>(CsrMatrix::FromDense(preferences));
+  }
+  return *csr_cache_;
+}
+
 CachingProblem CachingProblem::WithMisreport(
     std::size_t i, std::vector<double> misreport) const {
   OPUS_CHECK_LT(i, num_users());
   OPUS_CHECK_EQ(misreport.size(), num_files());
   CachingProblem p = *this;
+  p.InvalidatePreferencesCsr();
   double total = 0.0;
   for (double v : misreport) {
     OPUS_CHECK_GE(v, 0.0);

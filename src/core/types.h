@@ -12,6 +12,7 @@
 // distribution (Sec. VI, "Metric").
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,16 @@ struct CachingProblem {
   // (normalized) `misreport`. Used by strategy-proofness analyses.
   CachingProblem WithMisreport(std::size_t i,
                                std::vector<double> misreport) const;
+
+  // CSR view of `preferences`, built (and validated) once on first call and
+  // cached; OpuS's N+1 leave-one-out solves all share it. Not thread-safe
+  // on the first call. Callers that mutate `preferences` directly after
+  // calling this must InvalidatePreferencesCsr() (WithMisreport does).
+  const CsrMatrix& PreferencesCsr() const;
+  void InvalidatePreferencesCsr() { csr_cache_.reset(); }
+
+ private:
+  mutable std::shared_ptr<const CsrMatrix> csr_cache_;
 };
 
 // Outcome of running an allocation policy.
@@ -92,6 +103,18 @@ struct AllocationResult {
   // closed-form policies. Deterministic at any thread count.
   std::uint64_t solver_iterations = 0;
   double solver_residual = 0.0;
+
+  // Sparse-solver cost accounting (zero for closed-form policies and for
+  // the dense reference engine where not applicable): number of PF solves,
+  // capped-simplex projections performed across them, leave-one-out tax
+  // solves served by the active-set-restricted fast path, restricted
+  // solves whose residual missed tolerance and fell back to a full solve,
+  // and the preference-matrix density the solver saw (1 = fully dense).
+  std::uint64_t solver_solves = 0;
+  std::uint64_t solver_projections = 0;
+  std::uint64_t solver_restricted_taxes = 0;
+  std::uint64_t solver_restricted_fallbacks = 0;
+  double solver_nnz_ratio = 0.0;
 };
 
 // Sanity-checks structural invariants of `result` against `problem`

@@ -79,6 +79,16 @@ void OpusMaster::InitObservability() {
   window_gauge_->Set(static_cast<double>(config_.learning_window));
   drift_gauge_ = &m.gauge("master.drift");
   residual_gauge_ = &m.gauge("master.solver.residual");
+  // Sparse-solver cost accounting (per AllocationResult, summed across
+  // reallocations): PF solves, capped-simplex projections, restricted
+  // leave-one-out tax solves and their full-solve fallbacks, plus the
+  // preference density the last solve saw. All deterministic at any
+  // thread count (the allocator folds per-solve stats in index order).
+  solver_solves_counter_ = &m.counter("master.solver.solves");
+  solver_projections_counter_ = &m.counter("master.solver.projections");
+  solver_restricted_counter_ = &m.counter("master.solver.restricted_taxes");
+  solver_fallback_counter_ = &m.counter("master.solver.restricted_fallbacks");
+  solver_nnz_gauge_ = &m.gauge("master.solver.nnz_ratio");
   solve_iterations_hist_ = &m.histogram(
       "master.solve.iterations", {100.0, 1000.0, 10000.0, 100000.0});
   // Wall time is the one genuinely nondeterministic signal the master
@@ -219,6 +229,11 @@ void OpusMaster::SolveAndApply(const CachingProblem& problem) {
   solve_iterations_hist_->Observe(
       static_cast<double>(result.solver_iterations));
   residual_gauge_->Set(result.solver_residual);
+  solver_solves_counter_->Increment(result.solver_solves);
+  solver_projections_counter_->Increment(result.solver_projections);
+  solver_restricted_counter_->Increment(result.solver_restricted_taxes);
+  solver_fallback_counter_->Increment(result.solver_restricted_fallbacks);
+  solver_nnz_gauge_->Set(result.solver_nnz_ratio);
   if (!result.shared) {
     ig_fallback_counter_->Increment();
     cluster_->trace().Emit("master.ig_fallback",

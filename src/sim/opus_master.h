@@ -147,6 +147,11 @@ class OpusMaster {
   obs::Gauge* window_gauge_ = nullptr;
   obs::Gauge* drift_gauge_ = nullptr;
   obs::Gauge* residual_gauge_ = nullptr;
+  obs::Counter* solver_solves_counter_ = nullptr;
+  obs::Counter* solver_projections_counter_ = nullptr;
+  obs::Counter* solver_restricted_counter_ = nullptr;
+  obs::Counter* solver_fallback_counter_ = nullptr;
+  obs::Gauge* solver_nnz_gauge_ = nullptr;
   obs::Histogram* solve_iterations_hist_ = nullptr;
   obs::Histogram* solve_wall_hist_ = nullptr;  // volatile (wall time)
 };

@@ -8,6 +8,16 @@
 // projected-gradient optimality residual. The solver supports warm starts,
 // which matter because OpuS's VCG tax computation solves N+1 closely related
 // instances (full problem plus each leave-one-out problem).
+//
+// Two engines solve the same problem:
+//  - Sparse (production): Objective/Gradient iterate a CsrMatrix's nonzeros
+//    only (O(nnz) per pass) with the exact breakpoint projection and a
+//    warm-started tau fast path. Preference validation and row sums are
+//    computed once at CSR build time, so OpuS's N leave-one-out solves
+//    never re-validate the matrix.
+//  - Dense reference (PfOptions::use_dense_reference): the original
+//    O(N*M)-per-pass implementation with the bisection projection, kept as
+//    a cross-check and as the benchmark baseline.
 #pragma once
 
 #include <optional>
@@ -25,6 +35,10 @@ struct PfOptions {
   int max_iterations = 50000;
   // Check the residual every `check_interval` iterations.
   int check_interval = 10;
+  // Use the dense reference engine (pre-sparse-rewrite behaviour: dense
+  // passes, per-solve validation, bisection projection). Benchmarks and
+  // cross-check tests only.
+  bool use_dense_reference = false;
 };
 
 struct PfSolution {
@@ -34,6 +48,13 @@ struct PfSolution {
   double residual = 0.0;           // final optimality residual
   int iterations = 0;
   bool converged = false;
+
+  // Projection cost accounting: total capped-simplex projections, how many
+  // resolved via the warm-started tau fast path, and how many ran the full
+  // breakpoint (or bisection) solve.
+  std::uint64_t projection_calls = 0;
+  std::uint64_t projection_warm_hits = 0;
+  std::uint64_t projection_exact = 0;
 };
 
 // Solves the PF problem.
@@ -54,13 +75,34 @@ PfSolution SolveProportionalFairness(
     std::span<const double> warm_start = {},
     std::span<const double> file_sizes = {});
 
+// CSR entry point: identical semantics on a prebuilt (validated) sparse
+// view; per-pass cost is O(nnz) instead of O(N*M). `utility_offsets`
+// (size N, default zeros) adds a fixed term to each user's utility:
+// U_i = offset_i + p_i . a. This poses column-restricted subproblems —
+// coordinates frozen at known values contribute their utility through the
+// offset — and is how OpuS's active-set-restricted leave-one-out tax
+// solves re-optimize only the columns near the departing user's support.
+PfSolution SolveProportionalFairnessCsr(
+    const CsrMatrix& preferences, double capacity,
+    const PfOptions& options = {},
+    std::span<const double> weights = {},
+    std::span<const double> warm_start = {},
+    std::span<const double> file_sizes = {},
+    std::span<const double> utility_offsets = {});
+
 // Deterministic accumulator over a batch of PF solves (observability):
 // OpuS's N+1 tax solves fold their PfSolutions into one of these — in a
 // fixed index order when the solves ran in parallel — so downstream
-// metrics are identical at any thread count.
+// metrics are identical at any thread count. The restricted_* fields are
+// maintained by the caller (OpusAllocator), not Observe().
 struct PfStats {
   std::uint64_t solves = 0;
   std::uint64_t iterations = 0;
+  std::uint64_t projection_calls = 0;
+  std::uint64_t projection_warm_hits = 0;
+  std::uint64_t projection_exact = 0;
+  std::uint64_t restricted_solves = 0;
+  std::uint64_t restricted_fallbacks = 0;
   double max_residual = 0.0;
 
   void Observe(const PfSolution& solution);
@@ -72,5 +114,19 @@ double PfOptimalityResidual(const Matrix& preferences, double capacity,
                             std::span<const double> allocation,
                             std::span<const double> weights = {},
                             std::span<const double> file_sizes = {});
+
+// CSR variant of the residual, used by the restricted leave-one-out tax
+// fast path to decide whether a composed solution is already optimal for
+// the full problem or must fall back to a full solve.
+double PfOptimalityResidualCsr(const CsrMatrix& preferences, double capacity,
+                               std::span<const double> allocation,
+                               std::span<const double> weights = {},
+                               std::span<const double> file_sizes = {});
+
+// Utilities U_i = p_i . a against a CSR matrix (O(nnz)); bitwise identical
+// to the dense dot products (zeros add exactly nothing).
+void CsrUtilities(const CsrMatrix& preferences,
+                  std::span<const double> allocation,
+                  std::vector<double>& utilities);
 
 }  // namespace opus

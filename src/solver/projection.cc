@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/mathutil.h"
 
 namespace opus {
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 double WeightAt(std::span<const double> weights, std::size_t j) {
   return weights.empty() ? 1.0 : weights[j];
@@ -23,6 +26,39 @@ double ClampedWeightedSum(std::span<const double> y,
   return s;
 }
 
+// Writes x_j = clamp(y_j - tau * w_j, 0, 1), then absorbs the remaining
+// capacity residue into interior coordinates so downstream capacity checks
+// hold to tight tolerance regardless of how tau was located.
+void FinishProjection(std::span<const double> y, double capacity,
+                      std::span<const double> weights, double tau,
+                      std::vector<double>& x) {
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    x[j] = Clamp(y[j] - tau * WeightAt(weights, j), 0.0, 1.0);
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    total += WeightAt(weights, j) * x[j];
+  }
+  double residual = capacity - total;  // in weighted units
+  for (std::size_t j = 0; j < x.size() && std::fabs(residual) > 1e-15; ++j) {
+    if (x[j] > 0.0 && x[j] < 1.0) {
+      const double w = WeightAt(weights, j);
+      const double nx = Clamp(x[j] + residual / w, 0.0, 1.0);
+      residual -= (nx - x[j]) * w;
+      x[j] = nx;
+    }
+  }
+}
+
+void CheckInputs(std::span<const double> y, double capacity,
+                 std::span<const double> weights) {
+  OPUS_CHECK_GE(capacity, 0.0);
+  if (!weights.empty()) {
+    OPUS_CHECK_EQ(weights.size(), y.size());
+    for (double w : weights) OPUS_CHECK_GT(w, 0.0);
+  }
+}
+
 }  // namespace
 
 std::vector<double> ProjectCappedSimplex(std::span<const double> y,
@@ -33,11 +69,17 @@ std::vector<double> ProjectCappedSimplex(std::span<const double> y,
 std::vector<double> ProjectCappedSimplex(std::span<const double> y,
                                          double capacity,
                                          std::span<const double> weights) {
-  OPUS_CHECK_GE(capacity, 0.0);
-  if (!weights.empty()) {
-    OPUS_CHECK_EQ(weights.size(), y.size());
-    for (double w : weights) OPUS_CHECK_GT(w, 0.0);
-  }
+  CheckInputs(y, capacity, weights);
+  std::vector<double> x;
+  CappedSimplexProjector projector;  // fresh state: always the exact path
+  projector.Project(y, capacity, weights, x);
+  return x;
+}
+
+std::vector<double> ProjectCappedSimplexBisect(
+    std::span<const double> y, double capacity,
+    std::span<const double> weights) {
+  CheckInputs(y, capacity, weights);
   std::vector<double> x(y.size());
   // Fast path: the box-clamped point may already satisfy the capacity.
   double clamped_sum = 0.0;
@@ -64,26 +106,141 @@ std::vector<double> ProjectCappedSimplex(std::span<const double> y,
     }
     if (hi - lo < 1e-15 * std::max(1.0, hi)) break;
   }
-  const double tau = 0.5 * (lo + hi);
+  FinishProjection(y, capacity, weights, 0.5 * (lo + hi), x);
+  return x;
+}
+
+void CappedSimplexProjector::Project(std::span<const double> y,
+                                     double capacity,
+                                     std::span<const double> weights,
+                                     std::vector<double>& out) {
+  ++stats_.calls;
+  OPUS_CHECK_GE(capacity, 0.0);
+  if (!weights.empty()) OPUS_CHECK_EQ(weights.size(), y.size());
+  out.resize(y.size());
+  double clamped_sum = 0.0;
   for (std::size_t j = 0; j < y.size(); ++j) {
-    x[j] = Clamp(y[j] - tau * WeightAt(weights, j), 0.0, 1.0);
+    out[j] = Clamp(y[j], 0.0, 1.0);
+    clamped_sum += WeightAt(weights, j) * out[j];
   }
-  // Exact-capacity touch-up: absorb the bisection residue in interior
-  // coordinates so downstream capacity checks hold to tight tolerance.
-  double total = 0.0;
-  for (std::size_t j = 0; j < x.size(); ++j) {
-    total += WeightAt(weights, j) * x[j];
+  if (clamped_sum <= capacity) {
+    ++stats_.clamp_fast;
+    return;
   }
-  double residual = capacity - total;  // in weighted units
-  for (std::size_t j = 0; j < x.size() && std::fabs(residual) > 1e-15; ++j) {
-    if (x[j] > 0.0 && x[j] < 1.0) {
-      const double w = WeightAt(weights, j);
-      const double nx = Clamp(x[j] + residual / w, 0.0, 1.0);
-      residual -= (nx - x[j]) * w;
-      x[j] = nx;
+
+  // Capacity binds: locate tau with g(tau) = C. clamped_sum > C >= 0
+  // guarantees some y_j > 0, so tau_max > 0 and a crossing exists.
+  double tau_max = 0.0;
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    tau_max = std::max(tau_max, y[j] / WeightAt(weights, j));
+  }
+  double tau = 0.0;
+  if (have_tau_ && WarmTau(y, capacity, weights, last_tau_, tau_max, &tau)) {
+    ++stats_.warm_hits;
+  } else {
+    tau = ExactTau(y, capacity, weights);
+    ++stats_.exact_solves;
+  }
+  last_tau_ = tau;
+  have_tau_ = true;
+  FinishProjection(y, capacity, weights, tau, out);
+}
+
+double CappedSimplexProjector::ExactTau(std::span<const double> y,
+                                        double capacity,
+                                        std::span<const double> weights) {
+  // Segment state at tau = 0+: coordinates with y_j > 1 sit at their upper
+  // bound (contributing w_j), coordinates with 0 < y_j <= 1 are interior
+  // (contributing w_j * (y_j - tau * w_j)), the rest are zero.
+  events_.clear();
+  double at_one = 0.0;  // sum of w_j over at-upper-bound coordinates
+  double wy = 0.0;      // sum of w_j * y_j over interior coordinates
+  double ww = 0.0;      // sum of w_j^2 over interior coordinates
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    const double w = WeightAt(weights, j);
+    const double yj = y[j];
+    if (yj <= 0.0) continue;
+    const double t_one = (yj - 1.0) / w;  // leaves the upper bound here
+    if (t_one > 0.0) {
+      at_one += w;
+      events_.push_back({t_one, -w, w * yj, w * w});
+    } else {
+      wy += w * yj;
+      ww += w * w;
+    }
+    events_.push_back({yj / w, 0.0, -(w * yj), -(w * w)});  // reaches zero
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) { return a.tau < b.tau; });
+
+  double prev = 0.0;
+  std::size_t k = 0;
+  for (;;) {
+    const double next = k < events_.size() ? events_[k].tau : kInf;
+    if (ww > 0.0) {
+      // g(t) = at_one + wy - t * ww on [prev, next]; solve g(t) = C.
+      const double t = (at_one + wy - capacity) / ww;
+      if (t <= next) return Clamp(t, prev, next);
+    } else if (at_one + wy <= capacity) {
+      // Flat segment already at/below capacity (numerical edge): the
+      // crossing happened at the segment boundary.
+      return prev;
+    }
+    if (k >= events_.size()) break;
+    prev = next;
+    while (k < events_.size() && events_[k].tau == next) {
+      at_one += events_[k].d_at_one;
+      wy += events_[k].d_wy;
+      ww += events_[k].d_ww;
+      ++k;
     }
   }
-  return x;
+  // Past the last breakpoint g is 0 <= C; only reachable through floating-
+  // point pathologies. The capacity touch-up repairs the residue.
+  return prev;
+}
+
+bool CappedSimplexProjector::WarmTau(std::span<const double> y,
+                                     double capacity,
+                                     std::span<const double> weights,
+                                     double tau0, double tau_max,
+                                     double* tau) const {
+  // Safeguarded Newton on the piecewise-linear g: the bracket [lo, hi]
+  // always contains the crossing (g(0) > C, g(tau_max) = 0 <= C), and once
+  // an iterate lands in the crossing's linear segment one Newton step
+  // solves it exactly. Typical warm calls resolve in 2-4 O(M) passes.
+  double lo = 0.0;
+  double hi = tau_max;
+  double t = Clamp(tau0, lo, hi);
+  for (int it = 0; it < 24; ++it) {
+    double g = 0.0;
+    double slope = 0.0;  // -g'(t): sum of w_j^2 over interior coordinates
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      const double w = WeightAt(weights, j);
+      const double v = y[j] - t * w;
+      if (v >= 1.0) {
+        g += w;
+      } else if (v > 0.0) {
+        g += w * v;
+        slope += w * w;
+      }
+    }
+    const double err = g - capacity;
+    if (std::fabs(err) <= 1e-12 * std::max(1.0, capacity)) {
+      *tau = t;
+      return true;
+    }
+    if (err > 0.0) {
+      lo = t;
+    } else {
+      hi = t;
+    }
+    double next = slope > 0.0 ? t + err / slope : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (next == t) return false;  // bracket exhausted without convergence
+    t = next;
+  }
+  return false;
 }
 
 bool IsFeasibleCappedSimplex(std::span<const double> x, double capacity,

@@ -4,19 +4,34 @@
 // This is the feasible set of the cache allocation problem (files of unit
 // size cached fractionally, total capacity C). The projection is the
 // workhorse of the projected-gradient PF solver.
+//
+// Two implementations of the same map:
+//  - ProjectCappedSimplex: exact sort-based breakpoint algorithm. The KKT
+//    conditions give x_j = clamp(y_j - tau * w_j, 0, 1); the weighted sum
+//    g(tau) = sum_j w_j x_j(tau) is piecewise linear and non-increasing
+//    with at most 2M breakpoints ((y_j - 1)/w_j where a coordinate leaves
+//    its upper bound, y_j/w_j where it hits zero). Sorting the breakpoints
+//    and sweeping the segments locates the exact tau with g(tau) = C in
+//    O(M log M).
+//  - ProjectCappedSimplexBisect: the original 200-round bisection on tau,
+//    kept as an independent cross-check path (tests assert the two agree).
+//
+// CappedSimplexProjector adds a warm-started tau fast path on top of the
+// exact algorithm for the projection-heavy inner loops of the PF solver
+// (Armijo backtracking, residual checks): consecutive projections of nearby
+// points have nearby tau, so a safeguarded Newton iteration on g seeded
+// with the previous tau usually resolves in a few O(M) passes without
+// sorting; when it fails to converge it falls back to the exact sort.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace opus {
 
-// Returns argmin_{x in S} ||x - y||_2. Requires capacity >= 0.
-//
-// Implementation: if clamp(y, 0, 1) already fits the capacity it is optimal;
-// otherwise the KKT conditions give x_j = clamp(y_j - tau, 0, 1) for the
-// unique tau >= 0 with sum_j x_j = C, located by bisection (the sum is
-// continuous and non-increasing in tau).
+// Returns argmin_{x in S} ||x - y||_2 via the exact breakpoint algorithm.
+// Requires capacity >= 0.
 std::vector<double> ProjectCappedSimplex(std::span<const double> y,
                                          double capacity);
 
@@ -27,6 +42,59 @@ std::vector<double> ProjectCappedSimplex(std::span<const double> y,
 std::vector<double> ProjectCappedSimplex(std::span<const double> y,
                                          double capacity,
                                          std::span<const double> weights);
+
+// Bisection reference implementation of the same projection (the pre-
+// breakpoint production path). Kept as an algorithmically independent
+// cross-check; also the projection used by the dense reference PF engine
+// so benchmarks measure the full pre-optimization baseline.
+std::vector<double> ProjectCappedSimplexBisect(
+    std::span<const double> y, double capacity,
+    std::span<const double> weights = {});
+
+// Reusable projection engine with workspace reuse and a warm-started tau
+// fast path. One projector serves one solve (single-threaded); parallel
+// solves each own a projector, so results are independent of thread count.
+class CappedSimplexProjector {
+ public:
+  struct Stats {
+    std::uint64_t calls = 0;       // total projections
+    std::uint64_t clamp_fast = 0;  // box clamp already feasible (no tau)
+    std::uint64_t warm_hits = 0;   // warm-started Newton resolved tau
+    std::uint64_t exact_solves = 0;  // full breakpoint sort runs
+  };
+
+  // Projects `y` onto the (weighted) capped simplex into `out`. Empty
+  // `weights` means all-ones; weights must be positive (validated by the
+  // caller once, not per call — this runs in the solver's inner loop).
+  void Project(std::span<const double> y, double capacity,
+               std::span<const double> weights, std::vector<double>& out);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    double tau;
+    double d_at_one;  // delta to the at-upper-bound weight sum
+    double d_wy;      // delta to sum of w_j * y_j over interior coords
+    double d_ww;      // delta to sum of w_j^2 over interior coords
+  };
+
+  // Exact breakpoint solve for tau with g(tau) = capacity; requires the
+  // box-clamped point to exceed capacity.
+  double ExactTau(std::span<const double> y, double capacity,
+                  std::span<const double> weights);
+
+  // Safeguarded Newton on g seeded at `tau0`; returns true and writes
+  // `*tau` on convergence, false to request the exact path.
+  bool WarmTau(std::span<const double> y, double capacity,
+               std::span<const double> weights, double tau0, double tau_max,
+               double* tau) const;
+
+  Stats stats_;
+  std::vector<Event> events_;  // reused breakpoint workspace
+  double last_tau_ = 0.0;
+  bool have_tau_ = false;
+};
 
 // True iff x is feasible for S up to tolerance `tol`. Empty `weights`
 // means all-ones.

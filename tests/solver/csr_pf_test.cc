@@ -1,0 +1,182 @@
+// CSR structure tests plus the sparse/dense PF engine agreement property:
+// the production CSR engine and the dense reference engine must produce the
+// same allocations (to solver tolerance) on random sparse instances and on
+// the paper's worked examples.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "solver/pf_solver.h"
+#include "workload/paper_examples.h"
+
+namespace opus {
+namespace {
+
+TEST(CsrMatrixTest, FromDenseKeepsStructure) {
+  const Matrix dense = Matrix::FromRows({{0.0, 2.0, 0.0, 1.0},
+                                         {0.0, 0.0, 0.0, 0.0},
+                                         {3.0, 0.0, 0.5, 0.0}});
+  const CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.cols(), 4u);
+  EXPECT_EQ(csr.nnz(), 4u);
+  ASSERT_EQ(csr.row_cols(0).size(), 2u);
+  EXPECT_EQ(csr.row_cols(0)[0], 1u);
+  EXPECT_EQ(csr.row_cols(0)[1], 3u);
+  EXPECT_DOUBLE_EQ(csr.row_vals(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(csr.row_vals(0)[1], 1.0);
+  EXPECT_EQ(csr.row_cols(1).size(), 0u);
+  EXPECT_DOUBLE_EQ(csr.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(csr.row_sum(1), 0.0);
+  EXPECT_DOUBLE_EQ(csr.row_sum(2), 3.5);
+  EXPECT_DOUBLE_EQ(csr.NnzRatio(), 4.0 / 12.0);
+}
+
+TEST(CsrMatrixTest, NegativeEntryAborts) {
+  const Matrix dense = Matrix::FromRows({{0.5, -0.1}});
+  EXPECT_DEATH((void)CsrMatrix::FromDense(dense), "OPUS_CHECK");
+}
+
+TEST(CsrMatrixTest, ColumnSubsetRenumbers) {
+  const Matrix dense = Matrix::FromRows({{1.0, 2.0, 3.0, 4.0},
+                                         {0.0, 5.0, 0.0, 6.0}});
+  const CsrMatrix csr = CsrMatrix::FromDense(dense);
+  const std::vector<std::size_t> keep = {1, 3};
+  const CsrMatrix sub = csr.ColumnSubset(keep);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.cols(), 2u);
+  ASSERT_EQ(sub.row_cols(0).size(), 2u);
+  EXPECT_EQ(sub.row_cols(0)[0], 0u);  // old column 1
+  EXPECT_EQ(sub.row_cols(0)[1], 1u);  // old column 3
+  EXPECT_DOUBLE_EQ(sub.row_vals(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(sub.row_vals(0)[1], 4.0);
+  EXPECT_DOUBLE_EQ(sub.row_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(sub.row_sum(1), 11.0);
+}
+
+TEST(CsrUtilitiesTest, MatchesDenseDotProducts) {
+  Rng rng(11);
+  const std::size_t n = 7, m = 23;
+  Matrix dense(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng.NextDouble() < 0.3) dense(i, j) = rng.NextUniform(0.0, 1.0);
+    }
+  }
+  std::vector<double> a(m);
+  for (double& v : a) v = rng.NextUniform(0.0, 1.0);
+  const CsrMatrix csr = CsrMatrix::FromDense(dense);
+  std::vector<double> utilities;
+  CsrUtilities(csr, a, utilities);
+  ASSERT_EQ(utilities.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(utilities[i], Dot(dense.row(i), a)) << "user " << i;
+  }
+}
+
+// Solves one instance through both engines and asserts agreement.
+void ExpectEnginesAgree(const Matrix& prefs, double capacity,
+                        std::span<const double> weights = {},
+                        std::span<const double> file_sizes = {}) {
+  PfOptions sparse_opts;
+  PfOptions dense_opts;
+  dense_opts.use_dense_reference = true;
+  const PfSolution sparse = SolveProportionalFairness(
+      prefs, capacity, sparse_opts, weights, {}, file_sizes);
+  const PfSolution dense = SolveProportionalFairness(
+      prefs, capacity, dense_opts, weights, {}, file_sizes);
+  ASSERT_TRUE(sparse.converged);
+  ASSERT_TRUE(dense.converged);
+  // Both engines satisfy the same KKT residual bound; utilities at a PF
+  // optimum are unique, allocations match up to solver tolerance.
+  EXPECT_NEAR(MaxAbsDiff(sparse.utilities, dense.utilities), 0.0, 1e-6);
+  EXPECT_NEAR(MaxAbsDiff(sparse.allocation, dense.allocation), 0.0, 1e-5);
+  EXPECT_LT(PfOptimalityResidual(prefs, capacity, sparse.allocation, weights,
+                                 file_sizes),
+            1e-7);
+}
+
+TEST(SparseDenseAgreementTest, PaperExamples) {
+  {
+    const auto p = workload::Fig1Example();
+    ExpectEnginesAgree(p.preferences, p.capacity);
+  }
+  {
+    const auto p = workload::Fig3Example();
+    ExpectEnginesAgree(p.preferences, p.capacity);
+  }
+}
+
+class SparseDenseAgreementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseDenseAgreementProperty, RandomInstancesAgree) {
+  Rng rng(3300 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.NextBounded(8);
+  const std::size_t m = 4 + rng.NextBounded(40);
+  const double density = rng.NextUniform(0.05, 0.6);
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Leave some rows identically zero: such users are outside the
+    // mechanism and both engines must ignore them identically.
+    if (i == 0 && GetParam() % 3 == 0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng.NextDouble() < density) prefs(i, j) = rng.NextUniform(0.1, 1.0);
+    }
+  }
+  const double capacity = rng.NextUniform(0.5, static_cast<double>(m) * 0.8);
+
+  std::vector<double> weights;
+  if (GetParam() % 2 == 1) {
+    weights.resize(n);
+    for (double& w : weights) w = rng.NextUniform(0.2, 3.0);
+  }
+  std::vector<double> sizes;
+  if (GetParam() % 4 >= 2) {
+    sizes.resize(m);
+    for (double& s : sizes) s = rng.NextUniform(0.2, 2.5);
+  }
+  ExpectEnginesAgree(prefs, capacity, weights, sizes);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SparseDenseAgreementProperty,
+                         ::testing::Range(0, 24));
+
+// A warm start plus utility offsets poses a column-restricted subproblem;
+// the sparse engine must honor both (exercised heavily by the restricted
+// leave-one-out tax path).
+TEST(SparseEngineTest, UtilityOffsetsShiftUtilities) {
+  const Matrix prefs = Matrix::FromRows({{0.7, 0.3}, {0.2, 0.8}});
+  const CsrMatrix csr = CsrMatrix::FromDense(prefs);
+  const std::vector<double> offsets = {0.25, 0.5};
+  const PfSolution sol =
+      SolveProportionalFairnessCsr(csr, 1.0, {}, {}, {}, {}, offsets);
+  ASSERT_TRUE(sol.converged);
+  // Reported utilities include the fixed offsets on top of p_i . a.
+  std::vector<double> base;
+  CsrUtilities(csr, sol.allocation, base);
+  EXPECT_NEAR(sol.utilities[0], base[0] + 0.25, 1e-12);
+  EXPECT_NEAR(sol.utilities[1], base[1] + 0.5, 1e-12);
+}
+
+TEST(SparseEngineTest, ReportsProjectionStats) {
+  Rng rng(5);
+  const std::size_t n = 6, m = 40;
+  Matrix prefs(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng.NextDouble() < 0.2) prefs(i, j) = rng.NextUniform(0.1, 1.0);
+    }
+  }
+  const PfSolution sol = SolveProportionalFairness(prefs, 8.0);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_GT(sol.projection_calls, 0u);
+  EXPECT_GE(sol.projection_calls,
+            sol.projection_warm_hits + sol.projection_exact);
+}
+
+}  // namespace
+}  // namespace opus

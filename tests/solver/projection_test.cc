@@ -101,5 +101,98 @@ TEST_P(ProjectionPropertyTest, ProjectionIsNearestFeasiblePoint) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, ProjectionPropertyTest,
                          ::testing::Range(0, 25));
 
+// Property: the exact breakpoint algorithm and the bisection reference
+// locate the same projection — unweighted and with random positive weights
+// (file sizes), including degenerate capacities (0, boundary, >= total).
+class BreakpointVsBisectTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BreakpointVsBisectTest, ExactMatchesBisection) {
+  Rng rng(7100 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 1 + rng.NextBounded(40);
+  std::vector<double> y(m);
+  for (double& v : y) v = rng.NextUniform(-2.0, 3.0);
+  std::vector<double> weights;
+  if (GetParam() % 2 == 1) {
+    weights.resize(m);
+    for (double& w : weights) w = rng.NextUniform(0.1, 4.0);
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    total += weights.empty() ? 1.0 : weights[j];
+  }
+  // Degenerate and generic capacities: empty, boundary-tight, interior,
+  // and slack (capacity >= total size never binds).
+  const double caps[] = {0.0, 1e-12, rng.NextUniform(0.0, total), 0.5 * total,
+                         total, total + 1.0};
+  for (const double capacity : caps) {
+    const auto exact = ProjectCappedSimplex(y, capacity, weights);
+    const auto bisect = ProjectCappedSimplexBisect(y, capacity, weights);
+    ASSERT_TRUE(IsFeasibleCappedSimplex(exact, capacity, 1e-9, weights));
+    EXPECT_NEAR(MaxAbsDiff(exact, bisect), 0.0, 1e-9)
+        << "capacity=" << capacity << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BreakpointVsBisectTest,
+                         ::testing::Range(0, 40));
+
+// The warm-started projector must match the stateless exact projection on
+// every call of a correlated sequence (the solver's Armijo pattern:
+// repeated projections of slowly-moving points).
+TEST(CappedSimplexProjectorTest, WarmSequenceMatchesExact) {
+  Rng rng(4242);
+  const std::size_t m = 64;
+  std::vector<double> y(m);
+  for (double& v : y) v = rng.NextUniform(0.0, 2.0);
+  const double capacity = 8.0;
+
+  CappedSimplexProjector projector;
+  std::vector<double> out;
+  for (int step = 0; step < 50; ++step) {
+    for (double& v : y) v += rng.NextUniform(-0.05, 0.05);
+    projector.Project(y, capacity, {}, out);
+    const auto reference = ProjectCappedSimplex(y, capacity);
+    ASSERT_NEAR(MaxAbsDiff(out, reference), 0.0, 1e-9) << "step " << step;
+    ASSERT_TRUE(IsFeasibleCappedSimplex(out, capacity, 1e-9));
+  }
+  const auto& stats = projector.stats();
+  EXPECT_EQ(stats.calls, 50u);
+  EXPECT_EQ(stats.clamp_fast + stats.warm_hits + stats.exact_solves, 50u);
+  // The whole point of the warm path: after the first exact solve, nearby
+  // projections resolve via the warm-started Newton iteration.
+  EXPECT_GT(stats.warm_hits, 40u);
+}
+
+TEST(CappedSimplexProjectorTest, WeightedWarmSequenceMatchesExact) {
+  Rng rng(777);
+  const std::size_t m = 48;
+  std::vector<double> y(m), weights(m);
+  for (double& v : y) v = rng.NextUniform(0.0, 2.0);
+  for (double& w : weights) w = rng.NextUniform(0.2, 3.0);
+  const double capacity = 10.0;
+
+  CappedSimplexProjector projector;
+  std::vector<double> out;
+  for (int step = 0; step < 30; ++step) {
+    for (double& v : y) v += rng.NextUniform(-0.02, 0.02);
+    projector.Project(y, capacity, weights, out);
+    const auto reference = ProjectCappedSimplex(y, capacity, weights);
+    ASSERT_NEAR(MaxAbsDiff(out, reference), 0.0, 1e-9) << "step " << step;
+  }
+}
+
+// A projector whose state comes from an unrelated problem must still be
+// correct on the next call (warm failure falls back to the exact sort).
+TEST(CappedSimplexProjectorTest, StaleTauStillCorrect) {
+  CappedSimplexProjector projector;
+  std::vector<double> out;
+  const std::vector<double> big(32, 100.0);
+  projector.Project(big, 1.0, {}, out);  // tau lands near 100
+  const std::vector<double> small = {0.6, 0.5, 0.4, 0.3};
+  projector.Project(small, 1.0, {}, out);
+  const auto reference = ProjectCappedSimplex(small, 1.0);
+  EXPECT_NEAR(MaxAbsDiff(out, reference), 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace opus
