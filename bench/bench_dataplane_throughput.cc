@@ -1,0 +1,611 @@
+// Data-plane throughput bench: block-access events/sec through the cache
+// cluster hot path (placement -> store probe -> counters -> spans) across
+// managed/unmanaged x lru/lfu x worker-count cells, against a faithful
+// replica of the pre-optimization data plane:
+//   - new (production): flat open-addressing BlockStore with intrusive O(1)
+//     LRU / frequency-bucket LFU, precomputed block->worker placement,
+//     span attributes formatted only when recorded;
+//   - reference (pre-change): ReferenceBlockStore (unordered_map +
+//     unordered_set + virtual std-container policies), std::map
+//     consistent-hash ring walked per block, span attributes formatted
+//     unconditionally.
+//
+// Self-check (exit non-zero on any divergence, so CI can gate on it):
+// both planes must produce bit-identical per-read hit/miss byte series,
+// eviction counts, metric exports, span exports and event exports; and the
+// new plane's exports must be byte-identical between the parallel sweep
+// and a serial re-run (the --threads axis must not leak into outputs).
+//
+// Emits machine-readable JSON (default BENCH_dataplane.json) with
+// median/p90 events/sec per cell and the new/reference speedup. `--smoke`
+// shrinks the grid for CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cluster.h"
+#include "cache/eviction.h"
+#include "cache/file_meta.h"
+#include "cache/placement.h"
+#include "cache/reference_store.h"
+#include "cache/under_store.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/zipf.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
+#include "scenarios.h"
+
+namespace opus::bench {
+namespace {
+
+using cache::BlockId;
+using cache::CacheCluster;
+using cache::Catalog;
+using cache::ClusterConfig;
+using cache::FileId;
+using cache::ReadResult;
+using cache::UserId;
+using cache::WorkerId;
+
+// Same fixed bounds as CacheCluster's internal LatencyBounds(): the
+// reference plane must register byte-identical histograms.
+std::vector<double> LatencyBounds() {
+  return {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+double Percentile(std::vector<double> v, double q) {
+  OPUS_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+// ---------------------------------------------------------------------------
+// ReferenceDataPlane — the pre-change CacheCluster read/allocation path,
+// preserved move for move: triple-probe stores, per-block std::map ring
+// lookups, and unconditional attribute formatting. Kept runnable here so
+// the speedup claim stays measurable against the real old code path.
+// ---------------------------------------------------------------------------
+class ReferenceDataPlane {
+ public:
+  ReferenceDataPlane(const ClusterConfig& config, Catalog catalog)
+      : config_(config), catalog_(std::move(catalog)),
+        under_store_(config.under_store),
+        spans_(obs::SpanTraceConfig{config.span_sample_every,
+                                    config.span_capacity}) {
+    const std::uint64_t per_worker =
+        config_.cache_capacity_bytes / config_.num_workers;
+    for (WorkerId w = 0; w < config_.num_workers; ++w) {
+      workers_.push_back(std::make_unique<cache::ReferenceBlockStore>(
+          per_worker, cache::MakeEvictionPolicy(config_.eviction_policy)));
+    }
+    // The old ConsistentHashRing: 64 virtual nodes per worker in a
+    // std::map, colliding points overwritten by the later insert.
+    OPUS_CHECK(config_.placement == "consistent");
+    for (WorkerId w = 0; w < config_.num_workers; ++w) {
+      for (std::uint32_t v = 0; v < 64; ++v) {
+        ring_[cache::PlacementHash((static_cast<std::uint64_t>(w) << 32) |
+                                   v)] = w;
+      }
+    }
+    under_store_.AttachMetrics(&metrics_);
+    under_store_.AttachSpans(&spans_);
+    trace_.AttachDropCounter(&metrics_.counter("obs.trace.dropped"));
+    spans_.AttachDropCounter(&metrics_.counter("obs.spans.dropped"));
+    read_latency_hist_ =
+        &metrics_.histogram("cluster.read.latency_sec", LatencyBounds());
+    worker_counters_.resize(workers_.size());
+    for (WorkerId w = 0; w < workers_.size(); ++w) {
+      const std::string p = "cluster.worker." + std::to_string(w) + ".";
+      WorkerCounters& c = worker_counters_[w];
+      c.mem_hits = &metrics_.counter(p + "mem_hits");
+      c.mem_hit_bytes = &metrics_.counter(p + "mem_hit_bytes");
+      c.misses = &metrics_.counter(p + "misses");
+      c.miss_bytes = &metrics_.counter(p + "miss_bytes");
+      c.pins = &metrics_.counter(p + "pins");
+      c.unpins = &metrics_.counter(p + "unpins");
+      c.loads = &metrics_.counter(p + "loads");
+      c.pin_failures = &metrics_.counter(p + "pin_failures");
+      c.failures = &metrics_.counter(p + "failures");
+      workers_[w]->set_eviction_counter(&metrics_.counter(p + "evictions"));
+    }
+    user_counters_.resize(config_.num_users);
+    for (UserId u = 0; u < config_.num_users; ++u) {
+      const std::string p = "cluster.user." + std::to_string(u) + ".";
+      UserCounters& c = user_counters_[u];
+      c.reads = &metrics_.counter(p + "reads");
+      c.mem_bytes = &metrics_.counter(p + "mem_bytes");
+      c.disk_bytes = &metrics_.counter(p + "disk_bytes");
+      c.blocking_delay_sec =
+          &metrics_.histogram(p + "blocking_delay_sec", LatencyBounds());
+    }
+  }
+
+  ReadResult Read(UserId user, FileId file) {
+    const cache::FileInfo& info = catalog_.Get(file);
+    obs::ScopedSpan span(&spans_, "cluster.read");
+    // Pre-change behaviour: format unconditionally, let the trace drop the
+    // strings if the span is muted.
+    span.AddAttr("user", std::to_string(user));
+    span.AddAttr("file", std::to_string(file));
+
+    ReadResult r;
+    r.bytes_total = info.size_bytes;
+    {
+      obs::ScopedSpan probe(&spans_, "cluster.probe");
+      for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+        const BlockId block = cache::MakeBlockId(file, idx);
+        const std::uint64_t bytes = info.BlockBytes(idx);
+        const WorkerId w = RingPlace(block);
+        cache::ReferenceBlockStore& store = *workers_[w];
+        WorkerCounters& wc = worker_counters_[w];
+        if (store.Access(block)) {
+          r.bytes_from_memory += bytes;
+          wc.mem_hits->Increment();
+          wc.mem_hit_bytes->Increment(bytes);
+        } else {
+          r.bytes_from_disk += bytes;
+          wc.misses->Increment();
+          wc.miss_bytes->Increment(bytes);
+          if (!managed_) store.Insert(block, bytes);
+        }
+      }
+      probe.AddAttr("blocks", std::to_string(info.num_blocks));
+      probe.AddAttr("mem_bytes", std::to_string(r.bytes_from_memory));
+      probe.AddAttr("disk_bytes", std::to_string(r.bytes_from_disk));
+    }
+    r.latency_sec = static_cast<double>(r.bytes_from_memory) /
+                    config_.memory_bandwidth_bytes_per_sec;
+    if (r.bytes_from_disk > 0) {
+      r.latency_sec += under_store_.Read(r.bytes_from_disk);
+    }
+    r.memory_fraction = info.size_bytes == 0
+                            ? 0.0
+                            : static_cast<double>(r.bytes_from_memory) /
+                                  static_cast<double>(info.size_bytes);
+    r.effective_hit = r.memory_fraction;  // no access model in the bench
+    UserCounters& uc = user_counters_[user];
+    uc.reads->Increment();
+    uc.mem_bytes->Increment(r.bytes_from_memory);
+    uc.disk_bytes->Increment(r.bytes_from_disk);
+    read_latency_hist_->Observe(r.latency_sec);
+    span.AddAttr("bytes", std::to_string(r.bytes_total));
+    span.AddAttr("latency_sec", obs::FormatDouble(r.latency_sec));
+    return r;
+  }
+
+  void ApplyAllocation(const std::vector<double>& file_fractions) {
+    OPUS_CHECK_EQ(file_fractions.size(), catalog_.size());
+    obs::ScopedSpan span(&spans_, "cluster.apply_allocation");
+    managed_ = true;
+    ++epoch_;
+    span.AddAttr("epoch", std::to_string(epoch_));
+    std::vector<cache::CacheUpdate> updates(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      updates[w].worker = static_cast<WorkerId>(w);
+      updates[w].epoch = epoch_;
+    }
+    for (FileId f = 0; f < catalog_.size(); ++f) {
+      const cache::FileInfo& info = catalog_.Get(f);
+      const double frac =
+          std::min(1.0, std::max(0.0, file_fractions[f]));
+      const auto want = static_cast<std::uint32_t>(
+          std::floor(frac * static_cast<double>(info.num_blocks) + 1e-6));
+      for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+        const BlockId block = cache::MakeBlockId(f, idx);
+        cache::ReferenceBlockStore& store = *workers_[RingPlace(block)];
+        auto& up = updates[RingPlace(block)];
+        if (idx < want) {
+          if (!store.Contains(block)) up.load.push_back(block);
+          up.pin.push_back(block);
+        } else {
+          up.unpin.push_back(block);
+          if (store.Contains(block)) store.Erase(block);
+        }
+      }
+    }
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      cache::ReferenceBlockStore& store = *workers_[w];
+      const cache::CacheUpdate& up = updates[w];
+      std::uint64_t failed = 0;
+      for (BlockId b : up.unpin) store.Unpin(b);
+      for (BlockId b : up.load) {
+        if (!store.Insert(b, BlockBytes(b))) ++failed;
+      }
+      for (BlockId b : up.pin) {
+        if (!store.Pin(b)) ++failed;
+      }
+      WorkerCounters& wc = worker_counters_[w];
+      wc.pins->Increment(up.pin.size());
+      wc.unpins->Increment(up.unpin.size());
+      wc.loads->Increment(up.load.size());
+      wc.pin_failures->Increment(failed);
+      for (BlockId b : up.load) under_store_.Read(BlockBytes(b));
+    }
+    trace_.Emit("cluster.realloc_applied",
+                {{"epoch", std::to_string(epoch_)}});
+  }
+
+  std::uint64_t total_evictions() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) total += w->evictions();
+    return total;
+  }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  const obs::SpanTrace& spans() const { return spans_; }
+  const obs::EventTrace& trace() const { return trace_; }
+
+ private:
+  struct WorkerCounters {
+    obs::Counter* mem_hits = nullptr;
+    obs::Counter* mem_hit_bytes = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* miss_bytes = nullptr;
+    obs::Counter* pins = nullptr;
+    obs::Counter* unpins = nullptr;
+    obs::Counter* loads = nullptr;
+    obs::Counter* pin_failures = nullptr;
+    obs::Counter* failures = nullptr;
+  };
+  struct UserCounters {
+    obs::Counter* reads = nullptr;
+    obs::Counter* mem_bytes = nullptr;
+    obs::Counter* disk_bytes = nullptr;
+    obs::Histogram* blocking_delay_sec = nullptr;
+  };
+
+  WorkerId RingPlace(BlockId block) const {
+    const std::uint64_t h = cache::PlacementHash(block);
+    auto it = ring_.lower_bound(h);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+  std::uint64_t BlockBytes(BlockId b) const {
+    return catalog_.Get(cache::BlockFile(b)).BlockBytes(cache::BlockIndex(b));
+  }
+
+  ClusterConfig config_;
+  Catalog catalog_;
+  cache::UnderStore under_store_;
+  obs::MetricsRegistry metrics_;
+  obs::EventTrace trace_;
+  obs::SpanTrace spans_;
+  std::vector<std::unique_ptr<cache::ReferenceBlockStore>> workers_;
+  std::map<std::uint64_t, WorkerId> ring_;
+  std::vector<WorkerCounters> worker_counters_;
+  std::vector<UserCounters> user_counters_;
+  obs::Histogram* read_latency_hist_ = nullptr;
+  bool managed_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario grid
+// ---------------------------------------------------------------------------
+struct Cell {
+  bool managed = false;
+  std::string policy;  // "lru" | "lfu"
+  std::uint32_t workers = 0;
+};
+
+struct Workload {
+  Catalog catalog;
+  std::vector<std::pair<UserId, FileId>> accesses;
+  std::vector<double> fractions;  // managed allocation
+  std::uint64_t events = 0;       // block probes per measurement pass
+};
+
+constexpr std::uint64_t kBlockSize = 256 * cache::kKiB;
+constexpr std::size_t kNumFiles = 48;
+constexpr std::uint32_t kBlocksPerFile = 8;
+constexpr std::uint32_t kNumUsers = 2;
+
+Workload MakeWorkload(std::size_t cell_index, std::size_t reads) {
+  Workload w{Catalog(kBlockSize), {}, {}, 0};
+  for (std::size_t f = 0; f < kNumFiles; ++f) {
+    w.catalog.Register("file" + std::to_string(f),
+                       kBlocksPerFile * kBlockSize);
+  }
+  // Zipf(1.1) file popularity, rank == file id; users round-robin.
+  ZipfDistribution zipf(kNumFiles, 1.1);
+  Rng rng(7700 + 131 * cell_index);
+  w.accesses.reserve(reads);
+  for (std::size_t i = 0; i < reads; ++i) {
+    w.accesses.emplace_back(static_cast<UserId>(i % kNumUsers),
+                            static_cast<FileId>(zipf.Sample(rng)));
+  }
+  w.events = static_cast<std::uint64_t>(reads) * kBlocksPerFile;
+  // Managed allocation: fully pin the most popular files up to ~75% of
+  // cache capacity (the rest reads from disk), leaving headroom so no
+  // pin fails and both planes stay on the clean path.
+  w.fractions.assign(kNumFiles, 0.0);
+  return w;
+}
+
+ClusterConfig MakeConfig(const Cell& cell) {
+  ClusterConfig cfg;
+  cfg.num_workers = cell.workers;
+  cfg.cache_capacity_bytes = kNumFiles * kBlocksPerFile * kBlockSize / 2;
+  cfg.eviction_policy = cell.policy;
+  cfg.placement = "consistent";
+  cfg.num_users = kNumUsers;
+  cfg.span_sample_every = 1024;  // mostly-muted spans: the hot-path case
+  return cfg;
+}
+
+void FillManagedFractions(const ClusterConfig& cfg, Workload* w) {
+  const std::uint64_t budget = cfg.cache_capacity_bytes * 3 / 4;
+  std::uint64_t used = 0;
+  for (std::size_t f = 0; f < kNumFiles; ++f) {
+    const std::uint64_t file_bytes = kBlocksPerFile * kBlockSize;
+    if (used + file_bytes > budget) break;
+    w->fractions[f] = 1.0;
+    used += file_bytes;
+  }
+}
+
+std::uint64_t Fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// One observable fingerprint + full exports from driving a plane through
+// the workload (untimed pass).
+struct Observables {
+  std::uint64_t hit_series_hash = 14695981039346656037ULL;
+  std::uint64_t mem_bytes = 0;
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::string metrics_text;
+  std::string spans_text;
+  std::string events_text;
+};
+
+template <typename Plane>
+Observables Drive(Plane& plane, const Cell& cell, const Workload& w) {
+  if (cell.managed) plane.ApplyAllocation(w.fractions);
+  Observables obs;
+  for (const auto& [user, file] : w.accesses) {
+    const ReadResult r = plane.Read(user, file);
+    obs.hit_series_hash = Fnv1a(obs.hit_series_hash, r.bytes_from_memory);
+    obs.hit_series_hash = Fnv1a(obs.hit_series_hash, r.bytes_from_disk);
+    obs.mem_bytes += r.bytes_from_memory;
+    obs.disk_bytes += r.bytes_from_disk;
+  }
+  obs.evictions = plane.total_evictions();
+  obs.metrics_text = plane.metrics().Snapshot().ToText();
+  obs.spans_text = obs::SpansToText(plane.spans().Snapshot());
+  obs.events_text = obs::EventsToText(plane.trace().Snapshot());
+  return obs;
+}
+
+// Timed pass: fresh plane per rep, returns events/sec per rep.
+template <typename Plane, typename Factory>
+std::vector<double> TimeReps(const Factory& make, const Cell& cell,
+                             const Workload& w, int reps) {
+  std::vector<double> eps;
+  for (int rep = 0; rep < reps; ++rep) {
+    Plane plane = make();
+    if (cell.managed) plane.ApplyAllocation(w.fractions);
+    std::uint64_t sink = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& [user, file] : w.accesses) {
+      sink += plane.Read(user, file).bytes_from_memory;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(end - start).count();
+    // Keep the optimizer honest about the read results.
+    if (sink == 0xdeadbeef) std::fprintf(stderr, "impossible\n");
+    eps.push_back(static_cast<double>(w.events) / std::max(sec, 1e-12));
+  }
+  return eps;
+}
+
+struct CellResult {
+  Cell cell;
+  double new_median = 0.0, new_p90 = 0.0;
+  double ref_median = 0.0, ref_p90 = 0.0;
+  double speedup = 0.0;
+  double hit_ratio = 0.0;
+  std::uint64_t evictions = 0;
+  bool hit_series_match = false;
+  bool evictions_match = false;
+  bool metrics_match = false;
+  bool spans_match = false;
+  bool events_match = false;
+  Observables new_obs;  // kept for the serial re-run comparison
+  bool ok() const {
+    return hit_series_match && evictions_match && metrics_match &&
+           spans_match && events_match;
+  }
+};
+
+CellResult RunCell(std::size_t index, const Cell& cell, std::size_t reads,
+                   int reps) {
+  const ClusterConfig cfg = MakeConfig(cell);
+  Workload w = MakeWorkload(index, reads);
+  if (cell.managed) FillManagedFractions(cfg, &w);
+
+  CellResult res;
+  res.cell = cell;
+
+  // Observable equivalence (untimed): new plane vs pre-change replica.
+  CacheCluster new_plane(cfg, w.catalog);
+  res.new_obs = Drive(new_plane, cell, w);
+  ReferenceDataPlane ref_plane(cfg, w.catalog);
+  const Observables ref_obs = Drive(ref_plane, cell, w);
+
+  res.hit_series_match = res.new_obs.hit_series_hash == ref_obs.hit_series_hash &&
+                         res.new_obs.mem_bytes == ref_obs.mem_bytes &&
+                         res.new_obs.disk_bytes == ref_obs.disk_bytes;
+  res.evictions_match = res.new_obs.evictions == ref_obs.evictions;
+  res.metrics_match = res.new_obs.metrics_text == ref_obs.metrics_text;
+  res.spans_match = res.new_obs.spans_text == ref_obs.spans_text;
+  res.events_match = res.new_obs.events_text == ref_obs.events_text;
+  res.evictions = res.new_obs.evictions;
+  const std::uint64_t total = res.new_obs.mem_bytes + res.new_obs.disk_bytes;
+  res.hit_ratio = total == 0 ? 0.0
+                             : static_cast<double>(res.new_obs.mem_bytes) /
+                                   static_cast<double>(total);
+
+  // Throughput (timed, fresh planes).
+  const auto new_eps = TimeReps<CacheCluster>(
+      [&] { return CacheCluster(cfg, w.catalog); }, cell, w, reps);
+  const auto ref_eps = TimeReps<ReferenceDataPlane>(
+      [&] { return ReferenceDataPlane(cfg, w.catalog); }, cell, w, reps);
+  res.new_median = Percentile(new_eps, 0.5);
+  res.new_p90 = Percentile(new_eps, 0.9);
+  res.ref_median = Percentile(ref_eps, 0.5);
+  res.ref_p90 = Percentile(ref_eps, 0.9);
+  res.speedup = res.ref_median > 0.0 ? res.new_median / res.ref_median : 0.0;
+  return res;
+}
+
+int Run(bool smoke, const std::string& out_path, int reps, unsigned threads) {
+  std::vector<Cell> cells;
+  for (bool managed : {true, false}) {
+    for (const char* policy : {"lru", "lfu"}) {
+      for (std::uint32_t workers : {4u, 16u}) {
+        cells.push_back(Cell{managed, policy, workers});
+      }
+    }
+  }
+  const std::size_t reads = smoke ? 1500 : 15000;
+
+  // The sweep runs cells in parallel; each cell owns its planes, metrics
+  // and traces, so outputs must be independent of `threads`.
+  std::vector<CellResult> results(cells.size());
+  ThreadPool::Shared().ParallelFor(
+      cells.size(),
+      [&](std::size_t i) { results[i] = RunCell(i, cells[i], reads, reps); },
+      threads);
+
+  // Thread-independence check: re-drive each cell's observable pass
+  // serially and require byte-identical exports to the parallel sweep.
+  bool serial_match = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ClusterConfig cfg = MakeConfig(cells[i]);
+    Workload w = MakeWorkload(i, reads);
+    if (cells[i].managed) FillManagedFractions(cfg, &w);
+    CacheCluster plane(cfg, w.catalog);
+    const Observables serial = Drive(plane, cells[i], w);
+    serial_match = serial_match &&
+                   serial.metrics_text == results[i].new_obs.metrics_text &&
+                   serial.spans_text == results[i].new_obs.spans_text &&
+                   serial.events_text == results[i].new_obs.events_text &&
+                   serial.hit_series_hash == results[i].new_obs.hit_series_hash;
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"dataplane_throughput\",\n");
+  std::fprintf(out,
+               "  \"smoke\": %s,\n  \"reps\": %d,\n  \"reads\": %zu,\n"
+               "  \"threads\": %u,\n  \"cells\": [\n",
+               smoke ? "true" : "false", reps, reads, threads);
+
+  bool all_ok = true;
+  double managed_lru_speedup = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    all_ok = all_ok && r.ok();
+    if (r.cell.managed && r.cell.policy == "lru") {
+      managed_lru_speedup = std::max(managed_lru_speedup, r.speedup);
+    }
+    std::fprintf(
+        out,
+        "    {\"managed\": %s, \"policy\": \"%s\", \"workers\": %u,\n"
+        "     \"new\": {\"median_events_per_sec\": %.0f, "
+        "\"p90_events_per_sec\": %.0f},\n"
+        "     \"reference\": {\"median_events_per_sec\": %.0f, "
+        "\"p90_events_per_sec\": %.0f},\n"
+        "     \"speedup\": %.2f, \"hit_ratio\": %.4f, \"evictions\": %llu,\n"
+        "     \"checks\": {\"hit_series\": %s, \"evictions\": %s, "
+        "\"metrics\": %s, \"spans\": %s, \"events\": %s}}%s\n",
+        r.cell.managed ? "true" : "false", r.cell.policy.c_str(),
+        r.cell.workers, r.new_median, r.new_p90, r.ref_median, r.ref_p90,
+        r.speedup, r.hit_ratio, static_cast<unsigned long long>(r.evictions),
+        r.hit_series_match ? "true" : "false",
+        r.evictions_match ? "true" : "false",
+        r.metrics_match ? "true" : "false", r.spans_match ? "true" : "false",
+        r.events_match ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+    std::fprintf(stderr,
+                 "[%zu/%zu] %s %s W=%u: new %.2f Mev/s, ref %.2f Mev/s "
+                 "(%.1fx), checks=%s\n",
+                 i + 1, results.size(),
+                 r.cell.managed ? "managed" : "unmanaged",
+                 r.cell.policy.c_str(), r.cell.workers, r.new_median / 1e6,
+                 r.ref_median / 1e6, r.speedup, r.ok() ? "ok" : "FAIL");
+  }
+  std::fprintf(out,
+               "  ],\n  \"serial_parallel_exports_match\": %s,\n"
+               "  \"managed_lru_speedup\": %.2f,\n  \"all_match\": %s\n}\n",
+               serial_match ? "true" : "false", managed_lru_speedup,
+               all_ok && serial_match ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: new/reference data planes diverge\n");
+    return 1;
+  }
+  if (!serial_match) {
+    std::fprintf(stderr, "FAIL: exports differ between serial and parallel\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace opus::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_dataplane.json";
+  int reps = 3;
+  unsigned threads = opus::bench::BenchThreads();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + len;
+      return nullptr;
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--reps=")) {
+      reps = std::max(1, std::atoi(v));
+    } else if (const char* v = value("--threads=")) {
+      threads = static_cast<unsigned>(std::max(1, std::atoi(v)));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=PATH] [--reps=N] "
+                   "[--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return opus::bench::Run(smoke, out_path, reps, threads);
+}

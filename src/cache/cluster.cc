@@ -21,24 +21,44 @@ CacheCluster::CacheCluster(ClusterConfig config, Catalog catalog)
     : config_(config), catalog_(std::move(catalog)),
       under_store_(config.under_store),
       spans_(obs::SpanTraceConfig{config.span_sample_every,
-                                  config.span_capacity}) {
+                                  config.span_capacity}),
+      eviction_kind_(ParseEvictionKind(config.eviction_policy)) {
   OPUS_CHECK_GT(config_.num_workers, 0u);
   OPUS_CHECK_GT(config_.num_users, 0u);
   const std::uint64_t per_worker =
       config_.cache_capacity_bytes / config_.num_workers;
   for (WorkerId w = 0; w < config_.num_workers; ++w) {
-    workers_.push_back(std::make_unique<Worker>(
-        w, per_worker, MakeEvictionPolicy(config_.eviction_policy)));
+    workers_.push_back(
+        std::make_unique<Worker>(w, per_worker, eviction_kind_));
   }
   worker_alive_.assign(config_.num_workers, true);
-  last_updates_.resize(config_.num_workers);
+  pinned_prefix_.assign(catalog_.size(), 0);
   if (config_.placement == "consistent") {
     ring_.emplace(config_.num_workers);
   } else {
     OPUS_CHECK_MSG(config_.placement == "modulo",
                    "unknown placement policy: " << config_.placement);
   }
+  BuildPlacementCache();
   InitObservability();
+}
+
+void CacheCluster::BuildPlacementCache() {
+  file_offset_.assign(catalog_.size() + 1, 0);
+  for (FileId f = 0; f < catalog_.size(); ++f) {
+    file_offset_[f + 1] = file_offset_[f] + catalog_.Get(f).num_blocks;
+  }
+  block_worker_.resize(file_offset_.back());
+  for (FileId f = 0; f < catalog_.size(); ++f) {
+    const FileInfo& info = catalog_.Get(f);
+    for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+      const BlockId block = MakeBlockId(f, idx);
+      block_worker_[file_offset_[f] + idx] =
+          ring_ ? ring_->Place(block)
+                : ModuloPlace(block,
+                              static_cast<std::uint32_t>(workers_.size()));
+    }
+  }
 }
 
 void CacheCluster::InitObservability() {
@@ -87,8 +107,8 @@ void CacheCluster::FailWorker(WorkerId worker) {
   // The crash loses all cached state: restart the worker process empty so
   // recovery begins from a clean store.
   const std::uint64_t capacity = workers_[worker]->store().capacity_bytes();
-  workers_[worker] = std::make_unique<Worker>(
-      worker, capacity, MakeEvictionPolicy(config_.eviction_policy));
+  workers_[worker] =
+      std::make_unique<Worker>(worker, capacity, eviction_kind_);
   workers_[worker]->store().set_eviction_counter(&metrics_.counter(
       "cluster.worker." + std::to_string(worker) + ".evictions"));
   worker_counters_[worker].failures->Increment();
@@ -104,12 +124,21 @@ void CacheCluster::RecoverWorker(WorkerId worker) {
   worker_alive_[worker] = true;
   std::uint64_t reloaded = 0;
   if (managed_) {
-    // Re-apply the latest allocation to the rebooted (empty) worker rather
+    // Re-apply this worker's share of the current allocation (rebuilt from
+    // the per-file pinned prefixes) to the rebooted (empty) worker rather
     // than serving its whole partition from disk until the next round.
-    CacheUpdate update = last_updates_[worker];
-    update.load.clear();
-    for (BlockId b : update.pin) {
-      if (!workers_[worker]->store().Contains(b)) update.load.push_back(b);
+    CacheUpdate update;
+    update.worker = worker;
+    update.epoch = epoch_;
+    const BlockStore& store = workers_[worker]->store();
+    for (FileId f = 0; f < catalog_.size(); ++f) {
+      const std::uint32_t want = pinned_prefix_[f];
+      for (std::uint32_t idx = 0; idx < want; ++idx) {
+        const BlockId block = MakeBlockId(f, idx);
+        if (WorkerIndexFor(block) != worker) continue;
+        if (!store.Contains(block)) update.load.push_back(block);
+        update.pin.push_back(block);
+      }
     }
     reloaded = update.load.size();
     ApplyUpdateToWorker(worker, update);
@@ -130,22 +159,6 @@ std::size_t CacheCluster::num_alive_workers() const {
   return alive;
 }
 
-Worker& CacheCluster::WorkerFor(BlockId block) {
-  // Placement spreads every file across workers, which is what makes
-  // per-worker capacities behave like one cluster-wide pool.
-  const WorkerId w =
-      ring_ ? ring_->Place(block)
-            : ModuloPlace(block, static_cast<std::uint32_t>(workers_.size()));
-  return *workers_[w];
-}
-
-const Worker& CacheCluster::WorkerFor(BlockId block) const {
-  const WorkerId w =
-      ring_ ? ring_->Place(block)
-            : ModuloPlace(block, static_cast<std::uint32_t>(workers_.size()));
-  return *workers_[w];
-}
-
 double CacheCluster::MemoryLatency(std::uint64_t bytes) const {
   return static_cast<double>(bytes) / config_.memory_bandwidth_bytes_per_sec;
 }
@@ -154,8 +167,13 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
   OPUS_CHECK_LT(user, config_.num_users);
   const FileInfo& info = catalog_.Get(file);
   obs::ScopedSpan span(&spans_, "cluster.read");
-  span.AddAttr("user", std::to_string(user));
-  span.AddAttr("file", std::to_string(file));
+  // Attribute *formatting* allocates (std::to_string), so every AddAttr on
+  // this path is gated on active(): a sampled-out read costs zero
+  // allocations while recorded reads keep byte-identical attributes.
+  if (span.active()) {
+    span.AddAttr("user", std::to_string(user));
+    span.AddAttr("file", std::to_string(file));
+  }
 
   ReadResult r;
   r.bytes_total = info.size_bytes;
@@ -165,9 +183,10 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
     for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
       const BlockId block = MakeBlockId(file, idx);
       const std::uint64_t bytes = info.BlockBytes(idx);
-      Worker& worker = WorkerFor(block);
-      WorkerCounters& wc = worker_counters_[worker.id()];
-      if (worker_alive_[worker.id()] && worker.store().Access(block)) {
+      const WorkerId w = WorkerIndexFor(block);
+      Worker& worker = *workers_[w];
+      WorkerCounters& wc = worker_counters_[w];
+      if (worker_alive_[w] && worker.store().Access(block)) {
         r.bytes_from_memory += bytes;
         wc.mem_hits->Increment();
         wc.mem_hit_bytes->Increment(bytes);
@@ -175,15 +194,17 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
         r.bytes_from_disk += bytes;
         wc.misses->Increment();
         wc.miss_bytes->Increment(bytes);
-        if (!managed_ && worker_alive_[worker.id()]) {
+        if (!managed_ && worker_alive_[w]) {
           // Cache-on-read: pull the block in, evicting per policy.
           worker.store().Insert(block, bytes);
         }
       }
     }
-    probe.AddAttr("blocks", std::to_string(info.num_blocks));
-    probe.AddAttr("mem_bytes", std::to_string(r.bytes_from_memory));
-    probe.AddAttr("disk_bytes", std::to_string(r.bytes_from_disk));
+    if (probe.active()) {
+      probe.AddAttr("blocks", std::to_string(info.num_blocks));
+      probe.AddAttr("mem_bytes", std::to_string(r.bytes_from_memory));
+      probe.AddAttr("disk_bytes", std::to_string(r.bytes_from_disk));
+    }
   }
   r.latency_sec = MemoryLatency(r.bytes_from_memory);
   if (r.bytes_from_disk > 0) {
@@ -210,22 +231,26 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
                                                     r.blocking_probability);
     r.latency_sec += delay;
     uc.blocking_delay_sec->Observe(delay);
-    blocking.AddAttr("probability",
-                     obs::FormatDouble(r.blocking_probability));
-    blocking.AddAttr("delay_sec", obs::FormatDouble(delay));
+    if (blocking.active()) {
+      blocking.AddAttr("probability",
+                       obs::FormatDouble(r.blocking_probability));
+      blocking.AddAttr("delay_sec", obs::FormatDouble(delay));
+    }
   }
   r.effective_hit = r.memory_fraction * unblocked;
   uc.reads->Increment();
   uc.mem_bytes->Increment(r.bytes_from_memory);
   uc.disk_bytes->Increment(r.bytes_from_disk);
   read_latency_hist_->Observe(r.latency_sec);
-  span.AddAttr("bytes", std::to_string(r.bytes_total));
-  span.AddAttr("latency_sec", obs::FormatDouble(r.latency_sec));
+  if (span.active()) {
+    span.AddAttr("bytes", std::to_string(r.bytes_total));
+    span.AddAttr("latency_sec", obs::FormatDouble(r.latency_sec));
+  }
   return r;
 }
 
-void CacheCluster::ApplyUpdateToWorker(WorkerId worker,
-                                       const CacheUpdate& update) {
+std::uint64_t CacheCluster::ApplyUpdateToWorker(WorkerId worker,
+                                                const CacheUpdate& update) {
   OPUS_CHECK(worker_alive_[worker]);
   const std::uint64_t failed = workers_[worker]->Apply(update, [&](BlockId b) {
     return catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b));
@@ -243,14 +268,16 @@ void CacheCluster::ApplyUpdateToWorker(WorkerId worker,
   for (BlockId b : update.load) {
     under_store_.Read(catalog_.Get(BlockFile(b)).BlockBytes(BlockIndex(b)));
   }
+  return failed;
 }
 
 void CacheCluster::ApplyAllocation(const std::vector<double>& file_fractions) {
   OPUS_CHECK_EQ(file_fractions.size(), catalog_.size());
   obs::ScopedSpan span(&spans_, "cluster.apply_allocation");
+  const bool full_pass = needs_full_pass_ || !managed_;
   managed_ = true;
   ++epoch_;
-  span.AddAttr("epoch", std::to_string(epoch_));
+  if (span.active()) span.AddAttr("epoch", std::to_string(epoch_));
 
   // Desired block set: the prefix of each file covering the allocated
   // fraction (rounded to nearest block).
@@ -268,28 +295,55 @@ void CacheCluster::ApplyAllocation(const std::vector<double>& file_fractions) {
     // so pinned bytes never exceed what the allocator budgeted.
     const auto want = static_cast<std::uint32_t>(
         std::floor(frac * static_cast<double>(info.num_blocks) + 1e-6));
-    for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
-      const BlockId block = MakeBlockId(f, idx);
-      Worker& worker = WorkerFor(block);
-      auto& up = updates[worker.id()];
-      if (idx < want) {
+    if (full_pass) {
+      // Reconcile against actual store state: probe every block. Needed
+      // when the prefix bookkeeping can't be trusted (first managed epoch
+      // over cache-on-read leftovers, or after pin failures).
+      for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+        const BlockId block = MakeBlockId(f, idx);
+        Worker& worker = WorkerFor(block);
+        auto& up = updates[worker.id()];
+        if (idx < want) {
+          if (!worker.store().Contains(block)) up.load.push_back(block);
+          up.pin.push_back(block);
+        } else {
+          up.unpin.push_back(block);
+          // Desired set is exact in managed mode: drop surplus blocks.
+          if (worker.store().Contains(block)) worker.store().Erase(block);
+        }
+      }
+    } else {
+      // Delta pass: the previous epoch left exactly [0, prev) pinned, so
+      // only the changed range needs work — blocks the cluster never held
+      // are never probed.
+      const std::uint32_t prev = pinned_prefix_[f];
+      for (std::uint32_t idx = prev; idx < want; ++idx) {  // grow
+        const BlockId block = MakeBlockId(f, idx);
+        Worker& worker = WorkerFor(block);
+        auto& up = updates[worker.id()];
         if (!worker.store().Contains(block)) up.load.push_back(block);
         up.pin.push_back(block);
-      } else {
-        up.unpin.push_back(block);
-        // Desired set is exact in managed mode: drop surplus blocks.
+      }
+      for (std::uint32_t idx = want; idx < prev; ++idx) {  // shrink
+        const BlockId block = MakeBlockId(f, idx);
+        Worker& worker = WorkerFor(block);
+        updates[worker.id()].unpin.push_back(block);
         if (worker.store().Contains(block)) worker.store().Erase(block);
       }
     }
+    pinned_prefix_[f] = want;
   }
 
+  std::uint64_t failed = 0;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    // Dead workers keep the intended update in last_updates_ below, so
-    // RecoverWorker (or the next round) can re-apply it.
+    // Dead workers are skipped; RecoverWorker rebuilds their share of the
+    // allocation from pinned_prefix_ when they come back.
     if (!worker_alive_[w]) continue;
-    ApplyUpdateToWorker(static_cast<WorkerId>(w), updates[w]);
+    failed += ApplyUpdateToWorker(static_cast<WorkerId>(w), updates[w]);
   }
-  last_updates_ = std::move(updates);
+  // Any pin/load failure leaves [0, want) only partially resident, so the
+  // delta invariant is broken until a reconciliation pass runs.
+  needs_full_pass_ = failed > 0;
   trace_.Emit("cluster.realloc_applied",
               {{"epoch", std::to_string(epoch_)}});
 }
@@ -311,6 +365,10 @@ void CacheCluster::SetUnmanaged() {
       worker->store().Unpin(b);
     }
   }
+  // Cache-on-read will mutate residency arbitrarily from here, so the
+  // prefix bookkeeping is void until the next full reconciliation.
+  std::fill(pinned_prefix_.begin(), pinned_prefix_.end(), 0u);
+  needs_full_pass_ = true;
 }
 
 double CacheCluster::ResidentFraction(FileId file) const {

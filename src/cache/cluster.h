@@ -79,6 +79,12 @@ class CacheCluster {
   // Switches to managed mode: pins the block prefix of each file per
   // `file_fractions` (length = catalog size, values in [0,1]) and evicts
   // everything else. Subsequent reads never mutate placement.
+  //
+  // Reallocation is incremental: after the first managed epoch (a full
+  // reconciliation pass over the catalog), later epochs touch only the
+  // per-file delta between the previous and new pinned prefixes — blocks
+  // the cluster never held are never probed. Pin/load failures or a trip
+  // through SetUnmanaged force the next epoch back to a full pass.
   void ApplyAllocation(const std::vector<double>& file_fractions);
 
   // Installs the per-(user,file) effective-access model from an
@@ -100,11 +106,12 @@ class CacheCluster {
   // the block maps there.
   void FailWorker(WorkerId worker);
 
-  // Brings a failed worker back. In managed mode the latest CacheUpdate for
-  // this worker is re-applied immediately — its pinned block set is
-  // reloaded from the under store (with disk-read accounting) — so the
-  // recovered partition serves from memory right away instead of from disk
-  // until the next reallocation round.
+  // Brings a failed worker back. In managed mode the worker's share of the
+  // current allocation (rebuilt from the per-file pinned prefixes) is
+  // re-applied immediately — its pinned block set is reloaded from the
+  // under store (with disk-read accounting) — so the recovered partition
+  // serves from memory right away instead of from disk until the next
+  // reallocation round.
   void RecoverWorker(WorkerId worker);
 
   bool IsWorkerAlive(WorkerId worker) const;
@@ -139,7 +146,8 @@ class CacheCluster {
 
  private:
   // Pre-resolved metric handles (hot-path instrumentation must not pay a
-  // map lookup per block access).
+  // map lookup per block access) and a precomputed block→worker placement
+  // cache (the hot path must not pay a ring binary-search per block).
   struct WorkerCounters {
     obs::Counter* mem_hits = nullptr;
     obs::Counter* mem_hit_bytes = nullptr;
@@ -158,13 +166,29 @@ class CacheCluster {
     obs::Histogram* blocking_delay_sec = nullptr;
   };
 
-  Worker& WorkerFor(BlockId block);
-  const Worker& WorkerFor(BlockId block) const;
+  // O(1) placement: two array indexes into the precomputed cache.
+  WorkerId WorkerIndexFor(BlockId block) const {
+    return block_worker_[file_offset_[BlockFile(block)] + BlockIndex(block)];
+  }
+  Worker& WorkerFor(BlockId block) {
+    return *workers_[WorkerIndexFor(block)];
+  }
+  const Worker& WorkerFor(BlockId block) const {
+    return *workers_[WorkerIndexFor(block)];
+  }
   double MemoryLatency(std::uint64_t bytes) const;
   void InitObservability();
+  // Fills file_offset_/block_worker_ from the configured placement policy.
+  // Placement is a pure function of (block, membership); membership never
+  // changes after construction (failed workers keep their partition and
+  // reads fall through), so this runs once. If membership-changing
+  // placement lands later, rebuild here from the retained ring_.
+  void BuildPlacementCache();
   // Delivers one CacheUpdate to an alive worker: applies it, accounts
   // control-plane stats/metrics, and charges under-store reads for loads.
-  void ApplyUpdateToWorker(WorkerId worker, const CacheUpdate& update);
+  // Returns the number of load/pin requests that failed.
+  std::uint64_t ApplyUpdateToWorker(WorkerId worker,
+                                    const CacheUpdate& update);
 
   ClusterConfig config_;
   Catalog catalog_;
@@ -178,13 +202,23 @@ class CacheCluster {
   std::vector<UserCounters> user_counters_;
   obs::Histogram* read_latency_hist_ = nullptr;
   std::optional<ConsistentHashRing> ring_;  // set when placement=consistent
+  EvictionKind eviction_kind_ = EvictionKind::kLru;
+  // Placement cache: block b of file f lives on
+  // block_worker_[file_offset_[f] + BlockIndex(b)].
+  std::vector<std::uint64_t> file_offset_;  // per-file prefix sums, size+1
+  std::vector<WorkerId> block_worker_;
   bool managed_ = false;
   Matrix unblocked_share_;  // num_users x num_files; empty = no blocking
   ControlPlaneStats cp_stats_;
   std::uint64_t epoch_ = 0;
-  // Latest per-worker CacheUpdate (managed mode), kept so RecoverWorker can
-  // re-apply the current allocation without waiting for the next round.
-  std::vector<CacheUpdate> last_updates_;
+  // Per-file pinned block prefix from the last ApplyAllocation, the basis
+  // for delta reallocation (only changed [prev, want) ranges are touched)
+  // and for RecoverWorker's pin-set rebuild.
+  std::vector<std::uint32_t> pinned_prefix_;
+  // Set when the prefix bookkeeping may not match store state (initial
+  // epoch, pin/load failures, SetUnmanaged): the next ApplyAllocation does
+  // a full reconciliation pass over the catalog instead of a delta.
+  bool needs_full_pass_ = true;
 };
 
 }  // namespace opus::cache

@@ -73,4 +73,15 @@ std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(const std::string& name) {
   return nullptr;
 }
 
+EvictionKind ParseEvictionKind(const std::string& name) {
+  if (name == "lru") return EvictionKind::kLru;
+  if (name == "lfu") return EvictionKind::kLfu;
+  OPUS_CHECK_MSG(false, "unknown eviction policy: " << name);
+  return EvictionKind::kLru;
+}
+
+const char* EvictionKindName(EvictionKind kind) {
+  return kind == EvictionKind::kLru ? "lru" : "lfu";
+}
+
 }  // namespace opus::cache

@@ -4,6 +4,14 @@
 // uses the LRU policy to evict cached files"); LFU is the frequency-based
 // counterpart. Both optimize global hit ratio and provide no isolation —
 // the failure mode Fig. 5 demonstrates and OpuS fixes.
+//
+// Two tiers of implementation live in the tree:
+//  - EvictionKind selects the intrusive O(1) policies built into the flat
+//    BlockStore (the production data plane — no per-touch allocation).
+//  - The virtual EvictionPolicy classes below are the std-container
+//    reference implementations: TieredStore still uses them (its tiers are
+//    not on the per-event hot path), and the property tests / data-plane
+//    bench pit the flat store against them op-for-op.
 #pragma once
 
 #include <list>
@@ -16,6 +24,17 @@
 #include "cache/types.h"
 
 namespace opus::cache {
+
+// Which eviction order a store maintains. The flat BlockStore implements
+// both with intrusive links; MakeEvictionPolicy builds the matching
+// reference implementation.
+enum class EvictionKind { kLru, kLfu };
+
+// Parses "lru" | "lfu" (checks on anything else).
+EvictionKind ParseEvictionKind(const std::string& name);
+
+// Canonical name of a kind ("lru" | "lfu").
+const char* EvictionKindName(EvictionKind kind);
 
 // Tracks block temperature and nominates eviction victims. The policy only
 // orders blocks; the BlockStore decides when to evict and skips pinned

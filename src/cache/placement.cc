@@ -1,20 +1,19 @@
 #include "cache/placement.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace opus::cache {
-namespace {
 
 // splitmix64 — the same mixer the Rng seeds with; good avalanche for ring
 // points and block keys.
-std::uint64_t Mix64(std::uint64_t x) {
+std::uint64_t PlacementHash(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
-
-}  // namespace
 
 WorkerId ModuloPlace(BlockId block, std::uint32_t num_workers) {
   OPUS_CHECK_GT(num_workers, 0u);
@@ -28,19 +27,36 @@ ConsistentHashRing::ConsistentHashRing(std::uint32_t num_workers,
     : num_workers_(num_workers) {
   OPUS_CHECK_GT(num_workers, 0u);
   OPUS_CHECK_GT(virtual_nodes, 0u);
+  ring_.reserve(static_cast<std::size_t>(num_workers) * virtual_nodes);
   for (WorkerId w = 0; w < num_workers; ++w) {
     for (std::uint32_t v = 0; v < virtual_nodes; ++v) {
       const std::uint64_t point =
-          Mix64((static_cast<std::uint64_t>(w) << 32) | v);
-      ring_[point] = w;
+          PlacementHash((static_cast<std::uint64_t>(w) << 32) | v);
+      ring_.emplace_back(point, w);
     }
   }
+  // Colliding points resolve to the last-inserted worker (map-overwrite
+  // semantics); stable_sort keeps insertion order within a point so the
+  // dedupe below can pick it.
+  std::stable_sort(ring_.begin(), ring_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto out = ring_.begin();
+  for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+    if (out != ring_.begin() && std::prev(out)->first == it->first) {
+      *std::prev(out) = *it;
+    } else {
+      *out++ = *it;
+    }
+  }
+  ring_.erase(out, ring_.end());
 }
 
 WorkerId ConsistentHashRing::Place(BlockId block) const {
   OPUS_CHECK(!ring_.empty());
-  const std::uint64_t h = Mix64(block);
-  auto it = ring_.lower_bound(h);
+  const std::uint64_t h = PlacementHash(block);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
   if (it == ring_.end()) it = ring_.begin();  // wrap around
   return it->second;
 }
@@ -49,8 +65,9 @@ ConsistentHashRing ConsistentHashRing::Without(WorkerId worker) const {
   OPUS_CHECK_GT(num_workers_, 1u);
   ConsistentHashRing out;
   out.num_workers_ = num_workers_;  // ids keep their meaning
+  out.ring_.reserve(ring_.size());
   for (const auto& [point, w] : ring_) {
-    if (w != worker) out.ring_[point] = w;
+    if (w != worker) out.ring_.emplace_back(point, w);
   }
   return out;
 }

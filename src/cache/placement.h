@@ -7,11 +7,18 @@
 // minimal remapping: removing one of W workers moves only ~1/W of blocks,
 // which matters when worker churn forces cache re-population from the
 // under store.
+//
+// The ring is stored as a sorted flat vector of (point, worker) pairs —
+// Place is a branch-free binary search over contiguous memory instead of a
+// pointer-chasing std::map walk. Membership is fixed after construction
+// (Without builds a new ring), so the vector never mutates on the read
+// path.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cache/types.h"
 
@@ -19,6 +26,11 @@ namespace opus::cache {
 
 // Stateless modulo placement (the cluster default).
 WorkerId ModuloPlace(BlockId block, std::uint32_t num_workers);
+
+// The splitmix64 mixer the ring hashes blocks and virtual nodes with.
+// Exposed so reference implementations (benchmarks, tests) can replicate
+// ring placement exactly.
+std::uint64_t PlacementHash(std::uint64_t x);
 
 // Consistent-hash ring over worker ids with virtual nodes.
 class ConsistentHashRing {
@@ -41,7 +53,8 @@ class ConsistentHashRing {
   ConsistentHashRing() = default;
 
   std::uint32_t num_workers_ = 0;
-  std::map<std::uint64_t, WorkerId> ring_;  // hash point -> worker
+  // (hash point, worker), sorted by point, points unique.
+  std::vector<std::pair<std::uint64_t, WorkerId>> ring_;
 };
 
 }  // namespace opus::cache

@@ -1,0 +1,94 @@
+#include "cache/reference_store.h"
+
+#include "common/check.h"
+
+namespace opus::cache {
+
+ReferenceBlockStore::ReferenceBlockStore(std::uint64_t capacity_bytes,
+                                         std::unique_ptr<EvictionPolicy> policy)
+    : capacity_(capacity_bytes), policy_(std::move(policy)) {
+  OPUS_CHECK(policy_ != nullptr);
+}
+
+bool ReferenceBlockStore::Insert(BlockId block, std::uint64_t bytes) {
+  OPUS_CHECK_GT(bytes, 0u);
+  if (blocks_.count(block) != 0) {
+    // Same contract as BlockStore: re-insert refreshes recency/frequency
+    // (pinned blocks are untracked by the policy, so OnAccess is a no-op).
+    policy_->OnAccess(block);
+    return true;
+  }
+  if (bytes > capacity_) return false;
+  while (used_ + bytes > capacity_) {
+    if (!EvictOne()) return false;
+  }
+  blocks_[block] = bytes;
+  used_ += bytes;
+  policy_->OnInsert(block);
+  return true;
+}
+
+bool ReferenceBlockStore::EvictOne() {
+  const auto victim = policy_->Victim();
+  if (!victim.has_value()) return false;  // everything remaining is pinned
+  const auto it = blocks_.find(*victim);
+  OPUS_CHECK(it != blocks_.end());
+  used_ -= it->second;
+  blocks_.erase(it);
+  policy_->OnRemove(*victim);
+  ++evictions_;
+  if (eviction_counter_ != nullptr) eviction_counter_->Increment();
+  return true;
+}
+
+bool ReferenceBlockStore::Access(BlockId block) {
+  if (blocks_.count(block) == 0) return false;
+  policy_->OnAccess(block);
+  return true;
+}
+
+bool ReferenceBlockStore::Contains(BlockId block) const {
+  return blocks_.count(block) != 0;
+}
+
+void ReferenceBlockStore::Erase(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  used_ -= it->second;
+  if (pinned_.erase(block) != 0) pinned_bytes_ -= it->second;
+  blocks_.erase(it);
+  policy_->OnRemove(block);
+}
+
+bool ReferenceBlockStore::Pin(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  if (pinned_.insert(block).second) {
+    pinned_bytes_ += it->second;
+    // Pinned blocks leave the eviction policy so they can never be victims.
+    policy_->OnRemove(block);
+  }
+  return true;
+}
+
+void ReferenceBlockStore::Unpin(BlockId block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  if (pinned_.erase(block) != 0) {
+    pinned_bytes_ -= it->second;
+    policy_->OnInsert(block);
+  }
+}
+
+bool ReferenceBlockStore::IsPinned(BlockId block) const {
+  return pinned_.count(block) != 0;
+}
+
+std::vector<BlockId> ReferenceBlockStore::ResidentBlocks() const {
+  std::vector<BlockId> out;
+  out.reserve(blocks_.size());
+  for (const auto& [block, bytes] : blocks_) out.push_back(block);
+  return out;
+}
+
+}  // namespace opus::cache

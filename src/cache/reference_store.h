@@ -1,0 +1,67 @@
+// ReferenceBlockStore — the pre-optimization block store kept verbatim as
+// an executable specification: an unordered_map for bytes, an
+// unordered_set for pins, and a virtual EvictionPolicy (std::list LRU /
+// std::map LFU) for ordering.
+//
+// The flat BlockStore must stay bit-identical to this class in every
+// observable: residency, victim sequence, byte accounting, return values.
+// The property tests drive both through randomized op sequences, and
+// bench_dataplane_throughput uses it as the timing baseline for the
+// pre-change data plane. It implements the same re-insert-refreshes-recency
+// contract as BlockStore (the one semantic fix this PR made to both).
+//
+// Do not use on the hot path — every touch allocates (list splice / map
+// rebalance) and every lookup is 2-4 hash probes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/eviction.h"
+#include "cache/types.h"
+#include "obs/metrics.h"
+
+namespace opus::cache {
+
+class ReferenceBlockStore {
+ public:
+  ReferenceBlockStore(std::uint64_t capacity_bytes,
+                      std::unique_ptr<EvictionPolicy> policy);
+
+  bool Insert(BlockId block, std::uint64_t bytes);
+  bool Access(BlockId block);
+  bool Contains(BlockId block) const;
+  void Erase(BlockId block);
+  bool Pin(BlockId block);
+  void Unpin(BlockId block);
+  bool IsPinned(BlockId block) const;
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  std::vector<BlockId> ResidentBlocks() const;
+
+  void set_eviction_counter(obs::Counter* counter) {
+    eviction_counter_ = counter;
+  }
+
+ private:
+  bool EvictOne();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  obs::Counter* eviction_counter_ = nullptr;  // borrowed, optional
+  std::unordered_map<BlockId, std::uint64_t> blocks_;  // block -> bytes
+  std::unordered_set<BlockId> pinned_;
+};
+
+}  // namespace opus::cache

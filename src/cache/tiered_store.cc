@@ -56,8 +56,10 @@ void TieredStore::CheckCapacityInvariant() const {
 bool TieredStore::Insert(BlockId block, std::uint64_t bytes) {
   OPUS_CHECK_GT(bytes, 0u);
   obs::ScopedSpan span(spans_, "tier.insert");
-  span.AddAttr("block", std::to_string(block));
-  span.AddAttr("bytes", std::to_string(bytes));
+  if (span.active()) {
+    span.AddAttr("block", std::to_string(block));
+    span.AddAttr("bytes", std::to_string(bytes));
+  }
   if (mem_blocks_.count(block) != 0) {
     span.AddAttr("outcome", "already_in_memory");
     return true;
@@ -103,8 +105,10 @@ void TieredStore::DemoteOne() {
   OPUS_CHECK(it != mem_blocks_.end());
   const std::uint64_t bytes = it->second;
   obs::ScopedSpan span(spans_, "tier.demote");
-  span.AddAttr("block", std::to_string(*victim));
-  span.AddAttr("bytes", std::to_string(bytes));
+  if (span.active()) {
+    span.AddAttr("block", std::to_string(*victim));
+    span.AddAttr("bytes", std::to_string(bytes));
+  }
   mem_used_ -= bytes;
   mem_blocks_.erase(it);
   mem_policy_->OnRemove(*victim);
@@ -146,7 +150,7 @@ bool TieredStore::MakeSsdRoom(std::uint64_t bytes) {
 
 Tier TieredStore::Access(BlockId block) {
   obs::ScopedSpan span(spans_, "tier.access");
-  span.AddAttr("block", std::to_string(block));
+  if (span.active()) span.AddAttr("block", std::to_string(block));
   if (mem_blocks_.count(block) != 0) {
     mem_policy_->OnAccess(block);
     span.AddAttr("tier", TierName(Tier::kMemory));
@@ -170,8 +174,10 @@ bool TieredStore::PromoteToMemory(BlockId block) {
   if (it == ssd_blocks_.end()) return false;
   const std::uint64_t bytes = it->second;
   obs::ScopedSpan span(spans_, "tier.promote");
-  span.AddAttr("block", std::to_string(block));
-  span.AddAttr("bytes", std::to_string(bytes));
+  if (span.active()) {
+    span.AddAttr("block", std::to_string(block));
+    span.AddAttr("bytes", std::to_string(bytes));
+  }
   if (bytes > config_.memory_capacity_bytes) {
     span.AddAttr("outcome", "too_large");
     return false;

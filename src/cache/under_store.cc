@@ -19,8 +19,11 @@ double UnderStore::Read(std::uint64_t bytes) {
     read_bytes_counter_->Increment(bytes);
   }
   const double latency = ReadLatency(bytes);
-  span.AddAttr("bytes", std::to_string(bytes));
-  span.AddAttr("latency_sec", obs::FormatDouble(latency));
+  // Formatting allocates; skip it entirely when the span is muted.
+  if (span.active()) {
+    span.AddAttr("bytes", std::to_string(bytes));
+    span.AddAttr("latency_sec", obs::FormatDouble(latency));
+  }
   return latency;
 }
 

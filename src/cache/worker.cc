@@ -3,7 +3,7 @@
 namespace opus::cache {
 
 Worker::Worker(WorkerId id, std::uint64_t capacity_bytes,
-               std::unique_ptr<EvictionPolicy> policy)
-    : id_(id), store_(capacity_bytes, std::move(policy)) {}
+               EvictionKind eviction)
+    : id_(id), store_(capacity_bytes, eviction) {}
 
 }  // namespace opus::cache

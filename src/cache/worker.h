@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "cache/block_store.h"
 #include "cache/messages.h"
@@ -14,8 +13,7 @@ namespace opus::cache {
 
 class Worker {
  public:
-  Worker(WorkerId id, std::uint64_t capacity_bytes,
-         std::unique_ptr<EvictionPolicy> policy);
+  Worker(WorkerId id, std::uint64_t capacity_bytes, EvictionKind eviction);
 
   WorkerId id() const { return id_; }
   BlockStore& store() { return store_; }

@@ -25,6 +25,18 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
     cdf_[k] = acc;
   }
   cdf_.back() = 1.0;  // guard against rounding
+
+  // Guide table: one cell per rank (n cells over [0,1)), each holding the
+  // exact lower-bound rank for the cell's left edge. A cell spans 1/n of
+  // probability mass, so on average one rank's worth of CDF — Sample's
+  // local walk from guide_[g] is O(1) probes in expectation.
+  guide_.resize(n + 1);
+  std::size_t k = 0;
+  for (std::size_t g = 0; g <= n; ++g) {
+    const double edge = static_cast<double>(g) / static_cast<double>(n);
+    while (k < n && cdf_[k] < edge) ++k;
+    guide_[g] = static_cast<std::uint32_t>(k);
+  }
 }
 
 double ZipfDistribution::TopMass(double k) const {
@@ -38,9 +50,26 @@ double ZipfDistribution::TopMass(double k) const {
 }
 
 std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  // Inverse CDF via guide table. The result must equal
+  // lower_bound(cdf_, u) exactly (callers depend on bit-identical rank
+  // sequences), so the guide only *starts* the search: the walk below
+  // corrects in either direction, which also absorbs any floating-point
+  // rounding in the u * n cell computation.
   const double u = rng.NextDouble();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<std::size_t>(it - cdf_.begin());
+  const std::size_t n = cdf_.size();
+  std::size_t g = static_cast<std::size_t>(u * static_cast<double>(n));
+  if (g >= n) g = n;  // u is in [0,1), but guard the rounding edge anyway
+  std::size_t k = guide_[g];
+  if (k >= n) k = n - 1;
+  if (cdf_[k] >= u) {
+    while (k > 0 && cdf_[k - 1] >= u) --k;
+  } else {
+    // cdf_.back() == 1.0 > u bounds this walk.
+    do {
+      ++k;
+    } while (cdf_[k] < u);
+  }
+  return k;
 }
 
 }  // namespace opus

@@ -13,7 +13,7 @@ SpanTrace::SpanTrace(SpanTraceConfig config) : config_(config) {
   }
 }
 
-std::uint64_t SpanTrace::Begin(const std::string& name) {
+std::uint64_t SpanTrace::Begin(std::string_view name) {
   if (config_.sample_every == 0) return 0;
   ++started_;
   ++tick_;
@@ -21,8 +21,13 @@ std::uint64_t SpanTrace::Begin(const std::string& name) {
   bool record = false;
   if (stack_.empty()) {
     // Root: counting-based sampling, per root name so rare control-plane
-    // roots are not starved by frequent data-plane ones.
-    const std::uint64_t ordinal = root_seen_[name]++;
+    // roots are not starved by frequent data-plane ones. Heterogeneous
+    // find first so the steady state allocates nothing.
+    auto it = root_seen_.find(name);
+    if (it == root_seen_.end()) {
+      it = root_seen_.emplace(std::string(name), 0).first;
+    }
+    const std::uint64_t ordinal = it->second++;
     record = (ordinal % config_.sample_every) == 0;
     if (!record) ++sampled_out_;
   } else {
@@ -54,13 +59,14 @@ std::uint64_t SpanTrace::Begin(const std::string& name) {
   return open.token;
 }
 
-void SpanTrace::AddAttr(std::uint64_t token, const std::string& key,
-                        const std::string& value) {
+void SpanTrace::AddAttr(std::uint64_t token, std::string_view key,
+                        std::string_view value) {
   if (token == 0) return;
   for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
     if (it->token != token) continue;
     if (it->record != static_cast<std::size_t>(-1)) {
-      records_[it->record].attrs.emplace_back(key, value);
+      records_[it->record].attrs.emplace_back(std::string(key),
+                                              std::string(value));
     }
     return;
   }

@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -62,13 +63,15 @@ class SpanTrace {
   // Opens a span; the innermost currently-open span becomes its parent.
   // Returns an opaque token for AddAttr/End, or 0 when tracing is
   // disabled (sample_every == 0) — token 0 is accepted and ignored by
-  // AddAttr/End so callers never branch.
-  std::uint64_t Begin(const std::string& name);
+  // AddAttr/End so callers never branch. Takes a string_view so muted and
+  // sampled-out spans cost zero allocations (the name is only copied into
+  // a record when the span is actually retained).
+  std::uint64_t Begin(std::string_view name);
 
   // Appends an attribute to the span's record (no-op if the span was
   // muted by sampling or the capacity cap).
-  void AddAttr(std::uint64_t token, const std::string& key,
-               const std::string& value);
+  void AddAttr(std::uint64_t token, std::string_view key,
+               std::string_view value);
 
   // Closes the span. Spans must strictly nest: `token` must be the
   // innermost open span.
@@ -103,7 +106,9 @@ class SpanTrace {
   SpanTraceConfig config_;
   std::vector<SpanRecord> records_;
   std::vector<OpenSpan> stack_;
-  std::map<std::string, std::uint64_t> root_seen_;  // per-root-name ordinals
+  // Per-root-name ordinals; std::less<> enables string_view lookups, so a
+  // root Begin only allocates the first time a name is seen.
+  std::map<std::string, std::uint64_t, std::less<>> root_seen_;
   std::uint64_t tick_ = 0;
   std::uint64_t next_token_ = 1;
   std::uint64_t started_ = 0;
@@ -117,7 +122,7 @@ class SpanTrace {
 class ScopedSpan {
  public:
   ScopedSpan() = default;
-  ScopedSpan(SpanTrace* trace, const std::string& name)
+  ScopedSpan(SpanTrace* trace, std::string_view name)
       : trace_(trace), token_(trace ? trace->Begin(name) : 0) {}
   ~ScopedSpan() {
     if (trace_ != nullptr && token_ != 0) trace_->End(token_);
@@ -126,13 +131,19 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  void AddAttr(const std::string& key, const std::string& value) {
+  void AddAttr(std::string_view key, std::string_view value) {
     if (trace_ != nullptr && token_ != 0) trace_->AddAttr(token_, key, value);
   }
 
-  bool recorded() const {
+  // True iff attributes added to this span will actually be retained. Hot
+  // paths gate attribute *formatting* on this (std::to_string and
+  // FormatDouble allocate), so a muted/sampled-out/dropped span costs zero
+  // allocations end to end.
+  bool active() const {
     return trace_ != nullptr && token_ != 0 && trace_->IsRecorded(token_);
   }
+  // Back-compat alias for active().
+  bool recorded() const { return active(); }
 
  private:
   SpanTrace* trace_ = nullptr;

@@ -6,7 +6,7 @@ namespace opus::cache {
 namespace {
 
 BlockStore MakeLru(std::uint64_t capacity) {
-  return BlockStore(capacity, MakeEvictionPolicy("lru"));
+  return BlockStore(capacity, EvictionKind::kLru);
 }
 
 TEST(BlockStoreTest, InsertAndContains) {
@@ -23,6 +23,45 @@ TEST(BlockStoreTest, DuplicateInsertIsNoop) {
   EXPECT_TRUE(s.Insert(1, 40));
   EXPECT_EQ(s.used_bytes(), 40u);
   EXPECT_EQ(s.num_blocks(), 1u);
+}
+
+// Regression: re-inserting a resident block must refresh its position in
+// the eviction order, exactly like an Access. The old implementation
+// returned early without touching the policy, so a re-inserted block kept
+// its stale recency and could be evicted as if never touched.
+TEST(BlockStoreTest, ReinsertRefreshesEvictionOrder) {
+  auto s = MakeLru(100);
+  EXPECT_TRUE(s.Insert(1, 50));
+  EXPECT_TRUE(s.Insert(2, 50));
+  EXPECT_TRUE(s.Insert(1, 50));  // re-insert: 2 is now least recent
+  EXPECT_TRUE(s.Insert(3, 50));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+}
+
+// The same contract for LFU: a re-insert counts as a use.
+TEST(BlockStoreTest, ReinsertBumpsLfuFrequency) {
+  BlockStore s(100, EvictionKind::kLfu);
+  EXPECT_TRUE(s.Insert(1, 50));   // freq(1) = 1
+  EXPECT_TRUE(s.Insert(2, 50));   // freq(2) = 1
+  EXPECT_TRUE(s.Insert(1, 50));   // freq(1) = 2
+  EXPECT_TRUE(s.Insert(3, 50));   // must evict 2 (lowest freq)
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+}
+
+// Pinned blocks are untracked by the policy; a re-insert must not
+// resurrect them into the eviction order.
+TEST(BlockStoreTest, ReinsertOfPinnedBlockStaysPinned) {
+  auto s = MakeLru(100);
+  EXPECT_TRUE(s.Insert(1, 60));
+  EXPECT_TRUE(s.Pin(1));
+  EXPECT_TRUE(s.Insert(1, 60));
+  EXPECT_FALSE(s.Insert(2, 60));  // 1 is still unevictable
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.IsPinned(1));
 }
 
 TEST(BlockStoreTest, EvictsLruWhenFull) {

@@ -134,6 +134,84 @@ TEST(ClusterTest, ControlPlaneStatsAccumulate) {
   EXPECT_EQ(stats.blocks_loaded, 4u);
 }
 
+TEST(ClusterTest, DeltaReallocationGrowsAndShrinksExactly) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  // Epoch 1 is a full reconciliation pass; epochs 2+ are deltas over the
+  // per-file pinned prefixes. Walk the allocation up and down and require
+  // the resident state to track it exactly at every step.
+  cluster.ApplyAllocation({0.5, 0.25, 0.0});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 0.5, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.25, 1e-12);
+  cluster.ApplyAllocation({1.0, 0.5, 0.0});  // delta: grow both
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.5, 1e-12);
+  cluster.ApplyAllocation({0.25, 0.0, 0.5});  // delta: shrink + new file
+  EXPECT_NEAR(cluster.ResidentFraction(0), 0.25, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.0, 1e-12);
+  // File 2 is 3.5 MiB in 4 blocks; a 0.5 allocation pins 2 whole blocks,
+  // and ResidentFraction weighs by bytes: 2 MiB / 3.5 MiB.
+  EXPECT_NEAR(cluster.ResidentFraction(2), 2.0 / 3.5, 1e-12);
+  // Reads see exactly the pinned prefix, so the delta bookkeeping and the
+  // store state agree.
+  const auto r = cluster.Read(0, 0);
+  EXPECT_EQ(r.bytes_from_memory, 1 * kMiB);
+  EXPECT_EQ(cluster.UsedBytes(), 3 * kMiB);
+}
+
+TEST(ClusterTest, DeltaReallocationSkipsUntouchedFiles) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  const auto& stats = cluster.control_plane_stats();
+  const std::uint64_t pinned_after_full = stats.blocks_pinned;
+  const std::uint64_t unpinned_after_full = stats.blocks_unpinned;
+  EXPECT_EQ(pinned_after_full, 4u);
+  // An identical allocation is a pure no-op delta: no new pins, no loads,
+  // no unpins — only the per-worker update messages themselves.
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  EXPECT_EQ(stats.blocks_pinned, pinned_after_full);
+  EXPECT_EQ(stats.blocks_loaded, 4u);
+  EXPECT_EQ(stats.blocks_unpinned, unpinned_after_full);
+  EXPECT_EQ(stats.cache_updates, 6u);  // still one message per worker
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+}
+
+TEST(ClusterTest, UnmanagedTripForcesFullReconciliation) {
+  CacheCluster cluster(SmallConfig(), SmallCatalog());
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  cluster.SetUnmanaged();
+  // Cache-on-read scatters arbitrary blocks into the stores...
+  cluster.Read(0, 2);
+  cluster.Read(0, 1);
+  EXPECT_GT(cluster.ResidentFraction(2), 0.0);
+  // ...so the next allocation must reconcile against actual state, not
+  // the stale prefix bookkeeping: file 2 leftovers are evicted, file 0 is
+  // reloaded even though its old prefix claimed full residency.
+  cluster.ApplyAllocation({1.0, 0.0, 0.0});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(2), 0.0, 1e-12);
+}
+
+TEST(ClusterTest, OverCommitFailureFallsBackToFullPass) {
+  // 3 workers x 3 MiB: a 4 MiB file cannot fully pin if placement lands
+  // more than 3 blocks on one worker — and over-committed allocations
+  // (sum > capacity) must fail pins, then recover once feasible again.
+  auto config = SmallConfig();
+  CacheCluster cluster(config, SmallCatalog());
+  // Demand 11.5 MiB of pins against 9 MiB of cache: some loads/pins fail.
+  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  const double f0 = cluster.ResidentFraction(0);
+  const double f1 = cluster.ResidentFraction(1);
+  const double f2 = cluster.ResidentFraction(2);
+  EXPECT_LT(f0 + f1 + f2, 3.0);
+  // The failure marks the prefix bookkeeping dirty, so this feasible
+  // allocation runs as a full pass and lands exactly.
+  cluster.ApplyAllocation({1.0, 0.5, 0.0});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.5, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(2), 0.0, 1e-12);
+}
+
 TEST(ClusterTest, SetUnmanagedRevertsToCacheOnRead) {
   CacheCluster cluster(SmallConfig(), SmallCatalog());
   cluster.ApplyAllocation({1.0, 0.0, 0.0});

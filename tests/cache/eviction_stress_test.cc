@@ -21,7 +21,15 @@ class ReferenceLru {
   explicit ReferenceLru(std::uint64_t capacity) : capacity_(capacity) {}
 
   bool Insert(BlockId b, std::uint64_t bytes) {
-    if (blocks_.count(b)) return true;
+    if (blocks_.count(b)) {
+      // Re-insert refreshes recency (same contract as BlockStore::Insert;
+      // pinned blocks sit outside the order).
+      if (!pinned_.count(b)) {
+        order_.remove(b);
+        order_.push_back(b);
+      }
+      return true;
+    }
     if (bytes > capacity_) return false;
     while (used_ + bytes > capacity_) {
       // Evict the least-recent unpinned block.
@@ -86,7 +94,7 @@ class EvictionStress : public ::testing::TestWithParam<int> {};
 TEST_P(EvictionStress, MatchesReferenceModel) {
   Rng rng(9900 + static_cast<std::uint64_t>(GetParam()));
   const std::uint64_t capacity = 50 + rng.NextBounded(200);
-  BlockStore real(capacity, MakeEvictionPolicy("lru"));
+  BlockStore real(capacity, EvictionKind::kLru);
   ReferenceLru ref(capacity);
 
   const std::size_t universe = 24;  // block ids 0..23

@@ -1,7 +1,10 @@
 #include "common/zipf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -79,6 +82,34 @@ TEST(ZipfTest, SamplerCoversTail) {
   std::vector<int> counts(z.size(), 0);
   for (int i = 0; i < 50000; ++i) ++counts[z.Sample(rng)];
   for (int c : counts) EXPECT_GT(c, 0);
+}
+
+// The guide-table sampler must return exactly the rank a full binary
+// search over the CDF would: workload traces are seeded, so any deviation
+// would silently change every downstream experiment.
+TEST(ZipfTest, GuideTableMatchesBinarySearchExactly) {
+  for (const auto& [n, alpha] : std::vector<std::pair<std::size_t, double>>{
+           {1, 1.1}, {2, 0.0}, {7, 0.5}, {100, 1.1}, {2048, 2.0}}) {
+    ZipfDistribution z(n, alpha);
+    // Two Rng streams with the same seed produce the same u sequence: one
+    // feeds Sample, the other the reference lower_bound.
+    Rng sample_rng(4242);
+    Rng ref_rng(4242);
+    std::vector<double> cdf(n);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += z.pmf(k);
+      cdf[k] = acc;
+    }
+    cdf.back() = 1.0;
+    for (int i = 0; i < 20000; ++i) {
+      const std::size_t got = z.Sample(sample_rng);
+      const double u = ref_rng.NextDouble();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      ASSERT_EQ(got, static_cast<std::size_t>(it - cdf.begin()))
+          << "n=" << n << " alpha=" << alpha << " u=" << u;
+    }
+  }
 }
 
 }  // namespace

@@ -63,6 +63,42 @@ TEST(SpanTraceTest, SamplingKeepsEveryNthRootPerName) {
   EXPECT_EQ(trace.tick(), 18u);
 }
 
+TEST(SpanTraceTest, ScopedSpanActiveTracksRecordingState) {
+  SpanTraceConfig cfg;
+  cfg.sample_every = 2;
+  SpanTrace trace(cfg);
+  {
+    ScopedSpan kept(&trace, "root");  // ordinal 0 -> recorded
+    EXPECT_TRUE(kept.active());
+    if (kept.active()) kept.AddAttr("k", "v");
+  }
+  {
+    ScopedSpan muted(&trace, "root");  // ordinal 1 -> muted
+    EXPECT_FALSE(muted.active());
+    // The hot-path pattern: formatting is skipped entirely when inactive,
+    // and the span still opens/closes (the clock keeps ticking).
+    if (muted.active()) muted.AddAttr("k", "never");
+    ScopedSpan child(&trace, "child");
+    EXPECT_FALSE(child.active());  // causally muted under a muted parent
+  }
+  ScopedSpan inert;  // no trace attached
+  EXPECT_FALSE(inert.active());
+  {
+    SpanTraceConfig off;
+    off.sample_every = 0;
+    SpanTrace disabled(off);
+    ScopedSpan span(&disabled, "root");
+    EXPECT_FALSE(span.active());
+  }
+  const auto spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].second, "v");
+  // Muted root + child advanced the clock exactly as the recorded one did:
+  // kept(2 ticks) + muted root(2) + child(2) = 6.
+  EXPECT_EQ(trace.tick(), 6u);
+}
+
 TEST(SpanTraceTest, ChildrenOfMutedSpansAreMuted) {
   SpanTraceConfig cfg;
   cfg.sample_every = 2;
