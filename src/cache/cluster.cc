@@ -141,7 +141,12 @@ void CacheCluster::RecoverWorker(WorkerId worker) {
       }
     }
     reloaded = update.load.size();
-    ApplyUpdateToWorker(worker, update);
+    const std::uint64_t failed = ApplyUpdateToWorker(worker, update);
+    // A failed recovery pin/load leaves this worker's share of [0, want)
+    // only partially resident while pinned_prefix_ still claims the full
+    // prefix — the same broken-delta-invariant case as a failed
+    // ApplyAllocation, so the next epoch must reconcile with a full pass.
+    if (failed > 0) needs_full_pass_ = true;
   }
   trace_.Emit("cluster.worker.recovered",
               {{"worker", std::to_string(worker)},
@@ -206,6 +211,23 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
       probe.AddAttr("disk_bytes", std::to_string(r.bytes_from_disk));
     }
   }
+  r = FinishRead(user, file, r.bytes_from_memory, r.bytes_from_disk);
+  if (span.active()) {
+    span.AddAttr("bytes", std::to_string(r.bytes_total));
+    span.AddAttr("latency_sec", obs::FormatDouble(r.latency_sec));
+  }
+  return r;
+}
+
+ReadResult CacheCluster::FinishRead(UserId user, FileId file,
+                                    std::uint64_t bytes_from_memory,
+                                    std::uint64_t bytes_from_disk) {
+  OPUS_CHECK_LT(user, config_.num_users);
+  const FileInfo& info = catalog_.Get(file);
+  ReadResult r;
+  r.bytes_total = info.size_bytes;
+  r.bytes_from_memory = bytes_from_memory;
+  r.bytes_from_disk = bytes_from_disk;
   r.latency_sec = MemoryLatency(r.bytes_from_memory);
   if (r.bytes_from_disk > 0) {
     // UnderStore::Read opens its own "under.read" child span.
@@ -242,11 +264,19 @@ ReadResult CacheCluster::Read(UserId user, FileId file) {
   uc.mem_bytes->Increment(r.bytes_from_memory);
   uc.disk_bytes->Increment(r.bytes_from_disk);
   read_latency_hist_->Observe(r.latency_sec);
-  if (span.active()) {
-    span.AddAttr("bytes", std::to_string(r.bytes_total));
-    span.AddAttr("latency_sec", obs::FormatDouble(r.latency_sec));
-  }
   return r;
+}
+
+void CacheCluster::AddWorkerReadDeltas(WorkerId worker, std::uint64_t mem_hits,
+                                       std::uint64_t mem_hit_bytes,
+                                       std::uint64_t misses,
+                                       std::uint64_t miss_bytes) {
+  OPUS_CHECK_LT(worker, worker_counters_.size());
+  WorkerCounters& wc = worker_counters_[worker];
+  wc.mem_hits->Increment(mem_hits);
+  wc.mem_hit_bytes->Increment(mem_hit_bytes);
+  wc.misses->Increment(misses);
+  wc.miss_bytes->Increment(miss_bytes);
 }
 
 std::uint64_t CacheCluster::ApplyUpdateToWorker(WorkerId worker,

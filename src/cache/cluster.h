@@ -27,6 +27,7 @@
 #include "cache/placement.h"
 #include "cache/under_store.h"
 #include "cache/worker.h"
+#include "common/check.h"
 #include "common/matrix.h"
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
@@ -73,6 +74,39 @@ class CacheCluster {
 
   // Client read path: user `user` reads file `file` in full.
   ReadResult Read(UserId user, FileId file);
+
+  // --- serving support ----------------------------------------------------
+  //
+  // The concurrent serving engine (src/serve) splits Read into a store
+  // probe phase it runs itself (shard-affine, one thread per disjoint set
+  // of workers) and this accounting tail, called at window-drain time in
+  // the pinned global event order. FinishRead performs every metric,
+  // under-store, and blocking side effect of Read after the probe — the
+  // serial path calls the same function, so the two planes cannot drift.
+  ReadResult FinishRead(UserId user, FileId file,
+                        std::uint64_t bytes_from_memory,
+                        std::uint64_t bytes_from_disk);
+
+  // Batched per-worker read-counter deltas accumulated by the serving
+  // engine's per-thread queues (u64 sums — order-free, so batch totals
+  // equal the serial per-access increments).
+  void AddWorkerReadDeltas(WorkerId worker, std::uint64_t mem_hits,
+                           std::uint64_t mem_hit_bytes, std::uint64_t misses,
+                           std::uint64_t miss_bytes);
+
+  // O(1) precomputed block→worker placement (stable after construction).
+  WorkerId PlacementFor(BlockId block) const { return WorkerIndexFor(block); }
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  // Direct worker access for the serving engine's shard-affine probe
+  // phase. Contract: during a parallel phase each worker is touched by
+  // exactly one thread, and control-plane mutations (ApplyAllocation,
+  // FailWorker, ...) only run between phases.
+  Worker& worker(WorkerId w) {
+    OPUS_CHECK_LT(w, workers_.size());
+    return *workers_[w];
+  }
 
   // --- managed-mode control plane ---------------------------------------
 

@@ -1,49 +1,15 @@
 #include "cache/journal.h"
 
-#include <cctype>
-#include <cerrno>
-#include <cmath>
-#include <cstdlib>
-
 #include "analysis/csv.h"
 #include "common/check.h"
 #include "common/strings.h"
 
+// Deserialize parses numeric fields with the strict common/strings parsers:
+// the strtoull/strtod family accepts garbage prefixes ("epoch,garbage,3,2"
+// parsed as epoch 0) and negative or overflowing values; a journal row must
+// be rejected instead.
+
 namespace opus::cache {
-namespace {
-
-// Strict numeric field parsers for Deserialize: the strtoull/strtod family
-// accepts garbage prefixes ("epoch,garbage,3,2" parsed as epoch 0) and
-// negative or overflowing values; a journal row must be rejected instead.
-
-bool ParseU64(const std::string& s, std::uint64_t* out) {
-  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
-    return false;  // no leading whitespace, sign, or empty field
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
-}
-
-bool ParseFiniteDouble(const std::string& s, double* out) {
-  if (s.empty() ||
-      std::isspace(static_cast<unsigned char>(s[0]))) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (errno == ERANGE || end != s.c_str() + s.size() || !std::isfinite(v)) {
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-}  // namespace
 
 void Journal::Append(JournalEntry entry) {
   if (!entries_.empty()) {

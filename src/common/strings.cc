@@ -1,8 +1,12 @@
 #include "common/strings.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 namespace opus {
 
@@ -45,6 +49,32 @@ std::string FormatBytes(std::uint64_t bytes) {
     ++u;
   }
   return StrFormat("%.1f %s", v, units[u]);
+}
+
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;  // no leading whitespace, sign, or empty field
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool ParseFiniteDouble(const std::string& s, double* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 }  // namespace opus

@@ -1,6 +1,8 @@
-// String formatting helpers for table/report output.
+// String formatting helpers for table/report output, plus strict numeric
+// field parsers shared by the journal codec and the tool flag parsers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,5 +19,17 @@ std::string FormatDouble(double x, int precision);
 
 // Human-readable byte size, e.g. "300.0 MB".
 std::string FormatBytes(std::uint64_t bytes);
+
+// Strict numeric field parsers. The strtoull/strtod family accepts garbage
+// suffixes ("8x" parses as 8) and silently wraps or saturates out-of-range
+// input; these reject anything that is not exactly one in-range number.
+//
+// ParseU64 requires a leading digit (no whitespace or sign), the whole
+// string consumed, and no ERANGE overflow.
+bool ParseU64(const std::string& s, std::uint64_t* out);
+
+// ParseFiniteDouble rejects leading whitespace, partial consumption,
+// ERANGE, and non-finite results (inf/nan).
+bool ParseFiniteDouble(const std::string& s, double* out);
 
 }  // namespace opus

@@ -1,0 +1,280 @@
+#include "serve/daemon.h"
+
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/policy_factory.h"
+#include "serve/protocol.h"
+#include "workload/trace.h"
+
+namespace opus::serve {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string Err(const std::string& reason) { return "err " + reason; }
+
+constexpr char kHelp[] =
+    "ok\n"
+    "ping | help | status | metrics [text|json|csv] | audit\n"
+    "serve USER FILE | gen N SEED\n"
+    "reconfig policy NAME | reconfig capacity UNITS\n"
+    "adduser [NAME] | dropuser ID | shutdown";
+
+cache::ClusterConfig ForceTracingOff(cache::ClusterConfig config) {
+  config.span_sample_every = 0;  // engine contract; see daemon.h
+  return config;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config, cache::Catalog catalog)
+    : config_(std::move(config)),
+      cluster_(ForceTracingOff(config_.cluster), std::move(catalog)) {
+  allocators_.push_back(
+      MakeAllocatorByName(config_.policy, config_.tax_threads));
+  OPUS_CHECK_MSG(allocators_.back() != nullptr,
+                 "unknown policy in DaemonConfig");
+  master_ = std::make_unique<sim::OpusMaster>(allocators_.back().get(),
+                                              &cluster_, config_.master);
+  const std::uint32_t users = cluster_.config().num_users;
+  for (std::uint32_t u = 0; u < users; ++u) {
+    master_->RegisterClient("user" + std::to_string(u));
+  }
+  user_active_.assign(users, true);
+  engine_ = std::make_unique<ServingEngine>(&cluster_, master_.get(),
+                                            config_.engine);
+}
+
+std::string Daemon::HandleRequest(const std::string& request) {
+  const std::vector<std::string> tokens = Tokenize(request);
+  if (tokens.empty()) return Err("empty command");
+  const std::string& cmd = tokens[0];
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (cmd == "ping") return "ok pong";
+  if (cmd == "help") return kHelp;
+  if (cmd == "status") return HandleStatus();
+  if (cmd == "metrics") return HandleMetrics(args);
+  if (cmd == "audit") return "ok\n" + master_->audit_report().ToJson();
+  if (cmd == "serve") return HandleServe(args);
+  if (cmd == "gen") return HandleGen(args);
+  if (cmd == "reconfig") return HandleReconfig(args);
+  if (cmd == "adduser") return HandleAddUser(args);
+  if (cmd == "dropuser") return HandleDropUser(args);
+  if (cmd == "shutdown") {
+    shutdown_ = true;
+    return "ok bye";
+  }
+  return Err("unknown command '" + cmd + "' (try: help)");
+}
+
+std::string Daemon::HandleStatus() const {
+  std::size_t active = 0;
+  for (const bool a : user_active_) active += a ? 1 : 0;
+  std::ostringstream out;
+  out << "ok\n"
+      << "policy=" << master_->policy_name() << '\n'
+      << "managed=" << (cluster_.managed() ? 1 : 0) << '\n'
+      << "users=" << active << '/' << user_active_.size() << '\n'
+      << "workers=" << cluster_.num_alive_workers() << '/'
+      << cluster_.num_workers() << '\n'
+      << "threads=" << engine_->threads() << '\n'
+      << "capacity_units=" << master_->capacity_units() << '\n'
+      << "used_bytes=" << cluster_.UsedBytes() << '\n'
+      << "events_served=" << events_served_ << '\n'
+      << "reallocations=" << master_->reallocations();
+  return out.str();
+}
+
+std::string Daemon::HandleMetrics(
+    const std::vector<std::string>& args) const {
+  obs::ExportFormat format = obs::ExportFormat::kText;
+  if (!args.empty()) {
+    if (args[0] == "text") {
+      format = obs::ExportFormat::kText;
+    } else if (args[0] == "json") {
+      format = obs::ExportFormat::kJson;
+    } else if (args[0] == "csv") {
+      format = obs::ExportFormat::kCsv;
+    } else {
+      return Err("unknown metrics format '" + args[0] +
+                 "' (text|json|csv)");
+    }
+  }
+  return "ok\n" + cluster_.metrics().Snapshot().Export(format);
+}
+
+std::string Daemon::HandleServe(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Err("usage: serve USER FILE");
+  std::uint64_t user = 0, file = 0;
+  if (!ParseU64(args[0], &user)) return Err("bad user id '" + args[0] + "'");
+  if (!ParseU64(args[1], &file)) return Err("bad file id '" + args[1] + "'");
+  if (user >= user_active_.size()) return Err("user id out of range");
+  if (!user_active_[user]) return Err("user " + args[0] + " is dropped");
+  if (file >= cluster_.catalog().size()) return Err("file id out of range");
+  workload::AccessEvent event;
+  event.user = static_cast<cache::UserId>(user);
+  event.file = static_cast<cache::FileId>(file);
+  const ServeStats stats = engine_->Serve({event});
+  events_served_ += stats.events;
+  std::ostringstream out;
+  out << "ok mem_bytes=" << stats.bytes_from_memory
+      << " disk_bytes=" << stats.bytes_from_disk
+      << " effective_hit=" << stats.effective_hit_sum
+      << " reallocations=" << stats.reallocations;
+  return out.str();
+}
+
+std::string Daemon::HandleGen(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Err("usage: gen N SEED");
+  std::uint64_t n = 0, seed = 0;
+  if (!ParseU64(args[0], &n) || n == 0) {
+    return Err("bad event count '" + args[0] + "'");
+  }
+  if (!ParseU64(args[1], &seed)) return Err("bad seed '" + args[1] + "'");
+  std::vector<cache::UserId> active;
+  for (std::size_t u = 0; u < user_active_.size(); ++u) {
+    if (user_active_[u]) active.push_back(static_cast<cache::UserId>(u));
+  }
+  if (active.empty()) return Err("no active users");
+  // Synthetic per-user preferences: distinct skews keyed off the user id,
+  // deterministic given (active set, seed).
+  const std::size_t files = cluster_.catalog().size();
+  Matrix prefs(active.size(), files, 0.0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = 0; j < files; ++j) {
+      prefs(i, j) = 1.0 / (1.0 + ((j + 3 * active[i]) % files));
+    }
+  }
+  Rng rng(seed);
+  workload::Trace trace =
+      workload::GenerateTrace(workload::TruthfulSpecs(prefs),
+                              static_cast<std::size_t>(n), rng);
+  // TruthfulSpecs users are dense 0..k-1; map back to the active UserIds.
+  for (workload::AccessEvent& event : trace.events) {
+    event.user = active[event.user];
+  }
+  const ServeStats stats = engine_->Serve(trace.events);
+  events_served_ += stats.events;
+  std::ostringstream out;
+  out << "ok events=" << stats.events
+      << " mem_bytes=" << stats.bytes_from_memory
+      << " disk_bytes=" << stats.bytes_from_disk
+      << " reallocations=" << stats.reallocations;
+  return out.str();
+}
+
+std::string Daemon::HandleReconfig(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Err("usage: reconfig policy NAME | reconfig capacity UNITS");
+  }
+  if (args[0] == "policy") {
+    std::unique_ptr<CacheAllocator> next =
+        MakeAllocatorByName(args[1], config_.tax_threads);
+    if (next == nullptr) {
+      std::string known;
+      for (const std::string& name : KnownPolicyNames()) {
+        if (!known.empty()) known += '|';
+        known += name;
+      }
+      return Err("unknown policy '" + args[1] + "' (" + known + ")");
+    }
+    allocators_.push_back(std::move(next));
+    master_->set_allocator(allocators_.back().get());
+    return "ok policy=" + master_->policy_name();
+  }
+  if (args[0] == "capacity") {
+    double units = 0.0;
+    if (!ParseFiniteDouble(args[1], &units) || units < 0.0) {
+      return Err("bad capacity '" + args[1] + "'");
+    }
+    master_->set_capacity_units(units);
+    std::ostringstream out;
+    out << "ok capacity_units=" << master_->capacity_units();
+    return out.str();
+  }
+  return Err("unknown reconfig target '" + args[0] + "'");
+}
+
+std::string Daemon::HandleAddUser(const std::vector<std::string>& args) {
+  if (args.size() > 1) return Err("usage: adduser [NAME]");
+  for (std::size_t u = 0; u < user_active_.size(); ++u) {
+    if (!user_active_[u]) {
+      user_active_[u] = true;
+      return "ok id=" + std::to_string(u) + " name=" +
+             master_->client_name(static_cast<cache::UserId>(u));
+    }
+  }
+  return Err("no free user slots (cluster num_users=" +
+             std::to_string(user_active_.size()) + ")");
+}
+
+std::string Daemon::HandleDropUser(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Err("usage: dropuser ID");
+  std::uint64_t user = 0;
+  if (!ParseU64(args[0], &user)) return Err("bad user id '" + args[0] + "'");
+  if (user >= user_active_.size()) return Err("user id out of range");
+  if (!user_active_[user]) return Err("user " + args[0] + " already dropped");
+  user_active_[user] = false;
+  return "ok dropped=" + args[0];
+}
+
+int Daemon::Run() {
+  const int listen_fd = ListenUnix(config_.socket_path);
+  if (listen_fd < 0) return 1;
+  std::vector<int> conns;
+  while (!shutdown_ && !stop_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd, POLLIN, 0});
+    for (const int fd : conns) fds.push_back(pollfd{fd, POLLIN, 0});
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    std::vector<int> still;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        still.push_back(fd);
+        continue;
+      }
+      std::string request;
+      if (!ReadFrame(fd, &request)) {  // client closed or bad frame
+        ::close(fd);
+        continue;
+      }
+      if (!WriteFrame(fd, HandleRequest(request))) {
+        ::close(fd);
+        continue;
+      }
+      still.push_back(fd);
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn >= 0) still.push_back(conn);
+    }
+    conns = std::move(still);
+  }
+  for (const int fd : conns) ::close(fd);
+  ::close(listen_fd);
+  ::unlink(config_.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace opus::serve

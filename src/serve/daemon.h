@@ -1,0 +1,101 @@
+// Daemon — the long-running serving process: owns a CacheCluster, an
+// OpusMaster control loop, and a ServingEngine, and exposes them over a
+// Unix-socket text protocol (serve/protocol.h frames, one command per
+// frame, one reply per frame).
+//
+// Command set (whitespace-separated tokens; numeric arguments are parsed
+// strictly — trailing garbage or out-of-range values are command errors,
+// never silent zeros):
+//
+//   ping                      -> "ok pong"
+//   help                      -> "ok\n<command list>"
+//   status                    -> "ok\n<key=value lines>"
+//   metrics [text|json|csv]   -> "ok\n<metric snapshot>" (default text)
+//   audit                     -> "ok\n<fairness AuditReport JSON>"
+//   serve USER FILE           -> serve one read through the engine
+//   gen N SEED                -> generate + serve N synthetic accesses
+//                                across the active users
+//   reconfig policy NAME      -> swap allocation policy (next realloc)
+//   reconfig capacity UNITS   -> override allocator capacity (0 = derive
+//                                from cluster capacity again)
+//   adduser [NAME]            -> reactivate a dropped user slot
+//   dropuser ID               -> deactivate a user (serve rejected)
+//   shutdown                  -> reply "ok bye" and exit the serve loop
+//
+// Replies are "ok[ ...]" or "err <reason>"; multi-line payloads follow an
+// "ok" first line. HandleRequest is public so tests can drive the full
+// command surface in-process without a socket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cluster.h"
+#include "core/allocator.h"
+#include "serve/engine.h"
+#include "sim/opus_master.h"
+
+namespace opus::serve {
+
+struct DaemonConfig {
+  std::string socket_path = "/tmp/opus.sock";
+  cache::ClusterConfig cluster;
+  sim::OpusMasterConfig master;
+  EngineConfig engine;
+  std::string policy = "opus";   // initial allocator (core/policy_factory)
+  unsigned tax_threads = 0;      // forwarded to the opus allocator
+};
+
+class Daemon {
+ public:
+  // Aborts on an unknown initial policy. Span tracing is forced off on the
+  // cluster: the serving engine's replay-equivalence contract requires it
+  // (see serve/engine.h), and a daemon must be restartable into the exact
+  // state a serial replay of its journal would produce.
+  Daemon(DaemonConfig config, cache::Catalog catalog);
+
+  // Executes one command and returns the reply payload (never throws;
+  // malformed input yields an "err ..." reply). Exposed for in-process
+  // tests; Run() routes every socket frame through here.
+  std::string HandleRequest(const std::string& request);
+
+  // Serves the socket until a `shutdown` command or Stop(). Returns 0 on
+  // clean shutdown, 1 when the socket could not be created.
+  int Run();
+
+  // Asynchronous stop for tests driving Run() from another thread (the
+  // poll loop notices within its timeout).
+  void Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool shutdown_requested() const { return shutdown_; }
+  cache::CacheCluster& cluster() { return cluster_; }
+  sim::OpusMaster& master() { return *master_; }
+  ServingEngine& engine() { return *engine_; }
+
+ private:
+  std::string HandleStatus() const;
+  std::string HandleMetrics(const std::vector<std::string>& args) const;
+  std::string HandleServe(const std::vector<std::string>& args);
+  std::string HandleGen(const std::vector<std::string>& args);
+  std::string HandleReconfig(const std::vector<std::string>& args);
+  std::string HandleAddUser(const std::vector<std::string>& args);
+  std::string HandleDropUser(const std::vector<std::string>& args);
+
+  DaemonConfig config_;
+  cache::CacheCluster cluster_;
+  // Every allocator ever installed; the master holds a raw pointer to the
+  // latest, and retired ones are retained so a policy swap can never leave
+  // a dangling pointer mid-command.
+  std::vector<std::unique_ptr<CacheAllocator>> allocators_;
+  std::unique_ptr<sim::OpusMaster> master_;
+  std::unique_ptr<ServingEngine> engine_;
+  std::vector<bool> user_active_;  // [UserId]; dropped users are rejected
+  std::uint64_t events_served_ = 0;
+  bool shutdown_ = false;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace opus::serve

@@ -1,0 +1,210 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace opus::serve {
+
+ServingEngine::ServingEngine(cache::CacheCluster* cluster,
+                             sim::OpusMaster* master, EngineConfig config)
+    : cluster_(cluster), master_(master),
+      threads_(std::max(1u, std::min(config.threads,
+                                     static_cast<unsigned>(
+                                         cluster->num_workers())))),
+      sharded_(cluster->num_workers()) {
+  OPUS_CHECK(cluster_ != nullptr);
+  // Span sampling keys off global emission order, which the concurrent
+  // probe phase does not preserve — the replay-equivalence contract holds
+  // only with tracing off (the serial oracle must run the same way).
+  OPUS_CHECK_MSG(cluster_->config().span_sample_every == 0,
+                 "ServingEngine requires span tracing disabled "
+                 "(span_sample_every = 0)");
+
+  const cache::Catalog& catalog = cluster_->catalog();
+  const std::size_t workers = cluster_->num_workers();
+  file_worker_blocks_.resize(catalog.size());
+  for (cache::FileId f = 0; f < catalog.size(); ++f) {
+    file_worker_blocks_[f].resize(workers);
+    const cache::FileInfo& info = catalog.Get(f);
+    for (std::uint32_t idx = 0; idx < info.num_blocks; ++idx) {
+      const cache::WorkerId w =
+          cluster_->PlacementFor(cache::MakeBlockId(f, idx));
+      file_worker_blocks_[f][w].push_back(idx);
+    }
+  }
+  partials_.resize(threads_);
+  worker_deltas_.assign(workers, WorkerDelta{});
+}
+
+void ServingEngine::ProbeChunk(
+    const std::vector<workload::AccessEvent>& events, std::size_t begin,
+    std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t chunk = end - begin;
+  const std::size_t workers = cluster_->num_workers();
+  // Re-attach every phase: FailWorker replaces the store object.
+  for (std::size_t w = 0; w < workers; ++w) {
+    sharded_.Attach(w, &cluster_->worker(static_cast<cache::WorkerId>(w))
+                            .store());
+  }
+  for (auto& slab : partials_) {
+    slab.assign(chunk, EventPartial{});
+  }
+  const bool managed = cluster_->managed();
+  const cache::Catalog& catalog = cluster_->catalog();
+
+  // Thread t owns workers {w : w mod threads_ == t}; any pool thread may
+  // claim any role index, but each role touches a disjoint shard set and
+  // writes only its own slab, so scheduling cannot affect the result.
+  const auto body = [&](std::size_t t) {
+    std::vector<EventPartial>& slab = partials_[t];
+    for (std::size_t k = begin; k < end; ++k) {
+      const workload::AccessEvent& ev = events[k];
+      const cache::FileInfo& info = catalog.Get(ev.file);
+      EventPartial& partial = slab[k - begin];
+      const auto& by_worker = file_worker_blocks_[ev.file];
+      for (std::size_t w = t; w < workers; w += threads_) {
+        const std::vector<std::uint32_t>& blocks = by_worker[w];
+        if (blocks.empty()) continue;
+        const bool alive =
+            cluster_->IsWorkerAlive(static_cast<cache::WorkerId>(w));
+        WorkerDelta& delta = worker_deltas_[w];
+        if (!alive) {
+          // Dead shard: every block is a miss; no store to touch.
+          for (std::uint32_t idx : blocks) {
+            const std::uint64_t bytes = info.BlockBytes(idx);
+            partial.disk += bytes;
+            ++delta.misses;
+            delta.miss_bytes += bytes;
+          }
+          continue;
+        }
+        if (managed) {
+          // Managed phases are read-mostly (policy-touch only; placement
+          // is pinned) and shard-affine — lock-free by ownership.
+          cache::BlockStore& store = sharded_.shard(w);
+          for (std::uint32_t idx : blocks) {
+            const std::uint64_t bytes = info.BlockBytes(idx);
+            if (store.Access(cache::MakeBlockId(ev.file, idx))) {
+              partial.mem += bytes;
+              ++delta.hits;
+              delta.hit_bytes += bytes;
+            } else {
+              partial.disk += bytes;
+              ++delta.misses;
+              delta.miss_bytes += bytes;
+            }
+          }
+        } else {
+          // Cache-on-read mutates the shard (inserts + evictions): batch
+          // the event's ops for this shard under its mutex.
+          const auto lock = sharded_.Lock(w);
+          cache::BlockStore& store = sharded_.shard(w);
+          for (std::uint32_t idx : blocks) {
+            const cache::BlockId block = cache::MakeBlockId(ev.file, idx);
+            const std::uint64_t bytes = info.BlockBytes(idx);
+            if (store.Access(block)) {
+              partial.mem += bytes;
+              ++delta.hits;
+              delta.hit_bytes += bytes;
+            } else {
+              partial.disk += bytes;
+              ++delta.misses;
+              delta.miss_bytes += bytes;
+              store.Insert(block, bytes);
+            }
+          }
+        }
+      }
+    }
+  };
+  if (threads_ == 1) {
+    body(0);
+  } else {
+    ThreadPool::Shared().ParallelFor(threads_, body, threads_);
+  }
+}
+
+void ServingEngine::DrainChunk(
+    const std::vector<workload::AccessEvent>& events, std::size_t begin,
+    std::size_t end, ServeStats* stats) {
+  for (std::size_t k = begin; k < end; ++k) {
+    const workload::AccessEvent& ev = events[k];
+    // Mirrors the serial loop's order: learning update first, then the
+    // read's accounting. These OnAccess calls cannot fire a reallocation —
+    // the chunk ends before the boundary (see Serve).
+    if (master_ != nullptr) master_->OnAccess(ev);
+    std::uint64_t mem = 0, disk = 0;
+    for (const auto& slab : partials_) {
+      mem += slab[k - begin].mem;
+      disk += slab[k - begin].disk;
+    }
+    const cache::ReadResult r =
+        cluster_->FinishRead(ev.user, ev.file, mem, disk);
+    ++stats->events;
+    stats->bytes_from_memory += r.bytes_from_memory;
+    stats->bytes_from_disk += r.bytes_from_disk;
+    stats->effective_hit_sum += r.effective_hit;
+    stats->latency_sum_sec += r.latency_sec;
+  }
+  for (std::size_t w = 0; w < worker_deltas_.size(); ++w) {
+    WorkerDelta& d = worker_deltas_[w];
+    if (d.hits | d.hit_bytes | d.misses | d.miss_bytes) {
+      cluster_->AddWorkerReadDeltas(static_cast<cache::WorkerId>(w), d.hits,
+                                    d.hit_bytes, d.misses, d.miss_bytes);
+    }
+    d = WorkerDelta{};
+  }
+}
+
+void ServingEngine::ServeSerial(const workload::AccessEvent& event,
+                                ServeStats* stats) {
+  const std::size_t before =
+      master_ != nullptr ? master_->reallocations() : 0;
+  if (master_ != nullptr) master_->OnAccess(event);
+  if (master_ != nullptr) {
+    stats->reallocations += master_->reallocations() - before;
+  }
+  const cache::ReadResult r = cluster_->Read(event.user, event.file);
+  ++stats->events;
+  stats->bytes_from_memory += r.bytes_from_memory;
+  stats->bytes_from_disk += r.bytes_from_disk;
+  stats->effective_hit_sum += r.effective_hit;
+  stats->latency_sum_sec += r.latency_sec;
+}
+
+ServeStats ServingEngine::Serve(
+    const std::vector<workload::AccessEvent>& events) {
+  ServeStats stats;
+  std::size_t i = 0;
+  const std::size_t n = events.size();
+  while (i < n) {
+    if (master_ == nullptr) {
+      ProbeChunk(events, i, n);
+      DrainChunk(events, i, n, &stats);
+      break;
+    }
+    // The OnAccess of events[boundary - 1] fires the next reallocation; in
+    // the serial loop that event's read already sees the new allocation,
+    // so it must not join the parallel phase.
+    const std::size_t boundary = i + master_->accesses_until_update();
+    if (boundary <= n) {
+      if (boundary - 1 > i) {
+        ProbeChunk(events, i, boundary - 1);
+        DrainChunk(events, i, boundary - 1, &stats);
+      }
+      ServeSerial(events[boundary - 1], &stats);
+      i = boundary;
+    } else {
+      // Tail ends before the next boundary: no reallocation can fire.
+      ProbeChunk(events, i, n);
+      DrainChunk(events, i, n, &stats);
+      i = n;
+    }
+  }
+  return stats;
+}
+
+}  // namespace opus::serve

@@ -1,0 +1,120 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace opus::serve {
+namespace {
+
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// A sockaddr_un path is a fixed small array; reject paths that don't fit
+// instead of silently truncating to a different filesystem location.
+bool FillAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  return WriteAll(fd, prefix, sizeof(prefix)) &&
+         WriteAll(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, std::string* payload, std::size_t max_payload) {
+  char prefix[4];
+  if (!ReadAll(fd, prefix, sizeof(prefix))) return false;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
+       << 24);
+  if (len > max_payload) return false;
+  payload->resize(len);
+  return len == 0 || ReadAll(fd, payload->data(), len);
+}
+
+int ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    std::perror("listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int DialUnix(const std::string& path) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace opus::serve

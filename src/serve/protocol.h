@@ -1,0 +1,36 @@
+// Wire protocol for the serving daemon: length-prefixed frames over a
+// Unix-domain stream socket.
+//
+// Frame = 4-byte little-endian payload length + payload bytes. Payloads
+// are single-line text commands/replies (see serve/daemon.h for the
+// command set); framing keeps message boundaries exact so replies can
+// carry arbitrary text (metric snapshots, JSON audit reports) without
+// in-band delimiters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace opus::serve {
+
+// Frames larger than this are rejected by ReadFrame (a corrupt or hostile
+// length prefix must not trigger a giant allocation).
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+// Writes one frame; retries on short writes/EINTR. False on any error.
+bool WriteFrame(int fd, std::string_view payload);
+
+// Reads one frame into *payload; retries on EINTR. False on EOF, error,
+// or a length prefix exceeding max_payload.
+bool ReadFrame(int fd, std::string* payload,
+               std::size_t max_payload = kMaxFramePayload);
+
+// Binds and listens on a Unix socket at `path` (unlinking any stale socket
+// file first). Returns the listening fd, or -1 with a message on stderr.
+int ListenUnix(const std::string& path, int backlog = 8);
+
+// Connects to the daemon socket at `path`. Returns the fd, or -1.
+int DialUnix(const std::string& path);
+
+}  // namespace opus::serve

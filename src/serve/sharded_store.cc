@@ -1,0 +1,80 @@
+#include "serve/sharded_store.h"
+
+#include "common/check.h"
+
+namespace opus::serve {
+
+ShardedStore::ShardedStore(std::size_t num_shards) {
+  OPUS_CHECK_GT(num_shards, 0u);
+  shards_.assign(num_shards, nullptr);
+  mutexes_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void ShardedStore::Attach(std::size_t s, cache::BlockStore* store) {
+  OPUS_CHECK_LT(s, shards_.size());
+  OPUS_CHECK(store != nullptr);
+  shards_[s] = store;
+}
+
+bool ShardedStore::Access(std::size_t s, cache::BlockId block) {
+  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  return shards_[s]->Access(block);
+}
+
+bool ShardedStore::Insert(std::size_t s, cache::BlockId block,
+                          std::uint64_t bytes) {
+  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  return shards_[s]->Insert(block, bytes);
+}
+
+void ShardedStore::Erase(std::size_t s, cache::BlockId block) {
+  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  shards_[s]->Erase(block);
+}
+
+bool ShardedStore::Pin(std::size_t s, cache::BlockId block) {
+  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  return shards_[s]->Pin(block);
+}
+
+void ShardedStore::Unpin(std::size_t s, cache::BlockId block) {
+  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  shards_[s]->Unpin(block);
+}
+
+bool ShardedStore::Contains(std::size_t s, cache::BlockId block) const {
+  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  return shards_[s]->Contains(block);
+}
+
+std::uint64_t ShardedStore::used_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+    total += shards_[s]->used_bytes();
+  }
+  return total;
+}
+
+std::uint64_t ShardedStore::num_blocks() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+    total += shards_[s]->num_blocks();
+  }
+  return total;
+}
+
+std::uint64_t ShardedStore::evictions() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+    total += shards_[s]->evictions();
+  }
+  return total;
+}
+
+}  // namespace opus::serve

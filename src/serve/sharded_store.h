@@ -1,0 +1,68 @@
+// ShardedStore — a concurrency facade over the per-worker flat BlockStores.
+//
+// The data plane is already sharded: each worker owns one BlockStore and
+// block→worker placement is a pure function, so a shard here IS a worker's
+// store. This class adds the locking layer the serving engine and any
+// non-affine caller need:
+//
+//  - One mutex per shard. Mutating ops (Access/Insert/Erase/Pin/Unpin)
+//    lock only their shard; there is no global lock anywhere.
+//  - `shard()` / `Lock()` expose the raw store and its lock separately for
+//    callers that batch many ops under one acquisition (the serving
+//    engine's per-event segments) or that run shard-affine phases where a
+//    single thread owns a shard outright and can skip the lock entirely
+//    (the managed-mode read path — see serve/engine.h).
+//
+// Shards are attached by pointer and never owned: FailWorker replaces the
+// worker's store object, so the engine re-attaches before every phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cache/block_store.h"
+#include "cache/types.h"
+
+namespace opus::serve {
+
+class ShardedStore {
+ public:
+  explicit ShardedStore(std::size_t num_shards);
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // Rebinds shard `s` (e.g. after a worker restart). Not thread-safe:
+  // callers attach between phases, never during one.
+  void Attach(std::size_t s, cache::BlockStore* store);
+
+  // Raw shard access for single-owner phases; unsynchronized.
+  cache::BlockStore& shard(std::size_t s) { return *shards_[s]; }
+  const cache::BlockStore& shard(std::size_t s) const { return *shards_[s]; }
+
+  // The shard's lock, for callers batching several ops per acquisition.
+  std::unique_lock<std::mutex> Lock(std::size_t s) {
+    return std::unique_lock<std::mutex>(*mutexes_[s]);
+  }
+
+  // Locked single-op wrappers (mixed concurrent callers / stress tests).
+  bool Access(std::size_t s, cache::BlockId block);
+  bool Insert(std::size_t s, cache::BlockId block, std::uint64_t bytes);
+  void Erase(std::size_t s, cache::BlockId block);
+  bool Pin(std::size_t s, cache::BlockId block);
+  void Unpin(std::size_t s, cache::BlockId block);
+  bool Contains(std::size_t s, cache::BlockId block) const;
+
+  // Aggregates over all shards, locking each in index order.
+  std::uint64_t used_bytes() const;
+  std::uint64_t num_blocks() const;
+  std::uint64_t evictions() const;
+
+ private:
+  std::vector<cache::BlockStore*> shards_;
+  // unique_ptr: std::mutex is immovable and the vector is sized once.
+  std::vector<std::unique_ptr<std::mutex>> mutexes_;
+};
+
+}  // namespace opus::serve

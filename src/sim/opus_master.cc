@@ -30,6 +30,22 @@ double Drift(const Matrix& a, const Matrix& b) {
 
 }  // namespace
 
+void OpusMaster::set_allocator(const CacheAllocator* allocator) {
+  OPUS_CHECK(allocator != nullptr);
+  allocator_ = allocator;
+}
+
+void OpusMaster::set_capacity_units(double units) {
+  if (units <= 0.0) {
+    const double mean_file_bytes =
+        static_cast<double>(cluster_->catalog().TotalBytes()) /
+        static_cast<double>(cluster_->catalog().size());
+    units = static_cast<double>(cluster_->config().cache_capacity_bytes) /
+            mean_file_bytes;
+  }
+  config_.capacity_units = units;
+}
+
 OpusMaster::OpusMaster(const CacheAllocator* allocator,
                        cache::CacheCluster* cluster, OpusMasterConfig config)
     : allocator_(allocator), cluster_(cluster), config_(config),

@@ -94,6 +94,30 @@ class OpusMaster {
 
   const AllocationResult& current_allocation() const { return current_; }
   std::size_t reallocations() const { return reallocations_; }
+
+  // Accesses remaining until OnAccess fires the next scheduled
+  // reallocation (>= 1). The serving engine uses this to chunk parallel
+  // read phases so every reallocation happens between phases, exactly
+  // where the serial oracle fires it.
+  std::size_t accesses_until_update() const {
+    return config_.update_interval > since_update_
+               ? config_.update_interval - since_update_
+               : 1;
+  }
+
+  // --- live reconfiguration (serving daemon) ------------------------------
+
+  // Swaps the allocation policy; takes effect at the next reallocation.
+  // `allocator` must outlive the master.
+  void set_allocator(const CacheAllocator* allocator);
+
+  // Overrides the capacity (file units) handed to the allocator from the
+  // next reallocation on. <= 0 reverts to deriving it from cluster
+  // capacity / mean file size.
+  void set_capacity_units(double units);
+  double capacity_units() const { return config_.capacity_units; }
+
+  std::string policy_name() const { return allocator_->name(); }
   // Scheduled updates skipped because preferences were stable
   // (lazy_threshold).
   std::size_t skipped_reallocations() const { return skipped_; }

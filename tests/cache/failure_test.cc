@@ -90,6 +90,61 @@ TEST(FailureTest, DoubleFailIsIdempotent) {
   EXPECT_EQ(cluster.num_alive_workers(), 2u);
 }
 
+TEST(FailureTest, ReallocWhileDeadThenRecoverShrinksCleanly) {
+  // fail -> realloc (shrink) -> recover: the allocation shrank while the
+  // worker was down, so recovery reloads only the new, smaller prefix and
+  // the next epoch's delta bookkeeping stays exact.
+  CacheCluster cluster(ThreeWorkerConfig(), ThreeFileCatalog());
+  cluster.ApplyAllocation({1.0, 1.0, 1.0});
+  cluster.FailWorker(1);
+  cluster.ApplyAllocation({0.5, 0.5, 0.5});  // 3 of 6 blocks per file
+  cluster.RecoverWorker(1);
+  for (FileId f = 0; f < 3; ++f) {
+    EXPECT_NEAR(cluster.ResidentFraction(f), 0.5, 1e-12) << "file " << f;
+  }
+  // The rebuilt prefix is trusted: a follow-up delta epoch must land on
+  // exactly the new fractions with no stale survivors.
+  cluster.ApplyAllocation({1.0, 0.0, 0.5});
+  EXPECT_NEAR(cluster.ResidentFraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(1), 0.0, 1e-12);
+  EXPECT_NEAR(cluster.ResidentFraction(2), 0.5, 1e-12);
+}
+
+TEST(FailureTest, OverloadedRecoveryForcesReconciliationPass) {
+  // Regression: fail -> realloc (grow) -> recover -> realloc (shrink).
+  //
+  // While the worker is down the allocation grows past what its memory can
+  // hold; ApplyAllocation records no failure (dead workers are skipped),
+  // so the delta invariant looks intact. Recovery then overflows the
+  // worker — low-index pins fail — and used to DROP that failure count,
+  // leaving needs_full_pass_ false. The next (shrinking) epoch would run a
+  // delta pass that only erases the tail, permanently missing the
+  // low-index blocks its prefix bookkeeping claims are resident.
+  ClusterConfig cfg;
+  cfg.num_workers = 1;
+  cfg.num_users = 1;
+  cfg.cache_capacity_bytes = 6 * kMiB;  // 6 of the file's 8 blocks fit
+  Catalog catalog(1 * kMiB);
+  catalog.Register("f0", 8 * kMiB);
+  CacheCluster cluster(cfg, std::move(catalog));
+
+  cluster.ApplyAllocation({0.25});  // epoch A: blocks 0..1 pinned
+  cluster.FailWorker(0);
+  cluster.ApplyAllocation({1.0});  // epoch B: prefix=8, worker dead, no
+                                   // failures recorded
+  cluster.RecoverWorker(0);  // reloads 8 blocks into 6 MiB: LRU evicts
+                             // blocks 0..1 during load, their pins fail
+  EXPECT_NEAR(cluster.ResidentFraction(0), 6.0 / 8.0, 1e-12);
+
+  cluster.ApplyAllocation({0.5});  // epoch C: must reconcile, not delta
+  // With the failure count dropped this was 0.25 (blocks 2..3): the delta
+  // pass erased the tail and never reloaded the missing 0..1.
+  EXPECT_NEAR(cluster.ResidentFraction(0), 0.5, 1e-12);
+  const auto r = cluster.Read(0, 0);
+  EXPECT_EQ(r.bytes_from_memory, 4 * kMiB);
+  EXPECT_EQ(r.bytes_from_disk, 4 * kMiB);
+}
+
 TEST(FailureTest, MasterReallocationHealsTheCache) {
   // End-to-end: fail a worker mid-flight and leave it down across a
   // reallocation round — the master cannot push pins to a dead worker, so

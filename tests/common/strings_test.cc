@@ -29,5 +29,63 @@ TEST(StringsTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(5ull * 1024 * 1024 * 1024), "5.0 GB");
 }
 
+TEST(ParseU64Test, AcceptsPlainDecimal) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ParseU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseU64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseU64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(ParseU64Test, RejectsGarbageAndPartialParses) {
+  std::uint64_t v = 99;
+  // std::atoi would happily return 12 for "12abc" and 0 for "abc" — the
+  // strict parser must reject anything that is not exactly a number.
+  EXPECT_FALSE(ParseU64("", &v));
+  EXPECT_FALSE(ParseU64("abc", &v));
+  EXPECT_FALSE(ParseU64("12abc", &v));
+  EXPECT_FALSE(ParseU64("12 ", &v));
+  EXPECT_FALSE(ParseU64(" 12", &v));
+  EXPECT_FALSE(ParseU64("1.5", &v));
+  EXPECT_EQ(v, 99u);  // untouched on failure
+}
+
+TEST(ParseU64Test, RejectsSignsAndOverflow) {
+  std::uint64_t v = 0;
+  // strtoull accepts "-1" (wrapping) and "+1"; the strict parser does not.
+  EXPECT_FALSE(ParseU64("-1", &v));
+  EXPECT_FALSE(ParseU64("+1", &v));
+  EXPECT_FALSE(ParseU64("18446744073709551616", &v));  // UINT64_MAX + 1
+  EXPECT_FALSE(ParseU64("999999999999999999999999", &v));
+}
+
+TEST(ParseFiniteDoubleTest, AcceptsFiniteValues) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseFiniteDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(ParseFiniteDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseFiniteDouble("-2.25e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2250.0);
+}
+
+TEST(ParseFiniteDoubleTest, RejectsGarbagePartialAndNonFinite) {
+  double v = 42.0;
+  // strtod with a null endptr turns "oops" into 0.0 silently; anything
+  // that is not exactly one finite number must be rejected.
+  EXPECT_FALSE(ParseFiniteDouble("", &v));
+  EXPECT_FALSE(ParseFiniteDouble("oops", &v));
+  EXPECT_FALSE(ParseFiniteDouble("1.5x", &v));
+  EXPECT_FALSE(ParseFiniteDouble(" 1.5", &v));
+  EXPECT_FALSE(ParseFiniteDouble("1.5 ", &v));
+  EXPECT_FALSE(ParseFiniteDouble("inf", &v));
+  EXPECT_FALSE(ParseFiniteDouble("-inf", &v));
+  EXPECT_FALSE(ParseFiniteDouble("nan", &v));
+  EXPECT_FALSE(ParseFiniteDouble("1e999", &v));  // overflows to inf
+  EXPECT_DOUBLE_EQ(v, 42.0);  // untouched on failure
+}
+
 }  // namespace
 }  // namespace opus

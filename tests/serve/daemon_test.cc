@@ -1,0 +1,174 @@
+// Daemon command surface — driven in-process through HandleRequest (the
+// socket loop routes every frame through the same function), plus one real
+// socket round trip: start -> serve -> reconfigure -> shutdown.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "cache/file_meta.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+
+namespace opus::serve {
+namespace {
+
+DaemonConfig SmallConfig() {
+  DaemonConfig config;
+  config.cluster.num_workers = 3;
+  config.cluster.num_users = 2;
+  config.cluster.cache_capacity_bytes = 12 * cache::kMiB;
+  config.master.update_interval = 20;
+  config.master.learning_window = 80;
+  config.engine.threads = 3;
+  return config;
+}
+
+cache::Catalog SmallCatalog() {
+  cache::Catalog catalog(1 * cache::kMiB);
+  for (int f = 0; f < 6; ++f) {
+    catalog.Register("f" + std::to_string(f), 3 * cache::kMiB);
+  }
+  return catalog;
+}
+
+bool IsOk(const std::string& reply) { return reply.rfind("ok", 0) == 0; }
+bool IsErr(const std::string& reply) { return reply.rfind("err", 0) == 0; }
+
+TEST(DaemonTest, PingStatusHelp) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  EXPECT_EQ(daemon.HandleRequest("ping"), "ok pong");
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("help")));
+  const std::string status = daemon.HandleRequest("status");
+  EXPECT_TRUE(IsOk(status));
+  EXPECT_NE(status.find("policy=opus"), std::string::npos);
+  EXPECT_NE(status.find("users=2/2"), std::string::npos);
+  EXPECT_NE(status.find("workers=3/3"), std::string::npos);
+  EXPECT_NE(status.find("events_served=0"), std::string::npos);
+}
+
+TEST(DaemonTest, ServeAndGenDriveTheControlLoop) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("serve 0 3")));
+  // 100 accesses cross the 20-access reallocation boundary repeatedly.
+  const std::string gen = daemon.HandleRequest("gen 100 7");
+  EXPECT_TRUE(IsOk(gen)) << gen;
+  EXPECT_NE(gen.find("events=100"), std::string::npos);
+  EXPECT_GT(daemon.master().reallocations(), 0u);
+  EXPECT_TRUE(daemon.cluster().managed());
+  const std::string status = daemon.HandleRequest("status");
+  EXPECT_NE(status.find("events_served=101"), std::string::npos);
+  EXPECT_NE(status.find("managed=1"), std::string::npos);
+  // Deterministic serving: same config + same commands => same metrics.
+  Daemon twin(SmallConfig(), SmallCatalog());
+  twin.HandleRequest("serve 0 3");
+  twin.HandleRequest("gen 100 7");
+  EXPECT_EQ(daemon.HandleRequest("metrics text"),
+            twin.HandleRequest("metrics text"));
+}
+
+TEST(DaemonTest, MetricsAndAuditExports) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  daemon.HandleRequest("gen 60 3");
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("metrics")));
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("metrics json")));
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("metrics csv")));
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("metrics yaml")));
+  const std::string audit = daemon.HandleRequest("audit");
+  EXPECT_TRUE(IsOk(audit));
+  EXPECT_NE(audit.find("total_violations"), std::string::npos);
+}
+
+TEST(DaemonTest, LiveReconfiguration) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  daemon.HandleRequest("gen 30 1");
+  EXPECT_EQ(daemon.HandleRequest("reconfig policy fairride"),
+            "ok policy=fairride");
+  EXPECT_EQ(daemon.master().policy_name(), "fairride");
+  // The swapped policy must actually run: serving across the next
+  // boundary reallocates without crashing and keeps the cluster managed.
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("gen 30 2")));
+  EXPECT_TRUE(daemon.cluster().managed());
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("reconfig policy nonsense")));
+
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("reconfig capacity 3.5")));
+  EXPECT_DOUBLE_EQ(daemon.master().capacity_units(), 3.5);
+  // 0 reverts to deriving from cluster capacity: 12 MiB / 3 MiB files.
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("reconfig capacity 0")));
+  EXPECT_DOUBLE_EQ(daemon.master().capacity_units(), 4.0);
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("reconfig capacity -2")));
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("reconfig capacity 3.5x")));
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("reconfig capacity inf")));
+}
+
+TEST(DaemonTest, UserChurn) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("adduser")));  // all slots active
+  EXPECT_EQ(daemon.HandleRequest("dropuser 1"), "ok dropped=1");
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("serve 1 0")));  // dropped
+  EXPECT_TRUE(IsErr(daemon.HandleRequest("dropuser 1")));  // already gone
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("serve 0 0")));  // others unaffected
+  const std::string add = daemon.HandleRequest("adduser");
+  EXPECT_TRUE(IsOk(add)) << add;
+  EXPECT_NE(add.find("id=1"), std::string::npos);
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("serve 1 0")));
+}
+
+TEST(DaemonTest, MalformedCommandsAreErrorsNotCrashes) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  for (const char* bad :
+       {"", "   ", "bogus", "serve", "serve 0", "serve 0 1 2", "serve x 0",
+        "serve 0 x", "serve 99 0", "serve 0 99", "serve -1 0", "gen",
+        "gen 0 1", "gen 10x 1", "gen 10 seed", "reconfig",
+        "reconfig policy", "reconfig capacity", "reconfig bw 3",
+        "dropuser", "dropuser 99", "dropuser 1.5", "adduser a b"}) {
+    EXPECT_TRUE(IsErr(daemon.HandleRequest(bad))) << "input: '" << bad
+                                                  << "'";
+  }
+  EXPECT_EQ(daemon.HandleRequest("ping"), "ok pong");  // still alive
+}
+
+TEST(DaemonTest, ShutdownCommandSetsTheFlag) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  EXPECT_FALSE(daemon.shutdown_requested());
+  EXPECT_EQ(daemon.HandleRequest("shutdown"), "ok bye");
+  EXPECT_TRUE(daemon.shutdown_requested());
+}
+
+TEST(DaemonTest, SocketRoundTrip) {
+  DaemonConfig config = SmallConfig();
+  config.socket_path =
+      "/tmp/opus-daemon-test-" + std::to_string(::getpid()) + ".sock";
+  const std::string path = config.socket_path;
+  Daemon daemon(std::move(config), SmallCatalog());
+  std::thread server([&daemon] { EXPECT_EQ(daemon.Run(), 0); });
+
+  int fd = -1;
+  for (int tries = 0; tries < 200 && fd < 0; ++tries) {
+    fd = DialUnix(path);
+    if (fd < 0) ::usleep(10 * 1000);
+  }
+  ASSERT_GE(fd, 0) << "daemon socket never came up";
+
+  const auto roundtrip = [&fd](const std::string& cmd) {
+    std::string reply;
+    EXPECT_TRUE(WriteFrame(fd, cmd));
+    EXPECT_TRUE(ReadFrame(fd, &reply));
+    return reply;
+  };
+  EXPECT_EQ(roundtrip("ping"), "ok pong");
+  EXPECT_TRUE(IsOk(roundtrip("gen 50 9")));
+  EXPECT_TRUE(IsOk(roundtrip("serve 0 2")));
+  EXPECT_TRUE(IsOk(roundtrip("reconfig policy maxmin")));
+  EXPECT_TRUE(IsErr(roundtrip("serve 0 oops")));
+  EXPECT_EQ(roundtrip("shutdown"), "ok bye");
+  ::close(fd);
+  server.join();
+  // Clean shutdown unlinks the socket file.
+  EXPECT_LT(DialUnix(path), 0);
+}
+
+}  // namespace
+}  // namespace opus::serve

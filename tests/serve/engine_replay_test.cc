@@ -1,0 +1,177 @@
+// Replay-equivalence gate: a pinned schedule served through the sharded
+// concurrent engine must be indistinguishable from the serial oracle —
+// identical final store state, hit/eviction counts, metric exports, and
+// fairness-audit reports at every thread count. This is the correctness
+// contract of src/serve (see serve/engine.h).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cluster.h"
+#include "core/opus.h"
+#include "serve/engine.h"
+#include "sim/opus_master.h"
+#include "workload/preference_gen.h"
+#include "workload/trace.h"
+
+namespace opus::serve {
+namespace {
+
+cache::Catalog MakeCatalog() {
+  cache::Catalog catalog(1 * cache::kMiB);
+  // Heterogeneous sizes so block counts differ per file.
+  for (int f = 0; f < 12; ++f) {
+    catalog.Register("f" + std::to_string(f),
+                     (2 + (f % 5)) * cache::kMiB);
+  }
+  return catalog;
+}
+
+cache::ClusterConfig MakeClusterConfig() {
+  cache::ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.num_users = 3;
+  cfg.cache_capacity_bytes = 16 * cache::kMiB;
+  cfg.span_sample_every = 0;  // engine contract (serve/engine.h)
+  return cfg;
+}
+
+std::vector<workload::AccessEvent> MakeEvents(std::size_t n) {
+  workload::ZipfPreferenceConfig pcfg;
+  pcfg.num_users = 3;
+  pcfg.num_files = 12;
+  pcfg.alpha = 1.1;
+  Rng rng(5);
+  const Matrix prefs = workload::GenerateZipfPreferences(pcfg, rng);
+  Rng trace_rng(17);
+  return workload::GenerateTrace(workload::TruthfulSpecs(prefs), n,
+                                 trace_rng)
+      .events;
+}
+
+// The serial oracle: the exact loop sim::RunManagedSimulation drives.
+void ServeOracle(cache::CacheCluster* cluster, sim::OpusMaster* master,
+                 const std::vector<workload::AccessEvent>& events) {
+  for (const workload::AccessEvent& e : events) {
+    if (master != nullptr) master->OnAccess(e);
+    cluster->Read(e.user, e.file);
+  }
+}
+
+struct Plant {
+  std::unique_ptr<cache::CacheCluster> cluster;
+  std::unique_ptr<OpusAllocator> allocator;
+  std::unique_ptr<sim::OpusMaster> master;
+};
+
+Plant MakeManagedPlant(std::size_t update_interval) {
+  Plant p;
+  p.cluster = std::make_unique<cache::CacheCluster>(MakeClusterConfig(),
+                                                    MakeCatalog());
+  p.allocator = std::make_unique<OpusAllocator>();
+  sim::OpusMasterConfig mcfg;
+  mcfg.update_interval = update_interval;
+  mcfg.learning_window = 4 * update_interval;
+  p.master = std::make_unique<sim::OpusMaster>(p.allocator.get(),
+                                               p.cluster.get(), mcfg);
+  return p;
+}
+
+void ExpectIndistinguishable(const cache::CacheCluster& oracle,
+                             const cache::CacheCluster& engine,
+                             const std::string& label) {
+  EXPECT_EQ(oracle.UsedBytes(), engine.UsedBytes()) << label;
+  EXPECT_EQ(oracle.total_evictions(), engine.total_evictions()) << label;
+  // The full registry export — every counter, gauge, and histogram (sum
+  // order included) — must match byte for byte.
+  EXPECT_EQ(oracle.metrics().Snapshot().ToText(),
+            engine.metrics().Snapshot().ToText())
+      << label;
+}
+
+TEST(EngineReplayTest, ManagedMatchesSerialOracleAtEveryThreadCount) {
+  const std::vector<workload::AccessEvent> events = MakeEvents(600);
+  // Interval 37 leaves realloc boundaries mid-chunk, so the engine must
+  // split phases around them.
+  Plant oracle = MakeManagedPlant(37);
+  ServeOracle(oracle.cluster.get(), oracle.master.get(), events);
+  ASSERT_GT(oracle.master->reallocations(), 5u);
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    Plant plant = MakeManagedPlant(37);
+    EngineConfig ecfg;
+    ecfg.threads = threads;
+    ServingEngine engine(plant.cluster.get(), plant.master.get(), ecfg);
+    const ServeStats stats = engine.Serve(events);
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(stats.events, events.size()) << label;
+    EXPECT_EQ(plant.master->reallocations(), oracle.master->reallocations())
+        << label;
+    EXPECT_EQ(stats.reallocations, oracle.master->reallocations()) << label;
+    ExpectIndistinguishable(*oracle.cluster, *plant.cluster, label);
+    // The online fairness audit consumes per-window metric deltas — a
+    // byte-identical report means the whole windowed pipeline agreed.
+    EXPECT_EQ(plant.master->audit_report().ToJson(),
+              oracle.master->audit_report().ToJson())
+        << label;
+  }
+}
+
+TEST(EngineReplayTest, UnmanagedMatchesSerialOracle) {
+  // Cache-on-read: probe phases mutate the shards (inserts + evictions)
+  // under the shard mutexes; per-shard op order is still pinned.
+  const std::vector<workload::AccessEvent> events = MakeEvents(500);
+  cache::CacheCluster oracle(MakeClusterConfig(), MakeCatalog());
+  ServeOracle(&oracle, nullptr, events);
+  EXPECT_GT(oracle.total_evictions(), 0u);
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    cache::CacheCluster cluster(MakeClusterConfig(), MakeCatalog());
+    EngineConfig ecfg;
+    ecfg.threads = threads;
+    ServingEngine engine(&cluster, nullptr, ecfg);
+    engine.Serve(events);
+    ExpectIndistinguishable(oracle, cluster,
+                            "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(EngineReplayTest, SurvivesWorkerFailureBetweenBatches) {
+  // Control-plane mutations (fail/recover) land between Serve calls; the
+  // engine re-attaches shards each phase, so the replaced store object and
+  // the dead-worker miss path must both replay exactly.
+  const std::vector<workload::AccessEvent> events = MakeEvents(450);
+  const auto third = events.size() / 3;
+  const std::vector<workload::AccessEvent> a(events.begin(),
+                                             events.begin() + third);
+  const std::vector<workload::AccessEvent> b(events.begin() + third,
+                                             events.begin() + 2 * third);
+  const std::vector<workload::AccessEvent> c(events.begin() + 2 * third,
+                                             events.end());
+
+  Plant oracle = MakeManagedPlant(37);
+  ServeOracle(oracle.cluster.get(), oracle.master.get(), a);
+  oracle.cluster->FailWorker(1);
+  ServeOracle(oracle.cluster.get(), oracle.master.get(), b);
+  oracle.cluster->RecoverWorker(1);
+  ServeOracle(oracle.cluster.get(), oracle.master.get(), c);
+
+  Plant plant = MakeManagedPlant(37);
+  EngineConfig ecfg;
+  ecfg.threads = 4;
+  ServingEngine engine(plant.cluster.get(), plant.master.get(), ecfg);
+  engine.Serve(a);
+  plant.cluster->FailWorker(1);
+  engine.Serve(b);
+  plant.cluster->RecoverWorker(1);
+  engine.Serve(c);
+
+  ExpectIndistinguishable(*oracle.cluster, *plant.cluster, "fail/recover");
+  EXPECT_EQ(plant.master->audit_report().ToJson(),
+            oracle.master->audit_report().ToJson());
+}
+
+}  // namespace
+}  // namespace opus::serve

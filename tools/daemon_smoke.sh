@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Daemon smoke test: start opus_daemon, drive the client command surface
+# (serve, gen, status, metrics, audit, live reconfiguration, user churn,
+# error replies), then shut it down and check it exited cleanly.
+#
+# Usage: daemon_smoke.sh DAEMON_BIN CLIENT_BIN SOCKET_PATH
+set -u
+
+DAEMON="$1"
+CLIENT="$2"
+SOCKET="$3"
+
+rm -f "$SOCKET"
+"$DAEMON" --socket "$SOCKET" --files 12 --file-mb 2 --users 3 --workers 4 \
+  --cache-mb 12 --threads 4 --update-interval 50 --window 200 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# Wait for the socket to come up.
+for _ in $(seq 1 100); do
+  if "$CLIENT" "$SOCKET" ping >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+"$CLIENT" "$SOCKET" ping | grep -q "ok pong" || fail "ping"
+
+# Serve traffic: enough generated accesses to cross reallocation
+# boundaries, plus a direct read.
+"$CLIENT" "$SOCKET" gen 300 7 | grep -q "^ok events=300" || fail "gen"
+"$CLIENT" "$SOCKET" serve 0 3 | grep -q "^ok mem_bytes=" || fail "serve"
+"$CLIENT" "$SOCKET" status | grep -q "managed=1" || fail "status managed"
+"$CLIENT" "$SOCKET" status | grep -q "events_served=301" || fail "status events"
+"$CLIENT" "$SOCKET" metrics json | grep -q 'cluster.read.latency_sec' || fail "metrics json"
+"$CLIENT" "$SOCKET" audit | grep -q "total_violations" || fail "audit"
+
+# Live reconfiguration: policy swap, capacity override, user churn.
+"$CLIENT" "$SOCKET" reconfig policy fairride | grep -q "ok policy=fairride" || fail "reconfig policy"
+"$CLIENT" "$SOCKET" reconfig capacity 4.5 | grep -q "ok capacity_units=4.5" || fail "reconfig capacity"
+"$CLIENT" "$SOCKET" dropuser 2 | grep -q "ok dropped=2" || fail "dropuser"
+"$CLIENT" "$SOCKET" serve 2 0 && fail "serve for dropped user must fail"
+"$CLIENT" "$SOCKET" adduser | grep -q "ok id=2" || fail "adduser"
+"$CLIENT" "$SOCKET" gen 100 11 | grep -q "^ok events=100" || fail "gen after reconfig"
+
+# Error replies exit non-zero and never crash the daemon.
+"$CLIENT" "$SOCKET" serve 99 0 && fail "out-of-range user must fail"
+"$CLIENT" "$SOCKET" gen 10x 7 && fail "garbage count must fail"
+"$CLIENT" "$SOCKET" reconfig capacity -1 && fail "negative capacity must fail"
+"$CLIENT" "$SOCKET" bogus && fail "unknown command must fail"
+"$CLIENT" "$SOCKET" ping | grep -q "ok pong" || fail "daemon died after errors"
+
+"$CLIENT" "$SOCKET" shutdown | grep -q "ok bye" || fail "shutdown"
+wait "$DAEMON_PID"
+RC=$?
+trap - EXIT
+[ "$RC" -eq 0 ] || fail "daemon exit code $RC"
+[ ! -e "$SOCKET" ] || fail "socket not unlinked on shutdown"
+echo "daemon smoke OK"

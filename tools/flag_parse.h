@@ -1,0 +1,39 @@
+// Strict flag-value parsing shared by the CLI tools.
+//
+// The atoi/atof/strtoull family silently accepts trailing garbage ("8x" →
+// 8) and out-of-range input wraps or is UB, so a malformed flag value must
+// be a diagnostic plus usage error, never a silently different run. These
+// wrap the strict common/strings parsers with a stderr diagnostic naming
+// the flag.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+
+namespace opus::tools {
+
+inline bool ParseFlagU64(const std::string& flag, const char* v,
+                         std::uint64_t min_value, std::uint64_t* out) {
+  if (!v || !opus::ParseU64(v, out) || *out < min_value) {
+    std::fprintf(stderr, "%s: expected an integer >= %llu, got '%s'\n",
+                 flag.c_str(), static_cast<unsigned long long>(min_value),
+                 v ? v : "(missing)");
+    return false;
+  }
+  return true;
+}
+
+inline bool ParseFlagDouble(const std::string& flag, const char* v,
+                            double min_value, double* out) {
+  if (!v || !opus::ParseFiniteDouble(v, out) || *out < min_value) {
+    std::fprintf(stderr, "%s: expected a finite number >= %g, got '%s'\n",
+                 flag.c_str(), min_value, v ? v : "(missing)");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace opus::tools

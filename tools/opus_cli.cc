@@ -56,17 +56,13 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/explain.h"
-#include "core/fairride.h"
-#include "core/global_opt.h"
-#include "core/isolated.h"
-#include "core/maxmin.h"
-#include "core/opus.h"
+#include "core/policy_factory.h"
 #include "core/utility.h"
-#include "core/vcg_classic.h"
 #include "obs/event_trace.h"
 #include "obs/fairness_audit.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
+#include "flag_parse.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
@@ -74,20 +70,8 @@ namespace {
 
 using namespace opus;
 
-std::unique_ptr<CacheAllocator> MakeAllocator(const std::string& name,
-                                              unsigned threads) {
-  if (name == "opus") {
-    OpusOptions options;
-    options.tax_threads = threads;
-    return std::make_unique<OpusAllocator>(options);
-  }
-  if (name == "fairride") return std::make_unique<FairRideAllocator>();
-  if (name == "maxmin") return std::make_unique<MaxMinAllocator>();
-  if (name == "isolated") return std::make_unique<IsolatedAllocator>();
-  if (name == "vcg-classic") return std::make_unique<VcgClassicAllocator>();
-  if (name == "optimal") return std::make_unique<GlobalOptimalAllocator>();
-  return nullptr;
-}
+using opus::tools::ParseFlagDouble;
+using opus::tools::ParseFlagU64;
 
 std::string ReadFile(const std::string& path, bool* ok) {
   std::ifstream in(path);
@@ -143,9 +127,7 @@ int main(int argc, char** argv) {
       if (!v) return Usage(argv[0]);
       prefs_path = v;
     } else if (arg == "--capacity") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      capacity = std::atof(v);
+      if (!ParseFlagDouble(arg, next(), 0.0, &capacity)) return Usage(argv[0]);
     } else if (arg == "--policy") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -155,25 +137,23 @@ int main(int argc, char** argv) {
       if (!v) return Usage(argv[0]);
       sizes_path = v;
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (!v || std::atoi(v) < 1) return Usage(argv[0]);
-      threads = static_cast<unsigned>(std::atoi(v));
+      std::uint64_t v = 0;
+      if (!ParseFlagU64(arg, next(), 1, &v) || v > 1024) return Usage(argv[0]);
+      threads = static_cast<unsigned>(v);
     } else if (arg == "--simulate") {
-      const char* v = next();
-      if (!v || std::atoi(v) < 1) return Usage(argv[0]);
-      simulate = std::strtoull(v, nullptr, 10);
+      std::uint64_t v = 0;
+      if (!ParseFlagU64(arg, next(), 1, &v)) return Usage(argv[0]);
+      simulate = static_cast<std::size_t>(v);
     } else if (arg == "--workers") {
-      const char* v = next();
-      if (!v || std::atoi(v) < 1) return Usage(argv[0]);
-      workers = std::strtoull(v, nullptr, 10);
+      std::uint64_t v = 0;
+      if (!ParseFlagU64(arg, next(), 1, &v) || v > (1u << 20)) {
+        return Usage(argv[0]);
+      }
+      workers = static_cast<std::size_t>(v);
     } else if (arg == "--cache-mb") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      cache_mb = std::atof(v);
+      if (!ParseFlagDouble(arg, next(), 0.0, &cache_mb)) return Usage(argv[0]);
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      seed = std::strtoull(v, nullptr, 10);
+      if (!ParseFlagU64(arg, next(), 0, &seed)) return Usage(argv[0]);
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -187,9 +167,7 @@ int main(int argc, char** argv) {
       if (!v) return Usage(argv[0]);
       spans_out = v;
     } else if (arg == "--span-sample-n") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      span_sample_n = std::strtoull(v, nullptr, 10);
+      if (!ParseFlagU64(arg, next(), 0, &span_sample_n)) return Usage(argv[0]);
     } else if (arg == "--audit-out") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -250,7 +228,7 @@ int main(int argc, char** argv) {
   }
 
   if (simulate > 0) {
-    const auto allocator = MakeAllocator(policy, threads);
+    const auto allocator = MakeAllocatorByName(policy, threads);
     if (!allocator) {
       std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
       return 1;
@@ -337,7 +315,7 @@ int main(int argc, char** argv) {
     table.AddHeader(std::move(header));
     for (const char* name : {"isolated", "maxmin", "fairride", "optimal",
                              "vcg-classic", "opus"}) {
-      const auto alloc = MakeAllocator(name, threads);
+      const auto alloc = MakeAllocatorByName(name, threads);
       const auto r = alloc->Allocate(problem);
       const auto utils = EvaluateUtilities(r, problem.preferences);
       std::vector<std::string> row = {name};
@@ -349,7 +327,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto allocator = MakeAllocator(policy, threads);
+  const auto allocator = MakeAllocatorByName(policy, threads);
   if (!allocator) {
     std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
     return 1;

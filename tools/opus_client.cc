@@ -1,0 +1,44 @@
+// opus_client — one-shot client for opus_daemon.
+//
+// Joins its arguments into a single command, sends it as one frame over
+// the daemon's Unix socket, and prints the reply. Exit 0 on an "ok" reply,
+// 1 on an "err" reply or daemon-side close, 2 on usage/connect failure.
+//
+// Usage:
+//   opus_client SOCKET COMMAND [ARGS...]
+//   opus_client /tmp/opus.sock status
+//   opus_client /tmp/opus.sock serve 0 3
+//   opus_client /tmp/opus.sock reconfig policy fairride
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s SOCKET COMMAND [ARGS...]\n", argv[0]);
+    return 2;
+  }
+  std::string command;
+  for (int i = 2; i < argc; ++i) {
+    if (!command.empty()) command += ' ';
+    command += argv[i];
+  }
+  const int fd = opus::serve::DialUnix(argv[1]);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s\n", argv[1]);
+    return 2;
+  }
+  std::string reply;
+  const bool ok = opus::serve::WriteFrame(fd, command) &&
+                  opus::serve::ReadFrame(fd, &reply);
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(stderr, "daemon closed the connection\n");
+    return 1;
+  }
+  std::printf("%s\n", reply.c_str());
+  return reply.rfind("ok", 0) == 0 ? 0 : 1;
+}

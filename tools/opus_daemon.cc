@@ -1,0 +1,153 @@
+// opus_daemon — the long-running serving process (serve/daemon.h).
+//
+// Builds a cluster over a synthetic or CSV catalog, starts the OpuS
+// control loop and the sharded serving engine, and answers opus_client
+// commands on a Unix socket until `opus_client SOCKET shutdown`.
+//
+// Usage:
+//   opus_daemon --socket PATH [--catalog FILE | --files N [--file-mb MB]]
+//               [--users N] [--workers N] [--cache-mb MB] [--threads N]
+//               [--policy NAME] [--update-interval N] [--window N]
+//               [--tax-threads N]
+//
+//   --socket PATH       Unix socket to serve on (default /tmp/opus.sock)
+//   --catalog FILE      CSV of name,size_bytes rows (no header)
+//   --files N           synthetic catalog of N files (default 32)
+//   --file-mb MB        synthetic file size (default 8)
+//   --users N           registered user slots (default 4)
+//   --workers N         cache workers / engine shards (default 4)
+//   --cache-mb MB       cluster memory (default 64)
+//   --threads N         engine probe threads (default: worker count)
+//   --policy NAME       initial allocator (default opus)
+//   --update-interval N accesses between reallocations (default 200)
+//   --window N          learning-window length in accesses (default 800)
+//   --tax-threads N     threads for OpuS leave-one-out tax solves
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/csv.h"
+#include "cache/file_meta.h"
+#include "common/strings.h"
+#include "flag_parse.h"
+#include "serve/daemon.h"
+
+namespace {
+
+using opus::tools::ParseFlagDouble;
+using opus::tools::ParseFlagU64;
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  opus::serve::DaemonConfig config;
+  config.cluster.num_workers = 4;
+  config.cluster.num_users = 4;
+  config.cluster.cache_capacity_bytes = 64 * opus::cache::kMiB;
+  config.master.update_interval = 200;
+  config.master.learning_window = 800;
+  config.engine.threads = 0;  // 0 = default to the worker count below
+  std::string catalog_path;
+  std::uint64_t files = 32, file_mb = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    const auto next = [&]() { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::uint64_t u = 0;
+    double d = 0.0;
+    if (arg == "--socket" && (v = next())) {
+      config.socket_path = v;
+    } else if (arg == "--catalog" && (v = next())) {
+      catalog_path = v;
+    } else if (arg == "--files" && (v = next())) {
+      if (!ParseFlagU64("--files", v, 1, &files)) return 2;
+    } else if (arg == "--file-mb" && (v = next())) {
+      if (!ParseFlagU64("--file-mb", v, 1, &file_mb)) return 2;
+    } else if (arg == "--users" && (v = next())) {
+      if (!ParseFlagU64("--users", v, 1, &u)) return 2;
+      config.cluster.num_users = static_cast<std::uint32_t>(u);
+    } else if (arg == "--workers" && (v = next())) {
+      if (!ParseFlagU64("--workers", v, 1, &u) || u > (1u << 20)) {
+        std::fprintf(stderr, "--workers out of range\n");
+        return 2;
+      }
+      config.cluster.num_workers = static_cast<std::uint32_t>(u);
+    } else if (arg == "--cache-mb" && (v = next())) {
+      if (!ParseFlagDouble("--cache-mb", v, 0.0, &d)) return 2;
+      config.cluster.cache_capacity_bytes =
+          static_cast<std::uint64_t>(d * static_cast<double>(opus::cache::kMiB));
+    } else if (arg == "--threads" && (v = next())) {
+      if (!ParseFlagU64("--threads", v, 1, &u) || u > 1024) {
+        std::fprintf(stderr, "--threads out of range\n");
+        return 2;
+      }
+      config.engine.threads = static_cast<unsigned>(u);
+    } else if (arg == "--policy" && (v = next())) {
+      config.policy = v;
+    } else if (arg == "--update-interval" && (v = next())) {
+      if (!ParseFlagU64("--update-interval", v, 1, &u)) return 2;
+      config.master.update_interval = u;
+    } else if (arg == "--window" && (v = next())) {
+      if (!ParseFlagU64("--window", v, 1, &u)) return 2;
+      config.master.learning_window = u;
+    } else if (arg == "--tax-threads" && (v = next())) {
+      if (!ParseFlagU64("--tax-threads", v, 0, &u) || u > 1024) {
+        std::fprintf(stderr, "--tax-threads out of range\n");
+        return 2;
+      }
+      config.tax_threads = static_cast<unsigned>(u);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (config.engine.threads == 0) {
+    config.engine.threads = config.cluster.num_workers;
+  }
+
+  opus::cache::Catalog catalog(1 * opus::cache::kMiB);
+  if (!catalog_path.empty()) {
+    bool ok = false;
+    const std::string text = ReadFile(catalog_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", catalog_path.c_str());
+      return 2;
+    }
+    for (const auto& row :
+         opus::analysis::ParseCsv(text, /*has_header=*/false).rows) {
+      std::uint64_t size_bytes = 0;
+      if (row.size() != 2 || !opus::ParseU64(row[1], &size_bytes)) {
+        std::fprintf(stderr, "catalog rows must be name,size_bytes\n");
+        return 2;
+      }
+      catalog.Register(row[0], size_bytes);
+    }
+  } else {
+    for (std::uint64_t f = 0; f < files; ++f) {
+      catalog.Register("file" + std::to_string(f),
+                       file_mb * opus::cache::kMiB);
+    }
+  }
+  if (catalog.size() == 0) {
+    std::fprintf(stderr, "empty catalog\n");
+    return 2;
+  }
+
+  const std::string socket_path = config.socket_path;
+  opus::serve::Daemon daemon(std::move(config), std::move(catalog));
+  std::fprintf(stderr, "opus_daemon: %zu files, %u workers, serving on %s\n",
+               daemon.cluster().catalog().size(),
+               daemon.cluster().config().num_workers, socket_path.c_str());
+  return daemon.Run();
+}

@@ -11,9 +11,11 @@
 //     prints: per-name aggregates (count, logical-tick totals, seconds
 //     from latency attrs), the tier.access per-tier breakdown, and the
 //     top-K slowest root spans with their child trees.
-//   opus_inspect audit FILE
+//   opus_inspect audit FILE [--threshold T]
 //     Pretty-prints a fairness audit report (--audit-out). Exit status 1
-//     when the report contains any violation — the CI gate.
+//     when the report contains more than T violations (default 0) — the CI
+//     gate. T must parse as a finite number; garbage is a usage error, it
+//     must never silently become 0 and flip the gate.
 //
 // Exit codes: 0 success / clean audit, 1 audit violations or bad input,
 // 2 usage.
@@ -27,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
+#include "flag_parse.h"
 #include "obs/fairness_audit.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
@@ -51,7 +55,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: opus_inspect diff BEFORE AFTER [--json]\n"
                "       opus_inspect spans FILE [--top K]\n"
-               "       opus_inspect audit FILE\n");
+               "       opus_inspect audit FILE [--threshold T]\n");
   return 2;
 }
 
@@ -92,11 +96,21 @@ int RunDiff(const std::vector<std::string>& args) {
 }
 
 // Seconds carried by a span's latency attributes (the simulation's virtual
-// clock; logical ticks only order events).
-double SpanSeconds(const obs::SpanRecord& s) {
+// clock; logical ticks only order events). A malformed attribute value sets
+// *bad and reports 0.0 so callers can fail the run instead of silently
+// ranking the span as instantaneous.
+double SpanSeconds(const obs::SpanRecord& s, bool* bad) {
   for (const auto& [k, v] : s.attrs) {
     if (k == "latency_sec" || k == "delay_sec") {
-      return std::strtod(v.c_str(), nullptr);
+      double seconds = 0.0;
+      if (!ParseFiniteDouble(v, &seconds)) {
+        std::fprintf(stderr, "span id=%llu: malformed %s attr '%s'\n",
+                     static_cast<unsigned long long>(s.id), k.c_str(),
+                     v.c_str());
+        if (bad) *bad = true;
+        return 0.0;
+      }
+      return seconds;
     }
   }
   return 0.0;
@@ -111,17 +125,18 @@ std::string SpanAttr(const obs::SpanRecord& s, const std::string& key) {
 
 void PrintTree(const obs::SpanRecord& s,
                const std::map<std::uint64_t, std::vector<std::size_t>>& kids,
-               const std::vector<obs::SpanRecord>& spans, int depth) {
+               const std::vector<obs::SpanRecord>& spans, int depth,
+               bool* bad) {
   std::printf("%*s%s [%llu,%llu)", 2 * depth + 4, "", s.name.c_str(),
               static_cast<unsigned long long>(s.begin_tick),
               static_cast<unsigned long long>(s.end_tick));
-  const double sec = SpanSeconds(s);
+  const double sec = SpanSeconds(s, bad);
   if (sec > 0.0) std::printf(" %.6fs", sec);
   std::printf("\n");
   const auto it = kids.find(s.id);
   if (it == kids.end()) return;
   for (std::size_t idx : it->second) {
-    PrintTree(spans[idx], kids, spans, depth + 1);
+    PrintTree(spans[idx], kids, spans, depth + 1, bad);
   }
 }
 
@@ -129,8 +144,11 @@ int RunSpans(const std::vector<std::string>& args) {
   std::size_t top = 5;
   std::vector<std::string> paths;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--top" && i + 1 < args.size()) {
-      top = std::strtoull(args[++i].c_str(), nullptr, 10);
+    if (args[i] == "--top") {
+      std::uint64_t k = 0;
+      const char* v = i + 1 < args.size() ? args[++i].c_str() : nullptr;
+      if (!tools::ParseFlagU64("--top", v, 0, &k)) return Usage();
+      top = static_cast<std::size_t>(k);
     } else {
       paths.push_back(args[i]);
     }
@@ -158,12 +176,13 @@ int RunSpans(const std::vector<std::string>& args) {
   std::map<std::string, std::uint64_t> tier_counts;
   std::map<std::uint64_t, std::vector<std::size_t>> kids;
   std::vector<std::size_t> roots;
+  bool bad_attr = false;
   for (std::size_t i = 0; i < spans->size(); ++i) {
     const obs::SpanRecord& s = (*spans)[i];
     NameAgg& agg = by_name[s.name];
     ++agg.count;
     agg.ticks += s.end_tick - s.begin_tick;
-    agg.seconds += SpanSeconds(s);
+    agg.seconds += SpanSeconds(s, &bad_attr);
     if (s.name == "tier.access") {
       const std::string tier = SpanAttr(s, "tier");
       if (!tier.empty()) ++tier_counts[tier];
@@ -196,7 +215,8 @@ int RunSpans(const std::vector<std::string>& args) {
   std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
     const obs::SpanRecord& sa = (*spans)[a];
     const obs::SpanRecord& sb = (*spans)[b];
-    const double da = SpanSeconds(sa), db = SpanSeconds(sb);
+    const double da = SpanSeconds(sa, &bad_attr);
+    const double db = SpanSeconds(sb, &bad_attr);
     if (da != db) return da > db;
     const std::uint64_t ta = sa.end_tick - sa.begin_tick;
     const std::uint64_t tb = sb.end_tick - sb.begin_tick;
@@ -216,28 +236,44 @@ int RunSpans(const std::vector<std::string>& args) {
     const auto it = kids.find(s.id);
     if (it != kids.end()) {
       for (std::size_t idx : it->second) {
-        PrintTree((*spans)[idx], kids, *spans, 0);
+        PrintTree((*spans)[idx], kids, *spans, 0, &bad_attr);
       }
     }
+  }
+  if (bad_attr) {
+    std::fprintf(stderr, "malformed latency attrs in %s\n", paths[0].c_str());
+    return 1;
   }
   return 0;
 }
 
 int RunAudit(const std::vector<std::string>& args) {
-  if (args.size() != 1) return Usage();
+  double threshold = 0.0;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold") {
+      const char* v = i + 1 < args.size() ? args[++i].c_str() : nullptr;
+      if (!tools::ParseFlagDouble("--threshold", v, 0.0, &threshold)) {
+        return Usage();
+      }
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 1) return Usage();
   bool ok = false;
-  const std::string text = ReadFile(args[0], &ok);
+  const std::string text = ReadFile(paths[0], &ok);
   if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", args[0].c_str());
+    std::fprintf(stderr, "cannot read %s\n", paths[0].c_str());
     return 1;
   }
   obs::AuditReport report;
   if (!obs::ParseAuditJson(text, &report)) {
-    std::fprintf(stderr, "malformed audit report: %s\n", args[0].c_str());
+    std::fprintf(stderr, "malformed audit report: %s\n", paths[0].c_str());
     return 1;
   }
   std::fputs(report.ToText().c_str(), stdout);
-  return report.total_violations > 0 ? 1 : 0;
+  return static_cast<double>(report.total_violations) > threshold ? 1 : 0;
 }
 
 }  // namespace

@@ -37,11 +37,8 @@
 #include "analysis/report.h"
 #include "common/rng.h"
 #include "common/strings.h"
-#include "core/fairride.h"
-#include "core/global_opt.h"
-#include "core/isolated.h"
-#include "core/maxmin.h"
-#include "core/opus.h"
+#include "core/policy_factory.h"
+#include "flag_parse.h"
 #include "obs/event_trace.h"
 #include "obs/fairness_audit.h"
 #include "obs/metrics.h"
@@ -54,14 +51,8 @@ namespace {
 
 using namespace opus;
 
-std::unique_ptr<CacheAllocator> MakeAllocator(const std::string& name) {
-  if (name == "opus") return std::make_unique<OpusAllocator>();
-  if (name == "fairride") return std::make_unique<FairRideAllocator>();
-  if (name == "maxmin") return std::make_unique<MaxMinAllocator>();
-  if (name == "isolated") return std::make_unique<IsolatedAllocator>();
-  if (name == "optimal") return std::make_unique<GlobalOptimalAllocator>();
-  return nullptr;
-}
+using opus::tools::ParseFlagDouble;
+using opus::tools::ParseFlagU64;
 
 std::string ReadFile(const std::string& path, bool* ok) {
   std::ifstream in(path);
@@ -108,34 +99,46 @@ int main(int argc, char** argv) {
       catalog_path = v;
     } else if (arg == "--trace" && (v = next())) {
       trace_path = v;
-    } else if (arg == "--generate" && (v = next())) {
-      generate = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--users" && (v = next())) {
-      users = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--generate") {
+      std::uint64_t n = 0;
+      if (!ParseFlagU64(arg, next(), 1, &n)) return Usage(argv[0]);
+      generate = static_cast<std::size_t>(n);
+    } else if (arg == "--users") {
+      std::uint64_t n = 0;
+      if (!ParseFlagU64(arg, next(), 1, &n)) return Usage(argv[0]);
+      users = static_cast<std::size_t>(n);
     } else if (arg == "--policy" && (v = next())) {
       policy = v;
-    } else if (arg == "--cache-mb" && (v = next())) {
-      cache_mb = std::atof(v);
-    } else if (arg == "--workers" && (v = next())) {
-      workers = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--alpha" && (v = next())) {
-      alpha = std::atof(v);
-    } else if (arg == "--seed" && (v = next())) {
-      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache-mb") {
+      if (!ParseFlagDouble(arg, next(), 0.0, &cache_mb)) return Usage(argv[0]);
+    } else if (arg == "--workers") {
+      std::uint64_t n = 0;
+      if (!ParseFlagU64(arg, next(), 1, &n) || n > (1u << 20)) {
+        return Usage(argv[0]);
+      }
+      workers = static_cast<std::size_t>(n);
+    } else if (arg == "--alpha") {
+      if (!ParseFlagDouble(arg, next(), 0.0, &alpha)) return Usage(argv[0]);
+    } else if (arg == "--seed") {
+      if (!ParseFlagU64(arg, next(), 0, &seed)) return Usage(argv[0]);
     } else if (arg == "--save-trace" && (v = next())) {
       save_trace_path = v;
-    } else if (arg == "--update-interval" && (v = next())) {
-      update_interval = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--window" && (v = next())) {
-      window = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--update-interval") {
+      std::uint64_t n = 0;
+      if (!ParseFlagU64(arg, next(), 1, &n)) return Usage(argv[0]);
+      update_interval = static_cast<std::size_t>(n);
+    } else if (arg == "--window") {
+      std::uint64_t n = 0;
+      if (!ParseFlagU64(arg, next(), 1, &n)) return Usage(argv[0]);
+      window = static_cast<std::size_t>(n);
     } else if (arg == "--metrics-out" && (v = next())) {
       metrics_out = v;
     } else if (arg == "--trace-out" && (v = next())) {
       trace_out = v;
     } else if (arg == "--spans-out" && (v = next())) {
       spans_out = v;
-    } else if (arg == "--span-sample-n" && (v = next())) {
-      span_sample_n = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--span-sample-n") {
+      if (!ParseFlagU64(arg, next(), 0, &span_sample_n)) return Usage(argv[0]);
     } else if (arg == "--audit-out" && (v = next())) {
       audit_out = v;
     } else {
@@ -157,11 +160,12 @@ int main(int argc, char** argv) {
   cache::Catalog catalog(1 * cache::kMiB);
   for (const auto& row :
        analysis::ParseCsv(catalog_text, /*has_header=*/false).rows) {
-    if (row.size() != 2) {
+    std::uint64_t size_bytes = 0;
+    if (row.size() != 2 || !ParseU64(row[1], &size_bytes)) {
       std::fprintf(stderr, "catalog rows must be name,size_bytes\n");
       return 1;
     }
-    catalog.Register(row[0], std::strtoull(row[1].c_str(), nullptr, 10));
+    catalog.Register(row[0], size_bytes);
   }
   if (catalog.size() == 0) {
     std::fprintf(stderr, "empty catalog\n");
@@ -224,7 +228,7 @@ int main(int argc, char** argv) {
     cfg.cluster.span_sample_every = span_sample_n;
     result = sim::RunUnmanagedSimulation(cfg, catalog, trace);
   } else {
-    const auto allocator = MakeAllocator(policy);
+    const auto allocator = MakeAllocatorByName(policy);
     if (!allocator) {
       std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
       return 1;
