@@ -10,6 +10,15 @@
 // wall time, iteration and projection counts, and the sparse/dense
 // agreement self-check; exits non-zero when the engines disagree, so CI
 // can gate on it. `--smoke` shrinks the grid for CI.
+//
+// A second grid benchmarks incremental allocation windows (minority-drift
+// scenarios, N up to 10^4): window 0 primes an OpusWarmState, then window 1
+// — identical except for a drifted minority of users — is solved cold,
+// warm-started, in delta mode (only drifted users re-solved), and through
+// ROBUS-style user aggregation. Self-checks gate the run: warm and delta
+// results must agree with the cold solve (delta taxes within the reuse
+// tolerance), and the aggregated allocation must preserve every user's
+// isolation guarantee.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -23,6 +32,7 @@
 #include "common/mathutil.h"
 #include "common/rng.h"
 #include "core/opus.h"
+#include "core/utility.h"
 #include "scenarios.h"
 
 namespace opus::bench {
@@ -77,6 +87,232 @@ double MaxDiff(const std::vector<double>& a, const std::vector<double>& b) {
     d = std::max(d, std::fabs(a[i] - b[i]));
   }
   return d;
+}
+
+// --- incremental-window (delta / aggregation) grid ------------------------
+
+struct IncCell {
+  std::size_t users = 0;
+  std::size_t files = 0;
+  double density = 0.0;         // ZipfProblem support fraction
+  double drift_fraction = 0.0;  // share of users whose rows change
+};
+
+// Window-1 problem: `base` with the first ceil(fraction * N) users' rows
+// blended halfway toward freshly randomized Zipf rows (a minority-drift
+// window: the drifted rows stay normalized and land at L1 distance ~1
+// from their old selves — far above any sane drift threshold, while the
+// rest of the population is bit-identical).
+CachingProblem MinorityDrift(const CachingProblem& base, double fraction,
+                             double density, Rng& rng) {
+  CachingProblem out = base;
+  const std::size_t n = base.num_users();
+  const std::size_t drifted = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(n)));
+  const CachingProblem fresh = ZipfProblem(drifted, base.num_files(),
+                                           base.capacity, rng, 1.1, density);
+  for (std::size_t i = 0; i < drifted; ++i) {
+    auto dst = out.preferences.row(i);
+    const auto src = fresh.preferences.row(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = 0.5 * dst[j] + 0.5 * src[j];
+    }
+  }
+  out.InvalidatePreferencesCsr();
+  return out;
+}
+
+struct IncRun {
+  double median_ms = 0.0;
+  AllocationResult result;
+};
+
+// Times AllocateIncremental on `window1` with a state primed on `window0`
+// (the prime solve is not measured; each rep re-primes a fresh state so
+// every measurement sees the same one-window-old warm state).
+IncRun RunIncrementalMode(const OpusOptions& options,
+                          const CachingProblem& window0,
+                          const CachingProblem& window1, int reps) {
+  const OpusAllocator alloc(options);
+  IncRun run;
+  std::vector<double> ms;
+  for (int r = 0; r < reps; ++r) {
+    OpusWarmState state;
+    alloc.AllocateIncremental(window0, &state);
+    const auto start = std::chrono::steady_clock::now();
+    AllocationResult result = alloc.AllocateIncremental(window1, &state);
+    const auto end = std::chrono::steady_clock::now();
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    if (r == 0) run.result = std::move(result);
+  }
+  run.median_ms = Percentile(ms, 0.5);
+  return run;
+}
+
+// Runs the incremental grid, appending a JSON array under key
+// "incremental". Returns false when any self-check fails.
+bool RunIncrementalGrid(FILE* out, bool smoke, int reps, unsigned threads) {
+  std::vector<IncCell> cells;
+  if (smoke) {
+    cells.push_back({128, 128, 0.1, 0.1});
+    cells.push_back({256, 128, 0.1, 0.1});
+  } else {
+    // 1% drift: the delta path's home turf — nearly every tax is reused.
+    cells.push_back({4096, 256, 0.05, 0.01});
+    // 10% drift: reuse thins out (neighborhood moves breach the gate for
+    // most stale users); aggregation carries the speedup instead.
+    cells.push_back({4096, 256, 0.05, 0.1});
+    cells.push_back({10000, 256, 0.05, 0.1});
+  }
+
+  // Warm windows re-solve the same problems and must match the cold solve
+  // to solver tolerance. Delta windows reuse stale users' taxes, which are
+  // approximate by design: the reuse gate bounds each reused user's
+  // neighborhood move to kDeltaUtilTol of its utility, and the resulting
+  // tax error lands within ~2x the gate across instances. Since
+  // |d blocking| <= |d tax| (taxes are log-utility units), kReusedTaxTol
+  // is a blocking-probability error budget of 10% on a drifting window.
+  // The allocation itself passes the full KKT gate and stays tight.
+  constexpr double kAllocTol = 1e-5;
+  constexpr double kExactTaxTol = 1e-6;
+  constexpr double kDeltaUtilTol = 0.05;  // reuse gate fed to the solver
+  constexpr double kReusedTaxTol = 2.0 * kDeltaUtilTol;
+  constexpr double kIsolationTol = 1e-6;
+
+  std::fprintf(out, "  \"incremental\": [\n");
+  bool all_ok = true;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const IncCell& cell = cells[c];
+    const double capacity = 0.25 * static_cast<double>(cell.files);
+    Rng rng(40900 + 311 * c);
+    const CachingProblem window0 = ZipfProblem(
+        cell.users, cell.files, capacity, rng, 1.1, cell.density);
+    const CachingProblem window1 =
+        MinorityDrift(window0, cell.drift_fraction, cell.density, rng);
+
+    OpusOptions base_options;
+    base_options.tax_threads = threads;
+
+    // Cold baseline: plain Allocate on window 1. Timed once at very large
+    // N (the whole point of the incremental path is not paying this).
+    const int cold_reps = cell.users > 20000 ? 1 : reps;
+    const OpusAllocator cold_alloc(base_options);
+    double cold_ms = 0.0;
+    AllocationResult cold;
+    {
+      std::vector<double> ms;
+      for (int r = 0; r < cold_reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        AllocationResult result = cold_alloc.Allocate(window1);
+        const auto end = std::chrono::steady_clock::now();
+        ms.push_back(
+            std::chrono::duration<double, std::milli>(end - start).count());
+        if (r == 0) cold = std::move(result);
+      }
+      cold_ms = Percentile(ms, 0.5);
+    }
+
+    // Warm: every solve warm-started, nothing composed or reused.
+    const IncRun warm =
+        RunIncrementalMode(base_options, window0, window1, reps);
+    // Delta: only drifted users re-solved. Blended rows sit at L1 distance
+    // ~1 from their old selves; unchanged rows at exactly 0, so any
+    // threshold in between separates them cleanly.
+    OpusOptions delta_options = base_options;
+    delta_options.delta.drift_threshold = 0.02;
+    delta_options.delta.utility_rel_tolerance = kDeltaUtilTol;
+    const IncRun delta =
+        RunIncrementalMode(delta_options, window0, window1, reps);
+    // Aggregated: cluster users, solve at cluster granularity.
+    OpusOptions agg_options = base_options;
+    agg_options.aggregation.max_clusters =
+        std::min<std::size_t>(256, cell.users / 4);
+    agg_options.aggregation.similarity_threshold = 0.6;
+    const IncRun agg = RunIncrementalMode(agg_options, window0, window1, reps);
+
+    const double warm_alloc_diff =
+        MaxDiff(warm.result.file_alloc, cold.file_alloc);
+    const double warm_tax_diff = MaxDiff(warm.result.taxes, cold.taxes);
+    const bool warm_ok = warm.result.shared == cold.shared &&
+                         warm_alloc_diff <= kAllocTol &&
+                         warm_tax_diff <= kExactTaxTol;
+
+    const double delta_alloc_diff =
+        MaxDiff(delta.result.file_alloc, cold.file_alloc);
+    const double delta_tax_diff = MaxDiff(delta.result.taxes, cold.taxes);
+    const bool delta_ok = delta.result.shared == cold.shared &&
+                          delta_alloc_diff <= kAllocTol &&
+                          delta_tax_diff <= kReusedTaxTol;
+
+    // Aggregation collapses the problem, so its allocation legitimately
+    // differs from the cold one; the guarantee it must preserve is per-user
+    // isolation (reported utilities are net of blocking).
+    const std::vector<double> isolated = IsolatedUtilities(window1);
+    bool agg_isolation_ok = true;
+    double agg_net_ratio = 0.0;
+    {
+      double net_sum = 0.0, cold_sum = 0.0;
+      for (std::size_t i = 0; i < cell.users; ++i) {
+        if (agg.result.reported_utilities[i] < isolated[i] - kIsolationTol) {
+          agg_isolation_ok = false;
+        }
+        net_sum += agg.result.reported_utilities[i];
+        cold_sum += cold.reported_utilities[i];
+      }
+      agg_net_ratio = cold_sum > 0.0 ? net_sum / cold_sum : 1.0;
+    }
+
+    all_ok = all_ok && warm_ok && delta_ok && agg_isolation_ok;
+    auto speedup = [&](double mode_ms) {
+      return mode_ms > 0.0 ? cold_ms / mode_ms : 0.0;
+    };
+
+    std::fprintf(
+        out,
+        "    {\"users\": %zu, \"files\": %zu, \"density\": %g, "
+        "\"drift_fraction\": %g, \"capacity\": %g,\n"
+        "     \"cold\": {\"median_ms\": %.3f, \"solves\": %llu},\n"
+        "     \"warm\": {\"median_ms\": %.3f, \"speedup\": %.2f, "
+        "\"warm_started\": %s, \"max_alloc_diff\": %.3e, "
+        "\"max_tax_diff\": %.3e, \"agree\": %s},\n"
+        "     \"delta\": {\"median_ms\": %.3f, \"speedup\": %.2f, "
+        "\"delta_window\": %s, \"resolved\": %llu, \"reused\": %llu, "
+        "\"fallbacks\": %llu, \"max_alloc_diff\": %.3e, "
+        "\"max_tax_diff\": %.3e, \"agree\": %s},\n"
+        "     \"agg\": {\"median_ms\": %.3f, \"speedup\": %.2f, "
+        "\"clusters\": %llu, \"net_utility_ratio\": %.4f, "
+        "\"isolation_ok\": %s}}%s\n",
+        cell.users, cell.files, cell.density, cell.drift_fraction, capacity,
+        cold_ms, static_cast<unsigned long long>(cold.solver_solves),
+        warm.median_ms, speedup(warm.median_ms),
+        warm.result.solver_warm_started ? "true" : "false", warm_alloc_diff,
+        warm_tax_diff, warm_ok ? "true" : "false", delta.median_ms,
+        speedup(delta.median_ms),
+        delta.result.solver_delta_window ? "true" : "false",
+        static_cast<unsigned long long>(delta.result.solver_delta_resolved),
+        static_cast<unsigned long long>(delta.result.solver_delta_reused),
+        static_cast<unsigned long long>(delta.result.solver_delta_fallbacks),
+        delta_alloc_diff, delta_tax_diff, delta_ok ? "true" : "false",
+        agg.median_ms, speedup(agg.median_ms),
+        static_cast<unsigned long long>(agg.result.solver_agg_clusters),
+        agg_net_ratio, agg_isolation_ok ? "true" : "false",
+        c + 1 < cells.size() ? "," : "");
+    std::fprintf(
+        stderr,
+        "[inc %zu/%zu] N=%zu M=%zu drift=%.0f%%: cold %.1f ms, warm %.1f ms "
+        "(%.1fx), delta %.1f ms (%.1fx, %llu reused), agg %.1f ms (%.1fx, "
+        "%llu clusters) ok=%s\n",
+        c + 1, cells.size(), cell.users, cell.files,
+        100.0 * cell.drift_fraction, cold_ms, warm.median_ms,
+        speedup(warm.median_ms), delta.median_ms, speedup(delta.median_ms),
+        static_cast<unsigned long long>(delta.result.solver_delta_reused),
+        agg.median_ms, speedup(agg.median_ms),
+        static_cast<unsigned long long>(agg.result.solver_agg_clusters),
+        warm_ok && delta_ok && agg_isolation_ok ? "yes" : "NO");
+  }
+  std::fprintf(out, "  ],\n");
+  return all_ok;
 }
 
 int Run(bool smoke, const std::string& out_path, int reps, unsigned threads) {
@@ -167,12 +403,20 @@ int Run(bool smoke, const std::string& out_path, int reps, unsigned threads) {
                  agree ? "yes" : "NO");
   }
 
-  std::fprintf(out, "  ],\n  \"all_agree\": %s\n}\n",
-               all_agree ? "true" : "false");
+  std::fprintf(out, "  ],\n");
+  const bool incremental_ok = RunIncrementalGrid(out, smoke, reps, threads);
+  std::fprintf(out, "  \"incremental_agree\": %s,\n  \"all_agree\": %s\n}\n",
+               incremental_ok ? "true" : "false",
+               all_agree && incremental_ok ? "true" : "false");
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   if (!all_agree) {
     std::fprintf(stderr, "FAIL: sparse/dense engines disagree\n");
+    return 1;
+  }
+  if (!incremental_ok) {
+    std::fprintf(stderr,
+                 "FAIL: incremental solves disagree with the cold solver\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,158 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opus {
+namespace {
+
+double WeightOf(std::span<const double> weights, std::size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+// Top-preference file of row i (lowest index wins ties); kUnclustered for
+// an all-zero row. CSR rows are in ascending column order, so the first
+// maximal value is the lowest-index one.
+std::uint32_t Signature(const CsrMatrix& csr, std::size_t i) {
+  const auto cols = csr.row_cols(i);
+  const auto vals = csr.row_vals(i);
+  if (cols.empty()) return kUnclustered;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < vals.size(); ++k) {
+    if (vals[k] > vals[best]) best = k;
+  }
+  return cols[best];
+}
+
+}  // namespace
+
+double RowL1DistanceCsr(const CsrMatrix& csr, std::size_t a, std::size_t b) {
+  const auto ac = csr.row_cols(a);
+  const auto av = csr.row_vals(a);
+  const auto bc = csr.row_cols(b);
+  const auto bv = csr.row_vals(b);
+  double dist = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < ac.size() && j < bc.size()) {
+    if (ac[i] == bc[j]) {
+      dist += std::fabs(av[i] - bv[j]);
+      ++i;
+      ++j;
+    } else if (ac[i] < bc[j]) {
+      dist += av[i++];
+    } else {
+      dist += bv[j++];
+    }
+  }
+  for (; i < ac.size(); ++i) dist += av[i];
+  for (; j < bc.size(); ++j) dist += bv[j];
+  return dist;
+}
+
+UserClustering ClusterUsersByPreference(const CachingProblem& problem,
+                                        const AggregationOptions& options,
+                                        std::span<const double> user_weights) {
+  OPUS_CHECK_GT(options.max_clusters, 0u);
+  const std::size_t n = problem.num_users();
+  if (!user_weights.empty()) OPUS_CHECK_EQ(user_weights.size(), n);
+  const CsrMatrix& csr = problem.PreferencesCsr();
+
+  UserClustering out;
+  out.cluster_of.assign(n, kUnclustered);
+
+  // Leaders indexed per signature bucket. Bucket lookup is a flat array
+  // over files (signatures are file ids), so the whole pass is allocation-
+  // light and deterministic in user order.
+  const std::size_t m = problem.num_files();
+  std::vector<std::vector<std::uint32_t>> bucket_clusters(m);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t sig = Signature(csr, i);
+    if (sig == kUnclustered) continue;  // outside the mechanism
+    std::vector<std::uint32_t>& candidates = bucket_clusters[sig];
+
+    // Nearest leader in this signature bucket (first wins ties).
+    std::uint32_t nearest = kUnclustered;
+    double nearest_dist = 0.0;
+    for (const std::uint32_t c : candidates) {
+      const double d = RowL1DistanceCsr(csr, i, out.leader_of[c]);
+      if (nearest == kUnclustered || d < nearest_dist) {
+        nearest = c;
+        nearest_dist = d;
+      }
+    }
+    const bool close_enough =
+        nearest != kUnclustered && nearest_dist <= options.similarity_threshold;
+    const bool may_found = out.num_clusters < options.max_clusters &&
+                           candidates.size() < options.leaders_per_signature;
+    if (!close_enough && may_found) {
+      const std::uint32_t c = static_cast<std::uint32_t>(out.num_clusters++);
+      out.leader_of.push_back(static_cast<std::uint32_t>(i));
+      out.cluster_weight.push_back(0.0);
+      candidates.push_back(c);
+      nearest = c;
+    } else if (nearest == kUnclustered) {
+      // Bucket empty and the cluster budget is exhausted: join the cluster
+      // whose leader this user values most (lowest id on ties); with no
+      // preference on any leader's signature, fall back to cluster 0.
+      OPUS_CHECK_GT(out.num_clusters, 0u);
+      double best_pref = -1.0;
+      for (std::size_t c = 0; c < out.num_clusters; ++c) {
+        const double p = problem.preferences(
+            i, Signature(csr, out.leader_of[c]));
+        if (p > best_pref) {
+          best_pref = p;
+          nearest = static_cast<std::uint32_t>(c);
+        }
+      }
+    }
+    out.cluster_of[i] = nearest;
+    out.cluster_weight[nearest] += WeightOf(user_weights, i);
+  }
+  return out;
+}
+
+CachingProblem BuildAggregateProblem(const CachingProblem& problem,
+                                     const UserClustering& clustering) {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+  OPUS_CHECK_EQ(clustering.cluster_of.size(), n);
+  Matrix rows(clustering.num_clusters, m, 0.0);
+  const CsrMatrix& csr = problem.PreferencesCsr();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = clustering.cluster_of[i];
+    if (c == kUnclustered) continue;
+    auto out = rows.row(c);
+    const auto cols = csr.row_cols(i);
+    const auto vals = csr.row_vals(i);
+    // Member rows are normalized, so summing them weights each member
+    // equally within the cluster; FromRaw re-normalizes the sum. (Priority
+    // weights enter the aggregate solve through cluster_weight, not here:
+    // the cluster row is the demand *shape*, the weight its size.)
+    for (std::size_t k = 0; k < cols.size(); ++k) out[cols[k]] += vals[k];
+  }
+  CachingProblem agg = CachingProblem::FromRaw(std::move(rows),
+                                               problem.capacity);
+  agg.file_sizes = problem.file_sizes;
+  return agg;
+}
+
+void DisaggregateTaxes(const UserClustering& clustering,
+                       std::span<const double> cluster_taxes,
+                       std::span<const double> user_weights,
+                       std::vector<double>* user_taxes) {
+  OPUS_CHECK_EQ(cluster_taxes.size(), clustering.num_clusters);
+  const std::size_t n = clustering.cluster_of.size();
+  user_taxes->assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = clustering.cluster_of[i];
+    if (c == kUnclustered) continue;
+    const double wc = clustering.cluster_weight[c];
+    if (wc <= 0.0) continue;
+    (*user_taxes)[i] = cluster_taxes[c] * WeightOf(user_weights, i) / wc;
+  }
+}
+
+}  // namespace opus

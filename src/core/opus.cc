@@ -43,6 +43,83 @@ double OthersVirtualWelfare(const std::vector<char>& row_active,
   return KahanSum(logs);
 }
 
+// Solves the PF problem restricted to the columns marked in `in_r`
+// (`count` of them), freezing every other column at `base`: frozen columns
+// pin their capacity share and contribute to every user's utility through
+// per-user offsets, so the restricted optimum composes with `base` into a
+// candidate for the full problem. The returned solution is full-length and
+// carries the FULL problem's KKT residual in `residual`; the caller
+// applies its own acceptance gate. Shared by the restricted leave-one-out
+// tax fast path and the delta-window star solve.
+PfSolution SolveComposedRestricted(const CsrMatrix& csr,
+                                   const CachingProblem& problem,
+                                   const PfOptions& pf_options,
+                                   std::span<const double> weights,
+                                   const std::vector<double>& base,
+                                   const std::vector<char>& in_r,
+                                   std::size_t count) {
+  const std::size_t m = csr.cols();
+  const std::vector<double>& sizes = problem.file_sizes;
+  auto size_of = [&](std::size_t j) {
+    return sizes.empty() ? 1.0 : sizes[j];
+  };
+
+  PfSolution sol;
+  if (count == 0) {
+    // Nothing to re-optimize: the candidate is `base` itself.
+    sol.allocation = base;
+    CsrUtilities(csr, sol.allocation, sol.utilities);
+    sol.warm_start_used = true;
+  } else {
+    std::vector<std::size_t> restricted;
+    restricted.reserve(count);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (in_r[j]) restricted.push_back(j);
+    }
+    const CsrMatrix sub = csr.ColumnSubset(restricted);
+
+    // Frozen columns: capacity they pin and utility they contribute.
+    double frozen_mass = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_r[j]) frozen_mass += size_of(j) * base[j];
+    }
+    const double sub_capacity = std::max(0.0, problem.capacity - frozen_mass);
+    std::vector<double> offsets(csr.rows(), 0.0);
+    for (std::size_t k = 0; k < csr.rows(); ++k) {
+      const auto cols = csr.row_cols(k);
+      const auto vals = csr.row_vals(k);
+      double off = 0.0;
+      for (std::size_t t = 0; t < cols.size(); ++t) {
+        if (!in_r[cols[t]]) off += vals[t] * base[cols[t]];
+      }
+      offsets[k] = off;
+    }
+
+    std::vector<double> warm(restricted.size());
+    std::vector<double> sub_sizes;
+    if (!sizes.empty()) sub_sizes.resize(restricted.size());
+    for (std::size_t r = 0; r < restricted.size(); ++r) {
+      warm[r] = base[restricted[r]];
+      if (!sizes.empty()) sub_sizes[r] = sizes[restricted[r]];
+    }
+
+    sol = SolveProportionalFairnessCsr(sub, sub_capacity, pf_options, weights,
+                                       warm, sub_sizes, offsets);
+
+    // Compose back to full length; restricted utilities already include the
+    // frozen columns through the offsets, so they are the full utilities.
+    std::vector<double> full_alloc = base;
+    for (std::size_t r = 0; r < restricted.size(); ++r) {
+      full_alloc[restricted[r]] = sol.allocation[r];
+    }
+    sol.allocation = std::move(full_alloc);
+  }
+
+  sol.residual = PfOptimalityResidualCsr(csr, problem.capacity,
+                                         sol.allocation, weights, sizes);
+  return sol;
+}
+
 // Shared inputs of the N leave-one-out tax solves (all read-only once the
 // parallel loop starts, so the solves stay bit-identical at any thread
 // count).
@@ -63,11 +140,10 @@ struct TaxContext {
 // Leave-one-out solve restricted to columns R = support(i) ∪ interior(a*)
 // ∪ (leading zero files by gradient order, enough to absorb ~2x the
 // capacity user i's support releases). Every other column is frozen at its
-// star value: its utility contribution enters through per-user offsets and
-// its mass is subtracted from the capacity. Returns the composed
-// full-length solution when the full-problem KKT residual confirms it;
-// nullopt when the restriction was skipped (R too large) or missed
-// tolerance (`attempt_cost` then carries the wasted work for accounting).
+// star value via SolveComposedRestricted. Returns the composed full-length
+// solution when the full-problem KKT residual confirms it; nullopt when
+// the restriction was skipped (R too large) or missed tolerance
+// (`attempt_cost` then carries the wasted work for accounting).
 std::optional<PfSolution> RestrictedLeaveOneOut(
     const TaxContext& ctx, std::size_t i, std::span<const double> loo_weights,
     bool* attempted, PfSolution* attempt_cost) {
@@ -111,55 +187,9 @@ std::optional<PfSolution> RestrictedLeaveOneOut(
   if (count * 4 >= m * 3) return std::nullopt;
 
   *attempted = true;
-  std::vector<std::size_t> restricted;
-  restricted.reserve(count);
-  for (std::size_t j = 0; j < m; ++j) {
-    if (in_r[j]) restricted.push_back(j);
-  }
-  const CsrMatrix sub = csr.ColumnSubset(restricted);
-
-  // Frozen columns: capacity they pin and utility they contribute.
-  double frozen_mass = 0.0;
-  for (std::size_t j = 0; j < m; ++j) {
-    if (!in_r[j]) frozen_mass += size_of(j) * a_star[j];
-  }
-  const double sub_capacity =
-      std::max(0.0, ctx.problem->capacity - frozen_mass);
-  std::vector<double> offsets(csr.rows(), 0.0);
-  for (std::size_t k = 0; k < csr.rows(); ++k) {
-    const auto cols = csr.row_cols(k);
-    const auto vals = csr.row_vals(k);
-    double off = 0.0;
-    for (std::size_t t = 0; t < cols.size(); ++t) {
-      if (!in_r[cols[t]]) off += vals[t] * a_star[cols[t]];
-    }
-    offsets[k] = off;
-  }
-
-  std::vector<double> warm(restricted.size());
-  std::vector<double> sub_sizes;
-  if (!sizes.empty()) sub_sizes.resize(restricted.size());
-  for (std::size_t r = 0; r < restricted.size(); ++r) {
-    warm[r] = a_star[restricted[r]];
-    if (!sizes.empty()) sub_sizes[r] = sizes[restricted[r]];
-  }
-
-  PfSolution sol = SolveProportionalFairnessCsr(
-      sub, sub_capacity, ctx.pf_options, loo_weights, warm, sub_sizes,
-      offsets);
-
-  // Compose back to full length; restricted utilities already include the
-  // frozen columns through the offsets, so they are the full utilities.
-  std::vector<double> full_alloc = a_star;
-  for (std::size_t r = 0; r < restricted.size(); ++r) {
-    full_alloc[restricted[r]] = sol.allocation[r];
-  }
-  sol.allocation = std::move(full_alloc);
-
-  const double residual = PfOptimalityResidualCsr(
-      csr, ctx.problem->capacity, sol.allocation, loo_weights, sizes);
-  sol.residual = residual;
-  if (!(residual < ctx.pf_options.tolerance * 10.0)) {
+  PfSolution sol = SolveComposedRestricted(csr, *ctx.problem, ctx.pf_options,
+                                           loo_weights, a_star, in_r, count);
+  if (!(sol.residual < ctx.pf_options.tolerance * 10.0)) {
     *attempt_cost = std::move(sol);
     return std::nullopt;
   }
@@ -167,7 +197,35 @@ std::optional<PfSolution> RestrictedLeaveOneOut(
   return sol;
 }
 
+// Per-user L1 distance between the problem's preference rows and the warm
+// state's (the delta-window drift signal). Rows are normalized, so each
+// entry lands in [0, 2].
+std::vector<double> RowDrifts(const Matrix& now, const Matrix& then) {
+  std::vector<double> drift(now.rows(), 0.0);
+  for (std::size_t i = 0; i < now.rows(); ++i) {
+    const auto a = now.row(i);
+    const auto b = then.row(i);
+    double total = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      total += std::fabs(a[j] - b[j]);
+    }
+    drift[i] = total;
+  }
+  return drift;
+}
+
 }  // namespace
+
+void OpusWarmState::ForgetUser(std::size_t user) {
+  // Aggregated states are keyed by cluster rows; a departed member shows
+  // up there as cluster-row drift, which the delta logic already handles.
+  if (!valid || !cluster_of.empty()) return;
+  if (user >= preferences.rows()) return;
+  auto row = preferences.row(user);
+  std::fill(row.begin(), row.end(), 0.0);
+  if (user < taxes.size()) taxes[user] = 0.0;
+  if (user < star_utilities.size()) star_utilities[user] = 0.0;
+}
 
 AllocationResult OpusAllocator::Allocate(const CachingProblem& problem) const {
   return AllocateWithDiagnostics(problem, nullptr);
@@ -175,6 +233,26 @@ AllocationResult OpusAllocator::Allocate(const CachingProblem& problem) const {
 
 AllocationResult OpusAllocator::AllocateWithDiagnostics(
     const CachingProblem& problem, OpusDiagnostics* diag) const {
+  return AllocateIncremental(problem, nullptr, diag);
+}
+
+AllocationResult OpusAllocator::AllocateIncremental(
+    const CachingProblem& problem, OpusWarmState* state,
+    OpusDiagnostics* diag) const {
+  if (options_.aggregation.max_clusters > 0 && !options_.use_dense_solver &&
+      problem.num_users() >= options_.aggregation.min_users &&
+      problem.num_users() > 0 && problem.num_files() > 0) {
+    return AllocateAggregated(problem, state, diag);
+  }
+  // A state left over from an aggregated window lives at cluster
+  // granularity; it cannot seed a user-granularity solve.
+  if (state != nullptr && !state->cluster_of.empty()) state->Invalidate();
+  return AllocateDirect(problem, state, diag);
+}
+
+AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
+                                               OpusWarmState* state,
+                                               OpusDiagnostics* diag) const {
   const std::size_t n = problem.num_users();
   const std::size_t m = problem.num_files();
   const std::vector<double>& priorities = options_.user_weights;
@@ -210,14 +288,132 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
     row_active[i] = row_sum > 0.0 ? 1 : 0;
   }
 
+  // Warm state compatibility: the previous window's solve must describe
+  // the same problem shape — dimensions, capacity, file sizes, and
+  // priority weights. Anything else (policy swap repopulates a fresh
+  // state, capacity reconfig, user-count change) degrades to cold.
+  const bool warm_ok =
+      state != nullptr && state->valid && state->preferences.rows() == n &&
+      state->preferences.cols() == m && state->capacity == problem.capacity &&
+      state->file_sizes == problem.file_sizes &&
+      state->weights == priorities && state->star_allocation.size() == m &&
+      state->star_utilities.size() == n && state->taxes.size() == n;
+  const bool delta_active =
+      warm_ok && csr != nullptr && options_.delta.drift_threshold > 0.0;
+  std::vector<double> drift;
+  if (delta_active) {
+    drift = RowDrifts(problem.preferences, state->preferences);
+  }
+
   // --- Stage 1: VCG_PF --------------------------------------------------
-  const PfSolution star =
-      csr != nullptr
-          ? SolveProportionalFairnessCsr(*csr, problem.capacity, pf_options,
-                                         priorities, {}, problem.file_sizes)
-          : SolveProportionalFairness(problem.preferences, problem.capacity,
-                                      pf_options, priorities, {},
-                                      problem.file_sizes);
+  const double residual_gate =
+      options_.delta.gate_slack * options_.solver_tolerance;
+  PfSolution star;
+  bool delta_window = false;
+  std::uint64_t delta_fallbacks = 0;
+  if (delta_active) {
+    // Delta star solve: re-optimize only the columns drifted users touch
+    // (their old and new supports), the previous optimum's interior files
+    // (the water level moves there first), and a gradient-ordered recruit
+    // budget of zero files; everything else is frozen at the previous
+    // allocation. The composed point must pass the FULL problem's KKT
+    // residual gate; otherwise fall back to a warm full solve.
+    const std::vector<double>& a_prev = state->star_allocation;
+    std::vector<char> in_r(m, 0);
+    std::size_t count = 0;
+    double freed = 0.0;
+    auto size_of = [&](std::size_t j) {
+      return problem.file_sizes.empty() ? 1.0 : problem.file_sizes[j];
+    };
+    auto add_col = [&](std::size_t j) {
+      if (!in_r[j]) {
+        in_r[j] = 1;
+        ++count;
+      }
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (drift[i] <= options_.delta.drift_threshold) continue;
+      for (std::uint32_t c : csr->row_cols(i)) {
+        if (!in_r[c]) freed += size_of(c) * a_prev[c];
+        add_col(c);
+      }
+      const auto old_row = state->preferences.row(i);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (old_row[j] > 0.0) {
+          if (!in_r[j]) freed += size_of(j) * a_prev[j];
+          add_col(j);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (a_prev[j] > 0.0 && a_prev[j] < 1.0) add_col(j);
+    }
+    // Recruit zero files by the new problem's gradient at the previous
+    // allocation, enough to absorb ~2x the capacity drifted users' files
+    // hold — freed capacity must have somewhere to flow.
+    if (freed > 0.0) {
+      std::vector<double> u_prev(n, 0.0);
+      CsrUtilities(*csr, a_prev, u_prev);
+      std::vector<double> g(m, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!row_active[i] || u_prev[i] <= 0.0) continue;
+        const double scale = priority_of(i) / u_prev[i];
+        const auto cols = csr->row_cols(i);
+        const auto vals = csr->row_vals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          g[cols[k]] += scale * vals[k];
+        }
+      }
+      std::vector<std::size_t> zeros;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (a_prev[j] <= 0.0 && !in_r[j]) zeros.push_back(j);
+      }
+      std::sort(zeros.begin(), zeros.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (g[a] != g[b]) return g[a] > g[b];
+                  return a < b;
+                });
+      double budget = 2.0 * freed;
+      for (std::size_t j : zeros) {
+        if (budget <= 0.0) break;
+        add_col(j);
+        budget -= size_of(j);
+      }
+    }
+    if (count * 4 < m * 3) {
+      PfSolution composed = SolveComposedRestricted(
+          *csr, problem, pf_options, priorities, a_prev, in_r, count);
+      if (composed.residual < residual_gate) {
+        composed.converged = true;
+        star = std::move(composed);
+        delta_window = true;
+      } else {
+        ++delta_fallbacks;
+        PfSolution full = SolveProportionalFairnessCsr(
+            *csr, problem.capacity, pf_options, priorities,
+            composed.allocation, problem.file_sizes);
+        // Fold the wasted composition into this window's accounting.
+        full.iterations += composed.iterations;
+        full.projection_calls += composed.projection_calls;
+        full.projection_warm_hits += composed.projection_warm_hits;
+        full.projection_exact += composed.projection_exact;
+        star = std::move(full);
+      }
+    }
+  }
+  if (star.allocation.empty()) {
+    const std::span<const double> star_warm =
+        warm_ok ? std::span<const double>(state->star_allocation)
+                : std::span<const double>();
+    star = csr != nullptr
+               ? SolveProportionalFairnessCsr(*csr, problem.capacity,
+                                              pf_options, priorities,
+                                              star_warm, problem.file_sizes)
+               : SolveProportionalFairness(problem.preferences,
+                                           problem.capacity, pf_options,
+                                           priorities, star_warm,
+                                           problem.file_sizes);
+  }
 
   // Shared read-only context for the leave-one-out solves, including the
   // star-allocation structure the restricted fast path partitions on.
@@ -261,6 +457,38 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
               });
   }
 
+  // Tax reuse (delta windows): a user whose preference row did not drift
+  // and whose support neighborhood of the allocation barely moved has a
+  // leave-one-out problem unchanged up to the drift tolerance — its
+  // previous Clarke tax is reused instead of re-solved. The neighborhood
+  // signal is the UNSIGNED preference-weighted allocation move
+  //   sum_j p_ij |a*new_j - a*old_j|,
+  // not the net utility move: opposite-sign moves across a user's support
+  // cancel in the utility while still reshaping its leave-one-out
+  // landscape (and hence its tax). Approximate by design; the per-window
+  // FairnessAuditor re-checks the guarantees on the applied allocation.
+  std::vector<char> reuse(n, 0);
+  std::uint64_t reused_taxes = 0;
+  if (delta_active) {
+    const std::vector<double>& a_prev = state->star_allocation;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (drift[i] > options_.delta.drift_threshold) continue;
+      const auto cols = csr->row_cols(i);
+      const auto vals = csr->row_vals(i);
+      double moved = 0.0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        moved += vals[k] * std::fabs(star.allocation[cols[k]] -
+                                     a_prev[cols[k]]);
+      }
+      if (moved > options_.delta.utility_rel_tolerance *
+                      std::max(star.utilities[i], 1e-12)) {
+        continue;
+      }
+      reuse[i] = 1;
+      ++reused_taxes;
+    }
+  }
+
   // Clarke pivot taxes via leave-one-out PF solves, warm-started from a*.
   // The solves are independent; with tax_threads > 1 they run in parallel
   // (each worker carries its own weight vector), which changes nothing but
@@ -271,6 +499,10 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   std::vector<char> restricted_hit(n, 0);
   std::vector<char> restricted_fb(n, 0);
   auto tax_for = [&](std::size_t i, std::vector<double>& weights) {
+    if (reuse[i]) {
+      taxes[i] = std::max(0.0, state->taxes[i]);
+      return;
+    }
     const double saved = weights[i];
     weights[i] = 0.0;
     PfSolution without_i;
@@ -353,7 +585,10 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
   }
   PfStats solve_stats;
   solve_stats.Observe(star);
-  for (const PfSolution& s : loo_solutions) solve_stats.Observe(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reuse[i]) continue;  // no solve ran for reused taxes
+    solve_stats.Observe(loo_solutions[i]);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     solve_stats.restricted_solves += restricted_hit[i];
     solve_stats.restricted_fallbacks += restricted_fb[i];
@@ -366,6 +601,13 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
     r.solver_restricted_taxes = solve_stats.restricted_solves;
     r.solver_restricted_fallbacks = solve_stats.restricted_fallbacks;
     r.solver_nnz_ratio = csr != nullptr ? csr->NnzRatio() : 1.0;
+    r.solver_warm_started = warm_ok;
+    r.solver_delta_window = delta_window;
+    if (delta_active) {
+      r.solver_delta_resolved = static_cast<std::uint64_t>(n) - reused_taxes;
+      r.solver_delta_reused = reused_taxes;
+    }
+    r.solver_delta_fallbacks = delta_fallbacks;
   };
 
   std::vector<double> blocking(n, 0.0);
@@ -387,6 +629,22 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
     }
   }
 
+  // Refresh the warm state with this window's outcome (even on an
+  // isolation fallback: the PF solve and taxes are still the right seed
+  // for the next window's sharing attempt).
+  if (state != nullptr) {
+    state->preferences = problem.preferences;
+    state->capacity = problem.capacity;
+    state->file_sizes = problem.file_sizes;
+    state->weights = priorities;
+    state->star_allocation = star.allocation;
+    state->star_utilities = star.utilities;
+    state->taxes = taxes;
+    state->cluster_of.clear();
+    state->windows = warm_ok ? state->windows + 1 : 1;
+    state->valid = true;
+  }
+
   if (diag != nullptr) {
     diag->pf_allocation = star.allocation;
     diag->pf_utilities = star.utilities;
@@ -400,6 +658,218 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
       } else {
         diag->break_even_taxes[i] =
             priority_of(i) * std::log(star.utilities[i] / isolated[i]);
+      }
+    }
+    diag->net_utilities = net;
+    diag->isolated_utilities = isolated;
+    diag->settled_on_sharing = ig_holds;
+    diag->solver_iterations = static_cast<int>(solve_stats.iterations);
+  }
+
+  if (!ig_holds) {
+    AllocationResult r = IsolatedAllocator(priorities).Allocate(problem);
+    r.policy = name();
+    fill_solver_fields(r);
+    return r;
+  }
+
+  AllocationResult r;
+  r.policy = name();
+  r.file_alloc = star.allocation;
+  r.access = Matrix(n, m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double keep = 1.0 - blocking[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      r.access(i, j) = keep * r.file_alloc[j];
+    }
+  }
+  r.taxes = std::move(taxes);
+  r.blocking = std::move(blocking);
+  fill_solver_fields(r);
+  for (std::size_t j = 0; j < m; ++j) {
+    r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
+  }
+  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  return r;
+}
+
+AllocationResult OpusAllocator::AllocateAggregated(
+    const CachingProblem& problem, OpusWarmState* state,
+    OpusDiagnostics* diag) const {
+  const std::size_t n = problem.num_users();
+  const std::size_t m = problem.num_files();
+  const std::vector<double>& priorities = options_.user_weights;
+  if (!priorities.empty()) {
+    OPUS_CHECK_EQ(priorities.size(), n);
+    for (double w : priorities) OPUS_CHECK_GT(w, 0.0);
+  }
+  auto priority_of = [&](std::size_t i) {
+    return priorities.empty() ? 1.0 : priorities[i];
+  };
+
+  const UserClustering clustering =
+      ClusterUsersByPreference(problem, options_.aggregation, priorities);
+  if (clustering.num_clusters == 0) {
+    // No user has a non-empty row; the direct path handles the degenerate
+    // window (and an aggregated warm state cannot seed it).
+    if (state != nullptr && !state->cluster_of.empty()) state->Invalidate();
+    return AllocateDirect(problem, state, diag);
+  }
+  const CachingProblem aggregate =
+      BuildAggregateProblem(problem, clustering);
+  const std::size_t num_clusters = clustering.num_clusters;
+  const std::vector<double>& cluster_weights = clustering.cluster_weight;
+  std::vector<double> member_count(num_clusters, 0.0);
+  for (const std::uint32_t c : clustering.cluster_of) {
+    if (c != kUnclustered) member_count[c] += 1.0;
+  }
+
+  PfOptions pf_options;
+  pf_options.tolerance = options_.solver_tolerance;
+  pf_options.max_iterations = options_.solver_max_iterations;
+  const CsrMatrix& acsr = aggregate.PreferencesCsr();
+
+  // Warm state at cluster granularity: valid only while the clustering
+  // itself is unchanged (same membership), on top of the usual shape
+  // checks. Membership changes surface here and degrade to cold.
+  const bool warm_ok =
+      state != nullptr && state->valid && !state->cluster_of.empty() &&
+      state->cluster_of == clustering.cluster_of &&
+      state->preferences.rows() == num_clusters &&
+      state->preferences.cols() == m &&
+      state->capacity == problem.capacity &&
+      state->file_sizes == problem.file_sizes &&
+      state->weights == cluster_weights &&
+      state->star_allocation.size() == m;
+
+  const std::span<const double> star_warm =
+      warm_ok ? std::span<const double>(state->star_allocation)
+              : std::span<const double>();
+  const PfSolution star = SolveProportionalFairnessCsr(
+      acsr, aggregate.capacity, pf_options, cluster_weights, star_warm,
+      aggregate.file_sizes);
+
+  // Per-cluster leave-one-MEMBER-out solves. Removing the whole cluster
+  // would price the coalition's externality (which grows with cluster size
+  // and over-taxes every member ~member_count-fold); instead reduce cluster
+  // c's weight by one mean member weight and charge the departing member
+  // the others' welfare gain — the individual Clarke pivot under the
+  // approximation that the member's preferences equal its cluster's.
+  // "Others" includes the member's own cluster at its remaining weight.
+  std::vector<double> member_tax(num_clusters, 0.0);
+  std::vector<PfSolution> loo_solutions(num_clusters);
+  auto cluster_welfare = [&](const std::vector<double>& utilities,
+                             const std::vector<double>& weights) {
+    std::vector<double> logs;
+    logs.reserve(num_clusters);
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      if (weights[c] <= 0.0 || utilities[c] <= 0.0) continue;
+      logs.push_back(weights[c] * std::log(utilities[c]));
+    }
+    return KahanSum(logs);
+  };
+  auto tax_for = [&](std::size_t c, std::vector<double>& weights) {
+    const double mean_weight = cluster_weights[c] / member_count[c];
+    const double saved = weights[c];
+    weights[c] = std::max(0.0, cluster_weights[c] - mean_weight);
+    PfSolution without = SolveProportionalFairnessCsr(
+        acsr, aggregate.capacity, pf_options, weights,
+        std::span<const double>(star.allocation), aggregate.file_sizes);
+    const double welfare_without =
+        cluster_welfare(without.utilities, weights);
+    const double welfare_at_star = cluster_welfare(star.utilities, weights);
+    weights[c] = saved;
+    member_tax[c] = std::max(0.0, welfare_without - welfare_at_star);
+    loo_solutions[c] = std::move(without);
+  };
+  const unsigned threads =
+      options_.tax_threads > 1
+          ? std::min<unsigned>(options_.tax_threads,
+                               static_cast<unsigned>(num_clusters))
+          : 1;
+  if (threads <= 1) {
+    std::vector<double> weights = cluster_weights;
+    for (std::size_t c = 0; c < num_clusters; ++c) tax_for(c, weights);
+  } else {
+    ThreadPool::Shared().ParallelFor(
+        num_clusters,
+        [&](std::size_t c) {
+          std::vector<double> weights = cluster_weights;
+          tax_for(c, weights);
+        },
+        threads);
+  }
+  PfStats solve_stats;
+  solve_stats.Observe(star);
+  for (const PfSolution& s : loo_solutions) solve_stats.Observe(s);
+
+  // Refresh the warm state at cluster granularity.
+  if (state != nullptr) {
+    state->preferences = aggregate.preferences;
+    state->capacity = aggregate.capacity;
+    state->file_sizes = aggregate.file_sizes;
+    state->weights = cluster_weights;
+    state->star_allocation = star.allocation;
+    state->star_utilities = star.utilities;
+    state->taxes = member_tax;
+    state->cluster_of = clustering.cluster_of;
+    state->windows = warm_ok ? state->windows + 1 : 1;
+    state->valid = true;
+  }
+
+  // Disaggregate: the file allocation is shared verbatim; per-member taxes
+  // scale with priority (T_i = member_tax_c * w_i / mean_w_c, which
+  // DisaggregateTaxes produces from member_tax_c * member_count_c), so
+  // every member of a cluster gets the same blocking probability.
+  std::vector<double> scaled_cluster_taxes(num_clusters, 0.0);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    scaled_cluster_taxes[c] = member_tax[c] * member_count[c];
+  }
+  std::vector<double> taxes;
+  DisaggregateTaxes(clustering, scaled_cluster_taxes, priorities, &taxes);
+  std::vector<double> utilities(n, 0.0);
+  CsrUtilities(problem.PreferencesCsr(), star.allocation, utilities);
+  std::vector<double> blocking(n, 0.0);
+  std::vector<double> net(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    blocking[i] = 1.0 - std::exp(-taxes[i] / priority_of(i));
+    net[i] = std::exp(-taxes[i] / priority_of(i)) * utilities[i];
+  }
+
+  // Stage 2 at user granularity: sharing is kept only when every member's
+  // net utility covers its own isolated baseline.
+  const std::vector<double> isolated = IsolatedUtilities(problem, priorities);
+  bool ig_holds = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (net[i] < isolated[i] - options_.ig_tolerance) {
+      ig_holds = false;
+      break;
+    }
+  }
+
+  auto fill_solver_fields = [&](AllocationResult& r) {
+    r.solver_iterations = solve_stats.iterations;
+    r.solver_residual = solve_stats.max_residual;
+    r.solver_solves = solve_stats.solves;
+    r.solver_projections = solve_stats.projection_calls;
+    r.solver_nnz_ratio = acsr.NnzRatio();
+    r.solver_warm_started = warm_ok;
+    r.solver_agg_clusters = num_clusters;
+  };
+
+  if (diag != nullptr) {
+    diag->pf_allocation = star.allocation;
+    diag->pf_utilities = utilities;
+    diag->taxes = taxes;
+    diag->break_even_taxes.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (isolated[i] <= 0.0) {
+        diag->break_even_taxes[i] = std::numeric_limits<double>::infinity();
+      } else if (utilities[i] <= 0.0) {
+        diag->break_even_taxes[i] = 0.0;
+      } else {
+        diag->break_even_taxes[i] =
+            priority_of(i) * std::log(utilities[i] / isolated[i]);
       }
     }
     diag->net_utilities = net;

@@ -16,9 +16,77 @@
 // sharing attempt fails and the allocation reduces to isolated caches.
 #pragma once
 
+#include <cstdint>
+
+#include "core/aggregation.h"
 #include "core/allocator.h"
 
 namespace opus {
+
+// Incremental allocation windows (delta solves). When an OpusWarmState is
+// supplied, every window's PF solves warm-start from the previous window's
+// applied allocation; with drift_threshold > 0 the allocator additionally
+// re-solves *only* users whose preference rows moved, composing everything
+// else from the warm state:
+//  - the star solve restricts to the columns drifted users touch (plus the
+//    previous optimum's interior files and a gradient-ordered recruit
+//    budget), freezes the rest at the previous allocation via
+//    utility_offsets, and validates the composed point against the FULL
+//    problem's KKT residual — automatic warm full-solve fallback when the
+//    gate misses (the exact pattern of the restricted leave-one-out tax
+//    fast path);
+//  - leave-one-out taxes of users whose row did not drift and whose star
+//    utility barely moved are reused from the previous window (their
+//    leave-one-out problem is unchanged up to the drift tolerance).
+// The reused taxes are approximate by design; the per-window
+// FairnessAuditor re-verifies isolation/break-even/envy on the applied
+// allocation, and the residual gate keeps the allocation itself exact.
+struct OpusDeltaOptions {
+  // Per-user L1 preference drift (normalized rows, so in [0, 2]) beyond
+  // which the user counts as drifted. 0 disables delta composition: every
+  // window re-solves all users (still warm-started when a state exists).
+  double drift_threshold = 0.0;
+  // A stale user's tax is reused only if the allocation moved — summed
+  // UNSIGNED over its preference row, sum_j p_ij |da_j| — by less than
+  // this fraction of its star utility; larger neighborhood moves mean the
+  // optimum shifted under the user and its leave-one-out solve is re-run.
+  // (The unsigned move dominates the net utility move, so a reused user's
+  // utility is stable too.)
+  double utility_rel_tolerance = 0.01;
+  // Residual gate: a composed delta allocation is accepted when the full
+  // problem's KKT residual is below gate_slack * solver_tolerance.
+  double gate_slack = 10.0;
+};
+
+// Cross-window solver state owned by the control loop (OpusMaster). The
+// allocator both consumes and refreshes it on every AllocateIncremental
+// call; Invalidate() forces the next window cold (policy swap, capacity
+// reconfig). With aggregation enabled the state lives at cluster
+// granularity (preferences/taxes are per-cluster, cluster_of records the
+// membership the state was solved under).
+struct OpusWarmState {
+  bool valid = false;
+  Matrix preferences;  // normalized rows of the problem last solved
+  double capacity = 0.0;
+  std::vector<double> file_sizes;
+  std::vector<double> weights;           // priorities of the solved rows
+  std::vector<double> star_allocation;   // previous applied a*
+  std::vector<double> star_utilities;    // U(a*) of the solved rows
+  std::vector<double> taxes;             // Clarke taxes of the solved rows
+  std::vector<std::uint32_t> cluster_of;  // empty = user-granularity state
+  std::uint64_t windows = 0;  // consecutive windows served warm
+
+  void Invalidate() {
+    valid = false;
+    windows = 0;
+  }
+
+  // Forgets one user's row (user churn): the stored row and tax are
+  // zeroed, so a revived user's first non-empty window registers as drift
+  // and is re-solved instead of reusing departed-tenant state. No-op for
+  // aggregated states (membership changes surface as cluster-row drift).
+  void ForgetUser(std::size_t user);
+};
 
 struct OpusOptions {
   // Numerical slack for the isolation-guarantee gate: sharing is kept when
@@ -42,6 +110,15 @@ struct OpusOptions {
   // solution against the full problem's KKT residual, and fall back to a
   // full solve when the residual misses tolerance.
   bool restricted_tax_solves = true;
+  // Incremental-window behaviour (only consulted when AllocateIncremental
+  // is called with a state; plain Allocate is always cold).
+  OpusDeltaOptions delta;
+  // ROBUS-style user aggregation: cluster users by normalized-preference
+  // similarity, solve the K-cluster problem, split each cluster's tax
+  // across members by priority weight, and re-check isolation per user
+  // (falling back to isolated caches when any member would be hurt).
+  // max_clusters = 0 disables. Sparse engine only.
+  AggregationOptions aggregation;
   // Priority weights (extension beyond the paper): user i's virtual
   // utility becomes w_i log U_i, its isolation baseline a C * w_i / sum(w)
   // partition, and its blocking probability 1 - exp(-T_i / w_i). Empty =
@@ -73,7 +150,25 @@ class OpusAllocator final : public CacheAllocator {
   AllocationResult AllocateWithDiagnostics(const CachingProblem& problem,
                                            OpusDiagnostics* diag) const;
 
+  // Incremental window: warm-starts every PF solve from `state` (and, in
+  // delta mode, composes unchanged users from it — see OpusDeltaOptions),
+  // then refreshes `state` with this window's outcome. A null, invalid, or
+  // structurally incompatible state (dimension/capacity/file-size/weight
+  // mismatch) degrades to the cold solve, byte-identical to Allocate().
+  // With options.aggregation.max_clusters > 0 the window is solved at
+  // cluster granularity and disaggregated (state then holds cluster rows).
+  AllocationResult AllocateIncremental(const CachingProblem& problem,
+                                       OpusWarmState* state,
+                                       OpusDiagnostics* diag = nullptr) const;
+
  private:
+  AllocationResult AllocateDirect(const CachingProblem& problem,
+                                  OpusWarmState* state,
+                                  OpusDiagnostics* diag) const;
+  AllocationResult AllocateAggregated(const CachingProblem& problem,
+                                      OpusWarmState* state,
+                                      OpusDiagnostics* diag) const;
+
   OpusOptions options_;
 };
 

@@ -1,0 +1,38 @@
+#include "core/policy_factory.h"
+
+#include "core/fairride.h"
+#include "core/global_opt.h"
+#include "core/isolated.h"
+#include "core/maxmin.h"
+#include "core/opus.h"
+#include "core/vcg_classic.h"
+
+namespace opus {
+
+std::unique_ptr<CacheAllocator> MakeAllocatorByName(
+    const std::string& name, unsigned tax_threads,
+    const OpusPolicyTuning* tuning) {
+  if (name == "opus") {
+    OpusOptions options;
+    options.tax_threads = tax_threads;
+    if (tuning != nullptr) {
+      options.delta = tuning->delta;
+      options.aggregation = tuning->aggregation;
+    }
+    return std::make_unique<OpusAllocator>(options);
+  }
+  if (name == "fairride") return std::make_unique<FairRideAllocator>();
+  if (name == "maxmin") return std::make_unique<MaxMinAllocator>();
+  if (name == "isolated") return std::make_unique<IsolatedAllocator>();
+  if (name == "vcg-classic") return std::make_unique<VcgClassicAllocator>();
+  if (name == "optimal") return std::make_unique<GlobalOptimalAllocator>();
+  return nullptr;
+}
+
+const std::vector<std::string>& KnownPolicyNames() {
+  static const std::vector<std::string> names = {
+      "opus", "fairride", "maxmin", "isolated", "vcg-classic", "optimal"};
+  return names;
+}
+
+}  // namespace opus

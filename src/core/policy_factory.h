@@ -1,0 +1,32 @@
+// Name → allocation-policy factory shared by the CLI tools, the serving
+// daemon, and the benches, so every surface accepts the same policy names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/opus.h"
+
+namespace opus {
+
+// Optional OpuS-specific tuning forwarded by surfaces that expose it (the
+// serving daemon's flags); other policies ignore it.
+struct OpusPolicyTuning {
+  OpusDeltaOptions delta;
+  AggregationOptions aggregation;
+};
+
+// Builds the allocator registered under `name`, or nullptr for an unknown
+// name. `tax_threads` is forwarded to policies with parallelizable solves
+// (currently OpuS's leave-one-out tax stage); results are thread-count
+// invariant. `tuning` (optional) carries OpuS delta/aggregation options.
+std::unique_ptr<CacheAllocator> MakeAllocatorByName(
+    const std::string& name, unsigned tax_threads = 0,
+    const OpusPolicyTuning* tuning = nullptr);
+
+// The accepted policy names, for usage and diagnostic messages.
+const std::vector<std::string>& KnownPolicyNames();
+
+}  // namespace opus

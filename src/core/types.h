@@ -115,6 +115,20 @@ struct AllocationResult {
   std::uint64_t solver_restricted_taxes = 0;
   std::uint64_t solver_restricted_fallbacks = 0;
   double solver_nnz_ratio = 0.0;
+
+  // Incremental-window accounting (zero for cold solves): whether the star
+  // solve was warm-started from a previous window, whether the delta
+  // composition path served the star solve, how many per-user (or
+  // per-cluster) tax solves ran vs. were reused from the warm state, how
+  // many delta compositions missed the full-problem KKT gate and fell back
+  // to a warm full solve, and the cluster count when user aggregation was
+  // in effect (0 = unaggregated).
+  bool solver_warm_started = false;
+  bool solver_delta_window = false;
+  std::uint64_t solver_delta_resolved = 0;
+  std::uint64_t solver_delta_reused = 0;
+  std::uint64_t solver_delta_fallbacks = 0;
+  std::uint64_t solver_agg_clusters = 0;
 };
 
 // Sanity-checks structural invariants of `result` against `problem`

@@ -45,8 +45,9 @@ cache::ClusterConfig ForceTracingOff(cache::ClusterConfig config) {
 Daemon::Daemon(DaemonConfig config, cache::Catalog catalog)
     : config_(std::move(config)),
       cluster_(ForceTracingOff(config_.cluster), std::move(catalog)) {
-  allocators_.push_back(
-      MakeAllocatorByName(config_.policy, config_.tax_threads));
+  allocators_.push_back(MakeAllocatorByName(config_.policy,
+                                            config_.tax_threads,
+                                            &config_.opus_tuning));
   OPUS_CHECK_MSG(allocators_.back() != nullptr,
                  "unknown policy in DaemonConfig");
   master_ = std::make_unique<sim::OpusMaster>(allocators_.back().get(),
@@ -183,8 +184,8 @@ std::string Daemon::HandleReconfig(const std::vector<std::string>& args) {
     return Err("usage: reconfig policy NAME | reconfig capacity UNITS");
   }
   if (args[0] == "policy") {
-    std::unique_ptr<CacheAllocator> next =
-        MakeAllocatorByName(args[1], config_.tax_threads);
+    std::unique_ptr<CacheAllocator> next = MakeAllocatorByName(
+        args[1], config_.tax_threads, &config_.opus_tuning);
     if (next == nullptr) {
       std::string known;
       for (const std::string& name : KnownPolicyNames()) {
@@ -215,8 +216,15 @@ std::string Daemon::HandleAddUser(const std::vector<std::string>& args) {
   for (std::size_t u = 0; u < user_active_.size(); ++u) {
     if (!user_active_[u]) {
       user_active_[u] = true;
+      const auto id = static_cast<cache::UserId>(u);
+      // A revived slot is a new tenant: take the requested name (the old
+      // one is stale) and double-check no departed-tenant state leaks into
+      // its first window (dropuser already purged; a slot inactive since
+      // startup has nothing to purge, so this is idempotent).
+      if (!args.empty()) master_->RenameClient(id, args[0]);
+      master_->PurgeUser(id);
       return "ok id=" + std::to_string(u) + " name=" +
-             master_->client_name(static_cast<cache::UserId>(u));
+             master_->client_name(id);
     }
   }
   return Err("no free user slots (cluster num_users=" +
@@ -230,6 +238,11 @@ std::string Daemon::HandleDropUser(const std::vector<std::string>& args) {
   if (user >= user_active_.size()) return Err("user id out of range");
   if (!user_active_[user]) return Err("user " + args[0] + " already dropped");
   user_active_[user] = false;
+  // Forget the departed tenant's learned state: its window accesses,
+  // explicit preference reports, and warm-state row. Without this the next
+  // window keeps allocating (and taxing) on behalf of a user that no
+  // longer exists — and a later adduser revival would inherit its history.
+  master_->PurgeUser(static_cast<cache::UserId>(user));
   return "ok dropped=" + args[0];
 }
 
@@ -266,8 +279,15 @@ int Daemon::Run() {
       still.push_back(fd);
     }
     if ((fds[0].revents & POLLIN) != 0) {
-      const int conn = ::accept(listen_fd, nullptr, nullptr);
-      if (conn >= 0) still.push_back(conn);
+      // Drain the accept queue: several clients may have connected since
+      // the last tick, and poll() only reports readiness, not depth. The
+      // listen fd is non-blocking (ListenUnix), so the loop ends with
+      // EAGAIN rather than blocking once the queue is empty.
+      while (true) {
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) break;  // EAGAIN/EWOULDBLOCK (or transient error)
+        still.push_back(conn);
+      }
     }
     conns = std::move(still);
   }

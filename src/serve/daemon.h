@@ -35,6 +35,7 @@
 
 #include "cache/cluster.h"
 #include "core/allocator.h"
+#include "core/policy_factory.h"
 #include "serve/engine.h"
 #include "sim/opus_master.h"
 
@@ -47,6 +48,9 @@ struct DaemonConfig {
   EngineConfig engine;
   std::string policy = "opus";   // initial allocator (core/policy_factory)
   unsigned tax_threads = 0;      // forwarded to the opus allocator
+  // OpuS delta/aggregation tuning, applied to the initial allocator and to
+  // every later `reconfig policy opus` swap.
+  OpusPolicyTuning opus_tuning;
 };
 
 class Daemon {

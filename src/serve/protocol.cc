@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -96,6 +97,16 @@ int ListenUnix(const std::string& path, int backlog) {
   }
   if (::listen(fd, backlog) < 0) {
     std::perror("listen");
+    ::close(fd);
+    return -1;
+  }
+  // Non-blocking listener: accept loops can drain every pending connection
+  // until EAGAIN without risking a block between poll() and accept().
+  // Accepted connections do NOT inherit the flag, so per-connection frame
+  // I/O stays blocking.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    std::perror("fcntl");
     ::close(fd);
     return -1;
   }

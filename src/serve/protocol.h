@@ -27,7 +27,9 @@ bool ReadFrame(int fd, std::string* payload,
                std::size_t max_payload = kMaxFramePayload);
 
 // Binds and listens on a Unix socket at `path` (unlinking any stale socket
-// file first). Returns the listening fd, or -1 with a message on stderr.
+// file first). The returned fd is non-blocking so accept loops can drain
+// every pending connection (accepted fds themselves are blocking).
+// Returns the listening fd, or -1 with a message on stderr.
 int ListenUnix(const std::string& path, int backlog = 8);
 
 // Connects to the daemon socket at `path`. Returns the fd, or -1.

@@ -33,6 +33,9 @@ double Drift(const Matrix& a, const Matrix& b) {
 void OpusMaster::set_allocator(const CacheAllocator* allocator) {
   OPUS_CHECK(allocator != nullptr);
   allocator_ = allocator;
+  // A warm state describes the previous allocator's solve; a swapped-in
+  // policy (even OpuS with different options) must not inherit it.
+  warm_.Invalidate();
 }
 
 void OpusMaster::set_capacity_units(double units) {
@@ -44,6 +47,9 @@ void OpusMaster::set_capacity_units(double units) {
             mean_file_bytes;
   }
   config_.capacity_units = units;
+  // The capacity-mismatch check inside AllocateIncremental would catch this
+  // too; invalidating here keeps the intent explicit for live reconfig.
+  warm_.Invalidate();
 }
 
 OpusMaster::OpusMaster(const CacheAllocator* allocator,
@@ -105,6 +111,17 @@ void OpusMaster::InitObservability() {
   solver_restricted_counter_ = &m.counter("master.solver.restricted_taxes");
   solver_fallback_counter_ = &m.counter("master.solver.restricted_fallbacks");
   solver_nnz_gauge_ = &m.gauge("master.solver.nnz_ratio");
+  // Incremental-window accounting: windows whose star solve warm-started,
+  // windows served by the delta composition path, tax solves run vs reused
+  // across delta windows, delta compositions that missed the KKT gate and
+  // fell back to a warm full solve, and the cluster count of the last
+  // aggregated window (0 = unaggregated).
+  solver_warm_counter_ = &m.counter("master.solver.warm_starts");
+  delta_window_counter_ = &m.counter("master.solver.delta_windows");
+  delta_resolved_counter_ = &m.counter("master.solver.delta_resolved");
+  delta_reused_counter_ = &m.counter("master.solver.delta_reused");
+  delta_fallback_counter_ = &m.counter("master.solver.delta_fallbacks");
+  agg_clusters_gauge_ = &m.gauge("master.solver.agg_clusters");
   solve_iterations_hist_ = &m.histogram(
       "master.solve.iterations", {100.0, 1000.0, 10000.0, 100000.0});
   // Wall time is the one genuinely nondeterministic signal the master
@@ -177,6 +194,26 @@ bool OpusMaster::HasReportedPreferences(cache::UserId client) const {
          !explicit_prefs_[client].empty();
 }
 
+void OpusMaster::RenameClient(cache::UserId client, std::string name) {
+  OPUS_CHECK_LT(client, client_names_.size());
+  client_names_[client] = std::move(name);
+}
+
+void OpusMaster::PurgeUser(cache::UserId client) {
+  OPUS_CHECK_LT(client, counts_.rows());
+  // Drop the user's accesses from the sliding window (and its counts row
+  // wholesale — the row is exactly the sum of its window entries).
+  window_.erase(std::remove_if(window_.begin(), window_.end(),
+                               [client](const workload::AccessEvent& e) {
+                                 return e.user == client;
+                               }),
+                window_.end());
+  auto row = counts_.row(client);
+  std::fill(row.begin(), row.end(), 0.0);
+  if (client < explicit_prefs_.size()) explicit_prefs_[client].clear();
+  warm_.ForgetUser(client);
+}
+
 Matrix OpusMaster::InferredPreferences() const {
   Matrix prefs = workload::PreferencesFromCounts(counts_);
   // Explicit reports override inference per client (Sec. V-A: preferences
@@ -228,9 +265,14 @@ void OpusMaster::SolveAndApply(const CachingProblem& problem) {
   const auto t0 = std::chrono::steady_clock::now();
   {
     obs::ScopedSpan solve_span(&cluster_->spans(), "master.solve");
-    result = opus_allocator != nullptr
-                 ? opus_allocator->AllocateWithDiagnostics(problem, &diag)
-                 : allocator_->Allocate(problem);
+    if (opus_allocator != nullptr) {
+      // Incremental mode threads the cross-window warm state through the
+      // solve; a null state degrades to the cold path byte-for-byte.
+      result = opus_allocator->AllocateIncremental(
+          problem, config_.incremental ? &warm_ : nullptr, &diag);
+    } else {
+      result = allocator_->Allocate(problem);
+    }
     solve_span.AddAttr("policy", result.policy);
     solve_span.AddAttr("iterations",
                        std::to_string(result.solver_iterations));
@@ -250,6 +292,12 @@ void OpusMaster::SolveAndApply(const CachingProblem& problem) {
   solver_restricted_counter_->Increment(result.solver_restricted_taxes);
   solver_fallback_counter_->Increment(result.solver_restricted_fallbacks);
   solver_nnz_gauge_->Set(result.solver_nnz_ratio);
+  if (result.solver_warm_started) solver_warm_counter_->Increment();
+  if (result.solver_delta_window) delta_window_counter_->Increment();
+  delta_resolved_counter_->Increment(result.solver_delta_resolved);
+  delta_reused_counter_->Increment(result.solver_delta_reused);
+  delta_fallback_counter_->Increment(result.solver_delta_fallbacks);
+  agg_clusters_gauge_->Set(static_cast<double>(result.solver_agg_clusters));
   if (!result.shared) {
     ig_fallback_counter_->Increment();
     cluster_->trace().Emit("master.ig_fallback",

@@ -19,6 +19,7 @@
 #include "cache/cluster.h"
 #include "cache/journal.h"
 #include "core/allocator.h"
+#include "core/opus.h"
 #include "obs/fairness_audit.h"
 #include "obs/metrics.h"
 #include "workload/trace.h"
@@ -52,6 +53,13 @@ struct OpusMasterConfig {
   // Per-allocation-window metric deltas retained (oldest dropped beyond
   // this).
   std::size_t max_metric_windows = 512;
+  // Incremental allocation windows: when the active allocator is OpuS, keep
+  // an OpusWarmState across reallocations so every window's PF solves
+  // warm-start from the previous applied allocation (and, when the
+  // allocator's OpusDeltaOptions enable it, only drifted users are
+  // re-solved). Live reconfiguration — policy swap, capacity override,
+  // user drop — invalidates the state, so the next window runs cold.
+  bool incremental = true;
 };
 
 class OpusMaster {
@@ -80,6 +88,17 @@ class OpusMaster {
   void ClearReportedPreferences(cache::UserId client);
 
   bool HasReportedPreferences(cache::UserId client) const;
+
+  // Renames a registered client (e.g. a revived slot reused for a new
+  // tenant under a different name).
+  void RenameClient(cache::UserId client, std::string name);
+
+  // Forgets everything the master has learned about `client`: its window
+  // accesses and inferred counts, any explicitly reported preferences, and
+  // its row of the incremental warm state. The next window treats the slot
+  // as a fresh zero-preference tenant (zero share until it reports or
+  // accesses again). Used by the serving daemon on dropuser.
+  void PurgeUser(cache::UserId client);
 
   // Primes the allocation from an externally known preference matrix (e.g.
   // a previous window's model) so simulations start at steady state.
@@ -156,6 +175,10 @@ class OpusMaster {
   std::deque<workload::AccessEvent> window_;
   Matrix counts_;  // num_users x num_files, counts within window_
   Matrix previous_prefs_;
+  // Cross-window solver state for incremental OpuS windows (see
+  // OpusMasterConfig::incremental). Owned here because its lifetime is the
+  // master's, not the (swappable, shared, const) allocator's.
+  OpusWarmState warm_;
   AllocationResult current_;
   cache::Journal journal_;
   obs::FairnessAuditor auditor_;
@@ -176,6 +199,12 @@ class OpusMaster {
   obs::Counter* solver_restricted_counter_ = nullptr;
   obs::Counter* solver_fallback_counter_ = nullptr;
   obs::Gauge* solver_nnz_gauge_ = nullptr;
+  obs::Counter* solver_warm_counter_ = nullptr;
+  obs::Counter* delta_window_counter_ = nullptr;
+  obs::Counter* delta_resolved_counter_ = nullptr;
+  obs::Counter* delta_reused_counter_ = nullptr;
+  obs::Counter* delta_fallback_counter_ = nullptr;
+  obs::Gauge* agg_clusters_gauge_ = nullptr;
   obs::Histogram* solve_iterations_hist_ = nullptr;
   obs::Histogram* solve_wall_hist_ = nullptr;  // volatile (wall time)
 };

@@ -242,6 +242,8 @@ PfSolution SolveCore(Ops& ops, double capacity, const PfOptions& options,
     std::vector<double> util(n, 0.0);
     if (ops.Objective(weights, active, a, util) == kNegInf) {
       a.assign(m, uniform_fill);
+    } else {
+      sol.warm_start_used = true;
     }
   } else {
     a.assign(m, uniform_fill);
@@ -418,6 +420,7 @@ void PfStats::Observe(const PfSolution& solution) {
   projection_calls += solution.projection_calls;
   projection_warm_hits += solution.projection_warm_hits;
   projection_exact += solution.projection_exact;
+  warm_started_solves += solution.warm_start_used ? 1 : 0;
   max_residual = std::max(max_residual, solution.residual);
 }
 

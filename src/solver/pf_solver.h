@@ -48,6 +48,10 @@ struct PfSolution {
   double residual = 0.0;           // final optimality residual
   int iterations = 0;
   bool converged = false;
+  // True when a caller-supplied warm start seeded the iteration (the
+  // projected warm point had finite objective); false for cold solves and
+  // for warm points that were rejected (zero utility for an active user).
+  bool warm_start_used = false;
 
   // Projection cost accounting: total capped-simplex projections, how many
   // resolved via the warm-started tau fast path, and how many ran the full
@@ -103,6 +107,7 @@ struct PfStats {
   std::uint64_t projection_exact = 0;
   std::uint64_t restricted_solves = 0;
   std::uint64_t restricted_fallbacks = 0;
+  std::uint64_t warm_started_solves = 0;
   double max_residual = 0.0;
 
   void Observe(const PfSolution& solution);

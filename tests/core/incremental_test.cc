@@ -1,0 +1,250 @@
+// Incremental allocation windows (AllocateIncremental + OpusWarmState):
+// warm-started and delta windows must agree with the cold solver. Delta
+// windows compose stale users from the warm state, so their reused taxes
+// carry the documented tolerance; everything the KKT gate guards — the
+// allocation itself, re-solved taxes, the sharing decision — must match
+// to solver accuracy, and every gate miss must fall back (counted) rather
+// than ship an unvalidated point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/opus.h"
+#include "workload/preference_gen.h"
+
+namespace opus {
+namespace {
+
+CachingProblem ZipfProblem(std::size_t users, std::size_t files,
+                           double capacity, std::uint64_t seed,
+                           double density = 1.0) {
+  workload::ZipfPreferenceConfig cfg;
+  cfg.num_users = users;
+  cfg.num_files = files;
+  cfg.alpha = 1.1;
+  if (density < 1.0) {
+    cfg.support_fraction = density;
+  }
+  Rng rng(seed);
+  CachingProblem p;
+  p.preferences = workload::GenerateZipfPreferences(cfg, rng);
+  p.capacity = capacity;
+  return p;
+}
+
+// `base` with `drifted` leading users' rows blended halfway toward fresh
+// Zipf rows (rows stay normalized; L1 drift ~1, far above any threshold).
+CachingProblem BlendDrift(const CachingProblem& base, std::size_t drifted,
+                          std::uint64_t seed, double density = 1.0) {
+  CachingProblem out = base;
+  const CachingProblem fresh =
+      ZipfProblem(drifted, base.num_files(), base.capacity, seed, density);
+  for (std::size_t i = 0; i < drifted; ++i) {
+    auto dst = out.preferences.row(i);
+    const auto src = fresh.preferences.row(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = 0.5 * dst[j] + 0.5 * src[j];
+    }
+  }
+  out.InvalidatePreferencesCsr();
+  return out;
+}
+
+void ExpectSameResult(const AllocationResult& a, const AllocationResult& b,
+                      double alloc_tol, double tax_tol) {
+  EXPECT_EQ(a.shared, b.shared);
+  ASSERT_EQ(a.file_alloc.size(), b.file_alloc.size());
+  for (std::size_t j = 0; j < a.file_alloc.size(); ++j) {
+    EXPECT_NEAR(a.file_alloc[j], b.file_alloc[j], alloc_tol) << "file " << j;
+  }
+  ASSERT_EQ(a.taxes.size(), b.taxes.size());
+  for (std::size_t i = 0; i < a.taxes.size(); ++i) {
+    EXPECT_NEAR(a.taxes[i], b.taxes[i], tax_tol) << "user " << i;
+  }
+}
+
+TEST(IncrementalTest, NullStateMatchesAllocate) {
+  const CachingProblem p = ZipfProblem(12, 24, 6.0, 5);
+  const OpusAllocator alloc;
+  const AllocationResult cold = alloc.Allocate(p);
+  const AllocationResult inc = alloc.AllocateIncremental(p, nullptr);
+  EXPECT_EQ(inc.file_alloc, cold.file_alloc);
+  EXPECT_EQ(inc.taxes, cold.taxes);
+  EXPECT_FALSE(inc.solver_warm_started);
+}
+
+TEST(IncrementalTest, WarmWindowAgreesWithCold) {
+  const CachingProblem w0 = ZipfProblem(16, 32, 8.0, 11);
+  const CachingProblem w1 = BlendDrift(w0, 3, 12);
+  const OpusAllocator alloc;
+  OpusWarmState state;
+  const AllocationResult first = alloc.AllocateIncremental(w0, &state);
+  EXPECT_FALSE(first.solver_warm_started);  // nothing to warm-start from
+  EXPECT_TRUE(state.valid);
+  EXPECT_EQ(state.windows, 1u);
+
+  const AllocationResult warm = alloc.AllocateIncremental(w1, &state);
+  EXPECT_TRUE(warm.solver_warm_started);
+  EXPECT_EQ(state.windows, 2u);
+  ExpectSameResult(warm, alloc.Allocate(w1), 1e-5, 1e-6);
+}
+
+TEST(IncrementalTest, IncompatibleStateDegradesToCold) {
+  const CachingProblem other = ZipfProblem(16, 48, 8.0, 21);
+  const CachingProblem p = ZipfProblem(16, 32, 8.0, 22);
+  const OpusAllocator alloc;
+  OpusWarmState state;
+  alloc.AllocateIncremental(other, &state);  // wrong M
+
+  const AllocationResult r = alloc.AllocateIncremental(p, &state);
+  EXPECT_FALSE(r.solver_warm_started);
+  // The degraded window is the cold computation, bit for bit.
+  const AllocationResult cold = alloc.Allocate(p);
+  EXPECT_EQ(r.file_alloc, cold.file_alloc);
+  EXPECT_EQ(r.taxes, cold.taxes);
+  // ... and the state now belongs to the new problem.
+  EXPECT_TRUE(state.valid);
+  EXPECT_EQ(state.windows, 1u);
+  EXPECT_EQ(state.preferences.cols(), p.num_files());
+}
+
+TEST(IncrementalTest, CapacityChangeRunsCold) {
+  CachingProblem p = ZipfProblem(12, 24, 6.0, 31);
+  const OpusAllocator alloc;
+  OpusWarmState state;
+  alloc.AllocateIncremental(p, &state);
+  p.capacity = 8.0;  // live reconfig: capacity moved between windows
+  const AllocationResult r = alloc.AllocateIncremental(p, &state);
+  EXPECT_FALSE(r.solver_warm_started);
+  EXPECT_EQ(state.capacity, 8.0);
+  EXPECT_EQ(state.windows, 1u);
+}
+
+// Property: across randomized drift sets and misreports, the delta
+// window's allocation and sharing decision match the cold solver exactly
+// (the KKT gate guards them), and every tax honors the reuse contract —
+// it is either the cold tax (re-solved, solver-exact) or verbatim the
+// previous window's tax (reused; approximate by design, audited per
+// window). Nothing in between may ship.
+TEST(IncrementalTest, DeltaAgreesAcrossRandomizedDrift) {
+  OpusOptions options;
+  options.delta.drift_threshold = 0.05;
+  options.delta.utility_rel_tolerance = 0.05;
+  const OpusAllocator alloc(options);
+  const OpusAllocator cold_alloc;  // plain options: always cold
+
+  for (std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    Rng rng(seed);
+    const std::size_t n = 16 + rng.NextBounded(16);
+    const CachingProblem w0 = ZipfProblem(n, 64, 16.0, seed);
+    OpusWarmState state;
+    // The warm state carries window 0's *stage-1* taxes (what a reused tax
+    // is defined to be), not the result taxes — those drop to zero when a
+    // window settles on isolated caches.
+    OpusDiagnostics prev_diag;
+    alloc.AllocateIncremental(w0, &state, &prev_diag);
+
+    // Drift a random minority, then overwrite one extra row entirely (a
+    // misreport: the master cannot tell drift from lies, and neither path
+    // may treat them differently).
+    const std::size_t drifted = 1 + rng.NextBounded(n / 4);
+    CachingProblem w1 = BlendDrift(w0, drifted, seed + 7);
+    std::vector<double> lie(w1.num_files(), 0.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      lie[rng.NextBounded(w1.num_files())] = 1.0;
+    }
+    w1 = w1.WithMisreport(n - 1, lie);
+
+    const AllocationResult delta = alloc.AllocateIncremental(w1, &state);
+    const AllocationResult cold = cold_alloc.Allocate(w1);
+    EXPECT_EQ(delta.shared, cold.shared);
+    for (std::size_t j = 0; j < w1.num_files(); ++j) {
+      EXPECT_NEAR(delta.file_alloc[j], cold.file_alloc[j], 1e-5) << j;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vs_cold = std::abs(delta.taxes[i] - cold.taxes[i]);
+      const double vs_prev = std::abs(delta.taxes[i] - prev_diag.taxes[i]);
+      EXPECT_LE(std::min(vs_cold, vs_prev), 1e-6) << "user " << i;
+    }
+    EXPECT_EQ(delta.solver_delta_resolved + delta.solver_delta_reused, n);
+    EXPECT_GT(delta.solver_delta_resolved, 0u);  // drifted users re-solve
+  }
+}
+
+TEST(IncrementalTest, ForgetUserForcesResolve) {
+  OpusOptions options;
+  options.delta.drift_threshold = 0.05;
+  options.delta.utility_rel_tolerance = 1e9;  // reuse whenever allowed
+  const OpusAllocator alloc(options);
+  const CachingProblem p = ZipfProblem(12, 24, 6.0, 41);
+  OpusWarmState state;
+  alloc.AllocateIncremental(p, &state);
+
+  // Churn: user 3 leaves and a new tenant with identical preferences takes
+  // the slot. Its zeroed warm row must register as drift, so its tax is
+  // re-solved (a reuse would ship the forgotten 0 tax).
+  state.ForgetUser(3);
+  const AllocationResult r = alloc.AllocateIncremental(p, &state);
+  const AllocationResult cold = OpusAllocator().Allocate(p);
+  ASSERT_GT(cold.taxes[3], 1e-6);  // instance chosen so the tax is real
+  EXPECT_NEAR(r.taxes[3], cold.taxes[3], 1e-6);
+}
+
+TEST(IncrementalTest, RiggedGateFallsBackToWarmFullSolve) {
+  OpusOptions options;
+  options.delta.drift_threshold = 0.05;
+  options.delta.utility_rel_tolerance = 0.0;  // no reuse: taxes stay exact
+  options.delta.gate_slack = 0.0;  // residual gate can never pass
+  const OpusAllocator alloc(options);
+  // Sparse rows and tight capacity keep the drifted support + interior +
+  // recruit column set well under the 3/4-of-M attempt threshold.
+  const CachingProblem w0 = ZipfProblem(24, 512, 24.0, 51, 0.02);
+  const CachingProblem w1 = BlendDrift(w0, 1, 52, 0.02);
+  OpusWarmState state;
+  alloc.AllocateIncremental(w0, &state);
+
+  const AllocationResult r = alloc.AllocateIncremental(w1, &state);
+  EXPECT_GE(r.solver_delta_fallbacks, 1u);
+  EXPECT_FALSE(r.solver_delta_window);
+  ExpectSameResult(r, OpusAllocator().Allocate(w1), 1e-5, 1e-6);
+}
+
+TEST(IncrementalTest, DeltaWindowComposesOnLargeSparseProblems) {
+  OpusOptions options;
+  options.delta.drift_threshold = 0.05;
+  options.delta.utility_rel_tolerance = 0.0;  // no reuse: taxes stay exact
+  const OpusAllocator alloc(options);
+  const CachingProblem w0 = ZipfProblem(24, 512, 24.0, 61, 0.02);
+  const CachingProblem w1 = BlendDrift(w0, 2, 62, 0.02);
+  OpusWarmState state;
+  alloc.AllocateIncremental(w0, &state);
+
+  const AllocationResult r = alloc.AllocateIncremental(w1, &state);
+  EXPECT_TRUE(r.solver_delta_window);  // restriction attempted and gated in
+  EXPECT_EQ(r.solver_delta_fallbacks, 0u);
+  ExpectSameResult(r, OpusAllocator().Allocate(w1), 1e-5, 1e-6);
+}
+
+TEST(IncrementalTest, DeltaRespectsPriorityWeights) {
+  OpusOptions options;
+  options.delta.drift_threshold = 0.05;
+  options.delta.utility_rel_tolerance = 0.0;
+  options.user_weights.assign(16, 1.0);
+  options.user_weights[2] = 3.0;
+  options.user_weights[9] = 0.5;
+  const OpusAllocator alloc(options);
+  OpusOptions cold_options;
+  cold_options.user_weights = options.user_weights;
+  const CachingProblem w0 = ZipfProblem(16, 64, 16.0, 71);
+  const CachingProblem w1 = BlendDrift(w0, 2, 72);
+  OpusWarmState state;
+  alloc.AllocateIncremental(w0, &state);
+  const AllocationResult r = alloc.AllocateIncremental(w1, &state);
+  EXPECT_TRUE(r.solver_warm_started);
+  ExpectSameResult(r, OpusAllocator(cold_options).Allocate(w1), 1e-5, 1e-6);
+}
+
+}  // namespace
+}  // namespace opus

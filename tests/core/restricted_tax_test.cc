@@ -1,0 +1,88 @@
+// The active-set-restricted leave-one-out tax fast path must agree with
+// full per-user PF re-solves: the restricted solution is validated against
+// the full problem's KKT residual and falls back when it misses tolerance,
+// so taxes (and the IG gate decision built on them) cannot drift.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/opus.h"
+#include "workload/preference_gen.h"
+
+namespace opus {
+namespace {
+
+CachingProblem ZipfProblem(std::size_t users, std::size_t files,
+                           double capacity, std::uint64_t seed) {
+  workload::ZipfPreferenceConfig cfg;
+  cfg.num_users = users;
+  cfg.num_files = files;
+  cfg.alpha = 1.1;
+  Rng rng(seed);
+  CachingProblem p;
+  p.preferences = workload::GenerateZipfPreferences(cfg, rng);
+  p.capacity = capacity;
+  return p;
+}
+
+void ExpectAgreement(const CachingProblem& p, OpusOptions base) {
+  OpusOptions restricted = base;
+  restricted.restricted_tax_solves = true;
+  OpusOptions full = base;
+  full.restricted_tax_solves = false;
+
+  OpusDiagnostics d_restricted, d_full;
+  const AllocationResult r_restricted =
+      OpusAllocator(restricted).AllocateWithDiagnostics(p, &d_restricted);
+  const AllocationResult r_full =
+      OpusAllocator(full).AllocateWithDiagnostics(p, &d_full);
+
+  ASSERT_EQ(d_restricted.taxes.size(), d_full.taxes.size());
+  for (std::size_t i = 0; i < d_full.taxes.size(); ++i) {
+    EXPECT_NEAR(d_restricted.taxes[i], d_full.taxes[i], 1e-6) << "user " << i;
+    EXPECT_NEAR(d_restricted.net_utilities[i], d_full.net_utilities[i], 1e-6)
+        << "user " << i;
+  }
+  EXPECT_EQ(d_restricted.settled_on_sharing, d_full.settled_on_sharing);
+  ASSERT_EQ(r_restricted.blocking.size(), r_full.blocking.size());
+  for (std::size_t i = 0; i < r_full.blocking.size(); ++i) {
+    EXPECT_NEAR(r_restricted.blocking[i], r_full.blocking[i], 1e-6);
+  }
+}
+
+TEST(RestrictedTaxTest, AgreesWithFullSolvesSmall) {
+  CachingProblem p;
+  p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0}, {0.0, 0.6, 0.4}});
+  p.capacity = 2.0;
+  ExpectAgreement(p, OpusOptions{});
+}
+
+TEST(RestrictedTaxTest, AgreesWithFullSolvesZipf) {
+  for (std::uint64_t seed : {3u, 17u, 41u}) {
+    ExpectAgreement(ZipfProblem(16, 30, 12.0, seed), OpusOptions{});
+  }
+}
+
+TEST(RestrictedTaxTest, AgreesUnderTightCapacity) {
+  // Tight capacity makes most files boundary-active, stressing the
+  // restricted column selection.
+  ExpectAgreement(ZipfProblem(12, 48, 4.0, 7), OpusOptions{});
+}
+
+TEST(RestrictedTaxTest, AgreesWithPriorityWeights) {
+  OpusOptions base;
+  base.user_weights.assign(16, 1.0);
+  base.user_weights[0] = 3.0;
+  base.user_weights[5] = 0.5;
+  ExpectAgreement(ZipfProblem(16, 30, 10.0, 23), base);
+}
+
+TEST(RestrictedTaxTest, AgreesWithParallelTaxSolves) {
+  OpusOptions base;
+  base.tax_threads = 4;
+  ExpectAgreement(ZipfProblem(16, 30, 12.0, 29), base);
+}
+
+}  // namespace
+}  // namespace opus

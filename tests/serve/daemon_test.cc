@@ -116,6 +116,80 @@ TEST(DaemonTest, UserChurn) {
   EXPECT_TRUE(IsOk(daemon.HandleRequest("serve 1 0")));
 }
 
+TEST(DaemonTest, AddUserAppliesTheRequestedName) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  EXPECT_EQ(daemon.HandleRequest("dropuser 1"), "ok dropped=1");
+  // Regression: adduser accepted a NAME argument but silently ignored it —
+  // the revived slot kept the departed tenant's name.
+  const std::string add = daemon.HandleRequest("adduser tenant-b");
+  EXPECT_TRUE(IsOk(add)) << add;
+  EXPECT_NE(add.find("id=1"), std::string::npos);
+  EXPECT_NE(add.find("name=tenant-b"), std::string::npos);
+  EXPECT_EQ(daemon.master().client_name(1), "tenant-b");
+  EXPECT_EQ(daemon.master().client_name(0), "user0");  // others untouched
+
+  // Nameless adduser keeps whatever name the slot has.
+  daemon.HandleRequest("dropuser 1");
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("adduser")));
+  EXPECT_EQ(daemon.master().client_name(1), "tenant-b");
+}
+
+TEST(DaemonTest, DropUserPurgesLearnedState) {
+  Daemon daemon(SmallConfig(), SmallCatalog());
+  // Both users build up window state across reallocation boundaries.
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("gen 60 5")));
+  EXPECT_GT(daemon.master().reallocations(), 0u);
+
+  // Regression: dropuser only flipped the active bit — the master kept the
+  // departed tenant's window accesses and kept allocating (and taxing) on
+  // its behalf. The purge must zero its inferred row immediately ...
+  EXPECT_EQ(daemon.HandleRequest("dropuser 0"), "ok dropped=0");
+  const Matrix prefs = daemon.master().InferredPreferences();
+  for (std::size_t j = 0; j < prefs.cols(); ++j) {
+    EXPECT_EQ(prefs(0, j), 0.0) << "file " << j;
+  }
+  // ... so the next window allocates the dropped slot nothing.
+  EXPECT_TRUE(IsOk(daemon.HandleRequest("gen 40 6")));
+  const AllocationResult& r = daemon.master().current_allocation();
+  EXPECT_EQ(r.reported_utilities[0], 0.0);
+  EXPECT_EQ(r.taxes[0], 0.0);
+  EXPECT_GT(r.reported_utilities[1], 0.0);  // survivor keeps its share
+}
+
+TEST(DaemonTest, SimultaneousConnectsAreAllServed) {
+  DaemonConfig config = SmallConfig();
+  config.socket_path =
+      "/tmp/opus-daemon-multi-" + std::to_string(::getpid()) + ".sock";
+  const std::string path = config.socket_path;
+  Daemon daemon(std::move(config), SmallCatalog());
+  std::thread server([&daemon] { EXPECT_EQ(daemon.Run(), 0); });
+
+  // Connect a burst of clients before exchanging any frames: one poll tick
+  // must drain the whole accept queue (the loop accepted a single
+  // connection per tick before, stalling burst arrivals).
+  constexpr int kClients = 8;
+  int fds[kClients];
+  for (int c = 0; c < kClients; ++c) {
+    fds[c] = -1;
+    for (int tries = 0; tries < 200 && fds[c] < 0; ++tries) {
+      fds[c] = DialUnix(path);
+      if (fds[c] < 0) ::usleep(10 * 1000);
+    }
+    ASSERT_GE(fds[c], 0) << "client " << c << " never connected";
+  }
+  for (int c = 0; c < kClients; ++c) {
+    std::string reply;
+    EXPECT_TRUE(WriteFrame(fds[c], "ping"));
+    EXPECT_TRUE(ReadFrame(fds[c], &reply)) << "client " << c;
+    EXPECT_EQ(reply, "ok pong");
+  }
+  std::string reply;
+  EXPECT_TRUE(WriteFrame(fds[0], "shutdown"));
+  EXPECT_TRUE(ReadFrame(fds[0], &reply));
+  for (int c = 0; c < kClients; ++c) ::close(fds[c]);
+  server.join();
+}
+
 TEST(DaemonTest, MalformedCommandsAreErrorsNotCrashes) {
   Daemon daemon(SmallConfig(), SmallCatalog());
   for (const char* bad :

@@ -1,0 +1,180 @@
+// OpusMaster incremental windows: the master-owned OpusWarmState
+// warm-starts consecutive reallocations (visible through the
+// master.solver.* metrics), live reconfiguration invalidates it, and the
+// user-lifecycle hooks (RenameClient / PurgeUser) behave as the serving
+// daemon's adduser/dropuser expect.
+#include "sim/opus_master.h"
+
+#include <gtest/gtest.h>
+
+#include "core/opus.h"
+
+namespace opus::sim {
+namespace {
+
+cache::Catalog SixFileCatalog() {
+  cache::Catalog c(1 * cache::kMiB);
+  for (int f = 0; f < 6; ++f) {
+    c.Register("file-" + std::to_string(f), 10 * cache::kMiB);
+  }
+  return c;
+}
+
+cache::ClusterConfig ThreeUserCluster() {
+  cache::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_users = 3;
+  cfg.cache_capacity_bytes = 30 * cache::kMiB;  // 3 of 6 files
+  return cfg;
+}
+
+std::uint64_t CounterValue(const obs::MetricsRegistry& registry,
+                           const std::string& name) {
+  for (const auto& c : registry.Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+Matrix ThreeUserPrefs() {
+  Matrix prefs(3, 6, 0.0);
+  prefs(0, 0) = 0.6;
+  prefs(0, 1) = 0.4;
+  prefs(1, 2) = 0.7;
+  prefs(1, 3) = 0.3;
+  prefs(2, 4) = 0.5;
+  prefs(2, 5) = 0.5;
+  return prefs;
+}
+
+TEST(MasterIncrementalTest, ConsecutiveWindowsWarmStart) {
+  cache::CacheCluster cluster(ThreeUserCluster(), SixFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  OpusMaster master(&alloc, &cluster, cfg);
+  master.Prime(ThreeUserPrefs());
+  EXPECT_EQ(CounterValue(cluster.metrics(), "master.solver.warm_starts"),
+            0u);  // first window is cold
+  master.Reallocate();
+  master.Reallocate();
+  EXPECT_EQ(CounterValue(cluster.metrics(), "master.solver.warm_starts"),
+            2u);
+}
+
+TEST(MasterIncrementalTest, DisabledIncrementalStaysCold) {
+  cache::CacheCluster cluster(ThreeUserCluster(), SixFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  cfg.incremental = false;
+  OpusMaster master(&alloc, &cluster, cfg);
+  master.Prime(ThreeUserPrefs());
+  master.Reallocate();
+  master.Reallocate();
+  EXPECT_EQ(CounterValue(cluster.metrics(), "master.solver.warm_starts"),
+            0u);
+}
+
+TEST(MasterIncrementalTest, ReconfigurationInvalidatesTheWarmState) {
+  cache::CacheCluster cluster(ThreeUserCluster(), SixFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  OpusMaster master(&alloc, &cluster, cfg);
+  master.Prime(ThreeUserPrefs());
+  master.Reallocate();  // warm
+  master.set_capacity_units(2.0);
+  master.Reallocate();  // cold again: capacity reconfig invalidated
+  EXPECT_EQ(CounterValue(cluster.metrics(), "master.solver.warm_starts"),
+            1u);
+  master.set_allocator(&alloc);  // policy swap (even to the same one)
+  master.Reallocate();
+  EXPECT_EQ(CounterValue(cluster.metrics(), "master.solver.warm_starts"),
+            1u);
+}
+
+TEST(MasterIncrementalTest, IncrementalMatchesColdControlLoop) {
+  // Two masters over identical clusters and access streams — one keeping a
+  // warm state, one always cold — must apply the same allocations.
+  cache::CacheCluster warm_cluster(ThreeUserCluster(), SixFileCatalog());
+  cache::CacheCluster cold_cluster(ThreeUserCluster(), SixFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig warm_cfg, cold_cfg;
+  warm_cfg.update_interval = cold_cfg.update_interval = 1000000;
+  cold_cfg.incremental = false;
+  OpusMaster warm(&alloc, &warm_cluster, warm_cfg);
+  OpusMaster cold(&alloc, &cold_cluster, cold_cfg);
+
+  Matrix prefs = ThreeUserPrefs();
+  for (int round = 0; round < 3; ++round) {
+    warm.Prime(prefs);
+    cold.Prime(prefs);
+    const auto& a = warm.current_allocation();
+    const auto& b = cold.current_allocation();
+    ASSERT_EQ(a.file_alloc.size(), b.file_alloc.size());
+    for (std::size_t j = 0; j < a.file_alloc.size(); ++j) {
+      EXPECT_NEAR(a.file_alloc[j], b.file_alloc[j], 1e-6) << j;
+    }
+    for (std::size_t i = 0; i < a.taxes.size(); ++i) {
+      EXPECT_NEAR(a.taxes[i], b.taxes[i], 1e-6) << i;
+    }
+    prefs(0, 1) += 0.1;  // drift user 0 a little each round
+    prefs(0, 0) -= 0.1;
+  }
+}
+
+TEST(MasterIncrementalTest, RenameClientTakesEffect) {
+  cache::CacheCluster cluster(ThreeUserCluster(), SixFileCatalog());
+  OpusAllocator alloc;
+  OpusMaster master(&alloc, &cluster, OpusMasterConfig{});
+  master.RegisterClient("alice");
+  master.RegisterClient("bob");
+  EXPECT_EQ(master.client_name(1), "bob");
+  master.RenameClient(1, "carol");
+  EXPECT_EQ(master.client_name(1), "carol");
+  EXPECT_EQ(master.client_name(0), "alice");
+}
+
+TEST(MasterIncrementalTest, PurgeUserForgetsWindowAndPreferences) {
+  cache::CacheCluster cluster(ThreeUserCluster(), SixFileCatalog());
+  OpusAllocator alloc;
+  OpusMasterConfig cfg;
+  cfg.update_interval = 1000000;
+  OpusMaster master(&alloc, &cluster, cfg);
+  master.RegisterClient("u0");
+  master.RegisterClient("u1");
+  master.RegisterClient("u2");
+
+  workload::AccessEvent e;
+  for (cache::UserId u = 0; u < 3; ++u) {
+    e.user = u;
+    e.file = 2 * u;
+    for (int k = 0; k < 4; ++k) master.OnAccess(e);
+  }
+  master.ReportPreferences(1, {0.0, 0.0, 1.0, 0.0, 0.0, 0.0});
+  master.Reallocate();
+  EXPECT_GT(master.current_allocation().reported_utilities[1], 0.0);
+
+  master.PurgeUser(1);
+  EXPECT_FALSE(master.HasReportedPreferences(1));
+  const Matrix prefs = master.InferredPreferences();
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(prefs(1, j), 0.0);
+
+  // The purged slot holds a zero row: next window allocates it nothing
+  // while the survivors keep their shares.
+  master.Reallocate();
+  const auto& r = master.current_allocation();
+  EXPECT_EQ(r.reported_utilities[1], 0.0);
+  EXPECT_GT(r.reported_utilities[0], 0.0);
+  EXPECT_GT(r.reported_utilities[2], 0.0);
+  EXPECT_EQ(r.taxes[1], 0.0);
+
+  // Survivors' window counts are untouched by the purge.
+  EXPECT_NEAR(prefs(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prefs(2, 4), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace opus::sim

@@ -8,7 +8,8 @@
 //   opus_daemon --socket PATH [--catalog FILE | --files N [--file-mb MB]]
 //               [--users N] [--workers N] [--cache-mb MB] [--threads N]
 //               [--policy NAME] [--update-interval N] [--window N]
-//               [--tax-threads N]
+//               [--tax-threads N] [--delta-drift F] [--delta-util-tol F]
+//               [--agg-clusters N] [--agg-threshold F]
 //
 //   --socket PATH       Unix socket to serve on (default /tmp/opus.sock)
 //   --catalog FILE      CSV of name,size_bytes rows (no header)
@@ -22,6 +23,14 @@
 //   --update-interval N accesses between reallocations (default 200)
 //   --window N          learning-window length in accesses (default 800)
 //   --tax-threads N     threads for OpuS leave-one-out tax solves
+//   --delta-drift F     OpuS delta windows: per-user L1 drift beyond which
+//                       a user is re-solved; 0 disables (default 0)
+//   --delta-util-tol F  relative star-utility move beyond which a stale
+//                       user's tax is re-solved anyway (default 0.01)
+//   --agg-clusters N    OpuS user aggregation: max clusters; 0 disables
+//                       (default 0)
+//   --agg-threshold F   L1 distance beyond which a user founds a new
+//                       cluster (default 0.5)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -107,6 +116,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.tax_threads = static_cast<unsigned>(u);
+    } else if (arg == "--delta-drift" && (v = next())) {
+      if (!ParseFlagDouble("--delta-drift", v, 0.0, &d)) return 2;
+      config.opus_tuning.delta.drift_threshold = d;
+    } else if (arg == "--delta-util-tol" && (v = next())) {
+      if (!ParseFlagDouble("--delta-util-tol", v, 0.0, &d)) return 2;
+      config.opus_tuning.delta.utility_rel_tolerance = d;
+    } else if (arg == "--agg-clusters" && (v = next())) {
+      if (!ParseFlagU64("--agg-clusters", v, 0, &u)) return 2;
+      config.opus_tuning.aggregation.max_clusters =
+          static_cast<std::size_t>(u);
+    } else if (arg == "--agg-threshold" && (v = next())) {
+      if (!ParseFlagDouble("--agg-threshold", v, 0.0, &d)) return 2;
+      config.opus_tuning.aggregation.similarity_threshold = d;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return 2;
