@@ -10,6 +10,11 @@
 // is informational: on single-CPU hosts the probe threads serialize and
 // the honest ratio is <= 1; the gate is equivalence, not the ratio.
 //
+// Each cell also reruns with a live RuntimeTelemetry sink attached (the
+// daemon's always-on configuration) and reports the throughput delta —
+// the telemetry run is held to the same byte-identity gate, plus a check
+// that sampling actually recorded latencies.
+//
 // Emits machine-readable JSON (default BENCH_serving.json) with
 // median/p90 events/sec per cell. `--smoke` shrinks the workload for CI.
 #include <algorithm>
@@ -25,6 +30,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/opus.h"
+#include "obs/latency.h"
 #include "serve/engine.h"
 #include "sim/opus_master.h"
 #include "workload/preference_gen.h"
@@ -150,15 +156,22 @@ Timed RunOracle(bool managed,
   return t;
 }
 
+// `with_telemetry` runs the same cell with a live RuntimeTelemetry sink
+// attached (the daemon's always-on configuration); `samples_out` receives
+// the number of sampled read latencies so the bench can assert telemetry
+// actually recorded. The replay-equivalence gate applies to telemetry
+// cells too: wall-clock telemetry must not perturb deterministic state.
 Timed RunEngine(bool managed, unsigned threads,
-                const std::vector<workload::AccessEvent>& events,
-                int reps) {
+                const std::vector<workload::AccessEvent>& events, int reps,
+                bool with_telemetry, std::uint64_t* samples_out) {
   Timed t;
   std::vector<double> eps;
   for (int rep = 0; rep < reps; ++rep) {
     Plant p = MakePlant(managed);
+    obs::RuntimeTelemetry telemetry;
     serve::EngineConfig ecfg;
     ecfg.threads = threads;
+    if (with_telemetry) ecfg.telemetry = &telemetry;
     serve::ServingEngine engine(p.cluster.get(), p.master.get(), ecfg);
     const auto start = std::chrono::steady_clock::now();
     const serve::ServeStats stats = engine.Serve(events);
@@ -167,7 +180,17 @@ Timed RunEngine(bool managed, unsigned threads,
     const double sec = std::chrono::duration<double>(end - start).count();
     eps.push_back(static_cast<double>(events.size()) /
                   std::max(sec, 1e-12));
-    if (rep + 1 == reps) t.obs = Capture(p);
+    if (rep + 1 == reps) {
+      t.obs = Capture(p);
+      if (with_telemetry && samples_out != nullptr) {
+        *samples_out = 0;
+        for (const char* name :
+             {"serve.read.managed_ns", "serve.read.unmanaged_ns"}) {
+          const obs::LogLinearHistogram* h = telemetry.Find(name);
+          if (h != nullptr) *samples_out += h->count();
+        }
+      }
+    }
   }
   t.median_eps = Percentile(eps, 0.5);
   t.p90_eps = Percentile(eps, 0.9);
@@ -228,19 +251,37 @@ int Run(bool smoke, const std::string& out_path, int reps) {
                  oracle.p90_eps);
     for (std::size_t i = 0; i < thread_cells.size(); ++i) {
       const unsigned threads = thread_cells[i];
-      const Timed engine = RunEngine(managed, threads, events, reps);
+      const Timed engine =
+          RunEngine(managed, threads, events, reps, false, nullptr);
+      std::uint64_t samples = 0;
+      const Timed tele =
+          RunEngine(managed, threads, events, reps, true, &samples);
       const CellChecks checks = Compare(oracle.obs, engine.obs);
-      all_ok = all_ok && checks.ok();
+      const CellChecks tele_checks = Compare(oracle.obs, tele.obs);
+      // Telemetry must record (sampling 1/16 of the events) and must not
+      // perturb any deterministic observable; its throughput cost is
+      // informational (target <2%, but shared CI hosts are noisy).
+      all_ok = all_ok && checks.ok() && tele_checks.ok() && samples > 0;
       const double speedup = oracle.median_eps > 0.0
                                  ? engine.median_eps / oracle.median_eps
                                  : 0.0;
+      const double overhead_pct =
+          engine.median_eps > 0.0
+              ? (1.0 - tele.median_eps / engine.median_eps) * 100.0
+              : 0.0;
       std::fprintf(
           out,
           "      {\"threads\": %u, \"median_events_per_sec\": %.0f, "
           "\"p90_events_per_sec\": %.0f, \"speedup_vs_serial\": %.2f,\n"
+          "       \"telemetry\": {\"median_events_per_sec\": %.0f, "
+          "\"overhead_pct\": %.2f, \"samples\": %llu, \"replay_match\": "
+          "%s},\n"
           "       \"checks\": {\"metrics\": %s, \"evictions\": %s, "
           "\"used_bytes\": %s, \"reallocations\": %s, \"audit\": %s}}%s\n",
           threads, engine.median_eps, engine.p90_eps, speedup,
+          tele.median_eps, overhead_pct,
+          static_cast<unsigned long long>(samples),
+          tele_checks.ok() && samples > 0 ? "true" : "false",
           checks.metrics ? "true" : "false",
           checks.evictions ? "true" : "false",
           checks.used_bytes ? "true" : "false",
@@ -249,10 +290,11 @@ int Run(bool smoke, const std::string& out_path, int reps) {
           i + 1 < thread_cells.size() ? "," : "");
       std::fprintf(stderr,
                    "%s threads=%u: %.2f Mev/s (oracle %.2f, %.2fx), "
-                   "replay=%s\n",
+                   "telemetry %.2f Mev/s (%+.1f%%), replay=%s\n",
                    managed ? "managed" : "unmanaged", threads,
                    engine.median_eps / 1e6, oracle.median_eps / 1e6,
-                   speedup, checks.ok() ? "ok" : "FAIL");
+                   speedup, tele.median_eps / 1e6, overhead_pct,
+                   checks.ok() && tele_checks.ok() ? "ok" : "FAIL");
     }
     std::fprintf(out, "     ]}%s\n", managed ? "," : "");
   }

@@ -1,0 +1,68 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace opus::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config), epoch_ns_(MonotonicNanos()) {
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+void FlightRecorder::RecordSpan(
+    std::string name, std::uint64_t begin_ns, std::uint64_t end_ns,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  SpanRecord s;
+  s.id = next_id_++;
+  s.parent = 0;
+  s.name = std::move(name);
+  s.begin_tick = begin_ns > epoch_ns_ ? begin_ns - epoch_ns_ : 0;
+  const std::uint64_t end = end_ns > epoch_ns_ ? end_ns - epoch_ns_ : 0;
+  s.end_tick = std::max(end, s.begin_tick);
+  s.attrs = std::move(attrs);
+  if (ring_.size() == config_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(s));
+}
+
+void FlightRecorder::RecordEvent(
+    std::string name, std::vector<std::pair<std::string, std::string>> attrs,
+    std::uint64_t at_ns) {
+  if (at_ns == 0) at_ns = MonotonicNanos();
+  RecordSpan(std::move(name), at_ns, at_ns, std::move(attrs));
+}
+
+std::vector<SpanRecord> FlightRecorder::Snapshot() const {
+  return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+}
+
+std::string FlightRecorder::DumpPerfettoJson(
+    const std::vector<LatencySample>& latency) const {
+  std::vector<SpanRecord> spans = Snapshot();
+  // The latency snapshot rides along as instant spans at the dump moment,
+  // so a Perfetto view shows the quantile state next to the span timeline.
+  const std::uint64_t now = MonotonicNanos();
+  const std::uint64_t tick = now > epoch_ns_ ? now - epoch_ns_ : 0;
+  std::uint64_t id = next_id_;
+  for (const LatencySample& s : latency) {
+    SpanRecord r;
+    r.id = id++;
+    r.name = "flight.latency." + s.name;
+    r.begin_tick = tick;
+    r.end_tick = tick;
+    r.attrs = {{"count", std::to_string(s.count)},
+               {"sum", std::to_string(s.sum)},
+               {"min", std::to_string(s.min)},
+               {"max", std::to_string(s.max)},
+               {"p50", std::to_string(s.p50)},
+               {"p90", std::to_string(s.p90)},
+               {"p99", std::to_string(s.p99)},
+               {"p999", std::to_string(s.p999)}};
+    spans.push_back(std::move(r));
+  }
+  return SpansToPerfettoJson(spans);
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,74 @@
+// Always-on flight recorder for the serving plane: a bounded ring of the
+// most recent runtime spans (requests, probe/drain phases, reallocations,
+// anomalies), timestamped on the monotonic clock and dumpable at any
+// moment as a Perfetto-loadable trace_event file — the runtime sibling of
+// the deterministic SpanTrace, for the daemon where span tracing is off by
+// contract (serve/engine.h).
+//
+// The dump reuses SpanRecord + SpansToPerfettoJson, so it round-trips
+// through the existing ParseSpansPerfettoJson loader and opus_inspect
+// spans. ts/dur are nanoseconds rebased to the recorder's construction
+// time (Perfetto interprets ts as microseconds; the relative timeline is
+// what matters). The latest latency snapshot rides along as zero-duration
+// "flight.latency.<name>" spans carrying the quantiles as args.
+//
+// Threading: single-writer, same as RuntimeTelemetry — the daemon command
+// loop records requests, and the engine records phase spans from that same
+// thread (between parallel phases).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/latency.h"
+#include "obs/span_trace.h"
+
+namespace opus::obs {
+
+struct FlightRecorderConfig {
+  // Retained spans; beyond this the oldest are dropped (and counted).
+  std::size_t capacity = 4096;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  // Records a completed interval. begin/end are MonotonicNanos() readings;
+  // they are rebased to the recorder's epoch (readings before it clamp to
+  // 0, and end < begin records as zero duration).
+  void RecordSpan(std::string name, std::uint64_t begin_ns,
+                  std::uint64_t end_ns,
+                  std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  // Zero-duration marker at `at_ns` (defaults to now).
+  void RecordEvent(std::string name,
+                   std::vector<std::pair<std::string, std::string>> attrs = {},
+                   std::uint64_t at_ns = 0);
+
+  std::uint64_t epoch_ns() const { return epoch_ns_; }
+  std::uint64_t recorded() const { return next_id_ - 1; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t size() const { return ring_.size(); }
+
+  // Retained spans, oldest first (ids are emission-ordered and stable
+  // across drops).
+  std::vector<SpanRecord> Snapshot() const;
+
+  // Perfetto trace_event JSON of the ring plus, when non-empty, one
+  // instant span per latency sample (see file comment).
+  std::string DumpPerfettoJson(
+      const std::vector<LatencySample>& latency = {}) const;
+
+ private:
+  FlightRecorderConfig config_;
+  std::uint64_t epoch_ns_;
+  std::deque<SpanRecord> ring_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace opus::obs

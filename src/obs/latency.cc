@@ -1,0 +1,133 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace opus::obs {
+
+namespace {
+constexpr std::uint64_t kMaxValue =
+    (1ull << LogLinearHistogram::kMaxExp) - 1;
+}  // namespace
+
+std::size_t LogLinearHistogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  value = std::min(value, kMaxValue);
+  // 2^m <= value < 2^(m+1); each octave m >= kSubBits gets kSubCount
+  // buckets addressed by the kSubBits bits below the leading one.
+  const unsigned m = std::bit_width(value) - 1;
+  const unsigned shift = m - kSubBits;
+  return ((static_cast<std::size_t>(m) - kSubBits + 1) << kSubBits) +
+         static_cast<std::size_t>((value >> shift) - kSubCount);
+}
+
+std::uint64_t LogLinearHistogram::BucketLowerBound(std::size_t index) {
+  if (index < kSubCount) return index;
+  const std::size_t octave = index >> kSubBits;  // >= 1
+  const unsigned m = kSubBits + static_cast<unsigned>(octave) - 1;
+  const unsigned shift = m - kSubBits;
+  const std::uint64_t sub = index & (kSubCount - 1);
+  return (kSubCount + sub) << shift;
+}
+
+std::uint64_t LogLinearHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubCount) return index;
+  const std::size_t octave = index >> kSubBits;
+  const unsigned m = kSubBits + static_cast<unsigned>(octave) - 1;
+  const unsigned shift = m - kSubBits;
+  return BucketLowerBound(index) + ((1ull << shift) - 1);
+}
+
+void LogLinearHistogram::Record(std::uint64_t value) {
+  value = std::min(value, kMaxValue);
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogLinearHistogram::Merge(const LogLinearHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LogLinearHistogram::Clear() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+std::uint64_t LogLinearHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  // Nearest-rank: the smallest bucket whose cumulative count reaches rank.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return std::min(BucketUpperBound(i), max());
+  }
+  return max();
+}
+
+LogLinearHistogram& RuntimeTelemetry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+const LogLinearHistogram* RuntimeTelemetry::Find(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<LatencySample> RuntimeTelemetry::Snapshot() const {
+  std::vector<LatencySample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    LatencySample s;
+    s.name = name;
+    s.count = hist.count();
+    s.sum = hist.sum();
+    s.min = hist.min();
+    s.max = hist.max();
+    s.p50 = hist.ValueAtQuantile(0.50);
+    s.p90 = hist.ValueAtQuantile(0.90);
+    s.p99 = hist.ValueAtQuantile(0.99);
+    s.p999 = hist.ValueAtQuantile(0.999);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string RuntimeTelemetry::SamplesToJson(
+    const std::vector<LatencySample>& samples) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const LatencySample& s = samples[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":\"" << JsonEscape(s.name) << "\",\"count\":" << s.count
+        << ",\"sum\":" << s.sum << ",\"min\":" << s.min
+        << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+        << ",\"p90\":" << s.p90 << ",\"p99\":" << s.p99
+        << ",\"p999\":" << s.p999 << '}';
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace opus::obs

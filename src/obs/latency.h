@@ -1,0 +1,129 @@
+// Runtime latency telemetry — the *wall-clock* counterpart of the
+// deterministic metrics registry. Everything in this header measures real
+// time on a live serving plane (request latencies, lock waits, drain
+// durations) and is therefore nondeterministic by definition; it lives in
+// its own registry (RuntimeTelemetry) and never touches MetricsRegistry
+// snapshots, so every byte-identity replay gate in the repo is unaffected.
+//
+// LogLinearHistogram is a mergeable HDR-style histogram: values are
+// bucketed log-linearly (kSubCount linear sub-buckets per power of two),
+// giving a fixed ~3% relative quantile error over the whole 0..2^kMaxExp
+// range with a flat 9.5 KB count array — no allocation on Record, O(1)
+// bucket math (one bit-scan), and Merge is element-wise addition, so
+// per-thread recorders can be drained into a central histogram at batch
+// boundaries exactly the way the serving engine already drains access
+// stats (serve/engine.h).
+//
+// Threading contract (same shape as MetricsRegistry): a histogram is
+// single-writer. Concurrent recorders each own a private histogram and a
+// single thread merges them at a quiescent point (the engine's drain step,
+// which runs after the probe-phase join). RuntimeTelemetry itself is
+// single-writer/single-reader: the daemon's command loop owns it.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opus::obs {
+
+// Nanoseconds on the process-wide monotonic clock. The only clock runtime
+// telemetry uses; deterministic exports must never read it.
+inline std::uint64_t MonotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class LogLinearHistogram {
+ public:
+  // 2^kSubBits linear sub-buckets per power of two => relative bucket
+  // width <= 1/kSubCount (~3.1%).
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  // Values clamp at 2^kMaxExp - 1 (~18 minutes when recording nanoseconds).
+  static constexpr unsigned kMaxExp = 40;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExp - kSubBits + 1) * kSubCount;
+
+  // Records one value (clamped into the representable range). The sum
+  // accumulates the clamped value so count/sum/quantiles stay mutually
+  // consistent.
+  void Record(std::uint64_t value);
+
+  // Element-wise addition of counts; min/max/sum fold in. The other
+  // histogram is unchanged.
+  void Merge(const LogLinearHistogram& other);
+
+  void Clear();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  // Exact extrema of the recorded (clamped) values; 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  // Upper bound of the bucket holding the nearest-rank q-quantile, i.e. an
+  // estimate within one bucket width (<= 1/kSubCount relative) above the
+  // true value. q <= 0 returns min(), q >= 1 returns max(); 0 when empty.
+  std::uint64_t ValueAtQuantile(double q) const;
+
+  // Bucket mapping, exposed for the property tests: every value lands in
+  // the bucket whose [BucketLowerBound, BucketUpperBound] range contains
+  // it, and indices are monotone in the value.
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketLowerBound(std::size_t index);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+// Value-type snapshot of one named histogram: count/sum/extrema plus the
+// standard quantile ladder, precomputed so exporters and JSON lines never
+// touch the live histogram.
+struct LatencySample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+};
+
+// Named-histogram registry for runtime telemetry, deliberately separate
+// from MetricsRegistry: nothing recorded here can leak into deterministic
+// snapshots. Names follow the metric convention (dot-separated tokens,
+// unit suffix in the name: "serve.drain.ns", "serve.batch.events").
+class RuntimeTelemetry {
+ public:
+  // Idempotent: re-requesting a name returns the same histogram.
+  LogLinearHistogram& histogram(const std::string& name);
+
+  // nullptr when the name was never created.
+  const LogLinearHistogram* Find(const std::string& name) const;
+
+  // One sample per histogram, sorted by name. Empty histograms are
+  // included (count 0) so a scrape always shows the full instrument set.
+  std::vector<LatencySample> Snapshot() const;
+
+  // JSON array [{"name":...,"count":...,"p50":...},...] — the "latency"
+  // field of the daemon's --stats-out JSON lines.
+  static std::string SamplesToJson(const std::vector<LatencySample>& samples);
+
+ private:
+  std::map<std::string, LogLinearHistogram> histograms_;
+};
+
+}  // namespace opus::obs

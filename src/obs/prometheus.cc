@@ -1,0 +1,76 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace opus::obs {
+namespace {
+
+// Prometheus renders non-finite values as +Inf/-Inf/NaN (FormatDouble's
+// "inf"/"nan" spellings are not valid exposition-format floats).
+std::string PromDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return FormatDouble(v);
+}
+
+void EmitHeader(std::ostringstream& out, const std::string& family,
+                const char* kind, const std::string& source) {
+  out << "# HELP " << family << " OpuS " << kind << ' ' << source << '\n';
+  out << "# TYPE " << family << ' ' << kind << '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "opus_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
+                                const std::vector<LatencySample>& latency) {
+  std::ostringstream out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string family = PrometheusName(c.name);
+    EmitHeader(out, family, "counter", c.name);
+    out << family << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string family = PrometheusName(g.name);
+    EmitHeader(out, family, "gauge", g.name);
+    out << family << ' ' << PromDouble(g.value) << '\n';
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string family = PrometheusName(h.name);
+    EmitHeader(out, family, "histogram", h.name);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.counts.size() ? h.counts[b] : 0;
+      out << family << "_bucket{le=\"" << PromDouble(h.bounds[b]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << family << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << family << "_sum " << PromDouble(h.sum) << '\n';
+    out << family << "_count " << h.count << '\n';
+  }
+  for (const LatencySample& s : latency) {
+    const std::string family = PrometheusName(s.name);
+    EmitHeader(out, family, "summary", s.name);
+    out << family << "{quantile=\"0.5\"} " << s.p50 << '\n';
+    out << family << "{quantile=\"0.9\"} " << s.p90 << '\n';
+    out << family << "{quantile=\"0.99\"} " << s.p99 << '\n';
+    out << family << "{quantile=\"0.999\"} " << s.p999 << '\n';
+    out << family << "_sum " << s.sum << '\n';
+    out << family << "_count " << s.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,34 @@
+// Prometheus text exposition (format 0.0.4) for live scraping of a serving
+// daemon: renders a deterministic MetricsSnapshot (counters/gauges/
+// histograms, volatile metrics included by the caller's choice of
+// snapshot) plus the RuntimeTelemetry latency samples as summaries with
+// precomputed quantiles.
+//
+// Every exported family gets exactly one # HELP and one # TYPE line, in
+// sorted-name order, and series names are sanitized to the Prometheus
+// charset ([a-zA-Z0-9_]) under an "opus_" prefix — the CI smoke lints the
+// scraped output against exactly these rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/latency.h"
+#include "obs/metrics.h"
+
+namespace opus::obs {
+
+// "cluster.worker.3.mem_hits" -> "opus_cluster_worker_3_mem_hits".
+// Dots and dashes (the only non-Prometheus characters the metric-name
+// validator admits) map to underscores.
+std::string PrometheusName(const std::string& name);
+
+// Renders the snapshot and, when non-empty, the latency samples (as
+// summary families: {quantile="0.5"|"0.9"|"0.99"|"0.999"}, _sum, _count).
+// Fixed-bucket histograms become classic histogram families with
+// cumulative le buckets and a trailing le="+Inf".
+std::string MetricsToPrometheus(
+    const MetricsSnapshot& snapshot,
+    const std::vector<LatencySample>& latency = {});
+
+}  // namespace opus::obs

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/policy_factory.h"
+#include "obs/prometheus.h"
 #include "serve/protocol.h"
 #include "workload/trace.h"
 
@@ -28,10 +29,26 @@ std::vector<std::string> Tokenize(const std::string& s) {
 
 std::string Err(const std::string& reason) { return "err " + reason; }
 
+// Collapses a pretty-printed JSON document onto one line so it can be a
+// JSONL record. Safe for metric exports: no string in them contains a
+// newline, so stripping '\n' + following indent never touches data.
+std::string CompactJson(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '\n') {
+      while (i + 1 < json.size() && json[i + 1] == ' ') ++i;
+      continue;
+    }
+    out.push_back(json[i]);
+  }
+  return out;
+}
+
 constexpr char kHelp[] =
     "ok\n"
-    "ping | help | status | metrics [text|json|csv] | audit\n"
-    "serve USER FILE | gen N SEED\n"
+    "ping | help | status | metrics [text|json|csv|prom] | audit\n"
+    "dump [PATH] | serve USER FILE | gen N SEED\n"
     "reconfig policy NAME | reconfig capacity UNITS\n"
     "adduser [NAME] | dropuser ID | shutdown";
 
@@ -44,7 +61,8 @@ cache::ClusterConfig ForceTracingOff(cache::ClusterConfig config) {
 
 Daemon::Daemon(DaemonConfig config, cache::Catalog catalog)
     : config_(std::move(config)),
-      cluster_(ForceTracingOff(config_.cluster), std::move(catalog)) {
+      cluster_(ForceTracingOff(config_.cluster), std::move(catalog)),
+      recorder_(obs::FlightRecorderConfig{config_.flight_capacity}) {
   allocators_.push_back(MakeAllocatorByName(config_.policy,
                                             config_.tax_threads,
                                             &config_.opus_tuning));
@@ -57,11 +75,35 @@ Daemon::Daemon(DaemonConfig config, cache::Catalog catalog)
     master_->RegisterClient("user" + std::to_string(u));
   }
   user_active_.assign(users, true);
+  config_.engine.telemetry = &telemetry_;
+  config_.engine.recorder = &recorder_;
   engine_ = std::make_unique<ServingEngine>(&cluster_, master_.get(),
                                             config_.engine);
+  daemon_request_ns_ = &telemetry_.histogram("daemon.request.ns");
+  start_ns_ = obs::MonotonicNanos();
+  last_stats_ns_ = start_ns_;
+  if (!config_.stats_path.empty()) {
+    stats_out_.open(config_.stats_path, std::ios::trunc);
+    stats_prev_ = cluster_.metrics().Snapshot(/*include_volatile=*/true);
+  }
 }
 
 std::string Daemon::HandleRequest(const std::string& request) {
+  const std::uint64_t begin = obs::MonotonicNanos();
+  std::string reply = HandleRequestInner(request);
+  const std::uint64_t end = obs::MonotonicNanos();
+  daemon_request_ns_->Record(end - begin);
+  std::istringstream head(request);
+  std::string cmd;
+  head >> cmd;
+  recorder_.RecordSpan("daemon.request", begin, end,
+                       {{"cmd", cmd},
+                        {"ok", reply.rfind("err", 0) == 0 ? "0" : "1"}});
+  CheckAnomalies();
+  return reply;
+}
+
+std::string Daemon::HandleRequestInner(const std::string& request) {
   const std::vector<std::string> tokens = Tokenize(request);
   if (tokens.empty()) return Err("empty command");
   const std::string& cmd = tokens[0];
@@ -71,6 +113,7 @@ std::string Daemon::HandleRequest(const std::string& request) {
   if (cmd == "status") return HandleStatus();
   if (cmd == "metrics") return HandleMetrics(args);
   if (cmd == "audit") return "ok\n" + master_->audit_report().ToJson();
+  if (cmd == "dump") return HandleDump(args);
   if (cmd == "serve") return HandleServe(args);
   if (cmd == "gen") return HandleGen(args);
   if (cmd == "reconfig") return HandleReconfig(args);
@@ -86,6 +129,17 @@ std::string Daemon::HandleRequest(const std::string& request) {
 std::string Daemon::HandleStatus() const {
   std::size_t active = 0;
   for (const bool a : user_active_) active += a ? 1 : 0;
+  // The solver reuse counters live in the deterministic registry; status
+  // surfaces them by scanning a snapshot (counter() would lazily create,
+  // and this method is const).
+  const obs::MetricsSnapshot snap = cluster_.metrics().Snapshot();
+  const auto counter_of = [&snap](const std::string& name) -> std::uint64_t {
+    for (const obs::CounterSample& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  const obs::AuditReport& audit = master_->audit_report();
   std::ostringstream out;
   out << "ok\n"
       << "policy=" << master_->policy_name() << '\n'
@@ -97,7 +151,22 @@ std::string Daemon::HandleStatus() const {
       << "capacity_units=" << master_->capacity_units() << '\n'
       << "used_bytes=" << cluster_.UsedBytes() << '\n'
       << "events_served=" << events_served_ << '\n'
-      << "reallocations=" << master_->reallocations();
+      << "reallocations=" << master_->reallocations() << '\n'
+      << "solver_solves=" << counter_of("master.solver.solves") << '\n'
+      << "solver_warm_starts=" << counter_of("master.solver.warm_starts")
+      << '\n'
+      << "solver_delta_windows=" << counter_of("master.solver.delta_windows")
+      << '\n'
+      << "solver_delta_resolved="
+      << counter_of("master.solver.delta_resolved") << '\n'
+      << "solver_delta_reused=" << counter_of("master.solver.delta_reused")
+      << '\n'
+      << "solver_delta_fallbacks="
+      << counter_of("master.solver.delta_fallbacks") << '\n'
+      << "audit_windows=" << audit.windows.size() << '\n'
+      << "audit_violations=" << audit.total_violations << '\n'
+      << "audit_clean=" << (audit.total_violations == 0 ? 1 : 0) << '\n'
+      << "flight_trips=" << flight_trips_;
   return out.str();
 }
 
@@ -111,12 +180,30 @@ std::string Daemon::HandleMetrics(
       format = obs::ExportFormat::kJson;
     } else if (args[0] == "csv") {
       format = obs::ExportFormat::kCsv;
+    } else if (args[0] == "prom") {
+      // The live-scrape format: full snapshot (volatile included — a scrape
+      // wants wall times) plus the runtime latency summaries. Deterministic
+      // exports keep using text/json/csv of the non-volatile snapshot.
+      return "ok\n" + obs::MetricsToPrometheus(
+                          cluster_.metrics().Snapshot(
+                              /*include_volatile=*/true),
+                          telemetry_.Snapshot());
     } else {
       return Err("unknown metrics format '" + args[0] +
-                 "' (text|json|csv)");
+                 "' (text|json|csv|prom)");
     }
   }
   return "ok\n" + cluster_.metrics().Snapshot().Export(format);
+}
+
+std::string Daemon::HandleDump(const std::vector<std::string>& args) {
+  if (args.size() > 1) return Err("usage: dump [PATH]");
+  const std::string& path = args.empty() ? config_.flight_path : args[0];
+  std::size_t spans = 0;
+  if (!WriteFlightDump(path, &spans)) {
+    return Err("cannot write flight dump to '" + path + "'");
+  }
+  return "ok dumped=" + path + " spans=" + std::to_string(spans);
 }
 
 std::string Daemon::HandleServe(const std::vector<std::string>& args) {
@@ -246,6 +333,75 @@ std::string Daemon::HandleDropUser(const std::vector<std::string>& args) {
   return "ok dropped=" + args[0];
 }
 
+bool Daemon::WriteFlightDump(const std::string& path,
+                             std::size_t* spans) const {
+  const std::vector<obs::LatencySample> latency = telemetry_.Snapshot();
+  if (spans != nullptr) *spans = recorder_.size() + latency.size();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << recorder_.DumpPerfettoJson(latency) << '\n';
+  return out.good();
+}
+
+void Daemon::CheckAnomalies() {
+  std::string reason;
+  const obs::AuditReport& audit = master_->audit_report();
+  if (audit.total_violations > last_audit_violations_) {
+    reason = "audit_violation";
+  }
+  last_audit_violations_ = audit.total_violations;
+  std::uint64_t pins = 0;
+  const obs::MetricsSnapshot snap = cluster_.metrics().Snapshot();
+  for (const obs::CounterSample& c : snap.counters) {
+    if (c.name.size() > 13 &&
+        c.name.compare(c.name.size() - 13, 13, ".pin_failures") == 0) {
+      pins += c.value;
+    }
+  }
+  if (reason.empty() && pins > last_pin_failures_) reason = "pin_failure";
+  last_pin_failures_ = pins;
+  if (reason.empty() && config_.p99_threshold_ms > 0.0 && !p99_tripped_) {
+    const double limit_ns = config_.p99_threshold_ms * 1e6;
+    for (const char* name :
+         {"serve.read.managed_ns", "serve.read.unmanaged_ns"}) {
+      const obs::LogLinearHistogram* h = telemetry_.Find(name);
+      if (h != nullptr && h->count() > 0 &&
+          static_cast<double>(h->ValueAtQuantile(0.99)) > limit_ns) {
+        reason = "p99_threshold";
+        p99_tripped_ = true;  // latency stays high; trip once, not per request
+        break;
+      }
+    }
+  }
+  if (reason.empty()) return;
+  ++flight_trips_;
+  // Record the anomaly marker first so the dump itself contains it.
+  recorder_.RecordEvent("daemon.anomaly",
+                        {{"reason", reason},
+                         {"trip", std::to_string(flight_trips_)}});
+  WriteFlightDump(config_.flight_path, nullptr);
+}
+
+void Daemon::StatsTick() {
+  if (!stats_out_.is_open()) return;
+  const std::uint64_t now = obs::MonotonicNanos();
+  if (now - last_stats_ns_ < config_.stats_interval_ms * 1000000ull) return;
+  last_stats_ns_ = now;
+  obs::MetricsSnapshot cur =
+      cluster_.metrics().Snapshot(/*include_volatile=*/true);
+  const obs::MetricsSnapshot delta = obs::DiffSnapshots(stats_prev_, cur);
+  stats_prev_ = std::move(cur);
+  stats_out_ << "{\"seq\":" << stats_seq_++
+             << ",\"uptime_ms\":" << (now - start_ns_) / 1000000ull
+             << ",\"events_served\":" << events_served_
+             << ",\"reallocations\":" << master_->reallocations()
+             << ",\"metrics\":" << CompactJson(delta.ToJson())
+             << ",\"latency\":"
+             << obs::RuntimeTelemetry::SamplesToJson(telemetry_.Snapshot())
+             << "}\n";
+  stats_out_.flush();
+}
+
 int Daemon::Run() {
   const int listen_fd = ListenUnix(config_.socket_path);
   if (listen_fd < 0) return 1;
@@ -259,6 +415,7 @@ int Daemon::Run() {
       if (errno == EINTR) continue;
       break;
     }
+    StatsTick();  // interval resolution = this poll tick
     if (ready == 0) continue;
     std::vector<int> still;
     for (std::size_t i = 1; i < fds.size(); ++i) {

@@ -9,9 +9,16 @@
 //
 //   ping                      -> "ok pong"
 //   help                      -> "ok\n<command list>"
-//   status                    -> "ok\n<key=value lines>"
-//   metrics [text|json|csv]   -> "ok\n<metric snapshot>" (default text)
+//   status                    -> "ok\n<key=value lines>" (incl. the
+//                                master.solver.* reuse counters, the audit
+//                                verdict, and flight-recorder trips)
+//   metrics [text|json|csv|prom] -> "ok\n<metric snapshot>" (default text;
+//                                prom = Prometheus exposition of the full
+//                                snapshot incl. volatile metrics + runtime
+//                                latency summaries)
 //   audit                     -> "ok\n<fairness AuditReport JSON>"
+//   dump [PATH]               -> write the flight recorder (+ latest
+//                                latency snapshot) as Perfetto JSON
 //   serve USER FILE           -> serve one read through the engine
 //   gen N SEED                -> generate + serve N synthetic accesses
 //                                across the active users
@@ -29,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +44,9 @@
 #include "cache/cluster.h"
 #include "core/allocator.h"
 #include "core/policy_factory.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "sim/opus_master.h"
 
@@ -51,6 +62,24 @@ struct DaemonConfig {
   // OpuS delta/aggregation tuning, applied to the initial allocator and to
   // every later `reconfig policy opus` swap.
   OpusPolicyTuning opus_tuning;
+
+  // --- runtime telemetry (always on; see DESIGN.md "Runtime telemetry") --
+  //
+  // Periodic time-series appender: every stats_interval_ms (resolution =
+  // the poll-loop tick, ~100ms) one JSON line with the windowed metric
+  // delta since the previous line (DiffSnapshots, volatile included) plus
+  // the latency quantile snapshot. Empty path = off.
+  std::string stats_path;
+  std::uint64_t stats_interval_ms = 1000;
+  // Flight recorder: dump target for the `dump` command and for automatic
+  // anomaly dumps, and the ring capacity.
+  std::string flight_path = "opus_flight.json";
+  std::size_t flight_capacity = 4096;
+  // Anomaly trigger: a sampled read-latency p99 (managed or unmanaged)
+  // above this many milliseconds trips an automatic flight dump (once).
+  // 0 disarms the p99 trigger; audit-violation and pin-failure triggers
+  // are always armed.
+  double p99_threshold_ms = 0.0;
 };
 
 class Daemon {
@@ -78,8 +107,16 @@ class Daemon {
   cache::CacheCluster& cluster() { return cluster_; }
   sim::OpusMaster& master() { return *master_; }
   ServingEngine& engine() { return *engine_; }
+  obs::RuntimeTelemetry& telemetry() { return telemetry_; }
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  std::uint64_t flight_trips() const { return flight_trips_; }
+
+  // Emits one --stats-out JSON line if the interval elapsed (Run calls it
+  // every poll tick; exposed so tests can drive it without a socket).
+  void StatsTick();
 
  private:
+  std::string HandleRequestInner(const std::string& request);
   std::string HandleStatus() const;
   std::string HandleMetrics(const std::vector<std::string>& args) const;
   std::string HandleServe(const std::vector<std::string>& args);
@@ -87,6 +124,11 @@ class Daemon {
   std::string HandleReconfig(const std::vector<std::string>& args);
   std::string HandleAddUser(const std::vector<std::string>& args);
   std::string HandleDropUser(const std::vector<std::string>& args);
+  std::string HandleDump(const std::vector<std::string>& args);
+  // Anomaly triggers (audit violation / pin failure / p99 threshold): trip
+  // -> automatic flight dump to config_.flight_path + a flight event.
+  void CheckAnomalies();
+  bool WriteFlightDump(const std::string& path, std::size_t* spans) const;
 
   DaemonConfig config_;
   cache::CacheCluster cluster_;
@@ -100,6 +142,22 @@ class Daemon {
   std::uint64_t events_served_ = 0;
   bool shutdown_ = false;
   std::atomic<bool> stop_{false};
+
+  // --- runtime telemetry (never touches cluster_.metrics()) ---
+  obs::RuntimeTelemetry telemetry_;
+  obs::FlightRecorder recorder_;
+  obs::LogLinearHistogram* daemon_request_ns_ = nullptr;
+  // Anomaly-trigger state: deltas trip on growth, the p99 gate trips once.
+  std::uint64_t flight_trips_ = 0;
+  std::uint64_t last_audit_violations_ = 0;
+  std::uint64_t last_pin_failures_ = 0;
+  bool p99_tripped_ = false;
+  // --stats-out appender state (one window = one JSON line).
+  std::ofstream stats_out_;
+  obs::MetricsSnapshot stats_prev_;
+  std::uint64_t stats_seq_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t last_stats_ns_ = 0;
 };
 
 }  // namespace opus::serve

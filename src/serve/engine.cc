@@ -7,12 +7,20 @@
 
 namespace opus::serve {
 
+namespace {
+// Per-user latency histograms are ~9.5 KB each; beyond this many users the
+// per-user breakdown is skipped and only the aggregate histograms record.
+constexpr std::uint32_t kMaxPerUserHistograms = 256;
+}  // namespace
+
 ServingEngine::ServingEngine(cache::CacheCluster* cluster,
                              sim::OpusMaster* master, EngineConfig config)
     : cluster_(cluster), master_(master),
       threads_(std::max(1u, std::min(config.threads,
                                      static_cast<unsigned>(
                                          cluster->num_workers())))),
+      telemetry_(config.telemetry), recorder_(config.recorder),
+      sample_every_(std::max<std::uint64_t>(1, config.telemetry_sample_every)),
       sharded_(cluster->num_workers()) {
   OPUS_CHECK(cluster_ != nullptr);
   // Span sampling keys off global emission order, which the concurrent
@@ -36,6 +44,36 @@ ServingEngine::ServingEngine(cache::CacheCluster* cluster,
   }
   partials_.resize(threads_);
   worker_deltas_.assign(workers, WorkerDelta{});
+
+  if (telemetry_ != nullptr) {
+    read_managed_ns_ = &telemetry_->histogram("serve.read.managed_ns");
+    read_unmanaged_ns_ = &telemetry_->histogram("serve.read.unmanaged_ns");
+    drain_wall_ns_ = &telemetry_->histogram("serve.drain.wall_ns");
+    realloc_wall_ns_ = &telemetry_->histogram("serve.realloc.wall_ns");
+    batch_events_ = &telemetry_->histogram("serve.batch.events");
+    lock_wait_ns_ = &telemetry_->histogram("serve.shard.lock_wait_ns");
+    lock_hold_ns_ = &telemetry_->histogram("serve.shard.lock_hold_ns");
+    const std::uint32_t users = cluster_->config().num_users;
+    if (users <= kMaxPerUserHistograms) {
+      user_read_ns_.reserve(users);
+      for (std::uint32_t u = 0; u < users; ++u) {
+        user_read_ns_.push_back(&telemetry_->histogram(
+            "serve.user." + std::to_string(u) + ".read_ns"));
+      }
+    }
+    thread_recorders_.resize(threads_);
+  }
+}
+
+std::vector<obs::LatencySample> ServingEngine::TelemetrySnapshot() const {
+  if (telemetry_ == nullptr) return {};
+  return telemetry_->Snapshot();
+}
+
+void ServingEngine::RecordReadLatency(cache::UserId user, bool managed,
+                                      std::uint64_t nanos) {
+  (managed ? read_managed_ns_ : read_unmanaged_ns_)->Record(nanos);
+  if (user < user_read_ns_.size()) user_read_ns_[user]->Record(nanos);
 }
 
 void ServingEngine::ProbeChunk(
@@ -58,12 +96,20 @@ void ServingEngine::ProbeChunk(
   // Thread t owns workers {w : w mod threads_ == t}; any pool thread may
   // claim any role index, but each role touches a disjoint shard set and
   // writes only its own slab, so scheduling cannot affect the result.
+  const bool telemetry = telemetry_ != nullptr;
+  const std::uint64_t sample_every = sample_every_;
   const auto body = [&](std::size_t t) {
     std::vector<EventPartial>& slab = partials_[t];
+    ThreadRecorder* rec = telemetry ? &thread_recorders_[t] : nullptr;
     for (std::size_t k = begin; k < end; ++k) {
       const workload::AccessEvent& ev = events[k];
       const cache::FileInfo& info = catalog.Get(ev.file);
       EventPartial& partial = slab[k - begin];
+      // Sampling keys off the event index, so every thread times the same
+      // events and the drain can sum the per-thread partial durations into
+      // one per-request figure.
+      const bool sampled = telemetry && (k % sample_every) == 0;
+      const std::uint64_t probe_start = sampled ? obs::MonotonicNanos() : 0;
       const auto& by_worker = file_worker_blocks_[ev.file];
       for (std::size_t w = t; w < workers; w += threads_) {
         const std::vector<std::uint32_t>& blocks = by_worker[w];
@@ -99,8 +145,13 @@ void ServingEngine::ProbeChunk(
           }
         } else {
           // Cache-on-read mutates the shard (inserts + evictions): batch
-          // the event's ops for this shard under its mutex.
-          const auto lock = sharded_.Lock(w);
+          // the event's ops for this shard under its mutex. Sampled events
+          // also time the acquisition (contention) and the held section.
+          const std::uint64_t lock_start =
+              sampled ? obs::MonotonicNanos() : 0;
+          auto lock = sharded_.Lock(w);
+          const std::uint64_t lock_held =
+              sampled ? obs::MonotonicNanos() : 0;
           cache::BlockStore& store = sharded_.shard(w);
           for (std::uint32_t idx : blocks) {
             const cache::BlockId block = cache::MakeBlockId(ev.file, idx);
@@ -116,8 +167,15 @@ void ServingEngine::ProbeChunk(
               store.Insert(block, bytes);
             }
           }
+          if (sampled) {
+            lock.unlock();
+            const std::uint64_t released = obs::MonotonicNanos();
+            rec->lock_wait.Record(lock_held - lock_start);
+            rec->lock_hold.Record(released - lock_held);
+          }
         }
       }
+      if (sampled) partial.nanos = obs::MonotonicNanos() - probe_start;
     }
   };
   if (threads_ == 1) {
@@ -130,6 +188,9 @@ void ServingEngine::ProbeChunk(
 void ServingEngine::DrainChunk(
     const std::vector<workload::AccessEvent>& events, std::size_t begin,
     std::size_t end, ServeStats* stats) {
+  const bool telemetry = telemetry_ != nullptr;
+  const std::uint64_t drain_start = telemetry ? obs::MonotonicNanos() : 0;
+  const bool managed = cluster_->managed();
   for (std::size_t k = begin; k < end; ++k) {
     const workload::AccessEvent& ev = events[k];
     // Mirrors the serial loop's order: learning update first, then the
@@ -148,6 +209,13 @@ void ServingEngine::DrainChunk(
     stats->bytes_from_disk += r.bytes_from_disk;
     stats->effective_hit_sum += r.effective_hit;
     stats->latency_sum_sec += r.latency_sec;
+    if (telemetry && (k % sample_every_) == 0) {
+      // Per-request probe time: the event's shard visits ran on different
+      // threads, so the honest per-request scalar is the summed work.
+      std::uint64_t nanos = 0;
+      for (const auto& slab : partials_) nanos += slab[k - begin].nanos;
+      RecordReadLatency(ev.user, managed, nanos);
+    }
   }
   for (std::size_t w = 0; w < worker_deltas_.size(); ++w) {
     WorkerDelta& d = worker_deltas_[w];
@@ -157,17 +225,53 @@ void ServingEngine::DrainChunk(
     }
     d = WorkerDelta{};
   }
+  if (telemetry) {
+    for (ThreadRecorder& rec : thread_recorders_) {
+      lock_wait_ns_->Merge(rec.lock_wait);
+      lock_hold_ns_->Merge(rec.lock_hold);
+      rec.lock_wait.Clear();
+      rec.lock_hold.Clear();
+    }
+    batch_events_->Record(end - begin);
+    const std::uint64_t drain_end = obs::MonotonicNanos();
+    drain_wall_ns_->Record(drain_end - drain_start);
+    if (recorder_ != nullptr) {
+      recorder_->RecordSpan("serve.drain", drain_start, drain_end,
+                            {{"events", std::to_string(end - begin)},
+                             {"mode", managed ? "managed" : "unmanaged"}});
+    }
+  }
 }
 
 void ServingEngine::ServeSerial(const workload::AccessEvent& event,
                                 ServeStats* stats) {
+  const bool telemetry = telemetry_ != nullptr;
   const std::size_t before =
       master_ != nullptr ? master_->reallocations() : 0;
-  if (master_ != nullptr) master_->OnAccess(event);
   if (master_ != nullptr) {
-    stats->reallocations += master_->reallocations() - before;
+    const std::uint64_t t0 = telemetry ? obs::MonotonicNanos() : 0;
+    master_->OnAccess(event);
+    const std::size_t fired = master_->reallocations() - before;
+    stats->reallocations += fired;
+    if (telemetry && fired > 0) {
+      // This OnAccess ran the whole control-plane update: the solve plus
+      // the cluster ApplyAllocation / access-model push.
+      const std::uint64_t t1 = obs::MonotonicNanos();
+      realloc_wall_ns_->Record(t1 - t0);
+      if (recorder_ != nullptr) {
+        recorder_->RecordSpan("serve.realloc", t0, t1,
+                              {{"reallocations", std::to_string(fired)}});
+      }
+    }
   }
+  const bool sampled = telemetry && (serial_tick_++ % sample_every_) == 0;
+  const std::uint64_t read_start = sampled ? obs::MonotonicNanos() : 0;
+  const bool managed = cluster_->managed();
   const cache::ReadResult r = cluster_->Read(event.user, event.file);
+  if (sampled) {
+    RecordReadLatency(event.user, managed,
+                      obs::MonotonicNanos() - read_start);
+  }
   ++stats->events;
   stats->bytes_from_memory += r.bytes_from_memory;
   stats->bytes_from_disk += r.bytes_from_disk;

@@ -40,12 +40,21 @@
 // equivalence bar: root-span sampling depends on global emission order, so
 // the engine requires span tracing disabled (span_sample_every = 0) and
 // the oracle run must match. Everything else is logical-clock based.
+// Runtime telemetry (PR 8) is the one deliberately wall-clock feature:
+// when EngineConfig::telemetry is set, probe threads time a deterministic
+// sample of events (event-index based, so every thread and every rerun
+// picks the same events) into per-thread recorders, and the single-threaded
+// drain merges them into the central RuntimeTelemetry — the same MPSC-at-
+// the-boundary shape as the access stats. Nothing recorded there touches
+// the MetricsRegistry, so the byte-identity contract above is unaffected.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "cache/cluster.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency.h"
 #include "serve/sharded_store.h"
 #include "sim/opus_master.h"
 #include "workload/trace.h"
@@ -56,6 +65,15 @@ struct EngineConfig {
   // Probe-phase shard threads (clamped to the worker count; 1 = serial
   // phases, still drained through the same batched path).
   unsigned threads = 1;
+  // Runtime telemetry sink (null = off). Must outlive the engine; written
+  // only from the drain/serial path (single-threaded).
+  obs::RuntimeTelemetry* telemetry = nullptr;
+  // Optional flight recorder for phase/drain/realloc spans.
+  obs::FlightRecorder* recorder = nullptr;
+  // Time every Nth event (per Serve call, by event index). Sampling keeps
+  // the clock reads off the common path: the overhead budget is <2% and a
+  // steady_clock read costs ~25ns against ~1us/event.
+  std::uint64_t telemetry_sample_every = 16;
 };
 
 struct ServeStats {
@@ -82,16 +100,27 @@ class ServingEngine {
 
   unsigned threads() const { return threads_; }
 
+  // Live latency quantiles (empty vector when telemetry is off).
+  std::vector<obs::LatencySample> TelemetrySnapshot() const;
+
  private:
   struct EventPartial {
     std::uint64_t mem = 0;
     std::uint64_t disk = 0;
+    std::uint64_t nanos = 0;  // sampled per-event probe time (telemetry)
   };
   struct WorkerDelta {
     std::uint64_t hits = 0;
     std::uint64_t hit_bytes = 0;
     std::uint64_t misses = 0;
     std::uint64_t miss_bytes = 0;
+  };
+  // Per-probe-thread recorder slab: single writer during a phase, merged
+  // into the central telemetry by the (single-threaded) drain, then
+  // cleared — the recorders' quiescent point is the thread-pool join.
+  struct ThreadRecorder {
+    obs::LogLinearHistogram lock_wait;
+    obs::LogLinearHistogram lock_hold;
   };
 
   // Probes events [begin, end) across threads_ shard-affine threads,
@@ -106,9 +135,30 @@ class ServingEngine {
   // The serial oracle path for a single event (used at realloc boundaries).
   void ServeSerial(const workload::AccessEvent& event, ServeStats* stats);
 
+  // Records one sampled per-request probe time (summed across the event's
+  // shard visits) into the mode + per-user histograms.
+  void RecordReadLatency(cache::UserId user, bool managed,
+                         std::uint64_t nanos);
+
   cache::CacheCluster* cluster_;
   sim::OpusMaster* master_;
   unsigned threads_;
+  obs::RuntimeTelemetry* telemetry_;  // null = runtime telemetry off
+  obs::FlightRecorder* recorder_;
+  std::uint64_t sample_every_;
+  std::uint64_t serial_tick_ = 0;  // sampling counter for ServeSerial
+  // Pre-resolved central histograms (valid iff telemetry_ != nullptr).
+  obs::LogLinearHistogram* read_managed_ns_ = nullptr;
+  obs::LogLinearHistogram* read_unmanaged_ns_ = nullptr;
+  obs::LogLinearHistogram* drain_wall_ns_ = nullptr;
+  obs::LogLinearHistogram* realloc_wall_ns_ = nullptr;
+  obs::LogLinearHistogram* batch_events_ = nullptr;
+  obs::LogLinearHistogram* lock_wait_ns_ = nullptr;
+  obs::LogLinearHistogram* lock_hold_ns_ = nullptr;
+  // Per-user read histograms, index = UserId (empty when the user count
+  // exceeds kMaxPerUserHistograms — cardinality must stay bounded).
+  std::vector<obs::LogLinearHistogram*> user_read_ns_;
+  std::vector<ThreadRecorder> thread_recorders_;  // [thread]; per phase
   ShardedStore sharded_;
   // Per-(file, worker) block indices, precomputed so a probe thread walks
   // exactly its shards' blocks instead of filtering the whole file.

@@ -1,0 +1,123 @@
+// FlightRecorder — ring bounds/drop accounting, epoch rebasing, and the
+// Perfetto round-trip through the existing span loader (the property the
+// daemon's `dump` command and opus_inspect rely on).
+#include "obs/flight_recorder.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/latency.h"
+#include "obs/span_trace.h"
+
+namespace opus::obs {
+namespace {
+
+TEST(FlightRecorderTest, RecordsSpansWithRebasedTicks) {
+  FlightRecorder rec;
+  const std::uint64_t t0 = MonotonicNanos();
+  rec.RecordSpan("phase", t0, t0 + 1000, {{"k", "v"}});
+  const std::vector<SpanRecord> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "phase");
+  EXPECT_EQ(spans[0].end_tick - spans[0].begin_tick, 1000u);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+  EXPECT_EQ(spans[0].attrs[0].second, "v");
+}
+
+TEST(FlightRecorderTest, TimesBeforeEpochClampToZero) {
+  FlightRecorder rec;
+  // A reading taken before the recorder existed must not underflow.
+  rec.RecordSpan("early", 0, 1);
+  const std::vector<SpanRecord> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin_tick, 0u);
+  EXPECT_EQ(spans[0].end_tick, 0u);
+}
+
+TEST(FlightRecorderTest, InvertedIntervalRecordsZeroDuration) {
+  FlightRecorder rec;
+  const std::uint64_t now = MonotonicNanos();
+  rec.RecordSpan("inverted", now + 500, now + 100);
+  const std::vector<SpanRecord> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin_tick, spans[0].end_tick);
+}
+
+TEST(FlightRecorderTest, RingDropsOldestAndCounts) {
+  FlightRecorderConfig config;
+  config.capacity = 4;
+  FlightRecorder rec(config);
+  for (int i = 0; i < 10; ++i) {
+    rec.RecordEvent("e" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const std::vector<SpanRecord> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first, ids stable across drops.
+  EXPECT_EQ(spans.front().name, "e6");
+  EXPECT_EQ(spans.back().name, "e9");
+  EXPECT_LT(spans.front().id, spans.back().id);
+}
+
+TEST(FlightRecorderTest, ZeroCapacityIsClampedToOne) {
+  FlightRecorderConfig config;
+  config.capacity = 0;
+  FlightRecorder rec(config);
+  rec.RecordEvent("a");
+  rec.RecordEvent("b");
+  EXPECT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.Snapshot()[0].name, "b");
+}
+
+TEST(FlightRecorderTest, DumpRoundTripsThroughPerfettoLoader) {
+  FlightRecorder rec;
+  const std::uint64_t t0 = MonotonicNanos();
+  rec.RecordSpan("serve.drain", t0, t0 + 2000, {{"events", "64"}});
+  rec.RecordEvent("daemon.anomaly", {{"reason", "p99_threshold"}});
+
+  RuntimeTelemetry telemetry;
+  telemetry.histogram("serve.read.managed_ns").Record(1234);
+  const std::string json = rec.DumpPerfettoJson(telemetry.Snapshot());
+
+  const auto parsed = ParseSpansPerfettoJson(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const std::vector<SpanRecord>& loaded = *parsed;
+  // 2 recorded spans + 1 latency instant span.
+  ASSERT_EQ(loaded.size(), 3u);
+  bool saw_drain = false, saw_anomaly = false, saw_latency = false;
+  for (const SpanRecord& s : loaded) {
+    if (s.name == "serve.drain") saw_drain = true;
+    if (s.name == "daemon.anomaly") saw_anomaly = true;
+    if (s.name == "flight.latency.serve.read.managed_ns") {
+      saw_latency = true;
+      bool saw_count = false;
+      for (const auto& [k, v] : s.attrs) {
+        if (k == "count") {
+          saw_count = true;
+          EXPECT_EQ(v, "1");
+        }
+      }
+      EXPECT_TRUE(saw_count);
+    }
+  }
+  EXPECT_TRUE(saw_drain);
+  EXPECT_TRUE(saw_anomaly);
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST(FlightRecorderTest, DumpWithoutLatencyIsJustTheRing) {
+  FlightRecorder rec;
+  rec.RecordEvent("only");
+  const auto loaded = ParseSpansPerfettoJson(rec.DumpPerfettoJson());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].name, "only");
+}
+
+}  // namespace
+}  // namespace opus::obs

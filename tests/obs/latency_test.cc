@@ -1,0 +1,192 @@
+// LogLinearHistogram / RuntimeTelemetry — bucket-math invariants, quantile
+// accuracy against a sorted-vector oracle, and the merge property that the
+// serving engine's per-thread-drain design relies on.
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace opus::obs {
+namespace {
+
+using Hist = LogLinearHistogram;
+
+TEST(LogLinearHistogramTest, BucketBoundsContainTheirValues) {
+  // Every probe value must land in a bucket whose [lower, upper] range
+  // contains it, and the bucket index must be monotone in the value.
+  std::vector<std::uint64_t> probes = {0, 1, 2, 3, 31, 32, 33, 63, 64, 65,
+                                       1000, 4095, 4096, 1u << 20};
+  for (unsigned e = 0; e < Hist::kMaxExp; ++e) {
+    probes.push_back((1ull << e) - 1);
+    probes.push_back(1ull << e);
+    probes.push_back((1ull << e) + 1);
+  }
+  std::size_t prev_index = 0;
+  std::sort(probes.begin(), probes.end());
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = Hist::BucketIndex(v);
+    ASSERT_LT(idx, Hist::kNumBuckets) << "value " << v;
+    EXPECT_LE(Hist::BucketLowerBound(idx), v) << "value " << v;
+    EXPECT_GE(Hist::BucketUpperBound(idx), v) << "value " << v;
+    EXPECT_GE(idx, prev_index) << "value " << v;
+    prev_index = idx;
+  }
+}
+
+TEST(LogLinearHistogramTest, BucketRelativeWidthIsBounded) {
+  // Above the linear range, upper/lower <= 1 + 1/kSubCount per bucket —
+  // the histogram's quantile error bound.
+  for (std::size_t idx = 0; idx < Hist::kNumBuckets; ++idx) {
+    const std::uint64_t lo = Hist::BucketLowerBound(idx);
+    const std::uint64_t hi = Hist::BucketUpperBound(idx);
+    ASSERT_LE(lo, hi);
+    if (lo >= Hist::kSubCount) {
+      EXPECT_LE(static_cast<double>(hi - lo),
+                static_cast<double>(lo) / Hist::kSubCount + 1.0)
+          << "bucket " << idx;
+    }
+  }
+}
+
+TEST(LogLinearHistogramTest, CountSumMinMax) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(100);
+  h.Record(7);
+  h.Record(100000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 100107u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 100000u);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(LogLinearHistogramTest, HugeValuesClampConsistently) {
+  Hist h;
+  h.Record(~0ull);  // far beyond 2^kMaxExp - 1
+  const std::uint64_t clamp = (1ull << Hist::kMaxExp) - 1;
+  EXPECT_EQ(h.max(), clamp);
+  EXPECT_EQ(h.sum(), clamp);  // sum accumulates the clamped value
+  EXPECT_GE(h.ValueAtQuantile(1.0), clamp);
+}
+
+TEST(LogLinearHistogramTest, QuantilesMatchSortedVectorOracle) {
+  // Property test: on log-uniform random data every reported quantile must
+  // sit within one bucket width above the exact nearest-rank value.
+  Rng rng(42);
+  Hist h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double exp = rng.NextDouble() * 30.0;  // values up to ~2^30
+    const auto v = static_cast<std::uint64_t>(std::pow(2.0, exp));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    std::size_t rank = 0;
+    if (q > 0.0) {
+      rank = static_cast<std::size_t>(
+                 std::ceil(q * static_cast<double>(values.size()))) -
+             1;
+      rank = std::min(rank, values.size() - 1);
+    }
+    const std::uint64_t exact = values[rank];
+    const std::uint64_t est = h.ValueAtQuantile(q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    // Bucket upper bound overshoots by at most one bucket width.
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(exact) +
+                  static_cast<double>(exact) / Hist::kSubCount + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LogLinearHistogramTest, MergeEqualsRecordingTheUnion) {
+  Rng rng(7);
+  Hist a, b, both;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.NextDouble() * 1e9);
+    if (i % 3 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), both.ValueAtQuantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogLinearHistogramTest, MergeIntoEmptyAndWithEmpty) {
+  Hist a, b;
+  b.Record(10);
+  b.Record(20);
+  a.Merge(b);  // empty.Merge(nonempty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+  Hist empty;
+  a.Merge(empty);  // nonempty.Merge(empty) is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+}
+
+TEST(RuntimeTelemetryTest, HistogramIsIdempotentAndFindable) {
+  RuntimeTelemetry t;
+  LogLinearHistogram& h1 = t.histogram("serve.read.ns");
+  LogLinearHistogram& h2 = t.histogram("serve.read.ns");
+  EXPECT_EQ(&h1, &h2);
+  h1.Record(5);
+  EXPECT_EQ(t.Find("serve.read.ns"), &h1);
+  EXPECT_EQ(t.Find("absent"), nullptr);
+}
+
+TEST(RuntimeTelemetryTest, SnapshotIsSortedAndIncludesEmpty) {
+  RuntimeTelemetry t;
+  t.histogram("z.last");
+  t.histogram("a.first").Record(100);
+  const std::vector<LatencySample> samples = t.Snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "a.first");
+  EXPECT_EQ(samples[0].count, 1u);
+  EXPECT_EQ(samples[1].name, "z.last");
+  EXPECT_EQ(samples[1].count, 0u);  // empty instruments still show up
+}
+
+TEST(RuntimeTelemetryTest, SamplesToJsonIsWellFormed) {
+  RuntimeTelemetry t;
+  for (int i = 1; i <= 100; ++i) {
+    t.histogram("daemon.request.ns").Record(static_cast<std::uint64_t>(i));
+  }
+  const std::string json = RuntimeTelemetry::SamplesToJson(t.Snapshot());
+  EXPECT_NE(json.find("\"name\":\"daemon.request.ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_EQ(RuntimeTelemetry::SamplesToJson({}), "[]");
+}
+
+}  // namespace
+}  // namespace opus::obs

@@ -1,0 +1,153 @@
+// Prometheus text exporter — name sanitization, per-family HELP/TYPE
+// headers, cumulative histogram buckets, summary quantiles, and an
+// in-process exposition lint (no duplicate series, every series belongs
+// to a declared family).
+#include "obs/prometheus.h"
+
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/latency.h"
+#include "obs/metrics.h"
+
+namespace opus::obs {
+namespace {
+
+MetricsSnapshot MakeSnapshot() {
+  MetricsRegistry reg;
+  reg.counter("cluster.worker.0.mem_hits").Increment(12);
+  reg.counter("master.solver.solves").Increment(3);
+  reg.gauge("master.window.size").Set(1.5);
+  Histogram& h =
+      reg.histogram("cluster.read.latency_sec", {0.001, 0.01, 0.1});
+  h.Observe(0.0005);
+  h.Observe(0.005);
+  h.Observe(0.5);
+  return reg.Snapshot();
+}
+
+std::vector<LatencySample> MakeLatency() {
+  RuntimeTelemetry t;
+  LogLinearHistogram& h = t.histogram("serve.read.managed_ns");
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<std::uint64_t>(i));
+  return t.Snapshot();
+}
+
+TEST(PrometheusNameTest, SanitizesAndPrefixes) {
+  EXPECT_EQ(PrometheusName("cluster.worker.0.mem_hits"),
+            "opus_cluster_worker_0_mem_hits");
+  EXPECT_EQ(PrometheusName("weird-name+x"), "opus_weird_name_x");
+  EXPECT_EQ(PrometheusName(""), "opus_");
+}
+
+TEST(PrometheusExportTest, EmitsHelpTypeAndValues) {
+  const std::string text = MetricsToPrometheus(MakeSnapshot(), MakeLatency());
+  EXPECT_NE(text.find("# HELP opus_cluster_worker_0_mem_hits "),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE opus_cluster_worker_0_mem_hits counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("opus_cluster_worker_0_mem_hits 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE opus_master_window_size gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("opus_master_window_size 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE opus_cluster_read_latency_sec histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE opus_serve_read_managed_ns summary"),
+            std::string::npos);
+  // The HELP line carries the original dotted name for traceability.
+  EXPECT_NE(text.find("OpuS counter cluster.worker.0.mem_hits"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeWithInf) {
+  const std::string text = MetricsToPrometheus(MakeSnapshot(), {});
+  EXPECT_NE(
+      text.find("opus_cluster_read_latency_sec_bucket{le=\"0.001\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("opus_cluster_read_latency_sec_bucket{le=\"0.01\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("opus_cluster_read_latency_sec_bucket{le=\"0.1\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("opus_cluster_read_latency_sec_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("opus_cluster_read_latency_sec_count 3\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, SummaryQuantileLadder) {
+  const std::string text = MetricsToPrometheus(MetricsSnapshot{},
+                                               MakeLatency());
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+    EXPECT_NE(text.find("opus_serve_read_managed_ns{quantile=\"" +
+                        std::string(q) + "\"} "),
+              std::string::npos)
+        << q;
+  }
+  EXPECT_NE(text.find("opus_serve_read_managed_ns_count 1000\n"),
+            std::string::npos);
+}
+
+// The lint the smoke test runs with awk, in-process: series lines must be
+// unique and every series must belong to a family with HELP + TYPE.
+TEST(PrometheusExportTest, ExpositionLint) {
+  const std::string text = MetricsToPrometheus(MakeSnapshot(), MakeLatency());
+  std::set<std::string> help, type, series;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    std::istringstream fields(line);
+    std::string a, b, c;
+    fields >> a >> b >> c;
+    if (a == "#") {
+      ASSERT_TRUE(b == "HELP" || b == "TYPE") << line;
+      (b == "HELP" ? help : type).insert(c);
+      continue;
+    }
+    ASSERT_TRUE(series.insert(line).second) << "duplicate series: " << line;
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t pos = family.rfind(suffix);
+      if (pos != std::string::npos &&
+          pos + std::string(suffix).size() == family.size() &&
+          (help.count(family.substr(0, pos)) != 0)) {
+        family = family.substr(0, pos);
+        break;
+      }
+    }
+    EXPECT_TRUE(help.count(family) == 1 || help.count(name) == 1)
+        << "no HELP for " << line;
+    EXPECT_TRUE(type.count(family) == 1 || type.count(name) == 1)
+        << "no TYPE for " << line;
+  }
+  EXPECT_FALSE(series.empty());
+}
+
+TEST(PrometheusExportTest, NonFiniteGaugesRenderPrometheusStyle) {
+  MetricsRegistry reg;
+  reg.gauge("g.pos_inf").Set(std::numeric_limits<double>::infinity());
+  reg.gauge("g.neg_inf").Set(-std::numeric_limits<double>::infinity());
+  reg.gauge("g.nan").Set(std::numeric_limits<double>::quiet_NaN());
+  const std::string text = MetricsToPrometheus(reg.Snapshot(), {});
+  EXPECT_NE(text.find("opus_g_pos_inf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("opus_g_neg_inf -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("opus_g_nan NaN\n"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, EmptyInputsProduceEmptyExposition) {
+  EXPECT_EQ(MetricsToPrometheus(MetricsSnapshot{}, {}), "");
+}
+
+}  // namespace
+}  // namespace opus::obs

@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
 # Daemon smoke test: start opus_daemon, drive the client command surface
 # (serve, gen, status, metrics, audit, live reconfiguration, user churn,
-# error replies), then shut it down and check it exited cleanly.
+# error replies) plus the runtime-telemetry surface (Prometheus scrape +
+# exposition lint, --stats-out JSONL, watch mode, flight-recorder dump and
+# anomaly auto-trip), then shut it down and check it exited cleanly.
 #
-# Usage: daemon_smoke.sh DAEMON_BIN CLIENT_BIN SOCKET_PATH
+# Usage: daemon_smoke.sh DAEMON_BIN CLIENT_BIN SOCKET_PATH [INSPECT_BIN]
+#
+# Artifacts (Prometheus scrape, stats JSONL, flight dumps) are left next to
+# SOCKET_PATH so CI can upload them.
 set -u
 
 DAEMON="$1"
 CLIENT="$2"
 SOCKET="$3"
+INSPECT="${4:-}"
 
-rm -f "$SOCKET"
+ART_DIR="$(dirname "$SOCKET")"
+STATS="$ART_DIR/daemon_smoke_stats.jsonl"
+FLIGHT="$ART_DIR/daemon_smoke_flight.json"
+DUMP="$ART_DIR/daemon_smoke_dump.json"
+PROM="$ART_DIR/daemon_smoke_prom.txt"
+
+rm -f "$SOCKET" "$STATS" "$FLIGHT" "$DUMP" "$PROM"
+# The tiny --p99-threshold-ms arms the anomaly trigger so the first timed
+# batch trips an automatic flight dump (any sampled read is slower than
+# a nanosecond).
 "$DAEMON" --socket "$SOCKET" --files 12 --file-mb 2 --users 3 --workers 4 \
-  --cache-mb 12 --threads 4 --update-interval 50 --window 200 &
+  --cache-mb 12 --threads 4 --update-interval 50 --window 200 \
+  --stats-out "$STATS" --stats-interval-ms 200 \
+  --flight-out "$FLIGHT" --p99-threshold-ms 0.000001 &
 DAEMON_PID=$!
 trap 'kill "$DAEMON_PID" 2>/dev/null' EXIT
 
@@ -37,6 +54,56 @@ done
 "$CLIENT" "$SOCKET" metrics json | grep -q 'cluster.read.latency_sec' || fail "metrics json"
 "$CLIENT" "$SOCKET" audit | grep -q "total_violations" || fail "audit"
 
+# Status surfaces the solver reuse counters and the audit verdict.
+"$CLIENT" "$SOCKET" status | grep -q "solver_solves=" || fail "status solver_solves"
+"$CLIENT" "$SOCKET" status | grep -q "audit_clean=1" || fail "status audit_clean"
+
+# The tiny p99 threshold must have tripped an automatic flight dump by now.
+"$CLIENT" "$SOCKET" status | grep -Eq "flight_trips=[1-9]" || fail "anomaly trip"
+[ -s "$FLIGHT" ] || fail "anomaly flight dump missing"
+
+# Prometheus scrape: strip the "ok" reply line, then lint the exposition —
+# every series needs HELP+TYPE for its family and no series repeats.
+"$CLIENT" "$SOCKET" metrics prom | tail -n +2 > "$PROM"
+grep -q '^opus_cluster_read_latency_sec_bucket{le=' "$PROM" || fail "prom histogram"
+grep -q '^opus_serve_read_managed_ns{quantile="0.99"}' "$PROM" || fail "prom summary"
+grep -q '^opus_master_solve_wall_sec' "$PROM" || fail "prom volatile metric"
+awk '
+  /^# HELP / { help[$3] = 1; next }
+  /^# TYPE / { type[$3] = 1; next }
+  /^#/ || NF == 0 { next }
+  {
+    if (seen[$0]++) { print "duplicate series: " $0; bad = 1 }
+    name = $0; sub(/[{ ].*$/, "", name)
+    fam = name; sub(/_(bucket|sum|count)$/, "", fam)
+    if (!(fam in help) && !(name in help)) { print "no HELP: " name; bad = 1 }
+    if (!(fam in type) && !(name in type)) { print "no TYPE: " name; bad = 1 }
+  }
+  END { exit bad }
+' "$PROM" || fail "prom exposition lint"
+
+# Watch mode: three polls over one connection.
+WATCH_OUT=$("$CLIENT" "$SOCKET" watch 50 3 status) || fail "watch exit"
+[ "$(printf '%s\n' "$WATCH_OUT" | grep -c '^-- watch ')" -eq 3 ] || fail "watch poll count"
+
+# Manual flight dump, loadable by opus_inspect spans (Perfetto round-trip).
+"$CLIENT" "$SOCKET" dump "$DUMP" | grep -q "^ok dumped=" || fail "dump"
+grep -q '"name": *"daemon.request"' "$DUMP" || fail "dump request span"
+grep -q 'flight.latency.serve.read' "$DUMP" || fail "dump latency spans"
+if [ -n "$INSPECT" ]; then
+  "$INSPECT" spans "$DUMP" --top 5 >/dev/null || fail "opus_inspect spans on dump"
+fi
+
+# Stats appender: at least one windowed JSON line with metrics + latency.
+for _ in $(seq 1 30); do
+  [ -s "$STATS" ] && break
+  sleep 0.1
+done
+[ -s "$STATS" ] || fail "stats file empty"
+head -1 "$STATS" | grep -q '"seq":0' || fail "stats seq"
+head -1 "$STATS" | grep -q '"metrics":{' || fail "stats metrics delta"
+head -1 "$STATS" | grep -q '"latency":\[' || fail "stats latency"
+
 # Live reconfiguration: policy swap, capacity override, user churn.
 "$CLIENT" "$SOCKET" reconfig policy fairride | grep -q "ok policy=fairride" || fail "reconfig policy"
 "$CLIENT" "$SOCKET" reconfig capacity 4.5 | grep -q "ok capacity_units=4.5" || fail "reconfig capacity"
@@ -49,6 +116,8 @@ done
 "$CLIENT" "$SOCKET" serve 99 0 && fail "out-of-range user must fail"
 "$CLIENT" "$SOCKET" gen 10x 7 && fail "garbage count must fail"
 "$CLIENT" "$SOCKET" reconfig capacity -1 && fail "negative capacity must fail"
+"$CLIENT" "$SOCKET" metrics yaml && fail "unknown metrics format must fail"
+"$CLIENT" "$SOCKET" dump a b && fail "dump with two args must fail"
 "$CLIENT" "$SOCKET" bogus && fail "unknown command must fail"
 "$CLIENT" "$SOCKET" ping | grep -q "ok pong" || fail "daemon died after errors"
 

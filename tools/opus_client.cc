@@ -1,44 +1,99 @@
-// opus_client — one-shot client for opus_daemon.
+// opus_client — one-shot (and polling) client for opus_daemon.
 //
 // Joins its arguments into a single command, sends it as one frame over
 // the daemon's Unix socket, and prints the reply. Exit 0 on an "ok" reply,
 // 1 on an "err" reply or daemon-side close, 2 on usage/connect failure.
 //
+// `watch` keeps one connection open and re-sends the command COUNT times,
+// INTERVAL_MS apart (COUNT 0 = until the daemon goes away), printing each
+// reply under a "-- watch N --" header — the poor man's live dashboard for
+// `status` / `metrics prom`.
+//
 // Usage:
 //   opus_client SOCKET COMMAND [ARGS...]
+//   opus_client SOCKET watch INTERVAL_MS COUNT COMMAND [ARGS...]
 //   opus_client /tmp/opus.sock status
 //   opus_client /tmp/opus.sock serve 0 3
 //   opus_client /tmp/opus.sock reconfig policy fairride
+//   opus_client /tmp/opus.sock watch 500 10 metrics prom
 #include <cstdio>
 #include <string>
 
+#include <time.h>
 #include <unistd.h>
 
+#include "common/strings.h"
 #include "serve/protocol.h"
 
-int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: %s SOCKET COMMAND [ARGS...]\n", argv[0]);
-    return 2;
-  }
+namespace {
+
+std::string JoinArgs(char** argv, int begin, int end) {
   std::string command;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = begin; i < end; ++i) {
     if (!command.empty()) command += ' ';
     command += argv[i];
   }
+  return command;
+}
+
+void SleepMs(std::uint64_t ms) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000ull);
+  ::nanosleep(&ts, nullptr);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s SOCKET COMMAND [ARGS...]\n"
+               "       %s SOCKET watch INTERVAL_MS COUNT COMMAND [ARGS...]\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+
+  std::uint64_t interval_ms = 0, count = 1;
+  int command_begin = 2;
+  const bool watch = std::string(argv[2]) == "watch";
+  if (watch) {
+    if (argc < 6) return Usage(argv[0]);
+    if (!opus::ParseU64(argv[3], &interval_ms)) {
+      std::fprintf(stderr, "bad watch interval '%s'\n", argv[3]);
+      return 2;
+    }
+    if (!opus::ParseU64(argv[4], &count)) {
+      std::fprintf(stderr, "bad watch count '%s'\n", argv[4]);
+      return 2;
+    }
+    command_begin = 5;
+  }
+  const std::string command = JoinArgs(argv, command_begin, argc);
+
   const int fd = opus::serve::DialUnix(argv[1]);
   if (fd < 0) {
     std::fprintf(stderr, "cannot connect to %s\n", argv[1]);
     return 2;
   }
-  std::string reply;
-  const bool ok = opus::serve::WriteFrame(fd, command) &&
-                  opus::serve::ReadFrame(fd, &reply);
-  ::close(fd);
-  if (!ok) {
-    std::fprintf(stderr, "daemon closed the connection\n");
-    return 1;
+  int exit_code = 0;
+  for (std::uint64_t i = 0; count == 0 || i < count; ++i) {
+    if (i > 0) SleepMs(interval_ms);
+    std::string reply;
+    const bool ok = opus::serve::WriteFrame(fd, command) &&
+                    opus::serve::ReadFrame(fd, &reply);
+    if (!ok) {
+      std::fprintf(stderr, "daemon closed the connection\n");
+      exit_code = 1;
+      break;
+    }
+    if (watch) std::printf("-- watch %llu --\n", (unsigned long long)i);
+    std::printf("%s\n", reply.c_str());
+    std::fflush(stdout);
+    if (reply.rfind("ok", 0) != 0) exit_code = 1;
   }
-  std::printf("%s\n", reply.c_str());
-  return reply.rfind("ok", 0) == 0 ? 0 : 1;
+  ::close(fd);
+  return exit_code;
 }

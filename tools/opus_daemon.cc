@@ -10,6 +10,9 @@
 //               [--policy NAME] [--update-interval N] [--window N]
 //               [--tax-threads N] [--delta-drift F] [--delta-util-tol F]
 //               [--agg-clusters N] [--agg-threshold F]
+//               [--stats-out FILE] [--stats-interval-ms N]
+//               [--flight-out FILE] [--flight-capacity N]
+//               [--p99-threshold-ms F]
 //
 //   --socket PATH       Unix socket to serve on (default /tmp/opus.sock)
 //   --catalog FILE      CSV of name,size_bytes rows (no header)
@@ -31,6 +34,15 @@
 //                       (default 0)
 //   --agg-threshold F   L1 distance beyond which a user founds a new
 //                       cluster (default 0.5)
+//   --stats-out FILE    append one JSON line per window: windowed metric
+//                       delta + latency quantiles (default: off)
+//   --stats-interval-ms N  stats window length (default 1000; resolution
+//                       is the daemon's ~100ms poll tick)
+//   --flight-out FILE   flight-recorder dump target for `dump` and for
+//                       automatic anomaly dumps (default opus_flight.json)
+//   --flight-capacity N flight-recorder ring capacity (default 4096)
+//   --p99-threshold-ms F  trip an automatic flight dump once when a sampled
+//                       read p99 exceeds F ms (default 0 = disarmed)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -129,6 +141,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--agg-threshold" && (v = next())) {
       if (!ParseFlagDouble("--agg-threshold", v, 0.0, &d)) return 2;
       config.opus_tuning.aggregation.similarity_threshold = d;
+    } else if (arg == "--stats-out" && (v = next())) {
+      config.stats_path = v;
+    } else if (arg == "--stats-interval-ms" && (v = next())) {
+      if (!ParseFlagU64("--stats-interval-ms", v, 0, &u)) return 2;
+      config.stats_interval_ms = u;
+    } else if (arg == "--flight-out" && (v = next())) {
+      config.flight_path = v;
+    } else if (arg == "--flight-capacity" && (v = next())) {
+      if (!ParseFlagU64("--flight-capacity", v, 1, &u)) return 2;
+      config.flight_capacity = static_cast<std::size_t>(u);
+    } else if (arg == "--p99-threshold-ms" && (v = next())) {
+      if (!ParseFlagDouble("--p99-threshold-ms", v, 0.0, &d)) return 2;
+      config.p99_threshold_ms = d;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return 2;
