@@ -1,6 +1,8 @@
 #include "serve/daemon.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <deque>
 #include <sstream>
 #include <utility>
 
@@ -57,6 +59,18 @@ cache::ClusterConfig ForceTracingOff(cache::ClusterConfig config) {
   return config;
 }
 
+// Events per background-job slice: long `gen` commands run one batch per
+// poll-loop wake so control traffic interleaves at these boundaries. A
+// `gen` at or under this size just runs synchronously.
+constexpr std::size_t kGenBatch = 2048;
+
+// Per-connection write-buffer bound: past this the loop stops reading the
+// connection (backpressure) until the client drains replies.
+constexpr std::size_t kMaxOutBuffered = 8u << 20;  // 8 MiB
+
+// How long shutdown keeps flushing buffered replies before closing.
+constexpr std::uint64_t kShutdownFlushNs = 2'000'000'000;  // 2 s
+
 }  // namespace
 
 Daemon::Daemon(DaemonConfig config, cache::Catalog catalog)
@@ -80,6 +94,7 @@ Daemon::Daemon(DaemonConfig config, cache::Catalog catalog)
   engine_ = std::make_unique<ServingEngine>(&cluster_, master_.get(),
                                             config_.engine);
   daemon_request_ns_ = &telemetry_.histogram("daemon.request.ns");
+  daemon_pipeline_depth_ = &telemetry_.histogram("daemon.pipeline.depth");
   start_ns_ = obs::MonotonicNanos();
   last_stats_ns_ = start_ns_;
   if (!config_.stats_path.empty()) {
@@ -227,7 +242,8 @@ std::string Daemon::HandleServe(const std::vector<std::string>& args) {
   return out.str();
 }
 
-std::string Daemon::HandleGen(const std::vector<std::string>& args) {
+std::string Daemon::PrepareGen(const std::vector<std::string>& args,
+                               std::vector<workload::AccessEvent>* events) {
   if (args.size() != 2) return Err("usage: gen N SEED");
   std::uint64_t n = 0, seed = 0;
   if (!ParseU64(args[0], &n) || n == 0) {
@@ -256,14 +272,26 @@ std::string Daemon::HandleGen(const std::vector<std::string>& args) {
   for (workload::AccessEvent& event : trace.events) {
     event.user = active[event.user];
   }
-  const ServeStats stats = engine_->Serve(trace.events);
-  events_served_ += stats.events;
+  *events = std::move(trace.events);
+  return "";
+}
+
+std::string Daemon::FormatGenReply(const ServeStats& stats) {
   std::ostringstream out;
   out << "ok events=" << stats.events
       << " mem_bytes=" << stats.bytes_from_memory
       << " disk_bytes=" << stats.bytes_from_disk
       << " reallocations=" << stats.reallocations;
   return out.str();
+}
+
+std::string Daemon::HandleGen(const std::vector<std::string>& args) {
+  std::vector<workload::AccessEvent> events;
+  const std::string err = PrepareGen(args, &events);
+  if (!err.empty()) return err;
+  const ServeStats stats = engine_->Serve(events);
+  events_served_ += stats.events;
+  return FormatGenReply(stats);
 }
 
 std::string Daemon::HandleReconfig(const std::vector<std::string>& args) {
@@ -281,8 +309,15 @@ std::string Daemon::HandleReconfig(const std::vector<std::string>& args) {
       }
       return Err("unknown policy '" + args[1] + "' (" + known + ")");
     }
+    // Span the swap itself so an anomaly dump shows "policy changed here"
+    // right before any latency/fairness shift (drain/realloc spans come
+    // from the engine; this is the control-plane cause).
+    const std::string from = master_->policy_name();
+    const std::uint64_t t0 = obs::MonotonicNanos();
     allocators_.push_back(std::move(next));
     master_->set_allocator(allocators_.back().get());
+    recorder_.RecordSpan("reconfig.policy", t0, obs::MonotonicNanos(),
+                         {{"from", from}, {"to", master_->policy_name()}});
     return "ok policy=" + master_->policy_name();
   }
   if (args[0] == "capacity") {
@@ -290,9 +325,16 @@ std::string Daemon::HandleReconfig(const std::vector<std::string>& args) {
     if (!ParseFiniteDouble(args[1], &units) || units < 0.0) {
       return Err("bad capacity '" + args[1] + "'");
     }
+    std::ostringstream from;
+    from << master_->capacity_units();
+    const std::uint64_t t0 = obs::MonotonicNanos();
     master_->set_capacity_units(units);
     std::ostringstream out;
     out << "ok capacity_units=" << master_->capacity_units();
+    std::ostringstream to;
+    to << master_->capacity_units();
+    recorder_.RecordSpan("reconfig.capacity", t0, obs::MonotonicNanos(),
+                         {{"from", from.str()}, {"to", to.str()}});
     return out.str();
   }
   return Err("unknown reconfig target '" + args[0] + "'");
@@ -310,6 +352,8 @@ std::string Daemon::HandleAddUser(const std::vector<std::string>& args) {
       // startup has nothing to purge, so this is idempotent).
       if (!args.empty()) master_->RenameClient(id, args[0]);
       master_->PurgeUser(id);
+      recorder_.RecordEvent("user.add", {{"id", std::to_string(u)},
+                                         {"name", master_->client_name(id)}});
       return "ok id=" + std::to_string(u) + " name=" +
              master_->client_name(id);
     }
@@ -330,6 +374,7 @@ std::string Daemon::HandleDropUser(const std::vector<std::string>& args) {
   // window keeps allocating (and taxing) on behalf of a user that no
   // longer exists — and a later adduser revival would inherit its history.
   master_->PurgeUser(static_cast<cache::UserId>(user));
+  recorder_.RecordEvent("user.drop", {{"id", args[0]}});
   return "ok dropped=" + args[0];
 }
 
@@ -405,50 +450,273 @@ void Daemon::StatsTick() {
 int Daemon::Run() {
   const int listen_fd = ListenUnix(config_.socket_path);
   if (listen_fd < 0) return 1;
-  std::vector<int> conns;
+  int tcp_fd = -1;
+  if (config_.tcp_port >= 0) {
+    std::uint16_t bound = 0;
+    tcp_fd = ListenTcp(static_cast<std::uint16_t>(config_.tcp_port),
+                       /*backlog=*/8, &bound);
+    if (tcp_fd < 0) {
+      ::close(listen_fd);
+      ::unlink(config_.socket_path.c_str());
+      return 1;
+    }
+    tcp_bound_port_.store(static_cast<int>(bound),
+                          std::memory_order_release);
+  }
+
+  // Pipelined I/O state: every accepted fd is non-blocking, reads
+  // accumulate in a FrameSplitter, replies accumulate in an out buffer
+  // drained on POLLOUT — a half-sent frame or an undrained reply on one
+  // connection never blocks the others.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameSplitter in;
+    std::string out;          // encoded reply frames not yet written
+    std::size_t out_off = 0;  // sent prefix of out
+    bool has_job = false;     // a gen job owns this conn's reply slot
+    bool closed = false;
+  };
+  // A long `gen` sliced into kGenBatch-event ServeRange calls, one per
+  // loop wake; splitting is replay-identical to one Serve (boundaries
+  // derive from master state that carries across calls).
+  struct GenJob {
+    std::uint64_t conn_id = 0;
+    std::vector<workload::AccessEvent> events;
+    std::size_t pos = 0;
+    ServeStats stats;
+    std::uint64_t begin_ns = 0;
+  };
+  std::deque<Conn> conns;
+  std::deque<GenJob> jobs;
+  std::uint64_t next_conn_id = 1;
+
+  const auto find_conn = [&conns](std::uint64_t id) -> Conn* {
+    for (Conn& c : conns) {
+      if (c.id == id && !c.closed) return &c;
+    }
+    return nullptr;
+  };
+  const auto enqueue = [](Conn& c, std::string_view reply) {
+    c.out += EncodeFrame(reply);
+  };
+  // Writes as much buffered output as the socket accepts right now.
+  // False = dead peer. MSG_NOSIGNAL: a raced client close must surface as
+  // EPIPE here, not kill the daemon with SIGPIPE.
+  const auto flush_out = [](Conn& c) -> bool {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+      }
+      c.out_off += static_cast<std::size_t>(n);
+    }
+    c.out.clear();
+    c.out_off = 0;
+    return true;
+  };
+  const auto handle_frame = [&](Conn& c, const std::string& request) {
+    const std::vector<std::string> tokens = Tokenize(request);
+    if (!tokens.empty() && tokens[0] == "gen") {
+      const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+      const std::uint64_t begin = obs::MonotonicNanos();
+      std::vector<workload::AccessEvent> events;
+      if (PrepareGen(args, &events).empty() && events.size() > kGenBatch) {
+        // Background job: the reply is queued when the last batch lands;
+        // until then this conn's later frames stay unparsed (FIFO).
+        c.has_job = true;
+        jobs.push_back(
+            GenJob{c.id, std::move(events), 0, ServeStats{}, begin});
+        return;
+      }
+      // Small or malformed gen: synchronous path below (re-parses; cheap).
+    }
+    enqueue(c, HandleRequest(request));
+  };
+  // Parses every complete frame buffered on c — one recv can carry many
+  // pipelined commands. Pauses while a job holds the reply slot.
+  const auto parse_frames = [&](Conn& c) {
+    std::uint64_t depth = 0;
+    std::string request;
+    while (!c.closed && !c.has_job && !shutdown_) {
+      const FrameSplitter::Result r = c.in.Next(&request);
+      if (r == FrameSplitter::Result::kNeedMore) break;
+      if (r == FrameSplitter::Result::kOversize) {
+        c.closed = true;  // corrupt or hostile length prefix
+        break;
+      }
+      ++depth;
+      handle_frame(c, request);
+    }
+    if (depth > 0) daemon_pipeline_depth_->Record(depth);
+  };
+
   while (!shutdown_ && !stop_.load(std::memory_order_relaxed)) {
     std::vector<pollfd> fds;
     fds.push_back(pollfd{listen_fd, POLLIN, 0});
-    for (const int fd : conns) fds.push_back(pollfd{fd, POLLIN, 0});
-    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (tcp_fd >= 0) fds.push_back(pollfd{tcp_fd, POLLIN, 0});
+    const std::size_t first_conn = fds.size();
+    for (const Conn& c : conns) {
+      short events = 0;
+      // Backpressure: stop reading while a job is outstanding or the
+      // client won't drain its replies (bounds both buffers; the kernel
+      // socket buffer absorbs the rest via flow control).
+      if (!c.has_job && c.out.size() - c.out_off < kMaxOutBuffered) {
+        events |= POLLIN;
+      }
+      if (c.out_off < c.out.size()) events |= POLLOUT;
+      fds.push_back(pollfd{c.fd, events, 0});
+    }
+    // Zero timeout while jobs are pending: batches run from this loop, so
+    // it must not sleep on idle sockets mid-gen.
+    const int ready =
+        ::poll(fds.data(), fds.size(), jobs.empty() ? 100 : 0);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
     StatsTick();  // interval resolution = this poll tick
-    if (ready == 0) continue;
-    std::vector<int> still;
-    for (std::size_t i = 1; i < fds.size(); ++i) {
-      const int fd = fds[i].fd;
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-        still.push_back(fd);
+
+    // I/O pass. conns must not grow/shrink here: fds[i] maps to
+    // conns[i - first_conn]; closes are deferred to the sweep below.
+    for (std::size_t i = first_conn; i < fds.size(); ++i) {
+      Conn& c = conns[i - first_conn];
+      const short re = fds[i].revents;
+      if (re == 0) continue;
+      if ((re & (POLLERR | POLLNVAL)) != 0) {
+        c.closed = true;
         continue;
       }
-      std::string request;
-      if (!ReadFrame(fd, &request)) {  // client closed or bad frame
-        ::close(fd);
+      if ((re & POLLOUT) != 0 && !flush_out(c)) {
+        c.closed = true;
         continue;
       }
-      if (!WriteFrame(fd, HandleRequest(request))) {
-        ::close(fd);
-        continue;
+      if ((re & (POLLIN | POLLHUP)) != 0) {
+        bool eof = false;
+        char buf[65536];
+        while (true) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            c.in.Append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            eof = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno != EAGAIN && errno != EWOULDBLOCK) c.closed = true;
+          break;
+        }
+        if (!c.closed) parse_frames(c);
+        if (eof && !c.closed) {
+          // Serve what the client managed to send, give the replies one
+          // non-blocking push, then drop the connection.
+          flush_out(c);
+          c.closed = true;
+        }
       }
-      still.push_back(fd);
     }
-    if ((fds[0].revents & POLLIN) != 0) {
-      // Drain the accept queue: several clients may have connected since
-      // the last tick, and poll() only reports readiness, not depth. The
-      // listen fd is non-blocking (ListenUnix), so the loop ends with
-      // EAGAIN rather than blocking once the queue is empty.
-      while (true) {
-        const int conn = ::accept(listen_fd, nullptr, nullptr);
-        if (conn < 0) break;  // EAGAIN/EWOULDBLOCK (or transient error)
-        still.push_back(conn);
+
+    // Accept pass (both listeners): drain each queue to EAGAIN — poll()
+    // reports readiness, not depth.
+    if (!shutdown_) {
+      for (std::size_t i = 0; i < first_conn; ++i) {
+        if ((fds[i].revents & POLLIN) == 0) continue;
+        while (true) {
+          const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+          if (fd < 0) break;  // EAGAIN/EWOULDBLOCK (or transient error)
+          if (!SetNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+          }
+          Conn c;
+          c.fd = fd;
+          c.id = next_conn_id++;
+          conns.push_back(std::move(c));
+        }
       }
     }
-    conns = std::move(still);
+
+    // Job pass: one batch per job per wake, so concurrent gens make even
+    // progress and control commands interleave between batches.
+    for (std::size_t j = 0; !shutdown_ && j < jobs.size();) {
+      GenJob& job = jobs[j];
+      const std::size_t end =
+          std::min(job.pos + kGenBatch, job.events.size());
+      const ServeStats s = engine_->ServeRange(job.events, job.pos, end);
+      job.pos = end;
+      events_served_ += s.events;
+      job.stats.events += s.events;
+      job.stats.bytes_from_memory += s.bytes_from_memory;
+      job.stats.bytes_from_disk += s.bytes_from_disk;
+      job.stats.effective_hit_sum += s.effective_hit_sum;
+      job.stats.latency_sum_sec += s.latency_sum_sec;
+      job.stats.reallocations += s.reallocations;
+      if (job.pos < job.events.size()) {
+        ++j;
+        continue;
+      }
+      // Same accounting tail HandleRequest gives synchronous commands,
+      // with the span covering the whole pipelined lifetime.
+      const std::uint64_t end_ns = obs::MonotonicNanos();
+      daemon_request_ns_->Record(end_ns - job.begin_ns);
+      recorder_.RecordSpan(
+          "daemon.request", job.begin_ns, end_ns,
+          {{"cmd", "gen"}, {"ok", "1"}, {"pipelined", "1"}});
+      CheckAnomalies();
+      if (Conn* c = find_conn(job.conn_id)) {
+        enqueue(*c, FormatGenReply(job.stats));
+        c->has_job = false;
+        parse_frames(*c);  // frames that queued up behind the job
+        flush_out(*c);     // opportunistic; POLLOUT covers the rest
+      }
+      jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+
+    // Sweep closed connections (any job they still own keeps running;
+    // its reply is dropped at completion).
+    for (std::size_t k = 0; k < conns.size();) {
+      if (conns[k].closed) {
+        ::close(conns[k].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        ++k;
+      }
+    }
   }
-  for (const int fd : conns) ::close(fd);
+
+  // Jobs cut short by shutdown still owe their connection a reply frame.
+  for (const GenJob& job : jobs) {
+    if (Conn* c = find_conn(job.conn_id)) {
+      enqueue(*c, Err("daemon shutting down"));
+      c->has_job = false;
+    }
+  }
+  // Bounded drain of buffered replies (the `shutdown` "ok bye" included).
+  // Stop() skips it: that path is for tests/operators tearing down fast.
+  if (shutdown_) {
+    const std::uint64_t deadline = obs::MonotonicNanos() + kShutdownFlushNs;
+    while (obs::MonotonicNanos() < deadline) {
+      std::vector<pollfd> fds;
+      for (const Conn& c : conns) {
+        if (!c.closed && c.out_off < c.out.size()) {
+          fds.push_back(pollfd{c.fd, POLLOUT, 0});
+        }
+      }
+      if (fds.empty()) break;
+      if (::poll(fds.data(), fds.size(), 50) < 0 && errno != EINTR) break;
+      for (Conn& c : conns) {
+        if (!c.closed && c.out_off < c.out.size() && !flush_out(c)) {
+          c.closed = true;
+        }
+      }
+    }
+  }
+  for (const Conn& c : conns) ::close(c.fd);
+  if (tcp_fd >= 0) ::close(tcp_fd);
   ::close(listen_fd);
   ::unlink(config_.socket_path.c_str());
   return 0;

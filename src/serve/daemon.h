@@ -1,7 +1,19 @@
 // Daemon — the long-running serving process: owns a CacheCluster, an
 // OpusMaster control loop, and a ServingEngine, and exposes them over a
-// Unix-socket text protocol (serve/protocol.h frames, one command per
-// frame, one reply per frame).
+// Unix-socket (and optional loopback-TCP) text protocol (serve/protocol.h
+// frames, one command per frame, one reply per frame).
+//
+// The serve loop is pipelined: every accepted fd is non-blocking with
+// per-connection read/write buffers and incremental frame assembly
+// (FrameSplitter), so a client that dribbles half a frame — or is slow to
+// drain a large metrics reply — never head-of-line-blocks the others.
+// Long `gen` commands run as background jobs sliced into fixed event
+// batches (one batch per loop wake, via ServingEngine::ServeRange, which
+// keeps the result replay-identical to one synchronous call); control
+// commands from other connections interleave at batch boundaries. Replies
+// on a single connection stay FIFO: while a connection has a job in
+// flight its buffered frames are simply not parsed until the job's reply
+// is queued.
 //
 // Command set (whitespace-separated tokens; numeric arguments are parsed
 // strictly — trailing garbage or out-of-range values are command errors,
@@ -54,6 +66,10 @@ namespace opus::serve {
 
 struct DaemonConfig {
   std::string socket_path = "/tmp/opus.sock";
+  // Also listen on TCP 127.0.0.1:tcp_port (loopback only — the protocol
+  // is unauthenticated). -1 = Unix socket only; 0 = kernel-assigned port,
+  // readable via tcp_bound_port() once Run() is up.
+  int tcp_port = -1;
   cache::ClusterConfig cluster;
   sim::OpusMasterConfig master;
   EngineConfig engine;
@@ -95,13 +111,21 @@ class Daemon {
   // tests; Run() routes every socket frame through here.
   std::string HandleRequest(const std::string& request);
 
-  // Serves the socket until a `shutdown` command or Stop(). Returns 0 on
-  // clean shutdown, 1 when the socket could not be created.
+  // Serves the Unix socket (and the TCP listener when configured) until a
+  // `shutdown` command or Stop(). Returns 0 on clean shutdown, 1 when a
+  // listener could not be created.
   int Run();
 
   // Asynchronous stop for tests driving Run() from another thread (the
   // poll loop notices within its timeout).
   void Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // The TCP port Run() actually bound (meaningful once Run() is serving;
+  // -1 while unbound or when TCP is off). With config tcp_port = 0 this is
+  // how tests learn the kernel-assigned port.
+  int tcp_bound_port() const {
+    return tcp_bound_port_.load(std::memory_order_acquire);
+  }
 
   bool shutdown_requested() const { return shutdown_; }
   cache::CacheCluster& cluster() { return cluster_; }
@@ -121,6 +145,13 @@ class Daemon {
   std::string HandleMetrics(const std::vector<std::string>& args) const;
   std::string HandleServe(const std::vector<std::string>& args);
   std::string HandleGen(const std::vector<std::string>& args);
+  // Parses a `gen N SEED` argument list and generates the synthetic
+  // schedule without serving it. Returns "" on success, an "err ..."
+  // reply otherwise. Pure given (active users, seed): HandleGen and the
+  // pipelined job path both build their events here.
+  std::string PrepareGen(const std::vector<std::string>& args,
+                         std::vector<workload::AccessEvent>* events);
+  static std::string FormatGenReply(const ServeStats& stats);
   std::string HandleReconfig(const std::vector<std::string>& args);
   std::string HandleAddUser(const std::vector<std::string>& args);
   std::string HandleDropUser(const std::vector<std::string>& args);
@@ -142,11 +173,15 @@ class Daemon {
   std::uint64_t events_served_ = 0;
   bool shutdown_ = false;
   std::atomic<bool> stop_{false};
+  std::atomic<int> tcp_bound_port_{-1};
 
   // --- runtime telemetry (never touches cluster_.metrics()) ---
   obs::RuntimeTelemetry telemetry_;
   obs::FlightRecorder recorder_;
   obs::LogLinearHistogram* daemon_request_ns_ = nullptr;
+  // Frames completed per connection wake: >1 means the client actually
+  // pipelined and the loop absorbed the burst in one pass.
+  obs::LogLinearHistogram* daemon_pipeline_depth_ = nullptr;
   // Anomaly-trigger state: deltas trip on growth, the p99 gate trips once.
   std::uint64_t flight_trips_ = 0;
   std::uint64_t last_audit_violations_ = 0;

@@ -21,7 +21,8 @@ ServingEngine::ServingEngine(cache::CacheCluster* cluster,
                                          cluster->num_workers())))),
       telemetry_(config.telemetry), recorder_(config.recorder),
       sample_every_(std::max<std::uint64_t>(1, config.telemetry_sample_every)),
-      sharded_(cluster->num_workers()) {
+      sharded_(cluster->num_workers()),
+      optimistic_(config.optimistic_unmanaged) {
   OPUS_CHECK(cluster_ != nullptr);
   // Span sampling keys off global emission order, which the concurrent
   // probe phase does not preserve — the replay-equivalence contract holds
@@ -42,6 +43,13 @@ ServingEngine::ServingEngine(cache::CacheCluster* cluster,
       file_worker_blocks_[f][w].push_back(idx);
     }
   }
+  worker_block_counts_.assign(workers, 0);
+  for (const auto& by_worker : file_worker_blocks_) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_block_counts_[w] += by_worker[w].size();
+    }
+  }
+  pending_touches_.resize(workers);
   partials_.resize(threads_);
   worker_deltas_.assign(workers, WorkerDelta{});
 
@@ -53,6 +61,8 @@ ServingEngine::ServingEngine(cache::CacheCluster* cluster,
     batch_events_ = &telemetry_->histogram("serve.batch.events");
     lock_wait_ns_ = &telemetry_->histogram("serve.shard.lock_wait_ns");
     lock_hold_ns_ = &telemetry_->histogram("serve.shard.lock_hold_ns");
+    seq_retries_ = &telemetry_->histogram("serve.seqlock.retries");
+    seq_fallbacks_ = &telemetry_->histogram("serve.seqlock.fallbacks");
     const std::uint32_t users = cluster_->config().num_users;
     if (users <= kMaxPerUserHistograms) {
       user_read_ns_.reserve(users);
@@ -82,10 +92,15 @@ void ServingEngine::ProbeChunk(
   if (begin >= end) return;
   const std::size_t chunk = end - begin;
   const std::size_t workers = cluster_->num_workers();
-  // Re-attach every phase: FailWorker replaces the store object.
+  const bool optimistic = optimistic_ && !cluster_->managed();
+  // Re-attach every phase: FailWorker replaces the store object. For the
+  // optimistic path, arm each store for lock-free probes (idempotent once
+  // sized; a restarted worker's fresh store gets re-armed here).
   for (std::size_t w = 0; w < workers; ++w) {
-    sharded_.Attach(w, &cluster_->worker(static_cast<cache::WorkerId>(w))
-                            .store());
+    cache::BlockStore* store =
+        &cluster_->worker(static_cast<cache::WorkerId>(w)).store();
+    sharded_.Attach(w, store);
+    if (optimistic) store->ReserveForConcurrentProbes(worker_block_counts_[w]);
   }
   for (auto& slab : partials_) {
     slab.assign(chunk, EventPartial{});
@@ -143,13 +158,71 @@ void ServingEngine::ProbeChunk(
               delta.miss_bytes += bytes;
             }
           }
+        } else if (optimistic) {
+          // Optimistic cache-on-read: resident probes are lock-free
+          // (seqlock snapshot/validate) with the LRU/LFU touch deferred
+          // into the shard's pending list; only a miss (or a rare probe
+          // fallback) takes the shard WriteLock. Deferred touches flush in
+          // recorded order before the insert, so the store executes
+          // exactly the serial op sequence (see the file comment in
+          // engine.h for the replay-equivalence argument).
+          std::vector<cache::BlockId>& pending = pending_touches_[w];
+          std::uint64_t* retries = rec != nullptr ? &rec->seq_retries : nullptr;
+          for (std::uint32_t idx : blocks) {
+            const cache::BlockId block = cache::MakeBlockId(ev.file, idx);
+            const std::uint64_t bytes = info.BlockBytes(idx);
+            const ShardedStore::ProbeResult pr =
+                sharded_.TryProbe(w, block, retries);
+            if (pr == ShardedStore::ProbeResult::kHit) {
+              pending.push_back(block);
+              partial.mem += bytes;
+              ++delta.hits;
+              delta.hit_bytes += bytes;
+              continue;
+            }
+            if (pr == ShardedStore::ProbeResult::kFallback &&
+                rec != nullptr) {
+              ++rec->seq_fallbacks;
+            }
+            // Miss (or unresolved probe): resolve under the write lock.
+            // Sampled events still time the acquisition and held section,
+            // so lock_wait/lock_hold keep describing the contended path.
+            const std::uint64_t lock_start =
+                sampled ? obs::MonotonicNanos() : 0;
+            ShardedStore::WriteGuard guard = sharded_.WriteLock(w);
+            const std::uint64_t lock_held =
+                sampled ? obs::MonotonicNanos() : 0;
+            cache::BlockStore& store = sharded_.shard(w);
+            for (const cache::BlockId touched : pending) {
+              store.Access(touched);
+            }
+            pending.clear();
+            if (store.Access(block)) {
+              // Only reachable via fallback: a validated kMiss cannot be
+              // resident (this thread owns every mutation of this shard).
+              partial.mem += bytes;
+              ++delta.hits;
+              delta.hit_bytes += bytes;
+            } else {
+              partial.disk += bytes;
+              ++delta.misses;
+              delta.miss_bytes += bytes;
+              store.Insert(block, bytes);
+            }
+            if (sampled) {
+              const std::uint64_t released = obs::MonotonicNanos();
+              rec->lock_wait.Record(lock_held - lock_start);
+              rec->lock_hold.Record(released - lock_held);
+            }
+          }
         } else {
-          // Cache-on-read mutates the shard (inserts + evictions): batch
-          // the event's ops for this shard under its mutex. Sampled events
-          // also time the acquisition (contention) and the held section.
+          // Mutex cache-on-read (optimistic_unmanaged = false): batch the
+          // event's ops for this shard under its write lock. Sampled
+          // events also time the acquisition (contention) and the held
+          // section.
           const std::uint64_t lock_start =
               sampled ? obs::MonotonicNanos() : 0;
-          auto lock = sharded_.Lock(w);
+          ShardedStore::WriteGuard guard = sharded_.WriteLock(w);
           const std::uint64_t lock_held =
               sampled ? obs::MonotonicNanos() : 0;
           cache::BlockStore& store = sharded_.shard(w);
@@ -168,7 +241,6 @@ void ServingEngine::ProbeChunk(
             }
           }
           if (sampled) {
-            lock.unlock();
             const std::uint64_t released = obs::MonotonicNanos();
             rec->lock_wait.Record(lock_held - lock_start);
             rec->lock_hold.Record(released - lock_held);
@@ -176,6 +248,20 @@ void ServingEngine::ProbeChunk(
         }
       }
       if (sampled) partial.nanos = obs::MonotonicNanos() - probe_start;
+    }
+    if (optimistic) {
+      // Phase-end flush: apply the tail of deferred touches so the next
+      // phase (or the drain's audit) sees fully caught-up policy state.
+      for (std::size_t w = t; w < workers; w += threads_) {
+        std::vector<cache::BlockId>& pending = pending_touches_[w];
+        if (pending.empty()) continue;
+        ShardedStore::WriteGuard guard = sharded_.WriteLock(w);
+        cache::BlockStore& store = sharded_.shard(w);
+        for (const cache::BlockId touched : pending) {
+          store.Access(touched);
+        }
+        pending.clear();
+      }
     }
   };
   if (threads_ == 1) {
@@ -226,11 +312,23 @@ void ServingEngine::DrainChunk(
     d = WorkerDelta{};
   }
   if (telemetry) {
+    std::uint64_t seq_retries = 0;
+    std::uint64_t seq_fallbacks = 0;
     for (ThreadRecorder& rec : thread_recorders_) {
       lock_wait_ns_->Merge(rec.lock_wait);
       lock_hold_ns_->Merge(rec.lock_hold);
       rec.lock_wait.Clear();
       rec.lock_hold.Clear();
+      seq_retries += rec.seq_retries;
+      seq_fallbacks += rec.seq_fallbacks;
+      rec.seq_retries = 0;
+      rec.seq_fallbacks = 0;
+    }
+    if (optimistic_ && !managed) {
+      // Per-phase totals; an all-quiet phase records 0 on both, so the
+      // histogram count doubles as an optimistic-phase counter.
+      seq_retries_->Record(seq_retries);
+      seq_fallbacks_->Record(seq_fallbacks);
     }
     batch_events_->Record(end - begin);
     const std::uint64_t drain_end = obs::MonotonicNanos();
@@ -281,9 +379,17 @@ void ServingEngine::ServeSerial(const workload::AccessEvent& event,
 
 ServeStats ServingEngine::Serve(
     const std::vector<workload::AccessEvent>& events) {
+  return ServeRange(events, 0, events.size());
+}
+
+ServeStats ServingEngine::ServeRange(
+    const std::vector<workload::AccessEvent>& events, std::size_t begin,
+    std::size_t end) {
+  OPUS_CHECK_LE(begin, end);
+  OPUS_CHECK_LE(end, events.size());
   ServeStats stats;
-  std::size_t i = 0;
-  const std::size_t n = events.size();
+  std::size_t i = begin;
+  const std::size_t n = end;
   while (i < n) {
     if (master_ == nullptr) {
       ProbeChunk(events, i, n);

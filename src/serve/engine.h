@@ -24,8 +24,23 @@
 //    store evolution (hits, LRU/LFU state, evictions) deterministic and
 //    equal to the serial run's. Managed-mode phases touch only
 //    pinned-resident state and run lock-free under affinity; unmanaged
-//    (cache-on-read) phases mutate their shard under its ShardedStore
-//    mutex.
+//    (cache-on-read) phases default to the optimistic seqlock read path
+//    below and take the ShardedStore mutex only to mutate (misses/inserts)
+//    or on the explicit mutex path (optimistic_unmanaged = false).
+//
+//  - Optimistic unmanaged reads (the seqlock path): resident probes run
+//    lock-free — snapshot the shard's seqlock version, run the store's
+//    side-effect-free Probe(), validate the version (ShardedStore::
+//    TryProbe) — and the LRU/LFU touch the serial path would apply is
+//    deferred into a per-shard pending list. Replay equivalence survives
+//    because deferred touches are flushed, in recorded order and under the
+//    shard WriteLock, BEFORE any insert on that shard (and at phase end):
+//    since nothing else mutates the shard in between (affinity), the
+//    store's actual op sequence is exactly the serial one, so hits,
+//    eviction victims, and metrics stay byte-identical. A probe that
+//    cannot get a consistent snapshot falls back to the locked path —
+//    mandatory whenever the store is not armed for concurrent probes
+//    (ReserveForConcurrentProbes) or validation keeps failing.
 //
 //  - Batched access stats (MPSC drain): per-access metric effects are not
 //    applied in the probe. Each thread accumulates per-event byte totals
@@ -74,6 +89,11 @@ struct EngineConfig {
   // the clock reads off the common path: the overhead budget is <2% and a
   // steady_clock read costs ~25ns against ~1us/event.
   std::uint64_t telemetry_sample_every = 16;
+  // Unmanaged phases use the lock-free seqlock probe path (see file
+  // comment). False forces every unmanaged probe under the shard mutex —
+  // the pre-optimistic behaviour, kept for A/B benchmarking
+  // (bench_serving_throughput) and `opus_daemon --mutex-reads`.
+  bool optimistic_unmanaged = true;
 };
 
 struct ServeStats {
@@ -98,6 +118,15 @@ class ServingEngine {
   // Not reentrant: one Serve call at a time.
   ServeStats Serve(const std::vector<workload::AccessEvent>& events);
 
+  // Serves the sub-range [begin, end) of `events`. Splitting one schedule
+  // across consecutive ServeRange calls is replay-equivalent to a single
+  // Serve over the whole of it: chunk boundaries derive from master state
+  // (accesses_until_update) that carries across calls. This is what lets
+  // the daemon interleave control commands into a long `gen` at batch
+  // boundaries without perturbing determinism.
+  ServeStats ServeRange(const std::vector<workload::AccessEvent>& events,
+                        std::size_t begin, std::size_t end);
+
   unsigned threads() const { return threads_; }
 
   // Live latency quantiles (empty vector when telemetry is off).
@@ -121,6 +150,9 @@ class ServingEngine {
   struct ThreadRecorder {
     obs::LogLinearHistogram lock_wait;
     obs::LogLinearHistogram lock_hold;
+    // Seqlock probe outcomes this phase (unsampled — cheap counters).
+    std::uint64_t seq_retries = 0;
+    std::uint64_t seq_fallbacks = 0;
   };
 
   // Probes events [begin, end) across threads_ shard-affine threads,
@@ -155,14 +187,27 @@ class ServingEngine {
   obs::LogLinearHistogram* batch_events_ = nullptr;
   obs::LogLinearHistogram* lock_wait_ns_ = nullptr;
   obs::LogLinearHistogram* lock_hold_ns_ = nullptr;
+  // Per-phase seqlock totals (distribution of retry/fallback counts per
+  // probe phase; all-zero phases record 0 so the count doubles as a phase
+  // counter). Valid iff telemetry_ != nullptr.
+  obs::LogLinearHistogram* seq_retries_ = nullptr;
+  obs::LogLinearHistogram* seq_fallbacks_ = nullptr;
   // Per-user read histograms, index = UserId (empty when the user count
   // exceeds kMaxPerUserHistograms — cardinality must stay bounded).
   std::vector<obs::LogLinearHistogram*> user_read_ns_;
   std::vector<ThreadRecorder> thread_recorders_;  // [thread]; per phase
   ShardedStore sharded_;
+  const bool optimistic_;
   // Per-(file, worker) block indices, precomputed so a probe thread walks
   // exactly its shards' blocks instead of filtering the whole file.
   std::vector<std::vector<std::vector<std::uint32_t>>> file_worker_blocks_;
+  // Catalog blocks placed on each worker — the exact upper bound on that
+  // shard's resident set, fed to ReserveForConcurrentProbes.
+  std::vector<std::size_t> worker_block_counts_;
+  // Deferred LRU/LFU touches per shard (optimistic unmanaged path).
+  // Written only by the shard's owning thread; flushed under the shard
+  // WriteLock before any insert and at phase end.
+  std::vector<std::vector<cache::BlockId>> pending_touches_;  // [worker]
   std::vector<std::vector<EventPartial>> partials_;  // [thread][event-begin]
   std::vector<WorkerDelta> worker_deltas_;  // [worker]; single writer/phase
 };

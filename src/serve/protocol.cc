@@ -4,7 +4,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -52,6 +56,16 @@ bool FillAddr(const std::string& path, sockaddr_un* addr) {
   return true;
 }
 
+std::uint32_t DecodeLen(const char* prefix) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
+          << 24);
+}
+
 }  // namespace
 
 bool WriteFrame(int fd, std::string_view payload) {
@@ -68,14 +82,7 @@ bool WriteFrame(int fd, std::string_view payload) {
 bool ReadFrame(int fd, std::string* payload, std::size_t max_payload) {
   char prefix[4];
   if (!ReadAll(fd, prefix, sizeof(prefix))) return false;
-  const std::uint32_t len =
-      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
-       << 8) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
-       << 16) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
-       << 24);
+  const std::uint32_t len = DecodeLen(prefix);
   if (len > max_payload) return false;
   payload->resize(len);
   return len == 0 || ReadAll(fd, payload->data(), len);
@@ -102,10 +109,9 @@ int ListenUnix(const std::string& path, int backlog) {
   }
   // Non-blocking listener: accept loops can drain every pending connection
   // until EAGAIN without risking a block between poll() and accept().
-  // Accepted connections do NOT inherit the flag, so per-connection frame
-  // I/O stays blocking.
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+  // Accepted connections do NOT inherit the flag; the daemon's pipelined
+  // loop makes each one non-blocking itself after accept.
+  if (!SetNonBlocking(fd)) {
     std::perror("fcntl");
     ::close(fd);
     return -1;
@@ -126,6 +132,132 @@ int DialUnix(const std::string& path) {
     return -1;
   }
   return fd;
+}
+
+int ListenTcp(std::uint16_t port, int backlog, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  // Fast restarts: a daemon killed mid-connection leaves TIME_WAIT pairs
+  // that would otherwise block rebinding the fixed port for minutes.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    std::perror("listen");
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      std::perror("getsockname");
+      ::close(fd);
+      return -1;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  if (!SetNonBlocking(fd)) {
+    std::perror("fcntl");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int DialTcp(const std::string& host_port) {
+  // Split at the LAST ':' so a future bracketed-IPv6 host form stays
+  // parseable; today hosts are names or IPv4 literals.
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    std::fprintf(stderr, "expected HOST:PORT, got: %s\n", host_port.c_str());
+    return -1;
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    std::fprintf(stderr, "resolve %s: %s\n", host_port.c_str(),
+                 ::gai_strerror(rc));
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+FrameSplitter::Result FrameSplitter::Next(std::string* payload,
+                                          std::size_t max_payload) {
+  if (buf_.size() - pos_ < 4) {
+    // Drop the consumed prefix once nothing straddles it, so the buffer
+    // never grows across a long pipelined session.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return Result::kNeedMore;
+  }
+  const std::uint32_t len = DecodeLen(buf_.data() + pos_);
+  if (len > max_payload) return Result::kOversize;
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) {
+    return Result::kNeedMore;
+  }
+  payload->assign(buf_, pos_ + 4, len);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10) && pos_ * 2 > buf_.size()) {
+    // Compact when the dead prefix dominates: keeps memory proportional to
+    // unconsumed bytes without memmoving on every frame.
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Result::kFrame;
 }
 
 }  // namespace opus::serve

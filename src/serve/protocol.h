@@ -1,11 +1,14 @@
 // Wire protocol for the serving daemon: length-prefixed frames over a
-// Unix-domain stream socket.
+// Unix-domain or TCP stream socket.
 //
 // Frame = 4-byte little-endian payload length + payload bytes. Payloads
 // are single-line text commands/replies (see serve/daemon.h for the
 // command set); framing keeps message boundaries exact so replies can
 // carry arbitrary text (metric snapshots, JSON audit reports) without
-// in-band delimiters.
+// in-band delimiters. Both transports speak the identical frame format —
+// the daemon's pipelined poll loop assembles frames incrementally via
+// FrameSplitter, so a slow sender can never head-of-line-block other
+// connections.
 #pragma once
 
 #include <cstdint>
@@ -34,5 +37,54 @@ int ListenUnix(const std::string& path, int backlog = 8);
 
 // Connects to the daemon socket at `path`. Returns the fd, or -1.
 int DialUnix(const std::string& path);
+
+// Binds and listens on TCP 127.0.0.1:`port` (port 0 = kernel-assigned;
+// the bound port is reported through *bound_port when non-null). Loopback
+// only: the daemon speaks an unauthenticated control protocol, so it never
+// listens on a routable interface. The returned fd is non-blocking, like
+// ListenUnix. Returns -1 with a message on stderr on failure.
+int ListenTcp(std::uint16_t port, int backlog = 8,
+              std::uint16_t* bound_port = nullptr);
+
+// Connects to `host_port` ("HOST:PORT", e.g. "127.0.0.1:7070"; the host
+// may be a name). Sets TCP_NODELAY — frames are small command/reply pairs
+// where Nagle coalescing only adds latency. Returns the fd, or -1.
+int DialTcp(const std::string& host_port);
+
+// Encodes `payload` as one wire frame (prefix + bytes), for callers that
+// buffer writes instead of writing straight to a socket.
+std::string EncodeFrame(std::string_view payload);
+
+// Puts `fd` into non-blocking mode. False (with errno set) on failure.
+bool SetNonBlocking(int fd);
+
+// Incremental frame assembler for non-blocking reads: feed raw bytes in
+// whatever chunks recv() produces, pull complete frames out. Detects an
+// oversize length prefix as soon as the 4 prefix bytes arrive, without
+// buffering the bogus payload.
+class FrameSplitter {
+ public:
+  enum class Result {
+    kFrame,     // *payload holds one complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kOversize,  // length prefix exceeds max_payload: protocol error
+  };
+
+  void Append(const char* data, std::size_t len) {
+    buf_.append(data, len);
+  }
+
+  // Extracts the next complete frame into *payload. Call repeatedly until
+  // kNeedMore: one Append can complete several pipelined frames.
+  Result Next(std::string* payload,
+              std::size_t max_payload = kMaxFramePayload);
+
+  // Bytes buffered but not yet returned as frames.
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
 
 }  // namespace opus::serve

@@ -8,8 +8,10 @@ ShardedStore::ShardedStore(std::size_t num_shards) {
   OPUS_CHECK_GT(num_shards, 0u);
   shards_.assign(num_shards, nullptr);
   mutexes_.reserve(num_shards);
+  seqs_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     mutexes_.push_back(std::make_unique<std::mutex>());
+    seqs_.push_back(std::make_unique<SeqCounter>());
   }
 }
 
@@ -19,29 +21,60 @@ void ShardedStore::Attach(std::size_t s, cache::BlockStore* store) {
   shards_[s] = store;
 }
 
+ShardedStore::ProbeResult ShardedStore::TryProbe(std::size_t s,
+                                                 cache::BlockId block,
+                                                 std::uint64_t* retries) const {
+  const cache::BlockStore* store = shards_[s];
+  if (!store->concurrent_probe_safe()) {
+    return ProbeResult::kFallback;
+  }
+  const std::atomic<std::uint64_t>& seq = seqs_[s]->v;
+  // A handful of attempts is enough: writer sections are short (one cache
+  // op), so repeated failure means sustained writer pressure — let the
+  // caller queue on the mutex instead of spinning.
+  constexpr int kAttempts = 4;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const std::uint64_t v1 = seq.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) {  // writer active right now
+      if (retries != nullptr) ++*retries;
+      continue;
+    }
+    const bool resident = store->Probe(block);
+    // Order the probe's relaxed reads before the validation re-load; the
+    // writer's acq_rel bump on exit pairs with this fence.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t v2 = seq.load(std::memory_order_relaxed);
+    if (v1 == v2) {
+      return resident ? ProbeResult::kHit : ProbeResult::kMiss;
+    }
+    if (retries != nullptr) ++*retries;
+  }
+  return ProbeResult::kFallback;
+}
+
 bool ShardedStore::Access(std::size_t s, cache::BlockId block) {
-  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  const WriteGuard guard = WriteLock(s);
   return shards_[s]->Access(block);
 }
 
 bool ShardedStore::Insert(std::size_t s, cache::BlockId block,
                           std::uint64_t bytes) {
-  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  const WriteGuard guard = WriteLock(s);
   return shards_[s]->Insert(block, bytes);
 }
 
 void ShardedStore::Erase(std::size_t s, cache::BlockId block) {
-  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  const WriteGuard guard = WriteLock(s);
   shards_[s]->Erase(block);
 }
 
 bool ShardedStore::Pin(std::size_t s, cache::BlockId block) {
-  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  const WriteGuard guard = WriteLock(s);
   return shards_[s]->Pin(block);
 }
 
 void ShardedStore::Unpin(std::size_t s, cache::BlockId block) {
-  const std::lock_guard<std::mutex> lock(*mutexes_[s]);
+  const WriteGuard guard = WriteLock(s);
   shards_[s]->Unpin(block);
 }
 

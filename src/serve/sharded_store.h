@@ -7,16 +7,29 @@
 //
 //  - One mutex per shard. Mutating ops (Access/Insert/Erase/Pin/Unpin)
 //    lock only their shard; there is no global lock anywhere.
-//  - `shard()` / `Lock()` expose the raw store and its lock separately for
-//    callers that batch many ops under one acquisition (the serving
-//    engine's per-event segments) or that run shard-affine phases where a
-//    single thread owns a shard outright and can skip the lock entirely
-//    (the managed-mode read path — see serve/engine.h).
+//  - One seqlock version per shard (even = stable, odd = writer active).
+//    Every mutating path bumps it inside the shard lock — the locked
+//    single-op wrappers below, and any caller batching mutations through
+//    WriteLock(). Read-only probes can then run entirely lock-free via
+//    TryProbe(): snapshot the version, run the store's side-effect-free
+//    Probe(), validate the version, and retry/fall back on any overlap
+//    with a writer. BlockStore::Probe reads only atomically-annotated
+//    words and the store must be armed with ReserveForConcurrentProbes
+//    (TryProbe falls back otherwise), so a racing probe is a discarded
+//    value, never undefined behaviour — the protocol is TSan-clean.
+//  - `shard()` / `Lock()` / `WriteLock()` expose the raw store and its
+//    lock for callers that batch many ops under one acquisition (the
+//    serving engine's per-event segments) or that run shard-affine phases
+//    where a single thread owns a shard outright and can skip the lock
+//    entirely (the managed-mode read path — see serve/engine.h). Lock()
+//    is for read-only batches; anything that mutates the store MUST go
+//    through WriteLock() so lock-free probers see the version change.
 //
 // Shards are attached by pointer and never owned: FailWorker replaces the
 // worker's store object, so the engine re-attaches before every phase.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +42,37 @@ namespace opus::serve {
 
 class ShardedStore {
  public:
+  // Outcome of a lock-free probe attempt. kFallback means no consistent
+  // snapshot was obtained (persistent writer activity, or the store is not
+  // armed for concurrent probes) and the caller must use the locked path.
+  enum class ProbeResult { kHit, kMiss, kFallback };
+
+  // RAII writer section: takes the shard mutex and holds the seqlock
+  // version odd for the guard's lifetime. All mutations of an attached
+  // store must happen inside one of these (the locked wrappers below use
+  // it internally).
+  class WriteGuard {
+   public:
+    WriteGuard(std::mutex& mu, std::atomic<std::uint64_t>& seq)
+        : lock_(mu), seq_(&seq) {
+      seq_->fetch_add(1, std::memory_order_acq_rel);  // even -> odd
+    }
+    WriteGuard(WriteGuard&& other) noexcept
+        : lock_(std::move(other.lock_)), seq_(other.seq_) {
+      other.seq_ = nullptr;
+    }
+    WriteGuard& operator=(WriteGuard&&) = delete;
+    ~WriteGuard() {
+      if (seq_ != nullptr) {
+        seq_->fetch_add(1, std::memory_order_acq_rel);  // odd -> even
+      }
+    }
+
+   private:
+    std::unique_lock<std::mutex> lock_;
+    std::atomic<std::uint64_t>* seq_;
+  };
+
   explicit ShardedStore(std::size_t num_shards);
 
   std::size_t num_shards() const { return shards_.size(); }
@@ -41,9 +85,31 @@ class ShardedStore {
   cache::BlockStore& shard(std::size_t s) { return *shards_[s]; }
   const cache::BlockStore& shard(std::size_t s) const { return *shards_[s]; }
 
-  // The shard's lock, for callers batching several ops per acquisition.
+  // The shard's lock for READ-ONLY batches (several consistent lookups per
+  // acquisition). Mutating under this lock alone would let a concurrent
+  // TryProbe validate against an unchanged version — use WriteLock().
   std::unique_lock<std::mutex> Lock(std::size_t s) {
     return std::unique_lock<std::mutex>(*mutexes_[s]);
+  }
+
+  // The shard's lock plus the seqlock writer bump, for callers batching
+  // several MUTATIONS per acquisition.
+  WriteGuard WriteLock(std::size_t s) {
+    return WriteGuard(*mutexes_[s], seqs_[s]->v);
+  }
+
+  // Lock-free optimistic residency probe (the seqlock read protocol).
+  // Never mutates policy state; the caller is responsible for deferring
+  // the LRU/LFU touch (see serve/engine.h). `retries` (optional) is
+  // incremented once per discarded attempt, so callers can feed seqlock
+  // contention into telemetry.
+  ProbeResult TryProbe(std::size_t s, cache::BlockId block,
+                       std::uint64_t* retries = nullptr) const;
+
+  // Current seqlock version of shard `s` (even = stable). Exposed for
+  // tests asserting writer bumps.
+  std::uint64_t version(std::size_t s) const {
+    return seqs_[s]->v.load(std::memory_order_acquire);
   }
 
   // Locked single-op wrappers (mixed concurrent callers / stress tests).
@@ -60,9 +126,16 @@ class ShardedStore {
   std::uint64_t evictions() const;
 
  private:
+  // One cache line per version counter so probe validation on one shard
+  // never false-shares with writer bumps on a neighbour.
+  struct alignas(64) SeqCounter {
+    std::atomic<std::uint64_t> v{0};
+  };
+
   std::vector<cache::BlockStore*> shards_;
   // unique_ptr: std::mutex is immovable and the vector is sized once.
   std::vector<std::unique_ptr<std::mutex>> mutexes_;
+  std::vector<std::unique_ptr<SeqCounter>> seqs_;
 };
 
 }  // namespace opus::serve

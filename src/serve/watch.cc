@@ -1,0 +1,65 @@
+#include "serve/watch.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace opus::serve {
+namespace {
+
+// One key=value or "name value" line -> (key, numeric value). False when
+// the line has neither shape or the value is not a finite number.
+bool ParseLine(std::string_view line, std::string* key, double* value) {
+  // Trim a trailing '\r' so the parser is CRLF-tolerant.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.empty() || line.front() == '#') return false;
+  const std::size_t eq = line.find('=');
+  if (eq != std::string_view::npos &&
+      line.find(' ') == std::string_view::npos) {
+    *key = std::string(line.substr(0, eq));
+    return !key->empty() &&
+           ParseFiniteDouble(std::string(line.substr(eq + 1)), value);
+  }
+  // Prometheus: "name{labels} value" or "name value" — split at the LAST
+  // space so label values containing spaces stay inside the key.
+  const std::size_t sp = line.rfind(' ');
+  if (sp == std::string_view::npos || sp == 0) return false;
+  *key = std::string(line.substr(0, sp));
+  return ParseFiniteDouble(std::string(line.substr(sp + 1)), value);
+}
+
+}  // namespace
+
+std::map<std::string, double> ParseNumericSamples(std::string_view text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string key;
+    double value = 0.0;
+    if (ParseLine(text.substr(pos, nl - pos), &key, &value)) {
+      out[key] = value;
+    }
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::string FormatRates(const std::map<std::string, double>& prev,
+                        const std::map<std::string, double>& cur,
+                        double interval_sec) {
+  if (!(interval_sec > 0.0)) return "";
+  std::ostringstream out;
+  for (const auto& [key, value] : cur) {
+    const auto it = prev.find(key);
+    if (it == prev.end() || value == it->second) continue;
+    const double rate = (value - it->second) / interval_sec;
+    out << key << "=" << (rate >= 0.0 ? "+" : "") << rate << "/s\n";
+  }
+  std::string s = out.str();
+  if (!s.empty()) s.pop_back();  // no trailing newline
+  return s;
+}
+
+}  // namespace opus::serve

@@ -1,0 +1,31 @@
+// Helpers for `opus_client watch`: turn two successive daemon samples
+// (status key=value lines or Prometheus exposition) into per-interval
+// rates, so a poller sees requests/sec and evictions/sec next to the raw
+// monotonically-growing counters without post-processing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace opus::serve {
+
+// Extracts every numeric sample from a reply payload. Two line shapes are
+// recognized, covering both watchable commands:
+//   key=value            (status)
+//   name value           (Prometheus; an optional {labels} suffix on the
+//                         name is kept as part of the key, '#' comment
+//                         lines are skipped)
+// Non-numeric values (policy names, paths) are ignored.
+std::map<std::string, double> ParseNumericSamples(std::string_view text);
+
+// Formats per-second rates between two samples taken `interval_sec` apart:
+// one "key=+RATE/s" line per key present in both maps whose value changed.
+// Monotonic decreases (daemon restart, histogram reset) are reported as
+// negative rates rather than hidden — a poller should see the discontinuity.
+// Returns "" when nothing changed or interval_sec <= 0.
+std::string FormatRates(const std::map<std::string, double>& prev,
+                        const std::map<std::string, double>& cur,
+                        double interval_sec);
+
+}  // namespace opus::serve

@@ -5,6 +5,7 @@
 // contract of src/serve (see serve/engine.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -120,22 +121,61 @@ TEST(EngineReplayTest, ManagedMatchesSerialOracleAtEveryThreadCount) {
 }
 
 TEST(EngineReplayTest, UnmanagedMatchesSerialOracle) {
-  // Cache-on-read: probe phases mutate the shards (inserts + evictions)
-  // under the shard mutexes; per-shard op order is still pinned.
+  // Cache-on-read: probe phases mutate the shards (inserts + evictions);
+  // per-shard op order is still pinned. Both read paths — the default
+  // optimistic seqlock protocol and the always-mutex baseline — must be
+  // byte-indistinguishable from the serial oracle at every thread count.
   const std::vector<workload::AccessEvent> events = MakeEvents(500);
   cache::CacheCluster oracle(MakeClusterConfig(), MakeCatalog());
   ServeOracle(&oracle, nullptr, events);
   EXPECT_GT(oracle.total_evictions(), 0u);
 
-  for (const unsigned threads : {1u, 2u, 4u}) {
-    cache::CacheCluster cluster(MakeClusterConfig(), MakeCatalog());
-    EngineConfig ecfg;
-    ecfg.threads = threads;
-    ServingEngine engine(&cluster, nullptr, ecfg);
-    engine.Serve(events);
-    ExpectIndistinguishable(oracle, cluster,
-                            "threads=" + std::to_string(threads));
+  for (const bool optimistic : {true, false}) {
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      cache::CacheCluster cluster(MakeClusterConfig(), MakeCatalog());
+      EngineConfig ecfg;
+      ecfg.threads = threads;
+      ecfg.optimistic_unmanaged = optimistic;
+      ServingEngine engine(&cluster, nullptr, ecfg);
+      engine.Serve(events);
+      ExpectIndistinguishable(
+          oracle, cluster,
+          std::string(optimistic ? "optimistic" : "mutex") +
+              " threads=" + std::to_string(threads));
+    }
   }
+}
+
+TEST(EngineReplayTest, ServeRangeSlicesReplayLikeOneServe) {
+  // The daemon's pipelined gen jobs feed one schedule through consecutive
+  // ServeRange calls (batch boundaries land mid-chunk and mid-window).
+  // Slicing must be invisible: same final state as a single Serve.
+  const std::vector<workload::AccessEvent> events = MakeEvents(600);
+  Plant whole = MakeManagedPlant(37);
+  {
+    EngineConfig ecfg;
+    ecfg.threads = 4;
+    ServingEngine engine(whole.cluster.get(), whole.master.get(), ecfg);
+    engine.Serve(events);
+  }
+
+  Plant sliced = MakeManagedPlant(37);
+  EngineConfig ecfg;
+  ecfg.threads = 4;
+  ServingEngine engine(sliced.cluster.get(), sliced.master.get(), ecfg);
+  std::size_t served = 0;
+  // Ragged slice sizes, deliberately misaligned with update_interval=37.
+  for (std::size_t pos = 0; pos < events.size();) {
+    const std::size_t step = 1 + (pos * 7 + 13) % 96;
+    const std::size_t end = std::min(events.size(), pos + step);
+    const ServeStats stats = engine.ServeRange(events, pos, end);
+    served += stats.events;
+    pos = end;
+  }
+  EXPECT_EQ(served, events.size());
+  ExpectIndistinguishable(*whole.cluster, *sliced.cluster, "sliced");
+  EXPECT_EQ(sliced.master->audit_report().ToJson(),
+            whole.master->audit_report().ToJson());
 }
 
 TEST(EngineReplayTest, SurvivesWorkerFailureBetweenBatches) {

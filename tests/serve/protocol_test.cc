@@ -95,5 +95,90 @@ TEST(ProtocolTest, DialFailsWithoutListener) {
   EXPECT_LT(DialUnix("/tmp/opus-test-no-such-socket.sock"), 0);
 }
 
+TEST(ProtocolTest, FrameSplitterAssemblesByteAtATime) {
+  const std::string wire =
+      EncodeFrame("hello") + EncodeFrame("") + EncodeFrame("world\n!");
+  FrameSplitter splitter;
+  std::vector<std::string> frames;
+  std::string payload;
+  for (const char c : wire) {
+    splitter.Append(&c, 1);
+    while (splitter.Next(&payload) == FrameSplitter::Result::kFrame) {
+      frames.push_back(payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "hello");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(frames[2], "world\n!");
+  EXPECT_EQ(splitter.pending_bytes(), 0u);
+}
+
+TEST(ProtocolTest, FrameSplitterReturnsSeveralFramesPerAppend) {
+  // The pipelining case: one recv() carrying many whole frames.
+  const std::string wire = EncodeFrame("a") + EncodeFrame("bb") +
+                           EncodeFrame("ccc") + EncodeFrame("dddd");
+  FrameSplitter splitter;
+  splitter.Append(wire.data(), wire.size());
+  std::string payload;
+  for (const char* want : {"a", "bb", "ccc", "dddd"}) {
+    ASSERT_EQ(splitter.Next(&payload), FrameSplitter::Result::kFrame);
+    EXPECT_EQ(payload, want);
+  }
+  EXPECT_EQ(splitter.Next(&payload), FrameSplitter::Result::kNeedMore);
+}
+
+TEST(ProtocolTest, FrameSplitterNeedsMoreOnPartialFrame) {
+  const std::string wire = EncodeFrame("stalled");
+  FrameSplitter splitter;
+  splitter.Append(wire.data(), wire.size() - 1);  // withhold the last byte
+  std::string payload;
+  EXPECT_EQ(splitter.Next(&payload), FrameSplitter::Result::kNeedMore);
+  splitter.Append(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(splitter.Next(&payload), FrameSplitter::Result::kFrame);
+  EXPECT_EQ(payload, "stalled");
+}
+
+TEST(ProtocolTest, FrameSplitterFlagsOversizePrefix) {
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};  // ~4 GiB claim
+  FrameSplitter splitter;
+  splitter.Append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  std::string payload;
+  EXPECT_EQ(splitter.Next(&payload), FrameSplitter::Result::kOversize);
+}
+
+TEST(ProtocolTest, TcpRoundTripOnKernelAssignedPort) {
+  std::uint16_t port = 0;
+  const int listener = ListenTcp(/*port=*/0, /*backlog=*/4, &port);
+  ASSERT_GE(listener, 0);
+  ASSERT_GT(port, 0);
+  const int client = DialTcp("127.0.0.1:" + std::to_string(port));
+  ASSERT_GE(client, 0);
+  // The listener is non-blocking; a just-connected client may race the
+  // accept, so spin briefly.
+  int server = -1;
+  for (int i = 0; i < 1000 && server < 0; ++i) {
+    server = ::accept(listener, nullptr, nullptr);
+    if (server < 0) ::usleep(1000);
+  }
+  ASSERT_GE(server, 0);
+  ASSERT_TRUE(WriteFrame(client, "ping over tcp"));
+  std::string got;
+  ASSERT_TRUE(ReadFrame(server, &got));
+  EXPECT_EQ(got, "ping over tcp");
+  ASSERT_TRUE(WriteFrame(server, "ok pong"));
+  ASSERT_TRUE(ReadFrame(client, &got));
+  EXPECT_EQ(got, "ok pong");
+  ::close(server);
+  ::close(client);
+  ::close(listener);
+}
+
+TEST(ProtocolTest, DialTcpRejectsMalformedTarget) {
+  EXPECT_LT(DialTcp("no-port-here"), 0);
+  EXPECT_LT(DialTcp(":7070"), 0);
+  EXPECT_LT(DialTcp("127.0.0.1:"), 0);
+}
+
 }  // namespace
 }  // namespace opus::serve

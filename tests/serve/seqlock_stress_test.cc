@@ -1,0 +1,241 @@
+// Randomized stress for the optimistic read protocol (ShardedStore::
+// TryProbe + BlockStore::Probe), designed to run under ThreadSanitizer:
+// concurrent lock-free readers race a writer churning the same shard
+// through the seqlock'd mutating API.
+//
+// Correctness is checked two ways:
+//  - Invariant probes: one pinned block is resident for the whole run and
+//    one block id is never inserted. A validated snapshot may NEVER
+//    misreport them — kMiss on the pinned block or kHit on the absent one
+//    means seqlock validation let a torn table view through.
+//  - Serial twin: the writer's op stream is recorded and replayed on a
+//    fresh un-reserved BlockStore after the threads join; final residency,
+//    used bytes, eviction count, and seqlock version parity must match —
+//    WriteGuard bumps and ReserveForConcurrentProbes must not perturb
+//    store semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/block_store.h"
+#include "serve/sharded_store.h"
+
+namespace opus::serve {
+namespace {
+
+constexpr std::uint64_t kBlockBytes = 64 * 1024;
+constexpr std::uint64_t kCapacityBytes = 8 * kBlockBytes;
+constexpr std::uint32_t kChurnBlocks = 16;
+constexpr std::size_t kWriterOps = 20000;
+constexpr int kReaders = 4;
+
+// Block 0 of file 0: pinned resident forever. Files 1..kChurnBlocks hold
+// the churn set. File 999 is never inserted.
+const cache::BlockId kPinnedBlock = cache::MakeBlockId(0, 0);
+const cache::BlockId kAbsentBlock = cache::MakeBlockId(999, 0);
+
+cache::BlockId ChurnBlock(std::uint32_t i) {
+  return cache::MakeBlockId(1 + (i % kChurnBlocks), 0);
+}
+
+struct Op {
+  enum Kind { kAccess, kInsert, kErase } kind;
+  cache::BlockId block;
+};
+
+std::uint64_t Mix(std::uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<Op> MakeWriterOps(std::uint64_t seed) {
+  std::vector<Op> ops;
+  ops.reserve(kWriterOps);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < kWriterOps; ++i) {
+    const std::uint64_t r = Mix(&state);
+    const cache::BlockId block =
+        ChurnBlock(static_cast<std::uint32_t>(r >> 8));
+    switch (r % 8) {
+      case 0:
+        ops.push_back(Op{Op::kErase, block});
+        break;
+      case 1:
+      case 2:
+      case 3:
+        ops.push_back(Op{Op::kInsert, block});
+        break;
+      default:
+        ops.push_back(Op{Op::kAccess, block});
+        break;
+    }
+  }
+  return ops;
+}
+
+TEST(SeqlockStressTest, OptimisticReadersNeverSeeTornResidency) {
+  cache::BlockStore store(kCapacityBytes, "lru");
+  // Bound: pinned + full churn set (capacity already caps residency below
+  // this, but the reserve contract wants the true distinct-block bound).
+  store.ReserveForConcurrentProbes(1 + kChurnBlocks);
+  ShardedStore sharded(1);
+  sharded.Attach(0, &store);
+
+  ASSERT_TRUE(sharded.Insert(0, kPinnedBlock, kBlockBytes));
+  ASSERT_TRUE(sharded.Pin(0, kPinnedBlock));
+
+  const std::vector<Op> ops = MakeWriterOps(0x5eedULL);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> validated_probes{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&sharded, &done, &violations, &validated_probes,
+                          t]() {
+      std::uint64_t state = 0xabcdef01ULL * (t + 1);
+      std::uint64_t retries = 0;
+      std::uint64_t local_validated = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint64_t r = Mix(&state);
+        // Rotate targets: the two invariant blocks plus churn blocks.
+        cache::BlockId block;
+        bool must_hit = false, must_miss = false;
+        switch (r % 4) {
+          case 0:
+            block = kPinnedBlock;
+            must_hit = true;
+            break;
+          case 1:
+            block = kAbsentBlock;
+            must_miss = true;
+            break;
+          default:
+            block = ChurnBlock(static_cast<std::uint32_t>(r >> 8));
+            break;
+        }
+        const ShardedStore::ProbeResult pr =
+            sharded.TryProbe(0, block, &retries);
+        if (pr == ShardedStore::ProbeResult::kFallback) continue;
+        ++local_validated;
+        if ((must_hit && pr != ShardedStore::ProbeResult::kHit) ||
+            (must_miss && pr != ShardedStore::ProbeResult::kMiss)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      validated_probes.fetch_add(local_validated,
+                                 std::memory_order_relaxed);
+    });
+  }
+
+  std::thread writer([&sharded, &ops]() {
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case Op::kAccess:
+          sharded.Access(0, op.block);
+          break;
+        case Op::kInsert:
+          sharded.Insert(0, op.block, kBlockBytes);
+          break;
+        case Op::kErase:
+          sharded.Erase(0, op.block);
+          break;
+      }
+    }
+  });
+  writer.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  // The run is only meaningful if optimistic reads actually validated.
+  EXPECT_GT(validated_probes.load(), 0u);
+  // Even version = no writer left the critical section unbalanced. The
+  // exact count is 2 per mutating call: initial insert+pin plus the ops.
+  const std::uint64_t version = sharded.version(0);
+  EXPECT_EQ(version % 2, 0u);
+  EXPECT_EQ(version, 2 * (ops.size() + 2));
+
+  // Serial twin: WriteGuard bumps and the concurrent readers must not
+  // have perturbed store semantics in any observable way.
+  cache::BlockStore twin(kCapacityBytes, "lru");
+  ASSERT_TRUE(twin.Insert(kPinnedBlock, kBlockBytes));
+  ASSERT_TRUE(twin.Pin(kPinnedBlock));
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kAccess:
+        twin.Access(op.block);
+        break;
+      case Op::kInsert:
+        twin.Insert(op.block, kBlockBytes);
+        break;
+      case Op::kErase:
+        twin.Erase(op.block);
+        break;
+    }
+  }
+  EXPECT_EQ(store.used_bytes(), twin.used_bytes());
+  EXPECT_EQ(store.num_blocks(), twin.num_blocks());
+  EXPECT_EQ(store.evictions(), twin.evictions());
+  std::vector<cache::BlockId> got = store.ResidentBlocks();
+  std::vector<cache::BlockId> want = twin.ResidentBlocks();
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SeqlockStressTest, TryProbeFallsBackOnUnarmedStore) {
+  cache::BlockStore store(kCapacityBytes, "lru");
+  ShardedStore sharded(1);
+  sharded.Attach(0, &store);
+  ASSERT_TRUE(sharded.Insert(0, kPinnedBlock, kBlockBytes));
+  // Not armed via ReserveForConcurrentProbes: optimistic probing would
+  // race reallocation, so the protocol must refuse.
+  EXPECT_FALSE(store.concurrent_probe_safe());
+  EXPECT_EQ(sharded.TryProbe(0, kPinnedBlock),
+            ShardedStore::ProbeResult::kFallback);
+  store.ReserveForConcurrentProbes(4);
+  EXPECT_EQ(sharded.TryProbe(0, kPinnedBlock),
+            ShardedStore::ProbeResult::kHit);
+  EXPECT_EQ(sharded.TryProbe(0, kAbsentBlock),
+            ShardedStore::ProbeResult::kMiss);
+}
+
+TEST(SeqlockStressTest, MutatingWrappersBumpVersionTwice) {
+  cache::BlockStore store(kCapacityBytes, "lru");
+  ShardedStore sharded(1);
+  sharded.Attach(0, &store);
+  EXPECT_EQ(sharded.version(0), 0u);
+  sharded.Insert(0, kPinnedBlock, kBlockBytes);
+  EXPECT_EQ(sharded.version(0), 2u);
+  sharded.Access(0, kPinnedBlock);
+  EXPECT_EQ(sharded.version(0), 4u);
+  sharded.Pin(0, kPinnedBlock);
+  EXPECT_EQ(sharded.version(0), 6u);
+  sharded.Unpin(0, kPinnedBlock);
+  EXPECT_EQ(sharded.version(0), 8u);
+  sharded.Erase(0, kPinnedBlock);
+  EXPECT_EQ(sharded.version(0), 10u);
+  // Read-only paths must NOT bump: a probe validating across them has a
+  // consistent view.
+  sharded.Contains(0, kPinnedBlock);
+  { const auto lock = sharded.Lock(0); }
+  EXPECT_EQ(sharded.version(0), 10u);
+  // Batched writer sections bump once per WriteLock, odd inside.
+  {
+    const ShardedStore::WriteGuard guard = sharded.WriteLock(0);
+    EXPECT_EQ(sharded.version(0) % 2, 1u);
+  }
+  EXPECT_EQ(sharded.version(0), 12u);
+}
+
+}  // namespace
+}  // namespace opus::serve

@@ -1,0 +1,75 @@
+// opus_client `watch` rate derivation: numeric-sample extraction from the
+// daemon's status/Prometheus replies, and delta/sec formatting between
+// consecutive samples.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "serve/watch.h"
+
+namespace opus::serve {
+namespace {
+
+TEST(WatchTest, ParsesStatusKeyValueLines) {
+  const std::map<std::string, double> samples = ParseNumericSamples(
+      "ok\n"
+      "policy=opus\n"            // non-numeric value: skipped
+      "events_served=1200\n"
+      "users=2/2\n"              // not a number: skipped
+      "hit_rate=0.75\n"
+      "p99_ms=1.5e-2\n");
+  EXPECT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples.at("events_served"), 1200.0);
+  EXPECT_DOUBLE_EQ(samples.at("hit_rate"), 0.75);
+  EXPECT_DOUBLE_EQ(samples.at("p99_ms"), 0.015);
+}
+
+TEST(WatchTest, ParsesPrometheusExposition) {
+  const std::map<std::string, double> samples = ParseNumericSamples(
+      "# HELP opus_hits cache hits\n"
+      "# TYPE opus_hits counter\n"
+      "opus_hits 42\n"
+      "opus_latency_ns{path=\"unmanaged read\",q=\"p99\"} 1875\n"
+      "opus_bogus not-a-number\n");
+  EXPECT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples.at("opus_hits"), 42.0);
+  EXPECT_DOUBLE_EQ(
+      samples.at("opus_latency_ns{path=\"unmanaged read\",q=\"p99\"}"),
+      1875.0);
+}
+
+TEST(WatchTest, ToleratesCrlfAndBlankLines) {
+  const std::map<std::string, double> samples =
+      ParseNumericSamples("a=1\r\n\r\nb=2\r\n");
+  EXPECT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples.at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(samples.at("b"), 2.0);
+}
+
+TEST(WatchTest, FormatRatesEmitsOnlyChangedKeys) {
+  const std::map<std::string, double> prev = {
+      {"events", 100.0}, {"hits", 80.0}, {"steady", 5.0}};
+  const std::map<std::string, double> cur = {
+      {"events", 150.0}, {"hits", 70.0}, {"steady", 5.0}, {"fresh", 9.0}};
+  // 0.5s interval: +50 events -> +100/s; -10 hits -> -20/s. Unchanged and
+  // first-seen keys are silent (no previous sample to rate against).
+  const std::string rates = FormatRates(prev, cur, 0.5);
+  EXPECT_NE(rates.find("events=+100/s"), std::string::npos) << rates;
+  EXPECT_NE(rates.find("hits=-20/s"), std::string::npos) << rates;
+  EXPECT_EQ(rates.find("steady"), std::string::npos) << rates;
+  EXPECT_EQ(rates.find("fresh"), std::string::npos) << rates;
+  EXPECT_EQ(rates.back(), 's');  // no trailing newline
+}
+
+TEST(WatchTest, FormatRatesEmptyCases) {
+  const std::map<std::string, double> a = {{"k", 1.0}};
+  const std::map<std::string, double> b = {{"k", 2.0}};
+  EXPECT_EQ(FormatRates(a, a, 1.0), "");    // nothing changed
+  EXPECT_EQ(FormatRates(a, b, 0.0), "");    // degenerate interval
+  EXPECT_EQ(FormatRates(a, b, -1.0), "");   // degenerate interval
+  EXPECT_EQ(FormatRates({}, b, 1.0), "");   // no baseline yet
+}
+
+}  // namespace
+}  // namespace opus::serve

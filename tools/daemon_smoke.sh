@@ -22,11 +22,17 @@ FLIGHT="$ART_DIR/daemon_smoke_flight.json"
 DUMP="$ART_DIR/daemon_smoke_dump.json"
 PROM="$ART_DIR/daemon_smoke_prom.txt"
 
-rm -f "$SOCKET" "$STATS" "$FLIGHT" "$DUMP" "$PROM"
+WATCH_TXT="$ART_DIR/daemon_smoke_watch.txt"
+# Loopback TCP listener on a PID-derived port (kernel-assigned port 0 is
+# covered by DaemonPipeliningTest; a script needs a knowable number).
+TCP_PORT=$((20000 + $$ % 20000))
+
+rm -f "$SOCKET" "$STATS" "$FLIGHT" "$DUMP" "$PROM" "$WATCH_TXT"
 # The tiny --p99-threshold-ms arms the anomaly trigger so the first timed
 # batch trips an automatic flight dump (any sampled read is slower than
 # a nanosecond).
-"$DAEMON" --socket "$SOCKET" --files 12 --file-mb 2 --users 3 --workers 4 \
+"$DAEMON" --socket "$SOCKET" --tcp-port "$TCP_PORT" \
+  --files 12 --file-mb 2 --users 3 --workers 4 \
   --cache-mb 12 --threads 4 --update-interval 50 --window 200 \
   --stats-out "$STATS" --stats-interval-ms 200 \
   --flight-out "$FLIGHT" --p99-threshold-ms 0.000001 &
@@ -85,6 +91,20 @@ awk '
 # Watch mode: three polls over one connection.
 WATCH_OUT=$("$CLIENT" "$SOCKET" watch 50 3 status) || fail "watch exit"
 [ "$(printf '%s\n' "$WATCH_OUT" | grep -c '^-- watch ')" -eq 3 ] || fail "watch poll count"
+
+# Watch rate derivation: traffic between polls surfaces as a "-- rates --"
+# block with per-second deltas for the counters that moved.
+"$CLIENT" "$SOCKET" watch 300 5 status > "$WATCH_TXT" &
+WATCH_PID=$!
+sleep 0.35
+"$CLIENT" "$SOCKET" gen 200 13 >/dev/null || fail "gen during watch"
+wait "$WATCH_PID" || fail "watch rates exit"
+grep -q -- "-- rates --" "$WATCH_TXT" || fail "watch rates block"
+grep -Eq 'events_served=\+[0-9]' "$WATCH_TXT" || fail "watch rates events/sec"
+
+# TCP transport: the same command surface over the loopback listener.
+"$CLIENT" --connect "127.0.0.1:$TCP_PORT" ping | grep -q "ok pong" || fail "tcp ping"
+"$CLIENT" --connect "127.0.0.1:$TCP_PORT" status | grep -q "managed=" || fail "tcp status"
 
 # Manual flight dump, loadable by opus_inspect spans (Perfetto round-trip).
 "$CLIENT" "$SOCKET" dump "$DUMP" | grep -q "^ok dumped=" || fail "dump"

@@ -1,22 +1,28 @@
 // opus_client — one-shot (and polling) client for opus_daemon.
 //
 // Joins its arguments into a single command, sends it as one frame over
-// the daemon's Unix socket, and prints the reply. Exit 0 on an "ok" reply,
-// 1 on an "err" reply or daemon-side close, 2 on usage/connect failure.
+// the daemon's Unix socket (or TCP with --connect), and prints the reply.
+// Exit 0 on an "ok" reply, 1 on an "err" reply or daemon-side close, 2 on
+// usage/connect failure.
 //
 // `watch` keeps one connection open and re-sends the command COUNT times,
 // INTERVAL_MS apart (COUNT 0 = until the daemon goes away), printing each
 // reply under a "-- watch N --" header — the poor man's live dashboard for
-// `status` / `metrics prom`.
+// `status` / `metrics prom`. From the second sample on it also derives
+// per-interval rates for every numeric value that changed ("-- rates --"
+// block, key=+DELTA/s), so counters read as requests/sec or evictions/sec
+// without post-processing.
 //
 // Usage:
 //   opus_client SOCKET COMMAND [ARGS...]
+//   opus_client --connect HOST:PORT COMMAND [ARGS...]
 //   opus_client SOCKET watch INTERVAL_MS COUNT COMMAND [ARGS...]
 //   opus_client /tmp/opus.sock status
 //   opus_client /tmp/opus.sock serve 0 3
-//   opus_client /tmp/opus.sock reconfig policy fairride
+//   opus_client --connect 127.0.0.1:7070 reconfig policy fairride
 //   opus_client /tmp/opus.sock watch 500 10 metrics prom
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include <time.h>
@@ -24,6 +30,7 @@
 
 #include "common/strings.h"
 #include "serve/protocol.h"
+#include "serve/watch.h"
 
 namespace {
 
@@ -44,41 +51,52 @@ void SleepMs(std::uint64_t ms) {
 }
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s SOCKET COMMAND [ARGS...]\n"
-               "       %s SOCKET watch INTERVAL_MS COUNT COMMAND [ARGS...]\n",
-               argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s SOCKET COMMAND [ARGS...]\n"
+      "       %s --connect HOST:PORT COMMAND [ARGS...]\n"
+      "       %s SOCKET watch INTERVAL_MS COUNT COMMAND [ARGS...]\n"
+      "       %s --connect HOST:PORT watch INTERVAL_MS COUNT COMMAND ...\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage(argv[0]);
+  int arg = 1;
+  bool tcp = false;
+  if (arg < argc && std::string(argv[arg]) == "--connect") {
+    tcp = true;
+    ++arg;
+  }
+  if (argc < arg + 2) return Usage(argv[0]);
+  const std::string target = argv[arg++];
 
   std::uint64_t interval_ms = 0, count = 1;
-  int command_begin = 2;
-  const bool watch = std::string(argv[2]) == "watch";
+  const bool watch = std::string(argv[arg]) == "watch";
   if (watch) {
-    if (argc < 6) return Usage(argv[0]);
-    if (!opus::ParseU64(argv[3], &interval_ms)) {
-      std::fprintf(stderr, "bad watch interval '%s'\n", argv[3]);
+    if (argc < arg + 4) return Usage(argv[0]);
+    if (!opus::ParseU64(argv[arg + 1], &interval_ms)) {
+      std::fprintf(stderr, "bad watch interval '%s'\n", argv[arg + 1]);
       return 2;
     }
-    if (!opus::ParseU64(argv[4], &count)) {
-      std::fprintf(stderr, "bad watch count '%s'\n", argv[4]);
+    if (!opus::ParseU64(argv[arg + 2], &count)) {
+      std::fprintf(stderr, "bad watch count '%s'\n", argv[arg + 2]);
       return 2;
     }
-    command_begin = 5;
+    arg += 3;
   }
-  const std::string command = JoinArgs(argv, command_begin, argc);
+  const std::string command = JoinArgs(argv, arg, argc);
 
-  const int fd = opus::serve::DialUnix(argv[1]);
+  const int fd = tcp ? opus::serve::DialTcp(target)
+                     : opus::serve::DialUnix(target);
   if (fd < 0) {
-    std::fprintf(stderr, "cannot connect to %s\n", argv[1]);
+    std::fprintf(stderr, "cannot connect to %s\n", target.c_str());
     return 2;
   }
   int exit_code = 0;
+  std::map<std::string, double> prev_samples;
   for (std::uint64_t i = 0; count == 0 || i < count; ++i) {
     if (i > 0) SleepMs(interval_ms);
     std::string reply;
@@ -91,6 +109,19 @@ int main(int argc, char** argv) {
     }
     if (watch) std::printf("-- watch %llu --\n", (unsigned long long)i);
     std::printf("%s\n", reply.c_str());
+    if (watch && reply.rfind("ok", 0) == 0) {
+      std::map<std::string, double> samples =
+          opus::serve::ParseNumericSamples(reply);
+      if (i > 0) {
+        const std::string rates = opus::serve::FormatRates(
+            prev_samples, samples,
+            static_cast<double>(interval_ms) / 1000.0);
+        if (!rates.empty()) {
+          std::printf("-- rates --\n%s\n", rates.c_str());
+        }
+      }
+      prev_samples = std::move(samples);
+    }
     std::fflush(stdout);
     if (reply.rfind("ok", 0) != 0) exit_code = 1;
   }

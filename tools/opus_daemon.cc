@@ -43,6 +43,10 @@
 //   --flight-capacity N flight-recorder ring capacity (default 4096)
 //   --p99-threshold-ms F  trip an automatic flight dump once when a sampled
 //                       read p99 exceeds F ms (default 0 = disarmed)
+//   --tcp-port N        also listen on TCP 127.0.0.1:N (0 = kernel-assigned;
+//                       default: Unix socket only)
+//   --mutex-reads       disable the optimistic seqlock read path: every
+//                       unmanaged probe takes the shard mutex (A/B baseline)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -154,6 +158,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--p99-threshold-ms" && (v = next())) {
       if (!ParseFlagDouble("--p99-threshold-ms", v, 0.0, &d)) return 2;
       config.p99_threshold_ms = d;
+    } else if (arg == "--tcp-port" && (v = next())) {
+      if (!ParseFlagU64("--tcp-port", v, 0, &u) || u > 65535) {
+        std::fprintf(stderr, "--tcp-port out of range\n");
+        return 2;
+      }
+      config.tcp_port = static_cast<int>(u);
+    } else if (arg == "--mutex-reads") {
+      config.engine.optimistic_unmanaged = false;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return 2;
@@ -192,9 +204,13 @@ int main(int argc, char** argv) {
   }
 
   const std::string socket_path = config.socket_path;
+  const int tcp_port = config.tcp_port;
   opus::serve::Daemon daemon(std::move(config), std::move(catalog));
   std::fprintf(stderr, "opus_daemon: %zu files, %u workers, serving on %s\n",
                daemon.cluster().catalog().size(),
                daemon.cluster().config().num_workers, socket_path.c_str());
+  if (tcp_port >= 0) {
+    std::fprintf(stderr, "opus_daemon: tcp 127.0.0.1:%d\n", tcp_port);
+  }
   return daemon.Run();
 }
