@@ -33,9 +33,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Execute(Job& job) {
   std::size_t ran = 0;
+  std::size_t slot = 0;
+  bool slot_claimed = false;
   for (std::size_t i = job.next.fetch_add(1); i < job.n;
        i = job.next.fetch_add(1)) {
-    (*job.body)(i);
+    if (job.slot_body != nullptr) {
+      if (!slot_claimed) {
+        slot = job.next_slot.fetch_add(1);
+        slot_claimed = true;
+      }
+      (*job.slot_body)(i, slot);
+    } else {
+      (*job.body)(i);
+    }
     ++ran;
   }
   if (ran == 0) return;
@@ -86,6 +96,36 @@ void ThreadPool::ParallelFor(std::size_t n,
   {
     std::lock_guard<std::mutex> lk(mu_);
     job->joined = 1;  // the caller occupies the first parallelism slot
+    queue_.push_back(job);
+  }
+  work_cv_.notify_all();
+  Execute(*job);
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->done.wait(lk, [&] { return job->completed == job->n; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+  }
+}
+
+void ThreadPool::ParallelForSlot(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    unsigned max_parallelism) {
+  if (n == 0) return;
+  if (t_inside_pool_task || workers_.empty() || n == 1 ||
+      max_parallelism == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->slot_body = &body;
+  job->max_parallelism = max_parallelism;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job->joined = 1;
     queue_.push_back(job);
   }
   work_cv_.notify_all();

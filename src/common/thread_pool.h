@@ -53,6 +53,29 @@ class ThreadPool {
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                    unsigned max_parallelism = 0);
 
+  // ParallelFor variant whose body additionally receives a dense slot id in
+  // [0, SlotBound(n, max_parallelism)): every thread that joins the loop
+  // claims one slot for its whole participation, so the body can index
+  // pre-sized per-thread scratch (weight vectors, log buffers, restriction
+  // masks) without allocation or sharing. Index-to-slot assignment is
+  // scheduling-dependent; determinism still comes from writing results into
+  // index-keyed slabs, exactly as with ParallelFor.
+  void ParallelForSlot(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      unsigned max_parallelism = 0);
+
+  // Upper bound (inclusive of the caller) on distinct slot ids a
+  // ParallelForSlot with these arguments can hand out.
+  unsigned SlotBound(std::size_t n, unsigned max_parallelism = 0) const {
+    unsigned bound = num_workers() + 1;
+    if (max_parallelism != 0 && max_parallelism < bound) {
+      bound = max_parallelism;
+    }
+    if (n < bound) bound = static_cast<unsigned>(n);
+    return bound == 0 ? 1 : bound;
+  }
+
   // Process-wide pool with HardwareThreads() - 1 workers (at least 1), so a
   // caller-participating ParallelFor uses the whole machine. Created on
   // first use; never destroyed.
@@ -62,8 +85,11 @@ class ThreadPool {
   struct Job {
     std::size_t n = 0;
     const std::function<void(std::size_t)>* body = nullptr;
+    // Slot-aware body (ParallelForSlot); exactly one of body/slot_body set.
+    const std::function<void(std::size_t, std::size_t)>* slot_body = nullptr;
     unsigned max_parallelism = 0;  // 0 = unlimited
     std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> next_slot{0};
     unsigned joined = 0;     // threads executing this job; pool mutex
     std::size_t completed = 0;  // finished iterations; job mutex
     std::mutex mu;

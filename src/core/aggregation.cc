@@ -20,41 +20,81 @@ std::uint32_t Signature(const CsrMatrix& csr, std::size_t i) {
   const auto vals = csr.row_vals(i);
   if (cols.empty()) return kUnclustered;
   std::size_t best = 0;
-  for (std::size_t k = 1; k < vals.size(); ++k) {
-    if (vals[k] > vals[best]) best = k;
+  bool any = false;
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    if (vals[k] <= 0.0) continue;  // tombstoned entries behave as absent
+    if (!any || vals[k] > vals[best]) {
+      best = k;
+      any = true;
+    }
   }
-  return cols[best];
+  return any ? cols[best] : kUnclustered;
+}
+
+// Value of row i at column j (0 when absent) — binary search over the
+// row's nonzeros, so sparse-backed problems never need the dense matrix.
+double RowValueAt(const CsrMatrix& csr, std::size_t i, std::uint32_t j) {
+  const auto cols = csr.row_cols(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  return csr.row_vals(i)[static_cast<std::size_t>(it - cols.begin())];
+}
+
+// Joins user i to the best cluster when its signature bucket is empty and
+// the budget is exhausted: the cluster whose leader's signature file the
+// user values most (lowest id on ties; cluster 0 when indifferent).
+std::uint32_t JoinBestLeader(const CsrMatrix& csr, std::size_t i,
+                             const UserClustering& out) {
+  OPUS_CHECK_GT(out.num_clusters, 0u);
+  std::uint32_t nearest = kUnclustered;
+  double best_pref = -1.0;
+  for (std::size_t c = 0; c < out.num_clusters; ++c) {
+    const std::uint32_t sig = Signature(csr, out.leader_of[c]);
+    const double p = sig == kUnclustered ? 0.0 : RowValueAt(csr, i, sig);
+    if (p > best_pref) {
+      best_pref = p;
+      nearest = static_cast<std::uint32_t>(c);
+    }
+  }
+  return nearest;
 }
 
 }  // namespace
 
 double RowL1DistanceCsr(const CsrMatrix& csr, std::size_t a, std::size_t b) {
-  const auto ac = csr.row_cols(a);
-  const auto av = csr.row_vals(a);
-  const auto bc = csr.row_cols(b);
-  const auto bv = csr.row_vals(b);
-  double dist = 0.0;
-  std::size_t i = 0, j = 0;
-  while (i < ac.size() && j < bc.size()) {
-    if (ac[i] == bc[j]) {
-      dist += std::fabs(av[i] - bv[j]);
-      ++i;
-      ++j;
-    } else if (ac[i] < bc[j]) {
-      dist += av[i++];
-    } else {
-      dist += bv[j++];
-    }
-  }
-  for (; i < ac.size(); ++i) dist += av[i];
-  for (; j < bc.size(); ++j) dist += bv[j];
-  return dist;
+  return RowL1DistanceBetween(csr, a, csr, b);
+}
+
+std::size_t ChooseClusterBudget(const AggregationOptions& options,
+                                std::size_t num_users, double drift_fraction) {
+  const std::size_t hard_max =
+      options.max_clusters > 0
+          ? options.max_clusters
+          : std::min(num_users, 4 * std::max<std::size_t>(1,
+                                                          options.min_clusters));
+  if (!options.auto_tune) return options.max_clusters;
+  if (drift_fraction < 0.0) return hard_max;  // cold: no drift signal yet
+  if (drift_fraction >= options.degrade_drift_fraction) return 0;
+  const double lo = static_cast<double>(
+      std::max<std::size_t>(1, options.min_clusters));
+  double k = lo * (1.0 + options.growth_gain * drift_fraction);
+  k = std::min(k, static_cast<double>(hard_max));
+  std::size_t budget = static_cast<std::size_t>(k);
+  budget = std::max<std::size_t>(budget,
+                                 std::min<std::size_t>(hard_max,
+                                                       options.min_clusters));
+  return std::min(budget, num_users == 0 ? budget : num_users);
 }
 
 UserClustering ClusterUsersByPreference(const CachingProblem& problem,
                                         const AggregationOptions& options,
                                         std::span<const double> user_weights) {
-  OPUS_CHECK_GT(options.max_clusters, 0u);
+  const std::size_t budget = options.max_clusters > 0
+                                 ? options.max_clusters
+                                 : ChooseClusterBudget(options,
+                                                       problem.num_users(),
+                                                       -1.0);
+  OPUS_CHECK_GT(budget, 0u);
   const std::size_t n = problem.num_users();
   if (!user_weights.empty()) OPUS_CHECK_EQ(user_weights.size(), n);
   const CsrMatrix& csr = problem.PreferencesCsr();
@@ -85,7 +125,7 @@ UserClustering ClusterUsersByPreference(const CachingProblem& problem,
     }
     const bool close_enough =
         nearest != kUnclustered && nearest_dist <= options.similarity_threshold;
-    const bool may_found = out.num_clusters < options.max_clusters &&
+    const bool may_found = out.num_clusters < budget &&
                            candidates.size() < options.leaders_per_signature;
     if (!close_enough && may_found) {
       const std::uint32_t c = static_cast<std::uint32_t>(out.num_clusters++);
@@ -94,22 +134,100 @@ UserClustering ClusterUsersByPreference(const CachingProblem& problem,
       candidates.push_back(c);
       nearest = c;
     } else if (nearest == kUnclustered) {
-      // Bucket empty and the cluster budget is exhausted: join the cluster
-      // whose leader this user values most (lowest id on ties); with no
-      // preference on any leader's signature, fall back to cluster 0.
-      OPUS_CHECK_GT(out.num_clusters, 0u);
-      double best_pref = -1.0;
-      for (std::size_t c = 0; c < out.num_clusters; ++c) {
-        const double p = problem.preferences(
-            i, Signature(csr, out.leader_of[c]));
-        if (p > best_pref) {
-          best_pref = p;
-          nearest = static_cast<std::uint32_t>(c);
-        }
-      }
+      nearest = JoinBestLeader(csr, i, out);
     }
     out.cluster_of[i] = nearest;
     out.cluster_weight[nearest] += WeightOf(user_weights, i);
+  }
+  return out;
+}
+
+UserClustering StickyReclusterByPreference(
+    const CachingProblem& problem, const AggregationOptions& options,
+    std::span<const double> user_weights,
+    std::span<const std::uint32_t> prev_cluster_of,
+    std::span<const std::uint32_t> prev_leader_of,
+    std::span<const double> drift, double drift_threshold, std::size_t budget,
+    std::vector<char>* dirty) {
+  const std::size_t n = problem.num_users();
+  OPUS_CHECK_EQ(prev_cluster_of.size(), n);
+  OPUS_CHECK_EQ(drift.size(), n);
+  if (!user_weights.empty()) OPUS_CHECK_EQ(user_weights.size(), n);
+  const CsrMatrix& csr = problem.PreferencesCsr();
+  const std::size_t m = problem.num_files();
+  const std::size_t prev_k = prev_leader_of.size();
+
+  UserClustering out;
+  out.cluster_of.assign(n, kUnclustered);
+  out.num_clusters = prev_k;
+  out.leader_of.assign(prev_leader_of.begin(), prev_leader_of.end());
+  out.cluster_weight.assign(prev_k, 0.0);
+  dirty->assign(prev_k, 0);
+  for (const std::uint32_t leader : prev_leader_of) {
+    OPUS_CHECK_LT(leader, n);
+  }
+
+  // Buckets over the surviving leaders' CURRENT signatures, so drifted
+  // users are assigned against where the leaders are now, not where they
+  // were when the clustering was built.
+  std::vector<std::vector<std::uint32_t>> bucket_clusters(m);
+  for (std::size_t c = 0; c < prev_k; ++c) {
+    const std::uint32_t sig = Signature(csr, prev_leader_of[c]);
+    if (sig != kUnclustered) {
+      bucket_clusters[sig].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+
+  auto mark_dirty = [&](std::uint32_t c) {
+    if (c != kUnclustered && c < dirty->size()) (*dirty)[c] = 1;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t sig = Signature(csr, i);
+    const std::uint32_t prev = prev_cluster_of[i];
+    if (sig == kUnclustered) {
+      // Row went empty (churned user): its old cluster lost a member.
+      mark_dirty(prev);
+      continue;
+    }
+    const bool drifted = drift[i] > drift_threshold;
+    if (!drifted && prev != kUnclustered && prev < prev_k) {
+      // Sticky: unchanged row, unchanged assignment — O(1), no distances.
+      out.cluster_of[i] = prev;
+      out.cluster_weight[prev] += WeightOf(user_weights, i);
+      continue;
+    }
+    // Drifted (or previously unassigned): re-assign like the fresh pass.
+    std::vector<std::uint32_t>& candidates = bucket_clusters[sig];
+    std::uint32_t nearest = kUnclustered;
+    double nearest_dist = 0.0;
+    for (const std::uint32_t c : candidates) {
+      const double d = RowL1DistanceCsr(csr, i, out.leader_of[c]);
+      if (nearest == kUnclustered || d < nearest_dist) {
+        nearest = c;
+        nearest_dist = d;
+      }
+    }
+    const bool close_enough =
+        nearest != kUnclustered && nearest_dist <= options.similarity_threshold;
+    const bool may_found = out.num_clusters < budget &&
+                           candidates.size() < options.leaders_per_signature;
+    if (!close_enough && may_found) {
+      const std::uint32_t c = static_cast<std::uint32_t>(out.num_clusters++);
+      out.leader_of.push_back(static_cast<std::uint32_t>(i));
+      out.cluster_weight.push_back(0.0);
+      dirty->push_back(1);
+      candidates.push_back(c);
+      nearest = c;
+    } else if (nearest == kUnclustered) {
+      nearest = JoinBestLeader(csr, i, out);
+    }
+    out.cluster_of[i] = nearest;
+    out.cluster_weight[nearest] += WeightOf(user_weights, i);
+    // The user's row changed or its membership may have: both the old and
+    // the new cluster must re-solve.
+    mark_dirty(prev);
+    mark_dirty(nearest);
   }
   return out;
 }
@@ -118,23 +236,66 @@ CachingProblem BuildAggregateProblem(const CachingProblem& problem,
                                      const UserClustering& clustering) {
   const std::size_t n = problem.num_users();
   const std::size_t m = problem.num_files();
+  const std::size_t k = clustering.num_clusters;
   OPUS_CHECK_EQ(clustering.cluster_of.size(), n);
-  Matrix rows(clustering.num_clusters, m, 0.0);
   const CsrMatrix& csr = problem.PreferencesCsr();
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t c = clustering.cluster_of[i];
-    if (c == kUnclustered) continue;
-    auto out = rows.row(c);
-    const auto cols = csr.row_cols(i);
-    const auto vals = csr.row_vals(i);
+
+  // Group members by cluster (counting sort, stable in user order) so each
+  // cluster row is accumulated once into an M-length scratch and emitted as
+  // CSR — O(nnz + K + M) time, O(M) scratch, never a K x M dense matrix.
+  std::vector<std::size_t> members_begin(k + 1, 0);
+  for (const std::uint32_t c : clustering.cluster_of) {
+    if (c != kUnclustered) ++members_begin[c + 1];
+  }
+  for (std::size_t c = 0; c < k; ++c) members_begin[c + 1] += members_begin[c];
+  std::vector<std::uint32_t> members(members_begin[k]);
+  {
+    std::vector<std::size_t> cursor(members_begin.begin(),
+                                    members_begin.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = clustering.cluster_of[i];
+      if (c == kUnclustered) continue;
+      members[cursor[c]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<std::size_t> row_ptr(k + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  std::vector<double> scratch(m, 0.0);
+  std::vector<std::uint32_t> touched;
+  for (std::size_t c = 0; c < k; ++c) {
+    touched.clear();
     // Member rows are normalized, so summing them weights each member
-    // equally within the cluster; FromRaw re-normalizes the sum. (Priority
+    // equally within the cluster; FromCsr re-normalizes the sum. (Priority
     // weights enter the aggregate solve through cluster_weight, not here:
     // the cluster row is the demand *shape*, the weight its size.)
-    for (std::size_t k = 0; k < cols.size(); ++k) out[cols[k]] += vals[k];
+    for (std::size_t t = members_begin[c]; t < members_begin[c + 1]; ++t) {
+      const std::size_t i = members[t];
+      const auto cols = csr.row_cols(i);
+      const auto vals = csr.row_vals(i);
+      for (std::size_t s = 0; s < cols.size(); ++s) {
+        if (scratch[cols[s]] == 0.0 && vals[s] != 0.0) {
+          touched.push_back(cols[s]);
+        }
+        scratch[cols[s]] += vals[s];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::uint32_t j : touched) {
+      if (scratch[j] != 0.0) {
+        col_idx.push_back(j);
+        values.push_back(scratch[j]);
+      }
+      scratch[j] = 0.0;
+    }
+    row_ptr[c + 1] = col_idx.size();
   }
-  CachingProblem agg = CachingProblem::FromRaw(std::move(rows),
-                                               problem.capacity);
+
+  CachingProblem agg = CachingProblem::FromCsr(
+      CsrMatrix::FromParts(k, m, std::move(row_ptr), std::move(col_idx),
+                           std::move(values)),
+      problem.capacity);
   agg.file_sizes = problem.file_sizes;
   return agg;
 }

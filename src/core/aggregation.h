@@ -32,7 +32,8 @@
 namespace opus {
 
 struct AggregationOptions {
-  // Maximum clusters; 0 disables aggregation entirely.
+  // Maximum clusters; 0 disables aggregation (unless auto_tune is set, in
+  // which case the budget is unbounded above and the tuner picks it).
   std::size_t max_clusters = 0;
   // L1 distance (rows are normalized, so in [0, 2]) to the nearest leader
   // beyond which a user founds a new cluster (budget permitting).
@@ -43,7 +44,36 @@ struct AggregationOptions {
   // the nearest existing leader. Bounds the clustering pass to
   // O(N * leaders_per_signature * nnz_row).
   std::size_t leaders_per_signature = 4;
+
+  // Drift-adaptive cluster auto-tuning. When set, the per-window cluster
+  // budget is chosen from the drift statistics the warm state observed
+  // instead of being pinned at max_clusters:
+  //   - cold window (no drift signal): the full budget (max_clusters, or
+  //     min(4 * min_clusters, N) when max_clusters = 0);
+  //   - drift fraction d < degrade_drift_fraction: budget =
+  //     min_clusters * (1 + growth_gain * d), clamped to
+  //     [min_clusters, max budget] — coarse clusters while the workload is
+  //     stable, growing toward fine granularity as drift rises;
+  //   - d >= degrade_drift_fraction: aggregation is skipped for the window
+  //     (per-user solves — the reuse gates have closed and cluster
+  //     approximations stop paying for themselves).
+  // The tuner also keeps the previous clustering sticky: non-drifted users
+  // keep their cluster, only drifted/new users are re-assigned, and
+  // clusters untouched by drift or membership changes can reuse their
+  // leave-one-member-out tax from the warm state (subject to the delta
+  // allocation-move gate).
+  bool auto_tune = false;
+  std::size_t min_clusters = 64;
+  double degrade_drift_fraction = 0.5;
+  double growth_gain = 8.0;
 };
+
+// Drift-adaptive cluster budget for one window (see AggregationOptions).
+// `drift_fraction` < 0 means "no signal" (cold window). Returns 0 when the
+// window should degrade to per-user solves. Without auto_tune this is just
+// max_clusters.
+std::size_t ChooseClusterBudget(const AggregationOptions& options,
+                                std::size_t num_users, double drift_fraction);
 
 // Invalid cluster id: the user has an all-zero preference row and is
 // outside the mechanism (tax 0, no objective term).
@@ -63,8 +93,27 @@ UserClustering ClusterUsersByPreference(const CachingProblem& problem,
                                         const AggregationOptions& options,
                                         std::span<const double> user_weights = {});
 
+// Sticky re-clustering for drift-adaptive windows: users whose row did not
+// drift keep their previous cluster (ids are stable, so cluster-level warm
+// artifacts stay addressable); drifted users and users without a valid
+// previous assignment are re-assigned against the surviving leaders'
+// CURRENT rows, founding new clusters while num_clusters < budget.
+// `dirty` (resized to the resulting cluster count) marks clusters whose
+// member set or any member row changed — only those need their
+// leave-one-member-out tax re-solved. Requires prev_cluster_of.size() ==
+// num_users and every leader id < num_users.
+UserClustering StickyReclusterByPreference(
+    const CachingProblem& problem, const AggregationOptions& options,
+    std::span<const double> user_weights,
+    std::span<const std::uint32_t> prev_cluster_of,
+    std::span<const std::uint32_t> prev_leader_of,
+    std::span<const double> drift, double drift_threshold, std::size_t budget,
+    std::vector<char>* dirty);
+
 // K x M aggregate problem: cluster c's row is the weight-averaged member
-// rows, re-normalized; capacity and file sizes carry over unchanged.
+// rows, re-normalized; capacity and file sizes carry over unchanged. The
+// result is sparse-backed (CSR only): at-scale aggregates never build the
+// K x M dense matrix.
 CachingProblem BuildAggregateProblem(const CachingProblem& problem,
                                      const UserClustering& clustering);
 

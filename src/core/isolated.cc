@@ -32,9 +32,44 @@ AllocationResult IsolatedAllocator::Allocate(
   r.policy = name();
   r.shared = false;
   r.file_alloc.assign(m, 0.0);
-  r.access = Matrix(n, m, 0.0);
   r.taxes.assign(n, 0.0);
   r.blocking.assign(n, 0.0);
+
+  if (!problem.dense_backed()) {
+    // Lean sparse path: the greedy per-user fill runs on CSR rows only and
+    // no N x M matrices are built. access(i, j) would equal
+    // per_user_copies(i, j); both stay empty, and reported utilities are
+    // the users' own-partition utilities.
+    const CsrMatrix& csr = problem.PreferencesCsr();
+    r.reported_utilities.assign(n, 0.0);
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cols = csr.row_cols(i);
+      const auto vals = csr.row_vals(i);
+      order.clear();
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (vals[k] > 0.0) order.push_back(k);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return vals[a] / problem.FileSize(cols[a]) >
+                                vals[b] / problem.FileSize(cols[b]);
+                       });
+      double remaining = budget_for(i);
+      for (std::size_t k : order) {
+        if (remaining <= 0.0) break;
+        const std::size_t j = cols[k];
+        const double take = std::min(1.0, remaining / problem.FileSize(j));
+        r.reported_utilities[i] += take * vals[k];
+        r.file_alloc[j] = std::max(r.file_alloc[j], take);
+        r.copy_footprint += take * problem.FileSize(j);
+        remaining -= take * problem.FileSize(j);
+      }
+    }
+    return r;
+  }
+
+  r.access = Matrix(n, m, 0.0);
   r.per_user_copies = Matrix(n, m, 0.0);
 
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,6 +1,7 @@
 #include "core/opus.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -16,31 +17,70 @@
 namespace opus {
 namespace {
 
-// Sum of log-utilities of users other than `excluded` with positive utility
-// and a non-empty preference row. Zero-preference users never enter the
-// virtual social welfare (their log term is undefined and they are outside
-// the mechanism). `row_active` is precomputed once per Allocate — the old
-// implementation re-summed every preference row on every call, which made
-// the N-tax loop O(N^2 * M) in row scans alone.
-double OthersVirtualWelfare(const std::vector<char>& row_active,
-                            const std::vector<double>& utilities,
-                            std::size_t excluded,
-                            const std::vector<double>& user_weights) {
-  std::vector<double> logs;
-  logs.reserve(utilities.size());
-  for (std::size_t k = 0; k < utilities.size(); ++k) {
-    if (k == excluded) continue;
-    if (!row_active[k]) continue;
-    // At a PF optimum with positive capacity every user with a non-zero
-    // preference row has strictly positive utility; utility can be zero only
-    // in the degenerate capacity-0 / no-files instances, where it is zero in
-    // both the full and the leave-one-out solution and cancels out of the
-    // tax — skip symmetrically.
-    if (utilities[k] <= 0.0) continue;
-    const double w = user_weights.empty() ? 1.0 : user_weights[k];
-    logs.push_back(w * std::log(utilities[k]));
+using SteadyClock = std::chrono::steady_clock;
+
+double WallMs(SteadyClock::time_point begin, SteadyClock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+// Compact per-solve record for the leave-one-out loop: everything
+// PfStats::Observe reads, nothing else. The old loop retained every
+// leave-one-out PfSolution (allocation + utilities) until after the
+// parallel region — O(N * (N + M)) doubles, which alone is terabytes at
+// N = 10^6 — solely to fold the stats in index order. This keeps the
+// deterministic in-order fold at O(1) memory per solve.
+struct LooStats {
+  int iterations = 0;
+  std::uint64_t projection_calls = 0;
+  std::uint64_t projection_warm_hits = 0;
+  std::uint64_t projection_exact = 0;
+  double residual = 0.0;
+  bool solved = false;  // false = no solve ran (reused tax / empty cluster)
+  bool warm_used = false;
+
+  static LooStats From(const PfSolution& s) {
+    LooStats out;
+    out.iterations = s.iterations;
+    out.projection_calls = s.projection_calls;
+    out.projection_warm_hits = s.projection_warm_hits;
+    out.projection_exact = s.projection_exact;
+    out.residual = s.residual;
+    out.solved = true;
+    out.warm_used = s.warm_start_used;
+    return out;
   }
-  return KahanSum(logs);
+
+  // Mirrors PfStats::Observe field for field.
+  void FoldInto(PfStats* stats) const {
+    if (!solved) return;
+    ++stats->solves;
+    stats->iterations += static_cast<std::uint64_t>(iterations);
+    stats->projection_calls += projection_calls;
+    stats->projection_warm_hits += projection_warm_hits;
+    stats->projection_exact += projection_exact;
+    stats->warm_started_solves += warm_used ? 1 : 0;
+    stats->max_residual = std::max(stats->max_residual, residual);
+  }
+};
+
+// Per-user L1 drift between the problem's rows and the warm state's,
+// walking CSR nonzeros only. Each index writes its own slot, so the
+// parallel run is byte-identical to the serial one.
+std::vector<double> RowDriftsCsr(const CsrMatrix& now, const CsrMatrix& then,
+                                 unsigned threads) {
+  std::vector<double> drift(now.rows(), 0.0);
+  ThreadPool::Shared().ParallelFor(
+      now.rows(),
+      [&](std::size_t i) { drift[i] = RowL1DistanceBetween(now, i, then, i); },
+      threads == 0 ? 1 : threads);
+  return drift;
+}
+
+// Warm-state problem key over the non-matrix inputs: O(N + M) hashing
+// instead of retaining and comparing full copies of file sizes and weights.
+std::uint64_t ProblemShapeKey(const CachingProblem& problem,
+                              const std::vector<double>& priorities) {
+  return HashDoubles(priorities, HashDoubles(problem.file_sizes));
 }
 
 // Solves the PF problem restricted to the columns marked in `in_r`
@@ -197,34 +237,48 @@ std::optional<PfSolution> RestrictedLeaveOneOut(
   return sol;
 }
 
-// Per-user L1 distance between the problem's preference rows and the warm
-// state's (the delta-window drift signal). Rows are normalized, so each
-// entry lands in [0, 2].
-std::vector<double> RowDrifts(const Matrix& now, const Matrix& then) {
-  std::vector<double> drift(now.rows(), 0.0);
-  for (std::size_t i = 0; i < now.rows(); ++i) {
-    const auto a = now.row(i);
-    const auto b = then.row(i);
-    double total = 0.0;
-    for (std::size_t j = 0; j < a.size(); ++j) {
-      total += std::fabs(a[j] - b[j]);
-    }
-    drift[i] = total;
-  }
-  return drift;
-}
-
 }  // namespace
 
+void OpusWarmState::Invalidate() {
+  valid = false;
+  preferences = CsrMatrix();
+  capacity = 0.0;
+  shape_key = 0;
+  // swap-with-empty releases capacity immediately: the purge path must not
+  // keep a dead million-user state's buffers resident.
+  std::vector<double>().swap(star_allocation);
+  std::vector<double>().swap(star_utilities);
+  std::vector<double>().swap(taxes);
+  std::vector<std::uint32_t>().swap(cluster_of);
+  std::vector<std::uint32_t>().swap(leader_of);
+  std::vector<double>().swap(cluster_weight);
+  std::vector<double>().swap(cluster_taxes);
+  std::vector<double>().swap(cluster_utilities);
+  drift_fraction = 0.0;
+  windows = 0;
+  tombstoned_nnz_ = 0;
+}
+
 void OpusWarmState::ForgetUser(std::size_t user) {
-  // Aggregated states are keyed by cluster rows; a departed member shows
-  // up there as cluster-row drift, which the delta logic already handles.
-  if (!valid || !cluster_of.empty()) return;
-  if (user >= preferences.rows()) return;
-  auto row = preferences.row(user);
-  std::fill(row.begin(), row.end(), 0.0);
+  if (!valid || user >= preferences.rows()) return;
+  tombstoned_nnz_ += preferences.ZeroRow(user);
   if (user < taxes.size()) taxes[user] = 0.0;
   if (user < star_utilities.size()) star_utilities[user] = 0.0;
+  // Compact once tombstones hold a quarter of the stored entries (and are
+  // worth the pass at all): mass dropuser churn returns the state to O(live
+  // nnz) instead of leaving dead rows resident until the next full refresh.
+  if (tombstoned_nnz_ >= 64 && tombstoned_nnz_ * 4 >= preferences.nnz()) {
+    preferences.Compact();
+    tombstoned_nnz_ = 0;
+  }
+}
+
+std::size_t OpusWarmState::MemoryBytes() const {
+  auto bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  return preferences.MemoryBytes() + bytes(star_allocation) +
+         bytes(star_utilities) + bytes(taxes) + bytes(cluster_of) +
+         bytes(leader_of) + bytes(cluster_weight) + bytes(cluster_taxes) +
+         bytes(cluster_utilities);
 }
 
 AllocationResult OpusAllocator::Allocate(const CachingProblem& problem) const {
@@ -239,13 +293,20 @@ AllocationResult OpusAllocator::AllocateWithDiagnostics(
 AllocationResult OpusAllocator::AllocateIncremental(
     const CachingProblem& problem, OpusWarmState* state,
     OpusDiagnostics* diag) const {
-  if (options_.aggregation.max_clusters > 0 && !options_.use_dense_solver &&
+  const bool aggregated =
+      (options_.aggregation.max_clusters > 0 ||
+       options_.aggregation.auto_tune) &&
+      !options_.use_dense_solver &&
       problem.num_users() >= options_.aggregation.min_users &&
-      problem.num_users() > 0 && problem.num_files() > 0) {
+      problem.num_users() > 0 && problem.num_files() > 0;
+  if (aggregated) {
     return AllocateAggregated(problem, state, diag);
   }
-  // A state left over from an aggregated window lives at cluster
-  // granularity; it cannot seed a user-granularity solve.
+  // A state left over from an aggregated window reaches this branch only on
+  // a policy/config change (aggregation switched off); start it cold rather
+  // than seed a differently-configured mechanism. The auto-tuner's degrade
+  // path does NOT come through here — AllocateAggregated calls
+  // AllocateDirect itself so the user-granularity state is reused.
   if (state != nullptr && !state->cluster_of.empty()) state->Invalidate();
   return AllocateDirect(problem, state, diag);
 }
@@ -253,6 +314,7 @@ AllocationResult OpusAllocator::AllocateIncremental(
 AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
                                                OpusWarmState* state,
                                                OpusDiagnostics* diag) const {
+  const auto t_begin = SteadyClock::now();
   const std::size_t n = problem.num_users();
   const std::size_t m = problem.num_files();
   const std::vector<double>& priorities = options_.user_weights;
@@ -275,8 +337,7 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
   const CsrMatrix* csr =
       options_.use_dense_solver ? nullptr : &problem.PreferencesCsr();
 
-  // Which users participate in the mechanism (non-empty preference row) —
-  // computed once, consumed by every OthersVirtualWelfare call.
+  // Which users participate in the mechanism (non-empty preference row).
   std::vector<char> row_active(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     double row_sum = 0.0;
@@ -288,28 +349,53 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
     row_active[i] = row_sum > 0.0 ? 1 : 0;
   }
 
-  // Warm state compatibility: the previous window's solve must describe
-  // the same problem shape — dimensions, capacity, file sizes, and
-  // priority weights. Anything else (policy swap repopulates a fresh
-  // state, capacity reconfig, user-count change) degrades to cold.
+  const unsigned tax_threads =
+      options_.tax_threads > 1
+          ? std::min<unsigned>(options_.tax_threads, static_cast<unsigned>(n))
+          : 1;
+
+  // Warm state compatibility: the previous window's solve must describe the
+  // same problem shape — dimensions, capacity, and the content hash of file
+  // sizes and priority weights (O(N + M) to key instead of retaining and
+  // comparing full copies). Anything else degrades to cold.
+  const std::uint64_t shape_key = ProblemShapeKey(problem, priorities);
   const bool warm_ok =
       state != nullptr && state->valid && state->preferences.rows() == n &&
       state->preferences.cols() == m && state->capacity == problem.capacity &&
-      state->file_sizes == problem.file_sizes &&
-      state->weights == priorities && state->star_allocation.size() == m &&
+      state->shape_key == shape_key && state->star_allocation.size() == m &&
       state->star_utilities.size() == n && state->taxes.size() == n;
-  const bool delta_active =
+
+  // Delta machinery: configured by options + a compatible warm state;
+  // auto-off then disables it for this window when the observed drift
+  // fraction says the bookkeeping (restricted composition, per-user reuse
+  // gates) would cost more than the few reusable taxes save.
+  const bool delta_configured =
       warm_ok && csr != nullptr && options_.delta.drift_threshold > 0.0;
   std::vector<double> drift;
-  if (delta_active) {
-    drift = RowDrifts(problem.preferences, state->preferences);
+  double drift_fraction = 0.0;
+  if (delta_configured) {
+    drift = RowDriftsCsr(*csr, state->preferences, tax_threads);
+    std::size_t mechanism = 0;
+    std::size_t drifted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row_active[i] || state->preferences.row_sum(i) > 0.0) ++mechanism;
+      if (drift[i] > options_.delta.drift_threshold) ++drifted;
+    }
+    drift_fraction = mechanism == 0 ? 0.0
+                                    : static_cast<double>(drifted) /
+                                          static_cast<double>(mechanism);
   }
+  const bool delta_auto_off =
+      delta_configured && options_.delta.auto_off_drift_fraction < 1.0 &&
+      drift_fraction >= options_.delta.auto_off_drift_fraction;
+  const bool delta_active = delta_configured && !delta_auto_off;
+  const auto t_drift = SteadyClock::now();
 
   // --- Stage 1: VCG_PF --------------------------------------------------
   const double residual_gate =
       options_.delta.gate_slack * options_.solver_tolerance;
   PfSolution star;
-  bool delta_window = false;
+  bool star_composed = false;
   std::uint64_t delta_fallbacks = 0;
   if (delta_active) {
     // Delta star solve: re-optimize only the columns drifted users touch
@@ -337,12 +423,14 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
         if (!in_r[c]) freed += size_of(c) * a_prev[c];
         add_col(c);
       }
-      const auto old_row = state->preferences.row(i);
-      for (std::size_t j = 0; j < m; ++j) {
-        if (old_row[j] > 0.0) {
-          if (!in_r[j]) freed += size_of(j) * a_prev[j];
-          add_col(j);
-        }
+      // Old support from the warm state's CSR row (tombstoned entries are
+      // explicit zeros and held nothing).
+      const auto ocols = state->preferences.row_cols(i);
+      const auto ovals = state->preferences.row_vals(i);
+      for (std::size_t k = 0; k < ocols.size(); ++k) {
+        if (ovals[k] <= 0.0) continue;
+        if (!in_r[ocols[k]]) freed += size_of(ocols[k]) * a_prev[ocols[k]];
+        add_col(ocols[k]);
       }
     }
     for (std::size_t j = 0; j < m; ++j) {
@@ -386,7 +474,7 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
       if (composed.residual < residual_gate) {
         composed.converged = true;
         star = std::move(composed);
-        delta_window = true;
+        star_composed = true;
       } else {
         ++delta_fallbacks;
         PfSolution full = SolveProportionalFairnessCsr(
@@ -414,6 +502,7 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
                                            priorities, star_warm,
                                            problem.file_sizes);
   }
+  const auto t_star = SteadyClock::now();
 
   // Shared read-only context for the leave-one-out solves, including the
   // star-allocation structure the restricted fast path partitions on.
@@ -489,20 +578,54 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
     }
   }
 
+  // Virtual welfare at the star point, precomputed once: each active
+  // user's log term and their Kahan total, so welfare-at-star excluding i
+  // is an O(1) subtraction instead of the old O(N) re-sum per tax solve
+  // (an O(N^2) term all by itself at million-user scale).
+  std::vector<double> star_logs(n, 0.0);
+  double star_log_total = 0.0;
+  {
+    std::vector<double> terms;
+    terms.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!row_active[k] || star.utilities[k] <= 0.0) continue;
+      star_logs[k] = priority_of(k) * std::log(star.utilities[k]);
+      terms.push_back(star_logs[k]);
+    }
+    star_log_total = KahanSum(terms);
+  }
+
   // Clarke pivot taxes via leave-one-out PF solves, warm-started from a*.
-  // The solves are independent; with tax_threads > 1 they run in parallel
-  // (each worker carries its own weight vector), which changes nothing but
-  // wall time. Per-solve stats land in index-addressed slots and are folded
-  // in order below, so the totals match the serial run bit for bit.
+  // The solves are independent; with tax_threads > 1 they run through the
+  // shared pool, each participating thread owning one pre-sized scratch
+  // slab (weights + log buffer) via its ParallelForSlot slot id — no
+  // per-index allocation. Results and per-solve stats land in
+  // index-addressed slots and are folded in order below, so the outcome is
+  // bit-identical to the serial run at any thread count.
   std::vector<double> taxes(n, 0.0);
-  std::vector<PfSolution> loo_solutions(n);
+  std::vector<LooStats> loo_stats(n);
   std::vector<char> restricted_hit(n, 0);
   std::vector<char> restricted_fb(n, 0);
-  auto tax_for = [&](std::size_t i, std::vector<double>& weights) {
+  struct TaxScratch {
+    std::vector<double> weights;  // priorities copy; [i] saved/restored
+    std::vector<double> logs;     // welfare accumulation buffer
+  };
+  std::vector<TaxScratch> scratch(
+      ThreadPool::Shared().SlotBound(n, tax_threads));
+  auto tax_for = [&](std::size_t i, std::size_t slot) {
     if (reuse[i]) {
       taxes[i] = std::max(0.0, state->taxes[i]);
       return;
     }
+    TaxScratch& s = scratch[slot];
+    if (s.weights.size() != n) {
+      s.weights.assign(n, 1.0);
+      if (!priorities.empty()) {
+        std::copy(priorities.begin(), priorities.end(), s.weights.begin());
+      }
+      s.logs.reserve(n);
+    }
+    std::vector<double>& weights = s.weights;
     const double saved = weights[i];
     weights[i] = 0.0;
     PfSolution without_i;
@@ -552,43 +675,33 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
     }
     weights[i] = saved;
 
-    const double welfare_without = OthersVirtualWelfare(
-        row_active, without_i.utilities, i, priorities);
-    const double welfare_at_star = OthersVirtualWelfare(
-        row_active, star.utilities, i, priorities);
+    s.logs.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i || !row_active[k]) continue;
+      // At a PF optimum with positive capacity every user with a non-zero
+      // preference row has strictly positive utility; utility can be zero
+      // only in the degenerate capacity-0 / no-files instances, where it is
+      // zero in both the full and the leave-one-out solution and cancels
+      // out of the tax — skip symmetrically with the star-side terms.
+      if (without_i.utilities[k] <= 0.0) continue;
+      s.logs.push_back(priority_of(k) * std::log(without_i.utilities[k]));
+    }
+    const double welfare_without = KahanSum(s.logs);
+    const double welfare_at_star = star_log_total - star_logs[i];
     // The pivot tax is non-negative by optimality of the leave-one-out
     // solution; clamp away solver residual noise.
     taxes[i] = std::max(0.0, welfare_without - welfare_at_star);
-    loo_solutions[i] = std::move(without_i);
+    loo_stats[i] = LooStats::From(without_i);
   };
-  const unsigned threads =
-      options_.tax_threads > 1
-          ? std::min<unsigned>(options_.tax_threads,
-                               static_cast<unsigned>(n))
-          : 1;
-  if (threads <= 1) {
-    std::vector<double> weights(n, 1.0);
-    for (std::size_t i = 0; i < n; ++i) weights[i] = priority_of(i);
-    for (std::size_t i = 0; i < n; ++i) tax_for(i, weights);
+  if (tax_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) tax_for(i, 0);
   } else {
-    // Shared fixed pool rather than per-call thread spawns; each task
-    // carries its own weight vector (O(n) setup, dwarfed by the PF solve).
-    // Inside a pool task (e.g. a SweepRunner worker) this runs inline.
-    ThreadPool::Shared().ParallelFor(
-        n,
-        [&](std::size_t i) {
-          std::vector<double> weights(n, 1.0);
-          for (std::size_t k = 0; k < n; ++k) weights[k] = priority_of(k);
-          tax_for(i, weights);
-        },
-        threads);
+    ThreadPool::Shared().ParallelForSlot(n, tax_for, tax_threads);
   }
+  const auto t_tax = SteadyClock::now();
   PfStats solve_stats;
   solve_stats.Observe(star);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (reuse[i]) continue;  // no solve ran for reused taxes
-    solve_stats.Observe(loo_solutions[i]);
-  }
+  for (std::size_t i = 0; i < n; ++i) loo_stats[i].FoldInto(&solve_stats);
   for (std::size_t i = 0; i < n; ++i) {
     solve_stats.restricted_solves += restricted_hit[i];
     solve_stats.restricted_fallbacks += restricted_fb[i];
@@ -602,7 +715,10 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
     r.solver_restricted_fallbacks = solve_stats.restricted_fallbacks;
     r.solver_nnz_ratio = csr != nullptr ? csr->NnzRatio() : 1.0;
     r.solver_warm_started = warm_ok;
-    r.solver_delta_window = delta_window;
+    r.solver_delta_window = delta_active;
+    r.solver_delta_star_composed = star_composed;
+    r.solver_delta_auto_off = delta_auto_off;
+    r.solver_drift_fraction = drift_fraction;
     if (delta_active) {
       r.solver_delta_resolved = static_cast<std::uint64_t>(n) - reused_taxes;
       r.solver_delta_reused = reused_taxes;
@@ -631,19 +747,26 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
 
   // Refresh the warm state with this window's outcome (even on an
   // isolation fallback: the PF solve and taxes are still the right seed
-  // for the next window's sharing attempt).
+  // for the next window's sharing attempt). Rows are stored as one CSR —
+  // never a dense N x M copy.
   if (state != nullptr) {
-    state->preferences = problem.preferences;
+    state->preferences = csr != nullptr ? *csr : problem.PreferencesCsr();
     state->capacity = problem.capacity;
-    state->file_sizes = problem.file_sizes;
-    state->weights = priorities;
+    state->shape_key = shape_key;
     state->star_allocation = star.allocation;
     state->star_utilities = star.utilities;
     state->taxes = taxes;
     state->cluster_of.clear();
+    state->leader_of.clear();
+    state->cluster_weight.clear();
+    state->cluster_taxes.clear();
+    state->cluster_utilities.clear();
+    state->drift_fraction = drift_fraction;
     state->windows = warm_ok ? state->windows + 1 : 1;
     state->valid = true;
+    state->tombstoned_nnz_ = 0;
   }
+  const auto t_fin = SteadyClock::now();
 
   if (diag != nullptr) {
     diag->pf_allocation = star.allocation;
@@ -664,6 +787,11 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
     diag->isolated_utilities = isolated;
     diag->settled_on_sharing = ig_holds;
     diag->solver_iterations = static_cast<int>(solve_stats.iterations);
+    diag->drift_wall_ms = WallMs(t_begin, t_drift);
+    diag->cluster_wall_ms = 0.0;
+    diag->star_wall_ms = WallMs(t_drift, t_star);
+    diag->tax_wall_ms = WallMs(t_star, t_tax);
+    diag->finalize_wall_ms = WallMs(t_tax, t_fin);
   }
 
   if (!ig_holds) {
@@ -676,26 +804,36 @@ AllocationResult OpusAllocator::AllocateDirect(const CachingProblem& problem,
   AllocationResult r;
   r.policy = name();
   r.file_alloc = star.allocation;
-  r.access = Matrix(n, m, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double keep = 1.0 - blocking[i];
-    for (std::size_t j = 0; j < m; ++j) {
-      r.access(i, j) = keep * r.file_alloc[j];
-    }
-  }
   r.taxes = std::move(taxes);
   r.blocking = std::move(blocking);
   fill_solver_fields(r);
   for (std::size_t j = 0; j < m; ++j) {
     r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
   }
-  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  if (problem.dense_backed()) {
+    r.access = Matrix(n, m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double keep = 1.0 - r.blocking[i];
+      for (std::size_t j = 0; j < m; ++j) {
+        r.access(i, j) = keep * r.file_alloc[j];
+      }
+    }
+    r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  } else {
+    // Lean sparse output: the access matrix e_ij = (1 - f_i) a_j is rank-1
+    // and recoverable from blocking + file_alloc; materializing it at
+    // N = 10^6 would dwarf every other allocation in the window. Reported
+    // utilities are the nets (identical arithmetic to the dense
+    // EvaluateUtilities contraction up to fp association).
+    r.reported_utilities = std::move(net);
+  }
   return r;
 }
 
 AllocationResult OpusAllocator::AllocateAggregated(
     const CachingProblem& problem, OpusWarmState* state,
     OpusDiagnostics* diag) const {
+  const auto t_begin = SteadyClock::now();
   const std::size_t n = problem.num_users();
   const std::size_t m = problem.num_files();
   const std::vector<double>& priorities = options_.user_weights;
@@ -707,47 +845,148 @@ AllocationResult OpusAllocator::AllocateAggregated(
     return priorities.empty() ? 1.0 : priorities[i];
   };
 
-  const UserClustering clustering =
-      ClusterUsersByPreference(problem, options_.aggregation, priorities);
-  if (clustering.num_clusters == 0) {
-    // No user has a non-empty row; the direct path handles the degenerate
-    // window (and an aggregated warm state cannot seed it).
-    if (state != nullptr && !state->cluster_of.empty()) state->Invalidate();
+  PfOptions pf_options;
+  pf_options.tolerance = options_.solver_tolerance;
+  pf_options.max_iterations = options_.solver_max_iterations;
+  const CsrMatrix& ucsr = problem.PreferencesCsr();
+  const unsigned threads_hint =
+      options_.tax_threads > 1 ? options_.tax_threads : 1;
+
+  // Aggregated windows keep the warm state at USER granularity (rows,
+  // taxes, star utilities) plus the clustering artifacts, so the same
+  // shape key serves both paths and the auto-tuner's degrade path can hand
+  // the state straight to AllocateDirect.
+  const std::uint64_t shape_key = ProblemShapeKey(problem, priorities);
+  const bool warm_ok =
+      state != nullptr && state->valid && state->preferences.rows() == n &&
+      state->preferences.cols() == m && state->capacity == problem.capacity &&
+      state->shape_key == shape_key && state->star_allocation.size() == m &&
+      state->star_utilities.size() == n && state->taxes.size() == n;
+
+  // Drift statistics vs. the stored user rows — the auto-tuner's input and
+  // the sticky re-clustering signal. The aggregated path needs a threshold
+  // even when delta composition is not configured; 0.05 on normalized rows
+  // is well under the clustering similarity threshold.
+  const double drift_threshold = options_.delta.drift_threshold > 0.0
+                                     ? options_.delta.drift_threshold
+                                     : 0.05;
+  std::vector<double> drift;
+  double drift_fraction = 0.0;
+  if (warm_ok) {
+    drift = RowDriftsCsr(ucsr, state->preferences, threads_hint);
+    std::size_t mechanism = 0;
+    std::size_t drifted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ucsr.row_sum(i) > 0.0 || state->preferences.row_sum(i) > 0.0) {
+        ++mechanism;
+      }
+      if (drift[i] > drift_threshold) ++drifted;
+    }
+    drift_fraction = mechanism == 0 ? 0.0
+                                    : static_cast<double>(drifted) /
+                                          static_cast<double>(mechanism);
+  }
+  const auto t_drift = SteadyClock::now();
+
+  const std::size_t budget = ChooseClusterBudget(options_.aggregation, n,
+                                                 warm_ok ? drift_fraction
+                                                         : -1.0);
+  if (budget == 0) {
+    // Auto-tuner degrade: drift crossed degrade_drift_fraction, so cluster
+    // approximations stop paying for themselves — run the window at user
+    // granularity. The state is user-granularity by construction and is
+    // handed over intact (NOT invalidated): the direct path warm-starts
+    // from it and clears the cluster artifacts on refresh.
     return AllocateDirect(problem, state, diag);
   }
-  const CachingProblem aggregate =
-      BuildAggregateProblem(problem, clustering);
+
+  // Clustering: sticky against the previous window when auto-tuning and the
+  // warm clustering is compatible (and the tuner did not shrink the budget
+  // to under half the surviving cluster count — then a fresh coarse
+  // clustering beats dragging a fine one along); fresh greedy pass
+  // otherwise.
+  const std::size_t prev_k = warm_ok ? state->leader_of.size() : 0;
+  bool leaders_valid = prev_k > 0 && state->cluster_of.size() == n &&
+                       state->cluster_weight.size() == prev_k &&
+                       state->cluster_taxes.size() == prev_k;
+  if (leaders_valid) {
+    for (const std::uint32_t leader : state->leader_of) {
+      if (leader >= n) {
+        leaders_valid = false;
+        break;
+      }
+    }
+  }
+  const bool sticky = options_.aggregation.auto_tune && warm_ok &&
+                      leaders_valid && budget * 2 >= prev_k;
+  std::vector<char> dirty;
+  UserClustering clustering;
+  if (sticky) {
+    clustering = StickyReclusterByPreference(
+        problem, options_.aggregation, priorities, state->cluster_of,
+        state->leader_of, drift, drift_threshold, budget, &dirty);
+  } else {
+    AggregationOptions fresh = options_.aggregation;
+    fresh.max_clusters = budget;
+    clustering = ClusterUsersByPreference(problem, fresh, priorities);
+    dirty.assign(clustering.num_clusters, 1);
+  }
+  if (clustering.num_clusters == 0) {
+    // No user has a non-empty row; the direct path handles the degenerate
+    // window.
+    return AllocateDirect(problem, state, diag);
+  }
+  const CachingProblem aggregate = BuildAggregateProblem(problem, clustering);
   const std::size_t num_clusters = clustering.num_clusters;
   const std::vector<double>& cluster_weights = clustering.cluster_weight;
   std::vector<double> member_count(num_clusters, 0.0);
   for (const std::uint32_t c : clustering.cluster_of) {
     if (c != kUnclustered) member_count[c] += 1.0;
   }
-
-  PfOptions pf_options;
-  pf_options.tolerance = options_.solver_tolerance;
-  pf_options.max_iterations = options_.solver_max_iterations;
   const CsrMatrix& acsr = aggregate.PreferencesCsr();
+  const auto t_cluster = SteadyClock::now();
 
-  // Warm state at cluster granularity: valid only while the clustering
-  // itself is unchanged (same membership), on top of the usual shape
-  // checks. Membership changes surface here and degrade to cold.
-  const bool warm_ok =
-      state != nullptr && state->valid && !state->cluster_of.empty() &&
-      state->cluster_of == clustering.cluster_of &&
-      state->preferences.rows() == num_clusters &&
-      state->preferences.cols() == m &&
-      state->capacity == problem.capacity &&
-      state->file_sizes == problem.file_sizes &&
-      state->weights == cluster_weights &&
-      state->star_allocation.size() == m;
-
+  // Star solve at cluster granularity, warm-started from the previous
+  // window's applied per-file allocation (valid regardless of how the
+  // clustering changed: a* is per-file, not per-cluster).
   const std::span<const double> star_warm =
       warm_ok ? std::span<const double>(state->star_allocation)
               : std::span<const double>();
   const PfSolution star = SolveProportionalFairnessCsr(
       acsr, aggregate.capacity, pf_options, cluster_weights, star_warm,
       aggregate.file_sizes);
+  const auto t_star = SteadyClock::now();
+
+  // Cluster-tax reuse (sticky windows): a cluster untouched by drift or
+  // membership changes whose aggregate row saw only a tiny unsigned
+  // allocation move keeps its previous leave-one-member-out tax — the same
+  // gate the direct path applies per user, at cluster-row granularity.
+  // Auto-off (shared with the delta options) disables reuse when the window
+  // drifted too much for the bookkeeping to pay.
+  const bool delta_auto_off =
+      warm_ok && options_.delta.auto_off_drift_fraction < 1.0 &&
+      drift_fraction >= options_.delta.auto_off_drift_fraction;
+  const bool reuse_active = sticky && !delta_auto_off;
+  std::vector<char> creuse(num_clusters, 0);
+  std::uint64_t reused_taxes = 0;
+  if (reuse_active) {
+    for (std::size_t c = 0; c < num_clusters && c < prev_k; ++c) {
+      if (dirty[c]) continue;
+      const auto cols = acsr.row_cols(c);
+      const auto vals = acsr.row_vals(c);
+      double moved = 0.0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        moved += vals[k] * std::fabs(star.allocation[cols[k]] -
+                                     state->star_allocation[cols[k]]);
+      }
+      if (moved > options_.delta.utility_rel_tolerance *
+                      std::max(star.utilities[c], 1e-12)) {
+        continue;
+      }
+      creuse[c] = 1;
+      ++reused_taxes;
+    }
+  }
 
   // Per-cluster leave-one-MEMBER-out solves. Removing the whole cluster
   // would price the coalition's externality (which grows with cluster size
@@ -756,65 +995,65 @@ AllocationResult OpusAllocator::AllocateAggregated(
   // the others' welfare gain — the individual Clarke pivot under the
   // approximation that the member's preferences equal its cluster's.
   // "Others" includes the member's own cluster at its remaining weight.
+  // Parallel via slot-indexed scratch, folded in order — bit-identical at
+  // any thread count.
   std::vector<double> member_tax(num_clusters, 0.0);
-  std::vector<PfSolution> loo_solutions(num_clusters);
-  auto cluster_welfare = [&](const std::vector<double>& utilities,
-                             const std::vector<double>& weights) {
+  std::vector<LooStats> loo_stats(num_clusters);
+  struct AggScratch {
+    std::vector<double> weights;  // cluster_weights copy; [c] saved/restored
     std::vector<double> logs;
-    logs.reserve(num_clusters);
-    for (std::size_t c = 0; c < num_clusters; ++c) {
-      if (weights[c] <= 0.0 || utilities[c] <= 0.0) continue;
-      logs.push_back(weights[c] * std::log(utilities[c]));
-    }
-    return KahanSum(logs);
   };
-  auto tax_for = [&](std::size_t c, std::vector<double>& weights) {
+  const unsigned tax_threads =
+      options_.tax_threads > 1
+          ? std::min<unsigned>(options_.tax_threads,
+                               static_cast<unsigned>(num_clusters))
+          : 1;
+  std::vector<AggScratch> scratch(
+      ThreadPool::Shared().SlotBound(num_clusters, tax_threads));
+  auto tax_for = [&](std::size_t c, std::size_t slot) {
+    if (member_count[c] <= 0.0) return;  // emptied-out sticky cluster
+    if (creuse[c]) {
+      member_tax[c] = std::max(0.0, state->cluster_taxes[c]);
+      return;
+    }
+    AggScratch& s = scratch[slot];
+    if (s.weights.size() != num_clusters) {
+      s.weights = cluster_weights;
+      s.logs.reserve(num_clusters);
+    }
+    std::vector<double>& weights = s.weights;
     const double mean_weight = cluster_weights[c] / member_count[c];
     const double saved = weights[c];
     weights[c] = std::max(0.0, cluster_weights[c] - mean_weight);
     PfSolution without = SolveProportionalFairnessCsr(
         acsr, aggregate.capacity, pf_options, weights,
         std::span<const double>(star.allocation), aggregate.file_sizes);
-    const double welfare_without =
-        cluster_welfare(without.utilities, weights);
-    const double welfare_at_star = cluster_welfare(star.utilities, weights);
+    s.logs.clear();
+    for (std::size_t k = 0; k < num_clusters; ++k) {
+      if (weights[k] <= 0.0 || without.utilities[k] <= 0.0) continue;
+      s.logs.push_back(weights[k] * std::log(without.utilities[k]));
+    }
+    const double welfare_without = KahanSum(s.logs);
+    s.logs.clear();
+    for (std::size_t k = 0; k < num_clusters; ++k) {
+      if (weights[k] <= 0.0 || star.utilities[k] <= 0.0) continue;
+      s.logs.push_back(weights[k] * std::log(star.utilities[k]));
+    }
+    const double welfare_at_star = KahanSum(s.logs);
     weights[c] = saved;
     member_tax[c] = std::max(0.0, welfare_without - welfare_at_star);
-    loo_solutions[c] = std::move(without);
+    loo_stats[c] = LooStats::From(without);
   };
-  const unsigned threads =
-      options_.tax_threads > 1
-          ? std::min<unsigned>(options_.tax_threads,
-                               static_cast<unsigned>(num_clusters))
-          : 1;
-  if (threads <= 1) {
-    std::vector<double> weights = cluster_weights;
-    for (std::size_t c = 0; c < num_clusters; ++c) tax_for(c, weights);
+  if (tax_threads <= 1) {
+    for (std::size_t c = 0; c < num_clusters; ++c) tax_for(c, 0);
   } else {
-    ThreadPool::Shared().ParallelFor(
-        num_clusters,
-        [&](std::size_t c) {
-          std::vector<double> weights = cluster_weights;
-          tax_for(c, weights);
-        },
-        threads);
+    ThreadPool::Shared().ParallelForSlot(num_clusters, tax_for, tax_threads);
   }
+  const auto t_tax = SteadyClock::now();
   PfStats solve_stats;
   solve_stats.Observe(star);
-  for (const PfSolution& s : loo_solutions) solve_stats.Observe(s);
-
-  // Refresh the warm state at cluster granularity.
-  if (state != nullptr) {
-    state->preferences = aggregate.preferences;
-    state->capacity = aggregate.capacity;
-    state->file_sizes = aggregate.file_sizes;
-    state->weights = cluster_weights;
-    state->star_allocation = star.allocation;
-    state->star_utilities = star.utilities;
-    state->taxes = member_tax;
-    state->cluster_of = clustering.cluster_of;
-    state->windows = warm_ok ? state->windows + 1 : 1;
-    state->valid = true;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    loo_stats[c].FoldInto(&solve_stats);
   }
 
   // Disaggregate: the file allocation is shared verbatim; per-member taxes
@@ -828,7 +1067,7 @@ AllocationResult OpusAllocator::AllocateAggregated(
   std::vector<double> taxes;
   DisaggregateTaxes(clustering, scaled_cluster_taxes, priorities, &taxes);
   std::vector<double> utilities(n, 0.0);
-  CsrUtilities(problem.PreferencesCsr(), star.allocation, utilities);
+  CsrUtilities(ucsr, star.allocation, utilities);
   std::vector<double> blocking(n, 0.0);
   std::vector<double> net(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -847,6 +1086,28 @@ AllocationResult OpusAllocator::AllocateAggregated(
     }
   }
 
+  // Refresh the warm state: user rows + disaggregated per-user artifacts
+  // (so the degrade path and drift stats work), plus the clustering and
+  // cluster-level artifacts (so sticky re-clustering and tax reuse work).
+  if (state != nullptr) {
+    state->preferences = ucsr;
+    state->capacity = problem.capacity;
+    state->shape_key = shape_key;
+    state->star_allocation = star.allocation;
+    state->star_utilities = utilities;
+    state->taxes = taxes;
+    state->cluster_of = clustering.cluster_of;
+    state->leader_of = clustering.leader_of;
+    state->cluster_weight = clustering.cluster_weight;
+    state->cluster_taxes = member_tax;
+    state->cluster_utilities = star.utilities;
+    state->drift_fraction = drift_fraction;
+    state->windows = warm_ok ? state->windows + 1 : 1;
+    state->valid = true;
+    state->tombstoned_nnz_ = 0;
+  }
+  const auto t_fin = SteadyClock::now();
+
   auto fill_solver_fields = [&](AllocationResult& r) {
     r.solver_iterations = solve_stats.iterations;
     r.solver_residual = solve_stats.max_residual;
@@ -855,6 +1116,14 @@ AllocationResult OpusAllocator::AllocateAggregated(
     r.solver_nnz_ratio = acsr.NnzRatio();
     r.solver_warm_started = warm_ok;
     r.solver_agg_clusters = num_clusters;
+    r.solver_delta_window = reuse_active;
+    r.solver_delta_auto_off = delta_auto_off;
+    r.solver_drift_fraction = drift_fraction;
+    if (reuse_active) {
+      r.solver_delta_resolved =
+          static_cast<std::uint64_t>(num_clusters) - reused_taxes;
+      r.solver_delta_reused = reused_taxes;
+    }
   };
 
   if (diag != nullptr) {
@@ -876,6 +1145,11 @@ AllocationResult OpusAllocator::AllocateAggregated(
     diag->isolated_utilities = isolated;
     diag->settled_on_sharing = ig_holds;
     diag->solver_iterations = static_cast<int>(solve_stats.iterations);
+    diag->drift_wall_ms = WallMs(t_begin, t_drift);
+    diag->cluster_wall_ms = WallMs(t_drift, t_cluster);
+    diag->star_wall_ms = WallMs(t_cluster, t_star);
+    diag->tax_wall_ms = WallMs(t_star, t_tax);
+    diag->finalize_wall_ms = WallMs(t_tax, t_fin);
   }
 
   if (!ig_holds) {
@@ -888,20 +1162,25 @@ AllocationResult OpusAllocator::AllocateAggregated(
   AllocationResult r;
   r.policy = name();
   r.file_alloc = star.allocation;
-  r.access = Matrix(n, m, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double keep = 1.0 - blocking[i];
-    for (std::size_t j = 0; j < m; ++j) {
-      r.access(i, j) = keep * r.file_alloc[j];
-    }
-  }
   r.taxes = std::move(taxes);
   r.blocking = std::move(blocking);
   fill_solver_fields(r);
   for (std::size_t j = 0; j < m; ++j) {
     r.copy_footprint += r.file_alloc[j] * problem.FileSize(j);
   }
-  r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  if (problem.dense_backed()) {
+    r.access = Matrix(n, m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double keep = 1.0 - r.blocking[i];
+      for (std::size_t j = 0; j < m; ++j) {
+        r.access(i, j) = keep * r.file_alloc[j];
+      }
+    }
+    r.reported_utilities = EvaluateUtilities(r, problem.preferences);
+  } else {
+    // Lean sparse output (see AllocateDirect): access is rank-1 implicit.
+    r.reported_utilities = std::move(net);
+  }
   return r;
 }
 

@@ -56,36 +56,64 @@ struct OpusDeltaOptions {
   // Residual gate: a composed delta allocation is accepted when the full
   // problem's KKT residual is below gate_slack * solver_tolerance.
   double gate_slack = 10.0;
+  // Auto-off: when the drifted-user fraction of a window reaches this, the
+  // delta machinery (restricted star composition, per-user reuse gates) is
+  // skipped for the window — the bookkeeping costs more than the few
+  // reusable taxes save, and the window runs as a plain warm solve. 1.0
+  // (the default) never auto-disables; the daemon flag --delta-auto-off
+  // sets it.
+  double auto_off_drift_fraction = 1.0;
 };
 
 // Cross-window solver state owned by the control loop (OpusMaster). The
 // allocator both consumes and refreshes it on every AllocateIncremental
 // call; Invalidate() forces the next window cold (policy swap, capacity
-// reconfig). With aggregation enabled the state lives at cluster
-// granularity (preferences/taxes are per-cluster, cluster_of records the
-// membership the state was solved under).
+// reconfig) and releases the stored rows.
+//
+// Storage is memory-lean by construction: preference rows live as one CSR
+// (never a dense N x M copy — warm state for 10^6 users at 0.1% density is
+// hundreds of MB, not TB), per-user artifacts are flat N-vectors, and the
+// problem key is dimensions + capacity + an O(M + N) content hash of file
+// sizes and priority weights instead of retained full copies. Aggregated
+// windows ALSO store user-granularity rows/taxes (the disaggregated ones),
+// plus the clustering and cluster-level artifacts, so drift statistics,
+// sticky re-clustering, and cluster-tax reuse all work across windows.
 struct OpusWarmState {
   bool valid = false;
-  Matrix preferences;  // normalized rows of the problem last solved
+  CsrMatrix preferences;  // normalized USER rows of the problem last solved
   double capacity = 0.0;
-  std::vector<double> file_sizes;
-  std::vector<double> weights;           // priorities of the solved rows
-  std::vector<double> star_allocation;   // previous applied a*
-  std::vector<double> star_utilities;    // U(a*) of the solved rows
-  std::vector<double> taxes;             // Clarke taxes of the solved rows
-  std::vector<std::uint32_t> cluster_of;  // empty = user-granularity state
+  std::uint64_t shape_key = 0;  // HashDoubles(file_sizes) ^mixed weights
+  std::vector<double> star_allocation;   // previous applied a* (length M)
+  std::vector<double> star_utilities;    // per-user U_i(a*)
+  std::vector<double> taxes;             // per-user Clarke taxes
+  // Aggregated-window artifacts (empty after a direct window):
+  std::vector<std::uint32_t> cluster_of;   // [user] -> cluster (or kUnclustered)
+  std::vector<std::uint32_t> leader_of;    // [cluster] founding user id
+  std::vector<double> cluster_weight;      // [cluster] summed member weights
+  std::vector<double> cluster_taxes;       // [cluster] leave-one-member-out tax
+  std::vector<double> cluster_utilities;   // [cluster] aggregate-row U_c(a*)
+  // Drift statistics observed entering the last window (auto-tuner input).
+  double drift_fraction = 0.0;
   std::uint64_t windows = 0;  // consecutive windows served warm
 
-  void Invalidate() {
-    valid = false;
-    windows = 0;
-  }
+  // Invalidates AND releases storage (the purge path: policy swap or
+  // capacity reconfig must not keep a dead million-user CSR resident).
+  void Invalidate();
 
-  // Forgets one user's row (user churn): the stored row and tax are
-  // zeroed, so a revived user's first non-empty window registers as drift
-  // and is re-solved instead of reusing departed-tenant state. No-op for
-  // aggregated states (membership changes surface as cluster-row drift).
+  // Forgets one user's row (user churn): the stored row is tombstoned and
+  // its tax/utility zeroed, so a revived user's first non-empty window
+  // registers as drift and is re-solved instead of reusing departed-tenant
+  // state. Accumulated tombstones are compacted once they reach a quarter
+  // of the stored entries, so mass dropuser churn returns the state's
+  // memory to baseline instead of leaving dead rows resident.
   void ForgetUser(std::size_t user);
+
+  // Heap bytes held by the state (tests and bench memory accounting).
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class OpusAllocator;  // resets churn accounting on state refresh
+  std::size_t tombstoned_nnz_ = 0;
 };
 
 struct OpusOptions {
@@ -137,6 +165,14 @@ struct OpusDiagnostics {
   std::vector<double> isolated_utilities;  // U-bar_i
   bool settled_on_sharing = false;
   int solver_iterations = 0;  // across all N+1 PF solves
+
+  // Per-phase wall-clock breakdown of the window (ms). Timing only — never
+  // feeds back into the allocation, so results stay deterministic.
+  double drift_wall_ms = 0.0;     // drift stats vs. the warm state
+  double cluster_wall_ms = 0.0;   // (re-)clustering + aggregate build
+  double star_wall_ms = 0.0;      // star PF solve (incl. delta composition)
+  double tax_wall_ms = 0.0;       // leave-one-out / leave-one-member-out solves
+  double finalize_wall_ms = 0.0;  // disaggregation, stage 2, state refresh
 };
 
 class OpusAllocator final : public CacheAllocator {

@@ -21,6 +21,15 @@
 namespace opus {
 
 // A cache allocation instance: reported preferences + capacity.
+//
+// Two storage modes:
+//  - dense-backed (the default): `preferences` holds the N x M matrix and
+//    PreferencesCsr() derives the sparse view on demand;
+//  - sparse-backed (FromCsr): only the CSR rows exist — `preferences`
+//    stays empty — so million-user instances at 0.1% density never
+//    materialize the N x M dense form. Sparse-backed problems are served
+//    by the CSR-native allocators (OpuS, isolated); dense-only policies
+//    must not receive them.
 struct CachingProblem {
   Matrix preferences;  // N x M, rows normalized (or identically zero)
   double capacity = 0.0;
@@ -31,8 +40,19 @@ struct CachingProblem {
   // Sec. V-B, varying file sizes).
   std::vector<double> file_sizes;
 
-  std::size_t num_users() const { return preferences.rows(); }
-  std::size_t num_files() const { return preferences.cols(); }
+  std::size_t num_users() const {
+    return dense_backed() ? preferences.rows() : csr_cache_->rows();
+  }
+  std::size_t num_files() const {
+    return dense_backed() ? preferences.cols() : csr_cache_->cols();
+  }
+
+  // True when the dense matrix is the source of truth (sparse-backed
+  // problems keep it empty and carry only the CSR view).
+  bool dense_backed() const {
+    return csr_cache_ == nullptr || !preferences.empty() ||
+           csr_cache_->rows() == 0;
+  }
 
   // Size of file j (1 when file_sizes is empty).
   double FileSize(std::size_t j) const;
@@ -45,6 +65,13 @@ struct CachingProblem {
   // Requires capacity >= 0.
   static CachingProblem FromRaw(Matrix raw_scores, double capacity);
 
+  // Sparse-backed construction: normalizes each CSR row to sum to 1 and
+  // stores only the sparse view (the dense matrix is never built). The
+  // row-wise arithmetic matches FromRaw exactly, so a sparse-backed problem
+  // and the FromRaw problem of the same scores produce identical solver
+  // inputs. Requires capacity >= 0.
+  static CachingProblem FromCsr(CsrMatrix raw_scores, double capacity);
+
   // Copy of this problem with user `i`'s preference row replaced by the
   // (normalized) `misreport`. Used by strategy-proofness analyses.
   CachingProblem WithMisreport(std::size_t i,
@@ -55,7 +82,11 @@ struct CachingProblem {
   // on the first call. Callers that mutate `preferences` directly after
   // calling this must InvalidatePreferencesCsr() (WithMisreport does).
   const CsrMatrix& PreferencesCsr() const;
-  void InvalidatePreferencesCsr() { csr_cache_.reset(); }
+  void InvalidatePreferencesCsr() {
+    // Sparse-backed problems own no dense source to rebuild from; their
+    // CSR is the data, never a cache to drop.
+    if (dense_backed()) csr_cache_.reset();
+  }
 
  private:
   mutable std::shared_ptr<const CsrMatrix> csr_cache_;
@@ -117,14 +148,24 @@ struct AllocationResult {
   double solver_nnz_ratio = 0.0;
 
   // Incremental-window accounting (zero for cold solves): whether the star
-  // solve was warm-started from a previous window, whether the delta
-  // composition path served the star solve, how many per-user (or
-  // per-cluster) tax solves ran vs. were reused from the warm state, how
-  // many delta compositions missed the full-problem KKT gate and fell back
-  // to a warm full solve, and the cluster count when user aggregation was
-  // in effect (0 = unaggregated).
+  // solve was warm-started from a previous window, whether the delta path
+  // (drift bookkeeping + tax-reuse gate) was active this window, whether
+  // the restricted star composition actually served the star solve, how
+  // many per-user (or per-cluster) tax solves ran vs. were reused from the
+  // warm state, how many delta compositions missed the full-problem KKT
+  // gate and fell back to a warm full solve, and the cluster count when
+  // user aggregation was in effect (0 = unaggregated).
   bool solver_warm_started = false;
   bool solver_delta_window = false;
+  bool solver_delta_star_composed = false;
+  // True when the delta path was configured but skipped for this window
+  // because the observed drifted-user fraction crossed
+  // OpusDeltaOptions::auto_off_drift_fraction (bookkeeping would cost more
+  // than reuse saves).
+  bool solver_delta_auto_off = false;
+  // Fraction of mechanism-active users whose preference row drifted beyond
+  // the drift threshold vs. the warm state (0 for cold windows).
+  double solver_drift_fraction = 0.0;
   std::uint64_t solver_delta_resolved = 0;
   std::uint64_t solver_delta_reused = 0;
   std::uint64_t solver_delta_fallbacks = 0;

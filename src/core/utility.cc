@@ -51,6 +51,35 @@ double IsolatedUtility(std::span<const double> prefs, double budget,
   return utility;
 }
 
+double IsolatedUtilitySparse(std::span<const std::uint32_t> cols,
+                             std::span<const double> vals, double budget,
+                             std::span<const double> sizes) {
+  OPUS_CHECK_GE(budget, 0.0);
+  auto size_of = [&](std::uint32_t j) {
+    return sizes.empty() ? 1.0 : sizes[j];
+  };
+  std::vector<std::size_t> order;
+  order.reserve(cols.size());
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (vals[k] > 0.0) order.push_back(k);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return vals[a] / size_of(cols[a]) >
+                            vals[b] / size_of(cols[b]);
+                   });
+  double remaining = budget;
+  double utility = 0.0;
+  for (std::size_t k : order) {
+    if (remaining <= 0.0) break;
+    const double s = size_of(cols[k]);
+    const double take = std::min(1.0, remaining / s);
+    utility += take * vals[k];
+    remaining -= take * s;
+  }
+  return utility;
+}
+
 std::vector<double> IsolatedUtilities(const CachingProblem& problem) {
   return IsolatedUtilities(problem, {});
 }
@@ -68,12 +97,18 @@ std::vector<double> IsolatedUtilities(const CachingProblem& problem,
       weight_total += w;
     }
   }
+  const bool dense = problem.dense_backed();
+  const CsrMatrix* csr = dense ? nullptr : &problem.PreferencesCsr();
   for (std::size_t i = 0; i < n; ++i) {
     const double share = user_weights.empty()
                              ? 1.0 / static_cast<double>(n)
                              : user_weights[i] / weight_total;
-    out[i] = IsolatedUtility(problem.preferences.row(i),
-                             problem.capacity * share, problem.file_sizes);
+    out[i] = dense ? IsolatedUtility(problem.preferences.row(i),
+                                     problem.capacity * share,
+                                     problem.file_sizes)
+                   : IsolatedUtilitySparse(csr->row_cols(i), csr->row_vals(i),
+                                           problem.capacity * share,
+                                           problem.file_sizes);
   }
   return out;
 }

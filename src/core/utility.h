@@ -26,6 +26,16 @@ std::vector<double> EvaluateUtilities(const AllocationResult& result,
 double IsolatedUtility(std::span<const double> prefs, double budget,
                        std::span<const double> sizes = {});
 
+// Sparse variant over a CSR row's nonzeros: `cols`/`vals` are the row's
+// column indices and values; `sizes` (empty = unit) is indexed by the
+// ORIGINAL column ids. Identical arithmetic to the dense version — the
+// dense greedy pass stops at the first non-positive preference, so zero
+// entries never contribute — at O(nnz_row log nnz_row) instead of
+// O(M log M).
+double IsolatedUtilitySparse(std::span<const std::uint32_t> cols,
+                             std::span<const double> vals, double budget,
+                             std::span<const double> sizes = {});
+
 // U-bar for every user with even split C/N.
 std::vector<double> IsolatedUtilities(const CachingProblem& problem);
 

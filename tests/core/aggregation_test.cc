@@ -185,5 +185,99 @@ TEST(AggregationTest, AggregatedStateWarmStartsTheNextWindow) {
   EXPECT_TRUE(state.cluster_of.empty());
 }
 
+TEST(AggregationTest, ChooseClusterBudgetFollowsDrift) {
+  AggregationOptions o;
+  o.auto_tune = true;
+  o.min_clusters = 16;
+  // Cold window (no drift signal): full budget = min(4 * min_clusters, N).
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, -1.0), 64u);
+  EXPECT_EQ(ChooseClusterBudget(o, 40, -1.0), 40u);
+  // Stable workload: coarse clusters at the floor.
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, 0.0), 16u);
+  // Rising drift widens the budget: 16 * (1 + 8 * 0.25) = 48.
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, 0.25), 48u);
+  // At the degrade threshold the window runs per-user (budget 0).
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, 0.5), 0u);
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, 0.9), 0u);
+  // An explicit max_clusters caps the growth.
+  o.max_clusters = 20;
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, 0.25), 20u);
+  // Without auto_tune the budget is pinned at max_clusters.
+  o.auto_tune = false;
+  EXPECT_EQ(ChooseClusterBudget(o, 1000, 0.25), 20u);
+}
+
+TEST(AggregationTest, HighDriftDegradesToPerUserWithoutColdRestart) {
+  // Prime an auto-tuned aggregated state, then hit it with a window where
+  // every user's row drifts: the tuner must degrade the window to per-user
+  // solves (no clusters) while still consuming the user-granularity warm
+  // state — degrading is not a cold restart. The same window must also
+  // trip delta auto-off.
+  OpusOptions options;
+  options.aggregation.auto_tune = true;
+  options.aggregation.min_clusters = 4;
+  options.delta.drift_threshold = 0.05;
+  options.delta.auto_off_drift_fraction = 0.5;
+  const OpusAllocator alloc(options);
+
+  const CachingProblem w0 = ZipfProblem(64, 32, 8.0, 23);
+  const CachingProblem w1 = ZipfProblem(64, 32, 8.0, 29);  // total drift
+  OpusWarmState state;
+  const AllocationResult first = alloc.AllocateIncremental(w0, &state);
+  EXPECT_GT(first.solver_agg_clusters, 0u);
+
+  const AllocationResult second = alloc.AllocateIncremental(w1, &state);
+  EXPECT_EQ(second.solver_agg_clusters, 0u);  // degraded to per-user
+  EXPECT_TRUE(second.solver_warm_started);    // ... but not cold
+  EXPECT_TRUE(second.solver_delta_auto_off);
+  EXPECT_FALSE(second.solver_delta_window);
+  EXPECT_GE(second.solver_drift_fraction, 0.5);
+  // The degraded window is a plain warm solve: exact per-user mechanism.
+  const AllocationResult cold = OpusAllocator().Allocate(w1);
+  ASSERT_EQ(second.taxes.size(), cold.taxes.size());
+  for (std::size_t i = 0; i < cold.taxes.size(); ++i) {
+    EXPECT_NEAR(second.taxes[i], cold.taxes[i], 1e-6) << "user " << i;
+  }
+}
+
+TEST(AggregationTest, StickyReclusterKeepsStableUsersAndReusesTaxes) {
+  // Low-drift auto-tuned windows: after the budget settles, a window with
+  // a handful of drifted users must keep every stable user's cluster id
+  // and reuse the untouched clusters' taxes.
+  OpusOptions options;
+  options.aggregation.auto_tune = true;
+  options.aggregation.min_clusters = 8;
+  options.delta.drift_threshold = 0.05;
+  const OpusAllocator alloc(options);
+
+  const CachingProblem w0 = ZipfProblem(128, 32, 8.0, 31, 0.4);
+  OpusWarmState state;
+  alloc.AllocateIncremental(w0, &state);  // cold, full budget
+  alloc.AllocateIncremental(w0, &state);  // budget settles to the floor
+  const std::vector<std::uint32_t> before = state.cluster_of;
+
+  // Drift exactly one user: blend its row toward a fresh draw.
+  CachingProblem w1 = w0;
+  {
+    const CachingProblem fresh = ZipfProblem(1, 32, 8.0, 37, 0.4);
+    auto row = w1.preferences.row(5);
+    const auto src = fresh.preferences.row(0);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = 0.5 * row[j] + 0.5 * src[j];
+    }
+    w1.InvalidatePreferencesCsr();
+  }
+
+  const AllocationResult r = alloc.AllocateIncremental(w1, &state);
+  EXPECT_GT(r.solver_agg_clusters, 0u);
+  EXPECT_TRUE(r.solver_delta_window);  // cluster-tax reuse was active
+  EXPECT_GT(r.solver_delta_reused, 0u);
+  ASSERT_EQ(state.cluster_of.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (i == 5) continue;  // the drifted user may move clusters
+    EXPECT_EQ(state.cluster_of[i], before[i]) << "user " << i;
+  }
+}
+
 }  // namespace
 }  // namespace opus

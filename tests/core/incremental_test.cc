@@ -207,7 +207,10 @@ TEST(IncrementalTest, RiggedGateFallsBackToWarmFullSolve) {
 
   const AllocationResult r = alloc.AllocateIncremental(w1, &state);
   EXPECT_GE(r.solver_delta_fallbacks, 1u);
-  EXPECT_FALSE(r.solver_delta_window);
+  // The delta path was active (drift bookkeeping ran) but the composition
+  // missed the gate, so the star was NOT served by the composed point.
+  EXPECT_TRUE(r.solver_delta_window);
+  EXPECT_FALSE(r.solver_delta_star_composed);
   ExpectSameResult(r, OpusAllocator().Allocate(w1), 1e-5, 1e-6);
 }
 
@@ -222,9 +225,48 @@ TEST(IncrementalTest, DeltaWindowComposesOnLargeSparseProblems) {
   alloc.AllocateIncremental(w0, &state);
 
   const AllocationResult r = alloc.AllocateIncremental(w1, &state);
-  EXPECT_TRUE(r.solver_delta_window);  // restriction attempted and gated in
+  EXPECT_TRUE(r.solver_delta_window);
+  EXPECT_TRUE(r.solver_delta_star_composed);  // restriction gated in
   EXPECT_EQ(r.solver_delta_fallbacks, 0u);
   ExpectSameResult(r, OpusAllocator().Allocate(w1), 1e-5, 1e-6);
+}
+
+TEST(IncrementalTest, MassChurnCompactsTombstonedRows) {
+  // Mass dropuser churn: forgetting most of a sparse state's users must
+  // compact the tombstoned CSR rows and return the state's memory toward
+  // baseline — never leave the departed tenants' rows resident until the
+  // next full refresh.
+  const CachingProblem p = ZipfProblem(512, 128, 32.0, 81, 0.25);
+  OpusWarmState state;
+  OpusAllocator().AllocateIncremental(p, &state);
+  ASSERT_TRUE(state.valid);
+  const std::size_t nnz_full = state.preferences.nnz();
+  const std::size_t bytes_full = state.MemoryBytes();
+
+  for (std::size_t i = 0; i < 500; ++i) state.ForgetUser(i);
+
+  // 500 of 512 rows tombstoned: compaction fired along the way, so live
+  // nnz collapsed to the 12 surviving rows (plus at most one threshold's
+  // worth of not-yet-compacted tombstones) and the CSR heap followed.
+  EXPECT_TRUE(state.valid);
+  EXPECT_LT(state.preferences.nnz(), nnz_full / 4);
+  EXPECT_LT(state.MemoryBytes(), bytes_full);
+  EXPECT_EQ(state.preferences.rows(), 512u);  // shape intact, rows empty
+
+  // A revived user registers as drift — the next window re-solves it and
+  // still matches the cold solver.
+  OpusOptions options;
+  options.delta.drift_threshold = 0.05;
+  options.delta.utility_rel_tolerance = 0.0;
+  const OpusAllocator alloc(options);
+  const AllocationResult r = alloc.AllocateIncremental(p, &state);
+  EXPECT_TRUE(r.solver_warm_started);
+  ExpectSameResult(r, OpusAllocator().Allocate(p), 1e-5, 1e-6);
+
+  // The purge path releases everything immediately.
+  state.Invalidate();
+  EXPECT_FALSE(state.valid);
+  EXPECT_EQ(state.MemoryBytes(), 0u);
 }
 
 TEST(IncrementalTest, DeltaRespectsPriorityWeights) {

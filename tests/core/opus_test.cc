@@ -187,5 +187,49 @@ TEST(OpusTest, DiagnosticsConsistency) {
   EXPECT_GT(diag.solver_iterations, 0);
 }
 
+TEST(OpusTest, SparseBackedProblemMatchesDense) {
+  // A CSR-built (lean, dense-free) problem must run through the full
+  // mechanism and land on the same allocation, taxes, and net utilities as
+  // its dense twin — for the direct path and the aggregated path. The lean
+  // result reports net utilities without ever materializing an N x M
+  // access matrix.
+  const CachingProblem dense = [] {
+    CachingProblem p;
+    p.preferences = Matrix::FromRows({{0.4, 0.6, 0.0, 0.0},
+                                      {0.0, 0.6, 0.4, 0.0},
+                                      {0.0, 0.0, 0.5, 0.5},
+                                      {0.7, 0.0, 0.0, 0.3}});
+    p.capacity = 2.0;
+    return p;
+  }();
+  const CachingProblem sparse = CachingProblem::FromCsr(
+      CsrMatrix::FromDense(dense.preferences), dense.capacity);
+  ASSERT_FALSE(sparse.dense_backed());
+
+  for (const std::size_t max_clusters : {std::size_t{0}, std::size_t{2}}) {
+    OpusOptions options;
+    options.aggregation.max_clusters = max_clusters;
+    const OpusAllocator alloc(options);
+    const AllocationResult d = alloc.Allocate(dense);
+    const AllocationResult s = alloc.Allocate(sparse);
+    SCOPED_TRACE(::testing::Message() << "max_clusters " << max_clusters);
+    EXPECT_EQ(s.shared, d.shared);
+    ASSERT_EQ(s.file_alloc.size(), d.file_alloc.size());
+    for (std::size_t j = 0; j < d.file_alloc.size(); ++j) {
+      EXPECT_NEAR(s.file_alloc[j], d.file_alloc[j], 1e-9) << "file " << j;
+    }
+    ASSERT_EQ(s.taxes.size(), d.taxes.size());
+    ASSERT_EQ(s.reported_utilities.size(), d.reported_utilities.size());
+    for (std::size_t i = 0; i < d.taxes.size(); ++i) {
+      EXPECT_NEAR(s.taxes[i], d.taxes[i], 1e-9) << "user " << i;
+      EXPECT_NEAR(s.reported_utilities[i], d.reported_utilities[i], 1e-9)
+          << "user " << i;
+    }
+    // Lean output: the sparse-backed result never carries the access
+    // matrix.
+    EXPECT_EQ(s.access.rows(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace opus

@@ -20,6 +20,12 @@
 //   --threads N       worker threads for OpuS's N leave-one-out tax solves
 //                     (default: all hardware threads; 1 = serial; results
 //                     are bit-identical at any thread count)
+//   --agg-auto N      OpuS drift-adaptive user aggregation with minimum
+//                     cluster count N (>= 1); coarse clusters at low drift,
+//                     per-user solves at high drift
+//   --delta-auto-off F  drifted-user fraction in [0,1] at which OpuS's
+//                     delta machinery is skipped for a window (1 = never,
+//                     the default)
 //   --csv             machine-readable output (allocation + per-user rows)
 //   --compare         run every policy and print a utility comparison
 //   --explain         audit report of the OpuS decision (taxes, break-even,
@@ -88,7 +94,8 @@ std::string ReadFile(const std::string& path, bool* ok) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --prefs FILE --capacity C [--policy NAME] "
-               "[--sizes FILE] [--threads N] [--csv] [--compare] "
+               "[--sizes FILE] [--threads N] [--agg-auto N] "
+               "[--delta-auto-off F] [--csv] [--compare] "
                "[--explain] [--simulate N] [--workers W] [--cache-mb MB] "
                "[--seed S] [--metrics-out FILE] [--trace-out FILE] "
                "[--spans-out FILE] [--span-sample-n N] [--audit-out FILE]\n",
@@ -116,6 +123,7 @@ int main(int argc, char** argv) {
   std::size_t simulate = 0, workers = 4;
   std::uint64_t seed = 42, span_sample_n = 1;
   bool csv_output = false, compare = false, explain = false;
+  OpusPolicyTuning tuning;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -140,6 +148,18 @@ int main(int argc, char** argv) {
       std::uint64_t v = 0;
       if (!ParseFlagU64(arg, next(), 1, &v) || v > 1024) return Usage(argv[0]);
       threads = static_cast<unsigned>(v);
+    } else if (arg == "--agg-auto") {
+      std::uint64_t v = 0;
+      if (!ParseFlagU64(arg, next(), 1, &v)) return Usage(argv[0]);
+      tuning.aggregation.auto_tune = true;
+      tuning.aggregation.min_clusters = static_cast<std::size_t>(v);
+    } else if (arg == "--delta-auto-off") {
+      double v = 0.0;
+      if (!ParseFlagDouble(arg, next(), 0.0, &v) || v > 1.0) {
+        std::fprintf(stderr, "--delta-auto-off must be in [0, 1]\n");
+        return 2;
+      }
+      tuning.delta.auto_off_drift_fraction = v;
     } else if (arg == "--simulate") {
       std::uint64_t v = 0;
       if (!ParseFlagU64(arg, next(), 1, &v)) return Usage(argv[0]);
@@ -228,7 +248,7 @@ int main(int argc, char** argv) {
   }
 
   if (simulate > 0) {
-    const auto allocator = MakeAllocatorByName(policy, threads);
+    const auto allocator = MakeAllocatorByName(policy, threads, &tuning);
     if (!allocator) {
       std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
       return 1;
@@ -315,7 +335,7 @@ int main(int argc, char** argv) {
     table.AddHeader(std::move(header));
     for (const char* name : {"isolated", "maxmin", "fairride", "optimal",
                              "vcg-classic", "opus"}) {
-      const auto alloc = MakeAllocatorByName(name, threads);
+      const auto alloc = MakeAllocatorByName(name, threads, &tuning);
       const auto r = alloc->Allocate(problem);
       const auto utils = EvaluateUtilities(r, problem.preferences);
       std::vector<std::string> row = {name};
@@ -327,7 +347,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto allocator = MakeAllocatorByName(policy, threads);
+  const auto allocator = MakeAllocatorByName(policy, threads, &tuning);
   if (!allocator) {
     std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
     return 1;

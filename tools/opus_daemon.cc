@@ -9,7 +9,8 @@
 //               [--users N] [--workers N] [--cache-mb MB] [--threads N]
 //               [--policy NAME] [--update-interval N] [--window N]
 //               [--tax-threads N] [--delta-drift F] [--delta-util-tol F]
-//               [--agg-clusters N] [--agg-threshold F]
+//               [--delta-auto-off F]
+//               [--agg-clusters N] [--agg-threshold F] [--agg-auto N]
 //               [--stats-out FILE] [--stats-interval-ms N]
 //               [--flight-out FILE] [--flight-capacity N]
 //               [--p99-threshold-ms F]
@@ -30,10 +31,18 @@
 //                       a user is re-solved; 0 disables (default 0)
 //   --delta-util-tol F  relative star-utility move beyond which a stale
 //                       user's tax is re-solved anyway (default 0.01)
+//   --delta-auto-off F  drifted-user fraction in [0,1] at which the delta
+//                       machinery is skipped for the window (1 = never,
+//                       the default)
 //   --agg-clusters N    OpuS user aggregation: max clusters; 0 disables
 //                       (default 0)
 //   --agg-threshold F   L1 distance beyond which a user founds a new
 //                       cluster (default 0.5)
+//   --agg-auto N        drift-adaptive cluster auto-tuning with minimum
+//                       cluster count N (>= 1): the per-window budget grows
+//                       with observed drift and degrades to per-user solves
+//                       at high drift; combine with --agg-clusters to cap
+//                       the budget
 //   --stats-out FILE    append one JSON line per window: windowed metric
 //                       delta + latency quantiles (default: off)
 //   --stats-interval-ms N  stats window length (default 1000; resolution
@@ -138,6 +147,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--delta-util-tol" && (v = next())) {
       if (!ParseFlagDouble("--delta-util-tol", v, 0.0, &d)) return 2;
       config.opus_tuning.delta.utility_rel_tolerance = d;
+    } else if (arg == "--delta-auto-off" && (v = next())) {
+      if (!ParseFlagDouble("--delta-auto-off", v, 0.0, &d)) return 2;
+      if (d > 1.0) {
+        std::fprintf(stderr, "--delta-auto-off must be in [0, 1]\n");
+        return 2;
+      }
+      config.opus_tuning.delta.auto_off_drift_fraction = d;
+    } else if (arg == "--agg-auto" && (v = next())) {
+      if (!ParseFlagU64("--agg-auto", v, 1, &u)) return 2;
+      config.opus_tuning.aggregation.auto_tune = true;
+      config.opus_tuning.aggregation.min_clusters =
+          static_cast<std::size_t>(u);
     } else if (arg == "--agg-clusters" && (v = next())) {
       if (!ParseFlagU64("--agg-clusters", v, 0, &u)) return 2;
       config.opus_tuning.aggregation.max_clusters =
